@@ -1,0 +1,81 @@
+// Command qap-bench regenerates the data behind every measured figure
+// of the paper's evaluation (Figures 8, 9, 10, 11, 13, 14) and prints
+// the same series as text tables.
+//
+// Usage:
+//
+//	qap-bench [-fig 8|10|13|all] [-rate pps] [-duration sec]
+//	          [-hosts n] [-leaf]
+//
+// A figure number selects the experiment that produces it (CPU and
+// network figures come from the same sweep: 8 prints 8+9, 10 prints
+// 10+11, 13 prints 13+14).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qap"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, 13, 14, or all")
+	rate := flag.Int("rate", 1500, "trace packet rate (packets/sec)")
+	duration := flag.Int("duration", 300, "trace duration (sec)")
+	hosts := flag.Int("hosts", 4, "maximum cluster size")
+	seed := flag.Int64("seed", 1, "trace random seed")
+	leaf := flag.Bool("leaf", false, "also print the Section 6.1 leaf-load series")
+	flag.Parse()
+
+	cfg := qap.DefaultExperimentConfig()
+	cfg.Trace.Seed = *seed
+	cfg.Trace.PacketsPerSec = *rate
+	cfg.Trace.DurationSec = *duration
+	cfg.MaxHosts = *hosts
+
+	type experiment struct {
+		ids []string
+		run func(qap.ExperimentConfig) (*qap.Figure, *qap.Figure, error)
+	}
+	experiments := []experiment{
+		{[]string{"8", "9"}, qap.Figures8and9},
+		{[]string{"10", "11"}, qap.Figures10and11},
+		{[]string{"13", "14"}, qap.Figures13and14},
+	}
+
+	ran := false
+	for _, ex := range experiments {
+		if *fig != "all" && *fig != ex.ids[0] && *fig != ex.ids[1] {
+			continue
+		}
+		ran = true
+		cpu, net, err := ex.run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(cpu.Table())
+		fmt.Println(net.Table())
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, 13, 14, or all)", *fig))
+	}
+
+	if *leaf {
+		loads, err := qap.LeafLoads(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Section 6.1 leaf-node CPU load (Naive configuration):")
+		fmt.Printf("%8s  %10s\n", "# nodes", "leaf CPU %")
+		for i, l := range loads {
+			fmt.Printf("%8d  %10.1f\n", i+1, l)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qap-bench:", err)
+	os.Exit(1)
+}

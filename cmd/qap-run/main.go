@@ -1,0 +1,156 @@
+// Command qap-run executes a GSQL query set on the simulated cluster
+// over a synthetic packet trace and reports the query outputs and the
+// per-host CPU/network load, under a chosen partitioning strategy.
+//
+// Usage:
+//
+//	qap-run [-queries file] [-partition set] [-hosts n] [-rate pps]
+//	        [-duration sec] [-seed n] [-show n] [-plan]
+//
+// Examples:
+//
+//	qap-run -partition srcIP -hosts 4
+//	qap-run -queries monitor.gsql -partition 'srcIP & 0xFFF0, destIP'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"qap"
+	"qap/internal/netgen"
+)
+
+func main() {
+	queryFile := flag.String("queries", "", "GSQL query set file (default: the paper's Section 3.2 set)")
+	partition := flag.String("partition", "", "partitioning set, e.g. 'srcIP, destIP' (empty = round robin)")
+	hosts := flag.Int("hosts", 4, "cluster size")
+	pph := flag.Int("pph", 2, "stream partitions per host")
+	rate := flag.Int("rate", 2000, "trace packet rate (packets/sec)")
+	duration := flag.Int("duration", 120, "trace duration (sec)")
+	seed := flag.Int64("seed", 1, "trace random seed")
+	show := flag.Int("show", 5, "result rows to print per query")
+	showPlan := flag.Bool("plan", false, "print the distributed physical plan")
+	dotPlan := flag.Bool("dot", false, "print the physical plan as Graphviz DOT and exit")
+	naiveScope := flag.Bool("naive", false, "use per-partition (naive) partial aggregation")
+	traceFile := flag.String("trace", "", "CSV trace file to replay instead of generating one")
+	dumpFile := flag.String("dump", "", "write the generated trace to this CSV file")
+	flag.Parse()
+
+	queries := qap.ComplexQuerySet
+	if *queryFile != "" {
+		b, err := os.ReadFile(*queryFile)
+		if err != nil {
+			fatal(err)
+		}
+		queries = string(b)
+	}
+	sys, err := qap.Load(netgen.SchemaDDL, queries)
+	if err != nil {
+		fatal(err)
+	}
+
+	var ps qap.Set
+	if *partition != "" {
+		ps, err = qap.ParseSet(*partition)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	scope := qap.ScopeHost
+	if *naiveScope {
+		scope = qap.ScopePartition
+	}
+	dep, err := sys.Deploy(qap.DeployConfig{
+		Hosts:             *hosts,
+		PartitionsPerHost: *pph,
+		Partitioning:      ps,
+		PartialScope:      scope,
+		Costs:             qap.CostConfig{CapacityPerSec: float64(*rate) * 3},
+		Params:            map[string]qap.Value{"PATTERN": qap.Uint(netgen.AttackPattern)},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *dotPlan {
+		fmt.Print(dep.PlanDOT())
+		return
+	}
+	if *showPlan {
+		fmt.Println("distributed plan:")
+		fmt.Print(dep.PlanString())
+		fmt.Println()
+	}
+
+	var packets []netgen.Packet
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		packets, err = netgen.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: %d packets from %s\n", len(packets), *traceFile)
+	} else {
+		cfg := netgen.DefaultConfig()
+		cfg.Seed, cfg.DurationSec, cfg.PacketsPerSec = *seed, *duration, *rate
+		trace := netgen.Generate(cfg)
+		packets = trace.Packets
+		fmt.Printf("trace: %d packets over %ds (%d flows, %d suspicious)\n",
+			len(packets), cfg.DurationSec, trace.TotalFlows, trace.AttackFlows)
+	}
+	if *dumpFile != "" {
+		f, err := os.Create(*dumpFile)
+		if err != nil {
+			fatal(err)
+		}
+		err = netgen.WriteCSV(f, packets)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote trace to %s\n", *dumpFile)
+	}
+	if ps.IsEmpty() {
+		fmt.Println("partitioning: round robin (query-agnostic)")
+	} else {
+		fmt.Printf("partitioning: %s\n", ps)
+	}
+
+	res, err := dep.Run("TCP", packets)
+	if err != nil {
+		fatal(err)
+	}
+
+	names := make([]string, 0, len(res.Outputs))
+	for name := range res.Outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows := res.Outputs[name]
+		fmt.Printf("\n%s: %d rows\n", name, len(rows))
+		for i, r := range rows {
+			if i >= *show {
+				fmt.Printf("  ... %d more\n", len(rows)-*show)
+				break
+			}
+			fmt.Printf("  %s\n", r)
+		}
+	}
+
+	fmt.Println("\nload:")
+	fmt.Print(res.Metrics.String())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qap-run:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+package qap_test
+
+import (
+	"fmt"
+
+	"qap"
+)
+
+// The end-to-end flow from the paper's Section 3.2 example: load the
+// query set, infer each query's requirement, reconcile, and verify the
+// recommendation.
+func Example() {
+	sys, err := qap.Load(qap.TCPSchemaDDL, qap.ComplexQuerySet)
+	if err != nil {
+		panic(err)
+	}
+	analysis, err := sys.Analyze(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("recommended:", analysis.Best)
+	for _, name := range []string{"flows", "heavy_flows", "flow_pairs"} {
+		ok, _ := sys.Compatible(analysis.Best, name)
+		fmt.Printf("%s compatible: %v\n", name, ok)
+	}
+	// Output:
+	// recommended: (srcIP)
+	// flows compatible: true
+	// heavy_flows compatible: true
+	// flow_pairs compatible: true
+}
+
+// Reconciling conflicting requirements (paper Section 4.1): the
+// "least common denominator" of two partitioning sets.
+func ExampleParseSet() {
+	a := qap.MustParseSet("time/60, srcIP, destIP")
+	b := qap.MustParseSet("time/90, srcIP & 0xFFF0")
+	fmt.Println(qap.Reconcile(a, b))
+	// Output:
+	// (srcIP & 0xFFF0, time / 180)
+}
+
+// ExampleSystem_Requirements prints the inferred per-query
+// partitioning requirements.
+func ExampleSystem_Requirements() {
+	sys := qap.MustLoad(qap.TCPSchemaDDL, `
+query tcp_flows:
+SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*), SUM(len)
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort
+
+query flow_cnt:
+SELECT tb, srcIP, destIP, count(*)
+FROM tcp_flows
+GROUP BY tb, srcIP, destIP`)
+	reqs := sys.Requirements()
+	fmt.Println("tcp_flows:", reqs["tcp_flows"].Set)
+	fmt.Println("flow_cnt: ", reqs["flow_cnt"].Set)
+	// Output:
+	// tcp_flows: (destIP, destPort, srcIP, srcPort)
+	// flow_cnt:  (destIP, srcIP)
+}

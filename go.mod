@@ -1,0 +1,3 @@
+module qap
+
+go 1.22

@@ -1,0 +1,145 @@
+// Package cluster executes distributed physical plans on a simulated
+// cluster: a hash or round-robin stream splitter (paper Section 3.3),
+// one simulated process per (host, partition) plus a central process
+// per host, and per-host CPU and network accounting. The measured
+// quantities mirror the paper's evaluation: CPU load and network load
+// (tuples/sec) on the aggregator node, and CPU load on the leaf nodes.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CostConfig sets the simulator's CPU cost model. Costs are abstract
+// units; CapacityPerSec converts a host's accumulated units into a
+// CPU-load percentage. The remote surcharge is what makes
+// partition-agnostic plans expensive (paper Section 1: "significant
+// overhead involved in processing remote tuples as compared to local
+// processing").
+type CostConfig struct {
+	// Per-operator work charged at the receiving host for every tuple
+	// the operator receives.
+	ScanCost    float64 // packet ingest and parse
+	SelProjCost float64
+	AggCost     float64 // hash lookup + accumulate (full/sub/super)
+	JoinCost    float64 // hash probe + insert
+	UnionCost   float64 // stream merge bookkeeping
+	OutputCost  float64 // final result delivery
+	// IPCCost is the extra charge when a tuple crosses between
+	// processes on the same host (Gigascope's per-query processes
+	// exchange tuples through shared-memory ring buffers — cheap but
+	// not free).
+	IPCCost float64
+	// RemoteCost is the extra charge when a tuple crosses hosts: it
+	// was serialized, sent through a socket, received, and parsed.
+	RemoteCost float64
+	// CapacityPerSec is the work units one host sustains per second
+	// at 100% CPU.
+	CapacityPerSec float64
+}
+
+// DefaultCosts returns the cost model used by the experiments; the
+// remote-to-local ratio reflects the paper's observation that remote
+// tuples are far more expensive to process than local ones.
+func DefaultCosts() CostConfig {
+	return CostConfig{
+		ScanCost:    1.0,
+		SelProjCost: 0.4,
+		AggCost:     1.2,
+		JoinCost:    1.5,
+		UnionCost:   0.15,
+		OutputCost:  0.05,
+		IPCCost:     0.3,
+		RemoteCost:  6.0,
+	}
+}
+
+// HostMetrics accumulates one host's activity.
+type HostMetrics struct {
+	// CPUUnits is the total work charged to the host.
+	CPUUnits float64
+	// NetTuplesIn / NetBytesIn count arrivals over the network, i.e.
+	// from operators on other hosts.
+	NetTuplesIn int64
+	NetBytesIn  int64
+	// IPCTuplesIn counts same-host arrivals that crossed a process
+	// boundary (ring buffers / loopback), which cost CPU but not
+	// network.
+	IPCTuplesIn int64
+	// Tuples counts every tuple delivered to an operator on the host.
+	Tuples int64
+}
+
+// Metrics is the full accounting of one run.
+type Metrics struct {
+	Hosts       []HostMetrics
+	DurationSec float64
+	Capacity    float64 // units/sec per host
+}
+
+// CPULoad returns the host's CPU utilization percentage.
+func (m *Metrics) CPULoad(host int) float64 {
+	if m.Capacity <= 0 || m.DurationSec <= 0 {
+		return 0
+	}
+	return 100 * m.Hosts[host].CPUUnits / (m.Capacity * m.DurationSec)
+}
+
+// OverloadFactor reports how far the host's demanded work exceeds its
+// capacity: 0 when within capacity, otherwise the fraction of work
+// that a real system would have to shed (the paper's Figure 8 point
+// where "the system is clearly overloaded and starts dropping input
+// tuples").
+func (m *Metrics) OverloadFactor(host int) float64 {
+	if m.Capacity <= 0 || m.DurationSec <= 0 {
+		return 0
+	}
+	budget := m.Capacity * m.DurationSec
+	excess := m.Hosts[host].CPUUnits - budget
+	if excess <= 0 {
+		return 0
+	}
+	return excess / m.Hosts[host].CPUUnits
+}
+
+// NetLoad returns the host's network arrivals in tuples per second
+// (the paper's Figures 9, 11, 14 report packets/sec received by the
+// aggregator).
+func (m *Metrics) NetLoad(host int) float64 {
+	if m.DurationSec <= 0 {
+		return 0
+	}
+	return float64(m.Hosts[host].NetTuplesIn) / m.DurationSec
+}
+
+// LeafCPULoad returns the mean CPU load over all hosts except the
+// aggregator; with a single host it returns that host's load.
+func (m *Metrics) LeafCPULoad(aggregator int) float64 {
+	if len(m.Hosts) == 1 {
+		return m.CPULoad(0)
+	}
+	total, n := 0.0, 0
+	for h := range m.Hosts {
+		if h == aggregator {
+			continue
+		}
+		total += m.CPULoad(h)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// String renders a per-host table.
+func (m *Metrics) String() string {
+	var b strings.Builder
+	for h, hm := range m.Hosts {
+		fmt.Fprintf(&b, "host %d: cpu %.1f%%  net %.0f tup/s (%.0f B/s)  ipc %.0f tup/s  tuples %d\n",
+			h, m.CPULoad(h), m.NetLoad(h), float64(hm.NetBytesIn)/m.DurationSec,
+			float64(hm.IPCTuplesIn)/m.DurationSec, hm.Tuples)
+	}
+	return b.String()
+}

@@ -1,0 +1,898 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qap/internal/exec"
+	"qap/internal/gsql"
+	"qap/internal/netgen"
+	"qap/internal/optimizer"
+	"qap/internal/plan"
+	"qap/internal/sqlval"
+)
+
+// Runner instantiates a distributed physical plan into live operators
+// with accounting on every edge, and drives packet traces through it.
+type Runner struct {
+	plan       *optimizer.Plan
+	cost       CostConfig
+	params     exec.Params
+	metrics    *Metrics
+	routers    map[string]*router
+	collectors map[string]*exec.Collector
+	nodeRows   map[string]*int64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Outputs holds each root query's result rows.
+	Outputs map[string][]exec.Tuple
+	// NodeRows counts the complete output rows of every logical query
+	// node (per-partition instances summed; partial aggregates are
+	// not node outputs and are excluded), the raw material for
+	// measured selectivity statistics.
+	NodeRows map[string]int64
+	Metrics  *Metrics
+}
+
+// New compiles the physical plan into operator instances.
+func New(p *optimizer.Plan, cost CostConfig, params exec.Params) (*Runner, error) {
+	r := &Runner{
+		plan:       p,
+		cost:       cost,
+		params:     params,
+		metrics:    &Metrics{Hosts: make([]HostMetrics, p.Hosts), Capacity: cost.CapacityPerSec},
+		routers:    make(map[string]*router),
+		collectors: make(map[string]*exec.Collector),
+		nodeRows:   make(map[string]*int64),
+	}
+	if err := r.compile(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Run feeds a time-ordered packet trace into the named stream and
+// returns the query outputs and load metrics. Streams without data
+// are flushed empty.
+func (r *Runner) Run(stream string, packets []netgen.Packet) (*Result, error) {
+	return r.RunStreams(map[string][]netgen.Packet{stream: packets})
+}
+
+// RunStreams feeds several traces, one per source stream, interleaved
+// in global time order (the watermark is shared: an epoch closes only
+// when every stream has moved past it). Each trace must itself be
+// time-ordered.
+func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error) {
+	type cursor struct {
+		rt      *router
+		packets []netgen.Packet
+		pos     int
+	}
+	var cursors []*cursor
+	for name, packets := range streams {
+		rt, ok := r.routers[strings.ToLower(name)]
+		if !ok {
+			return nil, fmt.Errorf("cluster: plan has no source stream %q", name)
+		}
+		for i := 1; i < len(packets); i++ {
+			if packets[i].Time < packets[i-1].Time {
+				return nil, fmt.Errorf("cluster: stream %q is not time-ordered at index %d", name, i)
+			}
+		}
+		cursors = append(cursors, &cursor{rt: rt, packets: packets})
+	}
+	// Deterministic merge order for equal timestamps.
+	sort.Slice(cursors, func(i, j int) bool {
+		return len(cursors[i].packets) > len(cursors[j].packets)
+	})
+
+	var lastTime uint64
+	maxTime := uint64(0)
+	first := true
+	any := false
+	for {
+		// Pick the cursor with the smallest next timestamp.
+		var best *cursor
+		for _, c := range cursors {
+			if c.pos >= len(c.packets) {
+				continue
+			}
+			if best == nil || c.packets[c.pos].Time < best.packets[best.pos].Time {
+				best = c
+			}
+		}
+		if best == nil {
+			break
+		}
+		pk := &best.packets[best.pos]
+		best.pos++
+		any = true
+		if pk.Time > maxTime {
+			maxTime = pk.Time
+		}
+		if first || pk.Time > lastTime {
+			// The global watermark advances every stream's pipeline.
+			for _, c := range cursors {
+				c.rt.Advance(pk.Time)
+			}
+			lastTime, first = pk.Time, false
+		}
+		best.rt.Push(pk.Tuple())
+	}
+	for _, router := range r.routers {
+		router.Flush()
+	}
+	if any {
+		r.metrics.DurationSec = float64(maxTime + 1)
+	}
+	res := &Result{
+		Outputs:  make(map[string][]exec.Tuple),
+		NodeRows: make(map[string]int64, len(r.nodeRows)),
+		Metrics:  r.metrics,
+	}
+	for name, c := range r.collectors {
+		res.Outputs[name] = c.Rows
+	}
+	for name, n := range r.nodeRows {
+		res.NodeRows[name] = *n
+	}
+	return res, nil
+}
+
+// rowCounter counts a logical node's complete output rows.
+type rowCounter struct {
+	n    *int64
+	next exec.Consumer
+}
+
+func (c *rowCounter) Push(t exec.Tuple) { *c.n++; c.next.Push(t) }
+func (c *rowCounter) Advance(wm uint64) { c.next.Advance(wm) }
+func (c *rowCounter) Flush()            { c.next.Flush() }
+
+// countedOutput wraps an operator's fanout with a row counter when the
+// operator produces a logical node's complete output (full aggregates,
+// super-aggregates, select/project, join instances — not scans,
+// unions, or partial sub-aggregates).
+func (r *Runner) countedOutput(op *optimizer.Op, out exec.Consumer) exec.Consumer {
+	switch op.Kind {
+	case optimizer.OpAggregate, optimizer.OpAggSuper, optimizer.OpSelProj,
+		optimizer.OpJoin, optimizer.OpWindow:
+	default:
+		return out
+	}
+	name := strings.ToLower(op.Logical.QueryName)
+	n, ok := r.nodeRows[name]
+	if !ok {
+		n = new(int64)
+		r.nodeRows[name] = n
+	}
+	return &rowCounter{n: n, next: out}
+}
+
+// ---- stream splitter (paper Section 3.3) ----
+
+type router struct {
+	hashFns []exec.EvalFunc // nil => round robin
+	outs    []exec.Consumer
+	rr      int
+}
+
+func (rt *router) Push(t exec.Tuple) {
+	var idx int
+	if rt.hashFns == nil {
+		idx = rt.rr % len(rt.outs)
+		rt.rr++
+	} else {
+		vals := make([]sqlval.Value, len(rt.hashFns))
+		for i, f := range rt.hashFns {
+			vals[i] = f(t)
+		}
+		h := sqlval.HashTuple(vals)
+		// Range split: partition i receives H in [i*R/M, (i+1)*R/M).
+		idx = int((h >> 32) * uint64(len(rt.outs)) >> 32)
+	}
+	rt.outs[idx].Push(t)
+}
+
+func (rt *router) Advance(wm uint64) {
+	for _, o := range rt.outs {
+		o.Advance(wm)
+	}
+}
+
+func (rt *router) Flush() {
+	for _, o := range rt.outs {
+		o.Flush()
+	}
+}
+
+// ---- edge accounting ----
+
+type procID struct{ host, partition int }
+
+type edge struct {
+	m      *HostMetrics
+	next   exec.Consumer
+	opCost float64 // receiving operator's per-tuple work
+	xfer   float64 // IPC or network surcharge
+	net    bool    // crosses hosts (counts as network)
+	ipc    bool    // crosses processes on the same host
+}
+
+func (e *edge) Push(t exec.Tuple) {
+	e.m.Tuples++
+	e.m.CPUUnits += e.opCost + e.xfer
+	switch {
+	case e.net:
+		e.m.NetTuplesIn++
+		e.m.NetBytesIn += int64(t.WireSize())
+	case e.ipc:
+		e.m.IPCTuplesIn++
+	}
+	e.next.Push(t)
+}
+
+func (e *edge) Advance(wm uint64) { e.next.Advance(wm) }
+func (e *edge) Flush()            { e.next.Flush() }
+
+// opCostOf returns the per-tuple work of an operator kind.
+func (c CostConfig) opCostOf(kind optimizer.OpKind) float64 {
+	switch kind {
+	case optimizer.OpScan:
+		return c.ScanCost
+	case optimizer.OpSelProj:
+		return c.SelProjCost
+	case optimizer.OpAggregate, optimizer.OpAggSub, optimizer.OpAggSuper, optimizer.OpWindow:
+		return c.AggCost
+	case optimizer.OpJoin:
+		return c.JoinCost
+	case optimizer.OpUnion:
+		return c.UnionCost
+	case optimizer.OpOutput:
+		return c.OutputCost
+	default:
+		return 1
+	}
+}
+
+// ---- compilation ----
+
+type portRef struct {
+	op   *optimizer.Op
+	port int
+}
+
+func (r *Runner) compile() error {
+	p := r.plan
+	// Consumers of each producer, in deterministic order.
+	consumers := make(map[*optimizer.Op][]portRef)
+	for _, op := range p.Ops {
+		for port, in := range op.Inputs {
+			consumers[in] = append(consumers[in], portRef{op, port})
+		}
+	}
+	// entries[op][port] is the accounted consumer feeding that port.
+	entries := make(map[*optimizer.Op][]exec.Consumer)
+
+	// Build in reverse topological order so downstream entries exist.
+	for i := len(p.Ops) - 1; i >= 0; i-- {
+		op := p.Ops[i]
+		out := r.countedOutput(op, r.fanout(op, consumers[op], entries))
+		ports, err := r.instantiate(op, out)
+		if err != nil {
+			return fmt.Errorf("cluster: op %d (%s): %w", op.ID, op.Label(), err)
+		}
+		entries[op] = ports
+	}
+	// Routers deliver into the scan entries, partition-ordered.
+	for _, src := range p.Graph.Sources() {
+		scans := make([]exec.Consumer, p.Partitions)
+		for _, op := range p.Ops {
+			if op.Kind == optimizer.OpScan && op.Logical == src {
+				scans[op.Partition] = entries[op][0]
+			}
+		}
+		rt := &router{outs: scans}
+		if set := p.SplitterSet(src.Stream.Name); !set.IsEmpty() {
+			names := colNames(src.OutCols)
+			for _, elem := range set {
+				f, err := exec.Compile(elem.Expr, exec.ColsResolver("", names), r.params)
+				if err != nil {
+					return fmt.Errorf("cluster: partitioning element %s: %w", elem, err)
+				}
+				rt.hashFns = append(rt.hashFns, f)
+			}
+		}
+		r.routers[strings.ToLower(src.Stream.Name)] = rt
+	}
+	return nil
+}
+
+// fanout wraps each consumer's entry port with an accounting edge and
+// combines multiple consumers into a Tee.
+func (r *Runner) fanout(op *optimizer.Op, cons []portRef, entries map[*optimizer.Op][]exec.Consumer) exec.Consumer {
+	if len(cons) == 0 {
+		return exec.Discard{}
+	}
+	sort.SliceStable(cons, func(i, j int) bool {
+		if cons[i].op.ID != cons[j].op.ID {
+			return cons[i].op.ID < cons[j].op.ID
+		}
+		return cons[i].port < cons[j].port
+	})
+	from := procID{op.Host, op.Proc}
+	outs := make([]exec.Consumer, len(cons))
+	for i, c := range cons {
+		to := procID{c.op.Host, c.op.Proc}
+		e := &edge{
+			m:      &r.metrics.Hosts[c.op.Host],
+			next:   entries[c.op][c.port],
+			opCost: r.cost.opCostOf(c.op.Kind),
+		}
+		switch {
+		case from.host != to.host:
+			e.net, e.xfer = true, r.cost.RemoteCost
+		case from != to:
+			e.ipc, e.xfer = true, r.cost.IPCCost
+		}
+		outs[i] = e
+	}
+	if len(outs) == 1 {
+		return outs[0]
+	}
+	return &exec.Tee{Outs: outs}
+}
+
+// instantiate builds the exec operator for one physical op and returns
+// its input ports.
+func (r *Runner) instantiate(op *optimizer.Op, out exec.Consumer) ([]exec.Consumer, error) {
+	switch op.Kind {
+	case optimizer.OpScan:
+		// The scan itself charges the receiving host for ingesting the
+		// packet (the splitter hardware is free).
+		fp := &exec.FilterProject{Out: out}
+		selfEdge := &edge{m: &r.metrics.Hosts[op.Host], next: fp, opCost: r.cost.ScanCost}
+		return []exec.Consumer{selfEdge}, nil
+	case optimizer.OpUnion:
+		u := exec.NewUnion(len(op.Inputs), out)
+		ports := make([]exec.Consumer, len(op.Inputs))
+		for i := range ports {
+			ports[i] = u.Port(i)
+		}
+		return ports, nil
+	case optimizer.OpOutput:
+		c := &exec.Collector{}
+		r.collectors[op.Logical.QueryName] = c
+		return []exec.Consumer{c}, nil
+	case optimizer.OpSelProj:
+		fp, err := r.buildSelProj(op.Logical)
+		if err != nil {
+			return nil, err
+		}
+		fp.Out = out
+		return []exec.Consumer{fp}, nil
+	case optimizer.OpAggregate, optimizer.OpAggSub, optimizer.OpAggSuper:
+		agg, err := r.buildAggregate(op, out)
+		if err != nil {
+			return nil, err
+		}
+		return []exec.Consumer{agg}, nil
+	case optimizer.OpWindow:
+		w, err := r.buildWindow(op.Logical, out)
+		if err != nil {
+			return nil, err
+		}
+		return []exec.Consumer{w}, nil
+	case optimizer.OpJoin:
+		ports, err := r.buildJoin(op.Logical, out)
+		if err != nil {
+			return nil, err
+		}
+		return ports, nil
+	default:
+		return nil, fmt.Errorf("unknown op kind %v", op.Kind)
+	}
+}
+
+func colNames(cols []plan.ColDef) []string {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return names
+}
+
+func (r *Runner) buildSelProj(n *plan.Node) (*exec.FilterProject, error) {
+	res := exec.ColsResolver(n.InBind, colNames(n.Inputs[0].OutCols))
+	fp := &exec.FilterProject{}
+	if n.Filter != nil {
+		f, err := exec.Compile(n.Filter, res, r.params)
+		if err != nil {
+			return nil, err
+		}
+		fp.Filter = f
+	}
+	exprs := make([]gsql.Expr, len(n.Projs))
+	for i, pr := range n.Projs {
+		exprs[i] = pr.Expr
+	}
+	projs, err := exec.CompileAll(exprs, res, r.params)
+	if err != nil {
+		return nil, err
+	}
+	fp.Projs = projs
+	return fp, nil
+}
+
+// epochOfWM compiles the watermark translator for a temporal group
+// column: the lineage base expression evaluated at the watermark.
+func (r *Runner) epochOfWM(lin plan.Lineage) (func(uint64) sqlval.Value, error) {
+	if lin.Base == nil {
+		return nil, nil
+	}
+	f, err := exec.Compile(lin.Base.Expr, exec.ColsResolver("", []string{lin.Base.Attr}), r.params)
+	if err != nil {
+		return nil, err
+	}
+	return func(wm uint64) sqlval.Value {
+		return f(exec.Tuple{sqlval.Uint(wm)})
+	}, nil
+}
+
+// momentParts returns the partial column suffixes of an aggregate
+// whose decomposition needs several components, or nil for aggregates
+// that split one-to-one (the SubName/SuperName pair).
+func momentParts(spec gsql.AggSpec) []string {
+	switch spec.Name {
+	case "AVG":
+		return []string{"$sum", "$cnt"}
+	case "VARIANCE", "STDDEV":
+		return []string{"$sum", "$sumsq", "$cnt"}
+	default:
+		return nil
+	}
+}
+
+// momentSubAccums returns the accumulator names matching momentParts.
+func momentSubAccums(spec gsql.AggSpec) []string {
+	switch spec.Name {
+	case "AVG":
+		return []string{"SUM", "COUNT"}
+	case "VARIANCE", "STDDEV":
+		return []string{"SUM", "SUMSQ", "COUNT"}
+	default:
+		return nil
+	}
+}
+
+// partialNames lists the sub-aggregate output columns for an
+// aggregation's partials.
+func partialNames(n *plan.Node) []string {
+	var out []string
+	for _, a := range n.Aggs {
+		if parts := momentParts(a.Spec); parts != nil {
+			for _, p := range parts {
+				out = append(out, a.Name+p)
+			}
+		} else {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// momentFinalExpr builds the expression reconstructing a moment-split
+// aggregate's value from its merged partials:
+//
+//	AVG       sum/cnt
+//	VARIANCE  sumsq/cnt - (sum/cnt)^2
+//	STDDEV    SQRT(variance)
+//
+// The multiplication by 1.0 forces floating-point arithmetic over
+// integer partials.
+func momentFinalExpr(spec gsql.AggSpec, name string) gsql.Expr {
+	ref := func(suffix string) gsql.Expr { return &gsql.ColumnRef{Name: name + suffix} }
+	fdiv := func(num, den gsql.Expr) gsql.Expr {
+		return &gsql.Binary{
+			Op: gsql.OpDiv,
+			L:  &gsql.Binary{Op: gsql.OpMul, L: num, R: &gsql.NumberLit{IsFloat: true, F: 1}},
+			R:  den,
+		}
+	}
+	mean := fdiv(ref("$sum"), ref("$cnt"))
+	switch spec.Name {
+	case "AVG":
+		return mean
+	case "VARIANCE", "STDDEV":
+		variance := &gsql.Binary{
+			Op: gsql.OpSub,
+			L:  fdiv(ref("$sumsq"), ref("$cnt")),
+			R:  &gsql.Binary{Op: gsql.OpMul, L: mean, R: mean},
+		}
+		if spec.Name == "VARIANCE" {
+			return variance
+		}
+		return &gsql.FuncCall{Name: "SQRT", Args: []gsql.Expr{variance}}
+	default:
+		return &gsql.ColumnRef{Name: name}
+	}
+}
+
+// rewriteSplitRefs substitutes references to moment-split aggregates
+// with their reconstruction expressions in super-aggregate HAVING and
+// projection clauses.
+func rewriteSplitRefs(e gsql.Expr, split map[string]gsql.AggSpec) gsql.Expr {
+	if e == nil {
+		return nil
+	}
+	switch t := e.(type) {
+	case *gsql.ColumnRef:
+		if spec, ok := split[strings.ToLower(t.Name)]; ok && t.Qualifier == "" {
+			return momentFinalExpr(spec, t.Name)
+		}
+		return gsql.CloneExpr(e)
+	case *gsql.Unary:
+		return &gsql.Unary{Op: t.Op, X: rewriteSplitRefs(t.X, split)}
+	case *gsql.Binary:
+		return &gsql.Binary{Op: t.Op, L: rewriteSplitRefs(t.L, split), R: rewriteSplitRefs(t.R, split)}
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = rewriteSplitRefs(a, split)
+		}
+		return &gsql.FuncCall{Name: t.Name, Star: t.Star, Args: args}
+	default:
+		return gsql.CloneExpr(e)
+	}
+}
+
+func (r *Runner) buildAggregate(op *optimizer.Op, out exec.Consumer) (*exec.Aggregate, error) {
+	n := op.Logical
+	cfg := exec.AggregateConfig{EpochIdx: n.EpochGroupCol(), Out: out}
+
+	if n.WindowPanes > 1 && op.Kind != optimizer.OpAggSub {
+		return nil, fmt.Errorf("windowed aggregation %s must lower to sub-aggregate + window", n.QueryName)
+	}
+	if op.Kind == optimizer.OpAggSuper {
+		return r.buildSuperAggregate(n, cfg)
+	}
+
+	inRes := exec.ColsResolver(n.InBind, colNames(n.Inputs[0].OutCols))
+	if n.PreFilter != nil {
+		f, err := exec.Compile(n.PreFilter, inRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.PreFilter = f
+	}
+	for _, g := range n.GroupBy {
+		f, err := exec.Compile(g.Expr, inRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.GroupBy = append(cfg.GroupBy, f)
+	}
+	if cfg.EpochIdx >= 0 {
+		ewm, err := r.epochOfWM(n.LineageOf(n.GroupBy[cfg.EpochIdx].Expr))
+		if err != nil {
+			return nil, err
+		}
+		cfg.EpochOfWM = ewm
+	}
+
+	sub := op.Kind == optimizer.OpAggSub
+	for _, a := range n.Aggs {
+		var arg exec.EvalFunc
+		if a.Arg != nil {
+			f, err := exec.Compile(a.Arg, inRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			arg = f
+		}
+		switch {
+		case sub && momentParts(a.Spec) != nil:
+			for _, accName := range momentSubAccums(a.Spec) {
+				fac, err := exec.NewAccumFactory(accName)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: arg})
+			}
+		case sub:
+			fac, err := exec.NewAccumFactory(a.Spec.SubName)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: arg})
+		default:
+			fac, err := exec.NewAccumFactory(a.Spec.Name)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: arg})
+		}
+	}
+	if sub {
+		// Sub-aggregates emit groups ++ partials; HAVING and the final
+		// projection wait for complete values in the super-aggregate
+		// (Section 5.2.2).
+		return exec.NewAggregate(cfg), nil
+	}
+
+	// Full aggregation: HAVING and post-projection over groups++aggs.
+	rowNames := make([]string, 0, len(n.GroupBy)+len(n.Aggs))
+	for _, g := range n.GroupBy {
+		rowNames = append(rowNames, g.Name)
+	}
+	for _, a := range n.Aggs {
+		rowNames = append(rowNames, a.Name)
+	}
+	rowRes := exec.ColsResolver("", rowNames)
+	if n.Having != nil {
+		f, err := exec.Compile(n.Having, rowRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Having = f
+	}
+	for _, p := range n.Post {
+		f, err := exec.Compile(p.Expr, rowRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Post = append(cfg.Post, f)
+	}
+	return exec.NewAggregate(cfg), nil
+}
+
+// buildSuperAggregate assembles the central half of a partial
+// aggregation: it groups the sub-aggregates' outputs by the original
+// group columns and merges partials with each aggregate's
+// super-function (COUNT's partials SUM, MIN's MIN, and so on).
+func (r *Runner) buildSuperAggregate(n *plan.Node, cfg exec.AggregateConfig) (*exec.Aggregate, error) {
+	groupNames := make([]string, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		groupNames[i] = g.Name
+	}
+	inNames := append(append([]string{}, groupNames...), partialNames(n)...)
+	inRes := exec.ColsResolver("", inNames)
+
+	for _, name := range groupNames {
+		f, err := exec.Compile(&gsql.ColumnRef{Name: name}, inRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.GroupBy = append(cfg.GroupBy, f)
+	}
+	if cfg.EpochIdx >= 0 {
+		ewm, err := r.epochOfWM(n.LineageOf(n.GroupBy[cfg.EpochIdx].Expr))
+		if err != nil {
+			return nil, err
+		}
+		cfg.EpochOfWM = ewm
+	}
+
+	split := make(map[string]gsql.AggSpec)
+	var rowNames []string
+	rowNames = append(rowNames, groupNames...)
+	for _, a := range n.Aggs {
+		if parts := momentParts(a.Spec); parts != nil {
+			split[strings.ToLower(a.Name)] = a.Spec
+			for _, suffix := range parts {
+				pn := a.Name + suffix
+				f, err := exec.Compile(&gsql.ColumnRef{Name: pn}, inRes, r.params)
+				if err != nil {
+					return nil, err
+				}
+				fac, _ := exec.NewAccumFactory("SUM")
+				cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: f})
+				rowNames = append(rowNames, pn)
+			}
+			continue
+		}
+		f, err := exec.Compile(&gsql.ColumnRef{Name: a.Name}, inRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		fac, err := exec.NewAccumFactory(a.Spec.SuperName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: f})
+		rowNames = append(rowNames, a.Name)
+	}
+
+	rowRes := exec.ColsResolver("", rowNames)
+	if n.Having != nil {
+		f, err := exec.Compile(rewriteSplitRefs(n.Having, split), rowRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Having = f
+	}
+	for _, p := range n.Post {
+		f, err := exec.Compile(rewriteSplitRefs(p.Expr, split), rowRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Post = append(cfg.Post, f)
+	}
+	return exec.NewAggregate(cfg), nil
+}
+
+// buildWindow assembles the sliding-window merge over per-pane
+// partials: mergers per partial column (SUM for moment parts, the
+// super-function otherwise), then the original HAVING and projection
+// with moment references reconstructed.
+func (r *Runner) buildWindow(n *plan.Node, out exec.Consumer) (*exec.SlidingWindow, error) {
+	cfg := exec.SlidingWindowConfig{
+		GroupCols: len(n.GroupBy),
+		EpochIdx:  n.EpochGroupCol(),
+		Panes:     n.WindowPanes,
+		Out:       out,
+	}
+	if cfg.EpochIdx < 0 {
+		return nil, fmt.Errorf("window %s has no temporal pane column", n.QueryName)
+	}
+	ewm, err := r.epochOfWM(n.LineageOf(n.GroupBy[cfg.EpochIdx].Expr))
+	if err != nil {
+		return nil, err
+	}
+	cfg.PaneOfWM = ewm
+
+	split := make(map[string]gsql.AggSpec)
+	groupNames := make([]string, len(n.GroupBy))
+	for i, g := range n.GroupBy {
+		groupNames[i] = g.Name
+	}
+	rowNames := append([]string{}, groupNames...)
+	for _, a := range n.Aggs {
+		if parts := momentParts(a.Spec); parts != nil {
+			split[strings.ToLower(a.Name)] = a.Spec
+			for _, suffix := range parts {
+				fac, _ := exec.NewAccumFactory("SUM")
+				cfg.Mergers = append(cfg.Mergers, fac)
+				rowNames = append(rowNames, a.Name+suffix)
+			}
+			continue
+		}
+		fac, err := exec.NewAccumFactory(a.Spec.SuperName)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Mergers = append(cfg.Mergers, fac)
+		rowNames = append(rowNames, a.Name)
+	}
+	rowRes := exec.ColsResolver("", rowNames)
+	if n.Having != nil {
+		f, err := exec.Compile(rewriteSplitRefs(n.Having, split), rowRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Having = f
+	}
+	for _, p := range n.Post {
+		f, err := exec.Compile(rewriteSplitRefs(p.Expr, split), rowRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Post = append(cfg.Post, f)
+	}
+	return exec.NewSlidingWindow(cfg), nil
+}
+
+// joinResolver resolves qualified references over the concatenation of
+// the two join inputs.
+func joinResolver(leftBind string, leftNames []string, rightBind string, rightNames []string) exec.Resolver {
+	return func(ref *gsql.ColumnRef) (int, error) {
+		if ref.Qualifier != "" {
+			switch {
+			case strings.EqualFold(ref.Qualifier, leftBind):
+				for i, nm := range leftNames {
+					if strings.EqualFold(nm, ref.Name) {
+						return i, nil
+					}
+				}
+			case strings.EqualFold(ref.Qualifier, rightBind):
+				for i, nm := range rightNames {
+					if strings.EqualFold(nm, ref.Name) {
+						return len(leftNames) + i, nil
+					}
+				}
+			default:
+				return 0, fmt.Errorf("exec: unknown qualifier %q", ref.Qualifier)
+			}
+			return 0, fmt.Errorf("exec: unknown column %s", ref)
+		}
+		found := -1
+		for i, nm := range leftNames {
+			if strings.EqualFold(nm, ref.Name) {
+				found = i
+			}
+		}
+		for i, nm := range rightNames {
+			if strings.EqualFold(nm, ref.Name) {
+				if found >= 0 {
+					return 0, fmt.Errorf("exec: ambiguous column %q", ref.Name)
+				}
+				found = len(leftNames) + i
+			}
+		}
+		if found < 0 {
+			return 0, fmt.Errorf("exec: unknown column %q", ref.Name)
+		}
+		return found, nil
+	}
+}
+
+func (r *Runner) buildJoin(n *plan.Node, out exec.Consumer) ([]exec.Consumer, error) {
+	leftNames := colNames(n.Inputs[0].OutCols)
+	rightNames := colNames(n.Inputs[1].OutCols)
+	leftRes := exec.ColsResolver(n.LeftBind, leftNames)
+	rightRes := exec.ColsResolver(n.RightBind, rightNames)
+
+	cfg := exec.JoinConfig{Type: n.JoinType, Out: out}
+	cfg.Left.Width, cfg.Right.Width = len(leftNames), len(rightNames)
+	cfg.Left.TemporalIdx, cfg.Right.TemporalIdx = n.TemporalKey, n.TemporalKey
+
+	for i := range n.LeftKeys {
+		lf, err := exec.Compile(n.LeftKeys[i], leftRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := exec.Compile(n.RightKeys[i], rightRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Left.Keys = append(cfg.Left.Keys, lf)
+		cfg.Right.Keys = append(cfg.Right.Keys, rf)
+	}
+	lwm, err := r.epochOfWM(n.SideLineage(0, n.LeftKeys[n.TemporalKey]))
+	if err != nil {
+		return nil, err
+	}
+	rwm, err := r.epochOfWM(n.SideLineage(1, n.RightKeys[n.TemporalKey]))
+	if err != nil {
+		return nil, err
+	}
+	cfg.Left.MinFutureKey, cfg.Right.MinFutureKey = lwm, rwm
+
+	comb := joinResolver(n.LeftBind, leftNames, n.RightBind, rightNames)
+	if n.Residual != nil {
+		f, err := exec.Compile(n.Residual, comb, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Residual = f
+	}
+	for _, p := range n.JoinProjs {
+		f, err := exec.Compile(p.Expr, comb, r.params)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Projs = append(cfg.Projs, f)
+	}
+	j := exec.NewJoin(cfg)
+	// Side filters split out of the WHERE clause apply before the join
+	// tables; interpose lightweight local filters on the ports.
+	left, right := exec.Consumer(j.LeftIn()), exec.Consumer(j.RightIn())
+	if n.LeftFilter != nil {
+		f, err := exec.Compile(n.LeftFilter, leftRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		left = &exec.FilterProject{Filter: f, Out: left}
+	}
+	if n.RightFilter != nil {
+		f, err := exec.Compile(n.RightFilter, rightRes, r.params)
+		if err != nil {
+			return nil, err
+		}
+		right = &exec.FilterProject{Filter: f, Out: right}
+	}
+	return []exec.Consumer{left, right}, nil
+}

@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"testing"
+
+	"qap/internal/core"
+	"qap/internal/exec"
+	"qap/internal/optimizer"
+)
+
+// keyOf identifies a window row by its group columns (pane, src, dst).
+func keyOf(r exec.Tuple) string { return exec.Key(r[:3]) }
+
+const slidingQuery = `
+query sliding_flows:
+SELECT pane, srcIP, destIP, COUNT(*) AS cnt, SUM(len) AS bytes, AVG(len) AS alen
+FROM TCP
+GROUP BY time/10 AS pane, srcIP, destIP
+WINDOW 6`
+
+// TestSlidingWindowDistributedEquivalence: pane-based sliding windows
+// under every strategy must match the centralized run — per-partition
+// windows under a compatible partitioning, and the central
+// cross-host-merging window under round robin.
+func TestSlidingWindowDistributedEquivalence(t *testing.T) {
+	tr := smallTrace(t)
+	g := buildGraph(t, slidingQuery)
+	want := centralized(t, g, tr)
+	if len(want.Outputs["sliding_flows"]) == 0 {
+		t.Fatal("no window rows")
+	}
+	for _, cfg := range []struct {
+		name string
+		ps   core.Set
+		o    optimizer.Options
+	}{
+		{"round-robin", nil, optimizer.Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true, PartialScope: optimizer.ScopeHost}},
+		{"round-robin-partition-scope", nil, optimizer.Options{Hosts: 3, PartitionsPerHost: 2, PartialAgg: true, PartialScope: optimizer.ScopePartition}},
+		{"partitioned", core.MustParseSet("srcIP, destIP"), optimizer.Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true}},
+	} {
+		t.Run(cfg.name, func(t *testing.T) {
+			got := runConfig(t, g, cfg.ps, cfg.o, tr)
+			// AVG reassociates floating point; compare with the
+			// multiset on integer columns and tolerance on AVG.
+			wr, gr := want.Outputs["sliding_flows"], got.Outputs["sliding_flows"]
+			if len(wr) != len(gr) {
+				t.Fatalf("row counts: %d vs %d", len(wr), len(gr))
+			}
+			type row struct{ cnt, bytes uint64 }
+			idx := make(map[string]row, len(wr))
+			for _, r := range wr {
+				c, _ := r[3].AsUint()
+				b, _ := r[4].AsUint()
+				idx[keyOf(r)] = row{c, b}
+			}
+			for _, r := range gr {
+				c, _ := r[3].AsUint()
+				b, _ := r[4].AsUint()
+				w, ok := idx[keyOf(r)]
+				if !ok || w.cnt != c || w.bytes != b {
+					t.Fatalf("window row mismatch: %v (want %+v)", r, w)
+				}
+			}
+		})
+	}
+}
+
+func TestWindowOneEqualsTumbling(t *testing.T) {
+	tr := smallTrace(t)
+	sliding := buildGraph(t, `
+query flows:
+SELECT tb, srcIP, destIP, COUNT(*) AS cnt
+FROM TCP GROUP BY time/60 AS tb, srcIP, destIP
+WINDOW 1`)
+	tumbling := buildGraph(t, `
+query flows:
+SELECT tb, srcIP, destIP, COUNT(*) AS cnt
+FROM TCP GROUP BY time/60 AS tb, srcIP, destIP`)
+	a := centralized(t, sliding, tr)
+	b := centralized(t, tumbling, tr)
+	sameOutputs(t, "flows", b.Outputs["flows"], a.Outputs["flows"])
+}
+
+func TestWindowedPlanShapes(t *testing.T) {
+	g := buildGraph(t, slidingQuery)
+	// Compatible: sub + window per partition, nothing central.
+	p := optimizer.MustBuild(g, core.MustParseSet("srcIP, destIP"),
+		optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true})
+	if p.CountKind(optimizer.OpWindow) != 4 || p.CountKind(optimizer.OpAggSub) != 4 {
+		t.Errorf("compatible windowed plan: %d windows, %d subs\n%s",
+			p.CountKind(optimizer.OpWindow), p.CountKind(optimizer.OpAggSub), p)
+	}
+	// Incompatible: per-host subs + one central window.
+	p2 := optimizer.MustBuild(g, nil,
+		optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true, PartialScope: optimizer.ScopeHost})
+	if p2.CountKind(optimizer.OpWindow) != 1 || p2.CountKind(optimizer.OpAggSub) != 2 {
+		t.Errorf("incompatible windowed plan: %d windows, %d subs\n%s",
+			p2.CountKind(optimizer.OpWindow), p2.CountKind(optimizer.OpAggSub), p2)
+	}
+}
+
+func TestWindowTemporalPartitioningRejected(t *testing.T) {
+	// Section 3.5.1: a sliding window must not be partitioned on a
+	// temporal expression — the compatibility test refuses it even
+	// though the same set passes for the tumbling version.
+	sliding := buildGraph(t, slidingQuery)
+	n := sliding.Roots()[0]
+	if core.Compatible(core.MustParseSet("time/10, srcIP, destIP"), n) {
+		t.Error("temporal element must be incompatible with a sliding window")
+	}
+	tumbling := buildGraph(t, `
+query flows:
+SELECT pane, srcIP, destIP, COUNT(*) AS cnt
+FROM TCP GROUP BY time/10 AS pane, srcIP, destIP`)
+	if !core.Compatible(core.MustParseSet("time/10, srcIP, destIP"), tumbling.Roots()[0]) {
+		t.Error("the same set should be compatible with the tumbling version")
+	}
+}

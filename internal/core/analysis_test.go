@@ -1,0 +1,405 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/plan"
+	"qap/internal/schema"
+)
+
+const tcpDDL = `TCP(time increasing, srcIP, destIP, srcPort, destPort, len, flags)`
+
+func buildGraph(t *testing.T, ddl, queries string) *plan.Graph {
+	t.Helper()
+	cat, err := schema.Parse(ddl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := gsql.ParseQuerySet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := plan.Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// Paper Section 3.2 / 6.3 query set.
+const complexSet = `
+query flows:
+SELECT tb, srcIP, destIP, COUNT(*) as cnt
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP
+
+query heavy_flows:
+SELECT tb, srcIP, max(cnt) as max_cnt
+FROM flows
+GROUP BY tb, srcIP
+
+query flow_pairs:
+SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt
+FROM heavy_flows S1, heavy_flows S2
+WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1
+`
+
+func TestNodeRequirementsPaperSection32(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	flows, _ := g.Node("flows")
+	hf, _ := g.Node("heavy_flows")
+	fp, _ := g.Node("flow_pairs")
+
+	// gamma1 benefits from (srcIP, destIP).
+	rf := NodeRequirement(flows)
+	if !rf.Set.Equal(MustParseSet("srcIP, destIP")) {
+		t.Errorf("flows requirement = %s, want (destIP, srcIP)", rf.Set)
+	}
+	// gamma2 and the self-join want (srcIP).
+	if r := NodeRequirement(hf); !r.Set.Equal(MustParseSet("srcIP")) {
+		t.Errorf("heavy_flows requirement = %s", r.Set)
+	}
+	if r := NodeRequirement(fp); !r.Set.Equal(MustParseSet("srcIP")) {
+		t.Errorf("flow_pairs requirement = %s", r.Set)
+	}
+}
+
+func TestReconcileSetsPaperSection4(t *testing.T) {
+	// Reconcile({srcIP,destIP}, {srcIP,destIP,srcPort,destPort}) =
+	// {srcIP, destIP}.
+	got := Reconcile(MustParseSet("srcIP, destIP"), MustParseSet("srcIP, destIP, srcPort, destPort"))
+	if !got.Equal(MustParseSet("srcIP, destIP")) {
+		t.Errorf("reconcile = %s", got)
+	}
+	// Reconcile({time/60, srcIP, destIP}, {time/90, srcIP & 0xFFF0}) =
+	// {time/180, srcIP & 0xFFF0}.
+	got = Reconcile(MustParseSet("time/60, srcIP, destIP"), MustParseSet("time/90, srcIP & 0xFFF0"))
+	if !got.Equal(MustParseSet("time/180, srcIP & 0xFFF0")) {
+		t.Errorf("reconcile = %s, want (srcIP & 0xFFF0, time / 180)", got)
+	}
+	// Conflicting sets reconcile to empty.
+	got = Reconcile(MustParseSet("srcIP"), MustParseSet("destIP"))
+	if !got.IsEmpty() {
+		t.Errorf("srcIP vs destIP should conflict, got %s", got)
+	}
+}
+
+func TestCompatibilityPaperSection34(t *testing.T) {
+	g := buildGraph(t, `PKT(time increasing, srcIP, destIP, len)`, `
+SELECT tb, srcIP, destIP, sum(len) AS bytes
+FROM PKT
+GROUP BY time/60 AS tb, srcIP, destIP`)
+	n := g.Roots()[0]
+	// (time/60, srcIP, destIP) lets each host run the aggregation
+	// locally.
+	if !Compatible(MustParseSet("time/60, srcIP, destIP"), n) {
+		t.Error("(time/60, srcIP, destIP) should be compatible")
+	}
+	// The paper's explicitly compatible example, with coarsened
+	// scalar expressions including the temporal one.
+	if !Compatible(MustParseSet("(time/60)/2, srcIP & 0xFFF0, destIP & 0xFF00"), n) {
+		t.Error("{(time/60)/2, srcIP & 0xFFF0, destIP & 0xFF00} should be compatible")
+	}
+	// The paper's explicitly incompatible example: raw time splits a
+	// 60-second epoch across partitions.
+	if Compatible(MustParseSet("time, srcIP, destIP"), n) {
+		t.Error("{time, srcIP, destIP} must be incompatible")
+	}
+	// Partitioning on ports splits groups.
+	if Compatible(MustParseSet("srcPort"), n) {
+		t.Error("srcPort not in group-by; must be incompatible")
+	}
+	// The empty set is compatible with nothing.
+	if Compatible(nil, n) {
+		t.Error("empty set must be incompatible")
+	}
+	// Subsets of a compatible set are compatible.
+	if !Compatible(MustParseSet("srcIP"), n) || !Compatible(MustParseSet("destIP"), n) {
+		t.Error("singleton subsets should be compatible")
+	}
+}
+
+func TestTcpFlowsFlowCntExample(t *testing.T) {
+	// Paper Section 4 example: tcp_flows and flow_cnt.
+	g := buildGraph(t, tcpDDL, `
+query tcp_flows:
+SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*), SUM(len)
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort
+
+query flow_cnt:
+SELECT tb, srcIP, destIP, count(*)
+FROM tcp_flows
+GROUP BY tb, srcIP, destIP`)
+	tf, _ := g.Node("tcp_flows")
+	fc, _ := g.Node("flow_cnt")
+	rtf, rfc := NodeRequirement(tf), NodeRequirement(fc)
+	if !rtf.Set.Equal(MustParseSet("srcIP, destIP, srcPort, destPort")) {
+		t.Errorf("tcp_flows requirement = %s", rtf.Set)
+	}
+	if !rfc.Set.Equal(MustParseSet("srcIP, destIP")) {
+		t.Errorf("flow_cnt requirement = %s", rfc.Set)
+	}
+	// Their reconciliation is {srcIP, destIP}, compatible with both.
+	rec := Reconcile(rtf.Set, rfc.Set)
+	if !rec.Equal(MustParseSet("srcIP, destIP")) {
+		t.Errorf("reconciled = %s", rec)
+	}
+	if !Compatible(rec, tf) || !Compatible(rec, fc) {
+		t.Error("reconciled set must be compatible with both queries")
+	}
+}
+
+func TestOptimizeComplexSetPicksSrcIP(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	res, err := Optimize(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Section 3.2: partitioning on (srcIP) satisfies all queries in
+	// the sample set and minimizes the max network load.
+	if !res.Best.Equal(MustParseSet("srcIP")) {
+		t.Fatalf("best = %s, want (srcIP)\n%s", res.Best, res.Summary())
+	}
+	if res.BestCost >= res.CentralCost {
+		t.Errorf("best cost %.0f should beat centralized %.0f", res.BestCost, res.CentralCost)
+	}
+	// All three queries distributable under the winner.
+	for _, name := range []string{"flows", "heavy_flows", "flow_pairs"} {
+		n, _ := g.Node(name)
+		if !Distributable(res.Best, n) {
+			t.Errorf("%s should be distributable under %s", name, res.Best)
+		}
+	}
+	// Under the suboptimal (srcIP, destIP) of Figure 12, only flows is
+	// compatible.
+	partial := MustParseSet("srcIP, destIP")
+	flows, _ := g.Node("flows")
+	hf, _ := g.Node("heavy_flows")
+	if !Compatible(partial, flows) {
+		t.Error("flows should be compatible with (srcIP, destIP)")
+	}
+	if Compatible(partial, hf) {
+		t.Error("heavy_flows must be incompatible with (srcIP, destIP)")
+	}
+}
+
+func TestOptimizeQuerySetSection62(t *testing.T) {
+	// Section 6.2: subnet aggregation (srcIP & 0xFFF0, destIP) plus a
+	// jitter self-join on (srcIP, destIP, srcPort, destPort). The
+	// optimal is the aggregation's set because the aggregation
+	// dominates the network load.
+	g := buildGraph(t, tcpDDL, `
+query subnet_agg:
+SELECT tb, subnet, destIP, COUNT(*), SUM(len)
+FROM TCP
+GROUP BY time/60 AS tb, srcIP & 0xFFF0 AS subnet, destIP
+
+query jitter:
+SELECT S1.time, S1.srcIP, S1.destIP, S2.time - S1.time AS delay
+FROM TCP S1, TCP S2
+WHERE S1.time = S2.time AND S1.srcIP = S2.srcIP AND S1.destIP = S2.destIP
+  AND S1.srcPort = S2.srcPort AND S1.destPort = S2.destPort`)
+	agg, _ := g.Node("subnet_agg")
+	join, _ := g.Node("jitter")
+	if r := NodeRequirement(agg); !r.Set.Equal(MustParseSet("srcIP & 0xFFF0, destIP")) {
+		t.Errorf("subnet_agg requirement = %s", r.Set)
+	}
+	if r := NodeRequirement(join); !r.Set.Equal(MustParseSet("srcIP, destIP, srcPort, destPort")) {
+		t.Errorf("jitter requirement = %s", r.Set)
+	}
+	// The two requirements reconcile: srcIP&0xFFF0 is a function of
+	// srcIP, destIP of destIP.
+	rec := Reconcile(NodeRequirement(agg).Set, NodeRequirement(join).Set)
+	if !rec.Equal(MustParseSet("srcIP & 0xFFF0, destIP")) {
+		t.Errorf("reconciled = %s", rec)
+	}
+	// The join tower: (srcIP&0xFFF0, destIP) is compatible with the
+	// join too (coarsening of its keys), so the optimizer should find
+	// it and it should satisfy both.
+	stats := NewStaticStats()
+	// The aggregation dominates: it emits far more distinct groups
+	// than the join emits matches.
+	stats.SetSelectivity("subnet_agg", 0.3)
+	stats.SetSelectivity("jitter", 0.01)
+	res, err := Optimize(g, stats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Compatible(res.Best, agg) {
+		t.Errorf("best %s must satisfy the dominant aggregation\n%s", res.Best, res.Summary())
+	}
+	if !Compatible(res.Best, join) {
+		t.Errorf("best %s should also satisfy the join via coarsening", res.Best)
+	}
+}
+
+func TestConflictingQueriesTieBreakByTotal(t *testing.T) {
+	// Two aggregations with disjoint requirements over the same raw
+	// stream: whichever query is left unsatisfied centralizes and
+	// pulls the full stream, so the max-node objective ties with the
+	// centralized baseline either way. The tie breaks on total
+	// traffic: satisfying the query whose distributed output union is
+	// cheapest adds the least on top of the unavoidable raw feed.
+	g := buildGraph(t, tcpDDL, `
+query by_src:
+SELECT tb, srcIP, COUNT(*) FROM TCP GROUP BY time/60 AS tb, srcIP
+
+query by_dst:
+SELECT tb, destIP, COUNT(*) FROM TCP GROUP BY time/60 AS tb, destIP`)
+	stats := NewStaticStats()
+	stats.SetSelectivity("by_src", 0.001) // tiny output: cheap to union
+	stats.SetSelectivity("by_dst", 0.5)   // heavy output
+	res, err := Optimize(g, stats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost != res.CentralCost {
+		t.Errorf("max objective should tie with centralized: %f vs %f", res.BestCost, res.CentralCost)
+	}
+	bySrc, _ := g.Node("by_src")
+	if !Compatible(res.Best, bySrc) {
+		t.Errorf("best = %s should satisfy by_src (cheapest union)\n%s", res.Best, res.Summary())
+	}
+}
+
+func TestOptimizeNoUsefulPartitioning(t *testing.T) {
+	// A single global aggregation (no non-temporal group attributes):
+	// nothing to partition on.
+	g := buildGraph(t, tcpDDL, `
+SELECT tb, COUNT(*) FROM TCP GROUP BY time/60 AS tb`)
+	res, err := Optimize(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Best.IsEmpty() {
+		t.Errorf("best = %s, want empty (centralize)", res.Best)
+	}
+	if res.BestCost != res.CentralCost {
+		t.Errorf("best cost %f != central %f", res.BestCost, res.CentralCost)
+	}
+}
+
+func TestCostModelShape(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	cm := NewCostModel(g, nil)
+	flows, _ := g.Node("flows")
+	fp, _ := g.Node("flow_pairs")
+
+	// Centralized: the lowest aggregation receives the whole stream.
+	central := cm.PlanCost(nil)
+	if central != cm.InputByteRate(flows) {
+		t.Errorf("central cost %f != flows input %f", central, cm.InputByteRate(flows))
+	}
+	// Fully compatible (srcIP): only the final union pays, at the
+	// root's output rate.
+	full := cm.PlanCost(MustParseSet("srcIP"))
+	if full != cm.OutputByteRate(fp) {
+		t.Errorf("full cost %f != flow_pairs output %f", full, cm.OutputByteRate(fp))
+	}
+	// Partially compatible (srcIP, destIP): heavy_flows centralizes,
+	// paying flows' output rate.
+	partial := cm.PlanCost(MustParseSet("srcIP, destIP"))
+	if partial != cm.OutputByteRate(flows) {
+		t.Errorf("partial cost %f != flows output %f", partial, cm.OutputByteRate(flows))
+	}
+	if !(full < partial && partial < central) {
+		t.Errorf("cost ordering violated: full=%f partial=%f central=%f", full, partial, central)
+	}
+	// Explain output mentions each query.
+	exp := cm.Explain(MustParseSet("srcIP"))
+	for _, name := range []string{"flows", "heavy_flows", "flow_pairs"} {
+		if !strings.Contains(exp, name) {
+			t.Errorf("Explain missing %s:\n%s", name, exp)
+		}
+	}
+}
+
+func TestCostObjectiveAblation(t *testing.T) {
+	// The paper argues for minimizing the *maximum* per-node network
+	// load rather than the sum. Construct a set where the objectives
+	// disagree: one heavy query and two light ones with a shared
+	// requirement that conflicts with the heavy query's.
+	g := buildGraph(t, tcpDDL, `
+query heavy:
+SELECT tb, srcIP, COUNT(*) FROM TCP GROUP BY time/60 AS tb, srcIP
+
+query light1:
+SELECT tb, destIP, COUNT(*) FROM TCP GROUP BY time/60 AS tb, destIP
+
+query light2:
+SELECT tb, destIP, SUM(len) FROM TCP GROUP BY time/60 AS tb, destIP`)
+	stats := NewStaticStats()
+	stats.SetSelectivity("heavy", 0.6)
+	stats.SetSelectivity("light1", 0.01)
+	stats.SetSelectivity("light2", 0.01)
+	cm := NewCostModel(g, stats)
+
+	src := MustParseSet("srcIP")  // satisfies heavy only
+	dst := MustParseSet("destIP") // satisfies both light queries
+
+	// Max objective: both choices leave one full-stream centralization,
+	// so the max ties; the totals differ.
+	if cm.PlanCost(src) != cm.PlanCost(dst) {
+		t.Fatalf("max objective should tie: %f vs %f", cm.PlanCost(src), cm.PlanCost(dst))
+	}
+	if cm.TotalCost(src) <= cm.TotalCost(dst) {
+		t.Fatalf("sum objective should disagree: src %f vs dst %f",
+			cm.TotalCost(src), cm.TotalCost(dst))
+	}
+	// The search breaks the max tie by total, picking the cheaper sum.
+	res, err := Optimize(g, stats, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	light1, _ := g.Node("light1")
+	if !Compatible(res.Best, light1) {
+		t.Errorf("best %s should satisfy the cheaper-union light queries\n%s", res.Best, res.Summary())
+	}
+}
+
+func TestSetNormalizeAndSubset(t *testing.T) {
+	// Duplicate attributes keep the finer element.
+	s := MustParseSet("srcIP & 0xFF00, srcIP & 0xFFF0")
+	if len(s) != 1 || s[0].String() != "srcIP & 0xFFF0" {
+		t.Errorf("normalize kept %s", s)
+	}
+	if !SubsetCompatible(MustParseSet("srcIP & 0xFF00"), MustParseSet("srcIP, destIP")) {
+		t.Error("coarsened singleton should be subset-compatible")
+	}
+	if SubsetCompatible(nil, MustParseSet("srcIP")) {
+		t.Error("empty set is never subset-compatible")
+	}
+	if SubsetCompatible(MustParseSet("srcPort"), MustParseSet("srcIP, destIP")) {
+		t.Error("foreign attribute must not be subset-compatible")
+	}
+}
+
+func TestParseSetHandlesParens(t *testing.T) {
+	s, err := ParseSet("(time/60)/2, srcIP & 0xFFF0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s) != 2 {
+		t.Fatalf("parsed %d elements", len(s))
+	}
+	if _, err := ParseSet("srcIP,,destIP"); err == nil {
+		t.Error("empty element should fail")
+	}
+}
+
+func TestResultSummary(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	res, err := Optimize(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Summary()
+	for _, want := range []string{"recommended:", "flows", "heavy_flows", "flow_pairs", "candidate"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"qap/internal/plan"
+	"qap/internal/schema"
+)
+
+func TestStaticStatsDefaultsAndOverrides(t *testing.T) {
+	s := NewStaticStats()
+	if s.StreamTupleRate("TCP") != 100000 {
+		t.Errorf("default rate = %f", s.StreamTupleRate("TCP"))
+	}
+	s.SetRate("TCP", 5000)
+	if s.StreamTupleRate("tcp") != 5000 {
+		t.Error("SetRate should be case-insensitive")
+	}
+	g := buildGraph(t, tcpDDL, complexSet)
+	flows, _ := g.Node("flows")
+	fp, _ := g.Node("flow_pairs")
+	// Heuristics: aggregation 0.1, join 0.2.
+	if got := s.Selectivity(flows); got != 0.1 {
+		t.Errorf("aggregation selectivity = %f", got)
+	}
+	if got := s.Selectivity(fp); got != 0.2 {
+		t.Errorf("join selectivity = %f", got)
+	}
+	s.SetSelectivity("flows", 0.42)
+	if got := s.Selectivity(flows); got != 0.42 {
+		t.Errorf("override lost: %f", got)
+	}
+	// HAVING halves the aggregation heuristic; filters pass 30%.
+	g2 := buildGraph(t, tcpDDL, `
+query h: SELECT tb, srcIP, COUNT(*) FROM TCP GROUP BY time/60 AS tb, srcIP HAVING COUNT(*) > 5
+query f: SELECT time, srcIP FROM TCP WHERE destPort = 80
+query p: SELECT time, srcIP FROM TCP`)
+	h, _ := g2.Node("h")
+	f, _ := g2.Node("f")
+	p, _ := g2.Node("p")
+	if s.Selectivity(h) != 0.05 || s.Selectivity(f) != 0.3 || s.Selectivity(p) != 1.0 {
+		t.Errorf("heuristics = %f %f %f", s.Selectivity(h), s.Selectivity(f), s.Selectivity(p))
+	}
+}
+
+func TestTupleSizeAccounting(t *testing.T) {
+	cols := []plan.ColDef{
+		{Name: "a", Type: schema.TUint},
+		{Name: "s", Type: schema.TString},
+	}
+	// 8 header + 9 numeric + 24 string.
+	if got := TupleSize(cols); got != 41 {
+		t.Errorf("TupleSize = %f", got)
+	}
+}
+
+func TestRatesComposeThroughDAG(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	stats := NewStaticStats()
+	stats.SetRate("TCP", 1000)
+	stats.SetSelectivity("flows", 0.1)
+	stats.SetSelectivity("heavy_flows", 0.5)
+	stats.SetSelectivity("flow_pairs", 0.25)
+	cm := NewCostModel(g, stats)
+	flows, _ := g.Node("flows")
+	hf, _ := g.Node("heavy_flows")
+	fp, _ := g.Node("flow_pairs")
+	if got := cm.OutputTupleRate(flows); got != 100 {
+		t.Errorf("flows rate = %f", got)
+	}
+	if got := cm.OutputTupleRate(hf); got != 50 {
+		t.Errorf("heavy_flows rate = %f", got)
+	}
+	// Self-join input counts the producer once per side: 100 in.
+	if got := cm.OutputTupleRate(fp); got != 25 {
+		t.Errorf("flow_pairs rate = %f", got)
+	}
+	// Byte rates scale by tuple size.
+	if cm.OutputByteRate(flows) <= cm.OutputTupleRate(flows) {
+		t.Error("byte rate must exceed tuple rate")
+	}
+	if cm.InputByteRate(hf) != cm.OutputByteRate(flows) {
+		t.Error("input rate should equal the child's output rate")
+	}
+}
+
+func TestNodeCostStates(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	cm := NewCostModel(g, nil)
+	flows, _ := g.Node("flows")
+	hf, _ := g.Node("heavy_flows")
+	fp, _ := g.Node("flow_pairs")
+	full := MustParseSet("srcIP")
+	// Fully distributable chain: inner nodes are free, only the root
+	// ships its output.
+	if cm.NodeCost(flows, full) != 0 || cm.NodeCost(hf, full) != 0 {
+		t.Error("inner compatible nodes should cost 0")
+	}
+	if cm.NodeCost(fp, full) != cm.OutputByteRate(fp) {
+		t.Error("root ships its output")
+	}
+	// Partial: heavy_flows centralizes and pays flows' output; the
+	// join reads locally at the center (cost 0).
+	partial := MustParseSet("srcIP, destIP")
+	if cm.NodeCost(hf, partial) != cm.OutputByteRate(flows) {
+		t.Error("central node pays its distributed child's output")
+	}
+	if cm.NodeCost(fp, partial) != 0 {
+		t.Error("central node with central children is local")
+	}
+	// Sources are free.
+	src := g.Sources()[0]
+	if cm.NodeCost(src, full) != 0 {
+		t.Error("sources cost nothing")
+	}
+}
+
+func TestRequirementsMapAndSummaryPerNode(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet+`
+
+query passthru:
+SELECT time, srcIP FROM TCP`)
+	reqs := Requirements(g)
+	found := 0
+	for n, r := range reqs {
+		switch n.QueryName {
+		case "passthru":
+			if !r.Universal {
+				t.Error("select/project must be universal")
+			}
+			found++
+		case "flows":
+			if r.Universal || r.Set.IsEmpty() {
+				t.Error("flows must be constrained")
+			}
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("requirements missing entries: %d", found)
+	}
+	res, err := Optimize(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Summary(), "compatible with any partitioning") {
+		t.Error("summary should call out universal queries")
+	}
+}

@@ -1,0 +1,468 @@
+// Package core implements the paper's primary contribution: the
+// query-aware stream-partitioning analysis. It infers compatible
+// partitioning sets for individual query nodes (Section 3.5),
+// reconciles the conflicting requirements of a query set into a single
+// partitioning set (Section 4.1), and searches for the partitioning
+// that minimizes the maximum network load on any one node under the
+// paper's cost model (Sections 4.2.1-4.2.2).
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"qap/internal/gsql"
+)
+
+// Elem is one element of a partitioning set: a scalar expression over
+// exactly one attribute of a base input stream, written with the
+// attribute as ColumnRef{Qualifier: Stream, Name: Attr}.
+//
+// Under the paper's simplifying assumption that every source stream is
+// partitioned with the same partitioning set, elements are identified
+// by attribute name: TCP.srcIP and PKT.srcIP denote the same
+// partitioning column applied to each stream.
+type Elem struct {
+	Attr string    // base attribute name (canonical: as first seen)
+	Expr gsql.Expr // scalar expression over the attribute
+}
+
+// String renders the element as its expression with an unqualified
+// attribute reference, e.g. "srcIP & 0xFFF0".
+func (e Elem) String() string {
+	out, _ := substituteRefs(e.Expr, func(ref *gsql.ColumnRef) (gsql.Expr, bool) {
+		return &gsql.ColumnRef{Name: ref.Name}, true
+	})
+	return out.String()
+}
+
+// ParseElem parses a partitioning-set element from its textual form,
+// e.g. "srcIP", "srcIP & 0xFFF0", "time/60". The expression must
+// reference exactly one attribute.
+func ParseElem(src string) (Elem, error) {
+	expr, err := gsql.ParseExpr(src)
+	if err != nil {
+		return Elem{}, err
+	}
+	attrs := referencedAttrs(expr)
+	if len(attrs) != 1 {
+		return Elem{}, fmt.Errorf("core: partitioning element %q must reference exactly one attribute, found %d", src, len(attrs))
+	}
+	return Elem{Attr: attrs[0], Expr: expr}, nil
+}
+
+// MustParseElem is ParseElem that panics on error.
+func MustParseElem(src string) Elem {
+	e, err := ParseElem(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func referencedAttrs(e gsql.Expr) []string {
+	seen := make(map[string]bool)
+	var out []string
+	gsql.WalkExpr(e, func(x gsql.Expr) bool {
+		if ref, ok := x.(*gsql.ColumnRef); ok {
+			key := strings.ToLower(ref.Name)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, ref.Name)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sameAttr reports whether two elements partition on the same base
+// attribute (by case-insensitive name, per the shared-set assumption).
+func sameAttr(a, b Elem) bool { return strings.EqualFold(a.Attr, b.Attr) }
+
+// ---- canonical forms ----
+//
+// The reconciliation lattice recognizes the shapes that network
+// monitoring partitioning uses in practice (paper Sections 3.3-4.1):
+//
+//	bare   x             the attribute itself (finest)
+//	div    x / c         epoch bucketing (time/60)
+//	mask   x & m         subnet masking (srcIP & 0xFFF0)
+//	mod    x % c         striping (hash-bucket style)
+//	other  anything else (handled by the function-of containment rule)
+//
+// Shifts are divisions: x>>s = x/2^s for the unsigned attributes
+// partitioning uses, which keeps the division sub-lattice closed under
+// lcm. Nested chains fold: (x/a)/b = x/(a*b); (x&m1)&m2 = x&(m1&m2);
+// (x>>a)>>b = x/2^(a+b); (x%a)%b = x%b when b divides a.
+
+type formKind uint8
+
+const (
+	formBare formKind = iota
+	formDiv
+	formMask
+	formMod
+	formOther
+)
+
+type form struct {
+	kind formKind
+	c    uint64 // divisor or mask
+}
+
+// pow2Shift returns the exponent when the divisor is a power of two.
+func (f form) pow2Shift() (uint64, bool) {
+	if f.kind == formDiv && f.c&(f.c-1) == 0 {
+		return uint64(bits.TrailingZeros64(f.c)), true
+	}
+	return 0, false
+}
+
+// classify extracts the canonical form of an element expression.
+func classify(e gsql.Expr) form {
+	switch t := e.(type) {
+	case *gsql.ColumnRef:
+		return form{kind: formBare}
+	case *gsql.Binary:
+		c, cOK := constOf(t.R)
+		if !cOK {
+			// Allow the constant on the left for & (commutative).
+			if t.Op == gsql.OpBitAnd {
+				if cl, ok := constOf(t.L); ok {
+					return combineMask(classify(t.R), cl)
+				}
+			}
+			return form{kind: formOther}
+		}
+		inner := classify(t.L)
+		switch t.Op {
+		case gsql.OpDiv:
+			return combineDiv(inner, c)
+		case gsql.OpShr:
+			if c >= 64 {
+				return form{kind: formOther}
+			}
+			return combineDiv(inner, uint64(1)<<c)
+		case gsql.OpBitAnd:
+			return combineMask(inner, c)
+		case gsql.OpMod:
+			return combineMod(inner, c)
+		default:
+			return form{kind: formOther}
+		}
+	default:
+		return form{kind: formOther}
+	}
+}
+
+func combineDiv(inner form, c uint64) form {
+	if c == 0 {
+		return form{kind: formOther}
+	}
+	switch inner.kind {
+	case formBare:
+		if c == 1 {
+			return form{kind: formBare}
+		}
+		return form{kind: formDiv, c: c}
+	case formDiv:
+		if inner.c != 0 && c > ^uint64(0)/inner.c {
+			return form{kind: formOther} // overflow
+		}
+		return form{kind: formDiv, c: inner.c * c}
+	default:
+		return form{kind: formOther}
+	}
+}
+
+func combineMod(inner form, c uint64) form {
+	if c == 0 {
+		return form{kind: formOther}
+	}
+	switch inner.kind {
+	case formBare:
+		return form{kind: formMod, c: c}
+	case formMod:
+		// (x%a)%b = x%b exactly when b divides a.
+		if inner.c%c == 0 {
+			return form{kind: formMod, c: c}
+		}
+		return form{kind: formOther}
+	default:
+		return form{kind: formOther}
+	}
+}
+
+func combineMask(inner form, m uint64) form {
+	if m == 0 {
+		return form{kind: formOther}
+	}
+	switch inner.kind {
+	case formBare:
+		return form{kind: formMask, c: m}
+	case formMask:
+		if inner.c&m == 0 {
+			return form{kind: formOther}
+		}
+		return form{kind: formMask, c: inner.c & m}
+	default:
+		return form{kind: formOther}
+	}
+}
+
+func constOf(e gsql.Expr) (uint64, bool) {
+	if n, ok := e.(*gsql.NumberLit); ok && !n.IsFloat {
+		return n.U, true
+	}
+	return 0, false
+}
+
+// shiftAsMask returns the information-content mask of x/2^s: the bits
+// of x that survive.
+func shiftAsMask(s uint64) uint64 {
+	if s >= 64 {
+		return 0
+	}
+	return ^uint64(0) << s
+}
+
+// ---- the coarsening relation ----
+
+// IsCoarseningOf reports whether e is a function of g — i.e. equal
+// values of g imply equal values of e, so partitioning by e keeps
+// together every set of tuples that agree on g. This is the partition
+// compatibility test at the level of single elements.
+func IsCoarseningOf(e, g Elem) bool {
+	if !sameAttr(e, g) {
+		return false
+	}
+	if gsql.EqualExpr(normalizeAttrRef(e.Expr), normalizeAttrRef(g.Expr)) {
+		return true
+	}
+	gf := classify(g.Expr)
+	if gf.kind == formBare {
+		return true // any scalar expression of the bare attribute
+	}
+	ef := classify(e.Expr)
+	switch {
+	case ef.kind == formDiv && gf.kind == formDiv:
+		// x/b is a function of x/a exactly when a divides b: the
+		// width-b buckets are aligned unions of width-a buckets.
+		return ef.c%gf.c == 0
+	case ef.kind == formMask && gf.kind == formMask:
+		return ef.c&^gf.c == 0
+	case ef.kind == formMask && gf.kind == formDiv:
+		// x & m as a function of x/2^s: m must keep no bits below s.
+		if s, ok := gf.pow2Shift(); ok {
+			return ef.c&^shiftAsMask(s) == 0
+		}
+		return false
+	case ef.kind == formDiv && gf.kind == formMask:
+		// x/2^s as a function of x & m: all bits >= s must be in m.
+		if s, ok := ef.pow2Shift(); ok {
+			return shiftAsMask(s)&^gf.c == 0
+		}
+		return false
+	case ef.kind == formMod && gf.kind == formMod:
+		// x%a is a function of x%b exactly when a divides b.
+		return gf.c%ef.c == 0
+	case ef.kind == formMod && gf.kind == formMask:
+		// x%2^k depends only on the low k bits: a function of x&m
+		// when m covers them.
+		if ef.c&(ef.c-1) == 0 {
+			return (ef.c-1)&^gf.c == 0
+		}
+		return false
+	case ef.kind == formMask && gf.kind == formMod:
+		// x&m as a function of x%2^k: m must sit inside the low bits.
+		if gf.c&(gf.c-1) == 0 {
+			return ef.c&^(gf.c-1) == 0
+		}
+		return false
+	}
+	// Containment rule: e = h(g) when replacing every occurrence of
+	// g's expression inside e removes all attribute references.
+	return containsAsFunction(e.Expr, g.Expr)
+}
+
+// containsAsFunction reports whether outer can be written as a
+// function of inner: every occurrence of the partitioned attribute in
+// outer sits inside a subexpression structurally equal to inner.
+func containsAsFunction(outer, inner gsql.Expr) bool {
+	replaced, _ := replaceSubexpr(outer, inner)
+	return len(referencedAttrs(replaced)) == 0
+}
+
+// replaceSubexpr substitutes a placeholder for every subtree of e that
+// equals target (modulo attribute-reference qualifiers).
+func replaceSubexpr(e, target gsql.Expr) (gsql.Expr, bool) {
+	if gsql.EqualExpr(normalizeAttrRef(e), normalizeAttrRef(target)) {
+		return &gsql.StringLit{S: "\x00hole"}, true
+	}
+	switch t := e.(type) {
+	case *gsql.Unary:
+		x, c := replaceSubexpr(t.X, target)
+		return &gsql.Unary{Op: t.Op, X: x}, c
+	case *gsql.Binary:
+		l, c1 := replaceSubexpr(t.L, target)
+		r, c2 := replaceSubexpr(t.R, target)
+		return &gsql.Binary{Op: t.Op, L: l, R: r}, c1 || c2
+	case *gsql.FuncCall:
+		changed := false
+		args := make([]gsql.Expr, len(t.Args))
+		for i, a := range t.Args {
+			x, c := replaceSubexpr(a, target)
+			args[i] = x
+			changed = changed || c
+		}
+		return &gsql.FuncCall{Name: t.Name, Star: t.Star, Args: args}, changed
+	default:
+		return gsql.CloneExpr(e), false
+	}
+}
+
+// normalizeAttrRef strips column-reference qualifiers so that
+// TCP.srcIP and srcIP compare equal; partitioning elements identify
+// attributes by name under the shared-set assumption.
+func normalizeAttrRef(e gsql.Expr) gsql.Expr {
+	out, _ := substituteRefs(e, func(ref *gsql.ColumnRef) (gsql.Expr, bool) {
+		return &gsql.ColumnRef{Name: strings.ToLower(ref.Name)}, true
+	})
+	return out
+}
+
+func substituteRefs(e gsql.Expr, sub func(*gsql.ColumnRef) (gsql.Expr, bool)) (gsql.Expr, bool) {
+	switch t := e.(type) {
+	case *gsql.ColumnRef:
+		return sub(t)
+	case *gsql.NumberLit, *gsql.StringLit, *gsql.ParamRef:
+		return gsql.CloneExpr(e), true
+	case *gsql.Unary:
+		x, ok := substituteRefs(t.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return &gsql.Unary{Op: t.Op, X: x}, true
+	case *gsql.Binary:
+		l, ok := substituteRefs(t.L, sub)
+		if !ok {
+			return nil, false
+		}
+		r, ok := substituteRefs(t.R, sub)
+		if !ok {
+			return nil, false
+		}
+		return &gsql.Binary{Op: t.Op, L: l, R: r}, true
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(t.Args))
+		for i, a := range t.Args {
+			x, ok := substituteRefs(a, sub)
+			if !ok {
+				return nil, false
+			}
+			args[i] = x
+		}
+		return &gsql.FuncCall{Name: t.Name, Star: t.Star, Args: args}, true
+	default:
+		return nil, false
+	}
+}
+
+// ---- element reconciliation ----
+
+// ReconcileElems computes the "least common denominator" of two
+// partitioning elements on the same attribute (paper Section 4.1): the
+// finest expression that is a function of both, so that partitioning
+// by it satisfies queries requiring either. Examples:
+//
+//	time/60  with time/90        -> time/180
+//	srcIP    with srcIP & 0xFFF0 -> srcIP & 0xFFF0
+//	ip & 0xFF00 with ip & 0xFFF0 -> ip & 0xFF00
+//
+// The second result is false when no common coarsening exists.
+func ReconcileElems(a, b Elem) (Elem, bool) {
+	if !sameAttr(a, b) {
+		return Elem{}, false
+	}
+	// Fast paths via the coarsening relation (covers identical
+	// expressions and function-of containment).
+	if IsCoarseningOf(a, b) {
+		return a, true
+	}
+	if IsCoarseningOf(b, a) {
+		return b, true
+	}
+	af, bf := classify(a.Expr), classify(b.Expr)
+	attr := &gsql.ColumnRef{Name: a.Attr}
+	lit := func(u uint64) gsql.Expr {
+		text := fmt.Sprintf("%d", u)
+		if u > 255 && bits.OnesCount64(u)+bits.TrailingZeros64(u) >= 16 {
+			text = fmt.Sprintf("0x%X", u)
+		}
+		return &gsql.NumberLit{U: u, Text: text}
+	}
+	switch {
+	case af.kind == formDiv && bf.kind == formDiv:
+		// x/lcm(a,b) is a function of both x/a and x/b.
+		l := lcm(af.c, bf.c)
+		if l == 0 {
+			return Elem{}, false
+		}
+		return Elem{Attr: a.Attr, Expr: &gsql.Binary{Op: gsql.OpDiv, L: attr, R: lit(l)}}, true
+	case af.kind == formMask && bf.kind == formMask:
+		m := af.c & bf.c
+		if m == 0 {
+			return Elem{}, false
+		}
+		return Elem{Attr: a.Attr, Expr: &gsql.Binary{Op: gsql.OpBitAnd, L: attr, R: lit(m)}}, true
+	case af.kind == formMask && bf.kind == formDiv:
+		return reconcileMaskDiv(a.Attr, af.c, bf, lit, attr)
+	case af.kind == formDiv && bf.kind == formMask:
+		return reconcileMaskDiv(a.Attr, bf.c, af, lit, attr)
+	case af.kind == formMod && bf.kind == formMod:
+		// x%gcd(a,b) is a function of both x%a and x%b.
+		g := gcd(af.c, bf.c)
+		if g <= 1 {
+			return Elem{}, false
+		}
+		return Elem{Attr: a.Attr, Expr: &gsql.Binary{Op: gsql.OpMod, L: attr, R: lit(g)}}, true
+	default:
+		return Elem{}, false
+	}
+}
+
+// reconcileMaskDiv handles a mask against a power-of-two division
+// (x>>s): the bits above s that the mask keeps serve both.
+func reconcileMaskDiv(attrName string, m uint64, div form, lit func(uint64) gsql.Expr, attr gsql.Expr) (Elem, bool) {
+	s, ok := div.pow2Shift()
+	if !ok {
+		return Elem{}, false
+	}
+	common := m & shiftAsMask(s)
+	if common == 0 {
+		return Elem{}, false
+	}
+	return Elem{Attr: attrName, Expr: &gsql.Binary{Op: gsql.OpBitAnd, L: attr, R: lit(common)}}, true
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b uint64) uint64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := gcd(a, b)
+	// Guard overflow; partitioning constants are small in practice.
+	q := a / g
+	if q != 0 && b > ^uint64(0)/q {
+		return 0
+	}
+	return q * b
+}

@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsCoarseningOf(t *testing.T) {
+	cases := []struct {
+		e, g string
+		want bool
+	}{
+		// Anything is a function of the bare attribute.
+		{"srcIP", "srcIP", true},
+		{"srcIP & 0xFFF0", "srcIP", true},
+		{"srcIP / 7", "srcIP", true},
+		// Bare is finer than any proper coarsening.
+		{"srcIP", "srcIP & 0xFFF0", false},
+		// Division: x/b is a function of x/a iff a divides b.
+		{"time / 180", "time / 60", true},
+		{"time / 60", "time / 180", false},
+		{"time / 90", "time / 60", false},
+		// Masks: keep a subset of bits.
+		{"ip & 0xFF00", "ip & 0xFFF0", true},
+		{"ip & 0xFFF0", "ip & 0xFF00", false},
+		{"ip & 0x0F", "ip & 0xF0", false},
+		// Shifts.
+		{"ip >> 8", "ip >> 4", true},
+		{"ip >> 4", "ip >> 8", false},
+		// Power-of-two division is a shift.
+		{"time / 128", "time / 64", true},
+		{"time / 64", "time >> 6", true},
+		{"time >> 7", "time / 64", true},
+		// Mask/shift interplay: x>>8 keeps bits 8.., so it is a
+		// function of x & 0xFFFFFFFFFFFFFF00.
+		{"ip >> 8", "ip & 0xFFFFFFFFFFFFFF00", true},
+		{"ip & 0xF00", "ip >> 8", true},
+		{"ip & 0xF0", "ip >> 8", false},
+		// Containment: (time/60)/2 is a function of time/60.
+		{"(time / 60) / 2", "time / 60", true},
+		{"(time / 60) + 1", "time / 60", true},
+		{"time / 60", "(time / 60) + 1", false},
+		// Different attributes never relate.
+		{"srcIP", "destIP", false},
+		// Folded chains.
+		{"(ip & 0xFFF0) & 0xFF00", "ip & 0xFFF0", true},
+	}
+	for _, c := range cases {
+		e, g := MustParseElem(c.e), MustParseElem(c.g)
+		if got := IsCoarseningOf(e, g); got != c.want {
+			t.Errorf("IsCoarseningOf(%s, %s) = %v, want %v", c.e, c.g, got, c.want)
+		}
+	}
+}
+
+func TestReconcileElems(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want string // "" means no reconciliation
+	}{
+		{"srcIP", "srcIP", "srcIP"},
+		{"srcIP", "srcIP & 0xFFF0", "srcIP & 0xFFF0"},
+		{"srcIP & 0xFFF0", "srcIP", "srcIP & 0xFFF0"},
+		// The paper's Section 4.1 example: time/60 with time/90 ->
+		// time/180.
+		{"time / 60", "time / 90", "time / 180"},
+		{"ip & 0xFF00", "ip & 0xFFF0", "ip & 0xFF00"},
+		{"ip & 0x0F", "ip & 0xF0", ""},
+		{"ip >> 4", "ip >> 8", "ip >> 8"},
+		{"ip & 0xFF0", "ip >> 8", "ip & 3840"},   // 0xF00
+		{"time / 60", "time >> 6", "time / 960"}, // lcm(60, 64)
+		{"time / 60", "ip & 0xF0", ""},           // different attributes
+		{"srcIP", "destIP", ""},
+		{"(time / 60) / 3", "time / 60", "(time / 60) / 3"},
+	}
+	for _, c := range cases {
+		a, b := MustParseElem(c.a), MustParseElem(c.b)
+		got, ok := ReconcileElems(a, b)
+		if c.want == "" {
+			if ok {
+				t.Errorf("ReconcileElems(%s, %s) = %s, want failure", c.a, c.b, got)
+			}
+			continue
+		}
+		if !ok {
+			t.Errorf("ReconcileElems(%s, %s) failed, want %s", c.a, c.b, c.want)
+			continue
+		}
+		want := MustParseElem(c.want)
+		if !exprEqualNoQual(got.Expr, want.Expr) {
+			t.Errorf("ReconcileElems(%s, %s) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestModuloLattice(t *testing.T) {
+	coarsenings := []struct {
+		e, g string
+		want bool
+	}{
+		{"x % 4", "x % 12", true},   // 4 divides 12
+		{"x % 12", "x % 4", false},  // 12 does not divide 4
+		{"x % 5", "x", true},        // anything coarsens bare
+		{"x % 8", "x & 0x7", true},  // low 3 bits determine x%8
+		{"x % 8", "x & 0xF", true},  // and any superset of them
+		{"x % 8", "x & 0xE", false}, // bit 0 missing
+		{"x & 0x3", "x % 8", true},  // mask inside the low bits of 2^3
+		{"x & 0x9", "x % 8", false}, // bit 3 outside
+		{"x % 6", "x & 0x7", false}, // non-power-of-two mod
+		{"(x % 12) % 4", "x % 12", true},
+	}
+	for _, c := range coarsenings {
+		e, g := MustParseElem(c.e), MustParseElem(c.g)
+		if got := IsCoarseningOf(e, g); got != c.want {
+			t.Errorf("IsCoarseningOf(%s, %s) = %v, want %v", c.e, c.g, got, c.want)
+		}
+	}
+	// Reconciliation via gcd.
+	r, ok := ReconcileElems(MustParseElem("x % 12"), MustParseElem("x % 8"))
+	if !ok || r.String() != "x % 4" {
+		t.Errorf("reconcile(x%%12, x%%8) = %v ok=%v, want x %% 4", r, ok)
+	}
+	if _, ok := ReconcileElems(MustParseElem("x % 9"), MustParseElem("x % 8")); ok {
+		t.Error("gcd 1 must not reconcile")
+	}
+}
+
+func TestModuloGcdProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ma, mb := uint64(a%300)+2, uint64(b%300)+2
+		ea := MustParseElem("x % " + uitoa(ma))
+		eb := MustParseElem("x % " + uitoa(mb))
+		r, ok := ReconcileElems(ea, eb)
+		if gcd(ma, mb) <= 1 {
+			return !ok
+		}
+		return ok && IsCoarseningOf(r, ea) && IsCoarseningOf(r, eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconcileElemsSymmetricProperty(t *testing.T) {
+	// Reconciliation over the div sub-lattice always succeeds (lcm),
+	// is symmetric up to expression equality, and the result is a
+	// coarsening of both inputs.
+	f := func(a, b uint16) bool {
+		da, db := uint64(a%500)+1, uint64(b%500)+1
+		ea := MustParseElem("time / " + uitoa(da))
+		eb := MustParseElem("time / " + uitoa(db))
+		r1, ok1 := ReconcileElems(ea, eb)
+		r2, ok2 := ReconcileElems(eb, ea)
+		if !ok1 || !ok2 {
+			return false
+		}
+		return exprEqualNoQual(normalizeAttrRef(r1.Expr), normalizeAttrRef(r2.Expr)) == exprEqualNoQual(normalizeAttrRef(r2.Expr), normalizeAttrRef(r1.Expr)) &&
+			IsCoarseningOf(r1, ea) && IsCoarseningOf(r1, eb) &&
+			IsCoarseningOf(r2, ea) && IsCoarseningOf(r2, eb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconcileMasksProperty(t *testing.T) {
+	// For overlapping masks the reconciliation is the intersection and
+	// coarsens both.
+	f := func(m1, m2 uint32) bool {
+		a := MustParseElem("ip & " + uitoa(uint64(m1)|1))
+		b := MustParseElem("ip & " + uitoa(uint64(m2)|1))
+		r, ok := ReconcileElems(a, b)
+		return ok && IsCoarseningOf(r, a) && IsCoarseningOf(r, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarseningTransitiveProperty(t *testing.T) {
+	// div-lattice transitivity: x/(ab) coarsens x/a, x/(abc) coarsens
+	// x/(ab) and therefore x/a.
+	f := func(a, b, c uint8) bool {
+		da := uint64(a%30) + 1
+		db := da * (uint64(b%30) + 1)
+		dc := db * (uint64(c%30) + 1)
+		e1 := MustParseElem("t / " + uitoa(da))
+		e2 := MustParseElem("t / " + uitoa(db))
+		e3 := MustParseElem("t / " + uitoa(dc))
+		if !IsCoarseningOf(e2, e1) || !IsCoarseningOf(e3, e2) {
+			return false
+		}
+		return IsCoarseningOf(e3, e1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseElemErrors(t *testing.T) {
+	for _, src := range []string{"", "1 + 2", "srcIP + destIP", "(("} {
+		if _, err := ParseElem(src); err == nil {
+			t.Errorf("ParseElem(%q) should fail", src)
+		}
+	}
+}
+
+func TestElemString(t *testing.T) {
+	e := MustParseElem("srcIP & 0xFFF0")
+	if got := e.String(); got != "srcIP & 0xFFF0" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func uitoa(u uint64) string {
+	if u == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for u > 0 {
+		i--
+		buf[i] = byte('0' + u%10)
+		u /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"qap/internal/plan"
+)
+
+// Requirement is what a single query node demands of the stream
+// partitioning (paper Section 3.5).
+type Requirement struct {
+	// Universal marks nodes compatible with any partitioning:
+	// selection/projection, union, and sources (paper Section 3.4:
+	// "other types of streaming queries ... are always compatible").
+	Universal bool
+	// Set is the node's maximal recommended partitioning set — the
+	// one the analysis proposes as a candidate. Temporal attributes
+	// are excluded (paper Section 3.5.1). Any non-empty coarsening
+	// subset is also compatible. When Universal is false and Set is
+	// empty, no useful stream partitioning lets the node run
+	// partitioned (e.g. it groups only on aggregate results or on
+	// temporal attributes).
+	Set Set
+	// CompatSet is the full set used by the compatibility *test*: it
+	// additionally includes temporal expressions, because a
+	// partitioning that includes a coarsening of the window expression
+	// (the paper's {(time/60)/2, ...} example) is still compatible,
+	// even though the analysis never recommends one.
+	CompatSet Set
+}
+
+// NodeRequirement infers the partitioning requirement of one node:
+//
+//   - Aggregation (Section 3.5.2): group-by expressions that trace to
+//     a scalar expression over a single base attribute. Temporal
+//     expressions go to CompatSet only (Section 3.5.1).
+//   - Join (Section 3.5.3): equality predicates whose two sides trace
+//     to the *same* base expression. (When the sides trace to
+//     different expressions of the attribute — e.g. S1.tb = S2.tb+1 —
+//     no single shared partitioning expression can co-locate matching
+//     tuples, so the pair contributes nothing.)
+//   - Selection/projection/source: universal.
+func NodeRequirement(n *plan.Node) Requirement {
+	switch n.Kind {
+	case plan.KindSource, plan.KindSelectProject:
+		return Requirement{Universal: true}
+	case plan.KindAggregate:
+		var rec, full Set
+		for _, g := range n.GroupBy {
+			lin := n.LineageOf(g.Expr)
+			if lin.Base == nil {
+				continue
+			}
+			e := Elem{Attr: lin.Base.Attr, Expr: lin.Base.Expr}
+			if lin.Temporal {
+				// A sliding window's group allocation must not change
+				// mid-window (paper Section 3.5.1), so temporal
+				// expressions are excluded even from the compatibility
+				// test for windowed aggregations.
+				if n.WindowPanes <= 1 {
+					full = append(full, e)
+				}
+				continue
+			}
+			full = append(full, e)
+			rec = append(rec, e)
+		}
+		return Requirement{Set: rec.Normalize(), CompatSet: full.Normalize()}
+	case plan.KindJoin:
+		var rec, full Set
+		for i := range n.LeftKeys {
+			ll := n.SideLineage(0, n.LeftKeys[i])
+			rl := n.SideLineage(1, n.RightKeys[i])
+			if ll.Base == nil || rl.Base == nil {
+				continue
+			}
+			// A shared partitioning expression e routes matching left
+			// and right tuples together only when it is a function of
+			// one expression that both sides compute identically:
+			// e(x_l) = e(x_r) must follow from se_l(x_l) = se_r(x_r),
+			// which a syntactic analysis can only guarantee when
+			// se_l == se_r.
+			if !sameAttr(Elem{Attr: ll.Base.Attr}, Elem{Attr: rl.Base.Attr}) ||
+				!exprEqualNoQual(ll.Base.Expr, rl.Base.Expr) {
+				continue
+			}
+			e := Elem{Attr: ll.Base.Attr, Expr: ll.Base.Expr}
+			full = append(full, e)
+			if !ll.Temporal && !rl.Temporal {
+				rec = append(rec, e)
+			}
+		}
+		return Requirement{Set: rec.Normalize(), CompatSet: full.Normalize()}
+	default:
+		return Requirement{}
+	}
+}
+
+// Compatible reports whether partitioning the source streams by ps is
+// compatible with node n in the paper's Section 3.4 sense: for every
+// time window, n's output equals the stream union of n run
+// independently on each partition. The empty partitioning set is
+// compatible with nothing (it routes tuples arbitrarily).
+func Compatible(ps Set, n *plan.Node) bool {
+	if ps.IsEmpty() {
+		return false
+	}
+	req := NodeRequirement(n)
+	if req.Universal {
+		return true
+	}
+	return SubsetCompatible(ps, req.CompatSet)
+}
+
+// Requirements computes the requirement of every query node in the
+// graph, keyed by node.
+func Requirements(g *plan.Graph) map[*plan.Node]Requirement {
+	out := make(map[*plan.Node]Requirement, len(g.Nodes))
+	for _, n := range g.Nodes {
+		out[n] = NodeRequirement(n)
+	}
+	return out
+}
+
+// Distributable reports whether n and its entire input subtree are
+// compatible with ps, so the optimizer can push n below the partition
+// merges and run one copy per partition (paper Section 5.2's
+// Opt_Eligible condition, applied transitively).
+func Distributable(ps Set, n *plan.Node) bool {
+	if n.Kind == plan.KindSource {
+		return true
+	}
+	if !Compatible(ps, n) {
+		return false
+	}
+	for _, in := range n.Inputs {
+		if !Distributable(ps, in) {
+			return false
+		}
+	}
+	return true
+}

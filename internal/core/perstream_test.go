@@ -1,0 +1,141 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+const twoStreamDDL = `
+TCP(time increasing, srcIP, destIP, srcPort, destPort, len, flags, seq)
+DNS(ts increasing, clientIP, server, qtype, rcode)`
+
+func TestPerStreamIndependentQueries(t *testing.T) {
+	// Two streams with disjoint query groups: the shared-set
+	// assumption forces an empty reconciliation (srcIP and clientIP
+	// never reconcile), while the per-stream analysis satisfies both.
+	g := buildGraph(t, twoStreamDDL, `
+query tcp_flows:
+SELECT tb, srcIP, destIP, COUNT(*) FROM TCP GROUP BY time/60 AS tb, srcIP, destIP
+
+query dns_clients:
+SELECT tb, clientIP, COUNT(*) FROM DNS GROUP BY ts/60 AS tb, clientIP`)
+
+	// Single-set analysis conflicts across streams.
+	single, err := Optimize(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpNode, _ := g.Node("tcp_flows")
+	dnsNode, _ := g.Node("dns_clients")
+	if Compatible(single.Best, tcpNode) && Compatible(single.Best, dnsNode) {
+		t.Fatalf("single set %s should not satisfy both disjoint streams", single.Best)
+	}
+
+	per, err := OptimizePerStream(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !per.Sets.Get("TCP").Equal(MustParseSet("srcIP, destIP")) {
+		t.Errorf("TCP set = %s", per.Sets.Get("TCP"))
+	}
+	if !per.Sets.Get("DNS").Equal(MustParseSet("clientIP")) {
+		t.Errorf("DNS set = %s", per.Sets.Get("DNS"))
+	}
+	if !CompatibleStreams(per.Sets, tcpNode) || !CompatibleStreams(per.Sets, dnsNode) {
+		t.Errorf("per-stream sets %s must satisfy both queries", per.Sets)
+	}
+	if !DistributableStreams(per.Sets, tcpNode) {
+		t.Error("tcp_flows should be distributable")
+	}
+}
+
+func TestPerStreamCrossJoinDifferentAttrNames(t *testing.T) {
+	// A cross-stream join on differently named attributes: impossible
+	// under the shared-set assumption, supported per stream with
+	// position-aligned sets.
+	g := buildGraph(t, twoStreamDDL, `
+query lookups:
+SELECT TCP.time, TCP.srcIP, DNS.server
+FROM TCP JOIN DNS
+WHERE TCP.time = DNS.ts AND TCP.srcIP = DNS.clientIP`)
+	j, _ := g.Node("lookups")
+
+	// Shared-set inference skips the pair (attr names differ).
+	if r := NodeRequirement(j); !r.Set.IsEmpty() {
+		t.Fatalf("shared-set requirement should be empty, got %s", r.Set)
+	}
+
+	per, err := OptimizePerStream(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcp, dns := per.Sets.Get("TCP"), per.Sets.Get("DNS")
+	if len(tcp) != 1 || len(dns) != 1 {
+		t.Fatalf("per-stream sets = %s", per.Sets)
+	}
+	if tcp[0].String() != "srcIP" || dns[0].String() != "clientIP" {
+		t.Errorf("aligned sets = %s / %s", tcp, dns)
+	}
+	if !CompatibleStreams(per.Sets, j) {
+		t.Error("aligned per-stream sets must make the join compatible")
+	}
+	if len(per.CrossJoins) != 1 || per.CrossJoins[0] != "lookups" {
+		t.Errorf("cross joins = %v", per.CrossJoins)
+	}
+	// Misaligned shapes break compatibility.
+	bad := StreamSets{
+		"tcp": MustParseSet("srcIP & 0xFF00"),
+		"dns": MustParseSet("clientIP"),
+	}
+	if CompatibleStreams(bad, j) {
+		t.Error("different shapes must be incompatible")
+	}
+	// Same shape on both sides is fine.
+	good := StreamSets{
+		"tcp": MustParseSet("srcIP & 0xFF00"),
+		"dns": MustParseSet("clientIP & 0xFF00"),
+	}
+	if !CompatibleStreams(good, j) {
+		t.Error("same-shaped coarsening should remain compatible")
+	}
+	// Length mismatch is incompatible.
+	if CompatibleStreams(StreamSets{
+		"tcp": MustParseSet("srcIP"),
+		"dns": MustParseSet("clientIP, server"),
+	}, j) {
+		t.Error("length mismatch must be incompatible")
+	}
+}
+
+func TestPerStreamSelfJoinUnchanged(t *testing.T) {
+	// Per-stream semantics on a single-stream query set degenerate to
+	// the shared-set analysis.
+	g := buildGraph(t, tcpDDL, complexSet)
+	per, err := OptimizePerStream(g, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !per.Sets.Get("TCP").Equal(MustParseSet("srcIP")) {
+		t.Errorf("TCP set = %s, want (srcIP)", per.Sets.Get("TCP"))
+	}
+	for _, name := range []string{"flows", "heavy_flows", "flow_pairs"} {
+		n, _ := g.Node(name)
+		if !CompatibleStreams(per.Sets, n) {
+			t.Errorf("%s should be compatible", name)
+		}
+	}
+}
+
+func TestStreamSetsString(t *testing.T) {
+	ss := StreamSets{"tcp": MustParseSet("srcIP"), "dns": MustParseSet("clientIP")}
+	s := ss.String()
+	if !strings.Contains(s, "dns:(clientIP)") || !strings.Contains(s, "tcp:(srcIP)") {
+		t.Errorf("StreamSets string = %q", s)
+	}
+	if ss.IsEmpty() {
+		t.Error("non-empty sets reported empty")
+	}
+	if !(StreamSets{}).IsEmpty() {
+		t.Error("empty sets reported non-empty")
+	}
+}

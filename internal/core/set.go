@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qap/internal/gsql"
+)
+
+// exprEqualNoQual compares two element expressions modulo attribute
+// qualifiers and identifier case.
+func exprEqualNoQual(a, b gsql.Expr) bool {
+	return gsql.EqualExpr(normalizeAttrRef(a), normalizeAttrRef(b))
+}
+
+// Set is a partitioning set: an unordered collection of elements, each
+// a scalar expression over one base attribute (paper Section 3.3).
+// The tuple's partition is determined by hashing the element values
+// together. Any non-empty subset of a compatible partitioning set is
+// also compatible, so sets are kept deduplicated with at most one
+// element per attribute (two elements on the same attribute are
+// redundant: the finer one determines the coarser).
+type Set []Elem
+
+// ParseSet parses a comma-separated partitioning set such as
+// "srcIP & 0xFFF0, destIP".
+func ParseSet(src string) (Set, error) {
+	src = strings.TrimSpace(src)
+	if src == "" {
+		return nil, nil
+	}
+	var out Set
+	depth := 0
+	start := 0
+	flush := func(end int) error {
+		part := strings.TrimSpace(src[start:end])
+		if part == "" {
+			return fmt.Errorf("core: empty element in partitioning set %q", src)
+		}
+		e, err := ParseElem(part)
+		if err != nil {
+			return err
+		}
+		out = append(out, e)
+		return nil
+	}
+	for i := 0; i < len(src); i++ {
+		switch src[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				if err := flush(i); err != nil {
+					return nil, err
+				}
+				start = i + 1
+			}
+		}
+	}
+	if err := flush(len(src)); err != nil {
+		return nil, err
+	}
+	return out.Normalize(), nil
+}
+
+// MustParseSet is ParseSet that panics on error.
+func MustParseSet(src string) Set {
+	s, err := ParseSet(src)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Normalize deduplicates the set, keeping one element per attribute.
+// When two elements partition the same attribute, the finer one (the
+// one the other is a function of) is kept; unrelated pairs keep the
+// first. The result is sorted by attribute for deterministic output.
+func (s Set) Normalize() Set {
+	var out Set
+	for _, e := range s {
+		merged := false
+		for i, have := range out {
+			if !sameAttr(have, e) {
+				continue
+			}
+			merged = true
+			// Keep the finer of the two: if have is a function of e,
+			// e is finer.
+			if IsCoarseningOf(have, e) && !exprEqualNoQual(have.Expr, e.Expr) {
+				out[i] = e
+			}
+			break
+		}
+		if !merged {
+			out = append(out, e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return strings.ToLower(out[i].Attr) < strings.ToLower(out[j].Attr)
+	})
+	return out
+}
+
+// String renders the set in the paper's parenthesized form, e.g.
+// "(srcIP & 0xFFF0, destIP)"; the empty set renders as "()".
+func (s Set) String() string {
+	parts := make([]string, len(s))
+	for i, e := range s {
+		parts[i] = e.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s Set) IsEmpty() bool { return len(s) == 0 }
+
+// Equal reports whether two normalized sets have the same elements.
+func (s Set) Equal(o Set) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	a, b := s.Normalize(), o.Normalize()
+	for i := range a {
+		if !sameAttr(a[i], b[i]) || !exprEqualNoQual(a[i].Expr, b[i].Expr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Reconcile computes the largest partitioning set compatible with
+// queries requiring either input set (paper Section 4.1,
+// Reconcile_Partn_Sets): elements on the same attribute reconcile via
+// the scalar-expression lattice; attributes present in only one input
+// are dropped, since partitioning on them would split the other
+// query's groups. The empty set means the requirements conflict.
+func Reconcile(a, b Set) Set {
+	var out Set
+	for _, ea := range a {
+		for _, eb := range b {
+			if !sameAttr(ea, eb) {
+				continue
+			}
+			if r, ok := ReconcileElems(ea, eb); ok {
+				out = append(out, r)
+			}
+		}
+	}
+	return out.Normalize()
+}
+
+// SubsetCompatible reports whether s is element-wise compatible with
+// req: every element of s must be a function of some element of req,
+// so partitioning by s never separates tuples that req would group
+// together. A non-empty s against an empty req is incompatible.
+func SubsetCompatible(s, req Set) bool {
+	if s.IsEmpty() {
+		return false
+	}
+	for _, e := range s {
+		ok := false
+		for _, g := range req {
+			if IsCoarseningOf(e, g) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/sqlval"
+)
+
+// Accum is one aggregate accumulator instance, living for one group in
+// one window epoch.
+type Accum interface {
+	// Add folds one argument value in. COUNT ignores its argument;
+	// NULL arguments are skipped by value-based aggregates (SQL
+	// semantics).
+	Add(v sqlval.Value)
+	// Result produces the aggregate value.
+	Result() sqlval.Value
+}
+
+// AccumFactory creates fresh accumulators for new groups.
+type AccumFactory func() Accum
+
+// NewAccumFactory returns a factory for the named aggregate function.
+// The supported names are those in the gsql registry plus AVG_MERGE,
+// the super-aggregate of a split AVG (its Add receives partial sums
+// via Add and partial counts via Add2; see avgMergeAccum).
+func NewAccumFactory(name string) (AccumFactory, error) {
+	switch strings.ToUpper(name) {
+	case "COUNT":
+		return func() Accum { return &countAccum{} }, nil
+	case "SUM":
+		return func() Accum { return &sumAccum{} }, nil
+	case "MIN":
+		return func() Accum { return &minmaxAccum{wantLess: true} }, nil
+	case "MAX":
+		return func() Accum { return &minmaxAccum{} }, nil
+	case "AVG":
+		return func() Accum { return &avgAccum{} }, nil
+	case "OR_AGGR":
+		return func() Accum { return &bitAccum{op: bitOr} }, nil
+	case "AND_AGGR":
+		return func() Accum { return &bitAccum{op: bitAnd, acc: ^uint64(0)} }, nil
+	case "XOR_AGGR":
+		return func() Accum { return &bitAccum{op: bitXor} }, nil
+	case "COUNT_DISTINCT":
+		return func() Accum { return &countDistinctAccum{seen: make(map[string]bool)} }, nil
+	case "VARIANCE":
+		return func() Accum { return &varAccum{} }, nil
+	case "STDDEV":
+		return func() Accum { return &varAccum{sqrt: true} }, nil
+	case "SUMSQ":
+		return func() Accum { return &sumsqAccum{} }, nil
+	case "APPROX_COUNT_DISTINCT":
+		return func() Accum { return &hllAccum{} }, nil
+	case "HLL_SKETCH":
+		return func() Accum { return &hllSketchAccum{} }, nil
+	case "HLL_MERGE":
+		return func() Accum { return &hllMergeAccum{} }, nil
+	default:
+		return nil, fmt.Errorf("exec: unknown aggregate %q", name)
+	}
+}
+
+// sumsqAccum sums squared values; it is the second moment partial of a
+// split VARIANCE/STDDEV.
+type sumsqAccum struct {
+	sum float64
+	any bool
+}
+
+func (a *sumsqAccum) Add(v sqlval.Value) {
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	a.any = true
+	a.sum += f * f
+}
+
+func (a *sumsqAccum) Result() sqlval.Value {
+	if !a.any {
+		return sqlval.Null
+	}
+	return sqlval.Float(a.sum)
+}
+
+type countAccum struct{ n uint64 }
+
+// Add counts non-NULL values; COUNT(*) callers pass a constant.
+func (a *countAccum) Add(v sqlval.Value) {
+	if !v.IsNull() {
+		a.n++
+	}
+}
+func (a *countAccum) Result() sqlval.Value { return sqlval.Uint(a.n) }
+
+type sumAccum struct {
+	isFloat bool
+	f       float64
+	i       int64
+	any     bool
+}
+
+func (a *sumAccum) Add(v sqlval.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.any = true
+	if v.Kind() == sqlval.KindFloat || a.isFloat {
+		if !a.isFloat {
+			a.isFloat = true
+			a.f = float64(a.i)
+		}
+		f, _ := v.AsFloat()
+		a.f += f
+		return
+	}
+	i, _ := v.AsInt()
+	a.i += i
+}
+
+func (a *sumAccum) Result() sqlval.Value {
+	switch {
+	case !a.any:
+		return sqlval.Null
+	case a.isFloat:
+		return sqlval.Float(a.f)
+	case a.i < 0:
+		return sqlval.Int(a.i)
+	default:
+		return sqlval.Uint(uint64(a.i))
+	}
+}
+
+type minmaxAccum struct {
+	wantLess bool
+	best     sqlval.Value
+	any      bool
+}
+
+func (a *minmaxAccum) Add(v sqlval.Value) {
+	if v.IsNull() {
+		return
+	}
+	if !a.any {
+		a.best, a.any = v, true
+		return
+	}
+	c := v.Compare(a.best)
+	if (a.wantLess && c < 0) || (!a.wantLess && c > 0) {
+		a.best = v
+	}
+}
+
+func (a *minmaxAccum) Result() sqlval.Value {
+	if !a.any {
+		return sqlval.Null
+	}
+	return a.best
+}
+
+type avgAccum struct {
+	sum float64
+	n   uint64
+}
+
+func (a *avgAccum) Add(v sqlval.Value) {
+	if v.IsNull() {
+		return
+	}
+	f, ok := v.AsFloat()
+	if !ok {
+		return
+	}
+	a.sum += f
+	a.n++
+}
+
+func (a *avgAccum) Result() sqlval.Value {
+	if a.n == 0 {
+		return sqlval.Null
+	}
+	return sqlval.Float(a.sum / float64(a.n))
+}
+
+type bitOpKind uint8
+
+const (
+	bitOr bitOpKind = iota
+	bitAnd
+	bitXor
+)
+
+type bitAccum struct {
+	op  bitOpKind
+	acc uint64
+	any bool
+}
+
+func (a *bitAccum) Add(v sqlval.Value) {
+	u, ok := v.AsUint()
+	if !ok {
+		return
+	}
+	a.any = true
+	switch a.op {
+	case bitOr:
+		a.acc |= u
+	case bitAnd:
+		a.acc &= u
+	case bitXor:
+		a.acc ^= u
+	}
+}
+
+func (a *bitAccum) Result() sqlval.Value {
+	if !a.any {
+		return sqlval.Null
+	}
+	return sqlval.Uint(a.acc)
+}
+
+type countDistinctAccum struct {
+	seen map[string]bool
+}
+
+func (a *countDistinctAccum) Add(v sqlval.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.seen[Key([]sqlval.Value{v})] = true
+}
+
+func (a *countDistinctAccum) Result() sqlval.Value {
+	return sqlval.Uint(uint64(len(a.seen)))
+}

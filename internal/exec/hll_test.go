@@ -1,0 +1,127 @@
+package exec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"qap/internal/gsql"
+	"qap/internal/sqlval"
+)
+
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 50000} {
+		acc := &hllAccum{}
+		for i := 0; i < n; i++ {
+			acc.Add(sqlval.Uint(uint64(i) * 2654435761))
+		}
+		got, _ := acc.Result().AsUint()
+		err := math.Abs(float64(got)-float64(n)) / float64(n)
+		// 256 registers give ~6.5% standard error; allow 4 sigma.
+		if err > 0.26 {
+			t.Errorf("HLL estimate for n=%d: got %d (error %.1f%%)", n, got, err*100)
+		}
+	}
+}
+
+func TestHLLDuplicatesIgnored(t *testing.T) {
+	acc := &hllAccum{}
+	for i := 0; i < 10000; i++ {
+		acc.Add(sqlval.Uint(uint64(i % 5)))
+	}
+	got, _ := acc.Result().AsUint()
+	if got < 3 || got > 8 {
+		t.Errorf("5 distinct values estimated as %d", got)
+	}
+	acc.Add(sqlval.Null) // NULLs ignored
+	got2, _ := acc.Result().AsUint()
+	if got2 != got {
+		t.Error("NULL changed the estimate")
+	}
+}
+
+func TestHLLSketchMergeEquivalenceProperty(t *testing.T) {
+	// Splitting values across k sketches and merging must equal the
+	// single-sketch estimate exactly (register-wise max is lossless).
+	f := func(vals []uint32, k uint8) bool {
+		parts := int(k%4) + 1
+		single := &hllAccum{}
+		subs := make([]*hllSketchAccum, parts)
+		for i := range subs {
+			subs[i] = &hllSketchAccum{}
+		}
+		for i, v := range vals {
+			val := sqlval.Uint(uint64(v))
+			single.Add(val)
+			subs[i%parts].Add(val)
+		}
+		merged := &hllMergeAccum{}
+		for _, s := range subs {
+			merged.Add(s.Result())
+		}
+		a, _ := single.Result().AsUint()
+		b, _ := merged.Result().AsUint()
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHLLMergeIgnoresGarbage(t *testing.T) {
+	m := &hllMergeAccum{}
+	m.Add(sqlval.Str("short"))
+	m.Add(sqlval.Uint(5))
+	got, _ := m.Result().AsUint()
+	if got != 0 {
+		t.Errorf("garbage partials should merge to empty, got %d", got)
+	}
+}
+
+func TestVarianceAndStddev(t *testing.T) {
+	vf, _ := NewAccumFactory("VARIANCE")
+	sf, _ := NewAccumFactory("STDDEV")
+	va, sa := vf(), sf()
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		va.Add(sqlval.Float(x))
+		sa.Add(sqlval.Float(x))
+	}
+	v, _ := va.Result().AsFloat()
+	s, _ := sa.Result().AsFloat()
+	if math.Abs(v-4) > 1e-9 {
+		t.Errorf("variance = %g, want 4", v)
+	}
+	if math.Abs(s-2) > 1e-9 {
+		t.Errorf("stddev = %g, want 2", s)
+	}
+	// Empty accumulators yield NULL.
+	if fresh := vf(); !fresh.Result().IsNull() {
+		t.Error("empty variance should be NULL")
+	}
+}
+
+func TestSumsqAccum(t *testing.T) {
+	fac, _ := NewAccumFactory("SUMSQ")
+	acc := fac()
+	acc.Add(sqlval.Uint(3))
+	acc.Add(sqlval.Uint(4))
+	got, _ := acc.Result().AsFloat()
+	if got != 25 {
+		t.Errorf("sumsq = %g, want 25", got)
+	}
+	if fresh := fac(); !fresh.Result().IsNull() {
+		t.Error("empty SUMSQ should be NULL")
+	}
+}
+
+func TestSqrtScalar(t *testing.T) {
+	r := res("x")
+	f := MustCompile(gsql.MustParseExpr("SQRT(x)"), r, nil)
+	got, _ := f(Tuple{sqlval.Uint(9)}).AsFloat()
+	if got != 3 {
+		t.Errorf("SQRT(9) = %g", got)
+	}
+	if !f(Tuple{sqlval.Int(-1)}).IsNull() {
+		t.Error("SQRT of negative should be NULL")
+	}
+}

@@ -1,0 +1,542 @@
+package exec
+
+import (
+	"sort"
+
+	"qap/internal/gsql"
+	"qap/internal/sqlval"
+)
+
+// FilterProject applies an optional predicate and an optional
+// projection; with both nil it is a pass-through.
+type FilterProject struct {
+	Filter EvalFunc   // nil passes all tuples
+	Projs  []EvalFunc // nil forwards tuples unchanged
+	Out    Consumer
+
+	lastWM  uint64
+	wmSeen  bool
+	flushed bool
+}
+
+// Push implements Consumer.
+func (o *FilterProject) Push(t Tuple) {
+	if o.Filter != nil && !o.Filter(t).AsBool() {
+		return
+	}
+	if o.Projs == nil {
+		o.Out.Push(t)
+		return
+	}
+	out := make(Tuple, len(o.Projs))
+	for i, p := range o.Projs {
+		out[i] = p(t)
+	}
+	o.Out.Push(out)
+}
+
+// Advance implements Consumer.
+func (o *FilterProject) Advance(wm uint64) {
+	if o.wmSeen && wm <= o.lastWM {
+		return
+	}
+	o.lastWM, o.wmSeen = wm, true
+	o.Out.Advance(wm)
+}
+
+// Flush implements Consumer.
+func (o *FilterProject) Flush() {
+	if o.flushed {
+		return
+	}
+	o.flushed = true
+	o.Out.Flush()
+}
+
+// Union merges several input streams into one output. Create it with
+// NewUnion, then attach each upstream to its own port (Port(i)). The
+// union forwards the *minimum* watermark over its ports — an upstream
+// aggregate flushing epoch e on its own Advance must deliver those
+// rows before a downstream consumer (a super-aggregate, say) closes
+// epoch e, so the union may not advance until every input has. Flush
+// is likewise forwarded only after every port has flushed.
+type Union struct {
+	Out Consumer
+
+	ports       []*unionPort
+	lastWM      uint64
+	wmForwarded bool
+	flushed     int
+}
+
+// NewUnion creates a union with n input ports.
+func NewUnion(n int, out Consumer) *Union {
+	u := &Union{Out: out}
+	u.ports = make([]*unionPort, n)
+	for i := range u.ports {
+		u.ports[i] = &unionPort{u: u}
+	}
+	return u
+}
+
+// Port returns the i'th input port.
+func (u *Union) Port(i int) Consumer { return u.ports[i] }
+
+// Inputs reports the number of ports.
+func (u *Union) Inputs() int { return len(u.ports) }
+
+// maybeAdvance forwards the minimum watermark across ports when it
+// increases. Ports that have flushed no longer constrain the minimum.
+func (u *Union) maybeAdvance() {
+	min := ^uint64(0)
+	live := false
+	for _, p := range u.ports {
+		if p.flushed {
+			continue
+		}
+		live = true
+		if !p.wmSeen {
+			return // a port has not advanced yet
+		}
+		if p.wm < min {
+			min = p.wm
+		}
+	}
+	if !live {
+		return
+	}
+	if !u.wmForwarded || min > u.lastWM {
+		u.lastWM, u.wmForwarded = min, true
+		u.Out.Advance(min)
+	}
+}
+
+type unionPort struct {
+	u       *Union
+	wm      uint64
+	wmSeen  bool
+	flushed bool
+}
+
+func (p *unionPort) Push(t Tuple) { p.u.Out.Push(t) }
+
+func (p *unionPort) Advance(wm uint64) {
+	if p.wmSeen && wm <= p.wm {
+		return
+	}
+	p.wm, p.wmSeen = wm, true
+	p.u.maybeAdvance()
+}
+
+func (p *unionPort) Flush() {
+	if p.flushed {
+		return
+	}
+	p.flushed = true
+	p.u.flushed++
+	if p.u.flushed == len(p.u.ports) {
+		p.u.Out.Flush()
+		return
+	}
+	// This port no longer holds the minimum back.
+	p.u.maybeAdvance()
+}
+
+// AggColumn configures one aggregate of an aggregation operator.
+type AggColumn struct {
+	Factory AccumFactory
+	// Arg evaluates the aggregate argument; nil means COUNT(*)-style
+	// (count every tuple).
+	Arg EvalFunc
+}
+
+// AggregateConfig configures a tumbling-window aggregation.
+type AggregateConfig struct {
+	// PreFilter applies to input tuples before grouping (a pushed-down
+	// WHERE); nil passes everything.
+	PreFilter EvalFunc
+	// GroupBy computes the group key values from an input tuple.
+	GroupBy []EvalFunc
+	// EpochIdx is the index in GroupBy of the temporal expression the
+	// tumbling window tumbles on; -1 blocks until Flush.
+	EpochIdx int
+	// EpochOfWM translates a base-time watermark into the minimal
+	// epoch value any future tuple can have; groups below it flush.
+	// Required when EpochIdx >= 0.
+	EpochOfWM func(uint64) sqlval.Value
+	// Aggs are the aggregate columns, appended after the group values.
+	Aggs []AggColumn
+	// Having filters finished groups; it sees groups++aggs. Nil passes
+	// all groups.
+	Having EvalFunc
+	// Post computes the output tuple from groups++aggs; nil emits
+	// groups++aggs unchanged.
+	Post []EvalFunc
+	Out  Consumer
+}
+
+type groupState struct {
+	key   string
+	vals  []sqlval.Value
+	accs  []Accum
+	epoch sqlval.Value
+}
+
+// Aggregate is the tumbling-window aggregation operator. It maintains
+// one accumulator row per group and emits each group exactly once,
+// when the watermark passes the group's epoch (or at Flush). Tuples
+// arriving after their epoch closed (watermark violations) are counted
+// and dropped rather than silently re-opening the group, which would
+// emit a duplicate partial result downstream.
+type Aggregate struct {
+	cfg    AggregateConfig
+	groups map[string]*groupState
+
+	// Late counts dropped watermark-violating tuples.
+	Late int64
+
+	boundary    sqlval.Value
+	boundarySet bool
+	lastWM      uint64
+	wmSeen      bool
+	flushed     bool
+}
+
+// NewAggregate builds the operator.
+func NewAggregate(cfg AggregateConfig) *Aggregate {
+	return &Aggregate{cfg: cfg, groups: make(map[string]*groupState)}
+}
+
+// Push implements Consumer.
+func (o *Aggregate) Push(t Tuple) {
+	if o.cfg.PreFilter != nil && !o.cfg.PreFilter(t).AsBool() {
+		return
+	}
+	vals := make([]sqlval.Value, len(o.cfg.GroupBy))
+	for i, g := range o.cfg.GroupBy {
+		vals[i] = g(t)
+	}
+	if o.boundarySet && o.cfg.EpochIdx >= 0 &&
+		!vals[o.cfg.EpochIdx].IsNull() && vals[o.cfg.EpochIdx].Compare(o.boundary) < 0 {
+		o.Late++
+		return
+	}
+	key := Key(vals)
+	gs, ok := o.groups[key]
+	if !ok {
+		gs = &groupState{key: key, vals: vals, accs: make([]Accum, len(o.cfg.Aggs))}
+		for i, a := range o.cfg.Aggs {
+			gs.accs[i] = a.Factory()
+		}
+		if o.cfg.EpochIdx >= 0 {
+			gs.epoch = vals[o.cfg.EpochIdx]
+		}
+		o.groups[key] = gs
+	}
+	for i, a := range o.cfg.Aggs {
+		if a.Arg == nil {
+			gs.accs[i].Add(sqlval.Uint(1))
+		} else {
+			gs.accs[i].Add(a.Arg(t))
+		}
+	}
+}
+
+// Advance implements Consumer: groups whose epoch precedes every
+// possible future epoch are finished and emitted.
+func (o *Aggregate) Advance(wm uint64) {
+	if o.wmSeen && wm <= o.lastWM {
+		return
+	}
+	o.lastWM, o.wmSeen = wm, true
+	if o.cfg.EpochIdx >= 0 && o.cfg.EpochOfWM != nil {
+		boundary := o.cfg.EpochOfWM(wm)
+		o.boundary, o.boundarySet = boundary, true
+		o.emitBefore(&boundary)
+	}
+	o.Out().Advance(wm)
+}
+
+// Flush implements Consumer: every remaining group is emitted.
+func (o *Aggregate) Flush() {
+	if o.flushed {
+		return
+	}
+	o.flushed = true
+	o.emitBefore(nil)
+	o.Out().Flush()
+}
+
+// Out returns the downstream consumer.
+func (o *Aggregate) Out() Consumer { return o.cfg.Out }
+
+// GroupCount reports the live (unflushed) group count, used by memory
+// accounting and tests.
+func (o *Aggregate) GroupCount() int { return len(o.groups) }
+
+// emitBefore flushes groups with epoch < boundary (all groups when
+// boundary is nil), in deterministic (epoch, key) order.
+func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
+	var done []*groupState
+	for key, gs := range o.groups {
+		if boundary != nil && (gs.epoch.IsNull() || gs.epoch.Compare(*boundary) >= 0) {
+			continue
+		}
+		done = append(done, gs)
+		delete(o.groups, key)
+	}
+	sort.Slice(done, func(i, j int) bool {
+		if c := done[i].epoch.Compare(done[j].epoch); c != 0 {
+			return c < 0
+		}
+		return done[i].key < done[j].key
+	})
+	for _, gs := range done {
+		row := make(Tuple, 0, len(gs.vals)+len(gs.accs))
+		row = append(row, gs.vals...)
+		for _, a := range gs.accs {
+			row = append(row, a.Result())
+		}
+		if o.cfg.Having != nil && !o.cfg.Having(row).AsBool() {
+			continue
+		}
+		if o.cfg.Post == nil {
+			o.cfg.Out.Push(row)
+			continue
+		}
+		out := make(Tuple, len(o.cfg.Post))
+		for i, p := range o.cfg.Post {
+			out[i] = p(row)
+		}
+		o.cfg.Out.Push(out)
+	}
+}
+
+// JoinSideConfig configures one input of a join.
+type JoinSideConfig struct {
+	// Keys compute the composite equi-join key from a side tuple; the
+	// two sides' key lists are index-aligned.
+	Keys []EvalFunc
+	// Width is the side's column count, needed for outer-join NULL
+	// padding.
+	Width int
+	// MinFutureKey gives, for a base-time watermark, the smallest
+	// temporal key value any *future* tuple of this side can produce;
+	// the opposite side evicts entries below it. Nil disables
+	// eviction until Flush.
+	MinFutureKey func(uint64) sqlval.Value
+	// TemporalIdx is the position of the temporal key within Keys.
+	TemporalIdx int
+}
+
+// JoinConfig configures a tumbling-window symmetric hash equi-join.
+type JoinConfig struct {
+	Left, Right JoinSideConfig
+	Type        gsql.JoinType
+	// Residual filters joined pairs; it sees left columns followed by
+	// right columns. Nil passes all pairs.
+	Residual EvalFunc
+	// Projs compute the output tuple over left++right columns.
+	Projs []EvalFunc
+	Out   Consumer
+}
+
+type joinEntry struct {
+	key     string
+	tuple   Tuple
+	tkey    sqlval.Value
+	matched bool
+}
+
+// Join is the symmetric hash join: each arriving tuple probes the
+// opposite side's table and emits matches immediately, then is
+// inserted into its own side's table. Watermarks evict entries that
+// can no longer match, emitting outer-join padding for unmatched rows.
+type Join struct {
+	cfg        JoinConfig
+	leftTab    map[string][]*joinEntry
+	rightTab   map[string][]*joinEntry
+	leftPort   joinPort
+	rightPort  joinPort
+	lastWM     uint64
+	wmSeen     bool
+	flushCount int
+	flushed    bool
+}
+
+// NewJoin builds the operator.
+func NewJoin(cfg JoinConfig) *Join {
+	j := &Join{
+		cfg:      cfg,
+		leftTab:  make(map[string][]*joinEntry),
+		rightTab: make(map[string][]*joinEntry),
+	}
+	j.leftPort = joinPort{j: j, left: true}
+	j.rightPort = joinPort{j: j}
+	return j
+}
+
+// LeftIn returns the left input port.
+func (j *Join) LeftIn() Consumer { return &j.leftPort }
+
+// RightIn returns the right input port.
+func (j *Join) RightIn() Consumer { return &j.rightPort }
+
+type joinPort struct {
+	j    *Join
+	left bool
+}
+
+func (p *joinPort) Push(t Tuple)      { p.j.push(t, p.left) }
+func (p *joinPort) Advance(wm uint64) { p.j.advance(wm) }
+func (p *joinPort) Flush()            { p.j.portFlush() }
+
+func (j *Join) push(t Tuple, left bool) {
+	side := &j.cfg.Left
+	myTab, otherTab := j.leftTab, j.rightTab
+	if !left {
+		side = &j.cfg.Right
+		myTab, otherTab = j.rightTab, j.leftTab
+	}
+	vals := make([]sqlval.Value, len(side.Keys))
+	for i, k := range side.Keys {
+		vals[i] = k(t)
+	}
+	key := Key(vals)
+	e := &joinEntry{key: key, tuple: t, tkey: vals[side.TemporalIdx]}
+	for _, oe := range otherTab[key] {
+		var combined Tuple
+		if left {
+			combined = j.combine(t, oe.tuple)
+		} else {
+			combined = j.combine(oe.tuple, t)
+		}
+		if j.cfg.Residual != nil && !j.cfg.Residual(combined).AsBool() {
+			continue
+		}
+		e.matched, oe.matched = true, true
+		j.emit(combined)
+	}
+	myTab[key] = append(myTab[key], e)
+}
+
+func (j *Join) combine(l, r Tuple) Tuple {
+	out := make(Tuple, 0, len(l)+len(r))
+	out = append(out, l...)
+	return append(out, r...)
+}
+
+func (j *Join) emit(combined Tuple) {
+	out := make(Tuple, len(j.cfg.Projs))
+	for i, p := range j.cfg.Projs {
+		out[i] = p(combined)
+	}
+	j.cfg.Out.Push(out)
+}
+
+func (j *Join) advance(wm uint64) {
+	if j.wmSeen && wm <= j.lastWM {
+		return
+	}
+	j.lastWM, j.wmSeen = wm, true
+	// Left entries survive only while a future right tuple could still
+	// produce their key, and vice versa.
+	if j.cfg.Right.MinFutureKey != nil {
+		b := j.cfg.Right.MinFutureKey(wm)
+		j.evict(j.leftTab, &b, true)
+	}
+	if j.cfg.Left.MinFutureKey != nil {
+		b := j.cfg.Left.MinFutureKey(wm)
+		j.evict(j.rightTab, &b, false)
+	}
+	j.cfg.Out.Advance(wm)
+}
+
+func (j *Join) portFlush() {
+	j.flushCount++
+	if j.flushCount < 2 || j.flushed {
+		return
+	}
+	j.flushed = true
+	j.evict(j.leftTab, nil, true)
+	j.evict(j.rightTab, nil, false)
+	j.cfg.Out.Flush()
+}
+
+// evict removes entries with temporal key below boundary (all when
+// nil), emitting outer-join padding for never-matched rows.
+func (j *Join) evict(tab map[string][]*joinEntry, boundary *sqlval.Value, left bool) {
+	var unmatched []*joinEntry
+	for key, entries := range tab {
+		var keep []*joinEntry
+		for _, e := range entries {
+			if boundary != nil && e.tkey.Compare(*boundary) >= 0 {
+				keep = append(keep, e)
+				continue
+			}
+			if !e.matched && j.padsSide(left) {
+				unmatched = append(unmatched, e)
+			}
+		}
+		if len(keep) == 0 {
+			delete(tab, key)
+		} else {
+			tab[key] = keep
+		}
+	}
+	sort.Slice(unmatched, func(a, b int) bool {
+		if c := unmatched[a].tkey.Compare(unmatched[b].tkey); c != 0 {
+			return c < 0
+		}
+		return unmatched[a].key < unmatched[b].key
+	})
+	for _, e := range unmatched {
+		j.emit(j.pad(e.tuple, left))
+	}
+}
+
+// padsSide reports whether unmatched rows of the given side appear in
+// the output under the configured outer-join type.
+func (j *Join) padsSide(left bool) bool {
+	switch j.cfg.Type {
+	case gsql.JoinLeftOuter:
+		return left
+	case gsql.JoinRightOuter:
+		return !left
+	case gsql.JoinFullOuter:
+		return true
+	default:
+		return false
+	}
+}
+
+// pad builds the combined row for an unmatched outer-join entry with
+// NULLs on the missing side.
+func (j *Join) pad(t Tuple, left bool) Tuple {
+	if left {
+		combined := make(Tuple, 0, len(t)+j.cfg.Right.Width)
+		combined = append(combined, t...)
+		for i := 0; i < j.cfg.Right.Width; i++ {
+			combined = append(combined, sqlval.Null)
+		}
+		return combined
+	}
+	combined := make(Tuple, 0, len(t)+j.cfg.Left.Width)
+	for i := 0; i < j.cfg.Left.Width; i++ {
+		combined = append(combined, sqlval.Null)
+	}
+	return append(combined, t...)
+}
+
+// StoredTuples reports the number of buffered tuples, for memory
+// accounting and eviction tests.
+func (j *Join) StoredTuples() int {
+	n := 0
+	for _, es := range j.leftTab {
+		n += len(es)
+	}
+	for _, es := range j.rightTab {
+		n += len(es)
+	}
+	return n
+}

@@ -1,0 +1,229 @@
+package exec
+
+import (
+	"sort"
+
+	"qap/internal/sqlval"
+)
+
+// SlidingWindowConfig configures pane-based sliding-window merging
+// (Li et al.'s "no pane, no gain" evaluation, which the paper's
+// Section 3.1 adopts): the upstream aggregation emits per-pane partial
+// rows (groups ++ partial aggregates, exactly the sub-aggregate
+// layout); this operator merges, for every group, the partials of the
+// last Panes panes and emits one result per pane slide.
+type SlidingWindowConfig struct {
+	// GroupCols is the number of leading group columns in each input
+	// row (the remainder are partial aggregate values).
+	GroupCols int
+	// EpochIdx is the group column holding the pane id.
+	EpochIdx int
+	// PaneOfWM translates a base-time watermark into the lowest pane
+	// id any future row can carry.
+	PaneOfWM func(uint64) sqlval.Value
+	// Panes is the window size in panes; results cover panes
+	// (p-Panes, p] for every closing pane p.
+	Panes uint64
+	// Mergers create the accumulator merging one partial column
+	// across panes (and across hosts, when partials arrive from
+	// several sub-aggregates); Mergers[i] consumes input column
+	// GroupCols+i.
+	Mergers []AccumFactory
+	// Having filters merged windows; it sees groups ++ merged values.
+	Having EvalFunc
+	// Post computes the output row from groups ++ merged values; nil
+	// emits them unchanged.
+	Post []EvalFunc
+	Out  Consumer
+}
+
+type paneGroup struct {
+	key  string
+	vals []sqlval.Value // group values, pane column included
+	pane uint64
+	rows []Tuple // partial rows for this (group, pane)
+}
+
+// SlidingWindow merges per-pane partial aggregates into sliding-window
+// results. Rows arrive keyed by (group, pane); when the watermark
+// closes pane p, every group with any data in window (p-Panes, p]
+// emits a merged row whose pane column is p.
+type SlidingWindow struct {
+	cfg SlidingWindowConfig
+	// panes maps (group-without-pane key, pane) to buffered partials.
+	panes map[string]*paneGroup
+	// next is the next pane to close; set lazily from the first data.
+	next    uint64
+	nextSet bool
+	anyPane bool
+	minPane uint64
+	maxPane uint64
+	lastWM  uint64
+	wmSeen  bool
+	flushed bool
+}
+
+// NewSlidingWindow builds the operator.
+func NewSlidingWindow(cfg SlidingWindowConfig) *SlidingWindow {
+	if cfg.Panes == 0 {
+		cfg.Panes = 1
+	}
+	return &SlidingWindow{cfg: cfg, panes: make(map[string]*paneGroup)}
+}
+
+// groupKeyNoPane builds the group identity with the pane column
+// blanked, so one group's panes collate.
+func (w *SlidingWindow) groupKeyNoPane(vals []sqlval.Value) string {
+	masked := make([]sqlval.Value, len(vals))
+	copy(masked, vals)
+	masked[w.cfg.EpochIdx] = sqlval.Null
+	return Key(masked)
+}
+
+// Push implements Consumer.
+func (w *SlidingWindow) Push(t Tuple) {
+	vals := make([]sqlval.Value, w.cfg.GroupCols)
+	copy(vals, t[:w.cfg.GroupCols])
+	pane, ok := vals[w.cfg.EpochIdx].AsUint()
+	if !ok {
+		return
+	}
+	key := w.groupKeyNoPane(vals)
+	pk := key + "\x00" + string(appendU64(nil, pane))
+	pg, exists := w.panes[pk]
+	if !exists {
+		pg = &paneGroup{key: key, vals: vals, pane: pane}
+		w.panes[pk] = pg
+	}
+	pg.rows = append(pg.rows, t)
+	if !w.anyPane || pane < w.minPane {
+		w.minPane = pane
+	}
+	if !w.anyPane || pane > w.maxPane {
+		w.maxPane = pane
+	}
+	w.anyPane = true
+}
+
+// Advance implements Consumer: emit windows for every pane strictly
+// below the watermark's pane.
+func (w *SlidingWindow) Advance(wm uint64) {
+	if w.wmSeen && wm <= w.lastWM {
+		return
+	}
+	w.lastWM, w.wmSeen = wm, true
+	if w.cfg.PaneOfWM == nil {
+		w.Out().Advance(wm)
+		return
+	}
+	boundary, ok := w.cfg.PaneOfWM(wm).AsUint()
+	if ok && boundary > 0 {
+		w.emitThrough(boundary - 1)
+	}
+	w.Out().Advance(wm)
+}
+
+// Flush implements Consumer.
+func (w *SlidingWindow) Flush() {
+	if w.flushed {
+		return
+	}
+	w.flushed = true
+	if w.anyPane {
+		w.emitThrough(w.maxPane)
+	}
+	w.Out().Flush()
+}
+
+// Out returns the downstream consumer.
+func (w *SlidingWindow) Out() Consumer { return w.cfg.Out }
+
+// BufferedPanes reports live (group, pane) buffers, for eviction tests.
+func (w *SlidingWindow) BufferedPanes() int { return len(w.panes) }
+
+// emitThrough closes every pane up to and including last.
+func (w *SlidingWindow) emitThrough(last uint64) {
+	if !w.anyPane {
+		return
+	}
+	if !w.nextSet {
+		w.next, w.nextSet = w.minPane, true
+	}
+	for ; w.next <= last; w.next++ {
+		w.emitPane(w.next)
+		w.evict()
+	}
+}
+
+// emitPane emits the window ending at pane p for every group with data
+// in (p-Panes, p].
+func (w *SlidingWindow) emitPane(p uint64) {
+	lo := uint64(0)
+	if w.cfg.Panes <= p {
+		lo = p - w.cfg.Panes + 1
+	}
+	type windowState struct {
+		vals []sqlval.Value
+		accs []Accum
+		any  bool
+	}
+	groups := make(map[string]*windowState)
+	var order []string
+	for _, pg := range w.panes {
+		if pg.pane < lo || pg.pane > p {
+			continue
+		}
+		ws, ok := groups[pg.key]
+		if !ok {
+			vals := make([]sqlval.Value, len(pg.vals))
+			copy(vals, pg.vals)
+			vals[w.cfg.EpochIdx] = sqlval.Uint(p) // window end pane
+			ws = &windowState{vals: vals, accs: make([]Accum, len(w.cfg.Mergers))}
+			for i, m := range w.cfg.Mergers {
+				ws.accs[i] = m()
+			}
+			groups[pg.key] = ws
+			order = append(order, pg.key)
+		}
+		for _, row := range pg.rows {
+			for i := range w.cfg.Mergers {
+				ws.accs[i].Add(row[w.cfg.GroupCols+i])
+			}
+			ws.any = true
+		}
+	}
+	sort.Strings(order)
+	for _, key := range order {
+		ws := groups[key]
+		if !ws.any {
+			continue
+		}
+		row := make(Tuple, 0, len(ws.vals)+len(ws.accs))
+		row = append(row, ws.vals...)
+		for _, a := range ws.accs {
+			row = append(row, a.Result())
+		}
+		if w.cfg.Having != nil && !w.cfg.Having(row).AsBool() {
+			continue
+		}
+		if w.cfg.Post == nil {
+			w.cfg.Out.Push(row)
+			continue
+		}
+		out := make(Tuple, len(w.cfg.Post))
+		for i, f := range w.cfg.Post {
+			out[i] = f(row)
+		}
+		w.cfg.Out.Push(out)
+	}
+}
+
+// evict drops pane buffers no window ending at pane >= next can
+// reference: those with pane + Panes <= next.
+func (w *SlidingWindow) evict() {
+	for k, pg := range w.panes {
+		if pg.pane+w.cfg.Panes <= w.next {
+			delete(w.panes, k)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package gsql
+
+import "strings"
+
+// AggSpec describes an aggregate function: how it accumulates and how
+// it splits into a sub-aggregate (run per host on raw tuples) and a
+// super-aggregate (run centrally over the sub-aggregate outputs). The
+// split rule is the paper's Section 5.2.2 partial-aggregation
+// machinery; every built-in splits trivially, and UDAFs register their
+// own decomposition as in the Holistic-UDAF work the paper cites.
+type AggSpec struct {
+	Name string
+	// SubName is the aggregate the per-host sub-aggregate computes over
+	// raw tuples.
+	SubName string
+	// SuperName is the aggregate the central super-aggregate applies to
+	// the sub-aggregate outputs.
+	SuperName string
+	// NeedsArg reports whether the aggregate requires an argument
+	// (COUNT permits the * form).
+	NeedsArg bool
+	// Splittable is false for holistic aggregates that cannot be
+	// decomposed; incompatible plans containing them cannot use partial
+	// aggregation.
+	Splittable bool
+}
+
+// builtinAggs is the registry of aggregate functions known to the
+// parser, analyzer, and executor, keyed by upper-case name.
+var builtinAggs = map[string]AggSpec{
+	"COUNT":    {Name: "COUNT", SubName: "COUNT", SuperName: "SUM", NeedsArg: false, Splittable: true},
+	"SUM":      {Name: "SUM", SubName: "SUM", SuperName: "SUM", NeedsArg: true, Splittable: true},
+	"MIN":      {Name: "MIN", SubName: "MIN", SuperName: "MIN", NeedsArg: true, Splittable: true},
+	"MAX":      {Name: "MAX", SubName: "MAX", SuperName: "MAX", NeedsArg: true, Splittable: true},
+	"AVG":      {Name: "AVG", NeedsArg: true, Splittable: true}, // split specially: SUM + COUNT
+	"OR_AGGR":  {Name: "OR_AGGR", SubName: "OR_AGGR", SuperName: "OR_AGGR", NeedsArg: true, Splittable: true},
+	"AND_AGGR": {Name: "AND_AGGR", SubName: "AND_AGGR", SuperName: "AND_AGGR", NeedsArg: true, Splittable: true},
+	"XOR_AGGR": {Name: "XOR_AGGR", SubName: "XOR_AGGR", SuperName: "XOR_AGGR", NeedsArg: true, Splittable: true},
+	// COUNT_DISTINCT is holistic: its partials are not mergeable
+	// without shipping the whole distinct set.
+	"COUNT_DISTINCT": {Name: "COUNT_DISTINCT", NeedsArg: true, Splittable: false},
+	// Moment-based aggregates split into (sum, sum-of-squares, count)
+	// partials; the decomposition is installed by the plan compiler.
+	"VARIANCE": {Name: "VARIANCE", NeedsArg: true, Splittable: true},
+	"STDDEV":   {Name: "STDDEV", NeedsArg: true, Splittable: true},
+	// APPROX_COUNT_DISTINCT is the mergeable alternative to
+	// COUNT_DISTINCT: HyperLogLog sketches ship as partials and merge
+	// losslessly (the Holistic-UDAF decomposition the paper cites).
+	"APPROX_COUNT_DISTINCT": {Name: "APPROX_COUNT_DISTINCT", SubName: "HLL_SKETCH", SuperName: "HLL_MERGE", NeedsArg: true, Splittable: true},
+}
+
+// LookupAgg returns the aggregate spec for name (case-insensitive).
+func LookupAgg(name string) (AggSpec, bool) {
+	s, ok := builtinAggs[strings.ToUpper(name)]
+	return s, ok
+}
+
+// IsAggregateName reports whether name is a known aggregate function.
+func IsAggregateName(name string) bool {
+	_, ok := builtinAggs[strings.ToUpper(name)]
+	return ok
+}
+
+// HasAggregate reports whether the expression contains any aggregate
+// function call.
+func HasAggregate(e Expr) bool {
+	found := false
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && IsAggregateName(f.Name) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// AggregateCalls returns every aggregate call in the expression, in
+// source order.
+func AggregateCalls(e Expr) []*FuncCall {
+	var out []*FuncCall
+	WalkExpr(e, func(x Expr) bool {
+		if f, ok := x.(*FuncCall); ok && IsAggregateName(f.Name) {
+			out = append(out, f)
+			return false // aggregates do not nest in this dialect
+		}
+		return true
+	})
+	return out
+}
+
+// scalarFuncs lists known non-aggregate functions usable in scalar
+// expressions and partitioning sets.
+var scalarFuncs = map[string]int{
+	"ABS":  1,
+	"SQRT": 1,
+}
+
+// IsScalarFuncName reports whether name is a known scalar function.
+func IsScalarFuncName(name string) bool {
+	_, ok := scalarFuncs[strings.ToUpper(name)]
+	return ok
+}

@@ -1,0 +1,266 @@
+package gsql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Lexer tokenizes GSQL source text. Comments start with '--' or '#'
+// followed by a space (bare #NAME# is a parameter) and run to the end
+// of the line.
+type Lexer struct {
+	src  string
+	pos  int
+	line int // 0-based
+	col  int // 0-based
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer { return &Lexer{src: src} }
+
+// Next returns the next token, or an error for malformed input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	startLine, startCol := l.line+1, l.col+1
+	mk := func(k TokKind, text string) Token {
+		return Token{Kind: k, Text: text, Line: startLine, Col: startCol}
+	}
+	if l.eof() {
+		return mk(TokEOF, ""), nil
+	}
+	ch := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(ch)):
+		return mk(TokIdent, l.ident()), nil
+	case ch >= '0' && ch <= '9':
+		num, err := l.number()
+		if err != nil {
+			return Token{}, fmt.Errorf("gsql: line %d:%d: %v", startLine, startCol, err)
+		}
+		return mk(TokNumber, num), nil
+	case ch == '\'' || ch == '"':
+		s, err := l.stringLit(ch)
+		if err != nil {
+			return Token{}, fmt.Errorf("gsql: line %d:%d: %v", startLine, startCol, err)
+		}
+		return mk(TokString, s), nil
+	case ch == '#':
+		p, err := l.param()
+		if err != nil {
+			return Token{}, fmt.Errorf("gsql: line %d:%d: %v", startLine, startCol, err)
+		}
+		return mk(TokParam, p), nil
+	}
+	// Operators and punctuation.
+	two := func(k TokKind) (Token, error) { l.advance(2); return mk(k, ""), nil }
+	one := func(k TokKind) (Token, error) { l.advance(1); return mk(k, ""), nil }
+	if l.pos+1 < len(l.src) {
+		switch l.src[l.pos : l.pos+2] {
+		case "<<":
+			return two(TokShl)
+		case ">>":
+			return two(TokShr)
+		case "<=":
+			return two(TokLe)
+		case ">=":
+			return two(TokGe)
+		case "!=", "<>":
+			return two(TokNeq)
+		}
+	}
+	switch ch {
+	case '(':
+		return one(TokLParen)
+	case ')':
+		return one(TokRParen)
+	case ',':
+		return one(TokComma)
+	case '.':
+		return one(TokDot)
+	case ';':
+		return one(TokSemi)
+	case ':':
+		return one(TokColon)
+	case '*':
+		return one(TokStar)
+	case '+':
+		return one(TokPlus)
+	case '-':
+		return one(TokMinus)
+	case '/':
+		return one(TokSlash)
+	case '%':
+		return one(TokPercent)
+	case '&':
+		return one(TokAmp)
+	case '|':
+		return one(TokPipe)
+	case '^':
+		return one(TokCaret)
+	case '~':
+		return one(TokTilde)
+	case '=':
+		return one(TokEq)
+	case '<':
+		return one(TokLt)
+	case '>':
+		return one(TokGt)
+	}
+	return Token{}, fmt.Errorf("gsql: line %d:%d: unexpected character %q", startLine, startCol, ch)
+}
+
+// Tokens lexes the entire input, for testing.
+func Tokens(src string) ([]Token, error) {
+	l := NewLexer(src)
+	var out []Token
+	for {
+		t, err := l.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == TokEOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) eof() bool { return l.pos >= len(l.src) }
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.pos < len(l.src); i++ {
+		if l.src[l.pos] == '\n' {
+			l.line++
+			l.col = 0
+		} else {
+			l.col++
+		}
+		l.pos++
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for !l.eof() {
+		ch := l.src[l.pos]
+		switch {
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == '\n':
+			l.advance(1)
+		case ch == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			l.skipLine()
+		case ch == '#' && !l.paramAhead():
+			l.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+// paramAhead reports whether the '#' at the current position begins a
+// #NAME# parameter rather than a comment.
+func (l *Lexer) paramAhead() bool {
+	i := l.pos + 1
+	if i >= len(l.src) || !isIdentStart(rune(l.src[i])) {
+		return false
+	}
+	for i < len(l.src) && isIdentPart(rune(l.src[i])) {
+		i++
+	}
+	return i < len(l.src) && l.src[i] == '#'
+}
+
+func (l *Lexer) skipLine() {
+	for !l.eof() && l.src[l.pos] != '\n' {
+		l.advance(1)
+	}
+}
+
+func (l *Lexer) ident() string {
+	start := l.pos
+	for !l.eof() && isIdentPart(rune(l.src[l.pos])) {
+		l.advance(1)
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *Lexer) number() (string, error) {
+	start := l.pos
+	if strings.HasPrefix(l.src[l.pos:], "0x") || strings.HasPrefix(l.src[l.pos:], "0X") {
+		l.advance(2)
+		n := 0
+		for !l.eof() && isHexDigit(l.src[l.pos]) {
+			l.advance(1)
+			n++
+		}
+		if n == 0 {
+			return "", fmt.Errorf("malformed hex literal")
+		}
+		return l.src[start:l.pos], nil
+	}
+	for !l.eof() && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.advance(1)
+	}
+	// Fractional part; a '.' must be followed by a digit to count as
+	// part of the number (so "1." is "1" then TokDot).
+	if !l.eof() && l.src[l.pos] == '.' && l.pos+1 < len(l.src) &&
+		l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.advance(1)
+		for !l.eof() && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.advance(1)
+		}
+	}
+	return l.src[start:l.pos], nil
+}
+
+func (l *Lexer) stringLit(quote byte) (string, error) {
+	l.advance(1) // opening quote
+	var b strings.Builder
+	for !l.eof() {
+		ch := l.src[l.pos]
+		if ch == quote {
+			l.advance(1)
+			return b.String(), nil
+		}
+		if ch == '\n' {
+			return "", fmt.Errorf("unterminated string literal")
+		}
+		if ch == '\\' && l.pos+1 < len(l.src) {
+			l.advance(1)
+			esc := l.src[l.pos]
+			switch esc {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'', '"':
+				b.WriteByte(esc)
+			default:
+				return "", fmt.Errorf("unknown escape \\%c", esc)
+			}
+			l.advance(1)
+			continue
+		}
+		b.WriteByte(ch)
+		l.advance(1)
+	}
+	return "", fmt.Errorf("unterminated string literal")
+}
+
+func (l *Lexer) param() (string, error) {
+	l.advance(1) // '#'
+	name := l.ident()
+	if name == "" {
+		return "", fmt.Errorf("empty parameter name")
+	}
+	if l.eof() || l.src[l.pos] != '#' {
+		return "", fmt.Errorf("parameter #%s not terminated with '#'", name)
+	}
+	l.advance(1)
+	return name, nil
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLetter(r) || r == '_' }
+func isIdentPart(r rune) bool  { return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' }
+func isHexDigit(b byte) bool {
+	return b >= '0' && b <= '9' || b >= 'a' && b <= 'f' || b >= 'A' && b <= 'F'
+}

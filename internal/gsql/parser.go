@@ -1,0 +1,713 @@
+package gsql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser parses GSQL query sets and standalone expressions.
+type Parser struct {
+	lex *Lexer
+	tok Token // current token
+	err error
+}
+
+// NewParser returns a parser over src positioned at the first token.
+func NewParser(src string) (*Parser, error) {
+	p := &Parser{lex: NewLexer(src)}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ParseQuerySet parses a whole query-set file in the paper's form:
+//
+//	query flows:
+//	SELECT tb, srcIP, destIP, COUNT(*) AS cnt
+//	FROM TCP
+//	GROUP BY time/60 AS tb, srcIP, destIP
+//
+//	query heavy_flows:
+//	SELECT tb, srcIP, MAX(cnt) AS max_cnt
+//	FROM flows
+//	GROUP BY tb, srcIP
+//
+// A bare SELECT with no "query NAME:" header is also accepted and
+// named q1, q2, ... in order. Statements may be separated by ';'.
+func ParseQuerySet(src string) (*QuerySet, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	qs := &QuerySet{}
+	anon := 0
+	for {
+		for p.tok.Kind == TokSemi {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		if p.tok.Kind == TokEOF {
+			break
+		}
+		name := ""
+		if p.isKeyword("QUERY") {
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind != TokIdent {
+				return nil, p.expectedErr("query name")
+			}
+			name = p.tok.Text
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+			if p.tok.Kind != TokColon {
+				return nil, p.expectedErr("':' after query name")
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+		stmt, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			anon++
+			name = fmt.Sprintf("q%d", anon)
+		}
+		if _, dup := qs.Lookup(name); dup {
+			return nil, fmt.Errorf("gsql: duplicate query name %q", name)
+		}
+		qs.Queries = append(qs.Queries, &Query{Name: name, Stmt: stmt})
+	}
+	if len(qs.Queries) == 0 {
+		return nil, fmt.Errorf("gsql: no queries in input")
+	}
+	return qs, nil
+}
+
+// MustParseQuerySet is ParseQuerySet that panics on error; for tests
+// and examples with constant query text.
+func MustParseQuerySet(src string) *QuerySet {
+	qs, err := ParseQuerySet(src)
+	if err != nil {
+		panic(err)
+	}
+	return qs
+}
+
+// ParseExpr parses a standalone scalar expression (used for
+// partitioning-set specifications like "srcIP & 0xFFF0").
+func ParseExpr(src string) (Expr, error) {
+	p, err := NewParser(src)
+	if err != nil {
+		return nil, err
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.Kind != TokEOF {
+		return nil, fmt.Errorf("gsql: unexpected %s after expression", p.tok)
+	}
+	return e, nil
+}
+
+// MustParseExpr is ParseExpr that panics on error.
+func MustParseExpr(src string) Expr {
+	e, err := ParseExpr(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func (p *Parser) next() error {
+	t, err := p.lex.Next()
+	if err != nil {
+		p.err = err
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) isKeyword(kw string) bool {
+	return p.tok.Kind == TokIdent && strings.EqualFold(p.tok.Text, kw)
+}
+
+func (p *Parser) acceptKeyword(kw string) (bool, error) {
+	if p.isKeyword(kw) {
+		return true, p.next()
+	}
+	return false, nil
+}
+
+func (p *Parser) expectKeyword(kw string) error {
+	ok, err := p.acceptKeyword(kw)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return p.expectedErr("'" + kw + "'")
+	}
+	return nil
+}
+
+func (p *Parser) expectedErr(what string) error {
+	return fmt.Errorf("gsql: line %d:%d: expected %s, found %s", p.tok.Line, p.tok.Col, what, p.tok)
+}
+
+// reservedAfterExpr lists keywords that end an expression or clause, so
+// an identifier alias is not confused with them.
+var clauseKeywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true,
+	"HAVING": true, "QUERY": true, "JOIN": true, "LEFT": true,
+	"RIGHT": true, "FULL": true, "INNER": true, "OUTER": true,
+	"ON": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"BY": true, "WINDOW": true,
+}
+
+func (p *Parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	stmt := &SelectStmt{}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Items = append(stmt.Items, item)
+		if p.tok.Kind != TokComma {
+			break
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseFrom()
+	if err != nil {
+		return nil, err
+	}
+	stmt.From = from
+	if ok, err := p.acceptKeyword("WHERE"); err != nil {
+		return nil, err
+	} else if ok {
+		stmt.Where, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.acceptKeyword("GROUP"); err != nil {
+		return nil, err
+	} else if ok {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseGroupItem()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, g)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if ok, err := p.acceptKeyword("HAVING"); err != nil {
+		return nil, err
+	} else if ok {
+		stmt.Having, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ok, err := p.acceptKeyword("WINDOW"); err != nil {
+		return nil, err
+	} else if ok {
+		if p.tok.Kind != TokNumber {
+			return nil, p.expectedErr("pane count after WINDOW")
+		}
+		n, err := strconv.ParseUint(p.tok.Text, 0, 32)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("gsql: line %d:%d: WINDOW pane count must be a positive integer", p.tok.Line, p.tok.Col)
+		}
+		if len(stmt.GroupBy) == 0 {
+			return nil, fmt.Errorf("gsql: WINDOW requires GROUP BY")
+		}
+		stmt.WindowPanes = n
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	return stmt, nil
+}
+
+func (p *Parser) parseSelectItem() (SelectItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	alias, err := p.parseOptionalAlias()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	return SelectItem{Expr: e, Alias: alias}, nil
+}
+
+func (p *Parser) parseGroupItem() (GroupItem, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return GroupItem{}, err
+	}
+	alias, err := p.parseOptionalAlias()
+	if err != nil {
+		return GroupItem{}, err
+	}
+	return GroupItem{Expr: e, Alias: alias}, nil
+}
+
+func (p *Parser) parseOptionalAlias() (string, error) {
+	if ok, err := p.acceptKeyword("AS"); err != nil {
+		return "", err
+	} else if ok {
+		if p.tok.Kind != TokIdent {
+			return "", p.expectedErr("alias after AS")
+		}
+		alias := p.tok.Text
+		return alias, p.next()
+	}
+	// Bare alias: an identifier that is not a clause keyword.
+	if p.tok.Kind == TokIdent && !clauseKeywords[strings.ToUpper(p.tok.Text)] {
+		alias := p.tok.Text
+		return alias, p.next()
+	}
+	return "", nil
+}
+
+func (p *Parser) parseFrom() (FromClause, error) {
+	left, err := p.parseTableRef()
+	if err != nil {
+		return FromClause{}, err
+	}
+	fc := FromClause{Left: left}
+	// Comma join: FROM a S1, b S2 (inner join; predicates in WHERE).
+	if p.tok.Kind == TokComma {
+		if err := p.next(); err != nil {
+			return FromClause{}, err
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return FromClause{}, err
+		}
+		fc.Join, fc.Right = JoinInner, right
+		return fc, nil
+	}
+	jt := JoinNone
+	switch {
+	case p.isKeyword("JOIN"), p.isKeyword("INNER"):
+		jt = JoinInner
+	case p.isKeyword("LEFT"):
+		jt = JoinLeftOuter
+	case p.isKeyword("RIGHT"):
+		jt = JoinRightOuter
+	case p.isKeyword("FULL"):
+		jt = JoinFullOuter
+	}
+	if jt == JoinNone {
+		return fc, nil
+	}
+	if err := p.next(); err != nil { // consume JOIN/INNER/LEFT/RIGHT/FULL
+		return FromClause{}, err
+	}
+	if jt != JoinInner || p.isKeyword("OUTER") || p.isKeyword("JOIN") {
+		if _, err := p.acceptKeyword("OUTER"); err != nil {
+			return FromClause{}, err
+		}
+		if _, err := p.acceptKeyword("JOIN"); err != nil {
+			return FromClause{}, err
+		}
+	}
+	right, err := p.parseTableRef()
+	if err != nil {
+		return FromClause{}, err
+	}
+	fc.Join, fc.Right = jt, right
+	if ok, err := p.acceptKeyword("ON"); err != nil {
+		return FromClause{}, err
+	} else if ok {
+		fc.On, err = p.parseExpr()
+		if err != nil {
+			return FromClause{}, err
+		}
+	}
+	return fc, nil
+}
+
+func (p *Parser) parseTableRef() (TableRef, error) {
+	if p.tok.Kind != TokIdent {
+		return TableRef{}, p.expectedErr("stream or query name")
+	}
+	tr := TableRef{Name: p.tok.Text}
+	if err := p.next(); err != nil {
+		return TableRef{}, err
+	}
+	alias, err := p.parseOptionalAlias()
+	if err != nil {
+		return TableRef{}, err
+	}
+	tr.Alias = alias
+	return tr, nil
+}
+
+// Expression parsing: precedence climbing. The ladder (loosest first):
+// OR, AND, NOT, comparison, | ^, &, << >>, + -, * / %, unary, primary.
+
+func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *Parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("OR") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpOr, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.isKeyword("AND") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseNot() (Expr, error) {
+	if p.isKeyword("NOT") {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNot, X: x}, nil
+	}
+	return p.parseComparison()
+}
+
+func (p *Parser) parseComparison() (Expr, error) {
+	l, err := p.parseBitOr()
+	if err != nil {
+		return nil, err
+	}
+	var op BinOp
+	switch p.tok.Kind {
+	case TokEq:
+		op = OpEq
+	case TokNeq:
+		op = OpNeq
+	case TokLt:
+		op = OpLt
+	case TokLe:
+		op = OpLe
+	case TokGt:
+		op = OpGt
+	case TokGe:
+		op = OpGe
+	default:
+		return l, nil
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	r, err := p.parseBitOr()
+	if err != nil {
+		return nil, err
+	}
+	return &Binary{Op: op, L: l, R: r}, nil
+}
+
+func (p *Parser) parseBitOr() (Expr, error) {
+	l, err := p.parseBitAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPipe || p.tok.Kind == TokCaret {
+		op := OpBitOr
+		if p.tok.Kind == TokCaret {
+			op = OpBitXor
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseBitAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseBitAnd() (Expr, error) {
+	l, err := p.parseShift()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokAmp {
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseShift()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: OpBitAnd, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseShift() (Expr, error) {
+	l, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokShl || p.tok.Kind == TokShr {
+		op := OpShl
+		if p.tok.Kind == TokShr {
+			op = OpShr
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseAdditive() (Expr, error) {
+	l, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokPlus || p.tok.Kind == TokMinus {
+		op := OpAdd
+		if p.tok.Kind == TokMinus {
+			op = OpSub
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseMultiplicative()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseMultiplicative() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.tok.Kind == TokStar || p.tok.Kind == TokSlash || p.tok.Kind == TokPercent {
+		var op BinOp
+		switch p.tok.Kind {
+		case TokStar:
+			op = OpMul
+		case TokSlash:
+			op = OpDiv
+		default:
+			op = OpMod
+		}
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *Parser) parseUnary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokMinus:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpNeg, X: x}, nil
+	case TokTilde:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: OpBitNot, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (Expr, error) {
+	switch p.tok.Kind {
+	case TokNumber:
+		return p.parseNumber()
+	case TokString:
+		s := p.tok.Text
+		return &StringLit{S: s}, p.next()
+	case TokParam:
+		name := p.tok.Text
+		return &ParamRef{Name: name}, p.next()
+	case TokLParen:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokRParen {
+			return nil, p.expectedErr("')'")
+		}
+		return e, p.next()
+	case TokIdent:
+		return p.parseIdentExpr()
+	default:
+		return nil, p.expectedErr("expression")
+	}
+}
+
+func (p *Parser) parseNumber() (Expr, error) {
+	text := p.tok.Text
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if strings.ContainsAny(text, ".") {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("gsql: bad float literal %q: %v", text, err)
+		}
+		return &NumberLit{IsFloat: true, F: f, Text: text}, nil
+	}
+	u, err := strconv.ParseUint(text, 0, 64)
+	if err != nil {
+		return nil, fmt.Errorf("gsql: bad integer literal %q: %v", text, err)
+	}
+	return &NumberLit{U: u, Text: text}, nil
+}
+
+func (p *Parser) parseIdentExpr() (Expr, error) {
+	name := p.tok.Text
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	switch p.tok.Kind {
+	case TokLParen:
+		return p.parseCall(name)
+	case TokDot:
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+		if p.tok.Kind != TokIdent {
+			return nil, p.expectedErr("column name after '.'")
+		}
+		col := p.tok.Text
+		return &ColumnRef{Qualifier: name, Name: col}, p.next()
+	default:
+		return &ColumnRef{Name: name}, nil
+	}
+}
+
+func (p *Parser) parseCall(name string) (Expr, error) {
+	if err := p.next(); err != nil { // '('
+		return nil, err
+	}
+	call := &FuncCall{Name: name}
+	if p.tok.Kind == TokStar {
+		call.Star = true
+		if err := p.next(); err != nil {
+			return nil, err
+		}
+	} else if p.tok.Kind != TokRParen {
+		for {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			call.Args = append(call.Args, arg)
+			if p.tok.Kind != TokComma {
+				break
+			}
+			if err := p.next(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if p.tok.Kind != TokRParen {
+		return nil, p.expectedErr("')'")
+	}
+	if err := p.next(); err != nil {
+		return nil, err
+	}
+	if !IsAggregateName(name) && !IsScalarFuncName(name) {
+		return nil, fmt.Errorf("gsql: unknown function %q", name)
+	}
+	if spec, ok := LookupAgg(name); ok {
+		if call.Star && strings.ToUpper(name) != "COUNT" {
+			return nil, fmt.Errorf("gsql: %s(*) is only valid for COUNT", name)
+		}
+		if spec.NeedsArg && len(call.Args) != 1 {
+			return nil, fmt.Errorf("gsql: %s requires exactly one argument", spec.Name)
+		}
+		if !spec.NeedsArg && !call.Star && len(call.Args) > 1 {
+			return nil, fmt.Errorf("gsql: %s takes at most one argument", spec.Name)
+		}
+	}
+	return call, nil
+}

@@ -1,0 +1,311 @@
+package gsql
+
+import (
+	"strings"
+	"testing"
+)
+
+// The three queries from paper Section 3.2 / 6.3.
+const paperQuerySet = `
+query flows:
+SELECT tb, srcIP, destIP, COUNT(*) as cnt
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP
+
+query heavy_flows:
+SELECT tb, srcIP, max(cnt) as max_cnt
+FROM flows
+GROUP BY tb, srcIP
+
+query flow_pairs:
+SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt
+FROM heavy_flows S1, heavy_flows S2
+WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1
+`
+
+func TestParsePaperQuerySet(t *testing.T) {
+	qs, err := ParseQuerySet(paperQuerySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs.Queries) != 3 {
+		t.Fatalf("got %d queries, want 3", len(qs.Queries))
+	}
+	flows := qs.Queries[0]
+	if flows.Name != "flows" {
+		t.Errorf("first query name = %q", flows.Name)
+	}
+	if len(flows.Stmt.Items) != 4 || len(flows.Stmt.GroupBy) != 3 {
+		t.Errorf("flows shape wrong: %d items, %d group-by", len(flows.Stmt.Items), len(flows.Stmt.GroupBy))
+	}
+	if flows.Stmt.GroupBy[0].Alias != "tb" {
+		t.Errorf("first group-by alias = %q, want tb", flows.Stmt.GroupBy[0].Alias)
+	}
+	div, ok := flows.Stmt.GroupBy[0].Expr.(*Binary)
+	if !ok || div.Op != OpDiv {
+		t.Fatalf("group-by 0 is %T, want division", flows.Stmt.GroupBy[0].Expr)
+	}
+	cnt, ok := flows.Stmt.Items[3].Expr.(*FuncCall)
+	if !ok || !cnt.Star || !strings.EqualFold(cnt.Name, "COUNT") {
+		t.Errorf("4th item should be COUNT(*), got %v", flows.Stmt.Items[3].Expr)
+	}
+
+	fp := qs.Queries[2]
+	if fp.Stmt.From.Join != JoinInner {
+		t.Errorf("flow_pairs join type = %v", fp.Stmt.From.Join)
+	}
+	if fp.Stmt.From.Left.Alias != "S1" || fp.Stmt.From.Right.Alias != "S2" {
+		t.Errorf("aliases = %q,%q", fp.Stmt.From.Left.Alias, fp.Stmt.From.Right.Alias)
+	}
+	if fp.Stmt.Where == nil {
+		t.Fatal("flow_pairs must have WHERE")
+	}
+	and, ok := fp.Stmt.Where.(*Binary)
+	if !ok || and.Op != OpAnd {
+		t.Fatalf("WHERE should be AND, got %v", fp.Stmt.Where)
+	}
+}
+
+func TestParseHavingWithParam(t *testing.T) {
+	qs, err := ParseQuerySet(`
+SELECT tb, srcIP, destIP, srcPort, destPort,
+       OR_AGGR(flags) as orflag, COUNT(*), SUM(len)
+FROM TCP
+GROUP BY time as tb, srcIP, destIP, srcPort, destPort
+HAVING OR_AGGR(flags) = #PATTERN#
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs.Queries[0]
+	if q.Name != "q1" {
+		t.Errorf("anonymous query name = %q, want q1", q.Name)
+	}
+	if q.Stmt.Having == nil {
+		t.Fatal("HAVING missing")
+	}
+	eq := q.Stmt.Having.(*Binary)
+	if _, ok := eq.R.(*ParamRef); !ok {
+		t.Errorf("HAVING rhs should be a parameter, got %T", eq.R)
+	}
+	if !HasAggregate(q.Stmt.Having) {
+		t.Error("HAVING contains OR_AGGR; HasAggregate should be true")
+	}
+}
+
+func TestParseJoinForms(t *testing.T) {
+	cases := []struct {
+		src  string
+		join JoinType
+	}{
+		{"SELECT a FROM X JOIN Y WHERE X.t = Y.t", JoinInner},
+		{"SELECT a FROM X INNER JOIN Y WHERE X.t = Y.t", JoinInner},
+		{"SELECT a FROM X LEFT JOIN Y WHERE X.t = Y.t", JoinLeftOuter},
+		{"SELECT a FROM X LEFT OUTER JOIN Y WHERE X.t = Y.t", JoinLeftOuter},
+		{"SELECT a FROM X RIGHT OUTER JOIN Y WHERE X.t = Y.t", JoinRightOuter},
+		{"SELECT a FROM X FULL OUTER JOIN Y WHERE X.t = Y.t", JoinFullOuter},
+		{"SELECT a FROM X AS l, Y AS r WHERE l.t = r.t", JoinInner},
+	}
+	for _, c := range cases {
+		qs, err := ParseQuerySet(c.src)
+		if err != nil {
+			t.Errorf("%s: %v", c.src, err)
+			continue
+		}
+		if got := qs.Queries[0].Stmt.From.Join; got != c.join {
+			t.Errorf("%s: join = %v, want %v", c.src, got, c.join)
+		}
+	}
+}
+
+func TestParseJoinWithOn(t *testing.T) {
+	qs, err := ParseQuerySet("SELECT a FROM X JOIN Y ON X.t = Y.t AND X.k = Y.k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs.Queries[0].Stmt.From.On == nil {
+		t.Fatal("ON clause not captured")
+	}
+}
+
+func TestExprPrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a + b * c", "a + b * c"},
+		{"(a + b) * c", "(a + b) * c"},
+		{"srcIP & 0xFFF0", "srcIP & 0xFFF0"},
+		{"time/60", "time / 60"},
+		{"a = b and c = d or e = f", "a = b AND c = d OR e = f"},
+		{"not a = b", "NOT (a = b)"},
+		{"a << 2 + 1", "a << 2 + 1"}, // + binds tighter than <<
+		{"~x & 3", "~x & 3"},
+		{"-a * b", "-a * b"},
+		{"a % 7 = 0", "a % 7 = 0"},
+	}
+	for _, c := range cases {
+		e, err := ParseExpr(c.src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", c.src, err)
+			continue
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("ParseExpr(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+		// Render must reparse to an equal tree.
+		e2, err := ParseExpr(e.String())
+		if err != nil {
+			t.Errorf("reparse %q: %v", e.String(), err)
+			continue
+		}
+		if !EqualExpr(e, e2) {
+			t.Errorf("round trip of %q not stable: %q vs %q", c.src, e, e2)
+		}
+	}
+}
+
+func TestParseWindowClause(t *testing.T) {
+	qs, err := ParseQuerySet(`
+SELECT pane, srcIP, COUNT(*) FROM TCP
+GROUP BY time/10 AS pane, srcIP
+HAVING COUNT(*) > 3
+WINDOW 6`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := qs.Queries[0].Stmt
+	if stmt.WindowPanes != 6 {
+		t.Errorf("WindowPanes = %d", stmt.WindowPanes)
+	}
+	// Renders and reparses.
+	qs2, err := ParseQuerySet(qs.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, qs.String())
+	}
+	if qs2.Queries[0].Stmt.WindowPanes != 6 {
+		t.Error("WINDOW lost in round trip")
+	}
+	for _, bad := range []string{
+		"SELECT COUNT(*) FROM TCP GROUP BY time AS tb WINDOW 0",
+		"SELECT COUNT(*) FROM TCP GROUP BY time AS tb WINDOW x",
+		"SELECT srcIP FROM TCP WINDOW 4",
+	} {
+		if _, err := ParseQuerySet(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM X GROUP a",
+		"SELECT a FROM X WHERE",
+		"SELECT FROM X",
+		"SELECT nosuchfunc(a) FROM X",
+		"SELECT SUM(*) FROM X",
+		"SELECT SUM(a, b) FROM X",
+		"SELECT a FROM X HAVING (",
+		"query : SELECT a FROM X",
+		"SELECT #unterminated FROM X",
+		"query dup: SELECT a FROM X query dup: SELECT a FROM X",
+	}
+	for _, src := range cases {
+		if _, err := ParseQuerySet(src); err == nil {
+			t.Errorf("ParseQuerySet(%q) should fail", src)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := Tokens("x <= 10 << 2 <> y -- comment\n# another\n'str' #P# 0x1F 3.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]TokKind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.Kind
+	}
+	want := []TokKind{TokIdent, TokLe, TokNumber, TokShl, TokNumber, TokNeq,
+		TokIdent, TokString, TokParam, TokNumber, TokNumber, TokEOF}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(kinds), kinds, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, kinds[i], want[i])
+		}
+	}
+	if toks[8].Text != "P" {
+		t.Errorf("param text = %q", toks[8].Text)
+	}
+	if toks[9].Text != "0x1F" {
+		t.Errorf("hex literal text = %q", toks[9].Text)
+	}
+}
+
+func TestHashCommentVsParam(t *testing.T) {
+	// '#' followed by a name and '#' is a parameter; anything else
+	// starts a comment.
+	e, err := ParseExpr("flags = #ATTACK#")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*Binary).R.(*ParamRef); !ok {
+		t.Error("rhs should be param")
+	}
+	if _, err := ParseExpr("flags # not a param\n= 3"); err != nil {
+		t.Errorf("comment form should parse: %v", err)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	e := MustParseExpr("SUM(len) + COUNT(*) * (srcIP & 0xFF)")
+	c := CloneExpr(e)
+	if !EqualExpr(e, c) {
+		t.Error("clone not equal")
+	}
+	// Mutating the clone must not affect the original.
+	c.(*Binary).Op = OpSub
+	if EqualExpr(e, c) {
+		t.Error("mutation leaked")
+	}
+	if !EqualExpr(MustParseExpr("SrcIP"), MustParseExpr("srcip")) {
+		t.Error("identifier comparison should be case-insensitive")
+	}
+}
+
+func TestAggregateRegistry(t *testing.T) {
+	for _, name := range []string{"COUNT", "sum", "Min", "MAX", "AVG", "OR_AGGR", "AND_AGGR", "XOR_AGGR"} {
+		if !IsAggregateName(name) {
+			t.Errorf("%s should be an aggregate", name)
+		}
+	}
+	if IsAggregateName("LEN") {
+		t.Error("LEN is not an aggregate")
+	}
+	spec, _ := LookupAgg("count")
+	if spec.SuperName != "SUM" {
+		t.Errorf("COUNT super = %q, want SUM", spec.SuperName)
+	}
+	if spec, _ := LookupAgg("COUNT_DISTINCT"); spec.Splittable {
+		t.Error("COUNT_DISTINCT must be holistic (not splittable)")
+	}
+	calls := AggregateCalls(MustParseExpr("SUM(a) + MAX(b) - c"))
+	if len(calls) != 2 {
+		t.Errorf("found %d aggregate calls, want 2", len(calls))
+	}
+}
+
+func TestQuerySetString(t *testing.T) {
+	qs := MustParseQuerySet(paperQuerySet)
+	rendered := qs.String()
+	qs2, err := ParseQuerySet(rendered)
+	if err != nil {
+		t.Fatalf("reparse rendered set: %v\n%s", err, rendered)
+	}
+	if len(qs2.Queries) != 3 || qs2.Queries[2].Name != "flow_pairs" {
+		t.Error("rendered set does not round-trip")
+	}
+}

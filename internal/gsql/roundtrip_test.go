@@ -1,0 +1,62 @@
+package gsql
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// genExpr builds a random expression of bounded depth over a small
+// vocabulary of columns, constants, functions, and operators.
+func genExpr(r *rand.Rand, depth int) Expr {
+	if depth <= 0 || r.Intn(3) == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return &ColumnRef{Name: []string{"a", "b", "srcIP", "destPort"}[r.Intn(4)]}
+		case 1:
+			return &ColumnRef{Qualifier: "T", Name: "x"}
+		case 2:
+			return &NumberLit{U: uint64(r.Intn(1000))}
+		default:
+			return &StringLit{S: []string{"", "x", "a'b", `q\q`}[r.Intn(4)]}
+		}
+	}
+	switch r.Intn(8) {
+	case 0:
+		return &Unary{Op: UnaryOp(r.Intn(3)), X: genExpr(r, depth-1)}
+	case 1:
+		return &FuncCall{Name: "ABS", Args: []Expr{genExpr(r, depth-1)}}
+	default:
+		ops := []BinOp{OpAdd, OpSub, OpMul, OpDiv, OpMod, OpBitAnd, OpBitOr,
+			OpBitXor, OpShl, OpShr, OpEq, OpNeq, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr}
+		return &Binary{
+			Op: ops[r.Intn(len(ops))],
+			L:  genExpr(r, depth-1),
+			R:  genExpr(r, depth-1),
+		}
+	}
+}
+
+// TestExprPrintParseRoundTripProperty: every printable expression
+// reparses to a structurally equal tree — the printer's minimal
+// parenthesization agrees with the parser's precedence.
+func TestExprPrintParseRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := genExpr(r, 4)
+		text := e.String()
+		back, err := ParseExpr(text)
+		if err != nil {
+			t.Logf("seed %d: %q failed to parse: %v", seed, text, err)
+			return false
+		}
+		if !EqualExpr(e, back) {
+			t.Logf("seed %d: %q reparsed as %q", seed, text, back.String())
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package gsql implements the front end for the GSQL subset used in
+// the paper: a lexer, an expression/statement AST, a parser for named
+// query sets (SELECT/FROM/JOIN/WHERE/GROUP BY/HAVING with scalar
+// expressions and aggregate functions), and printers.
+package gsql
+
+import "fmt"
+
+// TokKind identifies a lexical token class.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber  // integer or float literal; hex accepted
+	TokString  // quoted string literal
+	TokParam   // #NAME# placeholder parameter
+	TokLParen  // (
+	TokRParen  // )
+	TokComma   // ,
+	TokDot     // .
+	TokSemi    // ;
+	TokColon   // :
+	TokStar    // *
+	TokPlus    // +
+	TokMinus   // -
+	TokSlash   // /
+	TokPercent // %
+	TokAmp     // &
+	TokPipe    // |
+	TokCaret   // ^
+	TokTilde   // ~
+	TokShl     // <<
+	TokShr     // >>
+	TokEq      // =
+	TokNeq     // != or <>
+	TokLt      // <
+	TokLe      // <=
+	TokGt      // >
+	TokGe      // >=
+)
+
+// String returns a description of the token kind.
+func (k TokKind) String() string {
+	switch k {
+	case TokEOF:
+		return "end of input"
+	case TokIdent:
+		return "identifier"
+	case TokNumber:
+		return "number"
+	case TokString:
+		return "string"
+	case TokParam:
+		return "parameter"
+	case TokLParen:
+		return "'('"
+	case TokRParen:
+		return "')'"
+	case TokComma:
+		return "','"
+	case TokDot:
+		return "'.'"
+	case TokSemi:
+		return "';'"
+	case TokColon:
+		return "':'"
+	case TokStar:
+		return "'*'"
+	case TokPlus:
+		return "'+'"
+	case TokMinus:
+		return "'-'"
+	case TokSlash:
+		return "'/'"
+	case TokPercent:
+		return "'%'"
+	case TokAmp:
+		return "'&'"
+	case TokPipe:
+		return "'|'"
+	case TokCaret:
+		return "'^'"
+	case TokTilde:
+		return "'~'"
+	case TokShl:
+		return "'<<'"
+	case TokShr:
+		return "'>>'"
+	case TokEq:
+		return "'='"
+	case TokNeq:
+		return "'!='"
+	case TokLt:
+		return "'<'"
+	case TokLe:
+		return "'<='"
+	case TokGt:
+		return "'>'"
+	case TokGe:
+		return "'>='"
+	default:
+		return fmt.Sprintf("token(%d)", uint8(k))
+	}
+}
+
+// Token is one lexical token with its source position.
+type Token struct {
+	Kind TokKind
+	Text string // raw text for identifiers, numbers, strings, params
+	Line int    // 1-based
+	Col  int    // 1-based
+}
+
+// String renders the token for error messages.
+func (t Token) String() string {
+	switch t.Kind {
+	case TokIdent, TokNumber:
+		return fmt.Sprintf("%q", t.Text)
+	case TokString:
+		return fmt.Sprintf("string %q", t.Text)
+	case TokParam:
+		return fmt.Sprintf("parameter #%s#", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}

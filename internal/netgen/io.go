@@ -1,0 +1,134 @@
+package netgen
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the column order of the CSV trace format, matching
+// SchemaDDL.
+var csvHeader = []string{"time", "srcIP", "destIP", "srcPort", "destPort", "len", "flags", "seq"}
+
+// WriteCSV emits a trace in the CSV exchange format: a header row then
+// one row per packet, IPs in dotted-quad notation.
+func WriteCSV(w io.Writer, packets []Packet) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for i := range packets {
+		p := &packets[i]
+		row[0] = strconv.FormatUint(p.Time, 10)
+		row[1] = formatIP(p.SrcIP)
+		row[2] = formatIP(p.DestIP)
+		row[3] = strconv.FormatUint(p.SrcPort, 10)
+		row[4] = strconv.FormatUint(p.DestPort, 10)
+		row[5] = strconv.FormatUint(p.Len, 10)
+		row[6] = strconv.FormatUint(p.Flags, 10)
+		row[7] = strconv.FormatUint(p.Seq, 10)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace. The header row is required; IPs may be
+// dotted quads or plain integers. Packets must be time-ordered (the
+// executor's watermarks depend on it); out-of-order rows are an error.
+func ReadCSV(r io.Reader) ([]Packet, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("netgen: reading CSV header: %w", err)
+	}
+	// Map header columns to fields, tolerating reordering.
+	idx := make([]int, len(csvHeader))
+	for i := range idx {
+		idx[i] = -1
+	}
+	for col, name := range header {
+		for i, want := range csvHeader {
+			if strings.EqualFold(strings.TrimSpace(name), want) {
+				idx[i] = col
+			}
+		}
+	}
+	for i, want := range csvHeader {
+		if idx[i] < 0 {
+			return nil, fmt.Errorf("netgen: CSV header missing column %q", want)
+		}
+	}
+	var out []Packet
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("netgen: CSV line %d: %w", line+1, err)
+		}
+		line++
+		get := func(i int) string { return strings.TrimSpace(rec[idx[i]]) }
+		var p Packet
+		fields := []struct {
+			dst  *uint64
+			text string
+			ip   bool
+		}{
+			{&p.Time, get(0), false},
+			{&p.SrcIP, get(1), true},
+			{&p.DestIP, get(2), true},
+			{&p.SrcPort, get(3), false},
+			{&p.DestPort, get(4), false},
+			{&p.Len, get(5), false},
+			{&p.Flags, get(6), false},
+			{&p.Seq, get(7), false},
+		}
+		for _, f := range fields {
+			v, err := parseField(f.text, f.ip)
+			if err != nil {
+				return nil, fmt.Errorf("netgen: CSV line %d: %w", line, err)
+			}
+			*f.dst = v
+		}
+		if len(out) > 0 && p.Time < out[len(out)-1].Time {
+			return nil, fmt.Errorf("netgen: CSV line %d: packets not time-ordered", line)
+		}
+		out = append(out, p)
+	}
+}
+
+func formatIP(u uint64) string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+func parseField(s string, ip bool) (uint64, error) {
+	if ip && strings.Contains(s, ".") {
+		parts := strings.Split(s, ".")
+		if len(parts) != 4 {
+			return 0, fmt.Errorf("bad IPv4 %q", s)
+		}
+		var v uint64
+		for _, part := range parts {
+			b, err := strconv.ParseUint(part, 10, 8)
+			if err != nil {
+				return 0, fmt.Errorf("bad IPv4 %q: %v", s, err)
+			}
+			v = v<<8 | b
+		}
+		return v, nil
+	}
+	v, err := strconv.ParseUint(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q: %v", s, err)
+	}
+	return v, nil
+}

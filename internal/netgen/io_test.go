@@ -1,0 +1,63 @@
+package netgen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DurationSec, cfg.PacketsPerSec = 5, 200
+	tr := Generate(cfg)
+	var b strings.Builder
+	if err := WriteCSV(&b, tr.Packets); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(tr.Packets) {
+		t.Fatalf("round trip lost packets: %d vs %d", len(got), len(tr.Packets))
+	}
+	for i := range got {
+		if got[i] != tr.Packets[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, got[i], tr.Packets[i])
+		}
+	}
+}
+
+func TestReadCSVFlexibleInput(t *testing.T) {
+	// Reordered header, integer IPs, whitespace.
+	src := `srcIP,time,destIP,srcPort,destPort,len,flags,seq
+10.0.0.1, 3 ,192.168.0.1,1024,80,100,2,0
+167772162,4,3232235522,1025,443,200,16,1`
+	got, err := ReadCSV(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d packets", len(got))
+	}
+	if got[0].SrcIP != 0x0A000001 || got[0].Time != 3 {
+		t.Errorf("packet 0 = %+v", got[0])
+	}
+	if got[1].SrcIP != 167772162 || got[1].DestIP != 3232235522 {
+		t.Errorf("packet 1 = %+v", got[1])
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"missing column", "time,srcIP\n1,2"},
+		{"bad ip", "time,srcIP,destIP,srcPort,destPort,len,flags,seq\n1,10.0.0,1,1,1,1,1,1"},
+		{"bad number", "time,srcIP,destIP,srcPort,destPort,len,flags,seq\n1,1,1,x,1,1,1,1"},
+		{"unordered", "time,srcIP,destIP,srcPort,destPort,len,flags,seq\n5,1,1,1,1,1,1,1\n3,1,1,1,1,1,1,1"},
+		{"empty", ""},
+	}
+	for _, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c.src)); err == nil {
+			t.Errorf("%s: should fail", c.name)
+		}
+	}
+}

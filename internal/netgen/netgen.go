@@ -1,0 +1,233 @@
+// Package netgen generates synthetic, flow-structured TCP packet
+// traces that stand in for the paper's one-hour AT&T data-center
+// capture (Section 6): Zipf-skewed host popularity, geometric flow
+// lengths, realistic TCP flag sequences, and a configurable fraction
+// of "suspicious" flows whose OR-ed flags match an attack pattern (the
+// Section 6.1 workload filters those with HAVING OR_AGGR(flags) =
+// pattern). Generation is fully deterministic for a given Config.
+package netgen
+
+import (
+	"math/rand"
+	"sort"
+
+	"qap/internal/exec"
+	"qap/internal/sqlval"
+)
+
+// TCP flag bits.
+const (
+	FlagFIN uint64 = 1 << iota
+	FlagSYN
+	FlagRST
+	FlagPSH
+	FlagACK
+	FlagURG
+)
+
+// AttackPattern is the OR of flags that marks a suspicious flow (a
+// SYN/RST/URG mix that never occurs in a well-formed TCP session, for
+// which the OR is FIN|SYN|PSH|ACK).
+const AttackPattern = FlagSYN | FlagRST | FlagURG
+
+// NormalPattern is the OR of flags of a complete well-formed flow.
+const NormalPattern = FlagFIN | FlagSYN | FlagPSH | FlagACK
+
+// SchemaDDL is the stream definition traces conform to; seq is the
+// packet's position within its flow (TCP sequence stand-in).
+const SchemaDDL = `TCP(time increasing, srcIP, destIP, srcPort, destPort, len, flags, seq)`
+
+// Packet is one captured packet.
+type Packet struct {
+	Time     uint64 // seconds since trace start
+	SrcIP    uint64
+	DestIP   uint64
+	SrcPort  uint64
+	DestPort uint64
+	Len      uint64
+	Flags    uint64
+	Seq      uint64 // position within the flow
+}
+
+// Tuple renders the packet in SchemaDDL column order.
+func (p Packet) Tuple() exec.Tuple {
+	return exec.Tuple{
+		sqlval.Uint(p.Time), sqlval.Uint(p.SrcIP), sqlval.Uint(p.DestIP),
+		sqlval.Uint(p.SrcPort), sqlval.Uint(p.DestPort),
+		sqlval.Uint(p.Len), sqlval.Uint(p.Flags), sqlval.Uint(p.Seq),
+	}
+}
+
+// Config controls trace generation.
+type Config struct {
+	Seed        int64
+	DurationSec int
+	// PacketsPerSec is the average aggregate packet rate.
+	PacketsPerSec int
+	// SrcHosts and DstHosts are the distinct address pool sizes.
+	SrcHosts, DstHosts int
+	// ZipfS is the host-popularity skew (> 1; larger = more skew).
+	ZipfS float64
+	// MeanFlowPackets is the average packets per flow (geometric).
+	MeanFlowPackets float64
+	// AttackFraction of flows are suspicious (default 5%, matching
+	// the paper's trace).
+	AttackFraction float64
+	// Ports is the ephemeral port range size.
+	Ports int
+}
+
+// DefaultConfig mirrors the paper's trace shape at a laptop-friendly
+// rate; the benches scale PacketsPerSec and DurationSec.
+func DefaultConfig() Config {
+	return Config{
+		Seed:            1,
+		DurationSec:     120,
+		PacketsPerSec:   2000,
+		SrcHosts:        2000,
+		DstHosts:        1000,
+		ZipfS:           1.2,
+		MeanFlowPackets: 8,
+		AttackFraction:  0.05,
+		Ports:           4096,
+	}
+}
+
+// Trace is a generated, time-ordered packet sequence.
+type Trace struct {
+	Packets []Packet
+	Config  Config
+	// AttackFlows and TotalFlows report the generated flow mix.
+	AttackFlows, TotalFlows int
+}
+
+// Generate builds a deterministic trace for the configuration.
+func Generate(cfg Config) *Trace {
+	if cfg.DurationSec <= 0 {
+		cfg.DurationSec = 1
+	}
+	if cfg.PacketsPerSec <= 0 {
+		cfg.PacketsPerSec = 1000
+	}
+	if cfg.SrcHosts <= 1 {
+		cfg.SrcHosts = 2
+	}
+	if cfg.DstHosts <= 1 {
+		cfg.DstHosts = 2
+	}
+	if cfg.ZipfS <= 1 {
+		cfg.ZipfS = 1.2
+	}
+	if cfg.MeanFlowPackets < 1 {
+		cfg.MeanFlowPackets = 1
+	}
+	if cfg.Ports <= 0 {
+		cfg.Ports = 4096
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	srcZipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.SrcHosts-1))
+	dstZipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.DstHosts-1))
+
+	budget := cfg.DurationSec * cfg.PacketsPerSec
+	tr := &Trace{Config: cfg}
+	packets := make([]Packet, 0, budget+16)
+	for len(packets) < budget {
+		flow := makeFlow(r, srcZipf, dstZipf, cfg)
+		tr.TotalFlows++
+		if flow.attack {
+			tr.AttackFlows++
+		}
+		packets = append(packets, flow.packets...)
+	}
+	packets = packets[:budget]
+	sort.SliceStable(packets, func(i, j int) bool { return packets[i].Time < packets[j].Time })
+	tr.Packets = packets
+	return tr
+}
+
+type flow struct {
+	attack  bool
+	packets []Packet
+}
+
+func makeFlow(r *rand.Rand, srcZipf, dstZipf *rand.Zipf, cfg Config) flow {
+	var f flow
+	f.attack = r.Float64() < cfg.AttackFraction
+	src := 0x0A000000 + srcZipf.Uint64()              // 10.0.0.0/8
+	dst := 0xC0A80000 + dstZipf.Uint64()              // 192.168.0.0/16-ish
+	sport := uint64(1024 + r.Intn(cfg.Ports))         // ephemeral
+	dport := []uint64{80, 443, 53, 22, 25}[r.Intn(5)] // services
+	n := 1 + geometric(r, cfg.MeanFlowPackets)
+	start := uint64(r.Intn(cfg.DurationSec))
+	// Spread the flow's packets over up to ~30 seconds.
+	span := n / 4
+	if span > 30 {
+		span = 30
+	}
+	for i := 0; i < n; i++ {
+		t := start
+		if span > 0 {
+			t += uint64(r.Intn(span + 1))
+		}
+		if int(t) >= cfg.DurationSec {
+			t = uint64(cfg.DurationSec - 1)
+		}
+		f.packets = append(f.packets, Packet{
+			Time:     t,
+			SrcIP:    src,
+			DestIP:   dst,
+			SrcPort:  sport,
+			DestPort: dport,
+			Len:      uint64(40 + r.Intn(1460)),
+			Flags:    flowFlags(r, f.attack, i, n),
+		})
+	}
+	sort.SliceStable(f.packets, func(a, b int) bool { return f.packets[a].Time < f.packets[b].Time })
+	// Sequence numbers follow time order within the flow.
+	for i := range f.packets {
+		f.packets[i].Seq = uint64(i)
+	}
+	return f
+}
+
+// flowFlags produces per-packet flags such that the OR over a
+// complete flow is exactly NormalPattern for well-formed flows and
+// exactly AttackPattern for suspicious ones.
+func flowFlags(r *rand.Rand, attack bool, i, n int) uint64 {
+	if attack {
+		switch {
+		case i == 0:
+			return FlagSYN | FlagURG
+		case i == n-1:
+			return FlagRST
+		default:
+			return []uint64{FlagSYN, FlagRST, FlagURG}[r.Intn(3)]
+		}
+	}
+	switch {
+	case n == 1:
+		return FlagSYN | FlagACK | FlagPSH | FlagFIN
+	case i == 0:
+		return FlagSYN
+	case i == n-1:
+		return FlagFIN | FlagACK
+	default:
+		if r.Intn(2) == 0 {
+			return FlagACK | FlagPSH
+		}
+		return FlagACK
+	}
+}
+
+// geometric samples a geometric-ish count with the given mean.
+func geometric(r *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 0
+	}
+	p := 1 / mean
+	n := 0
+	for r.Float64() > p && n < 10000 {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the physical plan in Graphviz format, clustering
+// operators by host (the layout of the paper's plan figures).
+func (p *Plan) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph physical {\n  rankdir=BT;\n")
+	byHost := make(map[int][]*Op)
+	for _, op := range p.Ops {
+		byHost[op.Host] = append(byHost[op.Host], op)
+	}
+	for host := 0; host < p.Hosts; host++ {
+		ops := byHost[host]
+		if len(ops) == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  subgraph cluster_host%d {\n    label=\"host %d\";\n", host, host)
+		for _, op := range ops {
+			shape := "ellipse"
+			switch op.Kind {
+			case OpScan:
+				shape = "box"
+			case OpUnion:
+				shape = "invtriangle"
+			case OpAggregate, OpAggSub, OpAggSuper, OpWindow:
+				shape = "house"
+			case OpJoin:
+				shape = "diamond"
+			case OpOutput:
+				shape = "doublecircle"
+			}
+			fmt.Fprintf(&b, "    o%d [shape=%s, label=%q];\n", op.ID, shape, dotOpLabel(op))
+		}
+		b.WriteString("  }\n")
+	}
+	for _, op := range p.Ops {
+		for _, in := range op.Inputs {
+			style := ""
+			if in.Host != op.Host {
+				style = " [color=red, penwidth=2]" // network edge
+			}
+			fmt.Fprintf(&b, "  o%d -> o%d%s;\n", in.ID, op.ID, style)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotOpLabel(op *Op) string {
+	switch op.Kind {
+	case OpScan:
+		return fmt.Sprintf("%s p%d", op.Stream, op.Partition)
+	case OpUnion:
+		return "∪"
+	case OpOutput:
+		return "out " + op.Logical.QueryName
+	default:
+		name := op.Logical.QueryName
+		prefix := ""
+		switch op.Kind {
+		case OpAggregate:
+			prefix = "γ "
+		case OpAggSub:
+			prefix = "γ-sub "
+		case OpAggSuper:
+			prefix = "γ-super "
+		case OpJoin:
+			prefix = "⋈ "
+		case OpSelProj:
+			prefix = "σ/π "
+		case OpWindow:
+			prefix = "win "
+		}
+		if op.Partition >= 0 {
+			return fmt.Sprintf("%s%s p%d", prefix, name, op.Partition)
+		}
+		return prefix + name
+	}
+}

@@ -1,0 +1,222 @@
+// Package optimizer is the partition-aware distributed query optimizer
+// (paper Section 5). Starting from the partition-agnostic plan — every
+// partition merged on the aggregator host, every query node running
+// there — it applies bottom-up transformation rules that push
+// compatible operators below the merges:
+//
+//   - selection/projection always runs per partition (Section 5.4);
+//   - a compatible aggregation runs one copy per partition, the
+//     aggregator only unions finished groups (Section 5.2.1, Figure 4);
+//   - an incompatible aggregation splits into sub-aggregates (per
+//     partition, or per host in the "optimized" configuration) and a
+//     central super-aggregate — WHERE pushes into the sub-aggregate,
+//     HAVING stays central (Section 5.2.2, Figure 5);
+//   - a compatible join becomes pair-wise per-partition joins
+//     (Section 5.3, Figure 7).
+//
+// The result is a physical plan the cluster simulator instantiates.
+package optimizer
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/core"
+	"qap/internal/plan"
+)
+
+// OpKind classifies physical operators.
+type OpKind uint8
+
+// Physical operator kinds.
+const (
+	OpScan OpKind = iota
+	OpUnion
+	OpSelProj
+	OpAggregate // full aggregation (compatible or centralized)
+	OpAggSub    // partial pre-aggregation
+	OpAggSuper  // central merging aggregation
+	OpJoin
+	OpOutput
+	// OpWindow merges per-pane partial aggregates into sliding-window
+	// results (downstream of OpAggSub instances).
+	OpWindow
+)
+
+// String names the kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpScan:
+		return "scan"
+	case OpUnion:
+		return "union"
+	case OpSelProj:
+		return "select/project"
+	case OpAggregate:
+		return "aggregate"
+	case OpAggSub:
+		return "sub-aggregate"
+	case OpAggSuper:
+		return "super-aggregate"
+	case OpJoin:
+		return "join"
+	case OpOutput:
+		return "output"
+	case OpWindow:
+		return "sliding-window"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// Op is one physical operator instance.
+type Op struct {
+	ID   int
+	Kind OpKind
+	// Host placing the instance; the aggregator host runs all central
+	// operators.
+	Host int
+	// Partition is the stream partition the instance serves, or -1
+	// for host-level and central operators.
+	Partition int
+	// Proc identifies the simulated process the operator runs in:
+	// per-partition operators share their partition's capture process,
+	// host-level pre-aggregation runs in the process of the host's
+	// first partition (it reads the sibling ring buffer directly), and
+	// -1 is the central root process on the aggregator host.
+	Proc int
+	// Logical is the query-DAG node this operator implements; nil for
+	// scans, unions, and outputs.
+	Logical *plan.Node
+	// Stream names the scanned stream for OpScan.
+	Stream string
+	// Inputs in port order (joins: left, right).
+	Inputs []*Op
+}
+
+// Label renders a short description for plan printing.
+func (o *Op) Label() string {
+	var b strings.Builder
+	b.WriteString(o.Kind.String())
+	switch {
+	case o.Kind == OpScan:
+		fmt.Fprintf(&b, " %s[p%d]", o.Stream, o.Partition)
+	case o.Logical != nil:
+		fmt.Fprintf(&b, " %s", o.Logical.QueryName)
+		if o.Partition >= 0 {
+			fmt.Fprintf(&b, "[p%d]", o.Partition)
+		}
+	}
+	fmt.Fprintf(&b, " @host%d", o.Host)
+	return b.String()
+}
+
+// Plan is a distributed physical plan.
+type Plan struct {
+	// Ops in topological order (inputs precede consumers).
+	Ops []*Op
+	// Outputs maps each root query name to its output operator.
+	Outputs map[string]*Op
+	// Hosts, Partitions, and PartitionsPerHost record the cluster
+	// shape the plan was built for.
+	Hosts, Partitions, PartitionsPerHost int
+	// AggregatorHost runs the central operators (and the final
+	// outputs); it is also a leaf host holding partitions.
+	AggregatorHost int
+	// Set is the partitioning the splitter applies; empty means
+	// query-agnostic (round-robin) splitting.
+	Set core.Set
+	// StreamSets, when non-nil, assigns a distinct partitioning per
+	// source stream (the paper's future-work extension) and takes
+	// precedence over Set.
+	StreamSets core.StreamSets
+	// Graph is the logical plan this physical plan implements.
+	Graph *plan.Graph
+}
+
+// SplitterSet returns the partitioning the splitter applies to the
+// named stream.
+func (p *Plan) SplitterSet(stream string) core.Set {
+	if p.StreamSets != nil {
+		return p.StreamSets.Get(stream)
+	}
+	return p.Set
+}
+
+// HostOfPartition places partitions on hosts in contiguous blocks
+// (the paper assigns two partitions to each host).
+func (p *Plan) HostOfPartition(part int) int {
+	if p.PartitionsPerHost <= 0 {
+		return 0
+	}
+	h := part / p.PartitionsPerHost
+	if h >= p.Hosts {
+		h = p.Hosts - 1
+	}
+	return h
+}
+
+// String renders the plan grouped by host, for golden tests matching
+// the paper's plan figures.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for _, op := range p.Ops {
+		ins := make([]string, len(op.Inputs))
+		for i, in := range op.Inputs {
+			ins[i] = fmt.Sprintf("%d", in.ID)
+		}
+		fmt.Fprintf(&b, "%3d: %-40s <- [%s]\n", op.ID, op.Label(), strings.Join(ins, ", "))
+	}
+	return b.String()
+}
+
+// CountKind reports how many operators of a kind the plan contains,
+// a convenience for plan-shape tests.
+func (p *Plan) CountKind(k OpKind) int {
+	n := 0
+	for _, op := range p.Ops {
+		if op.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Scope selects the granularity of partial pre-aggregation for
+// incompatible aggregations.
+type Scope uint8
+
+// Partial-aggregation scopes. ScopePartition pre-aggregates each
+// partition separately (the paper's Naive configuration); ScopeHost
+// first unions the host's partitions and pre-aggregates once per host
+// (the Optimized configuration, deduplicating groups across the
+// host's partitions).
+const (
+	ScopePartition Scope = iota
+	ScopeHost
+)
+
+// Options configures physical plan construction.
+type Options struct {
+	// Hosts is the cluster size (the paper varies 1-4).
+	Hosts int
+	// PartitionsPerHost is the splitter fan-out per host (2 in the
+	// paper, matching dual-core machines).
+	PartitionsPerHost int
+	// AggregatorHost runs central operators; it is host 0 by default.
+	AggregatorHost int
+	// PartialAgg enables the sub/super-aggregate split for
+	// incompatible aggregations.
+	PartialAgg bool
+	// PartialScope selects per-partition or per-host pre-aggregation.
+	PartialScope Scope
+	// StreamSets, when non-nil, partitions each source stream by its
+	// own set; compatibility then uses the per-stream semantics.
+	StreamSets core.StreamSets
+}
+
+// DefaultOptions mirrors the paper's cluster: 4 hosts, 2 partitions
+// each, partial aggregation per host.
+func DefaultOptions() Options {
+	return Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true, PartialScope: ScopeHost}
+}

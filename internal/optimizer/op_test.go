@@ -1,0 +1,74 @@
+package optimizer
+
+import (
+	"strings"
+	"testing"
+
+	"qap/internal/core"
+)
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := []OpKind{OpScan, OpUnion, OpSelProj, OpAggregate, OpAggSub,
+		OpAggSuper, OpJoin, OpOutput, OpWindow}
+	for _, k := range kinds {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "op(") {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+	if OpKind(99).String() != "op(99)" {
+		t.Error("unknown kind should render numerically")
+	}
+}
+
+func TestHostOfPartitionClamps(t *testing.T) {
+	p := &Plan{Hosts: 3, PartitionsPerHost: 2}
+	cases := map[int]int{0: 0, 1: 0, 2: 1, 5: 2, 9: 2}
+	for part, want := range cases {
+		if got := p.HostOfPartition(part); got != want {
+			t.Errorf("HostOfPartition(%d) = %d, want %d", part, got, want)
+		}
+	}
+	if (&Plan{}).HostOfPartition(3) != 0 {
+		t.Error("zero PartitionsPerHost should default to host 0")
+	}
+}
+
+func TestSplitterSetSelection(t *testing.T) {
+	shared := core.MustParseSet("srcIP")
+	p := &Plan{Set: shared}
+	if !p.SplitterSet("TCP").Equal(shared) {
+		t.Error("shared set should apply to every stream")
+	}
+	p.StreamSets = core.StreamSets{"tcp": core.MustParseSet("destIP")}
+	if !p.SplitterSet("TCP").Equal(core.MustParseSet("destIP")) {
+		t.Error("per-stream set should take precedence")
+	}
+	if !p.SplitterSet("UDP").IsEmpty() {
+		t.Error("streams without a per-stream set fall back to round robin")
+	}
+}
+
+func TestDefaultOptionsShape(t *testing.T) {
+	o := DefaultOptions()
+	if o.Hosts != 4 || o.PartitionsPerHost != 2 || !o.PartialAgg || o.PartialScope != ScopeHost {
+		t.Errorf("DefaultOptions = %+v", o)
+	}
+}
+
+func TestWindowedAggregateCentralWithoutPartials(t *testing.T) {
+	// PartialAgg disabled: the windowed aggregation centralizes as
+	// one sub + one window behind the merge.
+	g := buildGraph(t, `
+query w:
+SELECT pane, srcIP, COUNT(*) AS cnt
+FROM TCP GROUP BY time/10 AS pane, srcIP WINDOW 3`)
+	p := MustBuild(g, nil, Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: false})
+	if p.CountKind(OpWindow) != 1 || p.CountKind(OpAggSub) != 1 || p.CountKind(OpUnion) != 1 {
+		t.Errorf("central windowed plan wrong:\n%s", p)
+	}
+	for _, op := range p.Ops {
+		if (op.Kind == OpWindow || op.Kind == OpAggSub) && op.Host != p.AggregatorHost {
+			t.Errorf("%s should sit on the aggregator", op.Label())
+		}
+	}
+}

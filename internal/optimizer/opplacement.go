@@ -1,0 +1,90 @@
+package optimizer
+
+import (
+	"fmt"
+
+	"qap/internal/plan"
+)
+
+// BuildOperatorPlacement constructs the query-plan-partitioning
+// baseline the paper argues against (Sections 1-2, citing Borealis):
+// instead of partitioning the data, each query operator is placed on
+// its own host (round-robin over the cluster) and whole streams are
+// forwarded between hosts. Every operator still sees its complete
+// input, so an operator too heavy for one machine — any low-level
+// aggregation at line rate — remains the bottleneck no matter how many
+// hosts are added, and the inter-host forwarding adds load instead of
+// removing it.
+func BuildOperatorPlacement(g *plan.Graph, opts Options) (*Plan, error) {
+	if opts.Hosts <= 0 {
+		return nil, fmt.Errorf("optimizer: Hosts must be positive, got %d", opts.Hosts)
+	}
+	if opts.PartitionsPerHost <= 0 {
+		return nil, fmt.Errorf("optimizer: PartitionsPerHost must be positive, got %d", opts.PartitionsPerHost)
+	}
+	b := &builder{
+		plan: &Plan{
+			Outputs:           make(map[string]*Op),
+			Hosts:             opts.Hosts,
+			Partitions:        opts.Hosts * opts.PartitionsPerHost,
+			PartitionsPerHost: opts.PartitionsPerHost,
+			AggregatorHost:    opts.AggregatorHost,
+			Graph:             g,
+		},
+		opts: opts,
+		impl: make(map[*plan.Node]*implInfo),
+	}
+	for _, src := range g.Sources() {
+		b.buildScans(src)
+	}
+	// Assign each query node to a host round-robin; heavier nodes are
+	// not special-cased, mirroring the "highly non-uniform resource
+	// consumption" problem the paper describes.
+	for i, n := range g.QueryNodes() {
+		host := i % opts.Hosts
+		in0 := b.centralizeOn(b.impl[n.Inputs[0]], host)
+		var op *Op
+		switch n.Kind {
+		case plan.KindSelectProject:
+			op = b.newOp(OpSelProj, host, -1, n)
+			op.Inputs = []*Op{in0}
+		case plan.KindAggregate:
+			if n.WindowPanes > 1 {
+				sub := b.newOp(OpAggSub, host, -1, n)
+				sub.Inputs = []*Op{in0}
+				op = b.newOp(OpWindow, host, -1, n)
+				op.Inputs = []*Op{sub}
+				break
+			}
+			op = b.newOp(OpAggregate, host, -1, n)
+			op.Inputs = []*Op{in0}
+		case plan.KindJoin:
+			in1 := b.centralizeOn(b.impl[n.Inputs[1]], host)
+			op = b.newOp(OpJoin, host, -1, n)
+			op.Inputs = []*Op{in0, in1}
+		default:
+			return nil, fmt.Errorf("optimizer: unexpected node kind %v for %s", n.Kind, n.QueryName)
+		}
+		b.impl[n] = &implInfo{central: op}
+	}
+	for _, root := range g.Roots() {
+		in := b.centralizeOn(b.impl[root], b.plan.AggregatorHost)
+		out := b.newOp(OpOutput, b.plan.AggregatorHost, -1, root)
+		out.Inputs = []*Op{in}
+		b.plan.Outputs[root.QueryName] = out
+	}
+	return b.plan, nil
+}
+
+// centralizeOn returns an operator producing the node's complete
+// stream on the given host, inserting a union over per-partition
+// producers when needed.
+func (b *builder) centralizeOn(info *implInfo, host int) *Op {
+	if info.central != nil {
+		return info.central
+	}
+	union := b.newOp(OpUnion, host, -1, nil)
+	union.Inputs = append(union.Inputs, info.parts...)
+	info.central = union
+	return union
+}

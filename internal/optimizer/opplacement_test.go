@@ -1,0 +1,53 @@
+package optimizer
+
+import (
+	"testing"
+)
+
+func TestOperatorPlacementSpreadsNodes(t *testing.T) {
+	g := buildGraph(t, complexSet)
+	p, err := BuildOperatorPlacement(g, Options{Hosts: 3, PartitionsPerHost: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each of the three query nodes lands on its own host, centralized
+	// (no per-partition copies).
+	hosts := map[string]int{}
+	for _, op := range p.Ops {
+		if op.Logical == nil || op.Kind == OpScan || op.Kind == OpOutput {
+			continue
+		}
+		if op.Partition != -1 {
+			t.Errorf("%s should be centralized", op.Label())
+		}
+		hosts[op.Logical.QueryName] = op.Host
+	}
+	if len(hosts) != 3 {
+		t.Fatalf("placed %d nodes, want 3", len(hosts))
+	}
+	if hosts["flows"] == hosts["heavy_flows"] && hosts["heavy_flows"] == hosts["flow_pairs"] {
+		t.Error("operators should spread across hosts")
+	}
+	// Topological order still holds.
+	pos := make(map[*Op]int)
+	for i, op := range p.Ops {
+		pos[op] = i
+	}
+	for _, op := range p.Ops {
+		for _, in := range op.Inputs {
+			if pos[in] >= pos[op] {
+				t.Fatalf("op %s before its input %s", op.Label(), in.Label())
+			}
+		}
+	}
+}
+
+func TestOperatorPlacementValidation(t *testing.T) {
+	g := buildGraph(t, flowsOnly)
+	if _, err := BuildOperatorPlacement(g, Options{Hosts: 0, PartitionsPerHost: 1}); err == nil {
+		t.Error("zero hosts should fail")
+	}
+	if _, err := BuildOperatorPlacement(g, Options{Hosts: 1, PartitionsPerHost: 0}); err == nil {
+		t.Error("zero partitions should fail")
+	}
+}

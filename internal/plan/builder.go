@@ -1,0 +1,789 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/gsql"
+	"qap/internal/schema"
+)
+
+// Build analyzes a parsed query set against a catalog and produces the
+// logical query DAG. Queries may reference base streams or earlier
+// queries by name. Each query must be a basic streaming node —
+// selection/projection, aggregation, or two-way equi-join — matching
+// the paper's query-DAG model (Section 4.2); compound statements must
+// be decomposed into multiple named queries.
+func Build(cat *schema.Catalog, qs *gsql.QuerySet) (*Graph, error) {
+	b := &builder{
+		cat: cat,
+		g:   &Graph{Catalog: cat, byName: make(map[string]*Node)},
+	}
+	for _, q := range qs.Queries {
+		n, err := b.buildQuery(q)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(q.Name)
+		if _, dup := b.g.byName[key]; dup {
+			return nil, fmt.Errorf("plan: query %q conflicts with an existing stream or query name", q.Name)
+		}
+		b.g.byName[key] = n
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build that panics on error, for tests and examples.
+func MustBuild(cat *schema.Catalog, qs *gsql.QuerySet) *Graph {
+	g, err := Build(cat, qs)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+type builder struct {
+	cat    *schema.Catalog
+	g      *Graph
+	nextID int
+}
+
+func (b *builder) newNode(kind Kind, name string) *Node {
+	n := &Node{ID: b.nextID, Kind: kind, QueryName: name, TemporalKey: -1}
+	b.nextID++
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+// input resolves a FROM reference to a node: an earlier query by name,
+// or a base stream (creating/reusing its source node).
+func (b *builder) input(ref gsql.TableRef) (*Node, error) {
+	if n, ok := b.g.byName[strings.ToLower(ref.Name)]; ok {
+		return n, nil
+	}
+	s, ok := b.cat.Stream(ref.Name)
+	if !ok {
+		return nil, fmt.Errorf("plan: FROM %s: no such stream or query", ref.Name)
+	}
+	// Reuse an existing source node for the stream.
+	for _, n := range b.g.Nodes {
+		if n.Kind == KindSource && n.Stream == s {
+			return n, nil
+		}
+	}
+	n := b.newNode(KindSource, s.Name)
+	n.Stream = s
+	n.OutCols = make([]ColDef, len(s.Attrs))
+	for i, a := range s.Attrs {
+		n.OutCols[i] = ColDef{
+			Name: a.Name,
+			Type: a.Type,
+			Lineage: Lineage{
+				Base: &BaseRef{
+					Stream: s.Name,
+					Attr:   a.Name,
+					Expr:   &gsql.ColumnRef{Qualifier: s.Name, Name: a.Name},
+				},
+				Temporal: a.Temporal(),
+			},
+		}
+	}
+	b.g.byName[strings.ToLower(s.Name)] = n
+	return n, nil
+}
+
+func (b *builder) buildQuery(q *gsql.Query) (*Node, error) {
+	stmt := q.Stmt
+	isJoin := stmt.From.Join != gsql.JoinNone
+	isAgg := len(stmt.GroupBy) > 0
+	if !isAgg {
+		for _, it := range stmt.Items {
+			if gsql.HasAggregate(it.Expr) {
+				isAgg = true
+				break
+			}
+		}
+	}
+	switch {
+	case isJoin && isAgg:
+		return nil, fmt.Errorf("plan: query %s: a basic node cannot both join and aggregate; split it into two queries", q.Name)
+	case isJoin:
+		return b.buildJoin(q)
+	case isAgg:
+		return b.buildAggregate(q)
+	default:
+		return b.buildSelectProject(q)
+	}
+}
+
+// ---- column environments ----
+
+type binding struct {
+	name string
+	cols []ColDef
+}
+
+type colEnv struct {
+	queryName string
+	bindings  []binding
+}
+
+// resolve locates a column reference; it returns the binding index,
+// column index and definition.
+func (e colEnv) resolve(ref *gsql.ColumnRef) (int, int, ColDef, error) {
+	if ref.Qualifier != "" {
+		for bi, bd := range e.bindings {
+			if strings.EqualFold(bd.name, ref.Qualifier) {
+				for ci, c := range bd.cols {
+					if strings.EqualFold(c.Name, ref.Name) {
+						return bi, ci, c, nil
+					}
+				}
+				return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: %s has no column %q", e.queryName, bd.name, ref.Name)
+			}
+		}
+		return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: unknown input %q in reference %s", e.queryName, ref.Qualifier, ref)
+	}
+	foundBi, foundCi := -1, -1
+	var found ColDef
+	for bi, bd := range e.bindings {
+		for ci, c := range bd.cols {
+			if strings.EqualFold(c.Name, ref.Name) {
+				if foundBi >= 0 {
+					return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: column %q is ambiguous", e.queryName, ref.Name)
+				}
+				foundBi, foundCi, found = bi, ci, c
+			}
+		}
+	}
+	if foundBi < 0 {
+		return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: unknown column %q", e.queryName, ref.Name)
+	}
+	return foundBi, foundCi, found, nil
+}
+
+// validate checks that every column reference in e resolves and that
+// no aggregate call appears (aggregates are only legal where the
+// caller extracts them first).
+func (e colEnv) validate(expr gsql.Expr, clause string) error {
+	var err error
+	gsql.WalkExpr(expr, func(x gsql.Expr) bool {
+		if err != nil {
+			return false
+		}
+		switch t := x.(type) {
+		case *gsql.ColumnRef:
+			_, _, _, err = e.resolve(t)
+		case *gsql.FuncCall:
+			if gsql.IsAggregateName(t.Name) {
+				err = fmt.Errorf("plan: query %s: aggregate %s not allowed in %s", e.queryName, t.Name, clause)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// sidesUsed reports which bindings an expression references.
+func (e colEnv) sidesUsed(expr gsql.Expr) (map[int]bool, error) {
+	used := make(map[int]bool)
+	var err error
+	gsql.WalkExpr(expr, func(x gsql.Expr) bool {
+		if err != nil {
+			return false
+		}
+		if ref, ok := x.(*gsql.ColumnRef); ok {
+			bi, _, _, e2 := e.resolve(ref)
+			if e2 != nil {
+				err = e2
+				return false
+			}
+			used[bi] = true
+		}
+		return true
+	})
+	return used, err
+}
+
+// lineageOf computes the lineage of an expression over this
+// environment: the expression resolves to a base scalar expression
+// when all referenced columns share lineage to one base attribute.
+func (e colEnv) lineageOf(expr gsql.Expr) Lineage {
+	temporal := false
+	opaque := false
+	type baseKey struct{ stream, attr string }
+	seen := make(map[baseKey]bool)
+	gsql.WalkExpr(expr, func(x gsql.Expr) bool {
+		switch t := x.(type) {
+		case *gsql.ColumnRef:
+			_, _, c, err := e.resolve(t)
+			if err != nil {
+				opaque = true
+				return false
+			}
+			if c.Lineage.Temporal {
+				temporal = true
+			}
+			if c.Lineage.Base == nil {
+				opaque = true
+			} else {
+				seen[baseKey{strings.ToLower(c.Lineage.Base.Stream), strings.ToLower(c.Lineage.Base.Attr)}] = true
+			}
+		case *gsql.FuncCall:
+			if gsql.IsAggregateName(t.Name) {
+				opaque = true
+				return false
+			}
+		}
+		return true
+	})
+	if opaque || len(seen) != 1 {
+		return Lineage{Temporal: temporal}
+	}
+	base, ok := substituteCols(expr, func(ref *gsql.ColumnRef) (gsql.Expr, bool) {
+		_, _, c, err := e.resolve(ref)
+		if err != nil || c.Lineage.Base == nil {
+			return nil, false
+		}
+		return gsql.CloneExpr(c.Lineage.Base.Expr), true
+	})
+	if !ok {
+		return Lineage{Temporal: temporal}
+	}
+	var br BaseRef
+	for k := range seen {
+		br.Stream, br.Attr = k.stream, k.attr
+	}
+	br.Expr = base
+	return Lineage{Base: &br, Temporal: temporal}
+}
+
+// typeOf infers a coarse output type for an expression.
+func (e colEnv) typeOf(expr gsql.Expr) schema.Type {
+	switch t := expr.(type) {
+	case *gsql.ColumnRef:
+		if _, _, c, err := e.resolve(t); err == nil {
+			return c.Type
+		}
+		return schema.TUint
+	case *gsql.NumberLit:
+		if t.IsFloat {
+			return schema.TFloat
+		}
+		return schema.TUint
+	case *gsql.StringLit:
+		return schema.TString
+	case *gsql.ParamRef:
+		return schema.TUint
+	case *gsql.Unary:
+		switch t.Op {
+		case gsql.OpNot:
+			return schema.TBool
+		case gsql.OpNeg:
+			if e.typeOf(t.X) == schema.TFloat {
+				return schema.TFloat
+			}
+			return schema.TInt
+		default:
+			return e.typeOf(t.X)
+		}
+	case *gsql.Binary:
+		switch t.Op {
+		case gsql.OpOr, gsql.OpAnd, gsql.OpEq, gsql.OpNeq, gsql.OpLt, gsql.OpLe, gsql.OpGt, gsql.OpGe:
+			return schema.TBool
+		}
+		lt, rt := e.typeOf(t.L), e.typeOf(t.R)
+		switch {
+		case lt == schema.TFloat || rt == schema.TFloat:
+			return schema.TFloat
+		case lt == schema.TInt || rt == schema.TInt:
+			return schema.TInt
+		default:
+			return schema.TUint
+		}
+	case *gsql.FuncCall:
+		if spec, ok := gsql.LookupAgg(t.Name); ok {
+			switch spec.Name {
+			case "COUNT", "COUNT_DISTINCT", "APPROX_COUNT_DISTINCT":
+				return schema.TUint
+			case "AVG", "VARIANCE", "STDDEV":
+				return schema.TFloat
+			default:
+				if len(t.Args) == 1 {
+					return e.typeOf(t.Args[0])
+				}
+				return schema.TUint
+			}
+		}
+		if len(t.Args) == 1 {
+			return e.typeOf(t.Args[0])
+		}
+		return schema.TUint
+	default:
+		return schema.TUint
+	}
+}
+
+// substituteCols rewrites an expression replacing every ColumnRef via
+// sub; it reports false if any substitution fails.
+func substituteCols(expr gsql.Expr, sub func(*gsql.ColumnRef) (gsql.Expr, bool)) (gsql.Expr, bool) {
+	switch t := expr.(type) {
+	case *gsql.ColumnRef:
+		return sub(t)
+	case *gsql.NumberLit, *gsql.StringLit, *gsql.ParamRef:
+		return gsql.CloneExpr(expr), true
+	case *gsql.Unary:
+		x, ok := substituteCols(t.X, sub)
+		if !ok {
+			return nil, false
+		}
+		return &gsql.Unary{Op: t.Op, X: x}, true
+	case *gsql.Binary:
+		l, ok := substituteCols(t.L, sub)
+		if !ok {
+			return nil, false
+		}
+		r, ok := substituteCols(t.R, sub)
+		if !ok {
+			return nil, false
+		}
+		return &gsql.Binary{Op: t.Op, L: l, R: r}, true
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(t.Args))
+		for i, a := range t.Args {
+			x, ok := substituteCols(a, sub)
+			if !ok {
+				return nil, false
+			}
+			args[i] = x
+		}
+		return &gsql.FuncCall{Name: t.Name, Star: t.Star, Args: args}, true
+	default:
+		return nil, false
+	}
+}
+
+// defaultColName derives an output column name from an unaliased
+// select expression.
+func defaultColName(e gsql.Expr) string {
+	if ref, ok := e.(*gsql.ColumnRef); ok {
+		return ref.Name
+	}
+	return e.String()
+}
+
+// uniquifyNames makes output column names unique, qualifying
+// duplicates; flow_pairs selects S1.max_cnt and S2.max_cnt, which
+// become max_cnt and S2_max_cnt.
+func uniquifyNames(items []gsql.SelectItem) []string {
+	names := make([]string, len(items))
+	seen := make(map[string]bool)
+	for i, it := range items {
+		name := it.Alias
+		if name == "" {
+			name = defaultColName(it.Expr)
+		}
+		if seen[strings.ToLower(name)] {
+			if ref, ok := it.Expr.(*gsql.ColumnRef); ok && it.Alias == "" && ref.Qualifier != "" {
+				name = ref.Qualifier + "_" + ref.Name
+			}
+			base := name
+			for n := 2; seen[strings.ToLower(name)]; n++ {
+				name = fmt.Sprintf("%s_%d", base, n)
+			}
+		}
+		seen[strings.ToLower(name)] = true
+		names[i] = name
+	}
+	return names
+}
+
+// connect registers the parent/child edge.
+func connect(child, parent *Node) {
+	parent.Inputs = append(parent.Inputs, child)
+	child.Parents = append(child.Parents, parent)
+}
+
+// ---- selection/projection ----
+
+func (b *builder) buildSelectProject(q *gsql.Query) (*Node, error) {
+	stmt := q.Stmt
+	in, err := b.input(stmt.From.Left)
+	if err != nil {
+		return nil, err
+	}
+	env := colEnv{queryName: q.Name, bindings: []binding{{stmt.From.Left.Binding(), in.OutCols}}}
+	if stmt.Having != nil {
+		return nil, fmt.Errorf("plan: query %s: HAVING requires GROUP BY", q.Name)
+	}
+	if stmt.Where != nil {
+		if err := env.validate(stmt.Where, "WHERE"); err != nil {
+			return nil, err
+		}
+	}
+	names := uniquifyNames(stmt.Items)
+	n := b.newNode(KindSelectProject, q.Name)
+	n.InBind = stmt.From.Left.Binding()
+	n.Filter = stmt.Where
+	for i, it := range stmt.Items {
+		if err := env.validate(it.Expr, "SELECT"); err != nil {
+			return nil, err
+		}
+		n.Projs = append(n.Projs, NamedExpr{Name: names[i], Expr: it.Expr})
+		n.OutCols = append(n.OutCols, ColDef{
+			Name:    names[i],
+			Type:    env.typeOf(it.Expr),
+			Lineage: env.lineageOf(it.Expr),
+		})
+	}
+	connect(in, n)
+	return n, nil
+}
+
+// ---- aggregation ----
+
+func (b *builder) buildAggregate(q *gsql.Query) (*Node, error) {
+	stmt := q.Stmt
+	in, err := b.input(stmt.From.Left)
+	if err != nil {
+		return nil, err
+	}
+	env := colEnv{queryName: q.Name, bindings: []binding{{stmt.From.Left.Binding(), in.OutCols}}}
+
+	n := b.newNode(KindAggregate, q.Name)
+	n.InBind = stmt.From.Left.Binding()
+	n.WindowPanes = stmt.WindowPanes
+	if stmt.Where != nil {
+		if err := env.validate(stmt.Where, "WHERE"); err != nil {
+			return nil, err
+		}
+		n.PreFilter = stmt.Where
+	}
+
+	// Group columns.
+	for _, g := range stmt.GroupBy {
+		if err := env.validate(g.Expr, "GROUP BY"); err != nil {
+			return nil, err
+		}
+		name := g.Alias
+		if name == "" {
+			ref, ok := g.Expr.(*gsql.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("plan: query %s: GROUP BY expression %s must have an alias", q.Name, g.Expr)
+			}
+			name = ref.Name
+		}
+		for _, existing := range n.GroupBy {
+			if strings.EqualFold(existing.Name, name) {
+				return nil, fmt.Errorf("plan: query %s: duplicate GROUP BY name %q", q.Name, name)
+			}
+		}
+		lin := env.lineageOf(g.Expr)
+		n.GroupBy = append(n.GroupBy, GroupCol{Name: name, Expr: g.Expr, Temporal: lin.Temporal})
+	}
+
+	// Rewrite select items and HAVING over group names + aggregates.
+	rw := &aggRewriter{b: b, q: q, env: env, node: n}
+	names := uniquifyNames(stmt.Items)
+	var posts []NamedExpr
+	for i, it := range stmt.Items {
+		e, err := rw.rewrite(it.Expr, it.Alias)
+		if err != nil {
+			return nil, err
+		}
+		posts = append(posts, NamedExpr{Name: names[i], Expr: e})
+	}
+	if stmt.Having != nil {
+		h, err := rw.rewrite(stmt.Having, "")
+		if err != nil {
+			return nil, err
+		}
+		n.Having = h
+	}
+	n.Post = posts
+
+	if n.WindowPanes > 1 {
+		if n.EpochGroupCol() < 0 {
+			return nil, fmt.Errorf("plan: query %s: WINDOW requires a temporal GROUP BY term to define the pane", q.Name)
+		}
+		for _, a := range n.Aggs {
+			if !a.Spec.Splittable {
+				return nil, fmt.Errorf("plan: query %s: WINDOW cannot merge holistic aggregate %s across panes", q.Name, a.Spec.Name)
+			}
+		}
+	}
+
+	// Output columns with lineage through the group columns.
+	postEnv := n.aggPostEnv(q.Name, env)
+	for _, p := range posts {
+		n.OutCols = append(n.OutCols, ColDef{
+			Name:    p.Name,
+			Type:    postEnv.typeOf(p.Expr),
+			Lineage: postEnv.lineageOf(p.Expr),
+		})
+	}
+	connect(in, n)
+	return n, nil
+}
+
+// aggPostEnv builds the environment that HAVING and post-projection
+// expressions are evaluated in: group columns followed by aggregate
+// outputs. Aggregate outputs are opaque for lineage purposes.
+func (n *Node) aggPostEnv(queryName string, inputEnv colEnv) colEnv {
+	cols := make([]ColDef, 0, len(n.GroupBy)+len(n.Aggs))
+	for _, g := range n.GroupBy {
+		cols = append(cols, ColDef{
+			Name:    g.Name,
+			Type:    inputEnv.typeOf(g.Expr),
+			Lineage: inputEnv.lineageOf(g.Expr),
+		})
+	}
+	for _, a := range n.Aggs {
+		typ := schema.TUint
+		switch a.Spec.Name {
+		case "AVG", "VARIANCE", "STDDEV":
+			typ = schema.TFloat
+		case "COUNT", "COUNT_DISTINCT", "APPROX_COUNT_DISTINCT":
+			typ = schema.TUint
+		default:
+			if a.Arg != nil {
+				typ = inputEnv.typeOf(a.Arg)
+			}
+		}
+		cols = append(cols, ColDef{Name: a.Name, Type: typ})
+	}
+	return colEnv{queryName: queryName, bindings: []binding{{"", cols}}}
+}
+
+// aggRewriter rewrites select/HAVING expressions of an aggregation
+// into expressions over group names and aggregate output names,
+// registering AggDefs as it finds aggregate calls.
+type aggRewriter struct {
+	b    *builder
+	q    *gsql.Query
+	env  colEnv
+	node *Node
+}
+
+func (rw *aggRewriter) rewrite(e gsql.Expr, alias string) (gsql.Expr, error) {
+	// Whole expression equal to a group-by expression?
+	for _, g := range rw.node.GroupBy {
+		if gsql.EqualExpr(e, g.Expr) {
+			return &gsql.ColumnRef{Name: g.Name}, nil
+		}
+	}
+	switch t := e.(type) {
+	case *gsql.ColumnRef:
+		// A bare reference to a group name.
+		for _, g := range rw.node.GroupBy {
+			if t.Qualifier == "" && strings.EqualFold(t.Name, g.Name) {
+				return &gsql.ColumnRef{Name: g.Name}, nil
+			}
+		}
+		return nil, fmt.Errorf("plan: query %s: column %s must appear in GROUP BY or inside an aggregate", rw.q.Name, t)
+	case *gsql.NumberLit, *gsql.StringLit, *gsql.ParamRef:
+		return gsql.CloneExpr(e), nil
+	case *gsql.Unary:
+		x, err := rw.rewrite(t.X, "")
+		if err != nil {
+			return nil, err
+		}
+		return &gsql.Unary{Op: t.Op, X: x}, nil
+	case *gsql.Binary:
+		l, err := rw.rewrite(t.L, "")
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewrite(t.R, "")
+		if err != nil {
+			return nil, err
+		}
+		return &gsql.Binary{Op: t.Op, L: l, R: r}, nil
+	case *gsql.FuncCall:
+		if !gsql.IsAggregateName(t.Name) {
+			args := make([]gsql.Expr, len(t.Args))
+			for i, a := range t.Args {
+				x, err := rw.rewrite(a, "")
+				if err != nil {
+					return nil, err
+				}
+				args[i] = x
+			}
+			return &gsql.FuncCall{Name: t.Name, Star: t.Star, Args: args}, nil
+		}
+		name, err := rw.addAgg(t, alias)
+		if err != nil {
+			return nil, err
+		}
+		return &gsql.ColumnRef{Name: name}, nil
+	default:
+		return nil, fmt.Errorf("plan: query %s: unsupported expression %T", rw.q.Name, e)
+	}
+}
+
+func (rw *aggRewriter) addAgg(call *gsql.FuncCall, alias string) (string, error) {
+	spec, _ := gsql.LookupAgg(call.Name)
+	var arg gsql.Expr
+	if !call.Star && len(call.Args) == 1 {
+		arg = call.Args[0]
+		if gsql.HasAggregate(arg) {
+			return "", fmt.Errorf("plan: query %s: nested aggregate in %s", rw.q.Name, call)
+		}
+		if err := rw.env.validate(arg, "aggregate argument"); err != nil {
+			return "", err
+		}
+	}
+	// Reuse an existing identical aggregate.
+	for _, a := range rw.node.Aggs {
+		if a.Spec.Name == spec.Name && gsql.EqualExpr(a.Arg, arg) {
+			return a.Name, nil
+		}
+	}
+	name := alias
+	if name == "" {
+		name = fmt.Sprintf("_agg%d", len(rw.node.Aggs))
+	}
+	for _, g := range rw.node.GroupBy {
+		if strings.EqualFold(g.Name, name) {
+			name = fmt.Sprintf("_agg%d", len(rw.node.Aggs))
+			break
+		}
+	}
+	rw.node.Aggs = append(rw.node.Aggs, AggDef{Name: name, Spec: spec, Arg: arg})
+	return name, nil
+}
+
+// ---- join ----
+
+func (b *builder) buildJoin(q *gsql.Query) (*Node, error) {
+	stmt := q.Stmt
+	left, err := b.input(stmt.From.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := b.input(stmt.From.Right)
+	if err != nil {
+		return nil, err
+	}
+	lb, rb := stmt.From.Left.Binding(), stmt.From.Right.Binding()
+	if strings.EqualFold(lb, rb) {
+		return nil, fmt.Errorf("plan: query %s: join inputs must have distinct bindings (got %q twice)", q.Name, lb)
+	}
+	leftEnv := colEnv{queryName: q.Name, bindings: []binding{{lb, left.OutCols}}}
+	rightEnv := colEnv{queryName: q.Name, bindings: []binding{{rb, right.OutCols}}}
+	combined := colEnv{queryName: q.Name, bindings: []binding{{lb, left.OutCols}, {rb, right.OutCols}}}
+
+	n := b.newNode(KindJoin, q.Name)
+	n.JoinType = stmt.From.Join
+	n.LeftBind, n.RightBind = lb, rb
+
+	// Gather conjuncts from WHERE and ON.
+	var conjuncts []gsql.Expr
+	collect := func(e gsql.Expr) {
+		var split func(gsql.Expr)
+		split = func(x gsql.Expr) {
+			if bin, ok := x.(*gsql.Binary); ok && bin.Op == gsql.OpAnd {
+				split(bin.L)
+				split(bin.R)
+				return
+			}
+			conjuncts = append(conjuncts, x)
+		}
+		split(e)
+	}
+	if stmt.From.On != nil {
+		collect(stmt.From.On)
+	}
+	if stmt.Where != nil {
+		collect(stmt.Where)
+	}
+
+	andWith := func(dst gsql.Expr, c gsql.Expr) gsql.Expr {
+		if dst == nil {
+			return c
+		}
+		return &gsql.Binary{Op: gsql.OpAnd, L: dst, R: c}
+	}
+
+	leftIdx, rightIdx := 0, 1
+	for _, c := range conjuncts {
+		if err := combined.validate(c, "WHERE"); err != nil {
+			return nil, err
+		}
+		used, err := combined.sidesUsed(c)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case used[leftIdx] && used[rightIdx]:
+			if bin, ok := c.(*gsql.Binary); ok && bin.Op == gsql.OpEq {
+				lu, _ := combined.sidesUsed(bin.L)
+				ru, _ := combined.sidesUsed(bin.R)
+				switch {
+				case lu[leftIdx] && !lu[rightIdx] && ru[rightIdx] && !ru[leftIdx]:
+					n.LeftKeys = append(n.LeftKeys, bin.L)
+					n.RightKeys = append(n.RightKeys, bin.R)
+					continue
+				case lu[rightIdx] && !lu[leftIdx] && ru[leftIdx] && !ru[rightIdx]:
+					n.LeftKeys = append(n.LeftKeys, bin.R)
+					n.RightKeys = append(n.RightKeys, bin.L)
+					continue
+				}
+			}
+			n.Residual = andWith(n.Residual, c)
+		case used[leftIdx]:
+			n.LeftFilter = andWith(n.LeftFilter, c)
+		case used[rightIdx]:
+			n.RightFilter = andWith(n.RightFilter, c)
+		default:
+			n.Residual = andWith(n.Residual, c)
+		}
+	}
+	if len(n.LeftKeys) == 0 {
+		return nil, fmt.Errorf("plan: query %s: join requires at least one equality predicate between the inputs", q.Name)
+	}
+	if n.JoinType != gsql.JoinInner && n.Residual != nil {
+		return nil, fmt.Errorf("plan: query %s: outer join with non-equality cross predicates is not supported", q.Name)
+	}
+
+	// Identify the temporal key pair (window alignment).
+	for i := range n.LeftKeys {
+		ll := leftEnv.lineageOf(n.LeftKeys[i])
+		rl := rightEnv.lineageOf(n.RightKeys[i])
+		if ll.Temporal && rl.Temporal {
+			n.TemporalKey = i
+			break
+		}
+	}
+	if n.TemporalKey < 0 {
+		return nil, fmt.Errorf("plan: query %s: tumbling-window join requires an equality predicate relating the temporal attributes of both inputs", q.Name)
+	}
+
+	// Projections.
+	names := uniquifyNames(stmt.Items)
+	for i, it := range stmt.Items {
+		if gsql.HasAggregate(it.Expr) {
+			return nil, fmt.Errorf("plan: query %s: aggregate in join select list; aggregate in a separate query", q.Name)
+		}
+		if err := combined.validate(it.Expr, "SELECT"); err != nil {
+			return nil, err
+		}
+		n.JoinProjs = append(n.JoinProjs, NamedExpr{Name: names[i], Expr: it.Expr})
+		lin := combined.lineageOf(it.Expr)
+		// An expression mixing both sides is not a function of a single
+		// input tuple's attribute even when, as in a self-join, both
+		// sides trace to the same base attribute.
+		if used, err := combined.sidesUsed(it.Expr); err == nil && len(used) > 1 {
+			lin.Base = nil
+		}
+		n.OutCols = append(n.OutCols, ColDef{
+			Name:    names[i],
+			Type:    combined.typeOf(it.Expr),
+			Lineage: lin,
+		})
+	}
+	connect(left, n)
+	connect(right, n)
+	return n, nil
+}

@@ -1,0 +1,351 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/schema"
+)
+
+const tcpDDL = `TCP(time increasing, srcIP, destIP, srcPort, destPort, len, flags)`
+
+// The paper's Section 3.2 query set: flows -> heavy_flows -> flow_pairs.
+const complexSet = `
+query flows:
+SELECT tb, srcIP, destIP, COUNT(*) as cnt
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP
+
+query heavy_flows:
+SELECT tb, srcIP, max(cnt) as max_cnt
+FROM flows
+GROUP BY tb, srcIP
+
+query flow_pairs:
+SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt
+FROM heavy_flows S1, heavy_flows S2
+WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1
+`
+
+func buildComplex(t *testing.T) *Graph {
+	t.Helper()
+	cat := schema.MustParse(tcpDDL)
+	qs := gsql.MustParseQuerySet(complexSet)
+	g, err := Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFigure1PlanShape(t *testing.T) {
+	g := buildComplex(t)
+	// Figure 1: TCP -> gamma1 (flows) -> gamma2 (heavy_flows) -> self-join.
+	if got := len(g.Nodes); got != 4 {
+		t.Fatalf("node count = %d, want 4 (source, flows, heavy_flows, flow_pairs)", got)
+	}
+	flows, ok := g.Node("flows")
+	if !ok || flows.Kind != KindAggregate {
+		t.Fatalf("flows node missing or wrong kind %v", flows.Kind)
+	}
+	hf, _ := g.Node("heavy_flows")
+	fp, _ := g.Node("flow_pairs")
+	if hf.Inputs[0] != flows {
+		t.Error("heavy_flows must read flows")
+	}
+	if fp.Kind != KindJoin || len(fp.Inputs) != 2 || fp.Inputs[0] != hf || fp.Inputs[1] != hf {
+		t.Error("flow_pairs must self-join heavy_flows")
+	}
+	roots := g.Roots()
+	if len(roots) != 1 || roots[0] != fp {
+		t.Errorf("roots = %v, want just flow_pairs", roots)
+	}
+	// Plan printer shows the gamma1 -> gamma2 -> join chain.
+	s := g.String()
+	for _, want := range []string{"join flow_pairs", "aggregate heavy_flows", "aggregate flows", "source TCP"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("plan print missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFlowsAggregateShape(t *testing.T) {
+	g := buildComplex(t)
+	flows, _ := g.Node("flows")
+	if len(flows.GroupBy) != 3 {
+		t.Fatalf("flows group-by count = %d", len(flows.GroupBy))
+	}
+	if !flows.GroupBy[0].Temporal {
+		t.Error("tb = time/60 must be temporal")
+	}
+	if flows.GroupBy[1].Temporal || flows.GroupBy[2].Temporal {
+		t.Error("srcIP/destIP must not be temporal")
+	}
+	if flows.EpochGroupCol() != 0 {
+		t.Errorf("epoch group col = %d, want 0", flows.EpochGroupCol())
+	}
+	if len(flows.Aggs) != 1 || flows.Aggs[0].Spec.Name != "COUNT" || flows.Aggs[0].Name != "cnt" {
+		t.Errorf("flows aggs = %v", flows.Aggs)
+	}
+	// Output columns: tb, srcIP, destIP, cnt.
+	names := []string{"tb", "srcIP", "destIP", "cnt"}
+	if len(flows.OutCols) != 4 {
+		t.Fatalf("out cols = %d", len(flows.OutCols))
+	}
+	for i, want := range names {
+		if flows.OutCols[i].Name != want {
+			t.Errorf("col %d = %q, want %q", i, flows.OutCols[i].Name, want)
+		}
+	}
+}
+
+func TestLineagePropagation(t *testing.T) {
+	g := buildComplex(t)
+	flows, _ := g.Node("flows")
+	// srcIP output column traces to base TCP.srcIP.
+	_, src, _ := flows.Col("srcIP")
+	if src.Lineage.Base == nil || !strings.EqualFold(src.Lineage.Base.Attr, "srcIP") {
+		t.Fatalf("flows.srcIP lineage = %+v", src.Lineage)
+	}
+	// cnt is an aggregate: opaque.
+	_, cnt, _ := flows.Col("cnt")
+	if cnt.Lineage.Base != nil {
+		t.Error("cnt must be opaque")
+	}
+	// tb traces to time but is temporal.
+	_, tb, _ := flows.Col("tb")
+	if !tb.Lineage.Temporal {
+		t.Error("tb must be temporal")
+	}
+	if tb.Lineage.Base == nil || tb.Lineage.Base.Expr.String() != "TCP.time / 60" {
+		t.Errorf("tb base expr = %v", tb.Lineage.Base)
+	}
+	// Two levels up: heavy_flows.srcIP still traces to TCP.srcIP.
+	hf, _ := g.Node("heavy_flows")
+	_, hsrc, _ := hf.Col("srcIP")
+	if hsrc.Lineage.Base == nil || !strings.EqualFold(hsrc.Lineage.Base.Stream, "TCP") ||
+		!strings.EqualFold(hsrc.Lineage.Base.Attr, "srcIP") {
+		t.Errorf("heavy_flows.srcIP lineage = %+v", hsrc.Lineage)
+	}
+	// Join outputs: S1.srcIP traces to base; S1.max_cnt opaque.
+	fp, _ := g.Node("flow_pairs")
+	_, jsrc, _ := fp.Col("srcIP")
+	if jsrc.Lineage.Base == nil {
+		t.Error("flow_pairs.srcIP should trace to TCP.srcIP")
+	}
+	_, mc, _ := fp.Col("max_cnt")
+	if mc.Lineage.Base != nil {
+		t.Error("flow_pairs.max_cnt must be opaque")
+	}
+}
+
+func TestJoinKeyExtraction(t *testing.T) {
+	g := buildComplex(t)
+	fp, _ := g.Node("flow_pairs")
+	if len(fp.LeftKeys) != 2 {
+		t.Fatalf("join keys = %d, want 2", len(fp.LeftKeys))
+	}
+	// S1.srcIP = S2.srcIP and S1.tb = S2.tb + 1.
+	if fp.LeftKeys[0].String() != "S1.srcIP" || fp.RightKeys[0].String() != "S2.srcIP" {
+		t.Errorf("key 0 = %s=%s", fp.LeftKeys[0], fp.RightKeys[0])
+	}
+	if fp.RightKeys[1].String() != "S2.tb + 1" {
+		t.Errorf("key 1 right = %s", fp.RightKeys[1])
+	}
+	if fp.TemporalKey != 1 {
+		t.Errorf("temporal key index = %d, want 1", fp.TemporalKey)
+	}
+	// Duplicate select names get uniquified.
+	if fp.OutCols[2].Name != "max_cnt" || fp.OutCols[3].Name != "S2_max_cnt" {
+		t.Errorf("join out col names: %q, %q", fp.OutCols[2].Name, fp.OutCols[3].Name)
+	}
+}
+
+func TestJoinSidePredicatesSplit(t *testing.T) {
+	cat := schema.MustParse("A(ts increasing, x, v); B(ts increasing, x, w)")
+	qs := gsql.MustParseQuerySet(`
+SELECT A.x, A.v + B.w
+FROM A JOIN B
+WHERE A.ts = B.ts AND A.x = B.x AND A.v > 10 AND B.w < 5 AND A.v != B.w`)
+	g, err := Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := g.Roots()[0]
+	if j.LeftFilter == nil || j.LeftFilter.String() != "A.v > 10" {
+		t.Errorf("left filter = %v", j.LeftFilter)
+	}
+	if j.RightFilter == nil || j.RightFilter.String() != "B.w < 5" {
+		t.Errorf("right filter = %v", j.RightFilter)
+	}
+	if j.Residual == nil || j.Residual.String() != "A.v != B.w" {
+		t.Errorf("residual = %v", j.Residual)
+	}
+	if len(j.LeftKeys) != 2 || j.TemporalKey != 0 {
+		t.Errorf("keys = %d temporal = %d", len(j.LeftKeys), j.TemporalKey)
+	}
+	// Mixed-side expression A.v + B.w must be opaque.
+	if j.OutCols[1].Lineage.Base != nil {
+		t.Error("A.v + B.w must have opaque lineage")
+	}
+}
+
+func TestHavingAddsAggregate(t *testing.T) {
+	cat := schema.MustParse(tcpDDL)
+	qs := gsql.MustParseQuerySet(`
+SELECT tb, srcIP, COUNT(*) AS cnt
+FROM TCP
+GROUP BY time/60 AS tb, srcIP
+HAVING SUM(len) > 1000`)
+	g, err := Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Roots()[0]
+	if len(n.Aggs) != 2 {
+		t.Fatalf("aggs = %v, want COUNT and SUM", n.Aggs)
+	}
+	if n.Having == nil {
+		t.Fatal("HAVING lost")
+	}
+}
+
+func TestAggregateReuseAndSelectivity(t *testing.T) {
+	cat := schema.MustParse(tcpDDL)
+	qs := gsql.MustParseQuerySet(`
+SELECT tb, OR_AGGR(flags) AS orflag, COUNT(*)
+FROM TCP
+GROUP BY time AS tb
+HAVING OR_AGGR(flags) = 17`)
+	g, err := Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Roots()[0]
+	// OR_AGGR in HAVING reuses the select-list aggregate.
+	if len(n.Aggs) != 2 {
+		t.Fatalf("aggs = %v, want OR_AGGR + COUNT only", n.Aggs)
+	}
+	if n.Aggs[0].Name != "orflag" {
+		t.Errorf("first agg name = %q", n.Aggs[0].Name)
+	}
+	if !strings.Contains(n.Having.String(), "orflag") {
+		t.Errorf("HAVING should reference orflag: %s", n.Having)
+	}
+}
+
+func TestSelectProjectNode(t *testing.T) {
+	cat := schema.MustParse(tcpDDL)
+	qs := gsql.MustParseQuerySet(`SELECT time, srcIP & 0xFFF0 AS subnet, len FROM TCP WHERE destPort = 80`)
+	g, err := Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Roots()[0]
+	if n.Kind != KindSelectProject {
+		t.Fatalf("kind = %v", n.Kind)
+	}
+	if n.Filter == nil {
+		t.Error("filter lost")
+	}
+	_, subnet, ok := n.Col("subnet")
+	if !ok || subnet.Lineage.Base == nil {
+		t.Fatalf("subnet lineage missing")
+	}
+	if got := subnet.Lineage.Base.Expr.String(); got != "TCP.srcIP & 0xFFF0" {
+		t.Errorf("subnet base = %q", got)
+	}
+}
+
+func TestSharedSourceNode(t *testing.T) {
+	cat := schema.MustParse(tcpDDL)
+	qs := gsql.MustParseQuerySet(`
+query a: SELECT time, srcIP FROM TCP
+query b: SELECT time, destIP FROM TCP`)
+	g, err := Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(g.Sources()); got != 1 {
+		t.Errorf("sources = %d, want 1 (shared)", got)
+	}
+	src := g.Sources()[0]
+	if len(src.Parents) != 2 {
+		t.Errorf("source parents = %d", len(src.Parents))
+	}
+	if got := len(g.Roots()); got != 2 {
+		t.Errorf("roots = %d", got)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	cat := schema.MustParse(tcpDDL + "\nB(ts increasing, x)")
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"unknown stream", "SELECT a FROM NOPE"},
+		{"unknown column", "SELECT nosuch FROM TCP"},
+		{"ambiguous column", "SELECT time FROM TCP T1, TCP T2 WHERE T1.time = T2.time AND T1.srcIP = T2.srcIP"},
+		{"having without group", "SELECT time FROM TCP HAVING COUNT(*) > 1"},
+		{"non-grouped column", "SELECT srcIP, destIP FROM TCP GROUP BY time AS tb, srcIP"},
+		{"agg in where", "SELECT time FROM TCP WHERE COUNT(*) > 1"},
+		{"join and group", "SELECT COUNT(*) FROM TCP T1, TCP T2 WHERE T1.time = T2.time GROUP BY T1.time AS tb"},
+		{"join without equality", "SELECT T1.time FROM TCP T1, TCP T2 WHERE T1.len > T2.len"},
+		{"join without temporal", "SELECT T1.time FROM TCP T1, TCP T2 WHERE T1.srcIP = T2.srcIP"},
+		{"same binding twice", "SELECT T1.time FROM TCP T1, B T1 WHERE T1.time = T1.ts"},
+		{"unaliased group expr", "SELECT COUNT(*) FROM TCP GROUP BY time/60"},
+		{"nested aggregate", "SELECT SUM(COUNT(*)) FROM TCP GROUP BY time AS tb"},
+		{"duplicate group name", "SELECT COUNT(*) FROM TCP GROUP BY time AS tb, len AS tb"},
+	}
+	for _, c := range cases {
+		qs, err := gsql.ParseQuerySet(c.src)
+		if err != nil {
+			t.Errorf("%s: parse failed: %v", c.name, err)
+			continue
+		}
+		if _, err := Build(cat, qs); err == nil {
+			t.Errorf("%s: Build should fail for %q", c.name, c.src)
+		}
+	}
+}
+
+func TestWindowedAggregateValidation(t *testing.T) {
+	cat := schema.MustParse(tcpDDL)
+	// Valid: temporal pane + splittable aggregates.
+	g, err := Build(cat, gsql.MustParseQuerySet(`
+SELECT pane, srcIP, COUNT(*), AVG(len) FROM TCP
+GROUP BY time/10 AS pane, srcIP WINDOW 6`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Roots()[0].WindowPanes != 6 {
+		t.Error("WindowPanes not propagated")
+	}
+	// Invalid: no temporal group term.
+	if _, err := Build(cat, gsql.MustParseQuerySet(`
+SELECT srcIP, COUNT(*) FROM TCP GROUP BY srcIP WINDOW 6`)); err == nil {
+		t.Error("window without temporal pane should fail")
+	}
+	// Invalid: holistic aggregate cannot merge across panes.
+	if _, err := Build(cat, gsql.MustParseQuerySet(`
+SELECT pane, COUNT_DISTINCT(srcIP) FROM TCP GROUP BY time/10 AS pane WINDOW 6`)); err == nil {
+		t.Error("holistic aggregate in window should fail")
+	}
+}
+
+func TestTopologicalOrder(t *testing.T) {
+	g := buildComplex(t)
+	pos := make(map[*Node]int)
+	for i, n := range g.Nodes {
+		pos[n] = i
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			if pos[in] >= pos[n] {
+				t.Errorf("node %s appears before its input %s", n.QueryName, in.QueryName)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the logical query DAG in Graphviz format, one node per
+// query with operator-kind shapes (boxes for sources, ellipses for
+// select/project, houses for aggregations, diamonds for joins).
+func (g *Graph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph logical {\n  rankdir=BT;\n")
+	for _, n := range g.Nodes {
+		shape := "ellipse"
+		switch n.Kind {
+		case KindSource:
+			shape = "box"
+		case KindAggregate:
+			shape = "house"
+		case KindJoin:
+			shape = "diamond"
+		}
+		fmt.Fprintf(&b, "  n%d [shape=%s, label=%q];\n", n.ID, shape, dotLabel(n))
+	}
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", in.ID, n.ID)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dotLabel(n *Node) string {
+	switch n.Kind {
+	case KindSource:
+		return n.Stream.Name
+	case KindAggregate:
+		var gb []string
+		for _, g := range n.GroupBy {
+			gb = append(gb, g.Expr.String())
+		}
+		return fmt.Sprintf("γ %s\n(%s)", n.QueryName, strings.Join(gb, ", "))
+	case KindJoin:
+		return "⋈ " + n.QueryName
+	default:
+		label := "σ/π " + n.QueryName
+		if n.Filter != nil {
+			label += "\n" + n.Filter.String()
+		}
+		return label
+	}
+}

@@ -1,0 +1,49 @@
+package plan
+
+import "qap/internal/gsql"
+
+// inputEnv reconstructs the column environment a node's clause
+// expressions were validated in.
+func (n *Node) inputEnv() colEnv {
+	env := colEnv{queryName: n.QueryName}
+	switch n.Kind {
+	case KindJoin:
+		env.bindings = []binding{
+			{n.LeftBind, n.Inputs[0].OutCols},
+			{n.RightBind, n.Inputs[1].OutCols},
+		}
+	default:
+		if len(n.Inputs) > 0 {
+			env.bindings = []binding{{n.InBind, n.Inputs[0].OutCols}}
+		}
+	}
+	return env
+}
+
+// LineageOf resolves an expression over the node's inputs down to base
+// stream attributes. For joins the combined environment is used; an
+// expression mixing both sides is reported opaque.
+func (n *Node) LineageOf(expr gsql.Expr) Lineage {
+	env := n.inputEnv()
+	lin := env.lineageOf(expr)
+	if n.Kind == KindJoin {
+		if used, err := env.sidesUsed(expr); err == nil && len(used) > 1 {
+			lin.Base = nil
+		}
+	}
+	return lin
+}
+
+// SideLineage resolves a join key expression over one input side
+// (0 = left, 1 = right).
+func (n *Node) SideLineage(side int, expr gsql.Expr) Lineage {
+	if n.Kind != KindJoin {
+		return n.LineageOf(expr)
+	}
+	bindName, in := n.LeftBind, n.Inputs[0]
+	if side == 1 {
+		bindName, in = n.RightBind, n.Inputs[1]
+	}
+	env := colEnv{queryName: n.QueryName, bindings: []binding{{bindName, in.OutCols}}}
+	return env.lineageOf(expr)
+}

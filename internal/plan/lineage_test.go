@@ -1,0 +1,110 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/schema"
+)
+
+func TestLineageOfHelpers(t *testing.T) {
+	g := buildComplex(t)
+	flows, _ := g.Node("flows")
+	// Scalar expression over an input column traces to the base attr.
+	lin := flows.LineageOf(gsql.MustParseExpr("srcIP & 0xFF"))
+	if lin.Base == nil || !strings.EqualFold(lin.Base.Attr, "srcIP") {
+		t.Fatalf("lineage = %+v", lin)
+	}
+	if lin.Base.Expr.String() != "TCP.srcIP & 0xFF" {
+		t.Errorf("base expr = %s", lin.Base.Expr)
+	}
+	// Temporal taint propagates.
+	if !flows.LineageOf(gsql.MustParseExpr("time / 5")).Temporal {
+		t.Error("time expression must be temporal")
+	}
+	// Multi-attribute expressions are opaque.
+	if flows.LineageOf(gsql.MustParseExpr("srcIP + destIP")).Base != nil {
+		t.Error("multi-attribute expression must be opaque")
+	}
+	// SideLineage on the self-join resolves per side.
+	fp, _ := g.Node("flow_pairs")
+	l := fp.SideLineage(0, gsql.MustParseExpr("S1.srcIP"))
+	r := fp.SideLineage(1, gsql.MustParseExpr("S2.tb"))
+	if l.Base == nil || !strings.EqualFold(l.Base.Attr, "srcIP") {
+		t.Errorf("left side lineage = %+v", l)
+	}
+	if r.Base == nil || !r.Temporal {
+		t.Errorf("right side temporal lineage = %+v", r)
+	}
+	// SideLineage on a non-join falls back to LineageOf.
+	if flows.SideLineage(0, gsql.MustParseExpr("srcIP")).Base == nil {
+		t.Error("SideLineage fallback failed")
+	}
+}
+
+func TestTypeInference(t *testing.T) {
+	cat := schema.MustParse("S(ts increasing, a uint, b int, f float, s string, bl bool)")
+	g := MustBuild(cat, gsql.MustParseQuerySet(`
+SELECT ts, a + b AS ab, a * 1.5 AS af, s, a = b AS cmp, -a AS neg,
+       NOT bl AS nb, ABS(b) AS ab2, a & 0xF AS masked
+FROM S`))
+	n := g.Roots()[0]
+	wantTypes := map[string]schema.Type{
+		"ts":     schema.TUint,
+		"ab":     schema.TInt,
+		"af":     schema.TFloat,
+		"s":      schema.TString,
+		"cmp":    schema.TBool,
+		"neg":    schema.TInt,
+		"nb":     schema.TBool,
+		"ab2":    schema.TInt,
+		"masked": schema.TUint,
+	}
+	for name, want := range wantTypes {
+		_, col, ok := n.Col(name)
+		if !ok {
+			t.Errorf("column %s missing", name)
+			continue
+		}
+		if col.Type != want {
+			t.Errorf("%s type = %v, want %v", name, col.Type, want)
+		}
+	}
+	// Aggregate result types.
+	g2 := MustBuild(cat, gsql.MustParseQuerySet(`
+SELECT tb, COUNT(*) AS c, AVG(a) AS av, VARIANCE(a) AS vr,
+       APPROX_COUNT_DISTINCT(a) AS ad, SUM(f) AS sf
+FROM S GROUP BY ts AS tb`))
+	n2 := g2.Roots()[0]
+	for name, want := range map[string]schema.Type{
+		"c": schema.TUint, "av": schema.TFloat, "vr": schema.TFloat,
+		"ad": schema.TUint, "sf": schema.TFloat,
+	} {
+		_, col, _ := n2.Col(name)
+		if col.Type != want {
+			t.Errorf("%s type = %v, want %v", name, col.Type, want)
+		}
+	}
+}
+
+func TestDescribeAndDOT(t *testing.T) {
+	g := buildComplex(t)
+	for _, n := range g.Nodes {
+		if n.Describe() == "" {
+			t.Errorf("empty Describe for %v", n.Kind)
+		}
+	}
+	dot := g.DOT()
+	for _, want := range []string{"digraph logical", "house", "diamond", "box"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+	// Kind names.
+	for _, k := range []Kind{KindSource, KindSelectProject, KindAggregate, KindJoin} {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+}

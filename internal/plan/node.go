@@ -1,0 +1,263 @@
+// Package plan builds and analyzes the logical query DAG for a GSQL
+// query set: named queries become nodes (selection/projection,
+// tumbling-window aggregation, or two-way equi-join), inter-query
+// references become edges, and every output column carries a lineage
+// record tracing it back to a scalar expression over a single base
+// stream attribute when possible. Lineage is what the partitioning
+// analyzer (internal/core) consumes to infer compatible partitioning
+// sets (paper Sections 3.5 and 4).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/gsql"
+	"qap/internal/schema"
+)
+
+// Kind classifies a logical node.
+type Kind uint8
+
+// Node kinds.
+const (
+	KindSource Kind = iota
+	KindSelectProject
+	KindAggregate
+	KindJoin
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindSource:
+		return "source"
+	case KindSelectProject:
+		return "select/project"
+	case KindAggregate:
+		return "aggregate"
+	case KindJoin:
+		return "join"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// BaseRef is the resolution of an output column to a scalar expression
+// over exactly one attribute of one base input stream. Expr references
+// the attribute as ColumnRef{Qualifier: Stream, Name: Attr}.
+type BaseRef struct {
+	Stream string
+	Attr   string
+	Expr   gsql.Expr
+}
+
+// String renders the base expression.
+func (b *BaseRef) String() string { return b.Expr.String() }
+
+// Lineage describes where an output column's values come from.
+type Lineage struct {
+	// Base is non-nil when the column is a scalar expression over a
+	// single base-stream attribute; nil for aggregate results and
+	// multi-attribute expressions ("opaque" columns).
+	Base *BaseRef
+	// Temporal is true when the column derives from a temporally
+	// ordered attribute; temporal columns are excluded from
+	// partitioning sets (paper Section 3.5.1).
+	Temporal bool
+}
+
+// ColDef is one output column of a node.
+type ColDef struct {
+	Name    string
+	Type    schema.Type
+	Lineage Lineage
+}
+
+// NamedExpr pairs an output name with its defining expression (over
+// the node's input columns, or over group/aggregate names in an
+// Aggregate's post-projection).
+type NamedExpr struct {
+	Name string
+	Expr gsql.Expr
+}
+
+// GroupCol is one GROUP BY term of an aggregation.
+type GroupCol struct {
+	Name string
+	Expr gsql.Expr // over the node's input columns
+	// Temporal is true when the expression derives from a temporal
+	// attribute; the executor uses the first temporal group column as
+	// the tumbling-window epoch.
+	Temporal bool
+}
+
+// AggDef is one aggregate computed by an aggregation node.
+type AggDef struct {
+	Name string       // output name of the aggregate value
+	Spec gsql.AggSpec // which aggregate
+	Arg  gsql.Expr    // argument over input columns; nil for COUNT(*)
+}
+
+// String renders the aggregate call.
+func (a AggDef) String() string {
+	if a.Arg == nil {
+		return a.Spec.Name + "(*)"
+	}
+	return a.Spec.Name + "(" + a.Arg.String() + ")"
+}
+
+// Node is one vertex of the logical query DAG.
+type Node struct {
+	ID        int
+	Kind      Kind
+	QueryName string // defining query name; stream name for sources
+
+	Inputs  []*Node // children (data providers); len 0/1/2 by kind
+	Parents []*Node // consumers
+
+	OutCols []ColDef
+
+	// KindSource.
+	Stream *schema.Stream
+
+	// InBind is the binding (alias) name of Inputs[0] for single-input
+	// nodes; joins use LeftBind/RightBind instead.
+	InBind string
+
+	// KindSelectProject.
+	Filter gsql.Expr   // WHERE, over input columns; nil passes all
+	Projs  []NamedExpr // output expressions over input columns
+
+	// KindAggregate.
+	GroupBy []GroupCol
+	Aggs    []AggDef
+	// WindowPanes > 1 makes this a pane-based sliding-window
+	// aggregation: results merge the WindowPanes most recent panes
+	// and slide by one pane.
+	WindowPanes uint64
+	// Having is evaluated over group names + aggregate names.
+	Having gsql.Expr
+	// Post maps the aggregate's outputs: expressions over group names
+	// and aggregate names, one per OutCol.
+	Post []NamedExpr
+	// PreFilter is the WHERE clause of an aggregation query, evaluated
+	// on input tuples before grouping.
+	PreFilter gsql.Expr
+
+	// KindJoin.
+	JoinType  gsql.JoinType
+	LeftBind  string // binding name (alias) of Inputs[0]
+	RightBind string // binding name (alias) of Inputs[1]
+	// LeftKeys[i] must equal RightKeys[i] for tuples to join; key
+	// expressions are over the respective side's columns (qualified).
+	LeftKeys  []gsql.Expr
+	RightKeys []gsql.Expr
+	// TemporalKey is the index into LeftKeys/RightKeys of the pair
+	// derived from temporal attributes (window alignment); -1 if none.
+	TemporalKey int
+	// LeftFilter/RightFilter are single-side WHERE conjuncts pushed to
+	// the inputs; Residual is evaluated on joined pairs.
+	LeftFilter, RightFilter, Residual gsql.Expr
+	// JoinProjs are the select items over qualified columns.
+	JoinProjs []NamedExpr
+}
+
+// Col returns the position and definition of an output column by
+// case-insensitive name.
+func (n *Node) Col(name string) (int, ColDef, bool) {
+	for i, c := range n.OutCols {
+		if strings.EqualFold(c.Name, name) {
+			return i, c, true
+		}
+	}
+	return -1, ColDef{}, false
+}
+
+// IsRoot reports whether no other query consumes this node.
+func (n *Node) IsRoot() bool { return len(n.Parents) == 0 }
+
+// EpochGroupCol returns the index of the group column the executor
+// uses as the tumbling-window epoch, or -1.
+func (n *Node) EpochGroupCol() int {
+	for i, g := range n.GroupBy {
+		if g.Temporal {
+			return i
+		}
+	}
+	return -1
+}
+
+// label renders a short human-readable description used by the plan
+// printer and error messages.
+func (n *Node) label() string {
+	switch n.Kind {
+	case KindSource:
+		return "source " + n.Stream.Name
+	case KindSelectProject:
+		return "select/project " + n.QueryName
+	case KindAggregate:
+		return "aggregate " + n.QueryName
+	case KindJoin:
+		return "join " + n.QueryName
+	default:
+		return fmt.Sprintf("node %d", n.ID)
+	}
+}
+
+// Graph is the logical query DAG for a query set.
+type Graph struct {
+	Catalog *schema.Catalog
+	// Nodes in topological order: every node appears after all of its
+	// inputs; sources come first.
+	Nodes  []*Node
+	byName map[string]*Node
+}
+
+// Node looks up a node by case-insensitive query or stream name.
+func (g *Graph) Node(name string) (*Node, bool) {
+	n, ok := g.byName[strings.ToLower(name)]
+	return n, ok
+}
+
+// Roots returns the nodes with no consumers, in topological order.
+func (g *Graph) Roots() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.IsRoot() && n.Kind != KindSource {
+			out = append(out, n)
+		}
+	}
+	// A degenerate set where a source itself is unread: surface it so
+	// the caller can still execute something sensible.
+	if len(out) == 0 {
+		for _, n := range g.Nodes {
+			if n.IsRoot() {
+				out = append(out, n)
+			}
+		}
+	}
+	return out
+}
+
+// Sources returns the source nodes in topological order.
+func (g *Graph) Sources() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindSource {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// QueryNodes returns all non-source nodes in topological order.
+func (g *Graph) QueryNodes() []*Node {
+	var out []*Node
+	for _, n := range g.Nodes {
+		if n.Kind != KindSource {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the DAG as an indented tree rooted at each root node,
+// suitable for golden tests of plan shape (e.g. the paper's Figure 1).
+// Shared subtrees are printed once and referenced afterwards.
+func (g *Graph) String() string {
+	var b strings.Builder
+	printed := make(map[*Node]bool)
+	roots := g.Roots()
+	for i, r := range roots {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printNode(&b, r, 0, printed)
+	}
+	return b.String()
+}
+
+func printNode(b *strings.Builder, n *Node, depth int, printed map[*Node]bool) {
+	indent := strings.Repeat("  ", depth)
+	if printed[n] {
+		fmt.Fprintf(b, "%s^%s\n", indent, n.refName())
+		return
+	}
+	printed[n] = true
+	fmt.Fprintf(b, "%s%s\n", indent, n.Describe())
+	for _, in := range n.Inputs {
+		printNode(b, in, depth+1, printed)
+	}
+}
+
+func (n *Node) refName() string {
+	if n.QueryName != "" {
+		return n.QueryName
+	}
+	return fmt.Sprintf("node%d", n.ID)
+}
+
+// Describe renders a one-line summary of the node's operator and its
+// defining expressions.
+func (n *Node) Describe() string {
+	switch n.Kind {
+	case KindSource:
+		return fmt.Sprintf("source %s", n.Stream.Name)
+	case KindSelectProject:
+		var parts []string
+		for _, p := range n.Projs {
+			parts = append(parts, p.Name)
+		}
+		s := fmt.Sprintf("select/project %s [%s]", n.QueryName, strings.Join(parts, ", "))
+		if n.Filter != nil {
+			s += " where " + n.Filter.String()
+		}
+		return s
+	case KindAggregate:
+		var gb, aggs []string
+		for _, g := range n.GroupBy {
+			gb = append(gb, g.Expr.String())
+		}
+		for _, a := range n.Aggs {
+			aggs = append(aggs, a.String())
+		}
+		s := fmt.Sprintf("aggregate %s group-by(%s) aggs(%s)", n.QueryName,
+			strings.Join(gb, ", "), strings.Join(aggs, ", "))
+		if n.PreFilter != nil {
+			s += " where " + n.PreFilter.String()
+		}
+		if n.Having != nil {
+			s += " having " + n.Having.String()
+		}
+		return s
+	case KindJoin:
+		var keys []string
+		for i := range n.LeftKeys {
+			keys = append(keys, fmt.Sprintf("%s=%s", n.LeftKeys[i], n.RightKeys[i]))
+		}
+		return fmt.Sprintf("%s %s on(%s)", strings.ToLower(n.JoinType.String()), n.QueryName, strings.Join(keys, ", "))
+	default:
+		return n.label()
+	}
+}

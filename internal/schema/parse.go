@@ -1,0 +1,173 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads stream DDL in the compact form used throughout the paper:
+//
+//	PKT(time increasing, srcIP, destIP, len)
+//	TCP(time uint increasing, srcIP uint, destIP uint,
+//	    srcPort uint, destPort uint, len uint, flags uint)
+//
+// Each definition is NAME(attr [, attr]...) where attr is
+// "name [type] [increasing|decreasing]"; the type defaults to uint,
+// matching network-monitoring schemas. Definitions are separated by
+// newlines or semicolons; '#' and '--' start line comments.
+func Parse(src string) (*Catalog, error) {
+	c := NewCatalog()
+	p := &ddlParser{src: src}
+	for {
+		p.skipSpaceAndComments()
+		if p.eof() {
+			return c, nil
+		}
+		s, err := p.parseStream()
+		if err != nil {
+			return nil, err
+		}
+		if err := c.Add(s); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// MustParse is Parse that panics on error; for tests and examples with
+// constant DDL.
+func MustParse(src string) *Catalog {
+	c, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+type ddlParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *ddlParser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *ddlParser) errf(format string, args ...any) error {
+	return fmt.Errorf("schema: line %d: %s", p.line+1, fmt.Sprintf(format, args...))
+}
+
+func (p *ddlParser) skipSpaceAndComments() {
+	for !p.eof() {
+		ch := p.src[p.pos]
+		switch {
+		case ch == '\n':
+			p.line++
+			p.pos++
+		case ch == ' ' || ch == '\t' || ch == '\r' || ch == ';':
+			p.pos++
+		case ch == '#':
+			p.skipLine()
+		case ch == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] == '-':
+			p.skipLine()
+		default:
+			return
+		}
+	}
+}
+
+func (p *ddlParser) skipLine() {
+	for !p.eof() && p.src[p.pos] != '\n' {
+		p.pos++
+	}
+}
+
+func (p *ddlParser) ident() string {
+	start := p.pos
+	for !p.eof() {
+		ch := rune(p.src[p.pos])
+		if unicode.IsLetter(ch) || unicode.IsDigit(ch) || ch == '_' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *ddlParser) parseStream() (*Stream, error) {
+	name := p.ident()
+	if name == "" {
+		return nil, p.errf("expected stream name, found %q", p.peekContext())
+	}
+	p.skipSpaceAndComments()
+	if p.eof() || p.src[p.pos] != '(' {
+		return nil, p.errf("stream %s: expected '('", name)
+	}
+	p.pos++
+	var attrs []Attribute
+	for {
+		p.skipSpaceAndComments()
+		if p.eof() {
+			return nil, p.errf("stream %s: unexpected end of input in attribute list", name)
+		}
+		if p.src[p.pos] == ')' {
+			p.pos++
+			break
+		}
+		attr, err := p.parseAttr(name)
+		if err != nil {
+			return nil, err
+		}
+		attrs = append(attrs, attr)
+		p.skipSpaceAndComments()
+		if !p.eof() && p.src[p.pos] == ',' {
+			p.pos++
+		}
+	}
+	if len(attrs) == 0 {
+		return nil, p.errf("stream %s: must declare at least one attribute", name)
+	}
+	return NewStream(name, attrs)
+}
+
+func (p *ddlParser) parseAttr(stream string) (Attribute, error) {
+	attrName := p.ident()
+	if attrName == "" {
+		return Attribute{}, p.errf("stream %s: expected attribute name, found %q", stream, p.peekContext())
+	}
+	attr := Attribute{Name: attrName, Type: TUint}
+	for {
+		p.skipSpaceAndComments()
+		save := p.pos
+		word := strings.ToLower(p.ident())
+		switch word {
+		case "":
+			return attr, nil
+		case "uint":
+			attr.Type = TUint
+		case "int":
+			attr.Type = TInt
+		case "float":
+			attr.Type = TFloat
+		case "bool":
+			attr.Type = TBool
+		case "string":
+			attr.Type = TString
+		case "increasing":
+			attr.Order = Increasing
+		case "decreasing":
+			attr.Order = Decreasing
+		default:
+			p.pos = save
+			return Attribute{}, p.errf("stream %s: attribute %s: unknown modifier %q", stream, attrName, word)
+		}
+	}
+}
+
+func (p *ddlParser) peekContext() string {
+	end := p.pos + 12
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return p.src[p.pos:end]
+}

@@ -1,0 +1,212 @@
+// Package schema defines stream schemas for the query-aware
+// partitioning system: named streams with typed attributes, where one
+// or more attributes may be marked as temporally ordered (increasing or
+// decreasing). Temporal annotations are what let the tumbling-window
+// analyzer decide which group-by terms define the window epoch and
+// which are true grouping attributes (paper Section 3.1).
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/sqlval"
+)
+
+// Order is the temporal ordering annotation of an attribute.
+type Order uint8
+
+// Attribute orderings.
+const (
+	Unordered Order = iota
+	Increasing
+	Decreasing
+)
+
+// String returns the DDL keyword for the ordering.
+func (o Order) String() string {
+	switch o {
+	case Increasing:
+		return "increasing"
+	case Decreasing:
+		return "decreasing"
+	default:
+		return ""
+	}
+}
+
+// Type is an attribute's declared type.
+type Type uint8
+
+// Attribute types.
+const (
+	TUint Type = iota
+	TInt
+	TFloat
+	TBool
+	TString
+)
+
+// String returns the DDL keyword for the type.
+func (t Type) String() string {
+	switch t {
+	case TUint:
+		return "uint"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TBool:
+		return "bool"
+	case TString:
+		return "string"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// ValueKind maps the declared type to its runtime value kind.
+func (t Type) ValueKind() sqlval.Kind {
+	switch t {
+	case TUint:
+		return sqlval.KindUint
+	case TInt:
+		return sqlval.KindInt
+	case TFloat:
+		return sqlval.KindFloat
+	case TBool:
+		return sqlval.KindBool
+	case TString:
+		return sqlval.KindString
+	default:
+		return sqlval.KindNull
+	}
+}
+
+// Attribute is one column of a stream.
+type Attribute struct {
+	Name  string
+	Type  Type
+	Order Order
+}
+
+// Temporal reports whether the attribute carries a temporal ordering.
+func (a Attribute) Temporal() bool { return a.Order != Unordered }
+
+// Stream is a named input stream schema.
+type Stream struct {
+	Name  string
+	Attrs []Attribute
+
+	index map[string]int // lower-cased attribute name -> position
+}
+
+// NewStream builds a stream schema and validates attribute uniqueness.
+func NewStream(name string, attrs []Attribute) (*Stream, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: stream name must not be empty")
+	}
+	s := &Stream{Name: name, Attrs: attrs, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: stream %s: attribute %d has empty name", name, i)
+		}
+		key := strings.ToLower(a.Name)
+		if _, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("schema: stream %s: duplicate attribute %q", name, a.Name)
+		}
+		s.index[key] = i
+	}
+	return s, nil
+}
+
+// Lookup returns the position and definition of an attribute by
+// case-insensitive name.
+func (s *Stream) Lookup(name string) (int, Attribute, bool) {
+	i, ok := s.index[strings.ToLower(name)]
+	if !ok {
+		return -1, Attribute{}, false
+	}
+	return i, s.Attrs[i], true
+}
+
+// TemporalAttrs returns the names of all temporally ordered attributes.
+func (s *Stream) TemporalAttrs() []string {
+	var out []string
+	for _, a := range s.Attrs {
+		if a.Temporal() {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// String renders the stream in DDL form.
+func (s *Stream) String() string {
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('(')
+	for i, a := range s.Attrs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Name)
+		b.WriteByte(' ')
+		b.WriteString(a.Type.String())
+		if a.Temporal() {
+			b.WriteByte(' ')
+			b.WriteString(a.Order.String())
+		}
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Catalog is a set of stream schemas addressed by case-insensitive name.
+type Catalog struct {
+	streams map[string]*Stream
+	order   []string // insertion order for deterministic iteration
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{streams: make(map[string]*Stream)}
+}
+
+// Add registers a stream, rejecting duplicates.
+func (c *Catalog) Add(s *Stream) error {
+	key := strings.ToLower(s.Name)
+	if _, dup := c.streams[key]; dup {
+		return fmt.Errorf("schema: duplicate stream %q", s.Name)
+	}
+	c.streams[key] = s
+	c.order = append(c.order, key)
+	return nil
+}
+
+// Stream looks up a stream by case-insensitive name.
+func (c *Catalog) Stream(name string) (*Stream, bool) {
+	s, ok := c.streams[strings.ToLower(name)]
+	return s, ok
+}
+
+// Streams returns all streams in insertion order.
+func (c *Catalog) Streams() []*Stream {
+	out := make([]*Stream, 0, len(c.order))
+	for _, k := range c.order {
+		out = append(out, c.streams[k])
+	}
+	return out
+}
+
+// String renders the catalog as DDL, one stream per line.
+func (c *Catalog) String() string {
+	var b strings.Builder
+	for i, s := range c.Streams() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(s.String())
+	}
+	return b.String()
+}

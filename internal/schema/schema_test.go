@@ -1,0 +1,105 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePaperSchemas(t *testing.T) {
+	c, err := Parse(`
+# The packet schema from Section 3.1 of the paper.
+PKT(time increasing, srcIP, destIP, len)
+TCP(time uint increasing, srcIP uint, destIP uint,
+    srcPort uint, destPort uint, len uint, flags uint)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt, ok := c.Stream("PKT")
+	if !ok {
+		t.Fatal("PKT not found")
+	}
+	if len(pkt.Attrs) != 4 {
+		t.Fatalf("PKT has %d attrs, want 4", len(pkt.Attrs))
+	}
+	if _, a, ok := pkt.Lookup("time"); !ok || a.Order != Increasing {
+		t.Errorf("time should be increasing, got %+v ok=%v", a, ok)
+	}
+	if _, a, ok := pkt.Lookup("srcip"); !ok || a.Type != TUint || a.Temporal() {
+		t.Errorf("srcIP lookup (case-insensitive) failed: %+v ok=%v", a, ok)
+	}
+	tcp, _ := c.Stream("tcp")
+	if got := len(tcp.TemporalAttrs()); got != 1 {
+		t.Errorf("TCP temporal attrs = %d, want 1", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"PKT(",
+		"PKT()",
+		"(time)",
+		"PKT(time weird)",
+		"PKT(time, time)",
+		"PKT(time)\nPKT(x)",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseSemicolonsAndComments(t *testing.T) {
+	c, err := Parse("A(x); B(y int decreasing) -- trailing\n# whole-line comment\nC(z string)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Streams()); got != 3 {
+		t.Fatalf("got %d streams, want 3", got)
+	}
+	_, a, _ := c.Streams()[1].Lookup("y")
+	if a.Type != TInt || a.Order != Decreasing {
+		t.Errorf("B.y = %+v", a)
+	}
+	if c.Streams()[2].Attrs[0].Type != TString {
+		t.Error("C.z should be string")
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	src := "PKT(time uint increasing, srcIP uint, note string)"
+	c := MustParse(src)
+	rendered := c.String()
+	if rendered != src {
+		t.Errorf("String() = %q, want %q", rendered, src)
+	}
+	// Rendered DDL must reparse to the same thing.
+	c2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if c2.String() != rendered {
+		t.Error("round trip unstable")
+	}
+}
+
+func TestCatalogDuplicate(t *testing.T) {
+	c := NewCatalog()
+	s, _ := NewStream("S", []Attribute{{Name: "a"}})
+	if err := c.Add(s); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := NewStream("s", []Attribute{{Name: "b"}})
+	if err := c.Add(s2); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestTypeValueKinds(t *testing.T) {
+	for _, typ := range []Type{TUint, TInt, TFloat, TBool, TString} {
+		if typ.String() == "" || strings.HasPrefix(typ.String(), "type(") {
+			t.Errorf("missing name for %d", typ)
+		}
+	}
+}

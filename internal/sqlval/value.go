@@ -1,0 +1,361 @@
+// Package sqlval defines the runtime value representation shared by the
+// GSQL expression evaluator, the streaming operators, and the cluster
+// simulator's wire-size accounting.
+//
+// Values are small immutable variants: NULL, unsigned and signed 64-bit
+// integers, 64-bit floats, booleans, and strings. Network-monitoring
+// schemas are dominated by unsigned integers (IP addresses, ports,
+// packet lengths, timestamps), so Uint is the common case and the
+// representation keeps it allocation-free.
+package sqlval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind enumerates the runtime types a Value can hold.
+type Kind uint8
+
+// The supported value kinds.
+const (
+	KindNull Kind = iota
+	KindUint
+	KindInt
+	KindFloat
+	KindBool
+	KindString
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindUint:
+		return "uint"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	bits uint64 // Uint/Int/Float/Bool payload
+	str  string // String payload
+}
+
+// Null is the NULL value.
+var Null = Value{}
+
+// Uint returns an unsigned integer value.
+func Uint(u uint64) Value { return Value{kind: KindUint, bits: u} }
+
+// Int returns a signed integer value.
+func Int(i int64) Value { return Value{kind: KindInt, bits: uint64(i)} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, bits: math.Float64bits(f)} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	if b {
+		return Value{kind: KindBool, bits: 1}
+	}
+	return Value{kind: KindBool}
+}
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Kind reports the value's runtime kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// AsUint returns the value as a uint64. Signed integers are converted;
+// the second result is false if the value is not numeric.
+func (v Value) AsUint() (uint64, bool) {
+	switch v.kind {
+	case KindUint, KindBool:
+		return v.bits, true
+	case KindInt:
+		return uint64(int64(v.bits)), true
+	case KindFloat:
+		return uint64(math.Float64frombits(v.bits)), true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt returns the value as an int64; the second result is false if
+// the value is not numeric.
+func (v Value) AsInt() (int64, bool) {
+	switch v.kind {
+	case KindUint, KindBool:
+		return int64(v.bits), true
+	case KindInt:
+		return int64(v.bits), true
+	case KindFloat:
+		return int64(math.Float64frombits(v.bits)), true
+	default:
+		return 0, false
+	}
+}
+
+// AsFloat returns the value as a float64; the second result is false
+// if the value is not numeric.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindUint, KindBool:
+		return float64(v.bits), true
+	case KindInt:
+		return float64(int64(v.bits)), true
+	case KindFloat:
+		return math.Float64frombits(v.bits), true
+	default:
+		return 0, false
+	}
+}
+
+// AsBool returns the value as a boolean. NULL is false. Numeric values
+// are true when non-zero.
+func (v Value) AsBool() bool {
+	switch v.kind {
+	case KindNull:
+		return false
+	case KindString:
+		return v.str != ""
+	default:
+		return v.bits != 0
+	}
+}
+
+// AsString returns the string payload; the second result is false if
+// the value is not a string.
+func (v Value) AsString() (string, bool) {
+	if v.kind == KindString {
+		return v.str, true
+	}
+	return "", false
+}
+
+// Equal reports whether two values are equal. NULL equals nothing,
+// including NULL (SQL semantics are applied by the evaluator; Equal is
+// the grouping/join-key equality, under which NULL == NULL so that
+// NULL group keys collapse into one group, matching GROUP BY).
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		// Cross-kind numeric equality (uint vs int vs float).
+		if v.isNumeric() && o.isNumeric() {
+			return numericCompare(v, o) == 0
+		}
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.str == o.str
+	default:
+		return v.bits == o.bits
+	}
+}
+
+func (v Value) isNumeric() bool {
+	switch v.kind {
+	case KindUint, KindInt, KindFloat, KindBool:
+		return true
+	}
+	return false
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// NULL sorts before everything; cross-kind numerics compare by value;
+// otherwise kinds order by Kind then payload.
+func (v Value) Compare(o Value) int {
+	if v.kind == KindNull || o.kind == KindNull {
+		switch {
+		case v.kind == o.kind:
+			return 0
+		case v.kind == KindNull:
+			return -1
+		default:
+			return 1
+		}
+	}
+	if v.isNumeric() && o.isNumeric() {
+		return numericCompare(v, o)
+	}
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	// Same non-numeric kind: string.
+	switch {
+	case v.str < o.str:
+		return -1
+	case v.str > o.str:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func numericCompare(a, b Value) int {
+	if a.kind == KindFloat || b.kind == KindFloat {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		switch {
+		case af < bf:
+			return -1
+		case af > bf:
+			return 1
+		default:
+			return 0
+		}
+	}
+	// Integer comparison careful about signedness.
+	aNeg := a.kind == KindInt && int64(a.bits) < 0
+	bNeg := b.kind == KindInt && int64(b.bits) < 0
+	switch {
+	case aNeg && !bNeg:
+		return -1
+	case !aNeg && bNeg:
+		return 1
+	case aNeg && bNeg:
+		ai, bi := int64(a.bits), int64(b.bits)
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		switch {
+		case a.bits < b.bits:
+			return -1
+		case a.bits > b.bits:
+			return 1
+		default:
+			return 0
+		}
+	}
+}
+
+// fnv-1a constants.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// HashInto folds the value into an FNV-1a running hash. Numeric kinds
+// that compare equal hash equally.
+func (v Value) HashInto(h uint64) uint64 {
+	switch v.kind {
+	case KindNull:
+		h ^= 0x9e
+		h *= fnvPrime
+		return h
+	case KindString:
+		for i := 0; i < len(v.str); i++ {
+			h ^= uint64(v.str[i])
+			h *= fnvPrime
+		}
+		return h
+	case KindFloat:
+		f := math.Float64frombits(v.bits)
+		if f == math.Trunc(f) && f >= 0 && f < 1e18 {
+			return hashU64(h, uint64(f))
+		}
+		return hashU64(h, v.bits)
+	default:
+		return hashU64(h, v.bits)
+	}
+}
+
+func hashU64(h, u uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= u & 0xff
+		h *= fnvPrime
+		u >>= 8
+	}
+	return h
+}
+
+// Hash returns a standalone hash of the value.
+func (v Value) Hash() uint64 { return v.HashInto(fnvOffset) }
+
+// HashTuple hashes a sequence of values, as used by the hash splitter
+// and the grouping hash tables.
+func HashTuple(vs []Value) uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range vs {
+		h = v.HashInto(h)
+	}
+	return h
+}
+
+// WireSize returns the number of bytes the value occupies in the
+// simulated wire format: 1 kind byte plus the payload. Strings carry a
+// 2-byte length prefix.
+func (v Value) WireSize() int {
+	switch v.kind {
+	case KindNull:
+		return 1
+	case KindBool:
+		return 2
+	case KindString:
+		return 3 + len(v.str)
+	default:
+		return 9
+	}
+}
+
+// String renders the value for display and trace output.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindUint:
+		return strconv.FormatUint(v.bits, 10)
+	case KindInt:
+		return strconv.FormatInt(int64(v.bits), 10)
+	case KindFloat:
+		return strconv.FormatFloat(math.Float64frombits(v.bits), 'g', -1, 64)
+	case KindBool:
+		if v.bits != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	case KindString:
+		return strconv.Quote(v.str)
+	default:
+		return fmt.Sprintf("value(kind=%d)", uint8(v.kind))
+	}
+}
+
+// FormatIPv4 renders a uint value as dotted-quad notation; non-uint
+// values fall back to String.
+func FormatIPv4(v Value) string {
+	u, ok := v.AsUint()
+	if !ok {
+		return v.String()
+	}
+	return fmt.Sprintf("%d.%d.%d.%d", byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}

@@ -1,0 +1,229 @@
+package sqlval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+	}{
+		{Null, KindNull},
+		{Uint(7), KindUint},
+		{Int(-3), KindInt},
+		{Float(2.5), KindFloat},
+		{Bool(true), KindBool},
+		{Str("x"), KindString},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("Kind() = %v, want %v", c.v.Kind(), c.kind)
+		}
+	}
+	if u, ok := Uint(42).AsUint(); !ok || u != 42 {
+		t.Errorf("Uint(42).AsUint() = %d,%v", u, ok)
+	}
+	if i, ok := Int(-5).AsInt(); !ok || i != -5 {
+		t.Errorf("Int(-5).AsInt() = %d,%v", i, ok)
+	}
+	if f, ok := Float(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Errorf("Float(1.5).AsFloat() = %g,%v", f, ok)
+	}
+	if s, ok := Str("hi").AsString(); !ok || s != "hi" {
+		t.Errorf("Str.AsString() = %q,%v", s, ok)
+	}
+	if _, ok := Str("hi").AsUint(); ok {
+		t.Error("Str.AsUint() should fail")
+	}
+	if _, ok := Null.AsFloat(); ok {
+		t.Error("Null.AsFloat() should fail")
+	}
+}
+
+func TestAsBool(t *testing.T) {
+	if Null.AsBool() {
+		t.Error("NULL must be false")
+	}
+	if !Uint(1).AsBool() || Uint(0).AsBool() {
+		t.Error("uint truthiness wrong")
+	}
+	if !Str("x").AsBool() || Str("").AsBool() {
+		t.Error("string truthiness wrong")
+	}
+}
+
+func TestEqualCrossKindNumeric(t *testing.T) {
+	if !Uint(5).Equal(Int(5)) {
+		t.Error("Uint(5) != Int(5)")
+	}
+	if !Int(5).Equal(Float(5)) {
+		t.Error("Int(5) != Float(5)")
+	}
+	if Uint(5).Equal(Str("5")) {
+		t.Error("numeric should not equal string")
+	}
+	if !Null.Equal(Null) {
+		t.Error("grouping equality: NULL == NULL")
+	}
+	if Null.Equal(Uint(0)) {
+		t.Error("NULL != 0")
+	}
+}
+
+func TestCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Uint(1), Uint(2), -1},
+		{Uint(2), Uint(1), 1},
+		{Uint(2), Uint(2), 0},
+		{Int(-1), Uint(0), -1},
+		{Uint(math.MaxUint64), Int(-1), 1},
+		{Int(-5), Int(-2), -1},
+		{Float(1.5), Uint(2), -1},
+		{Null, Uint(0), -1},
+		{Uint(0), Null, 1},
+		{Null, Null, 0},
+		{Str("a"), Str("b"), -1},
+		{Str("b"), Str("b"), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetricProperty(t *testing.T) {
+	f := func(a, b uint64, na, nb bool) bool {
+		var va, vb Value
+		if na {
+			va = Int(int64(a))
+		} else {
+			va = Uint(a)
+		}
+		if nb {
+			vb = Int(int64(b))
+		} else {
+			vb = Uint(b)
+		}
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualValuesProperty(t *testing.T) {
+	// Values that compare equal across kinds must hash equally (they
+	// may land in the same group or partition).
+	f := func(u uint32) bool {
+		a, b := Uint(uint64(u)), Int(int64(u))
+		if !a.Equal(b) {
+			return false
+		}
+		return a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Floats holding exact small integers hash like the integer.
+	if Float(42).Hash() != Uint(42).Hash() {
+		t.Error("Float(42) and Uint(42) must hash equally")
+	}
+}
+
+func TestEqualCompareConsistencyProperty(t *testing.T) {
+	// Equal(a, b) holds exactly when Compare(a, b) == 0, across kinds.
+	mk := func(tag uint8, v uint64) Value {
+		switch tag % 5 {
+		case 0:
+			return Uint(v % 64)
+		case 1:
+			return Int(int64(v%64) - 32)
+		case 2:
+			return Float(float64(v%64) / 2)
+		case 3:
+			return Bool(v%2 == 0)
+		default:
+			return Null
+		}
+	}
+	f := func(t1 uint8, v1 uint64, t2 uint8, v2 uint64) bool {
+		a, b := mk(t1, v1), mk(t2, v2)
+		return a.Equal(b) == (a.Compare(b) == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompareTotalOrderProperty(t *testing.T) {
+	// Compare is transitive over mixed numerics.
+	f := func(a, b, c int32) bool {
+		va, vb, vc := Int(int64(a)), Uint(uint64(uint32(b))), Float(float64(c))
+		if va.Compare(vb) <= 0 && vb.Compare(vc) <= 0 {
+			return va.Compare(vc) <= 0
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashTupleDistributes(t *testing.T) {
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		h := HashTuple([]Value{Uint(uint64(i)), Str("k")})
+		seen[h] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("too many hash collisions: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want int
+	}{
+		{Null, 1},
+		{Bool(true), 2},
+		{Uint(9), 9},
+		{Int(-1), 9},
+		{Float(3), 9},
+		{Str("abc"), 6},
+	}
+	for _, c := range cases {
+		if got := c.v.WireSize(); got != c.want {
+			t.Errorf("WireSize(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{Uint(7), "7"},
+		{Int(-7), "-7"},
+		{Bool(true), "TRUE"},
+		{Bool(false), "FALSE"},
+		{Str("a"), `"a"`},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if got := FormatIPv4(Uint(0x0A000001)); got != "10.0.0.1" {
+		t.Errorf("FormatIPv4 = %q", got)
+	}
+}

@@ -1,0 +1,296 @@
+// Package qap reproduces "Query-Aware Partitioning for Monitoring
+// Massive Network Data Streams" (Johnson, Muthukrishnan, Shkapenyuk,
+// Spatscheck, 2008): a query-analysis framework that infers the
+// optimal way to partition a high-rate network stream for a whole set
+// of continuous GSQL queries, and a partition-aware distributed query
+// optimizer that rewrites plans to exploit whatever partitioning the
+// splitter hardware provides.
+//
+// The typical flow:
+//
+//	sys, _ := qap.Load(netgen.SchemaDDL, queryText)
+//	analysis, _ := sys.Analyze(nil)          // recommended partitioning
+//	dep, _ := sys.Deploy(qap.DeployConfig{   // distributed plan + cluster
+//	    Hosts: 4, Partitioning: analysis.Best,
+//	})
+//	res, _ := dep.Run("TCP", trace.Packets)  // outputs + load metrics
+package qap
+
+import (
+	"fmt"
+
+	"qap/internal/cluster"
+	"qap/internal/core"
+	"qap/internal/exec"
+	"qap/internal/gsql"
+	"qap/internal/netgen"
+	"qap/internal/optimizer"
+	"qap/internal/plan"
+	"qap/internal/schema"
+	"qap/internal/sqlval"
+)
+
+// Re-exported core types: partitioning sets and analysis results.
+type (
+	// Set is a partitioning set: scalar expressions over base stream
+	// attributes that the splitter hashes tuples by.
+	Set = core.Set
+	// Elem is one element of a partitioning set.
+	Elem = core.Elem
+	// Requirement is one query node's compatibility requirement.
+	Requirement = core.Requirement
+	// Analysis is the result of the optimal-partitioning search.
+	Analysis = core.Result
+	// StreamSets assigns a distinct partitioning set per source
+	// stream (the paper's future-work extension).
+	StreamSets = core.StreamSets
+	// PerStreamAnalysis is the result of the per-stream search.
+	PerStreamAnalysis = core.PerStreamResult
+	// Stats supplies workload statistics to the cost model.
+	Stats = core.Stats
+	// StaticStats is a configurable Stats implementation.
+	StaticStats = core.StaticStats
+	// Tuple is a result row.
+	Tuple = exec.Tuple
+	// Metrics is the per-host load accounting of a run.
+	Metrics = cluster.Metrics
+	// CostConfig sets the simulator's CPU cost model.
+	CostConfig = cluster.CostConfig
+	// Scope selects partial-aggregation granularity.
+	Scope = optimizer.Scope
+	// Value is a runtime SQL value.
+	Value = sqlval.Value
+)
+
+// Partial-aggregation scopes (see optimizer.Scope).
+const (
+	ScopePartition = optimizer.ScopePartition
+	ScopeHost      = optimizer.ScopeHost
+)
+
+// ParseSet parses a partitioning set such as "srcIP & 0xFFF0, destIP".
+func ParseSet(src string) (Set, error) { return core.ParseSet(src) }
+
+// MustParseSet is ParseSet that panics on error.
+func MustParseSet(src string) Set { return core.MustParseSet(src) }
+
+// NewStats returns workload statistics with heuristic defaults.
+func NewStats() *StaticStats { return core.NewStaticStats() }
+
+// Reconcile computes the largest partitioning set compatible with
+// queries requiring either input set (paper Section 4.1).
+func Reconcile(a, b Set) Set { return core.Reconcile(a, b) }
+
+// System is a loaded schema plus an analyzed query set.
+type System struct {
+	Catalog *schema.Catalog
+	Queries *gsql.QuerySet
+	Graph   *plan.Graph
+}
+
+// Load parses stream DDL and a GSQL query set and builds the logical
+// query DAG.
+func Load(ddl, queries string) (*System, error) {
+	cat, err := schema.Parse(ddl)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := gsql.ParseQuerySet(queries)
+	if err != nil {
+		return nil, err
+	}
+	g, err := plan.Build(cat, qs)
+	if err != nil {
+		return nil, err
+	}
+	return &System{Catalog: cat, Queries: qs, Graph: g}, nil
+}
+
+// MustLoad is Load that panics on error, for examples and tests with
+// constant inputs.
+func MustLoad(ddl, queries string) *System {
+	s, err := Load(ddl, queries)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Analyze runs the paper's Section 4 algorithm: infer every node's
+// compatible partitioning set, reconcile them, and search for the set
+// minimizing the maximum per-node network cost. A nil stats uses the
+// heuristic defaults.
+func (s *System) Analyze(stats Stats) (*Analysis, error) {
+	return core.Optimize(s.Graph, stats, core.DefaultOptions())
+}
+
+// AnalyzePerStream runs the per-stream variant of the analysis: each
+// source stream gets its own partitioning set, so queries over
+// different streams no longer conflict, and cross-stream equi-joins
+// are satisfied by position-aligned sets.
+func (s *System) AnalyzePerStream(stats Stats) (*PerStreamAnalysis, error) {
+	return core.OptimizePerStream(s.Graph, stats, core.DefaultOptions())
+}
+
+// Requirements returns every query's inferred partitioning
+// requirement, keyed by query name.
+func (s *System) Requirements() map[string]Requirement {
+	out := make(map[string]Requirement)
+	for n, r := range core.Requirements(s.Graph) {
+		if n.Kind != plan.KindSource {
+			out[n.QueryName] = r
+		}
+	}
+	return out
+}
+
+// Compatible reports whether partitioning by ps is compatible with the
+// named query (paper Section 3.4).
+func (s *System) Compatible(ps Set, query string) (bool, error) {
+	n, ok := s.Graph.Node(query)
+	if !ok {
+		return false, fmt.Errorf("qap: no such query %q", query)
+	}
+	return core.Compatible(ps, n), nil
+}
+
+// PlanCost evaluates the Section 4.2.1 cost model: the maximum bytes
+// per second any single node receives under partitioning ps.
+func (s *System) PlanCost(ps Set, stats Stats) float64 {
+	return core.NewCostModel(s.Graph, stats).PlanCost(ps)
+}
+
+// DeployConfig selects the cluster shape and strategy.
+type DeployConfig struct {
+	// Hosts is the cluster size; PartitionsPerHost the splitter
+	// fan-out per host (the paper uses 2 for dual-core machines).
+	Hosts, PartitionsPerHost int
+	// Partitioning is the splitter's hash set; empty/nil partitions
+	// round robin (query-agnostic).
+	Partitioning Set
+	// PerStream, when non-nil, partitions each source stream by its
+	// own set and takes precedence over Partitioning.
+	PerStream StreamSets
+	// DisablePartialAgg turns off the sub/super-aggregate rewrite for
+	// incompatible aggregations.
+	DisablePartialAgg bool
+	// PartialScope selects per-partition (naive) or per-host
+	// (optimized) pre-aggregation; the default is per host.
+	PartialScope Scope
+	// Costs configures the CPU accounting; zero value uses defaults.
+	Costs CostConfig
+	// Params binds #NAME# query parameters.
+	Params map[string]Value
+}
+
+// Deployment is a compiled distributed plan ready to run traces.
+type Deployment struct {
+	sys    *System
+	plan   *optimizer.Plan
+	cfg    DeployConfig
+	params exec.Params
+}
+
+// Deploy builds the partition-aware distributed plan (Section 5) for
+// the configured cluster and partitioning.
+func (s *System) Deploy(cfg DeployConfig) (*Deployment, error) {
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 1
+	}
+	if cfg.PartitionsPerHost <= 0 {
+		cfg.PartitionsPerHost = 2
+	}
+	p, err := optimizer.Build(s.Graph, cfg.Partitioning, optimizer.Options{
+		Hosts:             cfg.Hosts,
+		PartitionsPerHost: cfg.PartitionsPerHost,
+		PartialAgg:        !cfg.DisablePartialAgg,
+		PartialScope:      cfg.PartialScope,
+		StreamSets:        cfg.PerStream,
+	})
+	if err != nil {
+		return nil, err
+	}
+	params := make(exec.Params, len(cfg.Params))
+	for k, v := range cfg.Params {
+		params[k] = v
+	}
+	return &Deployment{sys: s, plan: p, cfg: cfg, params: params}, nil
+}
+
+// PlanString renders the physical plan for inspection.
+func (d *Deployment) PlanString() string { return d.plan.String() }
+
+// PlanDOT renders the physical plan as Graphviz DOT, clustered by
+// host with network edges highlighted.
+func (d *Deployment) PlanDOT() string { return d.plan.DOT() }
+
+// GraphDOT renders the logical query DAG as Graphviz DOT.
+func (s *System) GraphDOT() string { return s.Graph.DOT() }
+
+// RunResult is one run's outputs and metrics.
+type RunResult struct {
+	// Outputs maps each root query to its result rows.
+	Outputs map[string][]Tuple
+	// NodeRows counts every logical query node's complete output rows
+	// (intermediate nodes included), the input to MeasureStats.
+	NodeRows map[string]int64
+	// Metrics is the per-host CPU and network accounting.
+	Metrics *Metrics
+}
+
+// Run streams a packet trace through a fresh instantiation of the
+// deployment. Each call starts from clean operator state, so a
+// Deployment can run many traces.
+func (d *Deployment) Run(stream string, packets []netgen.Packet) (*RunResult, error) {
+	return d.RunStreams(map[string][]netgen.Packet{stream: packets})
+}
+
+// RunStreams feeds one trace per source stream, interleaved in global
+// time order, for query sets that join several input streams.
+func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult, error) {
+	costs := d.cfg.Costs
+	if costs.ScanCost == 0 && costs.RemoteCost == 0 {
+		def := cluster.DefaultCosts()
+		def.CapacityPerSec = costs.CapacityPerSec
+		costs = def
+	}
+	r, err := cluster.New(d.plan, costs, d.params)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.RunStreams(streams)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResult{Outputs: res.Outputs, NodeRows: res.NodeRows, Metrics: res.Metrics}, nil
+}
+
+// Uint wraps a uint64 as a parameter value.
+func Uint(v uint64) Value { return sqlval.Uint(v) }
+
+// Str wraps a string as a parameter value.
+func Str(s string) Value { return sqlval.Str(s) }
+
+// Trace generation re-exports, so applications can drive deployments
+// with synthetic traffic through the public API alone.
+type (
+	// TraceConfig controls synthetic trace generation.
+	TraceConfig = netgen.Config
+	// Trace is a generated time-ordered packet sequence.
+	Trace = netgen.Trace
+	// Packet is one captured packet.
+	Packet = netgen.Packet
+)
+
+// TCPSchemaDDL is the packet stream schema generated traces conform to.
+const TCPSchemaDDL = netgen.SchemaDDL
+
+// AttackPattern is the OR of TCP flags marking a suspicious flow in
+// generated traces (bind it to the #PATTERN# parameter).
+const AttackPattern = netgen.AttackPattern
+
+// DefaultTraceConfig returns a laptop-scale trace configuration.
+func DefaultTraceConfig() TraceConfig { return netgen.DefaultConfig() }
+
+// GenerateTrace builds a deterministic synthetic packet trace.
+func GenerateTrace(cfg TraceConfig) *Trace { return netgen.Generate(cfg) }

@@ -1,0 +1,85 @@
+package qap
+
+import (
+	"testing"
+
+	"qap/internal/netgen"
+)
+
+func sampleTrace() *Trace {
+	cfg := DefaultTraceConfig()
+	cfg.DurationSec, cfg.PacketsPerSec = 120, 500
+	return GenerateTrace(cfg)
+}
+
+func TestMeasureStatsSelectivities(t *testing.T) {
+	sys := MustLoad(TCPSchemaDDL, ComplexQuerySet)
+	tr := sampleTrace()
+	stats, err := sys.MeasureStats(map[string][]netgen.Packet{"TCP": tr.Packets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Measured rates and selectivities land where the workload puts
+	// them: flows reduces packets to flows (well under 1), heavy_flows
+	// reduces flows to per-source maxima, flow_pairs emits fewer rows
+	// than heavy_flows feeds it (twice, as a self-join).
+	if got := stats.StreamTupleRate("TCP"); got < 400 || got > 600 {
+		t.Errorf("measured rate = %f, want ~500", got)
+	}
+	flowsSel := stats.Selectivities["flows"]
+	if flowsSel <= 0 || flowsSel >= 0.6 {
+		t.Errorf("flows selectivity = %f, want aggregation reduction", flowsSel)
+	}
+	hfSel := stats.Selectivities["heavy_flows"]
+	if hfSel <= 0 || hfSel > 1 {
+		t.Errorf("heavy_flows selectivity = %f", hfSel)
+	}
+	if _, ok := stats.Selectivities["flow_pairs"]; !ok {
+		t.Error("flow_pairs selectivity missing")
+	}
+}
+
+func TestMeasuredStatsDriveAnalyzer(t *testing.T) {
+	sys := MustLoad(TCPSchemaDDL, ComplexQuerySet)
+	tr := sampleTrace()
+	stats, err := sys.MeasureStats(map[string][]netgen.Packet{"TCP": tr.Packets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Analyze(stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With real measured statistics, the analysis still lands on the
+	// paper's answer for this set.
+	if !res.Best.Equal(MustParseSet("srcIP")) {
+		t.Errorf("best under measured stats = %s, want (srcIP)\n%s", res.Best, res.Summary())
+	}
+}
+
+func TestMeasureStatsMissingStream(t *testing.T) {
+	sys := MustLoad(TCPSchemaDDL, ComplexQuerySet)
+	if _, err := sys.MeasureStats(map[string][]netgen.Packet{}); err == nil {
+		t.Error("missing sample trace for TCP should fail")
+	}
+}
+
+func TestNodeRowsExposed(t *testing.T) {
+	sys := MustLoad(TCPSchemaDDL, ComplexQuerySet)
+	dep, err := sys.Deploy(DeployConfig{Hosts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sampleTrace()
+	res, err := dep.Run("TCP", tr.Packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeRows["flows"] == 0 || res.NodeRows["heavy_flows"] == 0 {
+		t.Errorf("intermediate node rows missing: %v", res.NodeRows)
+	}
+	if res.NodeRows["flows"] <= res.NodeRows["heavy_flows"] {
+		t.Errorf("flows (%d) should outnumber heavy_flows (%d)",
+			res.NodeRows["flows"], res.NodeRows["heavy_flows"])
+	}
+}
