@@ -16,7 +16,9 @@ package qap
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"qap/internal/cluster"
 	"qap/internal/netgen"
@@ -51,6 +53,31 @@ func sanitize(s string) string {
 		}
 	}
 	return string(out)
+}
+
+// BenchmarkParallelSpeedup compares sequential vs parallel wall-clock
+// on the Figure 8 sweep and reports the ratio. On a single-core
+// machine the ratio hovers around 1x (the engines produce identical
+// results either way); with spare cores the per-host workers overlap
+// and the ratio climbs toward the host count.
+func BenchmarkParallelSpeedup(b *testing.B) {
+	run := func(workers int) time.Duration {
+		cfg := benchConfig()
+		cfg.Workers = workers
+		start := time.Now()
+		if _, _, err := Figures8and9(cfg); err != nil {
+			b.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	var seq, par time.Duration
+	for i := 0; i < b.N; i++ {
+		seq += run(1)
+		par += run(runtime.GOMAXPROCS(0))
+	}
+	b.ReportMetric(seq.Seconds()/float64(b.N), "seq_s/op")
+	b.ReportMetric(par.Seconds()/float64(b.N), "par_s/op")
+	b.ReportMetric(seq.Seconds()/par.Seconds(), "speedup_x")
 }
 
 func BenchmarkFigure8AggregatorCPU(b *testing.B) {

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 
 	"qap"
 	"qap/internal/netgen"
@@ -25,6 +27,7 @@ func main() {
 	explain := flag.String("explain", "", "also explain plan costs under this partitioning set, e.g. 'srcIP, destIP'")
 	dot := flag.Bool("dot", false, "print the logical query DAG as Graphviz DOT and exit")
 	perStream := flag.Bool("per-stream", false, "also run the per-stream analysis (one set per input stream)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "candidate-costing worker goroutines (1 = sequential; results are identical)")
 	flag.Parse()
 
 	ddl := netgen.SchemaDDL
@@ -59,7 +62,9 @@ func main() {
 		fmt.Printf("  %s\n", q.Name)
 	}
 
-	res, err := sys.Analyze(nil)
+	opts := qap.DefaultSearchOptions()
+	opts.Workers = *workers
+	res, err := sys.AnalyzeWith(nil, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,7 +89,14 @@ func main() {
 		}
 		fmt.Printf("\ncost under %s: %.0f B/s (centralized %.0f B/s)\n",
 			ps, sys.PlanCost(ps, nil), sys.PlanCost(nil, nil))
-		for name := range sys.Requirements() {
+		// Sorted, not map order: tool output must be stable run to run.
+		reqs := sys.Requirements()
+		names := make([]string, 0, len(reqs))
+		for name := range reqs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
 			ok, _ := sys.Compatible(ps, name)
 			fmt.Printf("  %-24s compatible=%v\n", name, ok)
 		}

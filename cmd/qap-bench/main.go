@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"qap"
 )
@@ -27,6 +28,7 @@ func main() {
 	hosts := flag.Int("hosts", 4, "maximum cluster size")
 	seed := flag.Int64("seed", 1, "trace random seed")
 	leaf := flag.Bool("leaf", false, "also print the Section 6.1 leaf-load series")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
 	flag.Parse()
 
 	cfg := qap.DefaultExperimentConfig()
@@ -34,6 +36,7 @@ func main() {
 	cfg.Trace.PacketsPerSec = *rate
 	cfg.Trace.DurationSec = *duration
 	cfg.MaxHosts = *hosts
+	cfg.Workers = *workers
 
 	type experiment struct {
 		ids []string

@@ -17,7 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"runtime"
 
 	"qap"
 	"qap/internal/netgen"
@@ -37,6 +37,7 @@ func main() {
 	naiveScope := flag.Bool("naive", false, "use per-partition (naive) partial aggregation")
 	traceFile := flag.String("trace", "", "CSV trace file to replay instead of generating one")
 	dumpFile := flag.String("dump", "", "write the generated trace to this CSV file")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
 	flag.Parse()
 
 	queries := qap.ComplexQuerySet
@@ -70,6 +71,7 @@ func main() {
 		PartialScope:      scope,
 		Costs:             qap.CostConfig{CapacityPerSec: float64(*rate) * 3},
 		Params:            map[string]qap.Value{"PATTERN": qap.Uint(netgen.AttackPattern)},
+		Workers:           *workers,
 	})
 	if err != nil {
 		fatal(err)
@@ -129,12 +131,7 @@ func main() {
 		fatal(err)
 	}
 
-	names := make([]string, 0, len(res.Outputs))
-	for name := range res.Outputs {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
+	for _, name := range res.OutputNames() {
 		rows := res.Outputs[name]
 		fmt.Printf("\n%s: %d rows\n", name, len(rows))
 		for i, r := range rows {

@@ -81,6 +81,9 @@ type ExperimentConfig struct {
 	// capacity is derived from it, mirroring how the paper's absolute
 	// percentages reflect their fixed 2008 hardware.
 	CalibrationLoad float64
+	// Workers selects the simulator's execution engine (see
+	// DeployConfig.Workers); results are identical for any value.
+	Workers int
 }
 
 // DefaultExperimentConfig returns a laptop-scale version of the
@@ -186,6 +189,7 @@ func runExperiment(id, title, queries string, strategies []Strategy, cfg Experim
 			DisablePartialAgg: st.DisablePartialAgg,
 			Costs:             CostConfig{CapacityPerSec: capacity},
 			Params:            params,
+			Workers:           cfg.Workers,
 		})
 		if err != nil {
 			return nil, err

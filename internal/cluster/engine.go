@@ -1,0 +1,381 @@
+package cluster
+
+// The parallel execution engine.
+//
+// The sequential engine (runner.go) drives the merged packet trace
+// through the whole operator graph on one goroutine in a canonical
+// order: rounds of distinct timestamps, each round advancing every
+// stream's router (cursor order x partition order) and then pushing the
+// round's packets in merged arrival order, with a final flush round
+// over the routers in sorted-name order.
+//
+// The parallel engine reproduces exactly that event sequence while
+// running the per-host operator chains concurrently:
+//
+//   - The plan decomposes into islands (runner.go): one leaf island per
+//     simulated host (its capture processes) plus the central island
+//     (the root process on the aggregator host). The optimizer only
+//     builds plans whose island-crossing dataflow points into the
+//     central island; parallelizable() verifies this and otherwise the
+//     Runner falls back to the sequential engine.
+//
+//   - A driver goroutine plays the splitter: it merges the input
+//     cursors in canonical order, evaluates each tuple's route (hash or
+//     round-robin), and feeds every island its per-round action list —
+//     watermark advances, tuple pushes, final flushes — over bounded
+//     channels, batching batchRounds rounds per message.
+//
+//   - One worker goroutine per min(Workers, Hosts) executes the leaf
+//     islands (worker g owns islands g, g+W, ...). Each action carries
+//     a canonical tag; deliveries that cross into the central island
+//     are not executed by the worker but recorded as tagged linkItems
+//     (the capture consumer) and shipped to the central inbox. Every
+//     processed feed message emits a linkBatch — even when empty — so
+//     the central watermark advances.
+//
+//   - The central replay loop, on the calling goroutine, K-way-merges
+//     the islands' linkItems by (round, tag) and applies them to the
+//     central operators. A tag identifies one splitter action (advance,
+//     push, or flush), every action's cascade runs on exactly one
+//     island, and each island emits its items in canonical order — so
+//     the merge reconstructs the sequential delivery order exactly.
+//     Per-island "through" watermarks (the last fully shipped round)
+//     gate the merge: an item is applied only once every island has
+//     shipped past its round.
+//
+// Accounting is sharded per island in both engines and merged in a
+// fixed order by finalize(), so floating-point sums group identically
+// and parallel results are byte-identical to sequential ones.
+
+import (
+	"sync"
+
+	"qap/internal/exec"
+)
+
+// defaultBatchRounds is how many watermark rounds the driver coalesces
+// into one channel message when RunConfig.BatchRounds is unset. Rounds
+// are small (a handful of packets at typical trace rates), so batching
+// amortizes channel synchronization across the pipeline.
+const defaultBatchRounds = 32
+
+// feedChanCap bounds each worker's feed channel: the driver may run at
+// most this many messages ahead of a worker, which also bounds the
+// central replay loop's pending queues.
+const feedChanCap = 2
+
+// Canonical tags. Within one round the sequential engine performs
+// watermark advances (cursor order x partition order), then tuple
+// pushes (merged arrival order), then — in the one flush round — router
+// flushes (sorted-name order x partition order). The tag encodes
+// phase<<48 | key so that tag order within a round equals execution
+// order, and every tag maps to exactly one island.
+const (
+	phaseAdv   = uint64(0) << 48
+	phasePush  = uint64(1) << 48
+	phaseFlush = uint64(2) << 48
+)
+
+type linkKind uint8
+
+const (
+	itemPush linkKind = iota
+	itemAdvance
+	itemFlush
+)
+
+// linkItem is one captured delivery across an island boundary.
+type linkItem struct {
+	round int
+	tag   uint64
+	kind  linkKind
+	e     *edge
+	t     exec.Tuple
+	wm    uint64
+}
+
+// linkBatch ships an island's captured deliveries for a range of
+// rounds. through is the last round fully contained in the batch; done
+// marks the island's final batch.
+type linkBatch struct {
+	isl     int
+	through int
+	done    bool
+	items   []linkItem
+}
+
+// capture replaces an island-crossing edge on the producing island: it
+// records the delivery instead of performing it. The central replay
+// loop applies the recorded items in canonical order.
+type capture struct {
+	isl *island
+	e   *edge
+}
+
+func (c *capture) Push(t exec.Tuple) {
+	c.isl.outbox = append(c.isl.outbox, linkItem{
+		round: c.isl.curRound, tag: c.isl.curTag, kind: itemPush, e: c.e, t: t,
+	})
+}
+
+func (c *capture) Advance(wm uint64) {
+	c.isl.outbox = append(c.isl.outbox, linkItem{
+		round: c.isl.curRound, tag: c.isl.curTag, kind: itemAdvance, e: c.e, wm: wm,
+	})
+}
+
+func (c *capture) Flush() {
+	c.isl.outbox = append(c.isl.outbox, linkItem{
+		round: c.isl.curRound, tag: c.isl.curTag, kind: itemFlush, e: c.e,
+	})
+}
+
+// tagged is a pre-resolved consumer with its canonical tag.
+type tagged struct {
+	tag uint64
+	c   exec.Consumer
+}
+
+// pushAction is one routed tuple delivery within a round.
+type pushAction struct {
+	tag uint64
+	out exec.Consumer
+	t   exec.Tuple
+}
+
+// hostRound is one island's share of one round.
+type hostRound struct {
+	round  int
+	wm     uint64
+	adv    bool // run the island's advance targets at wm
+	pushes []pushAction
+	flush  bool // run the island's flush targets
+}
+
+// feedMsg carries a batch of rounds for one island; last marks the
+// island's final message.
+type feedMsg struct {
+	isl    *island
+	rounds []hostRound
+	last   bool
+}
+
+// runParallel executes the trace with the parallel engine. The caller
+// goroutine runs the central replay loop.
+func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
+	hosts := r.plan.Hosts
+	workers := r.workers
+	if workers > hosts {
+		workers = hosts
+	}
+
+	// Pre-resolve every island's advance and flush target lists in
+	// canonical (= tag) order. Advance walks the fed streams in cursor
+	// order; flush walks every router in sorted-name order.
+	advTargets := make([][]tagged, hosts)
+	for sIdx, c := range cursors {
+		for p, out := range c.rt.outs {
+			id := c.rt.islands[p]
+			advTargets[id] = append(advTargets[id], tagged{
+				tag: phaseAdv | uint64(sIdx*r.plan.Partitions+p), c: out,
+			})
+		}
+	}
+	flushTargets := make([][]tagged, hosts)
+	for fIdx, name := range r.routerNames {
+		rt := r.routers[name]
+		for p, out := range rt.outs {
+			id := rt.islands[p]
+			flushTargets[id] = append(flushTargets[id], tagged{
+				tag: phaseFlush | uint64(fIdx*r.plan.Partitions+p), c: out,
+			})
+		}
+	}
+
+	feeds := make([]chan feedMsg, workers)
+	for g := range feeds {
+		feeds[g] = make(chan feedMsg, feedChanCap)
+	}
+	inbox := make(chan linkBatch, 2*hosts)
+
+	// Leaf workers: worker g executes islands g, g+W, 2W, ...
+	var workerWG sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		workerWG.Add(1)
+		go func(feed <-chan feedMsg) {
+			defer workerWG.Done()
+			for msg := range feed {
+				isl := msg.isl
+				last := 0
+				for _, hr := range msg.rounds {
+					isl.curRound = hr.round
+					last = hr.round
+					if hr.adv {
+						for _, at := range advTargets[isl.id] {
+							isl.curTag = at.tag
+							at.c.Advance(hr.wm)
+						}
+					}
+					for _, pa := range hr.pushes {
+						isl.curTag = pa.tag
+						pa.out.Push(pa.t)
+					}
+					if hr.flush {
+						for _, ft := range flushTargets[isl.id] {
+							isl.curTag = ft.tag
+							ft.c.Flush()
+						}
+					}
+				}
+				items := isl.outbox
+				isl.outbox = nil
+				inbox <- linkBatch{isl: isl.id, through: last, items: items, done: msg.last}
+			}
+		}(feeds[g])
+	}
+
+	// Driver: merge the cursors, route every tuple, and feed the
+	// islands their rounds in batches.
+	var (
+		driverWG sync.WaitGroup
+		dAny     bool
+		dMax     uint64
+	)
+	driverWG.Add(1)
+	go func() {
+		defer driverWG.Done()
+		// rounds[i] accumulates island i's pending hostRounds.
+		rounds := make([][]hostRound, hosts)
+		batched := 0
+		round := -1
+		ship := func(last bool) {
+			for i := 0; i < hosts; i++ {
+				msg := feedMsg{isl: r.islands[i], rounds: rounds[i], last: last}
+				rounds[i] = nil
+				feeds[i%workers] <- msg
+			}
+			batched = 0
+		}
+		openRound := func(wm uint64) {
+			round++
+			for i := 0; i < hosts; i++ {
+				rounds[i] = append(rounds[i], hostRound{round: round, wm: wm, adv: true})
+			}
+		}
+		var lastTime uint64
+		first := true
+		seq := uint64(0) // round-local push sequence
+		for {
+			best := nextCursor(cursors)
+			if best == nil {
+				break
+			}
+			pk := &best.packets[best.pos]
+			best.pos++
+			dAny = true
+			if pk.Time > dMax {
+				dMax = pk.Time
+			}
+			if first || pk.Time > lastTime {
+				if !first {
+					batched++
+					if batched >= r.batchRounds {
+						ship(false)
+					}
+				}
+				openRound(pk.Time)
+				seq = 0
+				lastTime, first = pk.Time, false
+			}
+			t := pk.Tuple()
+			idx := best.rt.route(t)
+			id := best.rt.islands[idx]
+			hr := &rounds[id][len(rounds[id])-1]
+			hr.pushes = append(hr.pushes, pushAction{
+				tag: phasePush | seq, out: best.rt.outs[idx], t: t,
+			})
+			seq++
+		}
+		// The flush round.
+		round++
+		for i := 0; i < hosts; i++ {
+			rounds[i] = append(rounds[i], hostRound{round: round, flush: true})
+		}
+		ship(true)
+		for _, feed := range feeds {
+			close(feed)
+		}
+	}()
+
+	// Central replay: K-way merge of the islands' link items by
+	// (round, tag). An island with an empty pending queue bounds its
+	// next item at (through+1, 0) until its final batch arrives.
+	pending := make([][]linkItem, hosts)
+	heads := make([]int, hosts)
+	through := make([]int, hosts)
+	done := make([]bool, hosts)
+	for i := range through {
+		through[i] = -1
+	}
+	doneCount := 0
+	for {
+		best, bestIsItem := -1, false
+		var bestRound int
+		var bestTag uint64
+		for i := 0; i < hosts; i++ {
+			var rnd int
+			var tg uint64
+			isItem := heads[i] < len(pending[i])
+			if isItem {
+				it := &pending[i][heads[i]]
+				rnd, tg = it.round, it.tag
+			} else if done[i] {
+				continue
+			} else {
+				rnd, tg = through[i]+1, 0
+			}
+			if best == -1 || rnd < bestRound || (rnd == bestRound && tg < bestTag) {
+				best, bestIsItem, bestRound, bestTag = i, isItem, rnd, tg
+			}
+		}
+		if best == -1 {
+			break // every island done and drained
+		}
+		if bestIsItem {
+			it := &pending[best][heads[best]]
+			switch it.kind {
+			case itemPush:
+				it.e.Push(it.t)
+			case itemAdvance:
+				it.e.Advance(it.wm)
+			case itemFlush:
+				it.e.Flush()
+			}
+			heads[best]++
+			if heads[best] == len(pending[best]) {
+				pending[best], heads[best] = nil, 0
+			}
+			continue
+		}
+		// The merge is blocked on an island that has not shipped far
+		// enough; receive more batches.
+		b := <-inbox
+		if len(pending[b.isl]) == 0 {
+			pending[b.isl], heads[b.isl] = b.items, 0
+		} else {
+			pending[b.isl] = append(pending[b.isl], b.items...)
+		}
+		if b.through > through[b.isl] {
+			through[b.isl] = b.through
+		}
+		if b.done && !done[b.isl] {
+			done[b.isl] = true
+			doneCount++
+		}
+	}
+	_ = doneCount
+
+	driverWG.Wait()
+	workerWG.Wait()
+	return r.finalize(dAny, dMax), nil
+}

@@ -1,0 +1,221 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+
+	"qap/internal/core"
+	"qap/internal/netgen"
+	"qap/internal/optimizer"
+)
+
+// runWorkers builds and runs the flows/complex/suspicious plans with an
+// explicit worker count, returning the full result.
+func runWorkers(t testing.TB, queries string, ps core.Set, o optimizer.Options, streams map[string][]netgen.Packet, workers int) *Result {
+	t.Helper()
+	g := buildGraph(t, queries)
+	p, err := optimizer.Build(g, ps, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, RunConfig{Costs: DefaultCosts(), Params: testParams, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunStreams(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sameResult asserts byte-identical results: same output rows in the
+// same order, same node-row counts, and bit-equal metrics.
+func sameResult(t *testing.T, want, got *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Outputs, got.Outputs) {
+		t.Errorf("Outputs differ")
+	}
+	if !reflect.DeepEqual(want.NodeRows, got.NodeRows) {
+		t.Errorf("NodeRows differ: %v vs %v", want.NodeRows, got.NodeRows)
+	}
+	if !reflect.DeepEqual(*want.Metrics, *got.Metrics) {
+		t.Errorf("Metrics differ:\n  want %+v\n  got  %+v", *want.Metrics, *got.Metrics)
+	}
+}
+
+// TestParallelMatchesSequential is the parallel engine's correctness
+// oracle inside the cluster package: for every workload and topology,
+// Workers=N must reproduce the sequential engine byte for byte.
+func TestParallelMatchesSequential(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	querySets := []struct {
+		name    string
+		queries string
+		ps      core.Set
+	}{
+		{"flows", flowsQuery, core.MustParseSet("srcIP, destIP")},
+		{"complex", complexSet, core.MustParseSet("srcIP")},
+		{"suspicious", suspiciousQuery, core.MustParseSet("srcIP, destIP, srcPort, destPort")},
+	}
+	for _, qs := range querySets {
+		for _, hosts := range []int{1, 2, 4} {
+			for _, partial := range []bool{false, true} {
+				o := optimizer.Options{Hosts: hosts, PartitionsPerHost: 2, PartialAgg: partial}
+				t.Run(qs.name, func(t *testing.T) {
+					want := runWorkers(t, qs.queries, qs.ps, o, streams, 1)
+					for _, workers := range []int{2, 8} {
+						got := runWorkers(t, qs.queries, qs.ps, o, streams, workers)
+						sameResult(t, want, got)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestParallelRoundRobin covers the round-robin splitter (no
+// partitioning set): the route decision is driver-side state, which
+// must not drift between engines.
+func TestParallelRoundRobin(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 3, PartitionsPerHost: 2, PartialAgg: true}
+	want := runWorkers(t, flowsQuery, nil, o, streams, 1)
+	got := runWorkers(t, flowsQuery, nil, o, streams, 4)
+	sameResult(t, want, got)
+}
+
+// TestParallelTwoStream exercises the multi-cursor merge (advance tags
+// span streams) and a join across two input streams.
+func TestParallelTwoStream(t *testing.T) {
+	g := buildTwoStream(t)
+	a, b := twoTraces(t)
+	o := optimizer.Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true}
+	p, err := optimizer.Build(g, core.MustParseSet("srcIP, destIP"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := map[string][]netgen.Packet{"PKT1": a.Packets, "PKT2": b.Packets}
+	seq, err := NewRunner(p, RunConfig{Costs: DefaultCosts(), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.RunStreams(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Outputs["combined"]) == 0 {
+		t.Fatal("two-stream join found no matches")
+	}
+	p2, err := optimizer.Build(g, core.MustParseSet("srcIP, destIP"), o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewRunner(p2, RunConfig{Costs: DefaultCosts(), Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := par.RunStreams(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, want, got)
+}
+
+// TestParallelBatchSizes sweeps the channel batching knob: batching is
+// a transport detail and must never leak into results.
+func TestParallelBatchSizes(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true}
+	g := buildGraph(t, complexSet)
+	ps := core.MustParseSet("srcIP")
+	build := func() *optimizer.Plan {
+		p, err := optimizer.Build(g, ps, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	seq, err := NewRunner(build(), RunConfig{Costs: DefaultCosts(), Params: testParams, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := seq.RunStreams(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 1024} {
+		par, err := NewRunner(build(), RunConfig{
+			Costs: DefaultCosts(), Params: testParams, Workers: 4, BatchRounds: batch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := par.RunStreams(streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, want, got)
+	}
+}
+
+// TestCursorOrderStable is the regression test for the unstable cursor
+// sort: two equal-length streams sharing every timestamp must merge in
+// the same order on every run, regardless of map iteration order. The
+// join's output order is sensitive to the merge order, so identical
+// outputs across fresh runners prove the tie-break works.
+func TestCursorOrderStable(t *testing.T) {
+	g := buildTwoStream(t)
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+
+	// Two packets per stream at the same timestamps with crossed keys:
+	// (k1, k2) on PKT1 and (k2, k1) on PKT2, so the probe-side emission
+	// order of the join depends on which stream is pushed first.
+	mk := func(tm, src, dst uint64) netgen.Packet {
+		return netgen.Packet{Time: tm, SrcIP: src, DestIP: dst, Len: 10, Seq: 0}
+	}
+	a := []netgen.Packet{mk(0, 1, 1), mk(0, 2, 2), mk(1, 1, 1), mk(1, 2, 2)}
+	b := []netgen.Packet{mk(0, 2, 2), mk(0, 1, 1), mk(1, 2, 2), mk(1, 1, 1)}
+
+	var want *Result
+	for i := 0; i < 30; i++ {
+		p, err := optimizer.Build(g, nil, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := New(p, DefaultCosts(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.RunStreams(map[string][]netgen.Packet{"PKT1": a, "PKT2": b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rows := got.Outputs["combined"]; len(rows) != 4 {
+			t.Fatalf("want 4 join rows, got %d", len(rows))
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want.Outputs, got.Outputs) {
+			t.Fatalf("run %d: output order drifted across identical runs", i)
+		}
+	}
+}
+
+// TestSequentialFallback: a Workers>1 request on a 1-host 1-partition
+// plan must still produce correct results (the parallel engine runs
+// with a single leaf worker, or falls back when the plan shape demands
+// it).
+func TestSequentialFallback(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 1, PartitionsPerHost: 1}
+	want := runWorkers(t, flowsQuery, nil, o, streams, 1)
+	got := runWorkers(t, flowsQuery, nil, o, streams, 8)
+	sameResult(t, want, got)
+}

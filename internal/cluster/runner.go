@@ -15,14 +15,62 @@ import (
 
 // Runner instantiates a distributed physical plan into live operators
 // with accounting on every edge, and drives packet traces through it.
+//
+// A Runner executes either sequentially (Workers <= 1: one goroutine
+// pushes every tuple through the whole operator graph) or in parallel
+// (Workers > 1: one worker goroutine per simulated host plus a central
+// replay goroutine, see engine.go). Both modes produce byte-identical
+// Results. A Runner holds operator state and is good for one run.
 type Runner struct {
-	plan       *optimizer.Plan
-	cost       CostConfig
-	params     exec.Params
-	metrics    *Metrics
-	routers    map[string]*router
-	collectors map[string]*exec.Collector
-	nodeRows   map[string]*int64
+	plan        *optimizer.Plan
+	cost        CostConfig
+	params      exec.Params
+	workers     int
+	batchRounds int
+	metrics     *Metrics
+	routers     map[string]*router
+	routerNames []string // sorted lower-case names: the canonical flush order
+	collectors  map[string]*exec.Collector
+
+	// islands[0..Hosts-1] are the per-host leaf islands; islands[Hosts]
+	// is the central island (the root process on the aggregator host).
+	islands  []*island
+	parallel bool
+}
+
+// RunConfig bundles a Runner's execution knobs.
+type RunConfig struct {
+	// Costs configures the CPU accounting.
+	Costs CostConfig
+	// Params binds #NAME# query parameters.
+	Params exec.Params
+	// Workers selects the execution engine: <= 1 runs the sequential
+	// in-line engine; > 1 runs up to Workers per-host worker goroutines
+	// plus a splitter (driver) and a central replay goroutine. Results
+	// are byte-identical either way.
+	Workers int
+	// BatchRounds is the number of watermark rounds coalesced into one
+	// channel message on the splitter feeds and inter-host links; 0
+	// uses the default.
+	BatchRounds int
+}
+
+// island is the unit of parallel execution: the operators of one
+// simulated host's capture processes (a leaf island, one per host), or
+// the central root process on the aggregator host. Each island owns a
+// metrics shard and a NodeRows shard so no accounting state is shared
+// between workers; shards are merged in a fixed order when the run
+// finishes, which also makes the sequential engine's floating-point
+// sums group exactly like the parallel engine's.
+type island struct {
+	id      int
+	metrics HostMetrics
+	rows    map[string]*int64
+
+	// Parallel-mode state, owned by the island's worker goroutine.
+	curRound int
+	curTag   uint64
+	outbox   []linkItem
 }
 
 // Result is the outcome of one run.
@@ -37,21 +85,69 @@ type Result struct {
 	Metrics  *Metrics
 }
 
-// New compiles the physical plan into operator instances.
+// New compiles the physical plan into operator instances for the
+// sequential engine.
 func New(p *optimizer.Plan, cost CostConfig, params exec.Params) (*Runner, error) {
+	return NewRunner(p, RunConfig{Costs: cost, Params: params})
+}
+
+// NewRunner compiles the physical plan into operator instances under
+// the given run configuration.
+func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 	r := &Runner{
-		plan:       p,
-		cost:       cost,
-		params:     params,
-		metrics:    &Metrics{Hosts: make([]HostMetrics, p.Hosts), Capacity: cost.CapacityPerSec},
-		routers:    make(map[string]*router),
-		collectors: make(map[string]*exec.Collector),
-		nodeRows:   make(map[string]*int64),
+		plan:        p,
+		cost:        cfg.Costs,
+		params:      cfg.Params,
+		workers:     cfg.Workers,
+		batchRounds: cfg.BatchRounds,
+		metrics:     &Metrics{Hosts: make([]HostMetrics, p.Hosts), Capacity: cfg.Costs.CapacityPerSec},
+		routers:     make(map[string]*router),
+		collectors:  make(map[string]*exec.Collector),
 	}
+	if r.batchRounds <= 0 {
+		r.batchRounds = defaultBatchRounds
+	}
+	r.islands = make([]*island, p.Hosts+1)
+	for i := range r.islands {
+		r.islands[i] = &island{id: i, rows: make(map[string]*int64)}
+	}
+	r.parallel = cfg.Workers > 1 && r.parallelizable()
 	if err := r.compile(); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// islandOf maps an operator to its execution island: per-partition and
+// per-host operators belong to their host's leaf island, central
+// operators (the root process, Proc == -1 on the aggregator host) to
+// the central island.
+func (r *Runner) islandOf(op *optimizer.Op) *island {
+	if op.Proc == -1 {
+		return r.islands[r.plan.Hosts]
+	}
+	return r.islands[op.Host]
+}
+
+// parallelizable reports whether every island-crossing edge delivers
+// into the central island — the topology the parallel engine's
+// leaf-workers-feed-central-replay design requires. The partition-aware
+// optimizer only builds such plans; this guards against future plan
+// shapes by falling back to the sequential engine.
+func (r *Runner) parallelizable() bool {
+	for _, op := range r.plan.Ops {
+		to := r.islandOf(op)
+		if op.Kind == optimizer.OpScan && to == r.islands[r.plan.Hosts] {
+			// The splitter feeds leaf islands only.
+			return false
+		}
+		for _, in := range op.Inputs {
+			if r.islandOf(in) != to && to != r.islands[r.plan.Hosts] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Run feeds a time-ordered packet trace into the named stream and
@@ -61,19 +157,23 @@ func (r *Runner) Run(stream string, packets []netgen.Packet) (*Result, error) {
 	return r.RunStreams(map[string][]netgen.Packet{stream: packets})
 }
 
-// RunStreams feeds several traces, one per source stream, interleaved
-// in global time order (the watermark is shared: an epoch closes only
-// when every stream has moved past it). Each trace must itself be
-// time-ordered.
-func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error) {
-	type cursor struct {
-		rt      *router
-		packets []netgen.Packet
-		pos     int
-	}
-	var cursors []*cursor
+// streamCursor walks one source stream's trace during the merge.
+type streamCursor struct {
+	name    string // lower-case stream name
+	rt      *router
+	packets []netgen.Packet
+	pos     int
+}
+
+// makeCursors validates the input traces and fixes the canonical merge
+// order: longer streams first, ties broken by stream name, so two
+// equal-length streams sharing timestamps always interleave the same
+// way (Go map iteration order must never leak into the merge).
+func (r *Runner) makeCursors(streams map[string][]netgen.Packet) ([]*streamCursor, error) {
+	var cursors []*streamCursor
 	for name, packets := range streams {
-		rt, ok := r.routers[strings.ToLower(name)]
+		lower := strings.ToLower(name)
+		rt, ok := r.routers[lower]
 		if !ok {
 			return nil, fmt.Errorf("cluster: plan has no source stream %q", name)
 		}
@@ -82,28 +182,55 @@ func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error)
 				return nil, fmt.Errorf("cluster: stream %q is not time-ordered at index %d", name, i)
 			}
 		}
-		cursors = append(cursors, &cursor{rt: rt, packets: packets})
+		cursors = append(cursors, &streamCursor{name: lower, rt: rt, packets: packets})
 	}
-	// Deterministic merge order for equal timestamps.
 	sort.Slice(cursors, func(i, j int) bool {
-		return len(cursors[i].packets) > len(cursors[j].packets)
+		if len(cursors[i].packets) != len(cursors[j].packets) {
+			return len(cursors[i].packets) > len(cursors[j].packets)
+		}
+		return cursors[i].name < cursors[j].name
 	})
+	return cursors, nil
+}
 
-	var lastTime uint64
-	maxTime := uint64(0)
+// nextCursor picks the cursor holding the smallest next timestamp;
+// equal timestamps go to the earliest cursor in canonical order.
+func nextCursor(cursors []*streamCursor) *streamCursor {
+	var best *streamCursor
+	for _, c := range cursors {
+		if c.pos >= len(c.packets) {
+			continue
+		}
+		if best == nil || c.packets[c.pos].Time < best.packets[best.pos].Time {
+			best = c
+		}
+	}
+	return best
+}
+
+// RunStreams feeds several traces, one per source stream, interleaved
+// in global time order (the watermark is shared: an epoch closes only
+// when every stream has moved past it). Each trace must itself be
+// time-ordered.
+func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error) {
+	cursors, err := r.makeCursors(streams)
+	if err != nil {
+		return nil, err
+	}
+	if r.parallel {
+		return r.runParallel(cursors)
+	}
+	return r.runSequential(cursors)
+}
+
+// runSequential drives the merged trace through the operator graph on
+// the calling goroutine, one tuple at a time.
+func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
+	var lastTime, maxTime uint64
 	first := true
 	any := false
 	for {
-		// Pick the cursor with the smallest next timestamp.
-		var best *cursor
-		for _, c := range cursors {
-			if c.pos >= len(c.packets) {
-				continue
-			}
-			if best == nil || c.packets[c.pos].Time < best.packets[best.pos].Time {
-				best = c
-			}
-		}
+		best := nextCursor(cursors)
 		if best == nil {
 			break
 		}
@@ -122,24 +249,45 @@ func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error)
 		}
 		best.rt.Push(pk.Tuple())
 	}
-	for _, router := range r.routers {
-		router.Flush()
+	// Flush in canonical stream order: every router, sorted by name.
+	for _, name := range r.routerNames {
+		r.routers[name].Flush()
 	}
+	return r.finalize(any, maxTime), nil
+}
+
+// finalize merges the per-island accounting shards (in a fixed order,
+// so both engines group floating-point sums identically) and collects
+// the run's outputs.
+func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 	if any {
 		r.metrics.DurationSec = float64(maxTime + 1)
 	}
+	for h := 0; h < r.plan.Hosts; h++ {
+		r.metrics.Hosts[h] = r.islands[h].metrics
+	}
+	central := &r.islands[r.plan.Hosts].metrics
+	agg := &r.metrics.Hosts[r.plan.AggregatorHost]
+	agg.CPUUnits += central.CPUUnits
+	agg.NetTuplesIn += central.NetTuplesIn
+	agg.NetBytesIn += central.NetBytesIn
+	agg.IPCTuplesIn += central.IPCTuplesIn
+	agg.Tuples += central.Tuples
+
 	res := &Result{
 		Outputs:  make(map[string][]exec.Tuple),
-		NodeRows: make(map[string]int64, len(r.nodeRows)),
+		NodeRows: make(map[string]int64),
 		Metrics:  r.metrics,
 	}
 	for name, c := range r.collectors {
 		res.Outputs[name] = c.Rows
 	}
-	for name, n := range r.nodeRows {
-		res.NodeRows[name] = *n
+	for _, isl := range r.islands {
+		for name, n := range isl.rows {
+			res.NodeRows[name] += *n
+		}
 	}
-	return res, nil
+	return res
 }
 
 // rowCounter counts a logical node's complete output rows.
@@ -164,10 +312,11 @@ func (r *Runner) countedOutput(op *optimizer.Op, out exec.Consumer) exec.Consume
 		return out
 	}
 	name := strings.ToLower(op.Logical.QueryName)
-	n, ok := r.nodeRows[name]
+	isl := r.islandOf(op)
+	n, ok := isl.rows[name]
 	if !ok {
 		n = new(int64)
-		r.nodeRows[name] = n
+		isl.rows[name] = n
 	}
 	return &rowCounter{n: n, next: out}
 }
@@ -177,24 +326,30 @@ func (r *Runner) countedOutput(op *optimizer.Op, out exec.Consumer) exec.Consume
 type router struct {
 	hashFns []exec.EvalFunc // nil => round robin
 	outs    []exec.Consumer
+	islands []int // island id owning each partition's scan
 	rr      int
 }
 
-func (rt *router) Push(t exec.Tuple) {
-	var idx int
+// route picks the destination partition for one tuple. It mutates the
+// round-robin cursor, so in parallel mode only the splitter (driver)
+// goroutine may call it.
+func (rt *router) route(t exec.Tuple) int {
 	if rt.hashFns == nil {
-		idx = rt.rr % len(rt.outs)
+		idx := rt.rr % len(rt.outs)
 		rt.rr++
-	} else {
-		vals := make([]sqlval.Value, len(rt.hashFns))
-		for i, f := range rt.hashFns {
-			vals[i] = f(t)
-		}
-		h := sqlval.HashTuple(vals)
-		// Range split: partition i receives H in [i*R/M, (i+1)*R/M).
-		idx = int((h >> 32) * uint64(len(rt.outs)) >> 32)
+		return idx
 	}
-	rt.outs[idx].Push(t)
+	vals := make([]sqlval.Value, len(rt.hashFns))
+	for i, f := range rt.hashFns {
+		vals[i] = f(t)
+	}
+	h := sqlval.HashTuple(vals)
+	// Range split: partition i receives H in [i*R/M, (i+1)*R/M).
+	return int((h >> 32) * uint64(len(rt.outs)) >> 32)
+}
+
+func (rt *router) Push(t exec.Tuple) {
+	rt.outs[rt.route(t)].Push(t)
 }
 
 func (rt *router) Advance(wm uint64) {
@@ -290,12 +445,14 @@ func (r *Runner) compile() error {
 	// Routers deliver into the scan entries, partition-ordered.
 	for _, src := range p.Graph.Sources() {
 		scans := make([]exec.Consumer, p.Partitions)
+		islandIDs := make([]int, p.Partitions)
 		for _, op := range p.Ops {
 			if op.Kind == optimizer.OpScan && op.Logical == src {
 				scans[op.Partition] = entries[op][0]
+				islandIDs[op.Partition] = r.islandOf(op).id
 			}
 		}
-		rt := &router{outs: scans}
+		rt := &router{outs: scans, islands: islandIDs}
 		if set := p.SplitterSet(src.Stream.Name); !set.IsEmpty() {
 			names := colNames(src.OutCols)
 			for _, elem := range set {
@@ -308,6 +465,11 @@ func (r *Runner) compile() error {
 		}
 		r.routers[strings.ToLower(src.Stream.Name)] = rt
 	}
+	r.routerNames = r.routerNames[:0]
+	for name := range r.routers {
+		r.routerNames = append(r.routerNames, name)
+	}
+	sort.Strings(r.routerNames)
 	return nil
 }
 
@@ -324,11 +486,13 @@ func (r *Runner) fanout(op *optimizer.Op, cons []portRef, entries map[*optimizer
 		return cons[i].port < cons[j].port
 	})
 	from := procID{op.Host, op.Proc}
+	fromIsl := r.islandOf(op)
 	outs := make([]exec.Consumer, len(cons))
 	for i, c := range cons {
 		to := procID{c.op.Host, c.op.Proc}
+		toIsl := r.islandOf(c.op)
 		e := &edge{
-			m:      &r.metrics.Hosts[c.op.Host],
+			m:      &toIsl.metrics,
 			next:   entries[c.op][c.port],
 			opCost: r.cost.opCostOf(c.op.Kind),
 		}
@@ -338,7 +502,13 @@ func (r *Runner) fanout(op *optimizer.Op, cons []portRef, entries map[*optimizer
 		case from != to:
 			e.ipc, e.xfer = true, r.cost.IPCCost
 		}
-		outs[i] = e
+		if r.parallel && fromIsl != toIsl {
+			// Island-crossing link: the producing worker records the
+			// delivery; the central replay loop applies it (engine.go).
+			outs[i] = &capture{isl: fromIsl, e: e}
+		} else {
+			outs[i] = e
+		}
 	}
 	if len(outs) == 1 {
 		return outs[0]
@@ -354,7 +524,7 @@ func (r *Runner) instantiate(op *optimizer.Op, out exec.Consumer) ([]exec.Consum
 		// The scan itself charges the receiving host for ingesting the
 		// packet (the splitter hardware is free).
 		fp := &exec.FilterProject{Out: out}
-		selfEdge := &edge{m: &r.metrics.Hosts[op.Host], next: fp, opCost: r.cost.ScanCost}
+		selfEdge := &edge{m: &r.islandOf(op).metrics, next: fp, opCost: r.cost.ScanCost}
 		return []exec.Consumer{selfEdge}, nil
 	case optimizer.OpUnion:
 		u := exec.NewUnion(len(op.Inputs), out)

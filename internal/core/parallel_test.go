@@ -1,0 +1,48 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestOptimizeWorkersEquivalence: the parallel candidate costing must
+// produce exactly the same Result as the sequential search — same
+// candidate ranking, same best set, bit-equal costs — for any worker
+// count.
+func TestOptimizeWorkersEquivalence(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	want, err := Optimize(g, nil, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got, err := Optimize(g, nil, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Best.Equal(want.Best) || got.BestCost != want.BestCost {
+			t.Fatalf("workers=%d: best %s cost %v, want %s cost %v",
+				workers, got.Best, got.BestCost, want.Best, want.BestCost)
+		}
+		if !reflect.DeepEqual(got.Candidates, want.Candidates) {
+			t.Fatalf("workers=%d: candidate list differs", workers)
+		}
+	}
+}
+
+// TestPerStreamWorkersEquivalence covers the per-stream analysis path,
+// which reuses the same search core.
+func TestPerStreamWorkersEquivalence(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	want, err := OptimizePerStream(g, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OptimizePerStream(g, nil, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Sets, want.Sets) {
+		t.Fatalf("per-stream sets differ: %v vs %v", got.Sets, want.Sets)
+	}
+}

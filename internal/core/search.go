@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"qap/internal/plan"
 )
@@ -52,6 +53,10 @@ type Options struct {
 	// work (distinct partitioning per input stream); the analysis
 	// currently rejects it to match the paper's assumption.
 	AllowPerStreamSets bool
+	// Workers fans the candidates' independent cost evaluations across
+	// a worker pool; <= 1 evaluates inline. The result is identical for
+	// any worker count.
+	Workers int
 }
 
 // DefaultOptions returns the standard search options.
@@ -154,6 +159,9 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 	}
 	visited := make(map[uint64]bool)
 	var frontier []state
+	// Costs are not consulted during the expansion, only by the final
+	// ranking, so record defers them: candidates are costed in one
+	// (optionally parallel) batch after the frontier is exhausted.
 	record := func(mask uint64, set Set) {
 		var names []string
 		for i, n := range nodes {
@@ -161,12 +169,7 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 				names = append(names, n.QueryName)
 			}
 		}
-		res.Candidates = append(res.Candidates, Candidate{
-			Queries: names,
-			Set:     set,
-			Cost:    cm.PlanCost(set),
-			Total:   cm.TotalCost(set),
-		})
+		res.Candidates = append(res.Candidates, Candidate{Queries: names, Set: set})
 	}
 
 	for i, n := range nodes {
@@ -227,6 +230,8 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 		frontier = next
 	}
 
+	fillCandidateCosts(cm, res.Candidates, opts.Workers)
+
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
 		a, b := res.Candidates[i], res.Candidates[j]
 		if a.Cost != b.Cost {
@@ -249,6 +254,62 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 		}
 	}
 	return res, nil
+}
+
+// fillCandidateCosts computes every candidate's (Cost, Total). Many
+// candidates reconcile to the same set, so distinct sets are evaluated
+// once each; with workers > 1 the evaluations fan out index-strided
+// across a static pool. Workers share no mutable state (rates are
+// prefilled, each writes its own result slots), so the filled costs —
+// and therefore the search result — are identical for any worker
+// count.
+func fillCandidateCosts(cm *CostModel, cands []Candidate, workers int) {
+	cm.prefillRates()
+	type slot struct {
+		set  Set
+		idxs []int
+	}
+	var order []string
+	uniq := make(map[string]*slot)
+	for i := range cands {
+		key := cands[i].Set.String()
+		s, ok := uniq[key]
+		if !ok {
+			s = &slot{set: cands[i].Set}
+			uniq[key] = s
+			order = append(order, key)
+		}
+		s.idxs = append(s.idxs, i)
+	}
+	results := make([][2]float64, len(order))
+	eval := func(start, stride int) {
+		for u := start; u < len(order); u += stride {
+			m, t := cm.evaluateUncached(uniq[order[u]].set)
+			results[u] = [2]float64{m, t}
+		}
+	}
+	if workers <= 1 || len(order) < 2 {
+		eval(0, 1)
+	} else {
+		if workers > len(order) {
+			workers = len(order)
+		}
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(start int) {
+				defer wg.Done()
+				eval(start, workers)
+			}(w)
+		}
+		wg.Wait()
+	}
+	for u, key := range order {
+		cm.costCache[key] = results[u]
+		for _, i := range uniq[key].idxs {
+			cands[i].Cost, cands[i].Total = results[u][0], results[u][1]
+		}
+	}
 }
 
 // hasConstrainedBelow reports whether any constrained node is in n's

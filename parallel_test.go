@@ -1,0 +1,101 @@
+package qap
+
+// The parallel engine's public correctness oracle: for every figure
+// workload, seed, host count, and strategy, running with worker
+// goroutines must reproduce the sequential engine's result byte for
+// byte — same output rows in the same order, same node-row counts, and
+// bit-equal metrics.
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"qap/internal/netgen"
+)
+
+func diffTrace(seed int64) []netgen.Packet {
+	cfg := netgen.DefaultConfig()
+	cfg.Seed = seed
+	cfg.DurationSec = 30
+	cfg.PacketsPerSec = 300
+	return netgen.Generate(cfg).Packets
+}
+
+func deployRun(t *testing.T, queries string, ps Set, hosts, workers int, packets []netgen.Packet) *RunResult {
+	t.Helper()
+	sys, err := Load(netgen.SchemaDDL, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(DeployConfig{
+		Hosts:             hosts,
+		PartitionsPerHost: 2,
+		Partitioning:      ps,
+		Params:            map[string]Value{"PATTERN": Uint(netgen.AttackPattern)},
+		Workers:           workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.Run("TCP", packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWorkersDifferential(t *testing.T) {
+	workloads := []struct {
+		name    string
+		queries string
+		ps      Set
+	}{
+		{"fig8-suspicious", SuspiciousFlowsQuery, MustParseSet("srcIP, destIP, srcPort, destPort")},
+		{"fig10-section62", QuerySetSection62, MustParseSet("srcIP & 0xFFF0, destIP")},
+		{"fig13-complex", ComplexQuerySet, MustParseSet("srcIP")},
+	}
+	for _, w := range workloads {
+		for _, seed := range []int64{1, 7} {
+			packets := diffTrace(seed)
+			for _, hosts := range []int{1, 2, 4} {
+				for _, strategy := range []struct {
+					name string
+					ps   Set
+				}{
+					{"naive", nil},
+					{"partitioned", w.ps},
+				} {
+					want := deployRun(t, w.queries, strategy.ps, hosts, 1, packets)
+					got := deployRun(t, w.queries, strategy.ps, hosts, 4, packets)
+					if !reflect.DeepEqual(want.Outputs, got.Outputs) {
+						t.Errorf("%s seed=%d hosts=%d %s: Outputs differ", w.name, seed, hosts, strategy.name)
+					}
+					if !reflect.DeepEqual(want.NodeRows, got.NodeRows) {
+						t.Errorf("%s seed=%d hosts=%d %s: NodeRows differ", w.name, seed, hosts, strategy.name)
+					}
+					if !reflect.DeepEqual(*want.Metrics, *got.Metrics) {
+						t.Errorf("%s seed=%d hosts=%d %s: Metrics differ:\n  want %+v\n  got  %+v",
+							w.name, seed, hosts, strategy.name, *want.Metrics, *got.Metrics)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunResultOutputNames(t *testing.T) {
+	res := deployRun(t, ComplexQuerySet, MustParseSet("srcIP"), 2, 1, diffTrace(1))
+	names := res.OutputNames()
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("OutputNames not sorted: %v", names)
+	}
+	if len(names) != len(res.Outputs) {
+		t.Fatalf("OutputNames has %d names, Outputs has %d", len(names), len(res.Outputs))
+	}
+	for _, name := range names {
+		if _, ok := res.Outputs[name]; !ok {
+			t.Fatalf("OutputNames lists %q, not an output", name)
+		}
+	}
+}

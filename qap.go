@@ -18,6 +18,7 @@ package qap
 
 import (
 	"fmt"
+	"sort"
 
 	"qap/internal/cluster"
 	"qap/internal/core"
@@ -56,6 +57,9 @@ type (
 	Metrics = cluster.Metrics
 	// CostConfig sets the simulator's CPU cost model.
 	CostConfig = cluster.CostConfig
+	// SearchOptions configures the partitioning search (state cap,
+	// worker pool size).
+	SearchOptions = core.Options
 	// Scope selects partial-aggregation granularity.
 	Scope = optimizer.Scope
 	// Value is a runtime SQL value.
@@ -116,12 +120,22 @@ func MustLoad(ddl, queries string) *System {
 	return s
 }
 
+// DefaultSearchOptions returns the standard search options.
+func DefaultSearchOptions() SearchOptions { return core.DefaultOptions() }
+
 // Analyze runs the paper's Section 4 algorithm: infer every node's
 // compatible partitioning set, reconcile them, and search for the set
 // minimizing the maximum per-node network cost. A nil stats uses the
 // heuristic defaults.
 func (s *System) Analyze(stats Stats) (*Analysis, error) {
-	return core.Optimize(s.Graph, stats, core.DefaultOptions())
+	return s.AnalyzeWith(stats, DefaultSearchOptions())
+}
+
+// AnalyzeWith is Analyze with explicit search options; SearchOptions.
+// Workers > 1 fans the candidate cost evaluations across a worker pool
+// without changing the result.
+func (s *System) AnalyzeWith(stats Stats, opts SearchOptions) (*Analysis, error) {
+	return core.Optimize(s.Graph, stats, opts)
 }
 
 // AnalyzePerStream runs the per-stream variant of the analysis: each
@@ -181,6 +195,11 @@ type DeployConfig struct {
 	Costs CostConfig
 	// Params binds #NAME# query parameters.
 	Params map[string]Value
+	// Workers selects the simulator's execution engine: <= 1 runs the
+	// sequential engine; > 1 runs one worker goroutine per simulated
+	// host (capped at Hosts) plus a splitter and a central replay
+	// goroutine. Results are byte-identical either way.
+	Workers int
 }
 
 // Deployment is a compiled distributed plan ready to run traces.
@@ -238,6 +257,18 @@ type RunResult struct {
 	Metrics *Metrics
 }
 
+// OutputNames returns the result's query names in sorted order — the
+// canonical iteration order for printing Outputs (Go map order is
+// random and must not leak into tool output).
+func (r *RunResult) OutputNames() []string {
+	names := make([]string, 0, len(r.Outputs))
+	for name := range r.Outputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // Run streams a packet trace through a fresh instantiation of the
 // deployment. Each call starts from clean operator state, so a
 // Deployment can run many traces.
@@ -254,7 +285,11 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		def.CapacityPerSec = costs.CapacityPerSec
 		costs = def
 	}
-	r, err := cluster.New(d.plan, costs, d.params)
+	r, err := cluster.NewRunner(d.plan, cluster.RunConfig{
+		Costs:   costs,
+		Params:  d.params,
+		Workers: d.cfg.Workers,
+	})
 	if err != nil {
 		return nil, err
 	}
