@@ -16,9 +16,11 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"qap"
 	"qap/internal/netgen"
+	"qap/internal/obs"
 )
 
 func main() {
@@ -28,6 +30,8 @@ func main() {
 	dot := flag.Bool("dot", false, "print the logical query DAG as Graphviz DOT and exit")
 	perStream := flag.Bool("per-stream", false, "also run the per-stream analysis (one set per input stream)")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "candidate-costing worker goroutines (1 = sequential; results are identical)")
+	metricsOut := flag.String("metrics-out", "", "write the machine-readable JSON analysis report to this file")
+	report := flag.Bool("report", false, "print the analysis report in Prometheus text format")
 	flag.Parse()
 
 	ddl := netgen.SchemaDDL
@@ -64,12 +68,48 @@ func main() {
 
 	opts := qap.DefaultSearchOptions()
 	opts.Workers = *workers
+	started := time.Now()
 	res, err := sys.AnalyzeWith(nil, opts)
 	if err != nil {
 		fatal(err)
 	}
+	wall := time.Since(started)
 	fmt.Println("\nanalysis:")
 	fmt.Print(res.Summary())
+
+	if *metricsOut != "" || *report {
+		recommended := ""
+		if !res.Best.IsEmpty() {
+			recommended = res.Best.String()
+		}
+		rep := &obs.RunReport{
+			SchemaVersion: obs.SchemaVersion,
+			Search: &obs.SearchReport{
+				Recommended: recommended,
+				BestCost:    res.BestCost,
+				CentralCost: res.CentralCost,
+				Candidates:  len(res.Candidates),
+				SearchStats: res.Search,
+			},
+			Timing: &obs.Timing{
+				Workers:              *workers,
+				Engine:               "search",
+				WallNanos:            int64(wall),
+				SearchEnumerateNanos: res.Search.EnumerateNanos,
+				SearchCostNanos:      res.Search.CostNanos,
+			},
+		}
+		if *metricsOut != "" {
+			if err := obs.WriteJSON(*metricsOut, rep); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote analysis report to %s\n", *metricsOut)
+		}
+		if *report {
+			fmt.Println("\nreport:")
+			fmt.Print(rep.Prometheus())
+		}
+	}
 
 	if *perStream {
 		ps, err := sys.AnalyzePerStream(nil)

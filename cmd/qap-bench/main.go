@@ -16,9 +16,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
+	"time"
 
 	"qap"
+	"qap/internal/obs"
 )
 
 func main() {
@@ -29,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace random seed")
 	leaf := flag.Bool("leaf", false, "also print the Section 6.1 leaf-load series")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
+	benchOut := flag.String("bench-out", "", "also write each experiment's machine-readable BENCH_<name>.json into this directory")
 	flag.Parse()
 
 	cfg := qap.DefaultExperimentConfig()
@@ -39,13 +43,14 @@ func main() {
 	cfg.Workers = *workers
 
 	type experiment struct {
-		ids []string
-		run func(qap.ExperimentConfig) (*qap.Figure, *qap.Figure, error)
+		name string
+		ids  []string
+		run  func(qap.ExperimentConfig) (*qap.Figure, *qap.Figure, error)
 	}
 	experiments := []experiment{
-		{[]string{"8", "9"}, qap.Figures8and9},
-		{[]string{"10", "11"}, qap.Figures10and11},
-		{[]string{"13", "14"}, qap.Figures13and14},
+		{"fig8_9", []string{"8", "9"}, qap.Figures8and9},
+		{"fig10_11", []string{"10", "11"}, qap.Figures10and11},
+		{"fig13_14", []string{"13", "14"}, qap.Figures13and14},
 	}
 
 	ran := false
@@ -54,28 +59,84 @@ func main() {
 			continue
 		}
 		ran = true
+		started := time.Now()
 		cpu, net, err := ex.run(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		wall := time.Since(started)
 		fmt.Println(cpu.Table())
 		fmt.Println(net.Table())
+		if *benchOut != "" {
+			writeBench(*benchOut, ex.name, cfg, wall, cpu, net)
+		}
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, 13, 14, or all)", *fig))
 	}
 
 	if *leaf {
+		started := time.Now()
 		loads, err := qap.LeafLoads(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		wall := time.Since(started)
 		fmt.Println("Section 6.1 leaf-node CPU load (Naive configuration):")
 		fmt.Printf("%8s  %10s\n", "# nodes", "leaf CPU %")
+		hosts := make([]int, len(loads))
 		for i, l := range loads {
 			fmt.Printf("%8d  %10.1f\n", i+1, l)
+			hosts[i] = i + 1
+		}
+		if *benchOut != "" {
+			leafFig := &qap.Figure{
+				ID: "leaf", Title: "Leaf-node CPU load (Naive)", Metric: "CPU load (%)",
+				Hosts:  hosts,
+				Series: []qap.Series{{Name: "Naive", Values: loads}},
+			}
+			writeBench(*benchOut, "leaf", cfg, wall, leafFig)
 		}
 	}
+}
+
+// writeBench emits one experiment's BENCH_<name>.json: the figure
+// series (deterministic) plus the wall-clock cost of producing them.
+func writeBench(dir, name string, cfg qap.ExperimentConfig, wall time.Duration, figs ...*qap.Figure) {
+	rep := &obs.BenchReport{
+		SchemaVersion: obs.SchemaVersion,
+		Name:          name,
+		Config: obs.BenchConfig{
+			RatePPS:     cfg.Trace.PacketsPerSec,
+			DurationSec: cfg.Trace.DurationSec,
+			MaxHosts:    cfg.MaxHosts,
+			Seed:        cfg.Trace.Seed,
+			Workers:     cfg.Workers,
+		},
+		WallNanos: int64(wall),
+	}
+	runs := 0
+	for _, f := range figs {
+		bf := obs.BenchFigure{ID: f.ID, Title: f.Title, Metric: f.Metric, Hosts: f.Hosts}
+		for _, s := range f.Series {
+			bf.Series = append(bf.Series, obs.BenchSeries{Name: s.Name, Values: s.Values})
+		}
+		rep.Figures = append(rep.Figures, bf)
+	}
+	// The CPU and network figures of one experiment come from the same
+	// sweep, so the run count is one figure's series x cluster sizes.
+	if len(figs) > 0 {
+		runs = len(figs[0].Series) * len(figs[0].Hosts)
+	}
+	if sec := wall.Seconds(); sec > 0 {
+		packets := float64(runs) * float64(cfg.Trace.PacketsPerSec) * float64(cfg.Trace.DurationSec)
+		rep.SimulatedPacketsPerSec = packets / sec
+	}
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	if err := obs.WriteJSON(path, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
 }
 
 func fatal(err error) {

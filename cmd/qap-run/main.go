@@ -11,6 +11,8 @@
 //
 //	qap-run -partition srcIP -hosts 4
 //	qap-run -queries monitor.gsql -partition 'srcIP & 0xFFF0, destIP'
+//	qap-run -partition srcIP -metrics-out report.json   # JSON run report
+//	qap-run -partition srcIP -report                    # Prometheus text
 package main
 
 import (
@@ -38,6 +40,8 @@ func main() {
 	traceFile := flag.String("trace", "", "CSV trace file to replay instead of generating one")
 	dumpFile := flag.String("dump", "", "write the generated trace to this CSV file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
+	metricsOut := flag.String("metrics-out", "", "write the machine-readable JSON run report to this file")
+	report := flag.Bool("report", false, "print the run report in Prometheus text format")
 	flag.Parse()
 
 	queries := qap.ComplexQuerySet
@@ -72,6 +76,7 @@ func main() {
 		Costs:             qap.CostConfig{CapacityPerSec: float64(*rate) * 3},
 		Params:            map[string]qap.Value{"PATTERN": qap.Uint(netgen.AttackPattern)},
 		Workers:           *workers,
+		CollectStats:      *metricsOut != "" || *report,
 	})
 	if err != nil {
 		fatal(err)
@@ -145,6 +150,23 @@ func main() {
 
 	fmt.Println("\nload:")
 	fmt.Print(res.Metrics.String())
+
+	if rep := res.Report(); rep != nil {
+		if *metricsOut != "" {
+			b, err := rep.JSON()
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*metricsOut, b, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote run report to %s\n", *metricsOut)
+		}
+		if *report {
+			fmt.Println("\nreport:")
+			fmt.Print(rep.Prometheus())
+		}
+	}
 }
 
 func fatal(err error) {

@@ -255,9 +255,13 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 				feeds[i%workers] <- msg
 			}
 			batched = 0
+			// Driver-owned telemetry (one feed message per island);
+			// finalize reads it only after driverWG.Wait() below.
+			r.engBatches += int64(hosts)
 		}
 		openRound := func(wm uint64) {
 			round++
+			r.engRounds++
 			for i := 0; i < hosts; i++ {
 				rounds[i] = append(rounds[i], hostRound{round: round, wm: wm, adv: true})
 			}
@@ -298,6 +302,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		}
 		// The flush round.
 		round++
+		r.engRounds++
 		for i := 0; i < hosts; i++ {
 			rounds[i] = append(rounds[i], hostRound{round: round, flush: true})
 		}
@@ -360,6 +365,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		// The merge is blocked on an island that has not shipped far
 		// enough; receive more batches.
 		b := <-inbox
+		r.engLinkItems += int64(len(b.items))
 		if len(pending[b.isl]) == 0 {
 			pending[b.isl], heads[b.isl] = b.items, 0
 		} else {

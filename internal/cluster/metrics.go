@@ -133,13 +133,22 @@ func (m *Metrics) LeafCPULoad(aggregator int) float64 {
 	return total / float64(n)
 }
 
+// perSec divides a counter by the trace duration, returning 0 for an
+// empty trace rather than NaN/Inf.
+func (m *Metrics) perSec(n int64) float64 {
+	if m.DurationSec <= 0 {
+		return 0
+	}
+	return float64(n) / m.DurationSec
+}
+
 // String renders a per-host table.
 func (m *Metrics) String() string {
 	var b strings.Builder
 	for h, hm := range m.Hosts {
 		fmt.Fprintf(&b, "host %d: cpu %.1f%%  net %.0f tup/s (%.0f B/s)  ipc %.0f tup/s  tuples %d\n",
-			h, m.CPULoad(h), m.NetLoad(h), float64(hm.NetBytesIn)/m.DurationSec,
-			float64(hm.IPCTuplesIn)/m.DurationSec, hm.Tuples)
+			h, m.CPULoad(h), m.NetLoad(h), m.perSec(hm.NetBytesIn),
+			m.perSec(hm.IPCTuplesIn), hm.Tuples)
 	}
 	return b.String()
 }

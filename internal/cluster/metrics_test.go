@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOverloadFactorAtCapacity: a host whose demanded work exactly
+// equals its budget is not overloaded — the boundary must report 0, not
+// an epsilon.
+func TestOverloadFactorAtCapacity(t *testing.T) {
+	m := &Metrics{
+		Hosts:       []HostMetrics{{CPUUnits: 6000}},
+		DurationSec: 60,
+		Capacity:    100,
+	}
+	if got := m.OverloadFactor(0); got != 0 {
+		t.Errorf("OverloadFactor at exactly capacity = %v, want 0", got)
+	}
+	if got := m.CPULoad(0); got != 100 {
+		t.Errorf("CPULoad at exactly capacity = %v, want 100", got)
+	}
+	// One unit over the budget: the shed fraction is excess/demand.
+	m.Hosts[0].CPUUnits = 6001
+	want := 1.0 / 6001
+	if got := m.OverloadFactor(0); got != want {
+		t.Errorf("OverloadFactor just over capacity = %v, want %v", got, want)
+	}
+}
+
+// TestLeafCPULoadAggregatorOnly: with a single host that host is both
+// aggregator and leaf; LeafCPULoad must report its load rather than an
+// empty mean.
+func TestLeafCPULoadAggregatorOnly(t *testing.T) {
+	m := &Metrics{
+		Hosts:       []HostMetrics{{CPUUnits: 300}},
+		DurationSec: 10,
+		Capacity:    100,
+	}
+	if got, want := m.LeafCPULoad(0), m.CPULoad(0); got != want {
+		t.Errorf("LeafCPULoad single host = %v, want %v", got, want)
+	}
+}
+
+// TestLoadsWithZeroDenominators: zero capacity or zero duration must
+// yield 0 loads, never NaN or Inf.
+func TestLoadsWithZeroDenominators(t *testing.T) {
+	cases := []struct {
+		name     string
+		capacity float64
+		duration float64
+	}{
+		{"zero capacity", 0, 60},
+		{"zero duration", 100, 0},
+		{"both zero", 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := &Metrics{
+				Hosts:       []HostMetrics{{CPUUnits: 500, NetTuplesIn: 7, NetBytesIn: 70, IPCTuplesIn: 3}},
+				DurationSec: tc.duration,
+				Capacity:    tc.capacity,
+			}
+			if got := m.CPULoad(0); got != 0 {
+				t.Errorf("CPULoad = %v, want 0", got)
+			}
+			if got := m.OverloadFactor(0); got != 0 {
+				t.Errorf("OverloadFactor = %v, want 0", got)
+			}
+			if tc.duration == 0 {
+				if got := m.NetLoad(0); got != 0 {
+					t.Errorf("NetLoad = %v, want 0", got)
+				}
+			}
+		})
+	}
+}
+
+// TestStringEmptyTrace: rendering metrics of an empty trace
+// (DurationSec 0) must not produce NaN rates.
+func TestStringEmptyTrace(t *testing.T) {
+	m := &Metrics{
+		Hosts: []HostMetrics{{NetBytesIn: 1234, IPCTuplesIn: 56, Tuples: 78}},
+	}
+	out := m.String()
+	if strings.Contains(out, "NaN") || strings.Contains(out, "Inf") {
+		t.Errorf("String() with zero duration renders NaN/Inf:\n%s", out)
+	}
+	if !strings.Contains(out, "tuples 78") {
+		t.Errorf("String() missing tuple count:\n%s", out)
+	}
+}

@@ -10,7 +10,8 @@ import (
 )
 
 // runWorkers builds and runs the flows/complex/suspicious plans with an
-// explicit worker count, returning the full result.
+// explicit worker count, returning the full result. Stats collection is
+// on so that the differential tests also cover the observability layer.
 func runWorkers(t testing.TB, queries string, ps core.Set, o optimizer.Options, streams map[string][]netgen.Packet, workers int) *Result {
 	t.Helper()
 	g := buildGraph(t, queries)
@@ -18,7 +19,7 @@ func runWorkers(t testing.TB, queries string, ps core.Set, o optimizer.Options, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := NewRunner(p, RunConfig{Costs: DefaultCosts(), Params: testParams, Workers: workers})
+	r, err := NewRunner(p, RunConfig{Costs: DefaultCosts(), Params: testParams, Workers: workers, CollectStats: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,8 @@ func runWorkers(t testing.TB, queries string, ps core.Set, o optimizer.Options, 
 }
 
 // sameResult asserts byte-identical results: same output rows in the
-// same order, same node-row counts, and bit-equal metrics.
+// same order, same node-row counts, bit-equal metrics, bit-equal
+// per-operator stats, and byte-identical canonical run reports.
 func sameResult(t *testing.T, want, got *Result) {
 	t.Helper()
 	if !reflect.DeepEqual(want.Outputs, got.Outputs) {
@@ -41,6 +43,48 @@ func sameResult(t *testing.T, want, got *Result) {
 	}
 	if !reflect.DeepEqual(*want.Metrics, *got.Metrics) {
 		t.Errorf("Metrics differ:\n  want %+v\n  got  %+v", *want.Metrics, *got.Metrics)
+	}
+	if !reflect.DeepEqual(want.OpStats, got.OpStats) {
+		t.Errorf("OpStats differ:\n  want %+v\n  got  %+v", want.OpStats, got.OpStats)
+	}
+	if (want.Report == nil) != (got.Report == nil) {
+		t.Fatalf("Report presence differs: want %v, got %v", want.Report != nil, got.Report != nil)
+	}
+	if want.Report != nil {
+		wj, err := want.Report.Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gj, err := got.Report.Canonical().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wj) != string(gj) {
+			t.Errorf("canonical reports differ:\n  want %s\n  got  %s", wj, gj)
+		}
+	}
+	checkStatsInvariants(t, want)
+	checkStatsInvariants(t, got)
+}
+
+// checkStatsInvariants asserts the construction invariant that every
+// edge.Push charges exactly one op's RowsIn and one host's Tuples:
+// the two totals must always agree.
+func checkStatsInvariants(t *testing.T, res *Result) {
+	t.Helper()
+	if res.OpStats == nil {
+		return
+	}
+	var rowsIn int64
+	for _, st := range res.OpStats {
+		rowsIn += st.RowsIn
+	}
+	var tuples int64
+	for _, hm := range res.Metrics.Hosts {
+		tuples += hm.Tuples
+	}
+	if rowsIn != tuples {
+		t.Errorf("sum(RowsIn)=%d != sum(Tuples)=%d", rowsIn, tuples)
 	}
 }
 
@@ -219,3 +263,33 @@ func TestSequentialFallback(t *testing.T) {
 	got := runWorkers(t, flowsQuery, nil, o, streams, 8)
 	sameResult(t, want, got)
 }
+
+// benchRun measures a full run of the complex workload with stats
+// collection on or off. Comparing the two benchmarks shows the cost of
+// the observability layer; the disabled case installs no wrappers and
+// only nil-checks a pointer per event, so it should be within noise of
+// the pre-instrumentation engine.
+func benchRun(b *testing.B, collect bool) {
+	tr := smallTrace(b)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	g := buildGraph(b, complexSet)
+	ps := core.MustParseSet("srcIP")
+	o := optimizer.Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := optimizer.Build(g, ps, o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := NewRunner(p, RunConfig{Costs: DefaultCosts(), Params: testParams, Workers: 1, CollectStats: collect})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.RunStreams(streams); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunStatsDisabled(b *testing.B) { benchRun(b, false) }
+func BenchmarkRunStatsEnabled(b *testing.B)  { benchRun(b, true) }

@@ -4,10 +4,12 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"qap/internal/exec"
 	"qap/internal/gsql"
 	"qap/internal/netgen"
+	"qap/internal/obs"
 	"qap/internal/optimizer"
 	"qap/internal/plan"
 	"qap/internal/sqlval"
@@ -27,6 +29,7 @@ type Runner struct {
 	params      exec.Params
 	workers     int
 	batchRounds int
+	collect     bool
 	metrics     *Metrics
 	routers     map[string]*router
 	routerNames []string // sorted lower-case names: the canonical flush order
@@ -36,6 +39,14 @@ type Runner struct {
 	// is the central island (the root process on the aggregator host).
 	islands  []*island
 	parallel bool
+
+	// Wall-clock and transport telemetry for the run report. None of it
+	// feeds back into execution: started is read only by buildReport,
+	// and the eng* counters are written by whichever goroutine owns the
+	// corresponding phase (driver: rounds/batches, replay: link items)
+	// and read after the engine has fully joined.
+	started                             time.Time
+	engRounds, engBatches, engLinkItems int64
 }
 
 // RunConfig bundles a Runner's execution knobs.
@@ -53,6 +64,15 @@ type RunConfig struct {
 	// channel message on the splitter feeds and inter-host links; 0
 	// uses the default.
 	BatchRounds int
+	// CollectStats enables the observability layer: per-operator
+	// counters (rows in/out, watermark advances, flushes, per-operator
+	// CPU and network/IPC arrivals) in Result.OpStats and the
+	// machine-readable Result.Report. Stats are sharded per execution
+	// island exactly like the host metrics and merged in a fixed order,
+	// so they are bit-equal for any Workers value and never perturb the
+	// run itself. When false (the default) no stat hooks are installed
+	// and the operator graph is identical to an uninstrumented run.
+	CollectStats bool
 }
 
 // island is the unit of parallel execution: the operators of one
@@ -66,6 +86,11 @@ type island struct {
 	id      int
 	metrics HostMetrics
 	rows    map[string]*int64
+	// ops shards the per-operator stats: every physical operator's
+	// counters live on the island that executes it, so no stat is ever
+	// written from two goroutines. The maps are fully populated during
+	// compile and only the pointed-to counters mutate during a run.
+	ops map[int]*obs.OpStats
 
 	// Parallel-mode state, owned by the island's worker goroutine.
 	curRound int
@@ -83,6 +108,12 @@ type Result struct {
 	// measured selectivity statistics.
 	NodeRows map[string]int64
 	Metrics  *Metrics
+	// OpStats holds per-physical-operator counters keyed by op ID, and
+	// Report the machine-readable run report; both are nil unless
+	// RunConfig.CollectStats was set. Everything except Report.Timing
+	// is bit-equal for any worker count.
+	OpStats map[int]*obs.OpStats
+	Report  *obs.RunReport
 }
 
 // New compiles the physical plan into operator instances for the
@@ -100,6 +131,7 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 		params:      cfg.Params,
 		workers:     cfg.Workers,
 		batchRounds: cfg.BatchRounds,
+		collect:     cfg.CollectStats,
 		metrics:     &Metrics{Hosts: make([]HostMetrics, p.Hosts), Capacity: cfg.Costs.CapacityPerSec},
 		routers:     make(map[string]*router),
 		collectors:  make(map[string]*exec.Collector),
@@ -109,13 +141,29 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 	}
 	r.islands = make([]*island, p.Hosts+1)
 	for i := range r.islands {
-		r.islands[i] = &island{id: i, rows: make(map[string]*int64)}
+		r.islands[i] = &island{id: i, rows: make(map[string]*int64), ops: make(map[int]*obs.OpStats)}
 	}
 	r.parallel = cfg.Workers > 1 && r.parallelizable()
 	if err := r.compile(); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// opStatsOf returns the operator's stat shard on its execution island,
+// or nil when collection is disabled. Only called during compile, so
+// the shard maps are immutable once a run starts.
+func (r *Runner) opStatsOf(op *optimizer.Op) *obs.OpStats {
+	if !r.collect {
+		return nil
+	}
+	isl := r.islandOf(op)
+	st, ok := isl.ops[op.ID]
+	if !ok {
+		st = &obs.OpStats{}
+		isl.ops[op.ID] = st
+	}
+	return st
 }
 
 // islandOf maps an operator to its execution island: per-partition and
@@ -213,6 +261,7 @@ func nextCursor(cursors []*streamCursor) *streamCursor {
 // when every stream has moved past it). Each trace must itself be
 // time-ordered.
 func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error) {
+	r.started = time.Now()
 	cursors, err := r.makeCursors(streams)
 	if err != nil {
 		return nil, err
@@ -246,6 +295,7 @@ func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
 				c.rt.Advance(pk.Time)
 			}
 			lastTime, first = pk.Time, false
+			r.engRounds++
 		}
 		best.rt.Push(pk.Tuple())
 	}
@@ -253,6 +303,7 @@ func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
 	for _, name := range r.routerNames {
 		r.routers[name].Flush()
 	}
+	r.engRounds++ // the flush round
 	return r.finalize(any, maxTime), nil
 }
 
@@ -287,7 +338,90 @@ func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 			res.NodeRows[name] += *n
 		}
 	}
+	if r.collect {
+		// Every operator's shard lives on exactly one island, so this
+		// "merge" is a copy; Add guards the invariant regardless.
+		res.OpStats = make(map[int]*obs.OpStats)
+		for _, isl := range r.islands {
+			for id, st := range isl.ops {
+				if prev, ok := res.OpStats[id]; ok {
+					prev.Add(st)
+				} else {
+					cp := *st
+					res.OpStats[id] = &cp
+				}
+			}
+		}
+		res.Report = r.buildReport(res)
+	}
 	return res
+}
+
+// buildReport assembles the machine-readable run report. Everything
+// outside the Timing section is deterministic: a pure function of the
+// plan, the trace, and the cost configuration.
+func (r *Runner) buildReport(res *Result) *obs.RunReport {
+	p := r.plan
+	partitioning := p.Set.String()
+	if p.StreamSets != nil {
+		partitioning = p.StreamSets.String()
+	}
+	rep := &obs.RunReport{
+		SchemaVersion:  obs.SchemaVersion,
+		DurationSec:    r.metrics.DurationSec,
+		CapacityPerSec: r.metrics.Capacity,
+		Plan: &obs.PlanInfo{
+			Hosts:             p.Hosts,
+			Partitions:        p.Partitions,
+			PartitionsPerHost: p.PartitionsPerHost,
+			AggregatorHost:    p.AggregatorHost,
+			Partitioning:      partitioning,
+			Operators:         len(p.Ops),
+		},
+	}
+	for _, op := range p.Ops {
+		nr := obs.NodeReport{ID: op.ID, Kind: op.Kind.String(), Host: op.Host, Partition: op.Partition}
+		switch {
+		case op.Kind == optimizer.OpScan:
+			nr.Query = op.Stream
+		case op.Logical != nil:
+			nr.Query = op.Logical.QueryName
+		}
+		if st := res.OpStats[op.ID]; st != nil {
+			nr.OpStats = *st
+		}
+		if nr.RowsIn > 0 {
+			nr.PassRate = float64(nr.RowsOut) / float64(nr.RowsIn)
+		}
+		rep.Nodes = append(rep.Nodes, nr)
+	}
+	for h, hm := range r.metrics.Hosts {
+		rep.Hosts = append(rep.Hosts, obs.HostReport{
+			Host:            h,
+			CPUUnits:        hm.CPUUnits,
+			CPULoadPct:      r.metrics.CPULoad(h),
+			OverloadFactor:  r.metrics.OverloadFactor(h),
+			NetTuplesIn:     hm.NetTuplesIn,
+			NetBytesIn:      hm.NetBytesIn,
+			IPCTuplesIn:     hm.IPCTuplesIn,
+			Tuples:          hm.Tuples,
+			NetTuplesPerSec: r.metrics.NetLoad(h),
+		})
+	}
+	engine := "sequential"
+	if r.parallel {
+		engine = "parallel"
+	}
+	rep.Timing = &obs.Timing{
+		Workers:     r.workers,
+		Engine:      engine,
+		BatchRounds: r.batchRounds,
+		WallNanos:   time.Since(r.started).Nanoseconds(),
+		Rounds:      r.engRounds,
+		Batches:     r.engBatches,
+		LinkItems:   r.engLinkItems,
+	}
+	return rep
 }
 
 // rowCounter counts a logical node's complete output rows.
@@ -375,6 +509,11 @@ type edge struct {
 	xfer   float64 // IPC or network surcharge
 	net    bool    // crosses hosts (counts as network)
 	ipc    bool    // crosses processes on the same host
+	// st is the receiving operator's stat shard, nil when stats are
+	// disabled. The edge always executes on the receiving operator's
+	// island (captured edges replay centrally), so the shard has a
+	// single writer and accumulates in canonical order in both engines.
+	st *obs.OpStats
 }
 
 func (e *edge) Push(t exec.Tuple) {
@@ -387,11 +526,46 @@ func (e *edge) Push(t exec.Tuple) {
 	case e.ipc:
 		e.m.IPCTuplesIn++
 	}
+	if e.st != nil {
+		e.st.RowsIn++
+		e.st.CPUUnits += e.opCost + e.xfer
+		switch {
+		case e.net:
+			e.st.NetTuplesIn++
+			e.st.NetBytesIn += int64(t.WireSize())
+		case e.ipc:
+			e.st.IPCTuplesIn++
+		}
+	}
 	e.next.Push(t)
 }
 
-func (e *edge) Advance(wm uint64) { e.next.Advance(wm) }
-func (e *edge) Flush()            { e.next.Flush() }
+func (e *edge) Advance(wm uint64) {
+	if e.st != nil {
+		e.st.Advances++
+	}
+	e.next.Advance(wm)
+}
+
+func (e *edge) Flush() {
+	if e.st != nil {
+		e.st.Flushes++
+	}
+	e.next.Flush()
+}
+
+// opOut counts an operator's emitted rows. It is installed (only when
+// stats are enabled) between the operator and its fanout, on the
+// producing operator's island, so RowsOut counts each emission once —
+// before any Tee duplication and before island-crossing capture.
+type opOut struct {
+	st   *obs.OpStats
+	next exec.Consumer
+}
+
+func (o *opOut) Push(t exec.Tuple) { o.st.RowsOut++; o.next.Push(t) }
+func (o *opOut) Advance(wm uint64) { o.next.Advance(wm) }
+func (o *opOut) Flush()            { o.next.Flush() }
 
 // opCostOf returns the per-tuple work of an operator kind.
 func (c CostConfig) opCostOf(kind optimizer.OpKind) float64 {
@@ -436,6 +610,9 @@ func (r *Runner) compile() error {
 	for i := len(p.Ops) - 1; i >= 0; i-- {
 		op := p.Ops[i]
 		out := r.countedOutput(op, r.fanout(op, consumers[op], entries))
+		if st := r.opStatsOf(op); st != nil {
+			out = &opOut{st: st, next: out}
+		}
 		ports, err := r.instantiate(op, out)
 		if err != nil {
 			return fmt.Errorf("cluster: op %d (%s): %w", op.ID, op.Label(), err)
@@ -495,6 +672,7 @@ func (r *Runner) fanout(op *optimizer.Op, cons []portRef, entries map[*optimizer
 			m:      &toIsl.metrics,
 			next:   entries[c.op][c.port],
 			opCost: r.cost.opCostOf(c.op.Kind),
+			st:     r.opStatsOf(c.op),
 		}
 		switch {
 		case from.host != to.host:
@@ -524,7 +702,7 @@ func (r *Runner) instantiate(op *optimizer.Op, out exec.Consumer) ([]exec.Consum
 		// The scan itself charges the receiving host for ingesting the
 		// packet (the splitter hardware is free).
 		fp := &exec.FilterProject{Out: out}
-		selfEdge := &edge{m: &r.islandOf(op).metrics, next: fp, opCost: r.cost.ScanCost}
+		selfEdge := &edge{m: &r.islandOf(op).metrics, next: fp, opCost: r.cost.ScanCost, st: r.opStatsOf(op)}
 		return []exec.Consumer{selfEdge}, nil
 	case optimizer.OpUnion:
 		u := exec.NewUnion(len(op.Inputs), out)

@@ -116,6 +116,9 @@ type CostModel struct {
 	// canonical text: the subset search reconciles many node subsets
 	// to the same set.
 	costCache map[string][2]float64
+	// cacheHits counts costCache lookups that hit; a deterministic
+	// function of the evaluate() call sequence.
+	cacheHits int64
 }
 
 // NewCostModel builds a cost model over a query graph.
@@ -153,6 +156,7 @@ func (c *CostModel) compatible(ps Set, n *plan.Node) bool {
 func (c *CostModel) evaluate(ps Set) (maxCost, total float64) {
 	key := ps.String()
 	if v, ok := c.costCache[key]; ok {
+		c.cacheHits++
 		return v[0], v[1]
 	}
 	maxCost, total = c.evaluateUncached(ps)

@@ -5,7 +5,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"qap/internal/obs"
 	"qap/internal/plan"
 )
 
@@ -40,6 +42,11 @@ type Result struct {
 	// Candidates lists all explored non-empty candidates sorted by
 	// cost (then by coverage).
 	Candidates []Candidate
+	// Search holds the instrumentation counters of this run. Every
+	// field except the wall-clock Nanos spans is deterministic for a
+	// fixed worker count (and everything except PerWorkerEvals is
+	// deterministic for any worker count).
+	Search obs.SearchStats
 }
 
 // Options configures the search.
@@ -82,6 +89,10 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 	}
 	cm := NewCostModel(g, stats)
 	res := &Result{PerNode: make(map[string]Requirement)}
+	// Wall-clock spans are observational only: they are recorded in
+	// Result.Search but never feed back into the search, and they are
+	// excluded from the stats' JSON form.
+	enumStart := time.Now()
 
 	// Constrained nodes: non-universal with a usable requirement.
 	var nodes []*plan.Node
@@ -98,6 +109,8 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 	res.CentralTotal = cm.TotalCost(nil)
 	if len(nodes) == 0 {
 		res.Best, res.BestCost = nil, res.CentralCost
+		res.Search.EnumerateNanos = int64(time.Since(enumStart))
+		res.Search.CacheHits = cm.cacheHits
 		return res, nil
 	}
 	if len(nodes) > 63 {
@@ -170,6 +183,7 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 			}
 		}
 		res.Candidates = append(res.Candidates, Candidate{Queries: names, Set: set})
+		res.Search.Enumerated++
 	}
 
 	for i, n := range nodes {
@@ -179,6 +193,7 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 		mask := uint64(1) << uint(i)
 		visited[mask] = true
 		if !validFor(reqs[n].Set) {
+			res.Search.Pruned++
 			continue
 		}
 		frontier = append(frontier, state{mask, reqs[n].Set})
@@ -214,6 +229,7 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 				visited[mask] = true
 				merged := Reconcile(st.set, reqs[nodes[j]].Set)
 				if merged.IsEmpty() {
+					res.Search.Pruned++
 					continue
 				}
 				record(mask, merged)
@@ -230,7 +246,11 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 		frontier = next
 	}
 
-	fillCandidateCosts(cm, res.Candidates, opts.Workers)
+	res.Search.EnumerateNanos = int64(time.Since(enumStart))
+	costStart := time.Now()
+	fillCandidateCosts(cm, res.Candidates, opts.Workers, &res.Search)
+	res.Search.CostNanos = int64(time.Since(costStart))
+	res.Search.CacheHits = cm.cacheHits
 
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
 		a, b := res.Candidates[i], res.Candidates[j]
@@ -262,8 +282,10 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 // across a static pool. Workers share no mutable state (rates are
 // prefilled, each writes its own result slots), so the filled costs —
 // and therefore the search result — are identical for any worker
-// count.
-func fillCandidateCosts(cm *CostModel, cands []Candidate, workers int) {
+// count. st (optional) receives the dedup and per-worker evaluation
+// counters; the strided assignment makes PerWorkerEvals deterministic
+// for a fixed worker count.
+func fillCandidateCosts(cm *CostModel, cands []Candidate, workers int, st *obs.SearchStats) {
 	cm.prefillRates()
 	type slot struct {
 		set  Set
@@ -282,27 +304,37 @@ func fillCandidateCosts(cm *CostModel, cands []Candidate, workers int) {
 		s.idxs = append(s.idxs, i)
 	}
 	results := make([][2]float64, len(order))
-	eval := func(start, stride int) {
+	eval := func(start, stride int) int64 {
+		var n int64
 		for u := start; u < len(order); u += stride {
 			m, t := cm.evaluateUncached(uniq[order[u]].set)
 			results[u] = [2]float64{m, t}
+			n++
 		}
+		return n
 	}
+	var perWorker []int64
 	if workers <= 1 || len(order) < 2 {
-		eval(0, 1)
+		perWorker = []int64{eval(0, 1)}
 	} else {
 		if workers > len(order) {
 			workers = len(order)
 		}
+		perWorker = make([]int64, workers)
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func(start int) {
 				defer wg.Done()
-				eval(start, workers)
+				perWorker[start] = eval(start, workers)
 			}(w)
 		}
 		wg.Wait()
+	}
+	if st != nil {
+		st.UniqueSets = int64(len(order))
+		st.Deduped = int64(len(cands) - len(order))
+		st.PerWorkerEvals = perWorker
 	}
 	for u, key := range order {
 		cm.costCache[key] = results[u]

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSearchStatsPopulated: an optimization run must account for every
+// recorded candidate and every costed set, with the bookkeeping
+// identities holding exactly.
+func TestSearchStatsPopulated(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	res, err := Optimize(g, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &res.Search
+	if s.Enumerated != int64(len(res.Candidates)) {
+		t.Errorf("Enumerated=%d, want len(Candidates)=%d", s.Enumerated, len(res.Candidates))
+	}
+	if s.UniqueSets <= 0 || s.UniqueSets > s.Enumerated {
+		t.Errorf("UniqueSets=%d out of range (Enumerated=%d)", s.UniqueSets, s.Enumerated)
+	}
+	if s.Deduped != s.Enumerated-s.UniqueSets {
+		t.Errorf("Deduped=%d, want Enumerated-UniqueSets=%d", s.Deduped, s.Enumerated-s.UniqueSets)
+	}
+	// Sequential search: a single worker evaluated every unique set.
+	if len(s.PerWorkerEvals) != 1 || s.PerWorkerEvals[0] != s.UniqueSets {
+		t.Errorf("PerWorkerEvals=%v, want [%d]", s.PerWorkerEvals, s.UniqueSets)
+	}
+	// The baseline is evaluated twice (PlanCost + TotalCost of the
+	// empty set); the second lookup must hit the memo cache.
+	if s.CacheHits < 1 {
+		t.Errorf("CacheHits=%d, want >= 1", s.CacheHits)
+	}
+	if s.EnumerateNanos < 0 || s.CostNanos < 0 {
+		t.Errorf("negative wall-clock spans: enum=%d cost=%d", s.EnumerateNanos, s.CostNanos)
+	}
+}
+
+// TestSearchStatsWorkerDeterminism: every counter except the wall-clock
+// spans must be identical across repeated runs at a fixed worker count,
+// and everything except PerWorkerEvals must be identical across worker
+// counts. PerWorkerEvals must sum to UniqueSets and follow the strided
+// assignment exactly.
+func TestSearchStatsWorkerDeterminism(t *testing.T) {
+	g := buildGraph(t, tcpDDL, complexSet)
+	canon := func(r *Result) SearchStatsView {
+		return SearchStatsView{
+			Enumerated: r.Search.Enumerated,
+			Pruned:     r.Search.Pruned,
+			UniqueSets: r.Search.UniqueSets,
+			Deduped:    r.Search.Deduped,
+			CacheHits:  r.Search.CacheHits,
+		}
+	}
+	want, err := Optimize(g, nil, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 16} {
+		var prev []int64
+		for rep := 0; rep < 3; rep++ {
+			got, err := Optimize(g, nil, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if canon(got) != canon(want) {
+				t.Fatalf("workers=%d rep=%d: stats %+v, want %+v", workers, rep, canon(got), canon(want))
+			}
+			var sum int64
+			for _, n := range got.Search.PerWorkerEvals {
+				sum += n
+			}
+			if sum != got.Search.UniqueSets {
+				t.Errorf("workers=%d: PerWorkerEvals sums to %d, want %d", workers, sum, got.Search.UniqueSets)
+			}
+			if prev != nil && !reflect.DeepEqual(prev, got.Search.PerWorkerEvals) {
+				t.Errorf("workers=%d rep=%d: PerWorkerEvals drifted: %v vs %v",
+					workers, rep, got.Search.PerWorkerEvals, prev)
+			}
+			prev = got.Search.PerWorkerEvals
+		}
+	}
+}
+
+// SearchStatsView is the comparable subset of the search stats used by
+// the determinism test (everything but wall-clock spans and the
+// per-worker split).
+type SearchStatsView struct {
+	Enumerated, Pruned, UniqueSets, Deduped, CacheHits int64
+}

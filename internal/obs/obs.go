@@ -1,0 +1,195 @@
+// Package obs is the deterministic observability layer: plain counter
+// structs the execution engine and the partitioning search accumulate
+// into, and machine-readable renderings of a run (JSON run reports,
+// Prometheus-style text).
+//
+// The package draws a hard line between two kinds of data:
+//
+//   - Deterministic counters (OpStats, SearchStats except its
+//     wall-clock spans, HostReport, NodeReport): pure functions of the
+//     input trace and the plan. The cluster engine shards them per
+//     execution island and merges shards in a fixed order, so they are
+//     bit-equal for any worker count — the same guarantee the engine
+//     already makes for query outputs and host metrics.
+//
+//   - Wall-clock timing (Timing, SearchStats.EnumerateNanos/CostNanos):
+//     measured with time.Now and kept strictly outside deterministic
+//     state. In a RunReport every nondeterministic or
+//     configuration-varying field lives under the single top-level
+//     "timing" JSON key; strip that one key and two reports of the same
+//     trace are byte-identical regardless of worker count.
+//
+// obs deliberately imports nothing from the rest of the repository so
+// that every layer (core, cluster, the root package, the cmds) can
+// depend on it without cycles.
+package obs
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// SchemaVersion is the current version of the JSON report formats.
+// Bump it when a field changes meaning or is removed; adding fields is
+// backward compatible and does not bump.
+const SchemaVersion = 1
+
+// OpStats holds one physical operator's deterministic counters. All
+// fields are accumulated on the operator's execution island, in the
+// engine's canonical event order, so they are bit-equal (including the
+// float64 CPU sum) for any worker count.
+type OpStats struct {
+	// RowsIn counts tuples delivered to the operator's input ports
+	// (for a join: probes into either hash table).
+	RowsIn int64 `json:"rows_in"`
+	// RowsOut counts tuples the operator emitted (for a join: matches
+	// plus outer-join padding; for a window: flushed window results).
+	RowsOut int64 `json:"rows_out"`
+	// Advances counts watermark deliveries to the operator's inputs.
+	Advances int64 `json:"advances"`
+	// Flushes counts end-of-stream flush deliveries to the operator's
+	// inputs (a window operator's final pane flushes ride on these and
+	// on Advances).
+	Flushes int64 `json:"flushes"`
+	// CPUUnits is the work charged to the operator: its per-tuple
+	// operator cost plus any IPC/remote transfer surcharge.
+	CPUUnits float64 `json:"cpu_units"`
+	// NetTuplesIn / NetBytesIn count arrivals that crossed hosts.
+	NetTuplesIn int64 `json:"net_tuples_in"`
+	NetBytesIn  int64 `json:"net_bytes_in"`
+	// IPCTuplesIn counts same-host arrivals that crossed a process
+	// boundary.
+	IPCTuplesIn int64 `json:"ipc_tuples_in"`
+}
+
+// Add accumulates o into s.
+func (s *OpStats) Add(o *OpStats) {
+	s.RowsIn += o.RowsIn
+	s.RowsOut += o.RowsOut
+	s.Advances += o.Advances
+	s.Flushes += o.Flushes
+	s.CPUUnits += o.CPUUnits
+	s.NetTuplesIn += o.NetTuplesIn
+	s.NetBytesIn += o.NetBytesIn
+	s.IPCTuplesIn += o.IPCTuplesIn
+}
+
+// NodeReport is one physical operator's identity plus its measured
+// stats in a RunReport.
+type NodeReport struct {
+	ID   int    `json:"id"`
+	Kind string `json:"kind"`
+	// Query is the logical query node the operator implements, or the
+	// scanned stream name for scans.
+	Query string `json:"query,omitempty"`
+	Host  int    `json:"host"`
+	// Partition is the stream partition served, or -1 for host-level
+	// and central operators.
+	Partition int `json:"partition"`
+	OpStats
+	// PassRate is RowsOut/RowsIn (0 when no input): the measured
+	// selectivity of a select/project, the match rate of a join, the
+	// reduction factor of an aggregation.
+	PassRate float64 `json:"pass_rate"`
+}
+
+// HostReport is one simulated host's accounting in a RunReport.
+type HostReport struct {
+	Host            int     `json:"host"`
+	CPUUnits        float64 `json:"cpu_units"`
+	CPULoadPct      float64 `json:"cpu_load_pct"`
+	OverloadFactor  float64 `json:"overload_factor"`
+	NetTuplesIn     int64   `json:"net_tuples_in"`
+	NetBytesIn      int64   `json:"net_bytes_in"`
+	IPCTuplesIn     int64   `json:"ipc_tuples_in"`
+	Tuples          int64   `json:"tuples"`
+	NetTuplesPerSec float64 `json:"net_tuples_per_sec"`
+}
+
+// PlanInfo summarizes the physical plan a run executed.
+type PlanInfo struct {
+	Hosts             int `json:"hosts"`
+	Partitions        int `json:"partitions"`
+	PartitionsPerHost int `json:"partitions_per_host"`
+	AggregatorHost    int `json:"aggregator_host"`
+	// Partitioning is the splitter's hash set in its canonical text
+	// form; empty means round-robin (query-agnostic) splitting.
+	Partitioning string `json:"partitioning"`
+	Operators    int    `json:"operators"`
+}
+
+// SearchStats instruments the partitioning search. All exported JSON
+// fields are deterministic for a fixed worker count; the two Nanos
+// spans are wall-clock and deliberately excluded from JSON (report
+// builders that want them place them under Timing).
+type SearchStats struct {
+	// Enumerated counts candidate node subsets recorded by the DP
+	// expansion (equals the length of the candidate list).
+	Enumerated int64 `json:"enumerated"`
+	// Pruned counts expansion steps discarded before recording: initial
+	// sets unusable for the source streams plus failed reconciliations.
+	Pruned int64 `json:"pruned"`
+	// UniqueSets counts the distinct partitioning sets actually costed.
+	UniqueSets int64 `json:"unique_sets"`
+	// Deduped counts candidates whose set had already been costed
+	// (Enumerated - UniqueSets).
+	Deduped int64 `json:"deduped"`
+	// CacheHits counts cost-model memo-cache hits outside the batch
+	// evaluation (e.g. repeated baseline evaluations).
+	CacheHits int64 `json:"cache_hits"`
+	// PerWorkerEvals[w] counts the set evaluations worker w performed;
+	// deterministic for a fixed worker count (index-strided
+	// assignment), length 1 for the sequential search.
+	PerWorkerEvals []int64 `json:"per_worker_evals,omitempty"`
+	// EnumerateNanos and CostNanos are wall-clock spans of the two
+	// search phases. They live outside the deterministic state and
+	// outside the JSON encoding.
+	EnumerateNanos int64 `json:"-"`
+	CostNanos      int64 `json:"-"`
+}
+
+// SearchReport is the search's section of a report: the outcome plus
+// the instrumentation counters.
+type SearchReport struct {
+	// Recommended is the chosen set's canonical text; empty when no
+	// partitioning beats centralized execution.
+	Recommended string  `json:"recommended"`
+	BestCost    float64 `json:"best_cost"`
+	CentralCost float64 `json:"central_cost"`
+	Candidates  int     `json:"candidates"`
+	SearchStats
+}
+
+// Timing collects wall-clock spans and engine-configuration details.
+// Everything here either varies run to run (wall time) or varies with
+// the execution configuration (worker count, engine choice, transport
+// counters), so it is quarantined under the single top-level "timing"
+// key of a RunReport: strip that key and reports are byte-identical
+// across worker counts.
+type Timing struct {
+	Workers     int    `json:"workers"`
+	Engine      string `json:"engine"` // "sequential" or "parallel"
+	BatchRounds int    `json:"batch_rounds,omitempty"`
+	WallNanos   int64  `json:"wall_nanos"`
+	// Rounds is the number of watermark rounds the driver played
+	// (distinct timestamps plus the flush round).
+	Rounds int64 `json:"rounds,omitempty"`
+	// Batches and LinkItems count the parallel engine's transport
+	// traffic: feed messages shipped and island-crossing deliveries
+	// replayed. Zero under the sequential engine.
+	Batches   int64 `json:"batches,omitempty"`
+	LinkItems int64 `json:"link_items,omitempty"`
+	// SearchEnumerateNanos / SearchCostNanos are the search phases'
+	// wall-clock spans when the report covers an analysis.
+	SearchEnumerateNanos int64 `json:"search_enumerate_nanos,omitempty"`
+	SearchCostNanos      int64 `json:"search_cost_nanos,omitempty"`
+}
+
+// WriteJSON writes v to path as indented JSON with a trailing newline.
+func WriteJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

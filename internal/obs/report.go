@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RunReport is the machine-readable record of one run (or one
+// analysis): the plan, per-operator stats, per-host metrics, search
+// instrumentation, and wall-clock timing.
+//
+// Determinism contract: every field outside Timing is a pure function
+// of the inputs (trace, plan, configuration other than worker count).
+// Two reports of the same run differ only under the "timing" key, so
+// Canonical() — or deleting that key from the JSON — yields
+// byte-identical documents for any worker count.
+type RunReport struct {
+	SchemaVersion  int           `json:"schema_version"`
+	DurationSec    float64       `json:"duration_sec"`
+	CapacityPerSec float64       `json:"capacity_per_sec"`
+	Plan           *PlanInfo     `json:"plan,omitempty"`
+	Nodes          []NodeReport  `json:"nodes,omitempty"`
+	Hosts          []HostReport  `json:"hosts,omitempty"`
+	Search         *SearchReport `json:"search,omitempty"`
+	Timing         *Timing       `json:"timing,omitempty"`
+}
+
+// Canonical returns a shallow copy with the nondeterministic Timing
+// section removed, the form differential tests compare byte for byte.
+func (r *RunReport) Canonical() *RunReport {
+	cp := *r
+	cp.Timing = nil
+	return &cp
+}
+
+// JSON renders the report as indented JSON with a trailing newline.
+// encoding/json emits struct fields in declaration order, so the bytes
+// are deterministic.
+func (r *RunReport) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// fnum renders a float the way Prometheus text exposition expects,
+// with the shortest exact representation.
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Prometheus renders the report in the Prometheus text exposition
+// format (metric families sorted, nodes by ID, hosts by index), for
+// scraping or for eyeballing a run. Timing is included as gauges when
+// present; deterministic consumers should ignore the qap_timing_*
+// family.
+func (r *RunReport) Prometheus() string {
+	var b strings.Builder
+	emit := func(name, typ, help string, lines []string) {
+		if len(lines) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, l := range lines {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+
+	if r.DurationSec > 0 {
+		emit("qap_run_duration_seconds", "gauge", "Simulated trace duration.",
+			[]string{"qap_run_duration_seconds " + fnum(r.DurationSec)})
+	}
+
+	nodes := append([]NodeReport(nil), r.Nodes...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	nodeCounter := func(name, help string, f func(n *NodeReport) (string, bool)) {
+		var lines []string
+		for i := range nodes {
+			n := &nodes[i]
+			v, ok := f(n)
+			if !ok {
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("%s{id=%q,kind=%q,query=%q,host=%q} %s",
+				name, strconv.Itoa(n.ID), n.Kind, n.Query, strconv.Itoa(n.Host), v))
+		}
+		emit(name, "counter", help, lines)
+	}
+	nodeCounter("qap_node_rows_in", "Tuples delivered to the operator.",
+		func(n *NodeReport) (string, bool) { return strconv.FormatInt(n.RowsIn, 10), true })
+	nodeCounter("qap_node_rows_out", "Tuples emitted by the operator.",
+		func(n *NodeReport) (string, bool) { return strconv.FormatInt(n.RowsOut, 10), true })
+	nodeCounter("qap_node_advances", "Watermark deliveries to the operator.",
+		func(n *NodeReport) (string, bool) { return strconv.FormatInt(n.Advances, 10), true })
+	nodeCounter("qap_node_flushes", "End-of-stream flush deliveries to the operator.",
+		func(n *NodeReport) (string, bool) { return strconv.FormatInt(n.Flushes, 10), true })
+	nodeCounter("qap_node_cpu_units", "Work units charged to the operator.",
+		func(n *NodeReport) (string, bool) { return fnum(n.CPUUnits), true })
+	nodeCounter("qap_node_net_tuples_in", "Cross-host tuple arrivals at the operator.",
+		func(n *NodeReport) (string, bool) { return strconv.FormatInt(n.NetTuplesIn, 10), n.NetTuplesIn > 0 })
+	nodeCounter("qap_node_ipc_tuples_in", "Same-host cross-process tuple arrivals at the operator.",
+		func(n *NodeReport) (string, bool) { return strconv.FormatInt(n.IPCTuplesIn, 10), n.IPCTuplesIn > 0 })
+
+	hosts := append([]HostReport(nil), r.Hosts...)
+	sort.Slice(hosts, func(i, j int) bool { return hosts[i].Host < hosts[j].Host })
+	hostMetric := func(name, typ, help string, f func(h *HostReport) string) {
+		var lines []string
+		for i := range hosts {
+			h := &hosts[i]
+			lines = append(lines, fmt.Sprintf("%s{host=%q} %s", name, strconv.Itoa(h.Host), f(h)))
+		}
+		emit(name, typ, help, lines)
+	}
+	hostMetric("qap_host_cpu_units", "counter", "Work units charged to the host.",
+		func(h *HostReport) string { return fnum(h.CPUUnits) })
+	hostMetric("qap_host_cpu_load_pct", "gauge", "Host CPU utilization percentage.",
+		func(h *HostReport) string { return fnum(h.CPULoadPct) })
+	hostMetric("qap_host_net_tuples_in", "counter", "Cross-host tuple arrivals.",
+		func(h *HostReport) string { return strconv.FormatInt(h.NetTuplesIn, 10) })
+	hostMetric("qap_host_net_bytes_in", "counter", "Cross-host byte arrivals.",
+		func(h *HostReport) string { return strconv.FormatInt(h.NetBytesIn, 10) })
+	hostMetric("qap_host_ipc_tuples_in", "counter", "Same-host cross-process tuple arrivals.",
+		func(h *HostReport) string { return strconv.FormatInt(h.IPCTuplesIn, 10) })
+	hostMetric("qap_host_tuples", "counter", "Tuples delivered to operators on the host.",
+		func(h *HostReport) string { return strconv.FormatInt(h.Tuples, 10) })
+
+	if s := r.Search; s != nil {
+		emit("qap_search_candidates_enumerated", "counter", "Candidate subsets recorded by the search.",
+			[]string{"qap_search_candidates_enumerated " + strconv.FormatInt(s.Enumerated, 10)})
+		emit("qap_search_sets_evaluated", "counter", "Distinct partitioning sets costed.",
+			[]string{"qap_search_sets_evaluated " + strconv.FormatInt(s.UniqueSets, 10)})
+		emit("qap_search_candidates_deduped", "counter", "Candidates sharing an already-costed set.",
+			[]string{"qap_search_candidates_deduped " + strconv.FormatInt(s.Deduped, 10)})
+		emit("qap_search_pruned", "counter", "Expansion steps pruned before recording.",
+			[]string{"qap_search_pruned " + strconv.FormatInt(s.Pruned, 10)})
+		emit("qap_search_cost_cache_hits", "counter", "Cost-model memo-cache hits.",
+			[]string{"qap_search_cost_cache_hits " + strconv.FormatInt(s.CacheHits, 10)})
+		var workers []string
+		for w, n := range s.PerWorkerEvals {
+			workers = append(workers, fmt.Sprintf("qap_search_worker_evals{worker=%q} %d", strconv.Itoa(w), n))
+		}
+		emit("qap_search_worker_evals", "counter", "Set evaluations per search worker.", workers)
+	}
+
+	if t := r.Timing; t != nil {
+		emit("qap_timing_wall_nanos", "gauge", "Wall-clock run time (nondeterministic).",
+			[]string{"qap_timing_wall_nanos " + strconv.FormatInt(t.WallNanos, 10)})
+		emit("qap_timing_workers", "gauge", "Configured worker count.",
+			[]string{"qap_timing_workers " + strconv.Itoa(t.Workers)})
+	}
+	return b.String()
+}
+
+// BenchSeries is one measured line of a benchmark figure.
+type BenchSeries struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// BenchFigure is one regenerated evaluation figure in a BenchReport.
+type BenchFigure struct {
+	ID     string        `json:"id"`
+	Title  string        `json:"title"`
+	Metric string        `json:"metric"`
+	Hosts  []int         `json:"hosts"`
+	Series []BenchSeries `json:"series"`
+}
+
+// BenchConfig records the knobs a benchmark ran under.
+type BenchConfig struct {
+	RatePPS     int   `json:"rate_pps"`
+	DurationSec int   `json:"duration_sec"`
+	MaxHosts    int   `json:"max_hosts"`
+	Seed        int64 `json:"seed"`
+	Workers     int   `json:"workers"`
+}
+
+// BenchReport is the machine-readable BENCH_<name>.json emitted by
+// qap-bench: the figure series (deterministic) plus the wall-clock cost
+// of producing them (the perf trajectory).
+type BenchReport struct {
+	SchemaVersion int           `json:"schema_version"`
+	Name          string        `json:"name"`
+	Config        BenchConfig   `json:"config"`
+	Figures       []BenchFigure `json:"figures"`
+	// WallNanos is the wall-clock time the experiment took; with
+	// Config it is the measured simulator throughput over PRs.
+	WallNanos int64 `json:"wall_nanos"`
+	// SimulatedPacketsPerSec is trace packets processed per wall
+	// second across every configuration the experiment ran.
+	SimulatedPacketsPerSec float64 `json:"simulated_packets_per_sec"`
+}

@@ -25,6 +25,7 @@ import (
 	"qap/internal/exec"
 	"qap/internal/gsql"
 	"qap/internal/netgen"
+	"qap/internal/obs"
 	"qap/internal/optimizer"
 	"qap/internal/plan"
 	"qap/internal/schema"
@@ -64,6 +65,16 @@ type (
 	Scope = optimizer.Scope
 	// Value is a runtime SQL value.
 	Value = sqlval.Value
+	// RunReport is the machine-readable record of a run: plan summary,
+	// per-operator stats, per-host metrics, timing. Everything outside
+	// its Timing section is deterministic.
+	RunReport = obs.RunReport
+	// OpStats holds one physical operator's deterministic counters.
+	OpStats = obs.OpStats
+	// SearchStats instruments the partitioning search.
+	SearchStats = obs.SearchStats
+	// SearchReport is the search section of a RunReport.
+	SearchReport = obs.SearchReport
 )
 
 // Partial-aggregation scopes (see optimizer.Scope).
@@ -200,6 +211,12 @@ type DeployConfig struct {
 	// host (capped at Hosts) plus a splitter and a central replay
 	// goroutine. Results are byte-identical either way.
 	Workers int
+	// CollectStats enables the per-operator observability layer:
+	// RunResult.OpStats and RunResult.Report() are populated. The
+	// counters are sharded like the host metrics, so they too are
+	// bit-equal for any worker count; when false no instrumentation is
+	// installed and the run is as fast as before the layer existed.
+	CollectStats bool
 }
 
 // Deployment is a compiled distributed plan ready to run traces.
@@ -255,7 +272,17 @@ type RunResult struct {
 	NodeRows map[string]int64
 	// Metrics is the per-host CPU and network accounting.
 	Metrics *Metrics
+	// OpStats maps physical operator IDs to their counters; nil unless
+	// DeployConfig.CollectStats was set.
+	OpStats map[int]*OpStats
+
+	report *RunReport
 }
+
+// Report returns the run's machine-readable report, or nil unless
+// DeployConfig.CollectStats was set. Strip the report's Timing section
+// (Canonical) and the JSON is byte-identical for any worker count.
+func (r *RunResult) Report() *RunReport { return r.report }
 
 // OutputNames returns the result's query names in sorted order — the
 // canonical iteration order for printing Outputs (Go map order is
@@ -286,9 +313,10 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		costs = def
 	}
 	r, err := cluster.NewRunner(d.plan, cluster.RunConfig{
-		Costs:   costs,
-		Params:  d.params,
-		Workers: d.cfg.Workers,
+		Costs:        costs,
+		Params:       d.params,
+		Workers:      d.cfg.Workers,
+		CollectStats: d.cfg.CollectStats,
 	})
 	if err != nil {
 		return nil, err
@@ -297,7 +325,13 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 	if err != nil {
 		return nil, err
 	}
-	return &RunResult{Outputs: res.Outputs, NodeRows: res.NodeRows, Metrics: res.Metrics}, nil
+	return &RunResult{
+		Outputs:  res.Outputs,
+		NodeRows: res.NodeRows,
+		Metrics:  res.Metrics,
+		OpStats:  res.OpStats,
+		report:   res.Report,
+	}, nil
 }
 
 // Uint wraps a uint64 as a parameter value.

@@ -1,0 +1,99 @@
+package qap
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"qap/internal/netgen"
+)
+
+// reportRun deploys the complex workload with stats collection on and
+// returns the run result.
+func reportRun(t *testing.T, workers int, packets []netgen.Packet) *RunResult {
+	t.Helper()
+	sys, err := Load(netgen.SchemaDDL, ComplexQuerySet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(DeployConfig{
+		Hosts:             4,
+		PartitionsPerHost: 2,
+		Partitioning:      MustParseSet("srcIP"),
+		Params:            map[string]Value{"PATTERN": Uint(netgen.AttackPattern)},
+		Workers:           workers,
+		CollectStats:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dep.Run("TCP", packets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestRunReportDeterministic is the acceptance check for the report
+// layer: a collected run emits a valid JSON RunReport whose per-node
+// rows are consistent with the host accounting, and whose canonical
+// form is byte-identical for workers=1 and workers=8.
+func TestRunReportDeterministic(t *testing.T) {
+	packets := diffTrace(3)
+	seq := reportRun(t, 1, packets)
+	par := reportRun(t, 8, packets)
+
+	for _, res := range []*RunResult{seq, par} {
+		rep := res.Report()
+		if rep == nil {
+			t.Fatal("Report() is nil with CollectStats set")
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !json.Valid(b) {
+			t.Fatal("report is not valid JSON")
+		}
+		// Σ RowsIn over nodes == Σ Tuples over hosts: every delivery
+		// charges exactly one operator and one host.
+		var rowsIn int64
+		for _, n := range rep.Nodes {
+			rowsIn += n.RowsIn
+		}
+		var tuples int64
+		for _, h := range rep.Hosts {
+			tuples += h.Tuples
+		}
+		if rowsIn == 0 || rowsIn != tuples {
+			t.Errorf("sum(RowsIn)=%d, sum(Tuples)=%d; want equal and nonzero", rowsIn, tuples)
+		}
+		if rep.Timing == nil || rep.Timing.WallNanos <= 0 {
+			t.Error("timing section missing or empty")
+		}
+		if rep.Prometheus() == "" {
+			t.Error("empty Prometheus rendering")
+		}
+	}
+
+	sj, err := seq.Report().Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := par.Report().Canonical().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Errorf("canonical reports differ between workers=1 and workers=8:\n%s\n---\n%s", sj, pj)
+	}
+}
+
+// TestReportNilWhenDisabled: without CollectStats the observability
+// layer must stay entirely out of the way.
+func TestReportNilWhenDisabled(t *testing.T) {
+	res := deployRun(t, ComplexQuerySet, MustParseSet("srcIP"), 2, 1, diffTrace(3))
+	if res.Report() != nil || res.OpStats != nil {
+		t.Error("stats populated without CollectStats")
+	}
+}
