@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	qap-analyze [-schema file] [-queries file] [-explain set]
+//	qap-analyze [-schema file] [-queries file] [-explain set] [-lint]
 //
 // Without -queries it analyzes the paper's Section 3.2 example set.
+// With -lint it also prints the static semantic analyzer's QAP0xx
+// diagnostics (see cmd/qap-lint for the standalone tool).
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "candidate-costing worker goroutines (1 = sequential; results are identical)")
 	metricsOut := flag.String("metrics-out", "", "write the machine-readable JSON analysis report to this file")
 	report := flag.Bool("report", false, "print the analysis report in Prometheus text format")
+	lintFlag := flag.Bool("lint", false, "also run the static semantic analyzer and print its QAP0xx diagnostics")
 	flag.Parse()
 
 	ddl := netgen.SchemaDDL
@@ -68,14 +71,23 @@ func main() {
 
 	opts := qap.DefaultSearchOptions()
 	opts.Workers = *workers
-	started := time.Now()
+	started := time.Now() //qap:allow walltime -- wall time quarantined in obs.Timing
 	res, err := sys.AnalyzeWith(nil, opts)
 	if err != nil {
 		fatal(err)
 	}
-	wall := time.Since(started)
+	wall := time.Since(started) //qap:allow walltime -- wall time quarantined in obs.Timing
 	fmt.Println("\nanalysis:")
 	fmt.Print(res.Summary())
+
+	if *lintFlag {
+		source := *queryFile
+		if source == "" {
+			source = "<builtin>"
+		}
+		fmt.Println("\nlint:")
+		fmt.Print(sys.Lint(res, source).Human())
+	}
 
 	if *metricsOut != "" || *report {
 		recommended := ""
@@ -132,7 +144,7 @@ func main() {
 		// Sorted, not map order: tool output must be stable run to run.
 		reqs := sys.Requirements()
 		names := make([]string, 0, len(reqs))
-		for name := range reqs {
+		for name := range reqs { //qap:allow maprange -- keys collected then sorted below
 			names = append(names, name)
 		}
 		sort.Strings(names)

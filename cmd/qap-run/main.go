@@ -13,6 +13,10 @@
 //	qap-run -queries monitor.gsql -partition 'srcIP & 0xFFF0, destIP'
 //	qap-run -partition srcIP -metrics-out report.json   # JSON run report
 //	qap-run -partition srcIP -report                    # Prometheus text
+//
+// To check a query set statically before running it — partitioning
+// compatibility per node, window alignment, dead columns — see
+// cmd/qap-lint.
 package main
 
 import (

@@ -1,0 +1,57 @@
+// Command qap-vet runs the repo's determinism analyzers over the
+// module's own Go source: wall-clock reads (time.Now and friends) and
+// math/rand outside quarantined timing paths, range statements over
+// maps, and goroutines launched from map-range bodies — the three ways
+// nondeterminism has historically leaked into simulated results.
+//
+// Usage:
+//
+//	qap-vet [dir]
+//
+// dir defaults to the current directory; qap-vet locates the enclosing
+// module root and checks every non-test package under it. Deliberately
+// exempt sites carry a "//qap:allow <analyzer>" comment on the same
+// line or the line above. Findings print one per line in file:line:col
+// form, sorted, and a non-empty report exits 1.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"qap/internal/analyzers"
+)
+
+func main() {
+	dir := "."
+	if len(os.Args) > 1 {
+		// Accept a go-style "./..." pattern: the module is always
+		// checked as a whole, so only the base directory matters.
+		dir = strings.TrimSuffix(os.Args[1], "...")
+		if dir == "" {
+			dir = "."
+		}
+	}
+	root, err := analyzers.ModuleRoot(dir)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analyzers.Load(root)
+	if err != nil {
+		fatal(err)
+	}
+	findings := analyzers.RunAll(pkgs, analyzers.All)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "qap-vet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qap-vet:", err)
+	os.Exit(2)
+}

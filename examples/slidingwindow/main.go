@@ -74,7 +74,7 @@ func main() {
 		seen[r[1].String()+"->"+r[2].String()]++
 	}
 	maxWindows := 0
-	for _, n := range seen {
+	for _, n := range seen { //qap:allow maprange -- max over values, order-insensitive
 		if n > maxWindows {
 			maxWindows = n
 		}

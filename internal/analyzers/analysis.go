@@ -1,0 +1,170 @@
+// Package analyzers enforces the repo's determinism contract on its
+// own Go source: simulated results must be byte-identical across runs
+// and worker counts, so wall-clock reads, random sources, and
+// map-iteration order must never leak into output or accounting paths.
+//
+// The package is a small vet-style framework built only on the
+// standard library (go/ast, go/parser, go/types) because the build
+// environment has no golang.org/x/tools. Analyzers walk type-checked
+// packages and report findings; a site that is deliberately exempt —
+// wall-clock timing quarantined behind obs.Timing, a map range that
+// sorts before emitting — carries a
+//
+//	//qap:allow <analyzer>
+//
+// comment on the same line or the line above, which suppresses that
+// analyzer there. Findings are sorted by position, so qap-vet output
+// is itself deterministic.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one determinism check.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in findings and in
+	// //qap:allow comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects one package through the pass.
+	Run func(*Pass)
+}
+
+// All is the registry of determinism analyzers, in reporting order.
+var All = []*Analyzer{Walltime, MapRange, Fanout}
+
+// Finding is one analyzer report at a source position.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the familiar file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	allow    allowMap
+	findings *[]Finding
+}
+
+// Reportf records a finding unless a //qap:allow comment suppresses
+// this analyzer at the position.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allow.allows(position, p.Analyzer.Name) {
+		return
+	}
+	*p.findings = append(*p.findings, Finding{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowMap indexes //qap:allow comments: file name -> line -> names.
+type allowMap map[string]map[int][]string
+
+// allows reports whether the analyzer is suppressed at the position —
+// an allow comment on the same line or the line above matches.
+func (m allowMap) allows(pos token.Position, name string) bool {
+	lines := m[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, allowed := range lines[line] {
+			if allowed == name || allowed == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildAllowMap scans a package's comments for //qap:allow directives.
+func buildAllowMap(fset *token.FileSet, files []*ast.File) allowMap {
+	m := allowMap{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "qap:allow") {
+					continue
+				}
+				names := strings.Fields(strings.TrimPrefix(text, "qap:allow"))
+				// A "--" ends the name list; the rest is the reason.
+				for i, n := range names {
+					if strings.HasPrefix(n, "--") {
+						names = names[:i]
+						break
+					}
+				}
+				if len(names) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				if m[pos.Filename] == nil {
+					m[pos.Filename] = map[int][]string{}
+				}
+				m[pos.Filename][pos.Line] = append(m[pos.Filename][pos.Line], names...)
+			}
+		}
+	}
+	return m
+}
+
+// RunAll runs every registered analyzer over the packages and returns
+// the findings sorted by position, analyzer, and message.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		allow := buildAllowMap(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				allow:    allow,
+				findings: &findings,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings
+}

@@ -1,0 +1,332 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	files["go.mod"] = "module vettest\n\ngo 1.22\n"
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func findingsFor(t *testing.T, files map[string]string) []Finding {
+	t.Helper()
+	root := writeModule(t, files)
+	pkgs, err := Load(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunAll(pkgs, All)
+}
+
+func byAnalyzer(fs []Finding, name string) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Analyzer == name {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestWalltimeFlagsClockAndRand(t *testing.T) {
+	fs := findingsFor(t, map[string]string{
+		"main.go": `package main
+
+import (
+	"math/rand"
+	"time"
+)
+
+func main() {
+	_ = time.Now()
+	_ = rand.Int()
+	time.Sleep(time.Second)
+}
+`,
+	})
+	wall := byAnalyzer(fs, "walltime")
+	if len(wall) != 3 { // import + Now + Sleep
+		t.Fatalf("want 3 walltime findings, got %d: %v", len(wall), wall)
+	}
+}
+
+func TestWalltimeIgnoresNonClockTimeUse(t *testing.T) {
+	fs := findingsFor(t, map[string]string{
+		"main.go": `package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	var d time.Duration = 3 * time.Second
+	fmt.Println(d, time.Unix(0, 42).UTC())
+}
+`,
+	})
+	if wall := byAnalyzer(fs, "walltime"); len(wall) != 0 {
+		t.Fatalf("time.Duration/time.Unix are deterministic; got %v", wall)
+	}
+}
+
+func TestAllowSuppresses(t *testing.T) {
+	fs := findingsFor(t, map[string]string{
+		"main.go": `package main
+
+import "time"
+
+func main() {
+	_ = time.Now() //qap:allow walltime -- quarantined
+	//qap:allow walltime -- line-above form
+	_ = time.Now()
+	_ = time.Now() //qap:allow maprange -- wrong analyzer, does not suppress
+}
+`,
+	})
+	wall := byAnalyzer(fs, "walltime")
+	if len(wall) != 1 {
+		t.Fatalf("want exactly the mis-annotated site, got %d: %v", len(wall), wall)
+	}
+	if wall[0].Pos.Line != 9 {
+		t.Errorf("surviving finding at line %d, want 9", wall[0].Pos.Line)
+	}
+}
+
+func TestMapRangeFlagsMapsOnly(t *testing.T) {
+	fs := findingsFor(t, map[string]string{
+		"main.go": `package main
+
+type bag map[string]int
+
+func main() {
+	m := map[int]string{1: "a"}
+	var b bag
+	s := []int{1, 2}
+	ch := make(chan int)
+	close(ch)
+	for range m {
+	}
+	for range b { // named map type
+	}
+	for range s {
+	}
+	for range ch {
+	}
+}
+`,
+	})
+	mr := byAnalyzer(fs, "maprange")
+	if len(mr) != 2 {
+		t.Fatalf("want 2 maprange findings (map + named map), got %d: %v", len(mr), mr)
+	}
+	for _, f := range mr {
+		if f.Pos.Line != 11 && f.Pos.Line != 13 {
+			t.Errorf("unexpected maprange finding at line %d", f.Pos.Line)
+		}
+	}
+}
+
+func TestFanoutFlagsGoInMapRange(t *testing.T) {
+	fs := findingsFor(t, map[string]string{
+		"main.go": `package main
+
+func main() {
+	m := map[string]int{"a": 1}
+	done := make(chan struct{})
+	for k := range m { //qap:allow maprange -- testing fanout separately
+		go func(string) { done <- struct{}{} }(k)
+	}
+	s := []string{"a"}
+	for _, k := range s {
+		go func(string) { done <- struct{}{} }(k)
+	}
+	<-done
+	<-done
+}
+`,
+	})
+	fo := byAnalyzer(fs, "fanout")
+	if len(fo) != 1 {
+		t.Fatalf("want 1 fanout finding (map range only), got %d: %v", len(fo), fo)
+	}
+	if fo[0].Pos.Line != 7 {
+		t.Errorf("fanout finding at line %d, want 7", fo[0].Pos.Line)
+	}
+}
+
+func TestTestFilesExcluded(t *testing.T) {
+	fs := findingsFor(t, map[string]string{
+		"main.go": "package main\n\nfunc main() {}\n",
+		"main_test.go": `package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestX(t *testing.T) { _ = time.Now() }
+`,
+	})
+	if len(fs) != 0 {
+		t.Fatalf("_test.go files are out of scope; got %v", fs)
+	}
+}
+
+func TestFindingsSortedDeterministically(t *testing.T) {
+	files := map[string]string{
+		"a/a.go": `package a
+
+import "time"
+
+func A() int64 {
+	m := map[int]int{}
+	n := 0
+	for range m {
+		n++
+	}
+	return time.Now().Unix() + int64(n)
+}
+`,
+		"b/b.go": `package b
+
+import "time"
+
+var T = time.Now
+`,
+	}
+	first := findingsFor(t, files)
+	if len(first) == 0 {
+		t.Fatal("expected findings")
+	}
+	for run := 0; run < 3; run++ {
+		again := findingsFor(t, files)
+		if len(again) != len(first) {
+			t.Fatalf("finding count varies: %d vs %d", len(again), len(first))
+		}
+		for i := range first {
+			// Roots differ (t.TempDir), so compare everything but the dir.
+			if filepath.Base(first[i].Pos.Filename) != filepath.Base(again[i].Pos.Filename) ||
+				first[i].Pos.Line != again[i].Pos.Line ||
+				first[i].Analyzer != again[i].Analyzer ||
+				first[i].Message != again[i].Message {
+				t.Fatalf("finding order varies at %d: %v vs %v", i, first[i], again[i])
+			}
+		}
+	}
+}
+
+// repoRoot locates this repository's module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestRepoIsClean is the contract: the repo's own source must pass all
+// determinism analyzers (every exempt site is annotated).
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	pkgs, err := Load(repoRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := RunAll(pkgs, All)
+	for _, f := range fs {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSeededWalltimeFails copies the repo, plants an unannotated
+// time.Now call in a cluster-engine file, and asserts the analyzers
+// catch it — the acceptance check that the vet step actually guards
+// the engine.
+func TestSeededWalltimeFails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	src := repoRoot(t)
+	dst := t.TempDir()
+	if err := copyGoTree(src, dst); err != nil {
+		t.Fatal(err)
+	}
+	seeded := filepath.Join(dst, "internal", "cluster", "zz_seeded.go")
+	if err := os.WriteFile(seeded, []byte(`package cluster
+
+import "time"
+
+func seededWallRead() int64 { return time.Now().UnixNano() }
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := RunAll(pkgs, All)
+	var hit bool
+	for _, f := range fs {
+		if f.Analyzer == "walltime" && strings.HasSuffix(f.Pos.Filename, "zz_seeded.go") {
+			hit = true
+		} else {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if !hit {
+		t.Error("seeded time.Now call was not flagged")
+	}
+}
+
+// copyGoTree copies go.mod and every non-test .go file, preserving the
+// directory layout.
+func copyGoTree(src, dst string) error {
+	return filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != src && (strings.HasPrefix(name, ".") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if name != "go.mod" && (!strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go")) {
+			return nil
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		out := filepath.Join(dst, rel)
+		if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(out, b, 0o644)
+	})
+}

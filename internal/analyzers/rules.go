@@ -1,0 +1,132 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// wallFuncs are the time-package functions that read the wall clock or
+// schedule against it.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"Tick": true, "After": true, "AfterFunc": true,
+	"NewTimer": true, "NewTicker": true,
+}
+
+// Walltime flags wall-clock reads and random sources: simulated
+// results must not depend on when or where they run. Quarantined
+// timing paths (obs.Timing fields excluded from comparisons) carry
+// //qap:allow walltime.
+var Walltime = &Analyzer{
+	Name: "walltime",
+	Doc:  "flags time.Now/Since/Sleep and math/rand outside quarantined timing paths",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "import of %s: random state breaks run-to-run determinism unless explicitly seeded and quarantined", path)
+				}
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || !wallFuncs[sel.Sel.Name] {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				pkgName, ok := p.Info.Uses[ident].(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "time" {
+					return true
+				}
+				p.Reportf(sel.Pos(), "call to time.%s reads the wall clock; deterministic outputs must not depend on it", sel.Sel.Name)
+				return true
+			})
+		}
+	},
+}
+
+// MapRange flags range statements over maps: Go randomizes map
+// iteration order, so any map range feeding output, accounting, or
+// scheduling must sort first (or be order-insensitive) and carry
+// //qap:allow maprange.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc:  "flags range over a map; iteration order is nondeterministic",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(p.Info.TypeOf(rs.X)) {
+					return true
+				}
+				p.Reportf(rs.Pos(), "range over map %s: iteration order varies run to run — sort keys first or annotate the order-insensitive loop", typeLabel(p, rs.X))
+				return true
+			})
+		}
+	},
+}
+
+// Fanout flags goroutine launches inside map-range bodies: spawn order
+// (and therefore any work-distribution or channel-send order derived
+// from it) would vary run to run. The cluster engine must fan out over
+// slices.
+var Fanout = &Analyzer{
+	Name: "fanout",
+	Doc:  "flags go statements launched from inside a map-range body",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if !isMapType(p.Info.TypeOf(rs.X)) {
+					return true
+				}
+				ast.Inspect(rs.Body, func(inner ast.Node) bool {
+					if g, ok := inner.(*ast.GoStmt); ok {
+						p.Reportf(g.Pos(), "goroutine launched from inside a map range: spawn order varies run to run — fan out over a slice")
+					}
+					return true
+				})
+				return true
+			})
+		}
+	},
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// typeLabel renders the ranged expression's type compactly for the
+// finding message.
+func typeLabel(p *Pass, e ast.Expr) string {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return "?"
+	}
+	s := t.String()
+	// Strip the module path qualifier for readability.
+	s = strings.ReplaceAll(s, "qap/internal/", "")
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}

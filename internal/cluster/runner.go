@@ -219,7 +219,7 @@ type streamCursor struct {
 // way (Go map iteration order must never leak into the merge).
 func (r *Runner) makeCursors(streams map[string][]netgen.Packet) ([]*streamCursor, error) {
 	var cursors []*streamCursor
-	for name, packets := range streams {
+	for name, packets := range streams { //qap:allow maprange -- cursors sorted below before the merge
 		lower := strings.ToLower(name)
 		rt, ok := r.routers[lower]
 		if !ok {
@@ -261,7 +261,7 @@ func nextCursor(cursors []*streamCursor) *streamCursor {
 // when every stream has moved past it). Each trace must itself be
 // time-ordered.
 func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error) {
-	r.started = time.Now()
+	r.started = time.Now() //qap:allow walltime -- wall time quarantined in obs.Timing
 	cursors, err := r.makeCursors(streams)
 	if err != nil {
 		return nil, err
@@ -330,11 +330,11 @@ func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 		NodeRows: make(map[string]int64),
 		Metrics:  r.metrics,
 	}
-	for name, c := range r.collectors {
+	for name, c := range r.collectors { //qap:allow maprange -- map-to-map copy, order-insensitive
 		res.Outputs[name] = c.Rows
 	}
 	for _, isl := range r.islands {
-		for name, n := range isl.rows {
+		for name, n := range isl.rows { //qap:allow maprange -- commutative += accumulation
 			res.NodeRows[name] += *n
 		}
 	}
@@ -343,7 +343,7 @@ func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 		// "merge" is a copy; Add guards the invariant regardless.
 		res.OpStats = make(map[int]*obs.OpStats)
 		for _, isl := range r.islands {
-			for id, st := range isl.ops {
+			for id, st := range isl.ops { //qap:allow maprange -- commutative OpStats.Add merge
 				if prev, ok := res.OpStats[id]; ok {
 					prev.Add(st)
 				} else {
@@ -416,7 +416,7 @@ func (r *Runner) buildReport(res *Result) *obs.RunReport {
 		Workers:     r.workers,
 		Engine:      engine,
 		BatchRounds: r.batchRounds,
-		WallNanos:   time.Since(r.started).Nanoseconds(),
+		WallNanos:   time.Since(r.started).Nanoseconds(), //qap:allow walltime -- wall time quarantined in obs.Timing
 		Rounds:      r.engRounds,
 		Batches:     r.engBatches,
 		LinkItems:   r.engLinkItems,
@@ -643,7 +643,7 @@ func (r *Runner) compile() error {
 		r.routers[strings.ToLower(src.Stream.Name)] = rt
 	}
 	r.routerNames = r.routerNames[:0]
-	for name := range r.routers {
+	for name := range r.routers { //qap:allow maprange -- names collected then sorted below
 		r.routerNames = append(r.routerNames, name)
 	}
 	sort.Strings(r.routerNames)

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+)
+
+// wideSet gives the search many distinct per-query requirement sets so
+// the DP frontier branches and, with a small MaxStates, truncates.
+const wideSet = `
+query by_src:
+SELECT tb, srcIP, COUNT(*) as c1 FROM TCP GROUP BY time/60 as tb, srcIP
+
+query by_dst:
+SELECT tb, destIP, COUNT(*) as c2 FROM TCP GROUP BY time/60 as tb, destIP
+
+query by_ports:
+SELECT tb, srcPort, destPort, COUNT(*) as c3
+FROM TCP GROUP BY time/60 as tb, srcPort, destPort
+
+query by_pair:
+SELECT tb, srcIP, destIP, COUNT(*) as c4
+FROM TCP GROUP BY time/60 as tb, srcIP, destIP
+
+query by_subnet:
+SELECT tb, subnet, COUNT(*) as c5
+FROM TCP GROUP BY time/60 as tb, srcIP & 0xFFF0 as subnet
+
+query by_flow:
+SELECT tb, srcIP, destIP, srcPort, destPort, COUNT(*) as c6
+FROM TCP GROUP BY time/60 as tb, srcIP, destIP, srcPort, destPort`
+
+// snapshot reduces a Result to its deterministic content (Search holds
+// quarantined wall-clock nanos, so it is compared field-by-field).
+func snapshot(r *Result) string {
+	s := r.Summary()
+	for _, c := range r.Candidates {
+		s += "|" + c.Set.String()
+	}
+	return s
+}
+
+// TestSearchDeterministic pins the fix for the DP expansion's former
+// map-order dependence: the candidate list, the recommendation, and
+// the explored-state accounting must be identical run to run, for any
+// worker count, including when MaxStates truncates the frontier.
+func TestSearchDeterministic(t *testing.T) {
+	g := buildGraph(t, tcpDDL, wideSet)
+	for _, tc := range []struct {
+		name      string
+		maxStates int
+		workers   int
+	}{
+		{"full/sequential", 0, 1},
+		{"full/parallel", 0, 8},
+		{"truncated/sequential", 8, 1},
+		{"truncated/parallel", 8, 8},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			run := func() *Result {
+				opts := DefaultOptions()
+				if tc.maxStates > 0 {
+					opts.MaxStates = tc.maxStates
+				}
+				opts.Workers = tc.workers
+				res, err := Optimize(g, nil, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			first := run()
+			want := snapshot(first)
+			for i := 0; i < 5; i++ {
+				res := run()
+				if got := snapshot(res); got != want {
+					t.Fatalf("run %d differs:\n--- got ---\n%s\n--- want ---\n%s", i, got, want)
+				}
+				if res.Search.Enumerated != first.Search.Enumerated ||
+					res.Search.Pruned != first.Search.Pruned ||
+					res.Search.UniqueSets != first.Search.UniqueSets {
+					t.Fatalf("run %d search accounting differs: %+v vs %+v",
+						i, res.Search, first.Search)
+				}
+			}
+		})
+	}
+}
+
+// TestSearchWorkerIndependence asserts sequential and parallel costing
+// agree exactly (not just within tolerance).
+func TestSearchWorkerIndependence(t *testing.T) {
+	g := buildGraph(t, tcpDDL, wideSet)
+	base := ""
+	for _, w := range []int{1, 2, 4, 16} {
+		opts := DefaultOptions()
+		opts.Workers = w
+		res, err := Optimize(g, nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == "" {
+			base = snapshot(res)
+			continue
+		}
+		if got := snapshot(res); got != base {
+			t.Fatalf("workers=%d result differs:\n--- got ---\n%s\n--- want ---\n%s", w, got, base)
+		}
+	}
+}

@@ -25,7 +25,7 @@ type StreamSets map[string]Set
 // String renders the assignment deterministically.
 func (ss StreamSets) String() string {
 	names := make([]string, 0, len(ss))
-	for name := range ss {
+	for name := range ss { //qap:allow maprange -- names collected then sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)
@@ -41,7 +41,7 @@ func (ss StreamSets) Get(stream string) Set { return ss[strings.ToLower(stream)]
 
 // IsEmpty reports whether no stream has a partitioning.
 func (ss StreamSets) IsEmpty() bool {
-	for _, s := range ss {
+	for _, s := range ss { //qap:allow maprange -- any-empty check, order-insensitive
 		if !s.IsEmpty() {
 			return false
 		}
@@ -290,7 +290,7 @@ func OptimizePerStream(g *plan.Graph, stats Stats, opts Options) (*PerStreamResu
 				}
 			}
 			trial := make(StreamSets, len(res.Sets))
-			for s, set := range res.Sets {
+			for s, set := range res.Sets { //qap:allow maprange -- map-to-map copy, order-insensitive
 				trial[s] = set
 			}
 			trial[ls[0]], trial[rs[0]] = cl, cr

@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 
 	"qap/internal/gsql"
@@ -26,12 +27,19 @@ func (p Params) Get(name string) (sqlval.Value, bool) {
 	if v, ok := p[name]; ok {
 		return v, true
 	}
-	for k, v := range p {
+	// Case-insensitive fallback over sorted keys: two keys that fold
+	// to the same name must resolve identically on every run.
+	keys := make([]string, 0, len(p))
+	for k := range p { //qap:allow maprange -- keys collected then sorted below
 		if strings.EqualFold(k, name) {
-			return v, true
+			keys = append(keys, k)
 		}
 	}
-	return sqlval.Null, false
+	if len(keys) == 0 {
+		return sqlval.Null, false
+	}
+	sort.Strings(keys)
+	return p[keys[0]], true
 }
 
 // ColsResolver builds a Resolver over a list of column names with an

@@ -278,7 +278,7 @@ func (o *Aggregate) GroupCount() int { return len(o.groups) }
 // boundary is nil), in deterministic (epoch, key) order.
 func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
 	var done []*groupState
-	for key, gs := range o.groups {
+	for key, gs := range o.groups { //qap:allow maprange -- groups collected then sorted below
 		if boundary != nil && (gs.epoch.IsNull() || gs.epoch.Compare(*boundary) >= 0) {
 			continue
 		}
@@ -467,7 +467,7 @@ func (j *Join) portFlush() {
 // nil), emitting outer-join padding for never-matched rows.
 func (j *Join) evict(tab map[string][]*joinEntry, boundary *sqlval.Value, left bool) {
 	var unmatched []*joinEntry
-	for key, entries := range tab {
+	for key, entries := range tab { //qap:allow maprange -- delete-only; unmatched sorted before padding
 		var keep []*joinEntry
 		for _, e := range entries {
 			if boundary != nil && e.tkey.Compare(*boundary) >= 0 {
@@ -532,10 +532,10 @@ func (j *Join) pad(t Tuple, left bool) Tuple {
 // accounting and eviction tests.
 func (j *Join) StoredTuples() int {
 	n := 0
-	for _, es := range j.leftTab {
+	for _, es := range j.leftTab { //qap:allow maprange -- commutative count
 		n += len(es)
 	}
-	for _, es := range j.rightTab {
+	for _, es := range j.rightTab { //qap:allow maprange -- commutative count
 		n += len(es)
 	}
 	return n

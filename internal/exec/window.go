@@ -169,7 +169,7 @@ func (w *SlidingWindow) emitPane(p uint64) {
 	}
 	groups := make(map[string]*windowState)
 	var order []string
-	for _, pg := range w.panes {
+	for _, pg := range w.panes { //qap:allow maprange -- emission order collected then sorted below
 		if pg.pane < lo || pg.pane > p {
 			continue
 		}
@@ -221,7 +221,7 @@ func (w *SlidingWindow) emitPane(p uint64) {
 // evict drops pane buffers no window ending at pane >= next can
 // reference: those with pane + Panes <= next.
 func (w *SlidingWindow) evict() {
-	for k, pg := range w.panes {
+	for k, pg := range w.panes { //qap:allow maprange -- delete-only eviction
 		if pg.pane+w.cfg.Panes <= w.next {
 			delete(w.panes, k)
 		}

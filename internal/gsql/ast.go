@@ -288,6 +288,7 @@ func parenthesize(e Expr) string {
 type SelectItem struct {
 	Expr  Expr
 	Alias string // "" if none
+	Pos   Pos    // position of the item's first token
 }
 
 // String renders the item.
@@ -333,6 +334,7 @@ func (j JoinType) String() string {
 type TableRef struct {
 	Name  string
 	Alias string
+	Pos   Pos // position of the referenced name
 }
 
 // Binding returns the name other clauses use to refer to this input.
@@ -366,6 +368,7 @@ type FromClause struct {
 type GroupItem struct {
 	Expr  Expr
 	Alias string
+	Pos   Pos // position of the term's first token
 }
 
 // String renders the item.
@@ -388,6 +391,13 @@ type SelectStmt struct {
 	// result covers the WindowPanes most recent panes, sliding by one
 	// pane (Li et al.'s evaluation strategy, paper Section 3.1).
 	WindowPanes uint64
+	// Clause positions: Pos is the SELECT keyword; the others are the
+	// corresponding clause keywords, zero when the clause is absent.
+	Pos       Pos
+	WherePos  Pos
+	GroupPos  Pos
+	HavingPos Pos
+	WindowPos Pos
 }
 
 // String pretty-prints the statement on multiple lines.
@@ -439,6 +449,9 @@ func (s *SelectStmt) String() string {
 type Query struct {
 	Name string
 	Stmt *SelectStmt
+	// Pos is the position of the query's name token, or of the SELECT
+	// keyword for anonymous queries.
+	Pos Pos
 }
 
 // QuerySet is an ordered collection of named queries; later queries may

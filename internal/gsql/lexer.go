@@ -36,19 +36,19 @@ func (l *Lexer) Next() (Token, error) {
 	case ch >= '0' && ch <= '9':
 		num, err := l.number()
 		if err != nil {
-			return Token{}, fmt.Errorf("gsql: line %d:%d: %v", startLine, startCol, err)
+			return Token{}, Errorf(Pos{Line: startLine, Col: startCol}, "%v", err)
 		}
 		return mk(TokNumber, num), nil
 	case ch == '\'' || ch == '"':
 		s, err := l.stringLit(ch)
 		if err != nil {
-			return Token{}, fmt.Errorf("gsql: line %d:%d: %v", startLine, startCol, err)
+			return Token{}, Errorf(Pos{Line: startLine, Col: startCol}, "%v", err)
 		}
 		return mk(TokString, s), nil
 	case ch == '#':
 		p, err := l.param()
 		if err != nil {
-			return Token{}, fmt.Errorf("gsql: line %d:%d: %v", startLine, startCol, err)
+			return Token{}, Errorf(Pos{Line: startLine, Col: startCol}, "%v", err)
 		}
 		return mk(TokParam, p), nil
 	}
@@ -107,7 +107,7 @@ func (l *Lexer) Next() (Token, error) {
 	case '>':
 		return one(TokGt)
 	}
-	return Token{}, fmt.Errorf("gsql: line %d:%d: unexpected character %q", startLine, startCol, ch)
+	return Token{}, Errorf(Pos{Line: startLine, Col: startCol}, "unexpected character %q", ch)
 }
 
 // Tokens lexes the entire input, for testing.

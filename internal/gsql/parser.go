@@ -53,6 +53,7 @@ func ParseQuerySet(src string) (*QuerySet, error) {
 			break
 		}
 		name := ""
+		namePos := p.pos()
 		if p.isKeyword("QUERY") {
 			if err := p.next(); err != nil {
 				return nil, err
@@ -60,7 +61,7 @@ func ParseQuerySet(src string) (*QuerySet, error) {
 			if p.tok.Kind != TokIdent {
 				return nil, p.expectedErr("query name")
 			}
-			name = p.tok.Text
+			name, namePos = p.tok.Text, p.pos()
 			if err := p.next(); err != nil {
 				return nil, err
 			}
@@ -80,12 +81,12 @@ func ParseQuerySet(src string) (*QuerySet, error) {
 			name = fmt.Sprintf("q%d", anon)
 		}
 		if _, dup := qs.Lookup(name); dup {
-			return nil, fmt.Errorf("gsql: duplicate query name %q", name)
+			return nil, Errorf(namePos, "duplicate query name %q", name)
 		}
-		qs.Queries = append(qs.Queries, &Query{Name: name, Stmt: stmt})
+		qs.Queries = append(qs.Queries, &Query{Name: name, Stmt: stmt, Pos: namePos})
 	}
 	if len(qs.Queries) == 0 {
-		return nil, fmt.Errorf("gsql: no queries in input")
+		return nil, &Error{Msg: "no queries in input"}
 	}
 	return qs, nil
 }
@@ -112,7 +113,7 @@ func ParseExpr(src string) (Expr, error) {
 		return nil, err
 	}
 	if p.tok.Kind != TokEOF {
-		return nil, fmt.Errorf("gsql: unexpected %s after expression", p.tok)
+		return nil, Errorf(p.pos(), "unexpected %s after expression", p.tok)
 	}
 	return e, nil
 }
@@ -158,8 +159,11 @@ func (p *Parser) expectKeyword(kw string) error {
 	return nil
 }
 
+// pos returns the current token's source position.
+func (p *Parser) pos() Pos { return PosOf(p.tok) }
+
 func (p *Parser) expectedErr(what string) error {
-	return fmt.Errorf("gsql: line %d:%d: expected %s, found %s", p.tok.Line, p.tok.Col, what, p.tok)
+	return Errorf(p.pos(), "expected %s, found %s", what, p.tok)
 }
 
 // reservedAfterExpr lists keywords that end an expression or clause, so
@@ -173,10 +177,11 @@ var clauseKeywords = map[string]bool{
 }
 
 func (p *Parser) parseSelect() (*SelectStmt, error) {
+	selPos := p.pos()
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
-	stmt := &SelectStmt{}
+	stmt := &SelectStmt{Pos: selPos}
 	for {
 		item, err := p.parseSelectItem()
 		if err != nil {
@@ -198,17 +203,21 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 		return nil, err
 	}
 	stmt.From = from
+	clausePos := p.pos()
 	if ok, err := p.acceptKeyword("WHERE"); err != nil {
 		return nil, err
 	} else if ok {
+		stmt.WherePos = clausePos
 		stmt.Where, err = p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 	}
+	clausePos = p.pos()
 	if ok, err := p.acceptKeyword("GROUP"); err != nil {
 		return nil, err
 	} else if ok {
+		stmt.GroupPos = clausePos
 		if err := p.expectKeyword("BY"); err != nil {
 			return nil, err
 		}
@@ -226,26 +235,30 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 			}
 		}
 	}
+	clausePos = p.pos()
 	if ok, err := p.acceptKeyword("HAVING"); err != nil {
 		return nil, err
 	} else if ok {
+		stmt.HavingPos = clausePos
 		stmt.Having, err = p.parseExpr()
 		if err != nil {
 			return nil, err
 		}
 	}
+	clausePos = p.pos()
 	if ok, err := p.acceptKeyword("WINDOW"); err != nil {
 		return nil, err
 	} else if ok {
+		stmt.WindowPos = clausePos
 		if p.tok.Kind != TokNumber {
 			return nil, p.expectedErr("pane count after WINDOW")
 		}
 		n, err := strconv.ParseUint(p.tok.Text, 0, 32)
 		if err != nil || n == 0 {
-			return nil, fmt.Errorf("gsql: line %d:%d: WINDOW pane count must be a positive integer", p.tok.Line, p.tok.Col)
+			return nil, Errorf(p.pos(), "WINDOW pane count must be a positive integer")
 		}
 		if len(stmt.GroupBy) == 0 {
-			return nil, fmt.Errorf("gsql: WINDOW requires GROUP BY")
+			return nil, Errorf(clausePos, "WINDOW requires GROUP BY")
 		}
 		stmt.WindowPanes = n
 		if err := p.next(); err != nil {
@@ -256,6 +269,7 @@ func (p *Parser) parseSelect() (*SelectStmt, error) {
 }
 
 func (p *Parser) parseSelectItem() (SelectItem, error) {
+	pos := p.pos()
 	e, err := p.parseExpr()
 	if err != nil {
 		return SelectItem{}, err
@@ -264,10 +278,11 @@ func (p *Parser) parseSelectItem() (SelectItem, error) {
 	if err != nil {
 		return SelectItem{}, err
 	}
-	return SelectItem{Expr: e, Alias: alias}, nil
+	return SelectItem{Expr: e, Alias: alias, Pos: pos}, nil
 }
 
 func (p *Parser) parseGroupItem() (GroupItem, error) {
+	pos := p.pos()
 	e, err := p.parseExpr()
 	if err != nil {
 		return GroupItem{}, err
@@ -276,7 +291,7 @@ func (p *Parser) parseGroupItem() (GroupItem, error) {
 	if err != nil {
 		return GroupItem{}, err
 	}
-	return GroupItem{Expr: e, Alias: alias}, nil
+	return GroupItem{Expr: e, Alias: alias, Pos: pos}, nil
 }
 
 func (p *Parser) parseOptionalAlias() (string, error) {
@@ -360,7 +375,7 @@ func (p *Parser) parseTableRef() (TableRef, error) {
 	if p.tok.Kind != TokIdent {
 		return TableRef{}, p.expectedErr("stream or query name")
 	}
-	tr := TableRef{Name: p.tok.Text}
+	tr := TableRef{Name: p.tok.Text, Pos: p.pos()}
 	if err := p.next(); err != nil {
 		return TableRef{}, err
 	}
@@ -624,32 +639,32 @@ func (p *Parser) parsePrimary() (Expr, error) {
 }
 
 func (p *Parser) parseNumber() (Expr, error) {
-	text := p.tok.Text
+	text, pos := p.tok.Text, p.pos()
 	if err := p.next(); err != nil {
 		return nil, err
 	}
 	if strings.ContainsAny(text, ".") {
 		f, err := strconv.ParseFloat(text, 64)
 		if err != nil {
-			return nil, fmt.Errorf("gsql: bad float literal %q: %v", text, err)
+			return nil, Errorf(pos, "bad float literal %q: %v", text, err)
 		}
 		return &NumberLit{IsFloat: true, F: f, Text: text}, nil
 	}
 	u, err := strconv.ParseUint(text, 0, 64)
 	if err != nil {
-		return nil, fmt.Errorf("gsql: bad integer literal %q: %v", text, err)
+		return nil, Errorf(pos, "bad integer literal %q: %v", text, err)
 	}
 	return &NumberLit{U: u, Text: text}, nil
 }
 
 func (p *Parser) parseIdentExpr() (Expr, error) {
-	name := p.tok.Text
+	name, pos := p.tok.Text, p.pos()
 	if err := p.next(); err != nil {
 		return nil, err
 	}
 	switch p.tok.Kind {
 	case TokLParen:
-		return p.parseCall(name)
+		return p.parseCall(name, pos)
 	case TokDot:
 		if err := p.next(); err != nil {
 			return nil, err
@@ -664,7 +679,7 @@ func (p *Parser) parseIdentExpr() (Expr, error) {
 	}
 }
 
-func (p *Parser) parseCall(name string) (Expr, error) {
+func (p *Parser) parseCall(name string, pos Pos) (Expr, error) {
 	if err := p.next(); err != nil { // '('
 		return nil, err
 	}
@@ -696,17 +711,17 @@ func (p *Parser) parseCall(name string) (Expr, error) {
 		return nil, err
 	}
 	if !IsAggregateName(name) && !IsScalarFuncName(name) {
-		return nil, fmt.Errorf("gsql: unknown function %q", name)
+		return nil, Errorf(pos, "unknown function %q", name)
 	}
 	if spec, ok := LookupAgg(name); ok {
 		if call.Star && strings.ToUpper(name) != "COUNT" {
-			return nil, fmt.Errorf("gsql: %s(*) is only valid for COUNT", name)
+			return nil, Errorf(pos, "%s(*) is only valid for COUNT", name)
 		}
 		if spec.NeedsArg && len(call.Args) != 1 {
-			return nil, fmt.Errorf("gsql: %s requires exactly one argument", spec.Name)
+			return nil, Errorf(pos, "%s requires exactly one argument", spec.Name)
 		}
 		if !spec.NeedsArg && !call.Star && len(call.Args) > 1 {
-			return nil, fmt.Errorf("gsql: %s takes at most one argument", spec.Name)
+			return nil, Errorf(pos, "%s takes at most one argument", spec.Name)
 		}
 	}
 	return call, nil

@@ -1,0 +1,70 @@
+package gsql
+
+import "fmt"
+
+// Pos is a 1-based source position (line and column) in the query-set
+// text, taken from the token that begins the construct. The zero Pos
+// is "unknown" and renders as "-".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// IsValid reports whether p carries a real source position.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// String renders the position as "line:col", or "-" when unknown.
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// PosOf returns a token's position.
+func PosOf(t Token) Pos { return Pos{Line: t.Line, Col: t.Col} }
+
+// Error is a positioned gsql error. Every parse and lex failure is an
+// *Error so that callers (the plan builder, the lint engine, the cmds)
+// can render diagnostics in a uniform "line:col" format.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+// Error renders "gsql: line:col: msg", omitting the position when it
+// is unknown.
+func (e *Error) Error() string {
+	if !e.Pos.IsValid() {
+		return "gsql: " + e.Msg
+	}
+	return fmt.Sprintf("gsql: %s: %s", e.Pos, e.Msg)
+}
+
+// Errorf builds a positioned *Error.
+func Errorf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// ErrPos extracts the position carried by err, descending through
+// wrapped errors. It returns the zero Pos when err carries none. Both
+// gsql parse errors and plan build errors (which embed a gsql.Pos)
+// satisfy the posCarrier interface.
+func ErrPos(err error) Pos {
+	for err != nil {
+		if pc, ok := err.(posCarrier); ok {
+			return pc.SourcePos()
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return Pos{}
+		}
+		err = u.Unwrap()
+	}
+	return Pos{}
+}
+
+// SourcePos makes *Error a posCarrier.
+func (e *Error) SourcePos() Pos { return e.Pos }
+
+type posCarrier interface{ SourcePos() Pos }

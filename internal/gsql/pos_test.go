@@ -1,0 +1,86 @@
+package gsql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		name, src string
+		line, col int
+	}{
+		{"unexpected token", "query q:\nSELECT srcIP,, FROM TCP", 2, 14},
+		{"unknown function", "query q:\nSELECT NOPE(x) AS y FROM TCP", 2, 8},
+		{"window without group by", "query q:\nSELECT srcIP FROM TCP\nWINDOW 4", 3, 1},
+		{"duplicate query name", "query q:\nSELECT srcIP FROM TCP\n\nquery q:\nSELECT destIP FROM TCP", 4, 7},
+		{"unterminated string", "query q:\nSELECT 'abc FROM TCP", 2, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseQuerySet(tc.src)
+			if err == nil {
+				t.Fatal("want error")
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error %T is not *gsql.Error: %v", err, err)
+			}
+			pos := ErrPos(err)
+			if pos.Line != tc.line || pos.Col != tc.col {
+				t.Errorf("position %s, want %d:%d (error: %v)", pos, tc.line, tc.col, err)
+			}
+			if !strings.Contains(err.Error(), pos.String()) {
+				t.Errorf("message %q does not render the position", err)
+			}
+		})
+	}
+}
+
+func TestASTNodesCarryPositions(t *testing.T) {
+	qs, err := ParseQuerySet(`query q:
+SELECT tb, srcIP, COUNT(*) as cnt
+FROM TCP
+WHERE len > 40
+GROUP BY time/60 as tb, srcIP
+HAVING COUNT(*) > 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs.Queries[0]
+	if q.Pos != (Pos{Line: 1, Col: 7}) {
+		t.Errorf("query pos %s, want 1:7", q.Pos)
+	}
+	st := q.Stmt
+	if st.Pos != (Pos{Line: 2, Col: 1}) {
+		t.Errorf("SELECT pos %s, want 2:1", st.Pos)
+	}
+	if st.Items[1].Pos != (Pos{Line: 2, Col: 12}) {
+		t.Errorf("item pos %s, want 2:12", st.Items[1].Pos)
+	}
+	if st.From.Left.Pos != (Pos{Line: 3, Col: 6}) {
+		t.Errorf("table ref pos %s, want 3:6", st.From.Left.Pos)
+	}
+	if st.WherePos != (Pos{Line: 4, Col: 1}) {
+		t.Errorf("WHERE pos %s, want 4:1", st.WherePos)
+	}
+	if st.GroupPos != (Pos{Line: 5, Col: 1}) {
+		t.Errorf("GROUP pos %s, want 5:1", st.GroupPos)
+	}
+	if st.GroupBy[1].Pos != (Pos{Line: 5, Col: 25}) {
+		t.Errorf("group item pos %s, want 5:25", st.GroupBy[1].Pos)
+	}
+	if st.HavingPos != (Pos{Line: 6, Col: 1}) {
+		t.Errorf("HAVING pos %s, want 6:1", st.HavingPos)
+	}
+}
+
+func TestErrPosUnknown(t *testing.T) {
+	if p := ErrPos(errors.New("plain")); p.IsValid() {
+		t.Errorf("plain errors have no position, got %s", p)
+	}
+	if (Pos{}).String() != "-" {
+		t.Errorf("invalid position renders %q, want -", Pos{}.String())
+	}
+}

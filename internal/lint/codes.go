@@ -1,0 +1,87 @@
+package lint
+
+// CodeInfo describes one registered lint rule: its stable code, fixed
+// severity, a short title, and the paper section the rule encodes.
+type CodeInfo struct {
+	Code     string
+	Severity Severity
+	Title    string
+	Section  string
+}
+
+// Lint rule codes. Codes are append-only: a retired rule keeps its
+// number reserved so historical reports stay unambiguous.
+const (
+	// CodeLoadError reports that the query set failed to parse or the
+	// plan failed to build; the position is the parser's/builder's.
+	CodeLoadError = "QAP000"
+	// CodeUniversal marks nodes compatible with any partitioning.
+	CodeUniversal = "QAP001"
+	// CodeUnpartitionable marks nodes no stream partitioning can
+	// distribute, forcing central execution of the node and everything
+	// above it.
+	CodeUnpartitionable = "QAP002"
+	// CodeSetCompatible explains that a candidate partitioning set
+	// satisfies a node's scope rule.
+	CodeSetCompatible = "QAP003"
+	// CodeSetExcluded explains which scope rule excluded a candidate
+	// partitioning set for a node.
+	CodeSetExcluded = "QAP004"
+	// CodeWindowMisaligned flags a join whose two inputs tumble on
+	// different window expressions.
+	CodeWindowMisaligned = "QAP005"
+	// CodeHavingCentral notes that a HAVING clause evaluates centrally
+	// on the super-aggregate when the aggregation is split.
+	CodeHavingCentral = "QAP006"
+	// CodeHolisticAggregate flags holistic aggregates that block the
+	// sub/super-aggregate split.
+	CodeHolisticAggregate = "QAP007"
+	// CodeDeadColumn flags output columns no downstream query reads.
+	CodeDeadColumn = "QAP008"
+	// CodeNullPadded flags outer-join NULL-padded columns used in a
+	// downstream GROUP BY or join key.
+	CodeNullPadded = "QAP009"
+	// CodeKeyTypeMismatch flags equi-join key pairs of incompatible
+	// types.
+	CodeKeyTypeMismatch = "QAP010"
+	// CodeCrossEpochJoin notes a temporal join key offset by whole
+	// windows (the paper's flow_pairs pattern).
+	CodeCrossEpochJoin = "QAP011"
+)
+
+// Codes is the rule registry, ordered by code. The DESIGN.md table of
+// QAP codes mirrors this list; TestCodesRegistry keeps the two honest.
+var Codes = []CodeInfo{
+	{CodeLoadError, SevError, "query set failed to parse or plan", "3.2"},
+	{CodeUniversal, SevInfo, "node compatible with any partitioning", "3.4"},
+	{CodeUnpartitionable, SevWarning, "no compatible partitioning; node runs centrally", "3.5"},
+	{CodeSetCompatible, SevInfo, "candidate partitioning set compatible with node", "3.4-3.5"},
+	{CodeSetExcluded, SevInfo, "candidate partitioning set excluded by a scope rule", "3.5.1-3.5.3"},
+	{CodeWindowMisaligned, SevWarning, "tumbling windows misaligned across join inputs", "3.1, 3.5.1"},
+	{CodeHavingCentral, SevInfo, "HAVING evaluates centrally on the super-aggregate", "5.2.2"},
+	{CodeHolisticAggregate, SevWarning, "holistic aggregate blocks the sub/super split", "5.2.1-5.2.2"},
+	{CodeDeadColumn, SevWarning, "output column never read downstream", "5.4"},
+	{CodeNullPadded, SevWarning, "outer-join NULL-padded column in GROUP BY/join key", "5.3"},
+	{CodeKeyTypeMismatch, SevError, "equi-join key types incompatible", "5.3"},
+	{CodeCrossEpochJoin, SevInfo, "temporal join key offset by whole windows", "3.2"},
+}
+
+// codeSeverity returns the registered severity for a code.
+func codeSeverity(code string) Severity {
+	for _, c := range Codes {
+		if c.Code == code {
+			return c.Severity
+		}
+	}
+	return SevInfo
+}
+
+// codeSection returns the registered paper section for a code.
+func codeSection(code string) string {
+	for _, c := range Codes {
+		if c.Code == code {
+			return c.Section
+		}
+	}
+	return ""
+}

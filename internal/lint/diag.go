@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"qap/internal/gsql"
+	"qap/internal/obs"
+)
+
+// Severity orders diagnostics by importance.
+type Severity uint8
+
+// Severities, most severe first.
+const (
+	SevError Severity = iota
+	SevWarning
+	SevInfo
+)
+
+// String renders the severity in lower case.
+func (s Severity) String() string {
+	switch s {
+	case SevError:
+		return "error"
+	case SevWarning:
+		return "warning"
+	case SevInfo:
+		return "info"
+	default:
+		return fmt.Sprintf("severity(%d)", uint8(s))
+	}
+}
+
+// MarshalText encodes the severity as its lower-case name in JSON.
+func (s Severity) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText decodes a lower-case severity name.
+func (s *Severity) UnmarshalText(b []byte) error {
+	switch string(b) {
+	case "error":
+		*s = SevError
+	case "warning":
+		*s = SevWarning
+	case "info":
+		*s = SevInfo
+	default:
+		return fmt.Errorf("lint: unknown severity %q", b)
+	}
+	return nil
+}
+
+// Diagnostic is one lint finding. Field order is the JSON key order
+// (encoding/json emits struct fields in declaration order), following
+// the obs package's determinism conventions.
+type Diagnostic struct {
+	// Code is the stable QAP0xx rule code.
+	Code     string   `json:"code"`
+	Severity Severity `json:"severity"`
+	// Line/Col locate the construct in the query-set text (1-based);
+	// zero when the rule has no source anchor.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Query is the query (= logical DAG node) the finding is about.
+	Query   string `json:"query,omitempty"`
+	Message string `json:"message"`
+	// Section cites the paper section the rule encodes.
+	Section string `json:"section,omitempty"`
+}
+
+// Pos returns the diagnostic's source position.
+func (d Diagnostic) Pos() gsql.Pos { return gsql.Pos{Line: d.Line, Col: d.Col} }
+
+// String renders the diagnostic in the human one-line form:
+//
+//	3:1: warning QAP002: [heavy_flows] message (paper §3.5.2)
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s %s: ", d.Pos(), d.Severity, d.Code)
+	if d.Query != "" {
+		fmt.Fprintf(&b, "[%s] ", d.Query)
+	}
+	b.WriteString(d.Message)
+	if d.Section != "" {
+		fmt.Fprintf(&b, " (paper §%s)", d.Section)
+	}
+	return b.String()
+}
+
+// Report is a full lint run: schema-versioned, deterministically
+// ordered, rendered as JSON or human text.
+type Report struct {
+	SchemaVersion int          `json:"schema_version"`
+	Source        string       `json:"source,omitempty"` // input label, e.g. a file name
+	Diagnostics   []Diagnostic `json:"diagnostics"`
+	Errors        int          `json:"errors"`
+	Warnings      int          `json:"warnings"`
+	Infos         int          `json:"infos"`
+}
+
+// finish sorts the diagnostics into the canonical order and fills the
+// severity counters. Order: position, then code, then query, then
+// message — a total order, so the report is byte-identical run to run.
+func (r *Report) finish() {
+	sort.SliceStable(r.Diagnostics, func(i, j int) bool {
+		a, b := r.Diagnostics[i], r.Diagnostics[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		if a.Query != b.Query {
+			return a.Query < b.Query
+		}
+		return a.Message < b.Message
+	})
+	r.Errors, r.Warnings, r.Infos = 0, 0, 0
+	for _, d := range r.Diagnostics {
+		switch d.Severity {
+		case SevError:
+			r.Errors++
+		case SevWarning:
+			r.Warnings++
+		default:
+			r.Infos++
+		}
+	}
+	r.SchemaVersion = obs.SchemaVersion
+}
+
+// HasErrors reports whether any diagnostic has error severity.
+func (r *Report) HasErrors() bool { return r.Errors > 0 }
+
+// JSON renders the report as indented JSON with a trailing newline.
+// Key order follows struct declaration order and the diagnostics are
+// canonically sorted, so the encoding is deterministic.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Human renders the report as one line per diagnostic plus a summary
+// line.
+func (r *Report) Human() string {
+	var b strings.Builder
+	for _, d := range r.Diagnostics {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%d error(s), %d warning(s), %d info(s)\n", r.Errors, r.Warnings, r.Infos)
+	return b.String()
+}

@@ -1,0 +1,650 @@
+// Package lint is the static semantic analyzer for GSQL query sets:
+// a rule-based diagnostic engine over the parsed queries and the built
+// logical plan DAG. Each rule encodes a piece of the paper's static
+// reasoning — the Section 3 scope rules deciding which partitioning
+// sets are compatible with each node, and the Section 5 Opt_Eligible
+// conditions deciding which plan transformations are legal — and
+// reports it as a stable QAP0xx diagnostic with a source position.
+//
+// Diagnostics follow the obs package's determinism conventions: the
+// report is canonically sorted, JSON key order is struct declaration
+// order, and the output is byte-identical across runs and worker
+// counts (the engine never iterates a map into its output).
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/core"
+	"qap/internal/gsql"
+	"qap/internal/plan"
+	"qap/internal/schema"
+)
+
+// Options configures a lint run.
+type Options struct {
+	// Sets are the candidate partitioning sets every node is explained
+	// against. When empty they are derived from the analysis
+	// recommendation (if given) plus each node's recommended set.
+	Sets []core.Set
+	// Analysis optionally supplies a completed partitioning search so
+	// the recommended set is explained first.
+	Analysis *core.Result
+	// Source labels the input in the report (e.g. a file name).
+	Source string
+}
+
+// Run lints a built query DAG and returns the diagnostic report. The
+// query set qs supplies source positions; it may be nil when only
+// plan-level rules are wanted.
+func Run(g *plan.Graph, qs *gsql.QuerySet, opts Options) *Report {
+	r := &Report{Source: opts.Source, Diagnostics: []Diagnostic{}}
+	l := &linter{g: g, qs: qs, rep: r}
+	l.sets = candidateSets(g, opts)
+
+	for _, n := range g.Nodes {
+		if n.Kind == plan.KindSource {
+			continue
+		}
+		l.lintCompatibility(n)
+		switch n.Kind {
+		case plan.KindAggregate:
+			l.lintAggregate(n)
+		case plan.KindJoin:
+			l.lintJoin(n)
+		}
+		l.lintDeadColumns(n)
+	}
+	r.finish()
+	return r
+}
+
+// LoadErrorReport wraps a parse/build failure as a report with a
+// single QAP000 diagnostic at the error's position, so qap-lint can
+// render load failures in the same format as rule findings.
+func LoadErrorReport(source string, err error) *Report {
+	pos := gsql.ErrPos(err)
+	r := &Report{Source: source, Diagnostics: []Diagnostic{{
+		Code:     CodeLoadError,
+		Severity: SevError,
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Message:  err.Error(),
+		Section:  codeSection(CodeLoadError),
+	}}}
+	r.finish()
+	return r
+}
+
+// candidateSets derives the partitioning sets to explain, in a fixed
+// order: the analysis recommendation first, then each query node's
+// recommended set in DAG order, deduplicated by canonical text.
+func candidateSets(g *plan.Graph, opts Options) []core.Set {
+	if len(opts.Sets) > 0 {
+		return opts.Sets
+	}
+	var sets []core.Set
+	seen := make(map[string]bool)
+	add := func(s core.Set) {
+		if s.IsEmpty() || seen[s.String()] {
+			return
+		}
+		seen[s.String()] = true
+		sets = append(sets, s)
+	}
+	if opts.Analysis != nil {
+		add(opts.Analysis.Best)
+	}
+	for _, n := range g.Nodes {
+		if n.Kind == plan.KindSource {
+			continue
+		}
+		add(core.NodeRequirement(n).Set)
+	}
+	return sets
+}
+
+type linter struct {
+	g    *plan.Graph
+	qs   *gsql.QuerySet
+	rep  *Report
+	sets []core.Set
+}
+
+// emit appends a diagnostic with the code's registered severity and
+// default paper section.
+func (l *linter) emit(code string, pos gsql.Pos, query, format string, args ...any) {
+	l.emitSection(code, codeSection(code), pos, query, format, args...)
+}
+
+// emitSection appends a diagnostic citing a specific paper section.
+func (l *linter) emitSection(code, section string, pos gsql.Pos, query, format string, args ...any) {
+	l.rep.Diagnostics = append(l.rep.Diagnostics, Diagnostic{
+		Code:     code,
+		Severity: codeSeverity(code),
+		Line:     pos.Line,
+		Col:      pos.Col,
+		Query:    query,
+		Message:  fmt.Sprintf(format, args...),
+		Section:  section,
+	})
+}
+
+// ---- compatibility explanations (paper Sections 3.4-3.5) ----
+
+func (l *linter) lintCompatibility(n *plan.Node) {
+	req := core.NodeRequirement(n)
+	if req.Universal {
+		l.emit(CodeUniversal, n.Pos, n.QueryName,
+			"compatible with any partitioning: selections and projections apply per tuple, so any routing preserves the output")
+		return
+	}
+	if req.CompatSet.IsEmpty() {
+		l.emit(CodeUnpartitionable, n.Pos, n.QueryName,
+			"no stream partitioning is compatible (%s); this node and everything above it must execute centrally",
+			l.unpartitionableCause(n))
+	}
+	for _, ps := range l.sets {
+		if core.Compatible(ps, n) {
+			l.emitSection(CodeSetCompatible, l.ruleSection(n), n.Pos, n.QueryName,
+				"partitioning %s is compatible: %s", ps, l.compatibleCause(n))
+		} else {
+			l.emitSection(CodeSetExcluded, l.ruleSection(n), n.Pos, n.QueryName,
+				"partitioning %s excluded: %s", ps, l.exclusionCause(ps, n, req))
+		}
+	}
+}
+
+// ruleSection names the scope rule that governs a node's kind.
+func (l *linter) ruleSection(n *plan.Node) string {
+	switch n.Kind {
+	case plan.KindAggregate:
+		return "3.5.2"
+	case plan.KindJoin:
+		return "3.5.3"
+	default:
+		return "3.4"
+	}
+}
+
+// compatibleCause states which scope rule a compatible set satisfies.
+func (l *linter) compatibleCause(n *plan.Node) string {
+	switch n.Kind {
+	case plan.KindAggregate:
+		return "every element is a coarsening of a GROUP BY expression, so each group is confined to one partition (group-by coverage)"
+	case plan.KindJoin:
+		return "every element is a coarsening of a shared equi-join key expression, so matching tuples meet in one partition (join-key coverage)"
+	default:
+		return "the node places no constraint on routing"
+	}
+}
+
+// unpartitionableCause explains why a node's compatibility set is
+// empty, term by term.
+func (l *linter) unpartitionableCause(n *plan.Node) string {
+	var parts []string
+	switch n.Kind {
+	case plan.KindAggregate:
+		for _, g := range n.GroupBy {
+			lin := n.LineageOf(g.Expr)
+			switch {
+			case lin.Base == nil:
+				parts = append(parts, fmt.Sprintf("GROUP BY term %q does not trace to a scalar expression over one base attribute", g.Name))
+			case lin.Temporal && n.WindowPanes > 1:
+				parts = append(parts, fmt.Sprintf("GROUP BY term %q is the sliding window's temporal expression, excluded so group placement cannot change mid-window (Section 3.5.1)", g.Name))
+			}
+		}
+		if len(n.GroupBy) == 0 {
+			parts = append(parts, "the aggregation has no GROUP BY, so its single group spans every partition")
+		}
+	case plan.KindJoin:
+		for i := range n.LeftKeys {
+			ll := n.SideLineage(0, n.LeftKeys[i])
+			rl := n.SideLineage(1, n.RightKeys[i])
+			switch {
+			case ll.Base == nil || rl.Base == nil:
+				parts = append(parts, fmt.Sprintf("join key %s = %s does not trace to base attributes on both sides", n.LeftKeys[i], n.RightKeys[i]))
+			case !strings.EqualFold(ll.Base.Attr, rl.Base.Attr):
+				parts = append(parts, fmt.Sprintf("join key %s = %s relates different base attributes (%s vs %s)", n.LeftKeys[i], n.RightKeys[i], ll.Base.Attr, rl.Base.Attr))
+			case !equalNoQual(ll.Base.Expr, rl.Base.Expr):
+				parts = append(parts, fmt.Sprintf("join key %s = %s computes different expressions of %s on each side (%s vs %s), so no shared partitioning co-locates matches", n.LeftKeys[i], n.RightKeys[i], ll.Base.Attr, ll.Base.Expr, rl.Base.Expr))
+			}
+		}
+	}
+	if len(parts) == 0 {
+		return "no term yields a partitionable base expression"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// exclusionCause explains, element by element, which scope rule
+// rejected the candidate set for the node.
+func (l *linter) exclusionCause(ps core.Set, n *plan.Node, req core.Requirement) string {
+	if ps.IsEmpty() {
+		return "the empty set routes tuples arbitrarily and is compatible with nothing"
+	}
+	var parts []string
+	for _, e := range ps {
+		if coveredBy(e, req.CompatSet) {
+			continue
+		}
+		parts = append(parts, l.elemExclusion(e, n, req))
+	}
+	if len(parts) == 0 {
+		return "the set satisfies no scope rule"
+	}
+	return strings.Join(parts, "; ")
+}
+
+// coveredBy reports whether elem e is a coarsening of some element of
+// the requirement set (the per-element half of SubsetCompatible).
+func coveredBy(e core.Elem, req core.Set) bool {
+	for _, g := range req {
+		if core.IsCoarseningOf(e, g) {
+			return true
+		}
+	}
+	return false
+}
+
+// elemExclusion explains why one element of a candidate set fails the
+// node's scope rule.
+func (l *linter) elemExclusion(e core.Elem, n *plan.Node, req core.Requirement) string {
+	attrInReq := false
+	for _, g := range req.CompatSet {
+		if strings.EqualFold(g.Attr, e.Attr) {
+			attrInReq = true
+			break
+		}
+	}
+	switch n.Kind {
+	case plan.KindAggregate:
+		if attrInReq {
+			return fmt.Sprintf("element %s is not a coarsening of the node's expression over %s, so one group could span several partitions (group-by coverage, Section 3.5.2)", e, e.Attr)
+		}
+		// The attribute may appear only in temporal GROUP BY terms
+		// that the sliding-window rule excluded.
+		for _, g := range n.GroupBy {
+			lin := n.LineageOf(g.Expr)
+			if lin.Base != nil && lin.Temporal && n.WindowPanes > 1 && strings.EqualFold(lin.Base.Attr, e.Attr) {
+				return fmt.Sprintf("element %s matches only the sliding window's temporal expression %s, excluded so group placement cannot change mid-window (temporal exclusion, Section 3.5.1)", e, lin.Base.Expr)
+			}
+		}
+		return fmt.Sprintf("no GROUP BY expression is a function of %s, so grouping by it would split groups across partitions (group-by coverage, Section 3.5.2)", e.Attr)
+	case plan.KindJoin:
+		if attrInReq {
+			return fmt.Sprintf("element %s is not a coarsening of the node's shared join-key expression over %s (join-key coverage, Section 3.5.3)", e, e.Attr)
+		}
+		for i := range n.LeftKeys {
+			ll := n.SideLineage(0, n.LeftKeys[i])
+			rl := n.SideLineage(1, n.RightKeys[i])
+			if ll.Base == nil || rl.Base == nil {
+				continue
+			}
+			if (strings.EqualFold(ll.Base.Attr, e.Attr) || strings.EqualFold(rl.Base.Attr, e.Attr)) &&
+				!equalNoQual(ll.Base.Expr, rl.Base.Expr) {
+				return fmt.Sprintf("the join key relating %s computes different expressions on each side (%s vs %s); no shared partitioning expression co-locates matching tuples (join-key coverage, Section 3.5.3)", e.Attr, ll.Base.Expr, rl.Base.Expr)
+			}
+		}
+		return fmt.Sprintf("no equi-join key is computed from %s identically on both sides (join-key coverage, Section 3.5.3)", e.Attr)
+	default:
+		return fmt.Sprintf("element %s satisfies no scope rule", e)
+	}
+}
+
+// ---- aggregation rules (paper Section 5.2) ----
+
+func (l *linter) lintAggregate(n *plan.Node) {
+	var holistic []string
+	for _, a := range n.Aggs {
+		if !a.Spec.Splittable {
+			holistic = append(holistic, a.String())
+		}
+	}
+	if len(holistic) > 0 {
+		l.emit(CodeHolisticAggregate, n.Pos, n.QueryName,
+			"holistic aggregate %s cannot be split into sub- and super-aggregates; under an incompatible partitioning the whole aggregation (and its input stream) centralizes — consider APPROX_COUNT_DISTINCT",
+			strings.Join(holistic, ", "))
+	}
+	if n.Having != nil && len(holistic) == 0 && !core.NodeRequirement(n).Universal {
+		pos := l.havingPos(n)
+		l.emit(CodeHavingCentral, pos, n.QueryName,
+			"when this aggregation is split into sub- and super-aggregates, HAVING evaluates centrally on the super-aggregate: sub-aggregates stream unfiltered partial groups to the aggregator")
+	}
+}
+
+// havingPos finds the HAVING clause position of the node's defining
+// query, falling back to the node position.
+func (l *linter) havingPos(n *plan.Node) gsql.Pos {
+	if l.qs != nil {
+		if q, ok := l.qs.Lookup(n.QueryName); ok && q.Stmt.HavingPos.IsValid() {
+			return q.Stmt.HavingPos
+		}
+	}
+	return n.Pos
+}
+
+// ---- join rules (paper Sections 3.1 and 5.3) ----
+
+func (l *linter) lintJoin(n *plan.Node) {
+	l.lintWindowAlignment(n)
+	l.lintKeyTypes(n)
+	l.lintNullPadding(n)
+}
+
+// lintWindowAlignment checks that both join inputs tumble on the same
+// window expression (paper Section 3.1: a join matches tuples within
+// the same time window). A pair offset by a whole number of windows —
+// the paper's flow_pairs S1.tb = S2.tb+1 — is aligned, and reported
+// as an informational cross-epoch join.
+func (l *linter) lintWindowAlignment(n *plan.Node) {
+	if n.TemporalKey < 0 {
+		return
+	}
+	ll := n.SideLineage(0, n.LeftKeys[n.TemporalKey])
+	rl := n.SideLineage(1, n.RightKeys[n.TemporalKey])
+	if ll.Base == nil || rl.Base == nil {
+		return
+	}
+	if equalNoQual(ll.Base.Expr, rl.Base.Expr) {
+		return
+	}
+	lbase, loff := stripOffset(ll.Base.Expr)
+	rbase, roff := stripOffset(rl.Base.Expr)
+	if equalNoQual(lbase, rbase) {
+		l.emit(CodeCrossEpochJoin, n.Pos, n.QueryName,
+			"temporal join key offsets the window index (%s vs %s, offset %+d): each result pairs tuples from windows %d apart",
+			ll.Base.Expr, rl.Base.Expr, loff-roff, abs64(loff-roff))
+		return
+	}
+	l.emit(CodeWindowMisaligned, n.Pos, n.QueryName,
+		"join inputs tumble on different window expressions (%s vs %s): window boundaries disagree, so matching tuples can fall into windows that never align",
+		ll.Base.Expr, rl.Base.Expr)
+}
+
+// lintKeyTypes flags equi-join key pairs whose two sides have
+// incompatible types: the equality can never hold, and under
+// NULL-padding projections a schema mismatch silently drops matches.
+func (l *linter) lintKeyTypes(n *plan.Node) {
+	for i := range n.LeftKeys {
+		lt, lok := keyType(n.Inputs[0], n.LeftKeys[i])
+		rt, rok := keyType(n.Inputs[1], n.RightKeys[i])
+		if !lok || !rok {
+			continue
+		}
+		if (lt == schema.TString) != (rt == schema.TString) {
+			l.emit(CodeKeyTypeMismatch, n.Pos, n.QueryName,
+				"join key %s = %s compares incompatible types (%v vs %v); the equality can never hold",
+				n.LeftKeys[i], n.RightKeys[i], lt, rt)
+		}
+	}
+}
+
+// keyType resolves the coarse type of a join key expression when it is
+// a plain column reference into the given input.
+func keyType(in *plan.Node, e gsql.Expr) (schema.Type, bool) {
+	ref, ok := e.(*gsql.ColumnRef)
+	if !ok {
+		return 0, false
+	}
+	for _, c := range in.OutCols {
+		if strings.EqualFold(c.Name, ref.Name) {
+			return c.Type, true
+		}
+	}
+	return 0, false
+}
+
+// lintNullPadding flags outer-join output columns that the padded side
+// supplies — they are NULL on padding rows — when a downstream query
+// groups or joins on them: every padding row lands in the NULL group
+// or never matches.
+func (l *linter) lintNullPadding(n *plan.Node) {
+	var padded []string
+	for _, p := range n.JoinProjs {
+		side, mixed := projSide(n, p.Expr)
+		if mixed || side < 0 {
+			continue
+		}
+		isPadded := false
+		switch n.JoinType {
+		case gsql.JoinLeftOuter:
+			isPadded = side == 1
+		case gsql.JoinRightOuter:
+			isPadded = side == 0
+		case gsql.JoinFullOuter:
+			isPadded = true
+		}
+		if isPadded {
+			padded = append(padded, p.Name)
+		}
+	}
+	if len(padded) == 0 {
+		return
+	}
+	for _, parent := range n.Parents {
+		for _, e := range groupingExprs(parent) {
+			gsql.WalkExpr(e, func(x gsql.Expr) bool {
+				ref, ok := x.(*gsql.ColumnRef)
+				if !ok {
+					return true
+				}
+				for _, name := range padded {
+					if strings.EqualFold(ref.Name, name) && refReaches(parent, n, ref) {
+						l.emit(CodeNullPadded, parent.Pos, parent.QueryName,
+							"column %q is NULL-padded by the %s in query %s; grouping or joining on it collects every padding row into the NULL group",
+							name, n.JoinType, n.QueryName)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// projSide classifies which join input a projection reads: 0 left,
+// 1 right, -1 none; mixed is true when it reads both.
+func projSide(n *plan.Node, e gsql.Expr) (side int, mixed bool) {
+	side = -1
+	gsql.WalkExpr(e, func(x gsql.Expr) bool {
+		ref, ok := x.(*gsql.ColumnRef)
+		if !ok {
+			return true
+		}
+		s := refSide(n, ref)
+		if s < 0 {
+			return true
+		}
+		if side >= 0 && side != s {
+			mixed = true
+		}
+		side = s
+		return true
+	})
+	return side, mixed
+}
+
+// refSide resolves which input of a join a column reference reads.
+func refSide(n *plan.Node, ref *gsql.ColumnRef) int {
+	if ref.Qualifier != "" {
+		switch {
+		case strings.EqualFold(ref.Qualifier, n.LeftBind):
+			return 0
+		case strings.EqualFold(ref.Qualifier, n.RightBind):
+			return 1
+		}
+		return -1
+	}
+	for side, in := range n.Inputs {
+		for _, c := range in.OutCols {
+			if strings.EqualFold(c.Name, ref.Name) {
+				return side
+			}
+		}
+	}
+	return -1
+}
+
+// groupingExprs returns the expressions a node uses for grouping or
+// key matching — the places a NULL-padded input column is hazardous.
+func groupingExprs(n *plan.Node) []gsql.Expr {
+	var out []gsql.Expr
+	switch n.Kind {
+	case plan.KindAggregate:
+		for _, g := range n.GroupBy {
+			out = append(out, g.Expr)
+		}
+	case plan.KindJoin:
+		out = append(out, n.LeftKeys...)
+		out = append(out, n.RightKeys...)
+	}
+	return out
+}
+
+// refReaches reports whether parent's column reference ref resolves to
+// child's output (rather than to the other input of a join parent).
+func refReaches(parent, child *plan.Node, ref *gsql.ColumnRef) bool {
+	for i, in := range parent.Inputs {
+		if in != child {
+			continue
+		}
+		bind := parent.InBind
+		if parent.Kind == plan.KindJoin {
+			if i == 0 {
+				bind = parent.LeftBind
+			} else {
+				bind = parent.RightBind
+			}
+		}
+		if ref.Qualifier == "" || strings.EqualFold(ref.Qualifier, bind) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- dead columns (paper Section 5.4) ----
+
+// lintDeadColumns flags output columns of a non-root query that no
+// downstream query reads: the paper's select/project push exists
+// precisely because shipping unread columns wastes network bandwidth.
+func (l *linter) lintDeadColumns(n *plan.Node) {
+	if len(n.Parents) == 0 || len(n.OutCols) == 0 {
+		return
+	}
+	used := make([]bool, len(n.OutCols))
+	for _, p := range n.Parents {
+		for _, e := range inputExprs(p) {
+			gsql.WalkExpr(e, func(x gsql.Expr) bool {
+				ref, ok := x.(*gsql.ColumnRef)
+				if !ok {
+					return true
+				}
+				if !refReaches(p, n, ref) {
+					return true
+				}
+				for ci, c := range n.OutCols {
+					if strings.EqualFold(c.Name, ref.Name) {
+						used[ci] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	for ci, c := range n.OutCols {
+		if !used[ci] {
+			l.emit(CodeDeadColumn, n.Pos, n.QueryName,
+				"output column %q is never read by any downstream query; it is shipped to the aggregator for nothing — project it away",
+				c.Name)
+		}
+	}
+}
+
+// inputExprs returns every expression of a node that reads its inputs
+// (post-aggregation expressions read group/aggregate names, not input
+// columns, and are deliberately excluded).
+func inputExprs(n *plan.Node) []gsql.Expr {
+	var out []gsql.Expr
+	add := func(e gsql.Expr) {
+		if e != nil {
+			out = append(out, e)
+		}
+	}
+	switch n.Kind {
+	case plan.KindSelectProject:
+		add(n.Filter)
+		for _, p := range n.Projs {
+			add(p.Expr)
+		}
+	case plan.KindAggregate:
+		add(n.PreFilter)
+		for _, g := range n.GroupBy {
+			add(g.Expr)
+		}
+		for _, a := range n.Aggs {
+			add(a.Arg)
+		}
+	case plan.KindJoin:
+		add(n.LeftFilter)
+		add(n.RightFilter)
+		add(n.Residual)
+		for _, e := range n.LeftKeys {
+			add(e)
+		}
+		for _, e := range n.RightKeys {
+			add(e)
+		}
+		for _, p := range n.JoinProjs {
+			add(p.Expr)
+		}
+	}
+	return out
+}
+
+// ---- expression helpers ----
+
+// equalNoQual compares expressions ignoring column qualifiers, the
+// same equivalence the scope rules use (core's exprEqualNoQual).
+func equalNoQual(a, b gsql.Expr) bool {
+	return gsql.EqualExpr(stripQual(a), stripQual(b))
+}
+
+func stripQual(e gsql.Expr) gsql.Expr {
+	c := gsql.CloneExpr(e)
+	gsql.WalkExpr(c, func(x gsql.Expr) bool {
+		if ref, ok := x.(*gsql.ColumnRef); ok {
+			ref.Qualifier = ""
+		}
+		return true
+	})
+	return c
+}
+
+// stripOffset removes a top-level "+ c" / "- c" integer offset from an
+// expression, returning the base and the signed offset.
+func stripOffset(e gsql.Expr) (gsql.Expr, int64) {
+	bin, ok := e.(*gsql.Binary)
+	if !ok || (bin.Op != gsql.OpAdd && bin.Op != gsql.OpSub) {
+		return e, 0
+	}
+	if num, ok := bin.R.(*gsql.NumberLit); ok && !num.IsFloat {
+		off := int64(num.U)
+		if bin.Op == gsql.OpSub {
+			off = -off
+		}
+		return bin.L, off
+	}
+	if num, ok := bin.L.(*gsql.NumberLit); ok && !num.IsFloat && bin.Op == gsql.OpAdd {
+		return bin.R, int64(num.U)
+	}
+	return e, 0
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

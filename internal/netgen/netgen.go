@@ -8,7 +8,7 @@
 package netgen
 
 import (
-	"math/rand"
+	"math/rand" //qap:allow walltime -- generator is explicitly seeded per trace
 	"sort"
 
 	"qap/internal/exec"

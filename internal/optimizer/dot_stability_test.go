@@ -1,0 +1,65 @@
+package optimizer
+
+import (
+	"testing"
+
+	"qap/internal/core"
+	"qap/internal/gsql"
+	"qap/internal/plan"
+	"qap/internal/schema"
+)
+
+const dotQuerySet = `
+query flows:
+SELECT tb, srcIP, destIP, COUNT(*) as cnt
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP
+
+query heavy_flows:
+SELECT tb, srcIP, max(cnt) as max_cnt
+FROM flows
+GROUP BY tb, srcIP
+
+query flow_pairs:
+SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt
+FROM heavy_flows S1, heavy_flows S2
+WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1`
+
+// TestDOTByteStable asserts both DOT renderings — the logical graph's
+// and the physical plan's — are byte-identical across independent
+// builds from the same text: map-iteration order must never reach the
+// output.
+func TestDOTByteStable(t *testing.T) {
+	render := func() (string, string) {
+		cat, err := schema.Parse(`TCP(time increasing, srcIP, destIP, srcPort, destPort, len, flags)`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := gsql.ParseQuerySet(dotQuerySet)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := plan.Build(cat, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Build(g, core.MustParseSet("srcIP"), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.DOT(), p.DOT()
+	}
+	logical, physical := render()
+	if logical == "" || physical == "" {
+		t.Fatal("empty DOT output")
+	}
+	for i := 0; i < 10; i++ {
+		l, p := render()
+		if l != logical {
+			t.Fatalf("logical DOT differs on rebuild %d", i)
+		}
+		if p != physical {
+			t.Fatalf("physical DOT differs on rebuild %d", i)
+		}
+	}
+}

@@ -26,7 +26,7 @@ func Build(cat *schema.Catalog, qs *gsql.QuerySet) (*Graph, error) {
 		}
 		key := strings.ToLower(q.Name)
 		if _, dup := b.g.byName[key]; dup {
-			return nil, fmt.Errorf("plan: query %q conflicts with an existing stream or query name", q.Name)
+			return nil, errf(q.Name, q.Pos, "name conflicts with an existing stream or query")
 		}
 		b.g.byName[key] = n
 	}
@@ -57,13 +57,13 @@ func (b *builder) newNode(kind Kind, name string) *Node {
 
 // input resolves a FROM reference to a node: an earlier query by name,
 // or a base stream (creating/reusing its source node).
-func (b *builder) input(ref gsql.TableRef) (*Node, error) {
+func (b *builder) input(queryName string, ref gsql.TableRef) (*Node, error) {
 	if n, ok := b.g.byName[strings.ToLower(ref.Name)]; ok {
 		return n, nil
 	}
 	s, ok := b.cat.Stream(ref.Name)
 	if !ok {
-		return nil, fmt.Errorf("plan: FROM %s: no such stream or query", ref.Name)
+		return nil, errf(queryName, ref.Pos, "FROM %s: no such stream or query", ref.Name)
 	}
 	// Reuse an existing source node for the stream.
 	for _, n := range b.g.Nodes {
@@ -106,7 +106,7 @@ func (b *builder) buildQuery(q *gsql.Query) (*Node, error) {
 	}
 	switch {
 	case isJoin && isAgg:
-		return nil, fmt.Errorf("plan: query %s: a basic node cannot both join and aggregate; split it into two queries", q.Name)
+		return nil, errf(q.Name, stmt.Pos, "a basic node cannot both join and aggregate; split it into two queries")
 	case isJoin:
 		return b.buildJoin(q)
 	case isAgg:
@@ -125,7 +125,14 @@ type binding struct {
 
 type colEnv struct {
 	queryName string
+	pos       gsql.Pos // position errors are reported at (clause or query start)
 	bindings  []binding
+}
+
+// at returns a copy of the environment reporting errors at pos.
+func (e colEnv) at(pos gsql.Pos) colEnv {
+	e.pos = pos
+	return e
 }
 
 // resolve locates a column reference; it returns the binding index,
@@ -139,10 +146,10 @@ func (e colEnv) resolve(ref *gsql.ColumnRef) (int, int, ColDef, error) {
 						return bi, ci, c, nil
 					}
 				}
-				return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: %s has no column %q", e.queryName, bd.name, ref.Name)
+				return 0, 0, ColDef{}, errf(e.queryName, e.pos, "%s has no column %q", bd.name, ref.Name)
 			}
 		}
-		return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: unknown input %q in reference %s", e.queryName, ref.Qualifier, ref)
+		return 0, 0, ColDef{}, errf(e.queryName, e.pos, "unknown input %q in reference %s", ref.Qualifier, ref)
 	}
 	foundBi, foundCi := -1, -1
 	var found ColDef
@@ -150,14 +157,14 @@ func (e colEnv) resolve(ref *gsql.ColumnRef) (int, int, ColDef, error) {
 		for ci, c := range bd.cols {
 			if strings.EqualFold(c.Name, ref.Name) {
 				if foundBi >= 0 {
-					return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: column %q is ambiguous", e.queryName, ref.Name)
+					return 0, 0, ColDef{}, errf(e.queryName, e.pos, "column %q is ambiguous", ref.Name)
 				}
 				foundBi, foundCi, found = bi, ci, c
 			}
 		}
 	}
 	if foundBi < 0 {
-		return 0, 0, ColDef{}, fmt.Errorf("plan: query %s: unknown column %q", e.queryName, ref.Name)
+		return 0, 0, ColDef{}, errf(e.queryName, e.pos, "unknown column %q", ref.Name)
 	}
 	return foundBi, foundCi, found, nil
 }
@@ -176,7 +183,7 @@ func (e colEnv) validate(expr gsql.Expr, clause string) error {
 			_, _, _, err = e.resolve(t)
 		case *gsql.FuncCall:
 			if gsql.IsAggregateName(t.Name) {
-				err = fmt.Errorf("plan: query %s: aggregate %s not allowed in %s", e.queryName, t.Name, clause)
+				err = errf(e.queryName, e.pos, "aggregate %s not allowed in %s", t.Name, clause)
 				return false
 			}
 		}
@@ -252,7 +259,7 @@ func (e colEnv) lineageOf(expr gsql.Expr) Lineage {
 		return Lineage{Temporal: temporal}
 	}
 	var br BaseRef
-	for k := range seen {
+	for k := range seen { //qap:allow maprange -- single-element map, guarded above
 		br.Stream, br.Attr = k.stream, k.attr
 	}
 	br.Expr = base
@@ -409,25 +416,26 @@ func connect(child, parent *Node) {
 
 func (b *builder) buildSelectProject(q *gsql.Query) (*Node, error) {
 	stmt := q.Stmt
-	in, err := b.input(stmt.From.Left)
+	in, err := b.input(q.Name, stmt.From.Left)
 	if err != nil {
 		return nil, err
 	}
-	env := colEnv{queryName: q.Name, bindings: []binding{{stmt.From.Left.Binding(), in.OutCols}}}
+	env := colEnv{queryName: q.Name, pos: q.Pos, bindings: []binding{{stmt.From.Left.Binding(), in.OutCols}}}
 	if stmt.Having != nil {
-		return nil, fmt.Errorf("plan: query %s: HAVING requires GROUP BY", q.Name)
+		return nil, errf(q.Name, stmt.HavingPos, "HAVING requires GROUP BY")
 	}
 	if stmt.Where != nil {
-		if err := env.validate(stmt.Where, "WHERE"); err != nil {
+		if err := env.at(stmt.WherePos).validate(stmt.Where, "WHERE"); err != nil {
 			return nil, err
 		}
 	}
 	names := uniquifyNames(stmt.Items)
 	n := b.newNode(KindSelectProject, q.Name)
+	n.Pos = q.Pos
 	n.InBind = stmt.From.Left.Binding()
 	n.Filter = stmt.Where
 	for i, it := range stmt.Items {
-		if err := env.validate(it.Expr, "SELECT"); err != nil {
+		if err := env.at(it.Pos).validate(it.Expr, "SELECT"); err != nil {
 			return nil, err
 		}
 		n.Projs = append(n.Projs, NamedExpr{Name: names[i], Expr: it.Expr})
@@ -445,17 +453,18 @@ func (b *builder) buildSelectProject(q *gsql.Query) (*Node, error) {
 
 func (b *builder) buildAggregate(q *gsql.Query) (*Node, error) {
 	stmt := q.Stmt
-	in, err := b.input(stmt.From.Left)
+	in, err := b.input(q.Name, stmt.From.Left)
 	if err != nil {
 		return nil, err
 	}
-	env := colEnv{queryName: q.Name, bindings: []binding{{stmt.From.Left.Binding(), in.OutCols}}}
+	env := colEnv{queryName: q.Name, pos: q.Pos, bindings: []binding{{stmt.From.Left.Binding(), in.OutCols}}}
 
 	n := b.newNode(KindAggregate, q.Name)
+	n.Pos = q.Pos
 	n.InBind = stmt.From.Left.Binding()
 	n.WindowPanes = stmt.WindowPanes
 	if stmt.Where != nil {
-		if err := env.validate(stmt.Where, "WHERE"); err != nil {
+		if err := env.at(stmt.WherePos).validate(stmt.Where, "WHERE"); err != nil {
 			return nil, err
 		}
 		n.PreFilter = stmt.Where
@@ -463,20 +472,20 @@ func (b *builder) buildAggregate(q *gsql.Query) (*Node, error) {
 
 	// Group columns.
 	for _, g := range stmt.GroupBy {
-		if err := env.validate(g.Expr, "GROUP BY"); err != nil {
+		if err := env.at(g.Pos).validate(g.Expr, "GROUP BY"); err != nil {
 			return nil, err
 		}
 		name := g.Alias
 		if name == "" {
 			ref, ok := g.Expr.(*gsql.ColumnRef)
 			if !ok {
-				return nil, fmt.Errorf("plan: query %s: GROUP BY expression %s must have an alias", q.Name, g.Expr)
+				return nil, errf(q.Name, g.Pos, "GROUP BY expression %s must have an alias", g.Expr)
 			}
 			name = ref.Name
 		}
 		for _, existing := range n.GroupBy {
 			if strings.EqualFold(existing.Name, name) {
-				return nil, fmt.Errorf("plan: query %s: duplicate GROUP BY name %q", q.Name, name)
+				return nil, errf(q.Name, g.Pos, "duplicate GROUP BY name %q", name)
 			}
 		}
 		lin := env.lineageOf(g.Expr)
@@ -484,10 +493,11 @@ func (b *builder) buildAggregate(q *gsql.Query) (*Node, error) {
 	}
 
 	// Rewrite select items and HAVING over group names + aggregates.
-	rw := &aggRewriter{b: b, q: q, env: env, node: n}
+	rw := &aggRewriter{b: b, q: q, env: env, node: n, pos: q.Pos}
 	names := uniquifyNames(stmt.Items)
 	var posts []NamedExpr
 	for i, it := range stmt.Items {
+		rw.pos = it.Pos
 		e, err := rw.rewrite(it.Expr, it.Alias)
 		if err != nil {
 			return nil, err
@@ -495,6 +505,7 @@ func (b *builder) buildAggregate(q *gsql.Query) (*Node, error) {
 		posts = append(posts, NamedExpr{Name: names[i], Expr: e})
 	}
 	if stmt.Having != nil {
+		rw.pos = stmt.HavingPos
 		h, err := rw.rewrite(stmt.Having, "")
 		if err != nil {
 			return nil, err
@@ -505,11 +516,11 @@ func (b *builder) buildAggregate(q *gsql.Query) (*Node, error) {
 
 	if n.WindowPanes > 1 {
 		if n.EpochGroupCol() < 0 {
-			return nil, fmt.Errorf("plan: query %s: WINDOW requires a temporal GROUP BY term to define the pane", q.Name)
+			return nil, errf(q.Name, stmt.WindowPos, "WINDOW requires a temporal GROUP BY term to define the pane")
 		}
 		for _, a := range n.Aggs {
 			if !a.Spec.Splittable {
-				return nil, fmt.Errorf("plan: query %s: WINDOW cannot merge holistic aggregate %s across panes", q.Name, a.Spec.Name)
+				return nil, errf(q.Name, stmt.WindowPos, "WINDOW cannot merge holistic aggregate %s across panes", a.Spec.Name)
 			}
 		}
 	}
@@ -564,6 +575,7 @@ type aggRewriter struct {
 	q    *gsql.Query
 	env  colEnv
 	node *Node
+	pos  gsql.Pos // position of the select item / clause being rewritten
 }
 
 func (rw *aggRewriter) rewrite(e gsql.Expr, alias string) (gsql.Expr, error) {
@@ -581,7 +593,7 @@ func (rw *aggRewriter) rewrite(e gsql.Expr, alias string) (gsql.Expr, error) {
 				return &gsql.ColumnRef{Name: g.Name}, nil
 			}
 		}
-		return nil, fmt.Errorf("plan: query %s: column %s must appear in GROUP BY or inside an aggregate", rw.q.Name, t)
+		return nil, errf(rw.q.Name, rw.pos, "column %s must appear in GROUP BY or inside an aggregate", t)
 	case *gsql.NumberLit, *gsql.StringLit, *gsql.ParamRef:
 		return gsql.CloneExpr(e), nil
 	case *gsql.Unary:
@@ -618,7 +630,7 @@ func (rw *aggRewriter) rewrite(e gsql.Expr, alias string) (gsql.Expr, error) {
 		}
 		return &gsql.ColumnRef{Name: name}, nil
 	default:
-		return nil, fmt.Errorf("plan: query %s: unsupported expression %T", rw.q.Name, e)
+		return nil, errf(rw.q.Name, rw.pos, "unsupported expression %T", e)
 	}
 }
 
@@ -628,9 +640,9 @@ func (rw *aggRewriter) addAgg(call *gsql.FuncCall, alias string) (string, error)
 	if !call.Star && len(call.Args) == 1 {
 		arg = call.Args[0]
 		if gsql.HasAggregate(arg) {
-			return "", fmt.Errorf("plan: query %s: nested aggregate in %s", rw.q.Name, call)
+			return "", errf(rw.q.Name, rw.pos, "nested aggregate in %s", call)
 		}
-		if err := rw.env.validate(arg, "aggregate argument"); err != nil {
+		if err := rw.env.at(rw.pos).validate(arg, "aggregate argument"); err != nil {
 			return "", err
 		}
 	}
@@ -658,23 +670,24 @@ func (rw *aggRewriter) addAgg(call *gsql.FuncCall, alias string) (string, error)
 
 func (b *builder) buildJoin(q *gsql.Query) (*Node, error) {
 	stmt := q.Stmt
-	left, err := b.input(stmt.From.Left)
+	left, err := b.input(q.Name, stmt.From.Left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := b.input(stmt.From.Right)
+	right, err := b.input(q.Name, stmt.From.Right)
 	if err != nil {
 		return nil, err
 	}
 	lb, rb := stmt.From.Left.Binding(), stmt.From.Right.Binding()
 	if strings.EqualFold(lb, rb) {
-		return nil, fmt.Errorf("plan: query %s: join inputs must have distinct bindings (got %q twice)", q.Name, lb)
+		return nil, errf(q.Name, stmt.From.Right.Pos, "join inputs must have distinct bindings (got %q twice)", lb)
 	}
-	leftEnv := colEnv{queryName: q.Name, bindings: []binding{{lb, left.OutCols}}}
-	rightEnv := colEnv{queryName: q.Name, bindings: []binding{{rb, right.OutCols}}}
-	combined := colEnv{queryName: q.Name, bindings: []binding{{lb, left.OutCols}, {rb, right.OutCols}}}
+	leftEnv := colEnv{queryName: q.Name, pos: q.Pos, bindings: []binding{{lb, left.OutCols}}}
+	rightEnv := colEnv{queryName: q.Name, pos: q.Pos, bindings: []binding{{rb, right.OutCols}}}
+	combined := colEnv{queryName: q.Name, pos: q.Pos, bindings: []binding{{lb, left.OutCols}, {rb, right.OutCols}}}
 
 	n := b.newNode(KindJoin, q.Name)
+	n.Pos = q.Pos
 	n.JoinType = stmt.From.Join
 	n.LeftBind, n.RightBind = lb, rb
 
@@ -707,8 +720,12 @@ func (b *builder) buildJoin(q *gsql.Query) (*Node, error) {
 	}
 
 	leftIdx, rightIdx := 0, 1
+	predPos := stmt.WherePos
+	if stmt.From.On != nil || !predPos.IsValid() {
+		predPos = q.Pos
+	}
 	for _, c := range conjuncts {
-		if err := combined.validate(c, "WHERE"); err != nil {
+		if err := combined.at(predPos).validate(c, "WHERE"); err != nil {
 			return nil, err
 		}
 		used, err := combined.sidesUsed(c)
@@ -741,10 +758,10 @@ func (b *builder) buildJoin(q *gsql.Query) (*Node, error) {
 		}
 	}
 	if len(n.LeftKeys) == 0 {
-		return nil, fmt.Errorf("plan: query %s: join requires at least one equality predicate between the inputs", q.Name)
+		return nil, errf(q.Name, predPos, "join requires at least one equality predicate between the inputs")
 	}
 	if n.JoinType != gsql.JoinInner && n.Residual != nil {
-		return nil, fmt.Errorf("plan: query %s: outer join with non-equality cross predicates is not supported", q.Name)
+		return nil, errf(q.Name, predPos, "outer join with non-equality cross predicates is not supported")
 	}
 
 	// Identify the temporal key pair (window alignment).
@@ -757,16 +774,16 @@ func (b *builder) buildJoin(q *gsql.Query) (*Node, error) {
 		}
 	}
 	if n.TemporalKey < 0 {
-		return nil, fmt.Errorf("plan: query %s: tumbling-window join requires an equality predicate relating the temporal attributes of both inputs", q.Name)
+		return nil, errf(q.Name, predPos, "tumbling-window join requires an equality predicate relating the temporal attributes of both inputs")
 	}
 
 	// Projections.
 	names := uniquifyNames(stmt.Items)
 	for i, it := range stmt.Items {
 		if gsql.HasAggregate(it.Expr) {
-			return nil, fmt.Errorf("plan: query %s: aggregate in join select list; aggregate in a separate query", q.Name)
+			return nil, errf(q.Name, it.Pos, "aggregate in join select list; aggregate in a separate query")
 		}
-		if err := combined.validate(it.Expr, "SELECT"); err != nil {
+		if err := combined.at(it.Pos).validate(it.Expr, "SELECT"); err != nil {
 			return nil, err
 		}
 		n.JoinProjs = append(n.JoinProjs, NamedExpr{Name: names[i], Expr: it.Expr})

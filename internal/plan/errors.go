@@ -1,0 +1,40 @@
+package plan
+
+import (
+	"fmt"
+
+	"qap/internal/gsql"
+)
+
+// Error is a positioned plan build error. It carries the query being
+// built and the source position of the offending construct in the
+// query-set text, so builder errors and lint diagnostics render the
+// same "line:col" positions.
+type Error struct {
+	Query string   // query being built; "" for set-level errors
+	Pos   gsql.Pos // source position; zero when unknown
+	Msg   string
+}
+
+// Error renders "plan: line:col: query NAME: msg", omitting the parts
+// that are unknown.
+func (e *Error) Error() string {
+	switch {
+	case e.Query != "" && e.Pos.IsValid():
+		return fmt.Sprintf("plan: %s: query %s: %s", e.Pos, e.Query, e.Msg)
+	case e.Query != "":
+		return fmt.Sprintf("plan: query %s: %s", e.Query, e.Msg)
+	case e.Pos.IsValid():
+		return fmt.Sprintf("plan: %s: %s", e.Pos, e.Msg)
+	default:
+		return "plan: " + e.Msg
+	}
+}
+
+// SourcePos exposes the position to gsql.ErrPos.
+func (e *Error) SourcePos() gsql.Pos { return e.Pos }
+
+// errf builds a positioned *Error.
+func errf(query string, pos gsql.Pos, format string, args ...any) *Error {
+	return &Error{Query: query, Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,112 @@
+package plan
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/schema"
+)
+
+func buildErr(t *testing.T, queries string) error {
+	t.Helper()
+	cat := schema.MustParse(`TCP(time increasing, srcIP, destIP, len)`)
+	qs, err := gsql.ParseQuerySet(queries)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Build(cat, qs)
+	if err == nil {
+		t.Fatal("want build error")
+	}
+	return err
+}
+
+func TestBuilderErrorsCarryPositions(t *testing.T) {
+	cases := []struct {
+		name, queries string
+		line, col     int
+		contains      string
+	}{
+		{
+			"unknown stream",
+			"query q:\nSELECT srcIP FROM NOPE",
+			2, 19, "no such stream or query",
+		},
+		{
+			"unknown column",
+			"query q:\nSELECT srcIP, wat AS w\nFROM TCP",
+			2, 15, "wat",
+		},
+		{
+			"having without group by",
+			"query q:\nSELECT srcIP FROM TCP\nHAVING srcIP > 2",
+			3, 1, "HAVING",
+		},
+		{
+			"window on sliding holistic",
+			"query q:\nSELECT pane, COUNT_DISTINCT(srcIP) AS u\nFROM TCP\nGROUP BY time/10 AS pane\nWINDOW 6",
+			5, 1, "",
+		},
+		{
+			"join without equality",
+			"query q:\nSELECT S1.srcIP\nFROM TCP S1, TCP S2\nWHERE S1.len > S2.len",
+			4, 1, "",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := buildErr(t, tc.queries)
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error %T is not *plan.Error: %v", err, err)
+			}
+			pos := gsql.ErrPos(err)
+			if pos.Line != tc.line || pos.Col != tc.col {
+				t.Errorf("position %s, want %d:%d (error: %v)", pos, tc.line, tc.col, err)
+			}
+			if perr.Query != "q" {
+				t.Errorf("query %q, want q", perr.Query)
+			}
+			if !strings.Contains(err.Error(), pos.String()) {
+				t.Errorf("message %q does not render the position", err)
+			}
+			if tc.contains != "" && !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("message %q does not mention %q", err, tc.contains)
+			}
+		})
+	}
+}
+
+func TestNodesCarryQueryPositions(t *testing.T) {
+	cat := schema.MustParse(`TCP(time increasing, srcIP, destIP, len)`)
+	qs, err := gsql.ParseQuerySet(`query a:
+SELECT tb, srcIP, COUNT(*) AS cnt
+FROM TCP
+GROUP BY time/60 AS tb, srcIP
+
+query b:
+SELECT tb, srcIP FROM a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := Build(cat, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.QueryNodes() {
+		want := map[string]gsql.Pos{
+			"a": {Line: 1, Col: 7},
+			"b": {Line: 6, Col: 7},
+		}[n.QueryName]
+		if n.Pos != want {
+			t.Errorf("node %s pos %s, want %s", n.QueryName, n.Pos, want)
+		}
+	}
+	for _, s := range g.Sources() {
+		if s.Pos.IsValid() {
+			t.Errorf("source %s should have no position", s.Stream.Name)
+		}
+	}
+}

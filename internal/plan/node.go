@@ -112,6 +112,8 @@ type Node struct {
 	ID        int
 	Kind      Kind
 	QueryName string // defining query name; stream name for sources
+	// Pos is the defining query's source position; zero for sources.
+	Pos gsql.Pos
 
 	Inputs  []*Node // children (data providers); len 0/1/2 by kind
 	Parents []*Node // consumers

@@ -24,6 +24,7 @@ import (
 	"qap/internal/core"
 	"qap/internal/exec"
 	"qap/internal/gsql"
+	"qap/internal/lint"
 	"qap/internal/netgen"
 	"qap/internal/obs"
 	"qap/internal/optimizer"
@@ -161,7 +162,7 @@ func (s *System) AnalyzePerStream(stats Stats) (*PerStreamAnalysis, error) {
 // requirement, keyed by query name.
 func (s *System) Requirements() map[string]Requirement {
 	out := make(map[string]Requirement)
-	for n, r := range core.Requirements(s.Graph) {
+	for n, r := range core.Requirements(s.Graph) { //qap:allow maprange -- map-to-map copy, order-insensitive
 		if n.Kind != plan.KindSource {
 			out[n.QueryName] = r
 		}
@@ -183,6 +184,28 @@ func (s *System) Compatible(ps Set, query string) (bool, error) {
 // per second any single node receives under partitioning ps.
 func (s *System) PlanCost(ps Set, stats Stats) float64 {
 	return core.NewCostModel(s.Graph, stats).PlanCost(ps)
+}
+
+// LintReport is the static analyzer's diagnostic report.
+type LintReport = lint.Report
+
+// Lint runs the static semantic analyzer over the loaded query set:
+// per-node partitioning-compatibility explanations, window alignment,
+// HAVING placement, holistic aggregates, dead columns, and outer-join
+// NULL-padding hazards. A non-nil analysis explains its recommended
+// set first; source labels the input in the report.
+func (s *System) Lint(analysis *Analysis, source string) *LintReport {
+	var opts lint.Options
+	opts.Source = source
+	opts.Analysis = analysis
+	return lint.Run(s.Graph, s.Queries, opts)
+}
+
+// LintLoadError wraps a Load failure as a lint report with a single
+// QAP000 diagnostic, so tooling renders parse and build errors in the
+// same format as rule findings.
+func LintLoadError(source string, err error) *LintReport {
+	return lint.LoadErrorReport(source, err)
 }
 
 // DeployConfig selects the cluster shape and strategy.
@@ -247,7 +270,7 @@ func (s *System) Deploy(cfg DeployConfig) (*Deployment, error) {
 		return nil, err
 	}
 	params := make(exec.Params, len(cfg.Params))
-	for k, v := range cfg.Params {
+	for k, v := range cfg.Params { //qap:allow maprange -- map-to-map copy, order-insensitive
 		params[k] = v
 	}
 	return &Deployment{sys: s, plan: p, cfg: cfg, params: params}, nil
@@ -289,7 +312,7 @@ func (r *RunResult) Report() *RunReport { return r.report }
 // random and must not leak into tool output).
 func (r *RunResult) OutputNames() []string {
 	names := make([]string, 0, len(r.Outputs))
-	for name := range r.Outputs {
+	for name := range r.Outputs { //qap:allow maprange -- names collected then sorted below
 		names = append(names, name)
 	}
 	sort.Strings(names)

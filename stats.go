@@ -35,7 +35,7 @@ func (s *System) MeasureStats(streams map[string][]netgen.Packet) (*StaticStats,
 		duration = 1
 	}
 	streamRows := make(map[string]float64, len(streams))
-	for name, packets := range streams {
+	for name, packets := range streams { //qap:allow maprange -- per-stream rates, order-insensitive
 		rate := float64(len(packets)) / duration
 		stats.SetRate(name, rate)
 		streamRows[strings.ToLower(name)] = float64(len(packets))
@@ -44,7 +44,7 @@ func (s *System) MeasureStats(streams map[string][]netgen.Packet) (*StaticStats,
 	// Selectivity = output rows / input rows, walking the DAG in
 	// topological order so each node's input counts are known.
 	rows := make(map[string]float64, len(res.NodeRows))
-	for name, n := range res.NodeRows {
+	for name, n := range res.NodeRows { //qap:allow maprange -- map-to-map copy, order-insensitive
 		rows[name] = float64(n)
 	}
 	nodeRows := func(n *plan.Node) (float64, error) {
