@@ -1,0 +1,95 @@
+// Command qap-difftest runs the randomized differential tester from
+// the command line: generate seeded workloads, run the equivalence
+// oracle over each, and print PASS/FAIL per seed. On failure the
+// output is a complete, minimized repro — the seed, the trace
+// configuration literal, the generated query text, and the command
+// that re-runs exactly that workload.
+//
+// Usage:
+//
+//	qap-difftest [-seed n] [-n count] [-hosts list] [-workers list] [-v]
+//
+// Examples:
+//
+//	qap-difftest -n 50                 # seeds 0..49
+//	qap-difftest -seed 1337            # reproduce one seed
+//	qap-difftest -seed 7 -v            # verbose: show the workload too
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"qap/internal/difftest"
+)
+
+func main() {
+	seed := flag.Int64("seed", -1, "check exactly this workload seed (repro mode)")
+	n := flag.Int64("n", 20, "number of seeds to check, starting at 0 (ignored with -seed)")
+	hosts := flag.String("hosts", "1,2,4", "comma-separated host counts to sweep")
+	workers := flag.String("workers", "1,4", "comma-separated engine worker counts to sweep")
+	verbose := flag.Bool("v", false, "print the generated workload for passing seeds too")
+	flag.Parse()
+
+	opts := difftest.Options{
+		Hosts:   parseInts(*hosts),
+		Workers: parseInts(*workers),
+	}
+	seeds := make([]int64, 0, *n)
+	if *seed >= 0 {
+		seeds = append(seeds, *seed)
+	} else {
+		for s := int64(0); s < *n; s++ {
+			seeds = append(seeds, s)
+		}
+	}
+
+	failed := 0
+	for _, s := range seeds {
+		rep, err := difftest.CheckSeed(s, opts)
+		if err != nil {
+			// The generator guarantees runnable workloads; a failure
+			// here is itself a bug worth a repro.
+			fmt.Printf("seed %d: ERROR (workload not runnable): %v\n", s, err)
+			fmt.Printf("rerun: go run ./cmd/qap-difftest -seed %d\n", s)
+			failed++
+			continue
+		}
+		if rep.OK() {
+			if *verbose {
+				fmt.Print(rep)
+				fmt.Printf("queries:\n%s\n", rep.Queries)
+			} else {
+				fmt.Printf("seed %d: PASS (%d configurations)\n", s, rep.Configs)
+			}
+			continue
+		}
+		fmt.Print(rep)
+		failed++
+	}
+	if failed > 0 {
+		fmt.Printf("%d of %d seeds FAILED\n", failed, len(seeds))
+		os.Exit(1)
+	}
+	fmt.Printf("all %d seeds passed\n", len(seeds))
+}
+
+func parseInts(list string) []int {
+	var out []int
+	for _, part := range strings.Split(list, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			fmt.Fprintf(os.Stderr, "qap-difftest: bad count %q in list\n", part)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+package qap_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qap"
+	"qap/internal/difftest"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// The end-to-end golden tests pin the exact output of the two example
+// workloads — examples/attackdetect and examples/multistream — at
+// tier-1-friendly trace sizes. The canonical rendering (sorted rows
+// plus logical node counts) is the same one the differential oracle
+// compares, so a golden change means the engine's observable behavior
+// changed, not just a plan detail. Regenerate deliberately with:
+//
+//	go test -run TestGolden -update .
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	golden := filepath.Join("testdata", "golden", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (re-run with -update if the change is intended):\n%s",
+			golden, diffHint(string(want), got))
+	}
+}
+
+func diffHint(want, got string) string {
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	i := 0
+	for i < n && want[i] == got[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	w, g := want[lo:], got[lo:]
+	if len(w) > 200 {
+		w = w[:200]
+	}
+	if len(g) > 200 {
+		g = g[:200]
+	}
+	return "golden: ..." + w + "\ngot:    ..." + g
+}
+
+// TestGoldenAttackDetect mirrors examples/attackdetect: the Section
+// 6.1 suspicious-flow aggregation over a trace with a 5% attack mix,
+// deployed query-aware on four hosts. The round-robin deployment must
+// produce the identical canonical result (the example's whole point is
+// that only the load profile differs).
+func TestGoldenAttackDetect(t *testing.T) {
+	const query = `
+query suspicious:
+SELECT tb, srcIP, destIP, srcPort, destPort,
+       OR_AGGR(flags) AS orflag, COUNT(*) AS cnt, SUM(len) AS bytes
+FROM TCP
+GROUP BY time/60 AS tb, srcIP, destIP, srcPort, destPort
+HAVING OR_AGGR(flags) = #PATTERN#
+`
+	sys, err := qap.Load(qap.TCPSchemaDDL, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analysis, err := sys.Analyze(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := qap.DefaultTraceConfig()
+	cfg.DurationSec = 30
+	cfg.PacketsPerSec = 400
+	cfg.AttackFraction = 0.05
+	trace := qap.GenerateTrace(cfg)
+	params := map[string]qap.Value{"PATTERN": qap.Uint(qap.AttackPattern)}
+
+	run := func(ps qap.Set) string {
+		dep, err := sys.Deploy(qap.DeployConfig{Hosts: 4, Partitioning: ps, Params: params})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dep.Run("TCP", trace.Packets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Outputs["suspicious"]) == 0 {
+			t.Fatal("trace produced no suspicious flows; the golden would pin a trivial run")
+		}
+		return difftest.Canonical(res)
+	}
+	aware := run(analysis.Best)
+	if agnostic := run(nil); agnostic != aware {
+		t.Error("round-robin and query-aware deployments disagree on the example workload")
+	}
+	checkGolden(t, "attackdetect.golden", aware)
+}
+
+// TestGoldenMultistream mirrors examples/multistream: two input
+// streams with per-stream partitioning sets and a cross-stream join on
+// differently named attributes.
+func TestGoldenMultistream(t *testing.T) {
+	const ddl = `
+TCP(time increasing, srcIP, destIP, srcPort, destPort, len, flags, seq)
+DNS(time increasing, clientIP, server, clientPort, qtype, size, flags, qseq)`
+	const queries = `
+query tcp_flows:
+SELECT tb, srcIP, destIP, COUNT(*) AS pkts, SUM(len) AS bytes
+FROM TCP GROUP BY time/60 AS tb, srcIP, destIP
+
+query dns_volume:
+SELECT tb, clientIP, COUNT(*) AS lookups
+FROM DNS GROUP BY time/60 AS tb, clientIP
+
+query lookups_then_traffic:
+SELECT TCP.time, TCP.srcIP, DNS.server, TCP.len + DNS.size AS effort
+FROM TCP JOIN DNS
+WHERE TCP.time = DNS.time AND TCP.srcIP = DNS.clientIP
+  AND TCP.srcPort = DNS.clientPort AND TCP.seq = DNS.qseq`
+
+	sys, err := qap.Load(ddl, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := sys.AnalyzePerStream(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := sys.Deploy(qap.DeployConfig{
+		Hosts:     4,
+		PerStream: per.Sets,
+		Costs:     qap.CostConfig{CapacityPerSec: 6000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := qap.DefaultTraceConfig()
+	cfg.DurationSec = 30
+	cfg.PacketsPerSec = 500
+	cfg.SrcHosts, cfg.DstHosts = 500, 300
+	tcp := qap.GenerateTrace(cfg)
+	cfg.Seed = 9
+	dns := qap.GenerateTrace(cfg)
+
+	res, err := dep.RunStreams(map[string][]qap.Packet{
+		"TCP": tcp.Packets,
+		"DNS": dns.Packets,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tcp_flows", "dns_volume", "lookups_then_traffic"} {
+		if len(res.Outputs[name]) == 0 {
+			t.Fatalf("query %s produced no rows; the golden would pin a trivial run", name)
+		}
+	}
+	checkGolden(t, "multistream.golden", difftest.Canonical(res))
+}

@@ -1,0 +1,381 @@
+// Package difftest is the equivalence oracle of the randomized
+// differential-testing subsystem. Given a workload — a query set over
+// the TCP schema plus a trace configuration — it checks the claims the
+// partitioning theorems make executable:
+//
+//   - Plan equivalence (paper Sections 3–4): a compatible partitioning
+//     preserves query outputs, so the centralized plan, the partitioned
+//     plan, every host count, and every worker count must produce the
+//     same canonical result set.
+//   - Load bound (Section 4.2.1): with measured statistics, the cost
+//     model's predicted network load is an upper bound on the load any
+//     host actually receives (aggregator-resident partitions ship over
+//     IPC, so the model over- rather than under-states).
+//   - Optimizer/lint agreement (Sections 3.4–3.5, 5.2): a node runs
+//     partitioned exactly when the compatibility theory says it may,
+//     and every centralize fallback in the physical plan is explained
+//     by an incompatibility diagnostic from the static analyzer.
+//
+// Workloads usually come from internal/qgen (CheckSeed), but the oracle
+// also accepts raw query text (CheckQueries) so the fuzz harness and
+// cmd/qap-difftest can feed it directly. A workload the loader or the
+// baseline run rejects is reported as an error — "not runnable" — which
+// is distinct from a Report with mismatches: the former is an invalid
+// input, the latter a found bug.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"qap"
+	"qap/internal/core"
+	"qap/internal/lint"
+	"qap/internal/netgen"
+	"qap/internal/optimizer"
+	"qap/internal/plan"
+	"qap/internal/qgen"
+)
+
+// Options configures the sweep dimensions.
+type Options struct {
+	// Hosts are the cluster sizes to compare; default {1, 2, 4}.
+	Hosts []int
+	// Workers are the engine worker counts to compare; default {1, 4}.
+	Workers []int
+}
+
+func (o Options) withDefaults() Options {
+	if len(o.Hosts) == 0 {
+		o.Hosts = []int{1, 2, 4}
+	}
+	if len(o.Workers) == 0 {
+		o.Workers = []int{1, 4}
+	}
+	return o
+}
+
+// Mismatch is one violated invariant: a configuration whose result
+// deviates from the baseline, or a metamorphic check that failed.
+type Mismatch struct {
+	// Config names the deviating configuration or invariant.
+	Config string
+	// Detail localizes the deviation (first differing line, or the
+	// violated inequality).
+	Detail string
+}
+
+// Report is the outcome of checking one workload.
+type Report struct {
+	Seed    int64
+	Queries string
+	Trace   netgen.Config
+	// Configs counts the plan configurations and metamorphic
+	// invariants compared against the baseline.
+	Configs    int
+	Mismatches []Mismatch
+	// Best is the partitioning set the search recommended.
+	Best core.Set
+}
+
+// OK reports whether every configuration agreed with the baseline.
+func (r *Report) OK() bool { return len(r.Mismatches) == 0 }
+
+// String renders the report; for failures it is a complete repro: the
+// seed, the rerun command, the trace literal, and the query text.
+func (r *Report) String() string {
+	var b strings.Builder
+	if r.OK() {
+		fmt.Fprintf(&b, "seed %d: PASS (%d configurations, best set %s)\n", r.Seed, r.Configs, r.Best)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "seed %d: FAIL (%d of %d configurations mismatched)\n", r.Seed, len(r.Mismatches), r.Configs)
+	fmt.Fprintf(&b, "rerun: go run ./cmd/qap-difftest -seed %d\n", r.Seed)
+	fmt.Fprintf(&b, "trace: %+v\n", r.Trace)
+	fmt.Fprintf(&b, "best partitioning: %s\n", r.Best)
+	b.WriteString("queries:\n")
+	b.WriteString(indent(r.Queries))
+	for _, m := range r.Mismatches {
+		fmt.Fprintf(&b, "mismatch [%s]:\n%s", m.Config, indent(m.Detail))
+	}
+	return b.String()
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return "    " + strings.Join(lines, "\n    ") + "\n"
+}
+
+// CheckSeed generates the workload for seed and checks it.
+func CheckSeed(seed int64, opts Options) (*Report, error) {
+	return CheckWorkload(qgen.Generate(qgen.Config{Seed: seed}), opts)
+}
+
+// CheckWorkload checks a generated workload.
+func CheckWorkload(w *qgen.Workload, opts Options) (*Report, error) {
+	r, err := CheckQueries(w.DDL, w.Queries, w.Trace, opts)
+	if r != nil {
+		r.Seed = w.Seed
+	}
+	return r, err
+}
+
+// CheckQueries runs the full oracle over one (ddl, queries, trace)
+// triple. The returned error means the workload is not runnable (parse,
+// plan, or baseline failure) — not that an invariant failed; those are
+// Report.Mismatches.
+func CheckQueries(ddl, queries string, trace netgen.Config, opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	rep := &Report{Queries: queries, Trace: trace}
+
+	sys, err := qap.Load(ddl, queries)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	tr := netgen.Generate(trace)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	params := map[string]qap.Value{"PATTERN": qap.Uint(qap.AttackPattern)}
+
+	measured, err := sys.MeasureStats(streams)
+	if err != nil {
+		return nil, fmt.Errorf("measure: %w", err)
+	}
+	analysis, err := sys.Analyze(measured)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	rep.Best = analysis.Best
+
+	run := func(cfg qap.DeployConfig) (*qap.RunResult, error) {
+		cfg.Params = params
+		dep, err := sys.Deploy(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return dep.RunStreams(streams)
+	}
+
+	// Baseline: one host, centralized plan, sequential engine.
+	base, err := run(qap.DeployConfig{Hosts: 1, Workers: 1})
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	want := Canonical(base)
+
+	// Equivalence sweep: every (hosts, partitioning, workers) cell, the
+	// query-aware set against the query-agnostic round robin.
+	sets := []struct {
+		name string
+		set  core.Set
+	}{{"roundrobin", nil}, {"best", analysis.Best}}
+	for _, hosts := range opts.Hosts {
+		for _, s := range sets {
+			for _, workers := range opts.Workers {
+				name := fmt.Sprintf("hosts=%d set=%s workers=%d", hosts, s.name, workers)
+				rep.compare(name, want, run, qap.DeployConfig{
+					Hosts: hosts, Partitioning: s.set, Workers: workers,
+				})
+			}
+		}
+	}
+	// Strategy variants on the largest cluster: partial aggregation off,
+	// and per-partition (naive) pre-aggregation scope.
+	last := opts.Hosts[len(opts.Hosts)-1]
+	rep.compare(fmt.Sprintf("hosts=%d set=best nopartial", last), want, run, qap.DeployConfig{
+		Hosts: last, Partitioning: analysis.Best, DisablePartialAgg: true,
+	})
+	rep.compare(fmt.Sprintf("hosts=%d set=best scope=partition", last), want, run, qap.DeployConfig{
+		Hosts: last, Partitioning: analysis.Best, PartialScope: qap.ScopePartition,
+	})
+
+	rep.checkLoadBound(sys, measured, analysis.Best, run)
+	rep.checkLintAgreement(sys, analysis.Best)
+	return rep, nil
+}
+
+// compare runs one configuration and records a mismatch if its
+// canonical result differs from the baseline's.
+func (r *Report) compare(name, want string, run func(qap.DeployConfig) (*qap.RunResult, error), cfg qap.DeployConfig) {
+	r.Configs++
+	res, err := run(cfg)
+	if err != nil {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			Detail: fmt.Sprintf("run failed where baseline succeeded: %v\n", err)})
+		return
+	}
+	if got := Canonical(res); got != want {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: firstDiff(want, got)})
+	}
+}
+
+// checkLoadBound verifies the Section 4.2.1 metamorphic invariant: the
+// cost model's TotalCost under measured statistics bounds the network
+// byte rate any host receives. It needs partial aggregation disabled
+// (the sub-aggregate rewrite re-shapes tuples, which the static model
+// does not price) and a non-empty set (for the empty set the builder
+// still pushes selections per partition while the model centralizes
+// them, so the model's charge is not comparable op by op).
+func (r *Report) checkLoadBound(sys *qap.System, measured *qap.StaticStats, best core.Set, run func(qap.DeployConfig) (*qap.RunResult, error)) {
+	if best.IsEmpty() {
+		return
+	}
+	r.Configs++
+	res, err := run(qap.DeployConfig{Hosts: 4, Partitioning: best, DisablePartialAgg: true, Workers: 1})
+	if err != nil {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: "loadbound",
+			Detail: fmt.Sprintf("run failed: %v\n", err)})
+		return
+	}
+	duration := res.Metrics.DurationSec
+	if duration <= 0 {
+		duration = 1
+	}
+	achieved := 0.0
+	for _, h := range res.Metrics.Hosts {
+		if rate := float64(h.NetBytesIn) / duration; rate > achieved {
+			achieved = rate
+		}
+	}
+	predicted := core.NewCostModel(sys.Graph, measured).TotalCost(best)
+	if achieved > predicted*(1+1e-6)+1e-3 {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: "loadbound", Detail: fmt.Sprintf(
+			"achieved max per-host net rate %.3f B/s exceeds cost-model bound %.3f B/s for set %s\n",
+			achieved, predicted, best)})
+	}
+}
+
+// checkLintAgreement verifies that the physical plan, the
+// compatibility theory, and the static analyzer tell the same story
+// about the best set: a node's operators all run in partition
+// processes iff the node is Distributable, lint's QAP001/QAP003
+// findings appear exactly for the Compatible nodes, and every
+// centralize fallback traces to an incompatibility diagnostic
+// (QAP002/QAP004) somewhere in the node's input subtree.
+func (r *Report) checkLintAgreement(sys *qap.System, best core.Set) {
+	if best.IsEmpty() {
+		// lint skips empty candidate sets, so there is nothing to
+		// cross-check the plan against.
+		return
+	}
+	r.Configs++
+	p, err := optimizer.Build(sys.Graph, best, optimizer.Options{
+		Hosts: 4, PartitionsPerHost: 2, PartialAgg: true, PartialScope: optimizer.ScopeHost,
+	})
+	if err != nil {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: "lintagree",
+			Detail: fmt.Sprintf("optimizer.Build failed: %v\n", err)})
+		return
+	}
+	lrep := lint.Run(sys.Graph, sys.Queries, lint.Options{Sets: []core.Set{best}})
+	pos := map[string]bool{} // query -> has QAP001/QAP003
+	neg := map[string]bool{} // query -> has QAP002/QAP004
+	for _, d := range lrep.Diagnostics {
+		switch d.Code {
+		case lint.CodeUniversal, lint.CodeSetCompatible:
+			pos[d.Query] = true
+		case lint.CodeUnpartitionable, lint.CodeSetExcluded:
+			neg[d.Query] = true
+		}
+	}
+
+	// central[q]: the logical node has at least one operator in the
+	// central root process (Proc -1) — a centralize fallback or a
+	// partial-aggregation super stage.
+	central := map[string]bool{}
+	for _, op := range p.Ops {
+		// OpOutput always sits in the central root process, even when
+		// the query itself ran fully partitioned — it is the result
+		// sink, not a fallback.
+		if op.Kind == optimizer.OpOutput || op.Logical == nil || op.Logical.Kind == plan.KindSource {
+			continue
+		}
+		if op.Proc < 0 {
+			central[op.Logical.QueryName] = true
+		}
+	}
+
+	var fail []string
+	for _, n := range sys.Graph.QueryNodes() {
+		q := n.QueryName
+		compat := core.Compatible(best, n)
+		if compat != pos[q] || compat == neg[q] {
+			fail = append(fail, fmt.Sprintf(
+				"%s: Compatible(%s)=%v but lint says compatible=%v excluded=%v", q, best, compat, pos[q], neg[q]))
+		}
+		if dist := core.Distributable(best, n); dist == central[q] {
+			fail = append(fail, fmt.Sprintf(
+				"%s: Distributable(%s)=%v but plan has central-process ops=%v", q, best, dist, central[q]))
+		}
+		if central[q] && !subtreeHasNeg(n, neg) {
+			fail = append(fail, fmt.Sprintf(
+				"%s: centralize fallback with no incompatibility diagnostic in its subtree", q))
+		}
+	}
+	if len(fail) > 0 {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: "lintagree",
+			Detail: strings.Join(fail, "\n") + "\n"})
+	}
+}
+
+// subtreeHasNeg reports whether n or any node feeding it carries an
+// incompatibility diagnostic.
+func subtreeHasNeg(n *plan.Node, neg map[string]bool) bool {
+	if n.Kind != plan.KindSource && neg[n.QueryName] {
+		return true
+	}
+	for _, in := range n.Inputs {
+		if subtreeHasNeg(in, neg) {
+			return true
+		}
+	}
+	return false
+}
+
+// Canonical renders a run result in a plan-independent form: per query
+// (in sorted name order) the row multiset in sorted rendering order,
+// followed by the logical per-node row counts. Two runs of equivalent
+// plans over the same trace must render identically; physical row
+// order is deliberately erased (epoch flush interleaving and partition
+// merge order are plan details, not query semantics).
+func Canonical(res *qap.RunResult) string {
+	var b strings.Builder
+	for _, name := range res.OutputNames() {
+		rows := make([]string, len(res.Outputs[name]))
+		for i, t := range res.Outputs[name] {
+			rows[i] = t.String()
+		}
+		sort.Strings(rows)
+		fmt.Fprintf(&b, "== %s (%d rows)\n", name, len(rows))
+		for _, row := range rows {
+			b.WriteString(row)
+			b.WriteByte('\n')
+		}
+	}
+	names := make([]string, 0, len(res.NodeRows))
+	for name := range res.NodeRows { //qap:allow maprange -- names collected then sorted below
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("== node rows\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s\t%d\n", name, res.NodeRows[name])
+	}
+	return b.String()
+}
+
+// firstDiff renders the first line where two canonical results
+// disagree, with the line number for context.
+func firstDiff(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("line %d:\n  baseline: %s\n  variant:  %s\n", i+1, w[i], g[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: baseline %d lines, variant %d lines\n", len(w), len(g))
+}

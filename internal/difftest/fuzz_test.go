@@ -1,0 +1,79 @@
+package difftest
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qap"
+	"qap/internal/netgen"
+	"qap/internal/plan"
+	"qap/internal/qgen"
+)
+
+// FuzzDifferential feeds arbitrary query text straight into the
+// equivalence oracle: whatever parses and plans over the TCP schema
+// must produce identical canonical output under every plan shape. The
+// fuzzer therefore explores the space of valid-but-weird query sets
+// (mutations of the seed corpus that still parse), hunting for inputs
+// where the partitioned rewrite diverges from the centralized truth.
+//
+// Guards keep each execution bounded: the oracle itself runs hundreds
+// of times per fuzz session, so inputs that are too large, too deeply
+// windowed, or too join-heavy are skipped rather than run slowly.
+func FuzzDifferential(f *testing.F) {
+	for _, name := range []string{"figure1.gsql", "section62.gsql"} {
+		b, err := os.ReadFile(filepath.Join("..", "..", "examples", "queries", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b), int64(1))
+	}
+	f.Add(qap.SuspiciousFlowsQuery, int64(2))
+	f.Add(qap.QuerySetSection62, int64(3))
+	for _, seed := range []int64{4, 5} {
+		f.Add(qgen.Generate(qgen.Config{Seed: seed}).Queries, seed)
+	}
+
+	f.Fuzz(func(t *testing.T, queries string, seed int64) {
+		if len(queries) > 4096 {
+			t.Skip("query text too large for a per-input differential run")
+		}
+		sys, err := qap.Load(netgen.SchemaDDL, queries)
+		if err != nil {
+			return // not a valid query set: the parser fuzzer's territory
+		}
+		joins, panes := 0, uint64(0)
+		for _, n := range sys.Graph.QueryNodes() {
+			if n.Kind == plan.KindJoin {
+				joins++
+			}
+			if n.WindowPanes > panes {
+				panes = n.WindowPanes
+			}
+		}
+		if len(sys.Graph.Nodes) > 9 || joins > 2 || panes > 16 {
+			t.Skip("query set too large for a per-input differential run")
+		}
+		trace := netgen.Config{
+			Seed:          seed,
+			DurationSec:   3,
+			PacketsPerSec: 50,
+			SrcHosts:      1 + int(uint64(seed)%7),
+			DstHosts:      5,
+			ZipfS:         1.3,
+			Ports:         64,
+		}
+		rep, err := CheckQueries(netgen.SchemaDDL, queries, trace, Options{
+			Hosts: []int{1, 2}, Workers: []int{1, 2},
+		})
+		if err != nil {
+			// Loaded but not runnable (e.g. an unbound parameter):
+			// consistently rejected, nothing to compare.
+			return
+		}
+		if !rep.OK() {
+			t.Fatalf("differential mismatch:\n%s", rep)
+		}
+	})
+}

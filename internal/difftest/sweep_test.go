@@ -1,0 +1,43 @@
+package difftest
+
+import (
+	"flag"
+	"sync/atomic"
+	"testing"
+)
+
+// sweepSeeds is the fixed seed range CI runs; 15 workload seeds at the
+// default sweep dimensions yield well over 200 compared configurations
+// (each workload is checked across hosts × partitioning × workers plus
+// the metamorphic invariants).
+var sweepSeeds = flag.Int64("difftest.seeds", 15, "number of workload seeds TestDifferentialSweep checks")
+
+// TestDifferentialSweep is the table-driven face of the oracle: a fixed
+// seed range, every invariant, zero tolerance for mismatches. A failure
+// message is a complete repro (seed, trace literal, query text, rerun
+// command).
+func TestDifferentialSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not a -short test")
+	}
+	var configs atomic.Int64
+	for seed := int64(0); seed < *sweepSeeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rep, err := CheckSeed(seed, Options{})
+			if err != nil {
+				t.Fatalf("seed %d not runnable (generator must emit valid workloads): %v", seed, err)
+			}
+			configs.Add(int64(rep.Configs))
+			if !rep.OK() {
+				t.Errorf("differential mismatch:\n%s", rep)
+			}
+		})
+	}
+	t.Cleanup(func() {
+		if got := configs.Load(); *sweepSeeds >= 15 && got < 200 {
+			t.Errorf("sweep compared only %d configurations, want >= 200", got)
+		}
+	})
+}

@@ -11,6 +11,8 @@ type Parser struct {
 	lex *Lexer
 	tok Token // current token
 	err error
+	// depth tracks expression-nesting recursion; see maxExprDepth.
+	depth int
 }
 
 // NewParser returns a parser over src positioned at the first token.
@@ -390,7 +392,31 @@ func (p *Parser) parseTableRef() (TableRef, error) {
 // Expression parsing: precedence climbing. The ladder (loosest first):
 // OR, AND, NOT, comparison, | ^, &, << >>, + -, * / %, unary, primary.
 
-func (p *Parser) parseExpr() (Expr, error) { return p.parseOr() }
+// maxExprDepth bounds expression nesting. The parser (and every later
+// recursive walk: plan building, compilation, rendering) descends once
+// per nesting level, so pathological inputs — kilobytes of '(' or '-' —
+// would otherwise grow the stack without bound. Fuzzing found this;
+// real query sets nest a handful of levels.
+const maxExprDepth = 500
+
+// enter counts one level of expression recursion; leave undoes it.
+func (p *Parser) enter() error {
+	p.depth++
+	if p.depth > maxExprDepth {
+		return Errorf(p.pos(), "expression nested deeper than %d levels", maxExprDepth)
+	}
+	return nil
+}
+
+func (p *Parser) leave() { p.depth-- }
+
+func (p *Parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *Parser) parseOr() (Expr, error) {
 	l, err := p.parseAnd()
@@ -430,6 +456,10 @@ func (p *Parser) parseAnd() (Expr, error) {
 
 func (p *Parser) parseNot() (Expr, error) {
 	if p.isKeyword("NOT") {
+		if err := p.enter(); err != nil {
+			return nil, err
+		}
+		defer p.leave()
 		if err := p.next(); err != nil {
 			return nil, err
 		}
@@ -586,6 +616,10 @@ func (p *Parser) parseMultiplicative() (Expr, error) {
 }
 
 func (p *Parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	switch p.tok.Kind {
 	case TokMinus:
 		if err := p.next(); err != nil {

@@ -1,0 +1,56 @@
+package gsql
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzParseQuerySet throws arbitrary bytes at the query-set parser.
+// The properties under test:
+//
+//  1. the parser never panics — every malformed input (truncated
+//     strings, stray bytes, deep nesting) comes back as a positioned
+//     *gsql.Error;
+//  2. accepted inputs round-trip: the String() rendering of a parsed
+//     set must itself parse (the renderer and the grammar agree).
+//
+// The seed corpus is the checked-in example query files plus the
+// malformed shapes fuzzing has found interesting before; additional
+// regression entries live in testdata/fuzz/FuzzParseQuerySet.
+func FuzzParseQuerySet(f *testing.F) {
+	for _, name := range []string{"figure1.gsql", "section62.gsql"} {
+		b, err := os.ReadFile(filepath.Join("..", "..", "examples", "queries", name))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(b))
+	}
+	f.Add("query q:\nSELECT srcIP, COUNT(*) AS cnt FROM TCP GROUP BY time/60 AS tb, srcIP")
+	f.Add("query j:\nSELECT S1.time FROM TCP S1, TCP S2 WHERE S1.time = S2.time AND S1.seq = S2.seq")
+	f.Add("query o:\nSELECT S1.tb FROM a S1 LEFT OUTER JOIN b S2 ON S1.tb = S2.tb")
+	f.Add("query w:\nSELECT tb, MAX(len) AS m FROM TCP GROUP BY time/60 AS tb WINDOW 4")
+	f.Add("query p:\nSELECT srcIP FROM TCP WHERE flags = #PATTERN# -- comment")
+	f.Add("query q:\nSELECT 'unterminated FROM TCP")
+	f.Add("query q:\nSELECT ((((((srcIP)))))) FROM TCP")
+	f.Add("query q:\nSELECT 0x FROM TCP")
+	f.Add("query q:\nSELECT # FROM TCP")
+	f.Add("query q:\nSELECT a FROM")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		qs, err := ParseQuerySet(src)
+		if err != nil {
+			// Malformed input must be reported, not panicked on, and
+			// the position must be in range for error rendering.
+			if pos := ErrPos(err); pos.Line < 0 || pos.Col < 0 {
+				t.Fatalf("negative error position %s for %q", pos, src)
+			}
+			return
+		}
+		rendered := qs.String()
+		if _, err := ParseQuerySet(rendered); err != nil {
+			t.Fatalf("accepted input renders unparseable text\ninput: %q\nrendered: %q\nerror: %v",
+				src, rendered, err)
+		}
+	})
+}

@@ -16,6 +16,11 @@ func TestParseErrorsCarryPositions(t *testing.T) {
 		{"window without group by", "query q:\nSELECT srcIP FROM TCP\nWINDOW 4", 3, 1},
 		{"duplicate query name", "query q:\nSELECT srcIP FROM TCP\n\nquery q:\nSELECT destIP FROM TCP", 4, 7},
 		{"unterminated string", "query q:\nSELECT 'abc FROM TCP", 2, 8},
+		{"stray byte", "query q:\nSELECT srcIP ` FROM TCP", 2, 14},
+		{"truncated hex literal", "query q:\nSELECT 0x FROM TCP", 2, 8},
+		// "##" is an empty parameter, so the lexer treats '#' as a
+		// line comment; the error is the missing select expression.
+		{"empty param", "query q:\nSELECT ## FROM TCP", 2, 19},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -35,6 +40,40 @@ func TestParseErrorsCarryPositions(t *testing.T) {
 				t.Errorf("message %q does not render the position", err)
 			}
 		})
+	}
+}
+
+// TestDeepNestingReturnsError pins the fuzz-found stack hazard: the
+// recursive-descent parser must reject pathological nesting with a
+// positioned error instead of growing the goroutine stack without
+// bound. All three recursion cycles — parens, NOT chains, unary
+// operator chains — are exercised.
+func TestDeepNestingReturnsError(t *testing.T) {
+	cases := map[string]string{
+		"parens":  "query q:\nSELECT " + strings.Repeat("(", 100000) + "srcIP" + strings.Repeat(")", 100000) + " FROM TCP",
+		"not":     "query q:\nSELECT srcIP FROM TCP WHERE " + strings.Repeat("NOT ", 100000) + "len",
+		"bitnot":  "query q:\nSELECT " + strings.Repeat("~", 100000) + "srcIP FROM TCP",
+		"grouped": "query q:\nSELECT srcIP FROM TCP GROUP BY " + strings.Repeat("(", 100000) + "srcIP",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			_, err := ParseQuerySet(src)
+			if err == nil {
+				t.Fatal("want nesting-depth error, got success")
+			}
+			var perr *Error
+			if !errors.As(err, &perr) {
+				t.Fatalf("error %T is not *gsql.Error: %v", err, err)
+			}
+			if !strings.Contains(err.Error(), "nested deeper") {
+				t.Errorf("unexpected error: %v", err)
+			}
+		})
+	}
+	// Reasonable nesting still parses.
+	ok := "query q:\nSELECT " + strings.Repeat("(", 50) + "srcIP" + strings.Repeat(")", 50) + " FROM TCP"
+	if _, err := ParseQuerySet(ok); err != nil {
+		t.Fatalf("50 levels of nesting should parse: %v", err)
 	}
 }
 

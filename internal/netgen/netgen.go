@@ -8,6 +8,7 @@
 package netgen
 
 import (
+	"math"
 	"math/rand" //qap:allow walltime -- generator is explicitly seeded per trace
 	"sort"
 
@@ -109,17 +110,27 @@ func Generate(cfg Config) *Trace {
 	if cfg.PacketsPerSec <= 0 {
 		cfg.PacketsPerSec = 1000
 	}
-	if cfg.SrcHosts <= 1 {
+	// A single-address pool is legal (the Zipf degenerates to a point
+	// mass); only zero/negative pools fall back to the default.
+	if cfg.SrcHosts < 1 {
 		cfg.SrcHosts = 2
 	}
-	if cfg.DstHosts <= 1 {
+	if cfg.DstHosts < 1 {
 		cfg.DstHosts = 2
 	}
-	if cfg.ZipfS <= 1 {
+	// The negated comparisons also catch NaN: rand.NewZipf returns nil
+	// for s <= 1 (and misbehaves for non-finite s), which would panic
+	// at the first draw.
+	if !(cfg.ZipfS > 1) || math.IsInf(cfg.ZipfS, 0) {
 		cfg.ZipfS = 1.2
 	}
-	if cfg.MeanFlowPackets < 1 {
+	if !(cfg.MeanFlowPackets >= 1) {
 		cfg.MeanFlowPackets = 1
+	}
+	if !(cfg.AttackFraction >= 0) {
+		cfg.AttackFraction = 0
+	} else if cfg.AttackFraction > 1 {
+		cfg.AttackFraction = 1
 	}
 	if cfg.Ports <= 0 {
 		cfg.Ports = 4096
@@ -219,9 +230,13 @@ func flowFlags(r *rand.Rand, attack bool, i, n int) uint64 {
 	}
 }
 
-// geometric samples a geometric-ish count with the given mean.
+// geometric samples a geometric-ish count with the given mean. Means
+// at or below one (including zero, negative, and NaN — the negated
+// comparison catches all three) yield zero extra packets, so callers
+// always get single-packet flows rather than a division by zero or an
+// endless rejection loop.
 func geometric(r *rand.Rand, mean float64) int {
-	if mean <= 1 {
+	if !(mean > 1) {
 		return 0
 	}
 	p := 1 / mean

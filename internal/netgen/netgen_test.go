@@ -1,6 +1,8 @@
 package netgen
 
 import (
+	"math"
+	"math/rand" //qap:allow walltime -- tests seed explicitly
 	"testing"
 )
 
@@ -153,5 +155,74 @@ func TestConfigDefaultsApplied(t *testing.T) {
 	tr := Generate(Config{Seed: 3, DurationSec: 2, PacketsPerSec: 100})
 	if len(tr.Packets) != 200 {
 		t.Errorf("defaults should still produce the requested volume, got %d", len(tr.Packets))
+	}
+}
+
+// TestGenerateEdgeConfigs drives Generate with the extreme and
+// malformed parameters qgen's randomized workloads can produce: the
+// generator must clamp or default every field rather than hand a bad
+// skew to rand.NewZipf (nil Zipf → panic) or divide by a zero mean.
+func TestGenerateEdgeConfigs(t *testing.T) {
+	cases := map[string]Config{
+		"zero value":        {},
+		"negative duration": {Seed: 2, DurationSec: -5, PacketsPerSec: -3},
+		"single-host pools": {Seed: 3, DurationSec: 2, PacketsPerSec: 50, SrcHosts: 1, DstHosts: 1},
+		"nan zipf":          {Seed: 4, DurationSec: 2, PacketsPerSec: 50, ZipfS: math.NaN()},
+		"inf zipf":          {Seed: 5, DurationSec: 2, PacketsPerSec: 50, ZipfS: math.Inf(1)},
+		"nan mean flow":     {Seed: 6, DurationSec: 2, PacketsPerSec: 50, MeanFlowPackets: math.NaN()},
+		"negative mean":     {Seed: 7, DurationSec: 2, PacketsPerSec: 50, MeanFlowPackets: -4},
+		"nan attack":        {Seed: 8, DurationSec: 2, PacketsPerSec: 50, AttackFraction: math.NaN()},
+		"attack above one":  {Seed: 9, DurationSec: 2, PacketsPerSec: 50, AttackFraction: 7},
+		"negative ports":    {Seed: 10, DurationSec: 2, PacketsPerSec: 50, Ports: -1},
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr := Generate(cfg)
+			if len(tr.Packets) == 0 {
+				t.Fatal("edge config generated an empty trace")
+			}
+			for i := 1; i < len(tr.Packets); i++ {
+				if tr.Packets[i].Time < tr.Packets[i-1].Time {
+					t.Fatalf("packets out of time order at %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestGenerateSingleHostPools pins the degenerate-Zipf behavior: a
+// one-address pool sends every packet from (to) that single address.
+func TestGenerateSingleHostPools(t *testing.T) {
+	tr := Generate(Config{Seed: 11, DurationSec: 2, PacketsPerSec: 80, SrcHosts: 1, DstHosts: 1})
+	for _, p := range tr.Packets {
+		if p.SrcIP != 0x0A000000 || p.DestIP != 0xC0A80000 {
+			t.Fatalf("single-host pools must pin the addresses, got %x -> %x", p.SrcIP, p.DestIP)
+		}
+	}
+}
+
+// TestGenerateAttackFractionOne checks the clamped all-attack extreme.
+func TestGenerateAttackFractionOne(t *testing.T) {
+	tr := Generate(Config{Seed: 12, DurationSec: 2, PacketsPerSec: 50, AttackFraction: 2})
+	if tr.AttackFlows != tr.TotalFlows {
+		t.Errorf("AttackFraction clamped to 1 should mark every flow: %d/%d", tr.AttackFlows, tr.TotalFlows)
+	}
+}
+
+// TestGeometricGuards covers geometric's mean <= 1 / NaN guard and the
+// sanity of a real mean.
+func TestGeometricGuards(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0, -3, 1, 0.25, math.NaN()} {
+		if n := geometric(r, mean); n != 0 {
+			t.Errorf("geometric(%v) = %d, want 0", mean, n)
+		}
+	}
+	sum := 0
+	for i := 0; i < 2000; i++ {
+		sum += geometric(r, 8)
+	}
+	if avg := float64(sum) / 2000; avg < 4 || avg > 12 {
+		t.Errorf("geometric(8) sample mean %.1f implausible", avg)
 	}
 }

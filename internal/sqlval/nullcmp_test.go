@@ -1,0 +1,152 @@
+package sqlval
+
+import (
+	"fmt"
+	"testing"
+)
+
+// kindSamples holds representative values of every Kind, including the
+// signedness and float edge cases the cross-kind comparison must order
+// correctly. The differential oracle leans on these semantics twice:
+// outer-join NULL padding (grouping and sorting padded rows) and the
+// canonical row ordering used to compare distributed vs centralized
+// outputs.
+var kindSamples = map[Kind][]Value{
+	KindNull:   {Null},
+	KindUint:   {Uint(0), Uint(7), Uint(1 << 40), Uint(^uint64(0))},
+	KindInt:    {Int(-9), Int(0), Int(7), Int(1 << 40)},
+	KindFloat:  {Float(-2.5), Float(0), Float(7), Float(7.5)},
+	KindBool:   {Bool(false), Bool(true)},
+	KindString: {Str(""), Str("abc"), Str("abd")},
+}
+
+var allKinds = []Kind{KindNull, KindUint, KindInt, KindFloat, KindBool, KindString}
+
+func allSamples() []Value {
+	var vs []Value
+	for _, k := range allKinds {
+		vs = append(vs, kindSamples[k]...)
+	}
+	return vs
+}
+
+// TestCompareEveryKindPair checks Compare across every ordered pair of
+// kinds: antisymmetry, Equal/Compare agreement, and the documented
+// cross-kind rules (NULL first, numerics by value, then Kind order).
+func TestCompareEveryKindPair(t *testing.T) {
+	for _, ka := range allKinds {
+		for _, kb := range allKinds {
+			t.Run(fmt.Sprintf("%s_vs_%s", ka, kb), func(t *testing.T) {
+				for _, a := range kindSamples[ka] {
+					for _, b := range kindSamples[kb] {
+						c, rc := a.Compare(b), b.Compare(a)
+						if c != -rc {
+							t.Errorf("Compare(%s,%s)=%d but reverse=%d", a, b, c, rc)
+						}
+						if (c == 0) != a.Equal(b) {
+							t.Errorf("Compare(%s,%s)=%d disagrees with Equal=%v", a, b, c, a.Equal(b))
+						}
+						if a.Equal(b) != b.Equal(a) {
+							t.Errorf("Equal(%s,%s) not symmetric", a, b)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCompareTotalOrder verifies transitivity over the full sample set
+// by sorting: every adjacent pair must be <=, and the sort must be
+// stable under re-comparison (a total preorder, no cycles).
+func TestCompareTotalOrder(t *testing.T) {
+	vs := allSamples()
+	for _, a := range vs {
+		for _, b := range vs {
+			for _, c := range vs {
+				if a.Compare(b) <= 0 && b.Compare(c) <= 0 && a.Compare(c) > 0 {
+					t.Fatalf("transitivity violated: %s <= %s <= %s but %s > %s", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+// TestNullSemantics pins SQL-flavored NULL behavior: NULL groups with
+// NULL (Equal true — grouping keys), sorts before every other value,
+// and hashes consistently with Equal.
+func TestNullSemantics(t *testing.T) {
+	if !Null.Equal(Null) {
+		t.Error("NULL must group with NULL (Equal true for grouping keys)")
+	}
+	if Null.Compare(Null) != 0 {
+		t.Error("Compare(NULL, NULL) must be 0")
+	}
+	for _, v := range allSamples() {
+		if v.IsNull() {
+			continue
+		}
+		if Null.Compare(v) != -1 || v.Compare(Null) != 1 {
+			t.Errorf("NULL must sort before %s", v)
+		}
+		if Null.Equal(v) || v.Equal(Null) {
+			t.Errorf("NULL must not equal %s", v)
+		}
+	}
+	if Null.Hash() != Null.Hash() {
+		t.Error("NULL hash unstable")
+	}
+}
+
+// TestCrossKindNumericEquality checks the numeric tower: equal values
+// of different kinds are Equal, Compare 0, and hash identically (the
+// partitioning router and group maps rely on hash-consistency).
+func TestCrossKindNumericEquality(t *testing.T) {
+	triples := [][]Value{
+		{Uint(0), Int(0), Float(0)},
+		{Uint(7), Int(7), Float(7)},
+		{Uint(1), Int(1), Bool(true)},
+		{Uint(0), Int(0), Bool(false)},
+	}
+	for _, tr := range triples {
+		for _, a := range tr {
+			for _, b := range tr {
+				if !a.Equal(b) {
+					t.Errorf("%s (%s) should equal %s (%s)", a, a.Kind(), b, b.Kind())
+				}
+				if a.Compare(b) != 0 {
+					t.Errorf("Compare(%s,%s) != 0", a, b)
+				}
+				if a.Hash() != b.Hash() {
+					t.Errorf("equal values hash differently: %s (%s) vs %s (%s)", a, a.Kind(), b, b.Kind())
+				}
+			}
+		}
+	}
+}
+
+// TestCrossKindNumericOrdering checks signed/unsigned/float ordering
+// across kind boundaries, including the extremes where a naive cast
+// would flip the sign.
+func TestCrossKindNumericOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(-9), Uint(0), -1},
+		{Int(-9), Uint(^uint64(0)), -1},
+		{Uint(^uint64(0)), Int(7), 1},
+		{Float(-2.5), Int(-2), -1},
+		{Float(7.5), Uint(7), 1},
+		{Int(-9), Float(0), -1},
+		{Bool(true), Uint(2), -1},
+		{Bool(false), Int(-1), 1},
+		{Uint(1 << 40), Int(1 << 40), 0},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Compare(tc.b); got != tc.want {
+			t.Errorf("Compare(%s %s, %s %s) = %d, want %d",
+				tc.a.Kind(), tc.a, tc.b.Kind(), tc.b, got, tc.want)
+		}
+	}
+}
