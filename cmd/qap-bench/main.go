@@ -6,10 +6,19 @@
 //
 //	qap-bench [-fig 8|10|13|all] [-rate pps] [-duration sec]
 //	          [-hosts n] [-leaf]
+//	qap-bench -exec [-exec-runs n] [-rate pps] [-duration sec]
 //
 // A figure number selects the experiment that produces it (CPU and
 // network figures come from the same sweep: 8 prints 8+9, 10 prints
 // 10+11, 13 prints 13+14).
+//
+// -exec runs the batched-vs-scalar hot-path microbenchmark instead
+// (the Figure 8 workload at batch sizes 1/64/256/1024, the same shape
+// as BenchmarkBatchedThroughput) and, with -bench-out, writes
+// BENCH_exec.json including the >=2x speedup / <=0.25x allocs gate
+// verdict. The committed seed was produced by:
+//
+//	qap-bench -exec -rate 2000 -duration 60 -exec-runs 20 -bench-out .
 //
 // Reported numbers are deterministic for any -workers value; the
 // determinism contract is machine-enforced by cmd/qap-vet, and the
@@ -26,6 +35,7 @@ import (
 	"time"
 
 	"qap"
+	"qap/internal/netgen"
 	"qap/internal/obs"
 )
 
@@ -37,7 +47,10 @@ func main() {
 	seed := flag.Int64("seed", 1, "trace random seed")
 	leaf := flag.Bool("leaf", false, "also print the Section 6.1 leaf-load series")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
+	batch := flag.Int("batch", 0, "operator batch size (0 = engine default, 1 = tuple-at-a-time; results are identical)")
 	benchOut := flag.String("bench-out", "", "also write each experiment's machine-readable BENCH_<name>.json into this directory")
+	execBench := flag.Bool("exec", false, "run the batched-vs-scalar execution microbenchmark instead of the figure experiments")
+	execRuns := flag.Int("exec-runs", 5, "measured trace replays per batch size for -exec")
 	flag.Parse()
 
 	cfg := qap.DefaultExperimentConfig()
@@ -46,6 +59,12 @@ func main() {
 	cfg.Trace.DurationSec = *duration
 	cfg.MaxHosts = *hosts
 	cfg.Workers = *workers
+	cfg.BatchSize = *batch
+
+	if *execBench {
+		runExec(*seed, *rate, *duration, *execRuns, *benchOut)
+		return
+	}
 
 	type experiment struct {
 		name string
@@ -142,6 +161,94 @@ func writeBench(dir, name string, cfg qap.ExperimentConfig, wall time.Duration, 
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", path)
+}
+
+// execBatchSizes is the batch-size sweep of the hot-path benchmark;
+// batch 1 is the tuple-at-a-time scalar baseline the gate ratios are
+// computed against.
+var execBatchSizes = []int{1, 64, 256, 1024}
+
+// Gate thresholds for the batched path (ISSUE 5 acceptance): at least
+// one batched row must clear both versus batch size 1.
+const (
+	execGateMinSpeedup    = 2.0
+	execGateMaxAllocRatio = 0.25
+)
+
+// runExec measures the batched-vs-scalar hot path on the Figure 8
+// workload and optionally writes BENCH_exec.json. The trace uses the
+// netgen defaults (the benchmark's shape) rather than the figure
+// experiments' widened address mix, so the numbers line up with
+// BenchmarkBatchedThroughput.
+func runExec(seed int64, rate, duration, runs int, benchOut string) {
+	trace := netgen.DefaultConfig()
+	trace.Seed = seed
+	trace.PacketsPerSec = rate
+	trace.DurationSec = duration
+
+	results, err := qap.BatchedThroughput(trace, execBatchSizes, runs)
+	if err != nil {
+		fatal(err)
+	}
+
+	rep := &obs.ExecBenchReport{
+		SchemaVersion: obs.SchemaVersion,
+		Name:          "exec",
+		Config: obs.BenchConfig{
+			RatePPS:     rate,
+			DurationSec: duration,
+			MaxHosts:    1,
+			Seed:        seed,
+			Workers:     1,
+		},
+		RunsPerBatchSize:  runs,
+		GateMinSpeedup:    execGateMinSpeedup,
+		GateMaxAllocRatio: execGateMaxAllocRatio,
+	}
+	var scalar qap.BatchedThroughputResult
+	for _, r := range results {
+		if r.BatchSize == 1 {
+			scalar = r
+		}
+	}
+	fmt.Printf("Batched vs scalar execution (suspicious flows, %d rows, %d runs/batch):\n", scalar.Rows, runs)
+	fmt.Printf("%8s  %12s  %12s  %14s  %12s  %9s  %9s\n",
+		"batch", "ns/run", "rows/s", "B/run", "allocs/run", "speedup", "allocs x")
+	for _, r := range results {
+		row := obs.ExecBenchRow{
+			BatchSize:    r.BatchSize,
+			NanosPerRun:  r.NanosPerRun,
+			RowsPerSec:   r.RowsPerSec,
+			BytesPerRun:  r.BytesPerRun,
+			AllocsPerRun: r.AllocsPerRun,
+		}
+		if scalar.RowsPerSec > 0 {
+			row.SpeedupVsScalar = r.RowsPerSec / scalar.RowsPerSec
+		}
+		if scalar.AllocsPerRun > 0 {
+			row.AllocRatioVsScalar = float64(r.AllocsPerRun) / float64(scalar.AllocsPerRun)
+		}
+		if r.BatchSize > 1 &&
+			row.SpeedupVsScalar >= execGateMinSpeedup &&
+			row.AllocRatioVsScalar <= execGateMaxAllocRatio {
+			rep.GateMet = true
+		}
+		rep.Rows = append(rep.Rows, row)
+		rep.RowsPerRun = r.Rows
+		fmt.Printf("%8d  %12d  %12.0f  %14d  %12d  %8.2fx  %8.3fx\n",
+			r.BatchSize, r.NanosPerRun, r.RowsPerSec, r.BytesPerRun, r.AllocsPerRun,
+			row.SpeedupVsScalar, row.AllocRatioVsScalar)
+	}
+	fmt.Printf("gate (>=%.1fx rows/s, <=%.2fx allocs vs batch=1): met=%v\n",
+		execGateMinSpeedup, execGateMaxAllocRatio, rep.GateMet)
+
+	if benchOut != "" {
+		path := filepath.Join(benchOut, "BENCH_exec.json")
+		if err := obs.WriteJSON(path, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
 }
 
 func fatal(err error) {

@@ -7,7 +7,8 @@
 //
 // Usage:
 //
-//	qap-difftest [-seed n] [-n count] [-hosts list] [-workers list] [-v]
+//	qap-difftest [-seed n] [-n count] [-hosts list] [-workers list]
+//	             [-batches list] [-v]
 //
 // Examples:
 //
@@ -31,12 +32,14 @@ func main() {
 	n := flag.Int64("n", 20, "number of seeds to check, starting at 0 (ignored with -seed)")
 	hosts := flag.String("hosts", "1,2,4", "comma-separated host counts to sweep")
 	workers := flag.String("workers", "1,4", "comma-separated engine worker counts to sweep")
+	batches := flag.String("batches", "1,7,64,1024", "comma-separated operator batch sizes for the batched-equivalence section")
 	verbose := flag.Bool("v", false, "print the generated workload for passing seeds too")
 	flag.Parse()
 
 	opts := difftest.Options{
-		Hosts:   parseInts(*hosts),
-		Workers: parseInts(*workers),
+		Hosts:      parseInts(*hosts),
+		Workers:    parseInts(*workers),
+		BatchSizes: parseInts(*batches),
 	}
 	seeds := make([]int64, 0, *n)
 	if *seed >= 0 {

@@ -44,6 +44,7 @@ func main() {
 	traceFile := flag.String("trace", "", "CSV trace file to replay instead of generating one")
 	dumpFile := flag.String("dump", "", "write the generated trace to this CSV file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
+	batch := flag.Int("batch", 0, "operator batch size (0 = engine default, 1 = tuple-at-a-time; results are identical)")
 	metricsOut := flag.String("metrics-out", "", "write the machine-readable JSON run report to this file")
 	report := flag.Bool("report", false, "print the run report in Prometheus text format")
 	flag.Parse()
@@ -80,6 +81,7 @@ func main() {
 		Costs:             qap.CostConfig{CapacityPerSec: float64(*rate) * 3},
 		Params:            map[string]qap.Value{"PATTERN": qap.Uint(netgen.AttackPattern)},
 		Workers:           *workers,
+		BatchSize:         *batch,
 		CollectStats:      *metricsOut != "" || *report,
 	})
 	if err != nil {

@@ -84,6 +84,10 @@ type ExperimentConfig struct {
 	// Workers selects the simulator's execution engine (see
 	// DeployConfig.Workers); results are identical for any value.
 	Workers int
+	// BatchSize selects the operator batch size (see
+	// DeployConfig.BatchSize); canonical results are identical for any
+	// value.
+	BatchSize int
 }
 
 // DefaultExperimentConfig returns a laptop-scale version of the
@@ -190,6 +194,7 @@ func runExperiment(id, title, queries string, strategies []Strategy, cfg Experim
 			Costs:             CostConfig{CapacityPerSec: capacity},
 			Params:            params,
 			Workers:           cfg.Workers,
+			BatchSize:         cfg.BatchSize,
 		})
 		if err != nil {
 			return nil, err

@@ -51,6 +51,8 @@ import (
 	"sync"
 
 	"qap/internal/exec"
+	"qap/internal/netgen"
+	"qap/internal/sqlval"
 )
 
 // defaultBatchRounds is how many watermark rounds the driver coalesces
@@ -58,6 +60,10 @@ import (
 // are small (a handful of packets at typical trace rates), so batching
 // amortizes channel synchronization across the pipeline.
 const defaultBatchRounds = 32
+
+// defaultBatchSize is the execution batch size when RunConfig.BatchSize
+// is unset: batch-at-a-time execution is the default hot path.
+const defaultBatchSize = 256
 
 // feedChanCap bounds each worker's feed channel: the driver may run at
 // most this many messages ahead of a worker, which also bounds the
@@ -80,6 +86,7 @@ type linkKind uint8
 
 const (
 	itemPush linkKind = iota
+	itemPushBatch
 	itemAdvance
 	itemFlush
 )
@@ -91,6 +98,7 @@ type linkItem struct {
 	kind  linkKind
 	e     *edge
 	t     exec.Tuple
+	b     exec.Batch
 	wm    uint64
 }
 
@@ -115,6 +123,23 @@ type capture struct {
 func (c *capture) Push(t exec.Tuple) {
 	c.isl.outbox = append(c.isl.outbox, linkItem{
 		round: c.isl.curRound, tag: c.isl.curTag, kind: itemPush, e: c.e, t: t,
+	})
+}
+
+// PushBatch records a produced batch as a single link item, so the
+// central replay applies it through edge.PushBatch over exactly the
+// batch boundaries the producing operator emitted — the same
+// boundaries the sequential engine cascades inline. The container is
+// copied into a pooled batch because producers reuse their emission
+// buffers across epochs; the tuples themselves are immutable once
+// emitted, so only the container needs to survive until replay.
+func (c *capture) PushBatch(b exec.Batch) {
+	if len(b) == 0 {
+		return
+	}
+	cp := append(exec.GetBatch(), b...)
+	c.isl.outbox = append(c.isl.outbox, linkItem{
+		round: c.isl.curRound, tag: c.isl.curTag, kind: itemPushBatch, e: c.e, b: cp,
 	})
 }
 
@@ -143,12 +168,25 @@ type pushAction struct {
 	t   exec.Tuple
 }
 
-// hostRound is one island's share of one round.
+// pushGroup is one destination partition's buffered tuples within a
+// round of the batched driver. Its tag is the round-local sequence
+// number of the group's first tuple, so the central replay merge
+// interleaves islands' groups in exactly the order the batched
+// sequential driver delivers them.
+type pushGroup struct {
+	tag    uint64
+	out    exec.Consumer
+	tuples exec.Batch
+}
+
+// hostRound is one island's share of one round. Exactly one of pushes
+// (scalar mode) and groups (batched mode) is populated.
 type hostRound struct {
 	round  int
 	wm     uint64
 	adv    bool // run the island's advance targets at wm
 	pushes []pushAction
+	groups []pushGroup
 	flush  bool // run the island's flush targets
 }
 
@@ -168,6 +206,8 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 	if workers > hosts {
 		workers = hosts
 	}
+	bs := r.batchSize
+	batched := bs > 1
 
 	// Pre-resolve every island's advance and flush target lists in
 	// canonical (= tag) order. Advance walks the fed streams in cursor
@@ -220,6 +260,19 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 						isl.curTag = pa.tag
 						pa.out.Push(pa.t)
 					}
+					for gi := range hr.groups {
+						g := &hr.groups[gi]
+						isl.curTag = g.tag
+						for off := 0; off < len(g.tuples); off += bs {
+							end := off + bs
+							if end > len(g.tuples) {
+								end = len(g.tuples)
+							}
+							exec.PushAll(g.out, g.tuples[off:end])
+						}
+						exec.PutBatch(g.tuples)
+						g.out, g.tuples = nil, nil
+					}
 					if hr.flush {
 						for _, ft := range flushTargets[isl.id] {
 							isl.curTag = ft.tag
@@ -246,7 +299,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		defer driverWG.Done()
 		// rounds[i] accumulates island i's pending hostRounds.
 		rounds := make([][]hostRound, hosts)
-		batched := 0
+		pendingRounds := 0
 		round := -1
 		ship := func(last bool) {
 			for i := 0; i < hosts; i++ {
@@ -254,7 +307,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 				rounds[i] = nil
 				feeds[i%workers] <- msg
 			}
-			batched = 0
+			pendingRounds = 0
 			// Driver-owned telemetry (one feed message per island);
 			// finalize reads it only after driverWG.Wait() below.
 			r.engBatches += int64(hosts)
@@ -266,6 +319,16 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 				rounds[i] = append(rounds[i], hostRound{round: round, wm: wm, adv: true})
 			}
 		}
+		if batched {
+			for _, c := range cursors {
+				c.gidx = make([]int, len(c.rt.outs))
+				c.gstamp = make([]int, len(c.rt.outs))
+				for p := range c.gstamp {
+					c.gstamp[p] = -1
+				}
+			}
+		}
+		var valSlab []sqlval.Value
 		var lastTime uint64
 		first := true
 		seq := uint64(0) // round-local push sequence
@@ -282,8 +345,8 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			}
 			if first || pk.Time > lastTime {
 				if !first {
-					batched++
-					if batched >= r.batchRounds {
+					pendingRounds++
+					if pendingRounds >= r.batchRounds {
 						ship(false)
 					}
 				}
@@ -291,13 +354,36 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 				seq = 0
 				lastTime, first = pk.Time, false
 			}
-			t := pk.Tuple()
+			if !batched {
+				t := pk.Tuple()
+				idx := best.rt.route(t)
+				id := best.rt.islands[idx]
+				hr := &rounds[id][len(rounds[id])-1]
+				hr.pushes = append(hr.pushes, pushAction{
+					tag: phasePush | seq, out: best.rt.outs[idx], t: t,
+				})
+				seq++
+				continue
+			}
+			// Batched: buffer the tuple into its destination's group for
+			// this round, tagged with the group's first-tuple sequence.
+			if cap(valSlab)-len(valSlab) < netgen.TupleCols {
+				valSlab = make([]sqlval.Value, 0, tupleSlabVals)
+			}
+			var t exec.Tuple
+			valSlab, t = pk.AppendTuple(valSlab)
 			idx := best.rt.route(t)
 			id := best.rt.islands[idx]
 			hr := &rounds[id][len(rounds[id])-1]
-			hr.pushes = append(hr.pushes, pushAction{
-				tag: phasePush | seq, out: best.rt.outs[idx], t: t,
-			})
+			if best.gstamp[idx] != round {
+				best.gstamp[idx] = round
+				best.gidx[idx] = len(hr.groups)
+				hr.groups = append(hr.groups, pushGroup{
+					tag: phasePush | seq, out: best.rt.outs[idx], tuples: exec.GetBatch(),
+				})
+			}
+			g := &hr.groups[best.gidx[idx]]
+			g.tuples = append(g.tuples, t)
 			seq++
 		}
 		// The flush round.
@@ -351,6 +437,10 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			switch it.kind {
 			case itemPush:
 				it.e.Push(it.t)
+			case itemPushBatch:
+				it.e.PushBatch(it.b)
+				exec.PutBatch(it.b)
+				it.b = nil
 			case itemAdvance:
 				it.e.Advance(it.wm)
 			case itemFlush:

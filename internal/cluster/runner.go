@@ -29,6 +29,7 @@ type Runner struct {
 	params      exec.Params
 	workers     int
 	batchRounds int
+	batchSize   int
 	collect     bool
 	metrics     *Metrics
 	routers     map[string]*router
@@ -39,6 +40,11 @@ type Runner struct {
 	// is the central island (the root process on the aggregator host).
 	islands  []*island
 	parallel bool
+	// reuseTupleSlabs marks plans whose operators provably drop all
+	// references to scan tuples within the delivery round (see
+	// scanTuplesSevered), enabling tuple-slab recycling in the
+	// sequential batched driver.
+	reuseTupleSlabs bool
 
 	// Wall-clock and transport telemetry for the run report. None of it
 	// feeds back into execution: started is read only by buildReport,
@@ -64,6 +70,18 @@ type RunConfig struct {
 	// channel message on the splitter feeds and inter-host links; 0
 	// uses the default.
 	BatchRounds int
+	// BatchSize selects the execution hot path. 1 runs the legacy
+	// tuple-at-a-time (scalar) path. Values > 1 run batch-at-a-time:
+	// the driver buffers each round's tuples per destination partition
+	// and delivers them as batches of up to BatchSize through the
+	// operators' BatchConsumer fast paths (exec/batch.go), which
+	// amortize per-tuple allocations. 0 defaults to defaultBatchSize
+	// (batching on). Canonical results are identical at every batch
+	// size; raw within-round delivery interleaving across partitions is
+	// a plan detail and may differ between batched and scalar runs,
+	// while runs at the same BatchSize are byte-identical for any
+	// Workers value.
+	BatchSize int
 	// CollectStats enables the observability layer: per-operator
 	// counters (rows in/out, watermark advances, flushes, per-operator
 	// CPU and network/IPC arrivals) in Result.OpStats and the
@@ -139,15 +157,85 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 	if r.batchRounds <= 0 {
 		r.batchRounds = defaultBatchRounds
 	}
+	r.batchSize = cfg.BatchSize
+	if r.batchSize == 0 {
+		r.batchSize = defaultBatchSize
+	}
+	if r.batchSize < 1 {
+		r.batchSize = 1
+	}
 	r.islands = make([]*island, p.Hosts+1)
 	for i := range r.islands {
 		r.islands[i] = &island{id: i, rows: make(map[string]*int64), ops: make(map[int]*obs.OpStats)}
 	}
 	r.parallel = cfg.Workers > 1 && r.parallelizable()
+	r.reuseTupleSlabs = scanTuplesSevered(p)
 	if err := r.compile(); err != nil {
 		return nil, err
 	}
 	return r, nil
+}
+
+// scanTuplesSevered reports whether no operator can retain a reference
+// to a scan-produced tuple past its delivery round, which lets the
+// sequential batched driver recycle the tuple-backing slabs instead of
+// allocating fresh ones every ~512 packets. An operator severs the
+// aliasing when its output rows are fresh materializations (a
+// select/project with a projection list, any aggregate); it retains
+// when it stores input tuples beyond the call (a join's hash tables, an
+// output collector, a sliding window's panes). Pass-through operators
+// (unions, projection-less selections) forward the alias downstream.
+func scanTuplesSevered(p *optimizer.Plan) bool {
+	down := make(map[*optimizer.Op][]*optimizer.Op, len(p.Ops))
+	for _, op := range p.Ops {
+		for _, in := range op.Inputs {
+			down[in] = append(down[in], op)
+		}
+	}
+	memo := make(map[*optimizer.Op]bool, len(p.Ops))
+	// safe reports whether an operator receiving aliased scan tuples
+	// cannot leak them past the round. The plan is a DAG in topological
+	// order, so the recursion terminates.
+	var safe func(op *optimizer.Op) bool
+	safe = func(op *optimizer.Op) bool {
+		if v, ok := memo[op]; ok {
+			return v
+		}
+		v := true
+		switch op.Kind {
+		case optimizer.OpAggregate, optimizer.OpAggSub, optimizer.OpAggSuper:
+			// Severs: group values are copied, emissions are fresh.
+		case optimizer.OpSelProj:
+			if op.Logical == nil || len(op.Logical.Projs) == 0 {
+				// Projection-less: forwards the input tuple itself.
+				for _, d := range down[op] {
+					v = v && safe(d)
+				}
+			}
+		case optimizer.OpUnion:
+			for _, d := range down[op] {
+				v = v && safe(d)
+			}
+		default:
+			// Joins and windows buffer input tuples across rounds;
+			// collectors retain them for Result.Outputs. Unknown kinds
+			// are conservatively treated the same.
+			v = false
+		}
+		memo[op] = v
+		return v
+	}
+	for _, op := range p.Ops {
+		if op.Kind != optimizer.OpScan {
+			continue
+		}
+		for _, d := range down[op] {
+			if !safe(d) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // opStatsOf returns the operator's stat shard on its execution island,
@@ -211,6 +299,11 @@ type streamCursor struct {
 	rt      *router
 	packets []netgen.Packet
 	pos     int
+
+	// Batched-driver bookkeeping: gidx[p] is the arena index of
+	// partition p's open tuple group, valid only while gstamp[p] equals
+	// the current round.
+	gidx, gstamp []int
 }
 
 // makeCursors validates the input traces and fixes the canonical merge
@@ -269,6 +362,9 @@ func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error)
 	if r.parallel {
 		return r.runParallel(cursors)
 	}
+	if r.batchSize > 1 {
+		return r.runSequentialBatched(cursors)
+	}
 	return r.runSequential(cursors)
 }
 
@@ -300,6 +396,122 @@ func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
 		best.rt.Push(pk.Tuple())
 	}
 	// Flush in canonical stream order: every router, sorted by name.
+	for _, name := range r.routerNames {
+		r.routers[name].Flush()
+	}
+	r.engRounds++ // the flush round
+	return r.finalize(any, maxTime), nil
+}
+
+// seqGroup is one destination partition's buffered tuples within the
+// current round of the batched sequential driver.
+type seqGroup struct {
+	out    exec.Consumer
+	tuples exec.Batch
+}
+
+// tupleSlabVals sizes the shared tuple-backing slabs the batched
+// drivers carve packet tuples from (512 packets per slab).
+const tupleSlabVals = 512 * netgen.TupleCols
+
+// runSequentialBatched is the batch-at-a-time sequential driver: the
+// same round structure as runSequential (advances, then the round's
+// tuples, then the final flush round), but each round's tuples are
+// buffered per destination partition and delivered at the round
+// boundary as batches of up to batchSize, in the order each
+// destination first appeared in the round. Tuple values are carved
+// from shared slabs instead of one allocation per packet. The parallel
+// engine's batched driver replays the identical grouping, so results
+// at a given BatchSize are byte-identical for any worker count.
+func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) {
+	bs := r.batchSize
+	for _, c := range cursors {
+		c.gidx = make([]int, len(c.rt.outs))
+		c.gstamp = make([]int, len(c.rt.outs))
+		for p := range c.gstamp {
+			c.gstamp[p] = -1
+		}
+	}
+	var (
+		groups  []seqGroup // the round's groups, in first-tuple order
+		valSlab []sqlval.Value
+		// Slab recycling, when the plan severs scan-tuple aliases
+		// (scanTuplesSevered): a slab exhausted mid-round only holds
+		// tuples buffered for the current or already-delivered rounds,
+		// so once flushRound has delivered the round it can be reused
+		// instead of left to the collector. The parallel driver never
+		// recycles — captured island crossings may reference tuples
+		// until the central replay reaches them.
+		spentSlabs [][]sqlval.Value
+		freeSlabs  [][]sqlval.Value
+	)
+	reuse := r.reuseTupleSlabs
+	flushRound := func() {
+		for i := range groups {
+			g := &groups[i]
+			for off := 0; off < len(g.tuples); off += bs {
+				end := off + bs
+				if end > len(g.tuples) {
+					end = len(g.tuples)
+				}
+				exec.PushAll(g.out, g.tuples[off:end])
+			}
+			exec.PutBatch(g.tuples)
+			g.out, g.tuples = nil, nil
+		}
+		groups = groups[:0]
+		if len(spentSlabs) > 0 {
+			freeSlabs = append(freeSlabs, spentSlabs...)
+			spentSlabs = spentSlabs[:0]
+		}
+	}
+	var lastTime, maxTime uint64
+	first := true
+	any := false
+	round := 0
+	for {
+		best := nextCursor(cursors)
+		if best == nil {
+			break
+		}
+		pk := &best.packets[best.pos]
+		best.pos++
+		any = true
+		if pk.Time > maxTime {
+			maxTime = pk.Time
+		}
+		if first || pk.Time > lastTime {
+			flushRound()
+			round++
+			for _, c := range cursors {
+				c.rt.Advance(pk.Time)
+			}
+			lastTime, first = pk.Time, false
+			r.engRounds++
+		}
+		if cap(valSlab)-len(valSlab) < netgen.TupleCols {
+			if reuse && cap(valSlab) > 0 {
+				spentSlabs = append(spentSlabs, valSlab)
+			}
+			if n := len(freeSlabs); reuse && n > 0 {
+				valSlab = freeSlabs[n-1][:0]
+				freeSlabs = freeSlabs[:n-1]
+			} else {
+				valSlab = make([]sqlval.Value, 0, tupleSlabVals)
+			}
+		}
+		var t exec.Tuple
+		valSlab, t = pk.AppendTuple(valSlab)
+		idx := best.rt.route(t)
+		if best.gstamp[idx] != round {
+			best.gstamp[idx] = round
+			best.gidx[idx] = len(groups)
+			groups = append(groups, seqGroup{out: best.rt.outs[idx], tuples: exec.GetBatch()})
+		}
+		g := &groups[best.gidx[idx]]
+		g.tuples = append(g.tuples, t)
+	}
+	flushRound()
 	for _, name := range r.routerNames {
 		r.routers[name].Flush()
 	}
@@ -434,6 +646,12 @@ func (c *rowCounter) Push(t exec.Tuple) { *c.n++; c.next.Push(t) }
 func (c *rowCounter) Advance(wm uint64) { c.next.Advance(wm) }
 func (c *rowCounter) Flush()            { c.next.Flush() }
 
+// PushBatch implements exec.BatchConsumer.
+func (c *rowCounter) PushBatch(b exec.Batch) {
+	*c.n += int64(len(b))
+	exec.PushAll(c.next, b)
+}
+
 // countedOutput wraps an operator's fanout with a row counter when the
 // operator produces a logical node's complete output (full aggregates,
 // super-aggregates, select/project, join instances — not scans,
@@ -458,25 +676,27 @@ func (r *Runner) countedOutput(op *optimizer.Op, out exec.Consumer) exec.Consume
 // ---- stream splitter (paper Section 3.3) ----
 
 type router struct {
-	hashFns []exec.EvalFunc // nil => round robin
-	outs    []exec.Consumer
-	islands []int // island id owning each partition's scan
-	rr      int
+	hashFns  []exec.EvalFunc // nil => round robin
+	outs     []exec.Consumer
+	islands  []int // island id owning each partition's scan
+	rr       int
+	hashVals []sqlval.Value // route scratch, driver-goroutine-owned
 }
 
 // route picks the destination partition for one tuple. It mutates the
-// round-robin cursor, so in parallel mode only the splitter (driver)
-// goroutine may call it.
+// round-robin cursor and the hash scratch, so in parallel mode only
+// the splitter (driver) goroutine may call it.
 func (rt *router) route(t exec.Tuple) int {
 	if rt.hashFns == nil {
 		idx := rt.rr % len(rt.outs)
 		rt.rr++
 		return idx
 	}
-	vals := make([]sqlval.Value, len(rt.hashFns))
-	for i, f := range rt.hashFns {
-		vals[i] = f(t)
+	vals := rt.hashVals[:0]
+	for _, f := range rt.hashFns {
+		vals = append(vals, f(t))
 	}
+	rt.hashVals = vals
 	h := sqlval.HashTuple(vals)
 	// Range split: partition i receives H in [i*R/M, (i+1)*R/M).
 	return int((h >> 32) * uint64(len(rt.outs)) >> 32)
@@ -540,6 +760,40 @@ func (e *edge) Push(t exec.Tuple) {
 	e.next.Push(t)
 }
 
+// PushBatch implements exec.BatchConsumer: the per-tuple accounting
+// loop runs first (identically to scalar pushes, so floating-point
+// sums accumulate in the same order regardless of how a round was
+// chunked into batches), then the whole batch moves downstream. This
+// holds on island-crossing edges too: the parallel engine captures a
+// produced batch as a single link item and replays it through this
+// same method, so both engines run the accounting loop and the
+// downstream cascade over identical batch boundaries.
+func (e *edge) PushBatch(b exec.Batch) {
+	for _, t := range b {
+		e.m.Tuples++
+		e.m.CPUUnits += e.opCost + e.xfer
+		switch {
+		case e.net:
+			e.m.NetTuplesIn++
+			e.m.NetBytesIn += int64(t.WireSize())
+		case e.ipc:
+			e.m.IPCTuplesIn++
+		}
+		if e.st != nil {
+			e.st.RowsIn++
+			e.st.CPUUnits += e.opCost + e.xfer
+			switch {
+			case e.net:
+				e.st.NetTuplesIn++
+				e.st.NetBytesIn += int64(t.WireSize())
+			case e.ipc:
+				e.st.IPCTuplesIn++
+			}
+		}
+	}
+	exec.PushAll(e.next, b)
+}
+
 func (e *edge) Advance(wm uint64) {
 	if e.st != nil {
 		e.st.Advances++
@@ -566,6 +820,12 @@ type opOut struct {
 func (o *opOut) Push(t exec.Tuple) { o.st.RowsOut++; o.next.Push(t) }
 func (o *opOut) Advance(wm uint64) { o.next.Advance(wm) }
 func (o *opOut) Flush()            { o.next.Flush() }
+
+// PushBatch implements exec.BatchConsumer.
+func (o *opOut) PushBatch(b exec.Batch) {
+	o.st.RowsOut += int64(len(b))
+	exec.PushAll(o.next, b)
+}
 
 // opCostOf returns the per-tuple work of an operator kind.
 func (c CostConfig) opCostOf(kind optimizer.OpKind) float64 {

@@ -26,6 +26,7 @@ package difftest
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -44,6 +45,11 @@ type Options struct {
 	Hosts []int
 	// Workers are the engine worker counts to compare; default {1, 4}.
 	Workers []int
+	// BatchSizes are the operator batch sizes the batched-equivalence
+	// section compares against the scalar path; default {1, 7, 64,
+	// 1024} (1 is the scalar path itself, 7 exercises ragged final
+	// chunks, 64 and 1024 straddle the engine default).
+	BatchSizes []int
 }
 
 func (o Options) withDefaults() Options {
@@ -52,6 +58,9 @@ func (o Options) withDefaults() Options {
 	}
 	if len(o.Workers) == 0 {
 		o.Workers = []int{1, 4}
+	}
+	if len(o.BatchSizes) == 0 {
+		o.BatchSizes = []int{1, 7, 64, 1024}
 	}
 	return o
 }
@@ -156,8 +165,11 @@ func CheckQueries(ddl, queries string, trace netgen.Config, opts Options) (*Repo
 		return dep.RunStreams(streams)
 	}
 
-	// Baseline: one host, centralized plan, sequential engine.
-	base, err := run(qap.DeployConfig{Hosts: 1, Workers: 1})
+	// Baseline: one host, centralized plan, sequential engine, scalar
+	// (tuple-at-a-time) execution. The sweep below runs with the
+	// engine's default batch size, so every cell also gates the batched
+	// hot path against this scalar reference.
+	base, err := run(qap.DeployConfig{Hosts: 1, Workers: 1, BatchSize: 1})
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
@@ -189,9 +201,88 @@ func CheckQueries(ddl, queries string, trace netgen.Config, opts Options) (*Repo
 		Hosts: last, Partitioning: analysis.Best, PartialScope: qap.ScopePartition,
 	})
 
+	rep.checkBatched(opts, want, run, analysis.Best, last)
 	rep.checkLoadBound(sys, measured, analysis.Best, run)
 	rep.checkLintAgreement(sys, analysis.Best)
 	return rep, nil
+}
+
+// checkBatched verifies the batch-at-a-time execution path against the
+// legacy scalar path on one fixed plan: for every (batch size, worker
+// count) cell the canonical output must equal the scalar reference's,
+// and the per-operator deterministic counters must agree — integer
+// counters exactly, CPUUnits up to float summation-order drift
+// (batching regroups the same per-tuple cost additions, which can move
+// a float64 sum by ULPs but no more).
+func (r *Report) checkBatched(opts Options, want string, run func(qap.DeployConfig) (*qap.RunResult, error), best core.Set, hosts int) {
+	r.Configs++
+	ref, err := run(qap.DeployConfig{
+		Hosts: hosts, Partitioning: best, Workers: 1, BatchSize: 1, CollectStats: true,
+	})
+	if err != nil {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: "batched scalar-ref",
+			Detail: fmt.Sprintf("run failed where baseline succeeded: %v\n", err)})
+		return
+	}
+	if got := Canonical(ref); got != want {
+		r.Mismatches = append(r.Mismatches, Mismatch{Config: "batched scalar-ref", Detail: firstDiff(want, got)})
+		return
+	}
+	for _, bs := range opts.BatchSizes {
+		for _, workers := range opts.Workers {
+			if bs == 1 && workers == 1 {
+				continue // the scalar reference itself
+			}
+			name := fmt.Sprintf("hosts=%d set=best workers=%d batch=%d", hosts, workers, bs)
+			r.Configs++
+			res, err := run(qap.DeployConfig{
+				Hosts: hosts, Partitioning: best, Workers: workers, BatchSize: bs, CollectStats: true,
+			})
+			if err != nil {
+				r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+					Detail: fmt.Sprintf("run failed where baseline succeeded: %v\n", err)})
+				continue
+			}
+			if got := Canonical(res); got != want {
+				r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: firstDiff(want, got)})
+				continue
+			}
+			if d := diffOpStats(ref.OpStats, res.OpStats); d != "" {
+				r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: d})
+			}
+		}
+	}
+}
+
+// diffOpStats compares two per-operator counter maps and renders the
+// first disagreement: integer counters must be identical, CPUUnits may
+// differ only within summation-order tolerance.
+func diffOpStats(want, got map[int]*qap.OpStats) string {
+	if len(want) != len(got) {
+		return fmt.Sprintf("operator count differs: scalar %d, batched %d\n", len(want), len(got))
+	}
+	ids := make([]int, 0, len(want))
+	for id := range want { //qap:allow maprange -- ids collected then sorted below
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		w, g := want[id], got[id]
+		if g == nil {
+			return fmt.Sprintf("op %d: present in scalar run, missing in batched run\n", id)
+		}
+		wi, gi := *w, *g
+		wi.CPUUnits, gi.CPUUnits = 0, 0
+		if wi != gi {
+			return fmt.Sprintf("op %d: counters differ:\n  scalar:  %+v\n  batched: %+v\n", id, *w, *g)
+		}
+		tol := 1e-9 * math.Max(math.Abs(w.CPUUnits), 1)
+		if math.Abs(w.CPUUnits-g.CPUUnits) > tol {
+			return fmt.Sprintf("op %d: CPUUnits differ beyond summation tolerance: scalar %v, batched %v\n",
+				id, w.CPUUnits, g.CPUUnits)
+		}
+	}
+	return ""
 }
 
 // compare runs one configuration and records a mismatch if its

@@ -8,8 +8,9 @@ import (
 
 // sweepSeeds is the fixed seed range CI runs; 15 workload seeds at the
 // default sweep dimensions yield well over 200 compared configurations
-// (each workload is checked across hosts × partitioning × workers plus
-// the metamorphic invariants).
+// (each workload is checked across hosts × partitioning × workers, the
+// batched-execution cells across batch sizes × workers, plus the
+// metamorphic invariants).
 var sweepSeeds = flag.Int64("difftest.seeds", 15, "number of workload seeds TestDifferentialSweep checks")
 
 // TestDifferentialSweep is the table-driven face of the oracle: a fixed

@@ -18,8 +18,37 @@ type Accum interface {
 	Result() sqlval.Value
 }
 
-// AccumFactory creates fresh accumulators for new groups.
+// AccumFactory creates fresh accumulators for new groups. A factory is
+// not safe for concurrent use: the simple accumulator kinds are carved
+// out of factory-local slabs. The runner constructs one factory per
+// physical operator, and each operator executes on a single island
+// goroutine, so this is never observable there; external callers that
+// share a factory across goroutines must synchronize.
 type AccumFactory func() Accum
+
+// accumSlabSize is the number of accumulators carved per slab
+// allocation. Accumulators are per-(group, epoch), so a slab is
+// retained at most one epoch past its last carve.
+const accumSlabSize = 256
+
+// slabbed returns a factory that carves accumulators out of chunked
+// slabs instead of boxing each one, amortizing the per-group
+// allocation that dominates high-cardinality aggregation.
+func slabbed[T any, PT interface {
+	*T
+	Accum
+}](init T) AccumFactory {
+	var slab []T
+	return func() Accum {
+		if len(slab) == 0 {
+			slab = make([]T, accumSlabSize)
+		}
+		a := &slab[0]
+		slab = slab[1:]
+		*a = init
+		return PT(a)
+	}
+}
 
 // NewAccumFactory returns a factory for the named aggregate function.
 // The supported names are those in the gsql registry plus AVG_MERGE,
@@ -28,29 +57,29 @@ type AccumFactory func() Accum
 func NewAccumFactory(name string) (AccumFactory, error) {
 	switch strings.ToUpper(name) {
 	case "COUNT":
-		return func() Accum { return &countAccum{} }, nil
+		return slabbed[countAccum, *countAccum](countAccum{}), nil
 	case "SUM":
-		return func() Accum { return &sumAccum{} }, nil
+		return slabbed[sumAccum, *sumAccum](sumAccum{}), nil
 	case "MIN":
-		return func() Accum { return &minmaxAccum{wantLess: true} }, nil
+		return slabbed[minmaxAccum, *minmaxAccum](minmaxAccum{wantLess: true}), nil
 	case "MAX":
-		return func() Accum { return &minmaxAccum{} }, nil
+		return slabbed[minmaxAccum, *minmaxAccum](minmaxAccum{}), nil
 	case "AVG":
-		return func() Accum { return &avgAccum{} }, nil
+		return slabbed[avgAccum, *avgAccum](avgAccum{}), nil
 	case "OR_AGGR":
-		return func() Accum { return &bitAccum{op: bitOr} }, nil
+		return slabbed[bitAccum, *bitAccum](bitAccum{op: bitOr}), nil
 	case "AND_AGGR":
-		return func() Accum { return &bitAccum{op: bitAnd, acc: ^uint64(0)} }, nil
+		return slabbed[bitAccum, *bitAccum](bitAccum{op: bitAnd, acc: ^uint64(0)}), nil
 	case "XOR_AGGR":
-		return func() Accum { return &bitAccum{op: bitXor} }, nil
+		return slabbed[bitAccum, *bitAccum](bitAccum{op: bitXor}), nil
 	case "COUNT_DISTINCT":
 		return func() Accum { return &countDistinctAccum{seen: make(map[string]bool)} }, nil
 	case "VARIANCE":
-		return func() Accum { return &varAccum{} }, nil
+		return slabbed[varAccum, *varAccum](varAccum{}), nil
 	case "STDDEV":
-		return func() Accum { return &varAccum{sqrt: true} }, nil
+		return slabbed[varAccum, *varAccum](varAccum{sqrt: true}), nil
 	case "SUMSQ":
-		return func() Accum { return &sumsqAccum{} }, nil
+		return slabbed[sumsqAccum, *sumsqAccum](sumsqAccum{}), nil
 	case "APPROX_COUNT_DISTINCT":
 		return func() Accum { return &hllAccum{} }, nil
 	case "HLL_SKETCH":

@@ -1,0 +1,88 @@
+package exec
+
+import "sync"
+
+// Batch-at-a-time execution (the vectorized hot path).
+//
+// A Batch is a run of tuples delivered to one consumer in one call.
+// Batching does not change operator semantics: PushBatch(b) must be
+// observationally equivalent to pushing b's tuples one at a time, in
+// order. What it changes is the constant factor — operators that
+// implement BatchConsumer amortize per-tuple costs (group-key
+// encoding buffers, map probes, output allocations) across the batch.
+//
+// The batch CONTAINER (the []Tuple slice) is owned by the producer and
+// is invalid after PushBatch returns: consumers must not retain or
+// mutate the slice itself. The tuples INSIDE the batch follow the
+// normal Tuple contract — immutable once pushed, retainable forever —
+// so stateful operators (joins, windows, collectors) may keep
+// references to them. This split is what lets producers recycle
+// containers through a pool while tuple backing memory stays safely
+// garbage-collected.
+
+// Batch is a run of tuples bound for one consumer.
+type Batch []Tuple
+
+// BatchConsumer is implemented by consumers with a vectorized fast
+// path. PushBatch(b) must behave exactly like Push(b[0]) ... Push(b[n-1]);
+// the consumer must not retain or mutate the slice b itself (the
+// tuples inside it are retainable as usual).
+type BatchConsumer interface {
+	Consumer
+	PushBatch(b Batch)
+}
+
+// PushAll delivers a batch through the consumer's fast path when it
+// has one, and tuple-at-a-time otherwise. Either way the consumer
+// observes the tuples in batch order.
+func PushAll(c Consumer, b Batch) {
+	if len(b) == 0 {
+		return
+	}
+	if bc, ok := c.(BatchConsumer); ok {
+		bc.PushBatch(b)
+		return
+	}
+	for _, t := range b {
+		c.Push(t)
+	}
+}
+
+// batchPool recycles batch containers across rounds; entries are
+// *Batch so Put does not box a fresh interface per call.
+var batchPool sync.Pool
+
+// GetBatch returns an empty batch container, reusing a pooled one's
+// capacity when available.
+func GetBatch() Batch {
+	if v := batchPool.Get(); v != nil {
+		return (*v.(*Batch))[:0]
+	}
+	return make(Batch, 0, 256)
+}
+
+// PutBatch returns a container to the pool. The caller must not use b
+// afterwards; tuples referenced by b are unaffected (the pool recycles
+// only the container).
+func PutBatch(b Batch) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	batchPool.Put(&b)
+}
+
+// PushBatch implements BatchConsumer.
+func (Discard) PushBatch(Batch) {}
+
+// PushBatch implements BatchConsumer.
+func (c *Collector) PushBatch(b Batch) { c.Rows = append(c.Rows, b...) }
+
+// PushBatch implements BatchConsumer: every output observes the whole
+// batch, in Outs order, matching the scalar Tee's per-tuple fanout
+// order per consumer.
+func (t *Tee) PushBatch(b Batch) {
+	for _, o := range t.Outs {
+		PushAll(o, b)
+	}
+}

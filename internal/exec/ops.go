@@ -1,7 +1,9 @@
 package exec
 
 import (
+	"slices"
 	"sort"
+	"strings"
 
 	"qap/internal/gsql"
 	"qap/internal/sqlval"
@@ -17,6 +19,12 @@ type FilterProject struct {
 	lastWM  uint64
 	wmSeen  bool
 	flushed bool
+
+	// Batched-path scratch, reused across PushBatch calls. Containers
+	// only — output tuple backing arrays are allocated per batch since
+	// downstream operators may retain the tuples.
+	filtBuf Batch
+	outBuf  Batch
 }
 
 // Push implements Consumer.
@@ -33,6 +41,42 @@ func (o *FilterProject) Push(t Tuple) {
 		out[i] = p(t)
 	}
 	o.Out.Push(out)
+}
+
+// PushBatch implements BatchConsumer: the predicate runs over the
+// whole batch into a reused scratch run, then the projection
+// materializes every surviving row out of a single backing allocation
+// instead of one per tuple.
+func (o *FilterProject) PushBatch(b Batch) {
+	pass := b
+	if o.Filter != nil {
+		pass = o.filtBuf[:0]
+		for _, t := range b {
+			if o.Filter(t).AsBool() {
+				pass = append(pass, t)
+			}
+		}
+		o.filtBuf = pass
+	}
+	if len(pass) == 0 {
+		return
+	}
+	if o.Projs == nil {
+		PushAll(o.Out, pass)
+		return
+	}
+	np := len(o.Projs)
+	backing := make([]sqlval.Value, len(pass)*np)
+	out := o.outBuf[:0]
+	for i, t := range pass {
+		row := backing[i*np : (i+1)*np : (i+1)*np]
+		for k, p := range o.Projs {
+			row[k] = p(t)
+		}
+		out = append(out, Tuple(row))
+	}
+	o.outBuf = out
+	PushAll(o.Out, out)
 }
 
 // Advance implements Consumer.
@@ -120,6 +164,10 @@ type unionPort struct {
 
 func (p *unionPort) Push(t Tuple) { p.u.Out.Push(t) }
 
+// PushBatch implements BatchConsumer: a union port forwards tuples
+// unchanged, so the batch passes straight through.
+func (p *unionPort) PushBatch(b Batch) { PushAll(p.u.Out, b) }
+
 func (p *unionPort) Advance(wm uint64) {
 	if p.wmSeen && wm <= p.wm {
 		return
@@ -200,7 +248,32 @@ type Aggregate struct {
 	lastWM      uint64
 	wmSeen      bool
 	flushed     bool
+
+	// Batched-path scratch and slabs. valsBuf/keyBuf are reused per
+	// tuple (the key encoding probes the map via string(keyBuf), which
+	// Go compiles without a copy); the slabs carve groupState structs,
+	// stored group values, and accumulator slots out of chunked arrays
+	// so a new group costs amortized rather than per-group allocations.
+	valsBuf   []sqlval.Value
+	keyBuf    []byte
+	stateSlab []groupState
+	valSlab   []sqlval.Value
+	accSlab   []Accum
+	// emitBuf and rowBuf are flush-path scratch: the batch container
+	// reused across epochs, and (with Post set) the groups++aggs input
+	// row Having/Post read but downstream never sees.
+	emitBuf Batch
+	rowBuf  Tuple
+	// minEpoch tracks the smallest non-NULL epoch among live groups, so
+	// an Advance whose boundary has not passed it skips the full group
+	// scan — most watermarks close no epoch but would otherwise pay
+	// O(groups) compares each.
+	minEpoch sqlval.Value
+	minSet   bool
 }
+
+// slabChunk is how many groups' worth of state one slab chunk holds.
+const slabChunk = 256
 
 // NewAggregate builds the operator.
 func NewAggregate(cfg AggregateConfig) *Aggregate {
@@ -230,6 +303,7 @@ func (o *Aggregate) Push(t Tuple) {
 		}
 		if o.cfg.EpochIdx >= 0 {
 			gs.epoch = vals[o.cfg.EpochIdx]
+			o.noteEpoch(gs.epoch)
 		}
 		o.groups[key] = gs
 	}
@@ -240,6 +314,97 @@ func (o *Aggregate) Push(t Tuple) {
 			gs.accs[i].Add(a.Arg(t))
 		}
 	}
+}
+
+// PushBatch implements BatchConsumer with the amortized per-tuple
+// path: group values evaluate into a reused scratch slice, the key
+// encodes into a reused byte buffer, and the map is probed once per
+// tuple without materializing a key string unless the group is new.
+func (o *Aggregate) PushBatch(b Batch) {
+	for _, t := range b {
+		o.pushFast(t)
+	}
+}
+
+func (o *Aggregate) pushFast(t Tuple) {
+	if o.cfg.PreFilter != nil && !o.cfg.PreFilter(t).AsBool() {
+		return
+	}
+	vals := o.valsBuf[:0]
+	for _, g := range o.cfg.GroupBy {
+		vals = append(vals, g(t))
+	}
+	o.valsBuf = vals
+	if o.boundarySet && o.cfg.EpochIdx >= 0 &&
+		!vals[o.cfg.EpochIdx].IsNull() && vals[o.cfg.EpochIdx].Compare(o.boundary) < 0 {
+		o.Late++
+		return
+	}
+	key := AppendKey(o.keyBuf[:0], vals)
+	o.keyBuf = key
+	gs, ok := o.groups[string(key)]
+	if !ok {
+		gs = o.newGroup(string(key), vals)
+	}
+	for i, a := range o.cfg.Aggs {
+		if a.Arg == nil {
+			gs.accs[i].Add(sqlval.Uint(1))
+		} else {
+			gs.accs[i].Add(a.Arg(t))
+		}
+	}
+}
+
+// newGroup registers a fresh group, carving its state from the slabs.
+// vals is scratch owned by the caller and is copied.
+func (o *Aggregate) newGroup(key string, vals []sqlval.Value) *groupState {
+	if len(o.stateSlab) == 0 {
+		o.stateSlab = make([]groupState, slabChunk)
+	}
+	gs := &o.stateSlab[0]
+	o.stateSlab = o.stateSlab[1:]
+
+	nv := len(o.cfg.GroupBy)
+	if len(o.valSlab)+nv > cap(o.valSlab) {
+		o.valSlab = make([]sqlval.Value, 0, maxInt(slabChunk*nv, nv))
+	}
+	start := len(o.valSlab)
+	o.valSlab = o.valSlab[:start+nv]
+	stored := o.valSlab[start : start+nv : start+nv]
+	copy(stored, vals)
+
+	na := len(o.cfg.Aggs)
+	if len(o.accSlab)+na > cap(o.accSlab) {
+		o.accSlab = make([]Accum, 0, maxInt(slabChunk*na, na))
+	}
+	astart := len(o.accSlab)
+	o.accSlab = o.accSlab[:astart+na]
+	accs := o.accSlab[astart : astart+na : astart+na]
+	for i, a := range o.cfg.Aggs {
+		accs[i] = a.Factory()
+	}
+
+	gs.key, gs.vals, gs.accs = key, stored, accs
+	if o.cfg.EpochIdx >= 0 {
+		gs.epoch = stored[o.cfg.EpochIdx]
+		o.noteEpoch(gs.epoch)
+	}
+	o.groups[key] = gs
+	return gs
+}
+
+// noteEpoch folds a new group's epoch into the live minimum.
+func (o *Aggregate) noteEpoch(epoch sqlval.Value) {
+	if !epoch.IsNull() && (!o.minSet || epoch.Compare(o.minEpoch) < 0) {
+		o.minEpoch, o.minSet = epoch, true
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // Advance implements Consumer: groups whose epoch precedes every
@@ -277,39 +442,106 @@ func (o *Aggregate) GroupCount() int { return len(o.groups) }
 // emitBefore flushes groups with epoch < boundary (all groups when
 // boundary is nil), in deterministic (epoch, key) order.
 func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
+	if boundary != nil && (!o.minSet || o.minEpoch.Compare(*boundary) >= 0) {
+		// No live group's epoch precedes the boundary (NULL-epoch groups
+		// only drain at Flush): nothing to emit, skip the group scan.
+		return
+	}
 	var done []*groupState
-	for key, gs := range o.groups { //qap:allow maprange -- groups collected then sorted below
+	var survMin sqlval.Value
+	survSet := false
+	for _, gs := range o.groups { //qap:allow maprange -- groups collected then sorted below
 		if boundary != nil && (gs.epoch.IsNull() || gs.epoch.Compare(*boundary) >= 0) {
+			if !gs.epoch.IsNull() && (!survSet || gs.epoch.Compare(survMin) < 0) {
+				survMin, survSet = gs.epoch, true
+			}
 			continue
 		}
 		done = append(done, gs)
-		delete(o.groups, key)
 	}
-	sort.Slice(done, func(i, j int) bool {
-		if c := done[i].epoch.Compare(done[j].epoch); c != 0 {
-			return c < 0
-		}
-		return done[i].key < done[j].key
-	})
-	for _, gs := range done {
-		row := make(Tuple, 0, len(gs.vals)+len(gs.accs))
-		row = append(row, gs.vals...)
-		for _, a := range gs.accs {
-			row = append(row, a.Result())
-		}
-		if o.cfg.Having != nil && !o.cfg.Having(row).AsBool() {
-			continue
-		}
-		if o.cfg.Post == nil {
-			o.cfg.Out.Push(row)
-			continue
-		}
-		out := make(Tuple, len(o.cfg.Post))
-		for i, p := range o.cfg.Post {
-			out[i] = p(row)
-		}
-		o.cfg.Out.Push(out)
+	o.minEpoch, o.minSet = survMin, survSet
+	if len(done) == 0 {
+		return
 	}
+	if len(done) == len(o.groups) {
+		// Every group drained (always true at Flush; the common case at
+		// an epoch boundary of a tumbling window). Rebuilding the map
+		// pre-sized from this epoch's cardinality beats per-key deletes:
+		// insertions up to that count never rehash, and a cardinality
+		// spike's bucket memory is returned instead of lingering for the
+		// rest of the run. Emission order cannot change — groups are
+		// sorted before emitting — so this is a pure cost change.
+		o.groups = make(map[string]*groupState, len(done))
+	} else {
+		for _, gs := range done {
+			delete(o.groups, gs.key)
+		}
+	}
+	sameEpoch := true
+	for _, gs := range done[1:] {
+		if gs.epoch != done[0].epoch {
+			sameEpoch = false
+			break
+		}
+	}
+	if sameEpoch {
+		// The usual tumbling-window drain closes a single epoch; the
+		// (epoch, key) order degenerates to key order, sparing a
+		// Value.Compare per sort comparison.
+		slices.SortFunc(done, func(a, b *groupState) int {
+			return strings.Compare(a.key, b.key)
+		})
+	} else {
+		slices.SortFunc(done, func(a, b *groupState) int {
+			if c := a.epoch.Compare(b.epoch); c != 0 {
+				return c
+			}
+			return strings.Compare(a.key, b.key)
+		})
+	}
+	// Emit the epoch as one batch: output rows carve from a single
+	// backing array (fresh per flush — downstream retains them) and the
+	// whole run moves downstream through the batched path, crossing
+	// island boundaries as one captured batch item.
+	out := o.emitBuf[:0]
+	if o.cfg.Post == nil {
+		width := len(o.cfg.GroupBy) + len(o.cfg.Aggs)
+		backing := make([]sqlval.Value, 0, len(done)*width)
+		for _, gs := range done {
+			start := len(backing)
+			backing = append(backing, gs.vals...)
+			for _, a := range gs.accs {
+				backing = append(backing, a.Result())
+			}
+			row := Tuple(backing[start:len(backing):len(backing)])
+			if o.cfg.Having != nil && !o.cfg.Having(row).AsBool() {
+				backing = backing[:start]
+				continue
+			}
+			out = append(out, row)
+		}
+	} else {
+		np := len(o.cfg.Post)
+		backing := make([]sqlval.Value, 0, len(done)*np)
+		for _, gs := range done {
+			row := o.rowBuf[:0]
+			row = append(row, gs.vals...)
+			for _, a := range gs.accs {
+				row = append(row, a.Result())
+			}
+			o.rowBuf = row
+			if o.cfg.Having != nil && !o.cfg.Having(row).AsBool() {
+				continue
+			}
+			start := len(backing)
+			for _, p := range o.cfg.Post {
+				backing = append(backing, p(row))
+			}
+			out = append(out, Tuple(backing[start:len(backing):len(backing)]))
+		}
+	}
+	o.emitBuf = out
+	PushAll(o.cfg.Out, out)
 }
 
 // JoinSideConfig configures one input of a join.
@@ -362,6 +594,15 @@ type Join struct {
 	wmSeen     bool
 	flushCount int
 	flushed    bool
+
+	// Batched-path scratch: key values, key encoding, and the combined
+	// probe row are reused per tuple; entries carve from a slab. The
+	// combined scratch is safe because Residual and emit only read it —
+	// the projected output row is a fresh allocation.
+	valsBuf   []sqlval.Value
+	keyBuf    []byte
+	combBuf   Tuple
+	entrySlab []joinEntry
 }
 
 // NewJoin builds the operator.
@@ -390,6 +631,13 @@ type joinPort struct {
 func (p *joinPort) Push(t Tuple)      { p.j.push(t, p.left) }
 func (p *joinPort) Advance(wm uint64) { p.j.advance(wm) }
 func (p *joinPort) Flush()            { p.j.portFlush() }
+
+// PushBatch implements BatchConsumer via the amortized build/probe.
+func (p *joinPort) PushBatch(b Batch) {
+	for _, t := range b {
+		p.j.pushFast(t, p.left)
+	}
+}
 
 func (j *Join) push(t Tuple, left bool) {
 	side := &j.cfg.Left
@@ -420,6 +668,61 @@ func (j *Join) push(t Tuple, left bool) {
 	myTab[key] = append(myTab[key], e)
 }
 
+// pushFast is push with the per-tuple allocations amortized: key
+// values and encoding go through reused buffers, the map is probed
+// with string(keyBuf) (no copy), the key string is materialized only
+// when no entry or match already interns it, the combined probe row is
+// scratch, and entries carve from a slab.
+func (j *Join) pushFast(t Tuple, left bool) {
+	side := &j.cfg.Left
+	myTab, otherTab := j.leftTab, j.rightTab
+	if !left {
+		side = &j.cfg.Right
+		myTab, otherTab = j.rightTab, j.leftTab
+	}
+	vals := j.valsBuf[:0]
+	for _, k := range side.Keys {
+		vals = append(vals, k(t))
+	}
+	j.valsBuf = vals
+	kb := AppendKey(j.keyBuf[:0], vals)
+	j.keyBuf = kb
+	matches := otherTab[string(kb)]
+	mine := myTab[string(kb)]
+	var key string
+	switch {
+	case len(mine) > 0:
+		key = mine[0].key
+	case len(matches) > 0:
+		key = matches[0].key
+	default:
+		key = string(kb)
+	}
+	if len(j.entrySlab) == 0 {
+		j.entrySlab = make([]joinEntry, slabChunk)
+	}
+	e := &j.entrySlab[0]
+	j.entrySlab = j.entrySlab[1:]
+	*e = joinEntry{key: key, tuple: t, tkey: vals[side.TemporalIdx]}
+	for _, oe := range matches {
+		comb := j.combBuf[:0]
+		if left {
+			comb = append(comb, t...)
+			comb = append(comb, oe.tuple...)
+		} else {
+			comb = append(comb, oe.tuple...)
+			comb = append(comb, t...)
+		}
+		j.combBuf = comb
+		if j.cfg.Residual != nil && !j.cfg.Residual(comb).AsBool() {
+			continue
+		}
+		e.matched, oe.matched = true, true
+		j.emit(comb)
+	}
+	myTab[key] = append(mine, e)
+}
+
 func (j *Join) combine(l, r Tuple) Tuple {
 	out := make(Tuple, 0, len(l)+len(r))
 	out = append(out, l...)
@@ -443,11 +746,11 @@ func (j *Join) advance(wm uint64) {
 	// produce their key, and vice versa.
 	if j.cfg.Right.MinFutureKey != nil {
 		b := j.cfg.Right.MinFutureKey(wm)
-		j.evict(j.leftTab, &b, true)
+		j.leftTab = j.evict(j.leftTab, &b, true)
 	}
 	if j.cfg.Left.MinFutureKey != nil {
 		b := j.cfg.Left.MinFutureKey(wm)
-		j.evict(j.rightTab, &b, false)
+		j.rightTab = j.evict(j.rightTab, &b, false)
 	}
 	j.cfg.Out.Advance(wm)
 }
@@ -458,15 +761,19 @@ func (j *Join) portFlush() {
 		return
 	}
 	j.flushed = true
-	j.evict(j.leftTab, nil, true)
-	j.evict(j.rightTab, nil, false)
+	j.leftTab = j.evict(j.leftTab, nil, true)
+	j.rightTab = j.evict(j.rightTab, nil, false)
 	j.cfg.Out.Flush()
 }
 
 // evict removes entries with temporal key below boundary (all when
-// nil), emitting outer-join padding for never-matched rows.
-func (j *Join) evict(tab map[string][]*joinEntry, boundary *sqlval.Value, left bool) {
+// nil), emitting outer-join padding for never-matched rows. It returns
+// the table to keep using: when an epoch fully drains, a fresh map
+// pre-sized from the drained cardinality replaces the old one (see the
+// matching rebuild in Aggregate.emitBefore).
+func (j *Join) evict(tab map[string][]*joinEntry, boundary *sqlval.Value, left bool) map[string][]*joinEntry {
 	var unmatched []*joinEntry
+	drained := 0
 	for key, entries := range tab { //qap:allow maprange -- delete-only; unmatched sorted before padding
 		var keep []*joinEntry
 		for _, e := range entries {
@@ -480,9 +787,13 @@ func (j *Join) evict(tab map[string][]*joinEntry, boundary *sqlval.Value, left b
 		}
 		if len(keep) == 0 {
 			delete(tab, key)
+			drained++
 		} else {
 			tab[key] = keep
 		}
+	}
+	if boundary != nil && len(tab) == 0 && drained > 0 {
+		tab = make(map[string][]*joinEntry, drained)
 	}
 	sort.Slice(unmatched, func(a, b int) bool {
 		if c := unmatched[a].tkey.Compare(unmatched[b].tkey); c != 0 {
@@ -493,6 +804,7 @@ func (j *Join) evict(tab map[string][]*joinEntry, boundary *sqlval.Value, left b
 	for _, e := range unmatched {
 		j.emit(j.pad(e.tuple, left))
 	}
+	return tab
 }
 
 // padsSide reports whether unmatched rows of the given side appear in

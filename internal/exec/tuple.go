@@ -45,11 +45,18 @@ func (t Tuple) String() string {
 // Key encodes a list of values into a string usable as a hash-table
 // key; values that compare equal encode identically.
 func Key(vals []sqlval.Value) string {
-	var b []byte
+	return string(AppendKey(nil, vals))
+}
+
+// AppendKey appends the key encoding of vals to dst and returns the
+// extended slice. It is the allocation-free form of Key: operators on
+// the batched hot path encode into a reused buffer and probe their
+// hash tables with string(buf), which Go compiles without copying.
+func AppendKey(dst []byte, vals []sqlval.Value) []byte {
 	for _, v := range vals {
-		b = appendKeyValue(b, v)
+		dst = appendKeyValue(dst, v)
 	}
-	return string(b)
+	return dst
 }
 
 func appendKeyValue(b []byte, v sqlval.Value) []byte {

@@ -59,6 +59,24 @@ func (p Packet) Tuple() exec.Tuple {
 	}
 }
 
+// TupleCols is the number of values Tuple and AppendTuple produce.
+const TupleCols = 8
+
+// AppendTuple materializes the packet's tuple into buf's spare
+// capacity and returns the grown buffer plus the tuple, which is
+// capacity-clamped so later appends cannot bleed into it. Batch
+// drivers carve many tuples out of one shared backing slab this way
+// instead of allocating one array per packet (the slab must not be
+// recycled: operators may retain the tuples).
+func (p Packet) AppendTuple(buf []sqlval.Value) ([]sqlval.Value, exec.Tuple) {
+	n := len(buf)
+	buf = append(buf,
+		sqlval.Uint(p.Time), sqlval.Uint(p.SrcIP), sqlval.Uint(p.DestIP),
+		sqlval.Uint(p.SrcPort), sqlval.Uint(p.DestPort),
+		sqlval.Uint(p.Len), sqlval.Uint(p.Flags), sqlval.Uint(p.Seq))
+	return buf, exec.Tuple(buf[n:len(buf):len(buf)])
+}
+
 // Config controls trace generation.
 type Config struct {
 	Seed        int64

@@ -234,6 +234,12 @@ type DeployConfig struct {
 	// host (capped at Hosts) plus a splitter and a central replay
 	// goroutine. Results are byte-identical either way.
 	Workers int
+	// BatchSize selects the execution hot path: 0 (the default) runs
+	// batch-at-a-time with the engine's default batch size, 1 forces
+	// the legacy tuple-at-a-time scalar path, and larger values batch
+	// up to that many tuples per operator call. Canonical results are
+	// identical at every batch size; see cluster.RunConfig.BatchSize.
+	BatchSize int
 	// CollectStats enables the per-operator observability layer:
 	// RunResult.OpStats and RunResult.Report() are populated. The
 	// counters are sharded like the host metrics, so they too are
@@ -339,6 +345,7 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		Costs:        costs,
 		Params:       d.params,
 		Workers:      d.cfg.Workers,
+		BatchSize:    d.cfg.BatchSize,
 		CollectStats: d.cfg.CollectStats,
 	})
 	if err != nil {
