@@ -20,6 +20,12 @@
 //
 //	qap-bench -exec -rate 2000 -duration 60 -exec-runs 20 -bench-out .
 //
+// -drift runs the adaptive-repartitioning experiment instead: a
+// two-phase skew-shift trace under the default drift scenario, static
+// versus adaptive, and, with -bench-out, writes BENCH_drift.json (the
+// per-window static/adaptive load comparison plus the trigger and
+// bound verdicts; see EXPERIMENTS.md).
+//
 // Reported numbers are deterministic for any -workers value; the
 // determinism contract is machine-enforced by cmd/qap-vet, and the
 // wall-clock reads below are quarantined under the report's "timing"
@@ -51,6 +57,7 @@ func main() {
 	benchOut := flag.String("bench-out", "", "also write each experiment's machine-readable BENCH_<name>.json into this directory")
 	execBench := flag.Bool("exec", false, "run the batched-vs-scalar execution microbenchmark instead of the figure experiments")
 	execRuns := flag.Int("exec-runs", 5, "measured trace replays per batch size for -exec")
+	driftBench := flag.Bool("drift", false, "run the adaptive-repartitioning drift experiment instead of the figure experiments")
 	flag.Parse()
 
 	cfg := qap.DefaultExperimentConfig()
@@ -63,6 +70,10 @@ func main() {
 
 	if *execBench {
 		runExec(*seed, *rate, *duration, *execRuns, *benchOut)
+		return
+	}
+	if *driftBench {
+		runDrift(*seed, *workers, *batch, *benchOut)
 		return
 	}
 
@@ -244,6 +255,52 @@ func runExec(seed int64, rate, duration, runs int, benchOut string) {
 
 	if benchOut != "" {
 		path := filepath.Join(benchOut, "BENCH_exec.json")
+		if err := obs.WriteJSON(path, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+}
+
+// runDrift executes the adaptive-repartitioning drift experiment and
+// prints the static-vs-adaptive per-window comparison; with benchOut it
+// also writes BENCH_drift.json.
+func runDrift(seed int64, workers, batch int, benchOut string) {
+	sc := qap.DefaultDriftScenario()
+	sc.Trace.Seed = seed
+	sc.Workers = workers
+	sc.BatchSize = batch
+	rep, ares, err := qap.RunDriftExperiment(sc)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Adaptive repartitioning under drift (window %ds, trigger %.2fx bound):\n",
+		rep.LoadWindowSec, rep.TriggerFactor)
+	fmt.Printf("  initial set %s (bound %.0f B/s)\n", rep.InitialSet, rep.Bound)
+	if rep.TriggerWindow < 0 {
+		fmt.Println("  trigger never fired")
+	} else {
+		fmt.Printf("  trigger: window %d, measured %.0f B/s; switch at t=%ds\n",
+			rep.TriggerWindow, rep.TriggerRate, rep.SwitchTimeSec)
+		fmt.Printf("  final set %s (refreshed bound %.0f B/s), repartitioned=%v\n",
+			rep.FinalSet, rep.NewBound, rep.Repartitioned)
+		fmt.Printf("  post-switch peak %.0f B/s, within bound: %v\n",
+			rep.PostSwitchPeakBps, rep.WithinBoundAfterSwitch)
+	}
+	fmt.Printf("%8s  %8s  %14s  %14s  %s\n", "window", "t (s)", "static B/s", "adaptive B/s", "set")
+	for _, row := range rep.Rows {
+		set := rep.InitialSet
+		if row.AdaptiveUsesFinalSet {
+			set = rep.FinalSet
+		}
+		fmt.Printf("%8d  %8d  %14.0f  %14.0f  %s\n",
+			row.Window, row.StartSec, row.StaticMaxHostBps, row.AdaptiveMaxHostBps, set)
+	}
+	_ = ares
+
+	if benchOut != "" {
+		path := filepath.Join(benchOut, "BENCH_drift.json")
 		if err := obs.WriteJSON(path, rep); err != nil {
 			fatal(err)
 		}

@@ -13,6 +13,15 @@
 //	qap-run -queries monitor.gsql -partition 'srcIP & 0xFFF0, destIP'
 //	qap-run -partition srcIP -metrics-out report.json   # JSON run report
 //	qap-run -partition srcIP -report                    # Prometheus text
+//	qap-run -drift -adaptive                            # drift + repartition
+//
+// With -drift the generated trace gains a second phase with the
+// source/destination pools swapped and the rate trebled; with
+// -adaptive the run is driven by the online repartitioning controller:
+// load is monitored per -load-window, and when the measured max-host
+// network rate exceeds -trigger-factor times the cost model's bound
+// the statistics are refreshed, the optimizer re-runs, and the stream
+// is replayed on the new partitioning.
 //
 // To check a query set statically before running it — partitioning
 // compatibility per node, window alignment, dead columns — see
@@ -24,6 +33,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 
 	"qap"
 	"qap/internal/netgen"
@@ -41,12 +51,17 @@ func main() {
 	showPlan := flag.Bool("plan", false, "print the distributed physical plan")
 	dotPlan := flag.Bool("dot", false, "print the physical plan as Graphviz DOT and exit")
 	naiveScope := flag.Bool("naive", false, "use per-partition (naive) partial aggregation")
+	noPartial := flag.Bool("nopartial", false, "disable partial aggregation (required for the Section 4.2.1 load bound to be tight)")
 	traceFile := flag.String("trace", "", "CSV trace file to replay instead of generating one")
 	dumpFile := flag.String("dump", "", "write the generated trace to this CSV file")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
 	batch := flag.Int("batch", 0, "operator batch size (0 = engine default, 1 = tuple-at-a-time; results are identical)")
 	metricsOut := flag.String("metrics-out", "", "write the machine-readable JSON run report to this file")
 	report := flag.Bool("report", false, "print the run report in Prometheus text format")
+	drift := flag.Bool("drift", false, "append a drifted phase to the generated trace: pools swapped, 3x rate, same duration")
+	adaptive := flag.Bool("adaptive", false, "monitor load and repartition online when the bound is violated")
+	triggerFactor := flag.Float64("trigger-factor", 1.5, "repartition when measured load exceeds this factor times the bound")
+	loadWindow := flag.Int("load-window", 0, "load-monitoring window in trace seconds (0 = off; -adaptive defaults to 10)")
 	flag.Parse()
 
 	queries := qap.ComplexQuerySet
@@ -73,31 +88,13 @@ func main() {
 	if *naiveScope {
 		scope = qap.ScopePartition
 	}
-	dep, err := sys.Deploy(qap.DeployConfig{
-		Hosts:             *hosts,
-		PartitionsPerHost: *pph,
-		Partitioning:      ps,
-		PartialScope:      scope,
-		Costs:             qap.CostConfig{CapacityPerSec: float64(*rate) * 3},
-		Params:            map[string]qap.Value{"PATTERN": qap.Uint(netgen.AttackPattern)},
-		Workers:           *workers,
-		BatchSize:         *batch,
-		CollectStats:      *metricsOut != "" || *report,
-	})
-	if err != nil {
-		fatal(err)
-	}
-	if *dotPlan {
-		fmt.Print(dep.PlanDOT())
-		return
-	}
-	if *showPlan {
-		fmt.Println("distributed plan:")
-		fmt.Print(dep.PlanString())
-		fmt.Println()
-	}
+	params := map[string]qap.Value{"PATTERN": qap.Uint(netgen.AttackPattern)}
 
+	// Assemble the trace. preDriftSec is how much of its prefix is
+	// representative of the pre-drift regime (used by -adaptive to
+	// measure deploy-time statistics).
 	var packets []netgen.Packet
+	preDriftSec := uint64(*duration)
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
@@ -108,14 +105,29 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if n := len(packets); n > 0 {
+			// Without generator metadata, treat the first half of the
+			// replayed trace as the pre-drift regime.
+			preDriftSec = (packets[n-1].Time + 1) / 2
+		}
 		fmt.Printf("trace: %d packets from %s\n", len(packets), *traceFile)
 	} else {
 		cfg := netgen.DefaultConfig()
 		cfg.Seed, cfg.DurationSec, cfg.PacketsPerSec = *seed, *duration, *rate
+		if *drift {
+			cfg.Phases = []netgen.Phase{
+				{DurationSec: *duration},
+				{DurationSec: *duration, PacketsPerSec: 3 * *rate,
+					SrcHosts: cfg.DstHosts, DstHosts: cfg.SrcHosts},
+			}
+		}
+		if err := cfg.Validate(); err != nil {
+			fatal(err)
+		}
 		trace := netgen.Generate(cfg)
 		packets = trace.Packets
 		fmt.Printf("trace: %d packets over %ds (%d flows, %d suspicious)\n",
-			len(packets), cfg.DurationSec, trace.TotalFlows, trace.AttackFlows)
+			len(packets), cfg.TotalDurationSec(), trace.TotalFlows, trace.AttackFlows)
 	}
 	if *dumpFile != "" {
 		f, err := os.Create(*dumpFile)
@@ -131,29 +143,50 @@ func main() {
 		}
 		fmt.Printf("wrote trace to %s\n", *dumpFile)
 	}
-	if ps.IsEmpty() {
-		fmt.Println("partitioning: round robin (query-agnostic)")
+
+	baseCfg := qap.DeployConfig{
+		Hosts:             *hosts,
+		PartitionsPerHost: *pph,
+		Partitioning:      ps,
+		PartialScope:      scope,
+		DisablePartialAgg: *noPartial,
+		Costs:             qap.CostConfig{CapacityPerSec: float64(*rate) * 3},
+		Params:            params,
+		Workers:           *workers,
+		BatchSize:         *batch,
+		CollectStats:      *metricsOut != "" || *report,
+		LoadWindowSec:     *loadWindow,
+	}
+
+	var res *qap.RunResult
+	if *adaptive {
+		res = runAdaptive(sys, baseCfg, packets, preDriftSec, *triggerFactor, *loadWindow, *show)
 	} else {
-		fmt.Printf("partitioning: %s\n", ps)
-	}
-
-	res, err := dep.Run("TCP", packets)
-	if err != nil {
-		fatal(err)
-	}
-
-	for _, name := range res.OutputNames() {
-		rows := res.Outputs[name]
-		fmt.Printf("\n%s: %d rows\n", name, len(rows))
-		for i, r := range rows {
-			if i >= *show {
-				fmt.Printf("  ... %d more\n", len(rows)-*show)
-				break
-			}
-			fmt.Printf("  %s\n", r)
+		dep, err := sys.Deploy(baseCfg)
+		if err != nil {
+			fatal(err)
+		}
+		if *dotPlan {
+			fmt.Print(dep.PlanDOT())
+			return
+		}
+		if *showPlan {
+			fmt.Println("distributed plan:")
+			fmt.Print(dep.PlanString())
+			fmt.Println()
+		}
+		if ps.IsEmpty() {
+			fmt.Println("partitioning: round robin (query-agnostic)")
+		} else {
+			fmt.Printf("partitioning: %s\n", ps)
+		}
+		res, err = dep.Run("TCP", packets)
+		if err != nil {
+			fatal(err)
 		}
 	}
 
+	printOutputs(res, *show)
 	fmt.Println("\nload:")
 	fmt.Print(res.Metrics.String())
 
@@ -171,6 +204,66 @@ func main() {
 		if *report {
 			fmt.Println("\nreport:")
 			fmt.Print(rep.Prometheus())
+		}
+	}
+}
+
+// runAdaptive drives the online repartitioning controller: measure
+// statistics on the pre-drift prefix, optimize, then run the full
+// trace under monitoring with the given trigger. Returns the final
+// (authoritative) run result.
+func runAdaptive(sys *qap.System, deploy qap.DeployConfig, packets []netgen.Packet, preDriftSec uint64, factor float64, loadWindow, show int) *qap.RunResult {
+	cut := sort.Search(len(packets), func(i int) bool { return packets[i].Time >= preDriftSec })
+	stats, err := sys.MeasureStats(map[string][]netgen.Packet{"TCP": packets[:cut]})
+	if err != nil {
+		fatal(fmt.Errorf("measuring pre-drift statistics: %w", err))
+	}
+	analysis, err := sys.Analyze(stats)
+	if err != nil {
+		fatal(err)
+	}
+	if deploy.Partitioning.IsEmpty() {
+		deploy.Partitioning = analysis.Best
+	}
+	fmt.Printf("partitioning: %s (adaptive, trigger %.2fx bound)\n", deploy.Partitioning, factor)
+
+	ares, err := sys.RunAdaptive(qap.AdaptiveConfig{
+		Deploy:        deploy,
+		Stats:         stats,
+		Analysis:      analysis,
+		TriggerFactor: factor,
+		LoadWindowSec: loadWindow,
+	}, map[string][]netgen.Packet{"TCP": packets})
+	if err != nil {
+		fatal(err)
+	}
+
+	if ares.TriggerWindow < 0 {
+		fmt.Printf("trigger: never fired (bound %.0f B/s, factor %.2f)\n", ares.Bound, ares.TriggerFactor)
+		return ares.Final
+	}
+	fmt.Printf("trigger: window %d (t=%ds) measured %.0f B/s > %.2f x bound %.0f B/s\n",
+		ares.TriggerWindow, ares.SwitchTimeSec, ares.TriggerRate, ares.TriggerFactor, ares.Bound)
+	if !ares.Repartitioned {
+		fmt.Printf("re-optimization confirmed %s; no switch\n", ares.InitialSet)
+		return ares.Final
+	}
+	fmt.Printf("repartitioned: %s -> %s at t=%ds\n", ares.InitialSet, ares.FinalSet, ares.SwitchTimeSec)
+	fmt.Printf("post-switch peak %.0f B/s vs refreshed bound %.0f B/s (within bound: %v)\n",
+		ares.PostSwitchPeak, ares.NewBound, ares.WithinBoundAfterSwitch())
+	return ares.Final
+}
+
+func printOutputs(res *qap.RunResult, show int) {
+	for _, name := range res.OutputNames() {
+		rows := res.Outputs[name]
+		fmt.Printf("\n%s: %d rows\n", name, len(rows))
+		for i, r := range rows {
+			if i >= show {
+				fmt.Printf("  ... %d more\n", len(rows)-show)
+				break
+			}
+			fmt.Printf("  %s\n", r)
 		}
 	}
 }

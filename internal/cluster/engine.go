@@ -100,6 +100,12 @@ type linkItem struct {
 	t     exec.Tuple
 	b     exec.Batch
 	wm    uint64
+	// mwm is the producing round's watermark (the flush round inherits
+	// the last data round's), stamped on every item so the central
+	// replay closes monitoring windows at the same trace times the
+	// sequential engine does. Distinct from wm: an advance cascade may
+	// forward a different watermark than the round's.
+	mwm uint64
 }
 
 // linkBatch ships an island's captured deliveries for a range of
@@ -123,6 +129,7 @@ type capture struct {
 func (c *capture) Push(t exec.Tuple) {
 	c.isl.outbox = append(c.isl.outbox, linkItem{
 		round: c.isl.curRound, tag: c.isl.curTag, kind: itemPush, e: c.e, t: t,
+		mwm: c.isl.curWM,
 	})
 }
 
@@ -140,18 +147,21 @@ func (c *capture) PushBatch(b exec.Batch) {
 	cp := append(exec.GetBatch(), b...)
 	c.isl.outbox = append(c.isl.outbox, linkItem{
 		round: c.isl.curRound, tag: c.isl.curTag, kind: itemPushBatch, e: c.e, b: cp,
+		mwm: c.isl.curWM,
 	})
 }
 
 func (c *capture) Advance(wm uint64) {
 	c.isl.outbox = append(c.isl.outbox, linkItem{
 		round: c.isl.curRound, tag: c.isl.curTag, kind: itemAdvance, e: c.e, wm: wm,
+		mwm: c.isl.curWM,
 	})
 }
 
 func (c *capture) Flush() {
 	c.isl.outbox = append(c.isl.outbox, linkItem{
 		round: c.isl.curRound, tag: c.isl.curTag, kind: itemFlush, e: c.e,
+		mwm: c.isl.curWM,
 	})
 }
 
@@ -251,6 +261,13 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 					isl.curRound = hr.round
 					last = hr.round
 					if hr.adv {
+						isl.curWM = hr.wm
+						// Close the leaf island's monitoring windows at
+						// the same boundary the sequential drivers do:
+						// before the new round touches any counter.
+						if r.winSec > 0 {
+							isl.closeWindowsTo(int(hr.wm / r.winSec))
+						}
 						for _, at := range advTargets[isl.id] {
 							isl.curTag = at.tag
 							at.c.Advance(hr.wm)
@@ -434,6 +451,13 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		}
 		if bestIsItem {
 			it := &pending[best][heads[best]]
+			// The merged item order is round order, and every item
+			// carries its round's watermark, so closing central windows
+			// here reproduces the sequential boundary exactly: all
+			// central work of earlier rounds has been replayed.
+			if r.winSec > 0 {
+				r.islands[hosts].closeWindowsTo(int(it.mwm / r.winSec))
+			}
 			switch it.kind {
 			case itemPush:
 				it.e.Push(it.t)

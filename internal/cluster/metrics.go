@@ -71,6 +71,19 @@ type HostMetrics struct {
 	Tuples int64
 }
 
+// sub returns the field-wise difference m - o: the counter delta
+// between two snapshots of the same host, which is how the load
+// monitor turns cumulative metrics into per-window activity.
+func (m HostMetrics) sub(o HostMetrics) HostMetrics {
+	return HostMetrics{
+		CPUUnits:    m.CPUUnits - o.CPUUnits,
+		NetTuplesIn: m.NetTuplesIn - o.NetTuplesIn,
+		NetBytesIn:  m.NetBytesIn - o.NetBytesIn,
+		IPCTuplesIn: m.IPCTuplesIn - o.IPCTuplesIn,
+		Tuples:      m.Tuples - o.Tuples,
+	}
+}
+
 // Metrics is the full accounting of one run.
 type Metrics struct {
 	Hosts       []HostMetrics
@@ -78,9 +91,17 @@ type Metrics struct {
 	Capacity    float64 // units/sec per host
 }
 
+// inRange reports whether host is a valid index. The load accessors
+// tolerate out-of-range hosts (returning 0) so report builders and
+// CLI formatters iterating over configured rather than actual host
+// counts degrade to zeros instead of panicking.
+func (m *Metrics) inRange(host int) bool {
+	return host >= 0 && host < len(m.Hosts)
+}
+
 // CPULoad returns the host's CPU utilization percentage.
 func (m *Metrics) CPULoad(host int) float64 {
-	if m.Capacity <= 0 || m.DurationSec <= 0 {
+	if m.Capacity <= 0 || m.DurationSec <= 0 || !m.inRange(host) {
 		return 0
 	}
 	return 100 * m.Hosts[host].CPUUnits / (m.Capacity * m.DurationSec)
@@ -92,7 +113,7 @@ func (m *Metrics) CPULoad(host int) float64 {
 // where "the system is clearly overloaded and starts dropping input
 // tuples").
 func (m *Metrics) OverloadFactor(host int) float64 {
-	if m.Capacity <= 0 || m.DurationSec <= 0 {
+	if m.Capacity <= 0 || m.DurationSec <= 0 || !m.inRange(host) {
 		return 0
 	}
 	budget := m.Capacity * m.DurationSec
@@ -107,7 +128,7 @@ func (m *Metrics) OverloadFactor(host int) float64 {
 // (the paper's Figures 9, 11, 14 report packets/sec received by the
 // aggregator).
 func (m *Metrics) NetLoad(host int) float64 {
-	if m.DurationSec <= 0 {
+	if m.DurationSec <= 0 || !m.inRange(host) {
 		return 0
 	}
 	return float64(m.Hosts[host].NetTuplesIn) / m.DurationSec

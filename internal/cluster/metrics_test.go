@@ -76,6 +76,46 @@ func TestLoadsWithZeroDenominators(t *testing.T) {
 	}
 }
 
+// TestLoadsHostOutOfRange: the accessors must tolerate host indexes
+// outside the slice — report builders iterate over configured host
+// counts, which can exceed the hosts a degenerate run actually
+// recorded — returning 0 instead of panicking.
+func TestLoadsHostOutOfRange(t *testing.T) {
+	m := &Metrics{
+		Hosts:       []HostMetrics{{CPUUnits: 500, NetTuplesIn: 7}},
+		DurationSec: 10,
+		Capacity:    100,
+	}
+	for _, host := range []int{-1, 1, 99} {
+		if got := m.CPULoad(host); got != 0 {
+			t.Errorf("CPULoad(%d) = %v, want 0", host, got)
+		}
+		if got := m.OverloadFactor(host); got != 0 {
+			t.Errorf("OverloadFactor(%d) = %v, want 0", host, got)
+		}
+		if got := m.NetLoad(host); got != 0 {
+			t.Errorf("NetLoad(%d) = %v, want 0", host, got)
+		}
+	}
+	// Sanity: in-range still measures.
+	if got := m.CPULoad(0); got != 50 {
+		t.Errorf("CPULoad(0) = %v, want 50", got)
+	}
+}
+
+// TestHostMetricsSub: the snapshot delta used by the load monitor.
+func TestHostMetricsSub(t *testing.T) {
+	a := HostMetrics{CPUUnits: 10, NetTuplesIn: 20, NetBytesIn: 300, IPCTuplesIn: 4, Tuples: 50}
+	b := HostMetrics{CPUUnits: 4, NetTuplesIn: 5, NetBytesIn: 100, IPCTuplesIn: 1, Tuples: 20}
+	want := HostMetrics{CPUUnits: 6, NetTuplesIn: 15, NetBytesIn: 200, IPCTuplesIn: 3, Tuples: 30}
+	if got := a.sub(b); got != want {
+		t.Errorf("sub = %+v, want %+v", got, want)
+	}
+	if got := a.sub(a); got != (HostMetrics{}) {
+		t.Errorf("self-sub = %+v, want zero", got)
+	}
+}
+
 // TestStringEmptyTrace: rendering metrics of an empty trace
 // (DurationSec 0) must not produce NaN rates.
 func TestStringEmptyTrace(t *testing.T) {

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"qap/internal/core"
+	"qap/internal/netgen"
+	"qap/internal/obs"
+	"qap/internal/optimizer"
+)
+
+// driftTrace generates a two-phase skew-shift trace: the second phase
+// swaps the source/destination pools and doubles the rate, so the
+// windowed load series has genuinely different activity per window.
+func driftTrace(t testing.TB) *netgen.Trace {
+	t.Helper()
+	cfg := netgen.DefaultConfig()
+	cfg.PacketsPerSec = 300
+	cfg.SrcHosts, cfg.DstHosts = 40, 500
+	cfg.Phases = []netgen.Phase{
+		{DurationSec: 30},
+		{DurationSec: 30, PacketsPerSec: 600, SrcHosts: 500, DstHosts: 40},
+	}
+	return netgen.Generate(cfg)
+}
+
+// runMonitored runs the complex DAG with load monitoring on.
+func runMonitored(t testing.TB, streams map[string][]netgen.Packet, workers, batch, winSec int) *Result {
+	t.Helper()
+	g := buildGraph(t, complexSet)
+	p, err := optimizer.Build(g, core.MustParseSet("srcIP"), optimizer.Options{
+		Hosts: 4, PartitionsPerHost: 2, PartialAgg: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, RunConfig{
+		Costs: DefaultCosts(), Params: testParams,
+		Workers: workers, BatchSize: batch, LoadWindowSec: winSec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunStreams(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestLoadSeriesDeltasSumToTotals: the windowed series is a partition
+// of the run's cumulative accounting — per host, the window deltas
+// must sum back to the final metrics (integer counters exactly,
+// CPUUnits within float summation tolerance), and the windows must
+// tile the trace timeline in order.
+func TestLoadSeriesDeltasSumToTotals(t *testing.T) {
+	tr := driftTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	const winSec = 10
+	res := runMonitored(t, streams, 1, 1, winSec)
+	if len(res.LoadSeries) == 0 {
+		t.Fatal("monitored run produced no load series")
+	}
+
+	sums := make([]HostMetrics, len(res.Metrics.Hosts))
+	for i, w := range res.LoadSeries {
+		if w.Window != i {
+			t.Fatalf("window %d has Window=%d; series must be dense from 0", i, w.Window)
+		}
+		if want := uint64(i * winSec); w.StartSec != want {
+			t.Errorf("window %d starts at %d, want %d", i, w.StartSec, want)
+		}
+		if w.EndSec <= w.StartSec {
+			t.Errorf("window %d is empty: [%d,%d)", i, w.StartSec, w.EndSec)
+		}
+		if len(w.Hosts) != len(sums) {
+			t.Fatalf("window %d covers %d hosts, want %d", i, len(w.Hosts), len(sums))
+		}
+		for h, hw := range w.Hosts {
+			if hw.Host != h {
+				t.Fatalf("window %d host row %d labeled %d", i, h, hw.Host)
+			}
+			if hw.NetTuplesIn < 0 || hw.NetBytesIn < 0 || hw.IPCTuplesIn < 0 || hw.Tuples < 0 {
+				t.Fatalf("window %d host %d has negative delta: %+v", i, h, hw)
+			}
+			sums[h].CPUUnits += hw.CPUUnits
+			sums[h].NetTuplesIn += hw.NetTuplesIn
+			sums[h].NetBytesIn += hw.NetBytesIn
+			sums[h].IPCTuplesIn += hw.IPCTuplesIn
+			sums[h].Tuples += hw.Tuples
+		}
+	}
+	for h, total := range res.Metrics.Hosts {
+		got := sums[h]
+		if got.NetTuplesIn != total.NetTuplesIn || got.NetBytesIn != total.NetBytesIn ||
+			got.IPCTuplesIn != total.IPCTuplesIn || got.Tuples != total.Tuples {
+			t.Errorf("host %d: window sums %+v != totals %+v", h, got, total)
+		}
+		if d := math.Abs(got.CPUUnits - total.CPUUnits); d > 1e-9*math.Max(total.CPUUnits, 1) {
+			t.Errorf("host %d: CPUUnits window sum %v drifts from total %v", h, got.CPUUnits, total.CPUUnits)
+		}
+	}
+}
+
+// TestLoadSeriesBitEqualAcrossEngines: at a fixed batch size the load
+// series — float CPUUnits included — must not move a byte between the
+// sequential and parallel engines; across batch sizes the integer
+// counters must be identical per window (the trigger only reads
+// integers, which is what makes the adaptive decision engine-
+// independent).
+func TestLoadSeriesBitEqualAcrossEngines(t *testing.T) {
+	tr := driftTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	const winSec = 10
+	want := runMonitored(t, streams, 1, 1, winSec)
+
+	for _, batch := range []int{1, 64} {
+		seq := runMonitored(t, streams, 1, batch, winSec)
+		par := runMonitored(t, streams, 4, batch, winSec)
+		if !reflect.DeepEqual(seq.LoadSeries, par.LoadSeries) {
+			t.Errorf("batch=%d: load series differ between engines", batch)
+		}
+		sameIntegerWindows(t, want.LoadSeries, seq.LoadSeries)
+	}
+}
+
+// sameIntegerWindows asserts two series agree on geometry and every
+// integer counter; CPUUnits within summation tolerance.
+func sameIntegerWindows(t *testing.T, want, got []obs.LoadWindow) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("series length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		w, g := want[i], got[i]
+		if w.Window != g.Window || w.StartSec != g.StartSec || w.EndSec != g.EndSec {
+			t.Fatalf("window %d geometry (%d,[%d,%d)) vs (%d,[%d,%d))",
+				i, g.Window, g.StartSec, g.EndSec, w.Window, w.StartSec, w.EndSec)
+		}
+		for h := range w.Hosts {
+			wh, gh := w.Hosts[h], g.Hosts[h]
+			if wh.NetTuplesIn != gh.NetTuplesIn || wh.NetBytesIn != gh.NetBytesIn ||
+				wh.IPCTuplesIn != gh.IPCTuplesIn || wh.Tuples != gh.Tuples {
+				t.Errorf("window %d host %d integer counters differ:\n  want %+v\n  got  %+v", i, h, wh, gh)
+			}
+			if d := math.Abs(wh.CPUUnits - gh.CPUUnits); d > 1e-9*math.Max(math.Abs(wh.CPUUnits), 1) {
+				t.Errorf("window %d host %d CPUUnits %v vs %v", i, h, gh.CPUUnits, wh.CPUUnits)
+			}
+		}
+	}
+}
+
+// TestLoadSeriesMonitoringIsFree: monitoring must never perturb the
+// run — results with and without LoadWindowSec are byte-identical
+// apart from the series itself, and an unmonitored run has none.
+func TestLoadSeriesMonitoringIsFree(t *testing.T) {
+	tr := driftTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	plain := runMonitored(t, streams, 1, 1, 0)
+	if plain.LoadSeries != nil {
+		t.Fatal("unmonitored run grew a load series")
+	}
+	mon := runMonitored(t, streams, 1, 1, 10)
+	if !reflect.DeepEqual(plain.Outputs, mon.Outputs) ||
+		!reflect.DeepEqual(plain.NodeRows, mon.NodeRows) ||
+		!reflect.DeepEqual(*plain.Metrics, *mon.Metrics) {
+		t.Error("enabling monitoring perturbed the run")
+	}
+}

@@ -46,6 +46,13 @@ type Runner struct {
 	// sequential batched driver.
 	reuseTupleSlabs bool
 
+	// winSec is the load-monitoring window length in trace seconds;
+	// 0 disables monitoring. Windows are closed at watermark
+	// boundaries in canonical event order on every island, so the
+	// resulting load series is bit-equal across engines, worker
+	// counts, and batch sizes.
+	winSec uint64
+
 	// Wall-clock and transport telemetry for the run report. None of it
 	// feeds back into execution: started is read only by buildReport,
 	// and the eng* counters are written by whichever goroutine owns the
@@ -82,6 +89,14 @@ type RunConfig struct {
 	// while runs at the same BatchSize are byte-identical for any
 	// Workers value.
 	BatchSize int
+	// LoadWindowSec enables online load monitoring: per-host counter
+	// deltas are sampled every LoadWindowSec seconds of trace time
+	// into Result.LoadSeries. 0 (the default) disables monitoring.
+	// The sampling happens at the same canonical watermark boundaries
+	// on every engine, so the series — like every other deterministic
+	// output — is bit-equal for any Workers or BatchSize value, and
+	// enabling it never perturbs the run itself.
+	LoadWindowSec int
 	// CollectStats enables the observability layer: per-operator
 	// counters (rows in/out, watermark advances, flushes, per-operator
 	// CPU and network/IPC arrivals) in Result.OpStats and the
@@ -110,10 +125,35 @@ type island struct {
 	// compile and only the pointed-to counters mutate during a run.
 	ops map[int]*obs.OpStats
 
+	// Load-monitoring state: closed window deltas (wins), the counter
+	// snapshot at the last closed boundary (lastSnap), and the next
+	// window index to close (curWin). Leaf islands close windows at
+	// round boundaries on their executing goroutine; the central
+	// island closes on the goroutine replaying its deliveries.
+	curWin   int
+	lastSnap HostMetrics
+	wins     []HostMetrics
+
 	// Parallel-mode state, owned by the island's worker goroutine.
 	curRound int
 	curTag   uint64
 	outbox   []linkItem
+	// curWM is the watermark of the round the worker is executing,
+	// stamped into captured link items so the central replay can
+	// attribute deliveries to monitoring windows.
+	curWM uint64
+}
+
+// closeWindowsTo closes monitoring windows up to (excluding) win: the
+// first closed window takes the counter delta since the last
+// snapshot, any further skipped windows are zero. winSec guards
+// callers; this method assumes monitoring is on.
+func (isl *island) closeWindowsTo(win int) {
+	for isl.curWin < win {
+		isl.wins = append(isl.wins, isl.metrics.sub(isl.lastSnap))
+		isl.lastSnap = isl.metrics
+		isl.curWin++
+	}
 }
 
 // Result is the outcome of one run.
@@ -132,6 +172,10 @@ type Result struct {
 	// is bit-equal for any worker count.
 	OpStats map[int]*obs.OpStats
 	Report  *obs.RunReport
+	// LoadSeries is the online monitoring output: per-host counter
+	// deltas per RunConfig.LoadWindowSec of trace time. Nil unless
+	// monitoring was enabled; bit-equal for any Workers/BatchSize.
+	LoadSeries []obs.LoadWindow
 }
 
 // New compiles the physical plan into operator instances for the
@@ -163,6 +207,9 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 	}
 	if r.batchSize < 1 {
 		r.batchSize = 1
+	}
+	if cfg.LoadWindowSec > 0 {
+		r.winSec = uint64(cfg.LoadWindowSec)
 	}
 	r.islands = make([]*island, p.Hosts+1)
 	for i := range r.islands {
@@ -386,6 +433,11 @@ func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
 			maxTime = pk.Time
 		}
 		if first || pk.Time > lastTime {
+			// Close monitoring windows before the new round touches any
+			// counter: all work for rounds in earlier windows is done.
+			if r.winSec > 0 {
+				r.closeAllWindowsTo(int(pk.Time / r.winSec))
+			}
 			// The global watermark advances every stream's pipeline.
 			for _, c := range cursors {
 				c.rt.Advance(pk.Time)
@@ -482,6 +534,11 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 		}
 		if first || pk.Time > lastTime {
 			flushRound()
+			// Close monitoring windows after the previous round's
+			// buffered deliveries, so its work lands in its own window.
+			if r.winSec > 0 {
+				r.closeAllWindowsTo(int(pk.Time / r.winSec))
+			}
 			round++
 			for _, c := range cursors {
 				c.rt.Advance(pk.Time)
@@ -519,6 +576,16 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 	return r.finalize(any, maxTime), nil
 }
 
+// closeAllWindowsTo closes monitoring windows up to win on every
+// island. Only the sequential drivers use it — the parallel engine
+// closes leaf windows on the worker goroutines and central windows on
+// the replay goroutine, at the same canonical points.
+func (r *Runner) closeAllWindowsTo(win int) {
+	for _, isl := range r.islands {
+		isl.closeWindowsTo(win)
+	}
+}
+
 // finalize merges the per-island accounting shards (in a fixed order,
 // so both engines group floating-point sums identically) and collects
 // the run's outputs.
@@ -550,6 +617,9 @@ func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 			res.NodeRows[name] += *n
 		}
 	}
+	if r.winSec > 0 && any {
+		res.LoadSeries = r.mergeLoadSeries(maxTime)
+	}
 	if r.collect {
 		// Every operator's shard lives on exactly one island, so this
 		// "merge" is a copy; Add guards the invariant regardless.
@@ -567,6 +637,51 @@ func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 		res.Report = r.buildReport(res)
 	}
 	return res
+}
+
+// mergeLoadSeries closes every island's remaining monitoring windows
+// (the final, possibly partial, window also absorbs the end-of-stream
+// flush work) and folds the per-island window deltas into per-host
+// rows, mirroring finalize's fold of the central island into the
+// aggregator host so the two accountings always agree.
+func (r *Runner) mergeLoadSeries(maxTime uint64) []obs.LoadWindow {
+	final := int(maxTime/r.winSec) + 1
+	for _, isl := range r.islands {
+		isl.closeWindowsTo(final)
+	}
+	series := make([]obs.LoadWindow, 0, final)
+	for w := 0; w < final; w++ {
+		lw := obs.LoadWindow{
+			Window:   w,
+			StartSec: uint64(w) * r.winSec,
+			EndSec:   uint64(w+1) * r.winSec,
+		}
+		if lw.EndSec > maxTime+1 {
+			lw.EndSec = maxTime + 1
+		}
+		hosts := make([]obs.HostWindow, r.plan.Hosts)
+		for h := 0; h < r.plan.Hosts; h++ {
+			hm := r.islands[h].wins[w]
+			hosts[h] = obs.HostWindow{
+				Host:        h,
+				CPUUnits:    hm.CPUUnits,
+				NetTuplesIn: hm.NetTuplesIn,
+				NetBytesIn:  hm.NetBytesIn,
+				IPCTuplesIn: hm.IPCTuplesIn,
+				Tuples:      hm.Tuples,
+			}
+		}
+		central := r.islands[r.plan.Hosts].wins[w]
+		agg := &hosts[r.plan.AggregatorHost]
+		agg.CPUUnits += central.CPUUnits
+		agg.NetTuplesIn += central.NetTuplesIn
+		agg.NetBytesIn += central.NetBytesIn
+		agg.IPCTuplesIn += central.IPCTuplesIn
+		agg.Tuples += central.Tuples
+		lw.Hosts = hosts
+		series = append(series, lw)
+	}
+	return series
 }
 
 // buildReport assembles the machine-readable run report. Everything
@@ -619,6 +734,10 @@ func (r *Runner) buildReport(res *Result) *obs.RunReport {
 			Tuples:          hm.Tuples,
 			NetTuplesPerSec: r.metrics.NetLoad(h),
 		})
+	}
+	if len(res.LoadSeries) > 0 {
+		rep.LoadWindowSec = int(r.winSec)
+		rep.LoadSeries = res.LoadSeries
 	}
 	engine := "sequential"
 	if r.parallel {

@@ -257,6 +257,17 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 	res.Search.CostNanos = int64(time.Since(costStart)) //qap:allow walltime -- wall time quarantined in SearchStats nanos
 	res.Search.CacheHits = cm.cacheHits
 
+	rankAndSelect(res)
+	return res, nil
+}
+
+// rankAndSelect orders the costed candidates (cost, then total, then
+// coverage, then canonical set text) and picks Best: the top candidate
+// when it strictly beats — or ties the max objective while beating the
+// total-traffic tiebreak of — the centralized baseline. Shared by the
+// full search and the incremental Reoptimize so re-costing can never
+// diverge from a fresh search's selection logic.
+func rankAndSelect(res *Result) {
 	sort.SliceStable(res.Candidates, func(i, j int) bool {
 		a, b := res.Candidates[i], res.Candidates[j]
 		if a.Cost != b.Cost {
@@ -278,7 +289,6 @@ func optimize(g *plan.Graph, stats Stats, opts Options, reqOf func(*plan.Node) R
 			res.Best, res.BestCost = top.Set, top.Cost
 		}
 	}
-	return res, nil
 }
 
 // fillCandidateCosts computes every candidate's (Cost, Total). Many

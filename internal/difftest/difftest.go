@@ -27,6 +27,7 @@ package difftest
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"sort"
 	"strings"
 
@@ -204,7 +205,99 @@ func CheckQueries(ddl, queries string, trace netgen.Config, opts Options) (*Repo
 	rep.checkBatched(opts, want, run, analysis.Best, last)
 	rep.checkLoadBound(sys, measured, analysis.Best, run)
 	rep.checkLintAgreement(sys, analysis.Best)
+	rep.checkRepartition(sys, measured, analysis, trace, params)
 	return rep, nil
+}
+
+// checkRepartition exercises the adaptive-repartitioning protocol on a
+// drifted variant of the workload trace: the original trace as phase 1
+// (so the statistics measured above are exactly the pre-drift regime)
+// followed by a phase with the source/destination pools swapped and
+// the rate trebled. Two invariants are swept across engines (workers
+// {1,4} x batch {1,256}):
+//
+//   - The trigger decision — whether it fires at all, the window, the
+//     measured rate, and the refreshed set — is bit-identical in every
+//     cell; the monitoring counters it reads are integers.
+//   - The adapted run is byte-identical to a cold restart of the
+//     post-switch set over the same streams under the same engine
+//     configuration: outputs, node rows, metrics, and load series.
+func (r *Report) checkRepartition(sys *qap.System, measured *qap.StaticStats, analysis *qap.Analysis, trace netgen.Config, params map[string]qap.Value) {
+	if analysis.Best.IsEmpty() {
+		// The Section 4.2.1 bound the trigger compares against is only
+		// meaningful for a deployed (non-empty) partitioning set.
+		return
+	}
+	drift := trace
+	drift.Phases = []netgen.Phase{
+		{DurationSec: trace.DurationSec},
+		{DurationSec: trace.DurationSec, PacketsPerSec: 3 * trace.PacketsPerSec,
+			SrcHosts: trace.DstHosts, DstHosts: trace.SrcHosts},
+	}
+	streams := map[string][]netgen.Packet{"TCP": netgen.Generate(drift).Packets}
+	winSec := trace.DurationSec / 3
+	if winSec < 1 {
+		winSec = 1
+	}
+
+	var ref *qap.AdaptiveResult
+	for _, cell := range []struct{ workers, batch int }{{1, 1}, {1, 256}, {4, 1}, {4, 256}} {
+		name := fmt.Sprintf("repartition workers=%d batch=%d", cell.workers, cell.batch)
+		r.Configs++
+		ares, err := sys.RunAdaptive(qap.AdaptiveConfig{
+			Deploy: qap.DeployConfig{
+				Hosts: 4, Partitioning: analysis.Best, DisablePartialAgg: true,
+				Params: params, Workers: cell.workers, BatchSize: cell.batch,
+			},
+			Stats:         measured,
+			Analysis:      analysis,
+			TriggerFactor: 1.5,
+			LoadWindowSec: winSec,
+		}, streams)
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: fmt.Sprintf("adaptive run failed: %v\n", err)})
+			continue
+		}
+		if ref == nil {
+			ref = ares
+		} else if ares.TriggerWindow != ref.TriggerWindow || ares.TriggerRate != ref.TriggerRate ||
+			ares.SwitchTimeSec != ref.SwitchTimeSec || ares.Repartitioned != ref.Repartitioned ||
+			!ares.FinalSet.Equal(ref.FinalSet) {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: fmt.Sprintf(
+				"trigger decision diverged across engines:\n  reference: window=%d rate=%v switch=%d repartitioned=%v set=%s\n  this cell: window=%d rate=%v switch=%d repartitioned=%v set=%s\n",
+				ref.TriggerWindow, ref.TriggerRate, ref.SwitchTimeSec, ref.Repartitioned, ref.FinalSet,
+				ares.TriggerWindow, ares.TriggerRate, ares.SwitchTimeSec, ares.Repartitioned, ares.FinalSet)})
+			continue
+		}
+
+		dep, err := sys.Deploy(qap.DeployConfig{
+			Hosts: 4, Partitioning: ares.FinalSet, DisablePartialAgg: true,
+			Params: params, Workers: cell.workers, BatchSize: cell.batch,
+			LoadWindowSec: winSec,
+		})
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: fmt.Sprintf("cold-restart deploy failed: %v\n", err)})
+			continue
+		}
+		cold, err := dep.RunStreams(streams)
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: fmt.Sprintf("cold-restart run failed: %v\n", err)})
+			continue
+		}
+		if want, got := Canonical(cold), Canonical(ares.Final); want != got {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: firstDiff(want, got)})
+			continue
+		}
+		if !reflect.DeepEqual(cold.Outputs, ares.Final.Outputs) ||
+			!reflect.DeepEqual(*cold.Metrics, *ares.Final.Metrics) ||
+			!reflect.DeepEqual(cold.LoadSeries, ares.Final.LoadSeries) {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: fmt.Sprintf(
+				"adapted run is not byte-identical to a cold restart on set %s\n", ares.FinalSet)})
+		}
+	}
 }
 
 // checkBatched verifies the batch-at-a-time execution path against the

@@ -56,13 +56,14 @@ func FuzzDifferential(f *testing.F) {
 			t.Skip("query set too large for a per-input differential run")
 		}
 		trace := netgen.Config{
-			Seed:          seed,
-			DurationSec:   3,
-			PacketsPerSec: 50,
-			SrcHosts:      1 + int(uint64(seed)%7),
-			DstHosts:      5,
-			ZipfS:         1.3,
-			Ports:         64,
+			Seed:            seed,
+			DurationSec:     3,
+			PacketsPerSec:   50,
+			SrcHosts:        1 + int(uint64(seed)%7),
+			DstHosts:        5,
+			ZipfS:           1.3,
+			MeanFlowPackets: 1,
+			Ports:           64,
 		}
 		rep, err := CheckQueries(netgen.SchemaDDL, queries, trace, Options{
 			Hosts: []int{1, 2}, Workers: []int{1, 2},

@@ -8,6 +8,7 @@
 package netgen
 
 import (
+	"fmt"
 	"math"
 	"math/rand" //qap:allow walltime -- generator is explicitly seeded per trace
 	"sort"
@@ -77,7 +78,9 @@ func (p Packet) AppendTuple(buf []sqlval.Value) ([]sqlval.Value, exec.Tuple) {
 	return buf, exec.Tuple(buf[n:len(buf):len(buf)])
 }
 
-// Config controls trace generation.
+// Config controls trace generation. Every field is required to be
+// valid (see Validate); defaults live only in DefaultConfig, so a
+// config built from user input is never quietly rewritten.
 type Config struct {
 	Seed        int64
 	DurationSec int
@@ -94,6 +97,120 @@ type Config struct {
 	AttackFraction float64
 	// Ports is the ephemeral port range size.
 	Ports int
+	// Phases, when non-empty, turns the trace into a drifting
+	// workload: the phases play back to back, each inheriting the
+	// base config where a phase field is zero. With phases the base
+	// DurationSec is ignored and the trace lasts TotalDurationSec().
+	Phases []Phase
+}
+
+// Phase is one segment of a drifting trace. DurationSec is required;
+// every other field overrides the base Config within the phase, with
+// zero meaning "inherit the base value". (Consequently a phase cannot
+// reset AttackFraction to exactly zero; use a negligible positive
+// fraction for an attack-free phase over an attack-bearing base.)
+type Phase struct {
+	DurationSec     int
+	PacketsPerSec   int
+	SrcHosts        int
+	DstHosts        int
+	ZipfS           float64
+	MeanFlowPackets float64
+	AttackFraction  float64
+}
+
+// TotalDurationSec is the trace length in seconds: the sum of phase
+// durations, or DurationSec when no phases are configured.
+func (c Config) TotalDurationSec() int {
+	if len(c.Phases) == 0 {
+		return c.DurationSec
+	}
+	total := 0
+	for _, p := range c.Phases {
+		total += p.DurationSec
+	}
+	return total
+}
+
+// phaseConfig resolves one phase against the base config: zero phase
+// fields inherit, non-zero fields override.
+func (c Config) phaseConfig(p Phase) Config {
+	eff := c
+	eff.Phases = nil
+	eff.DurationSec = p.DurationSec
+	if p.PacketsPerSec != 0 {
+		eff.PacketsPerSec = p.PacketsPerSec
+	}
+	if p.SrcHosts != 0 {
+		eff.SrcHosts = p.SrcHosts
+	}
+	if p.DstHosts != 0 {
+		eff.DstHosts = p.DstHosts
+	}
+	if p.ZipfS != 0 {
+		eff.ZipfS = p.ZipfS
+	}
+	if p.MeanFlowPackets != 0 {
+		eff.MeanFlowPackets = p.MeanFlowPackets
+	}
+	if p.AttackFraction != 0 {
+		eff.AttackFraction = p.AttackFraction
+	}
+	return eff
+}
+
+// Validate checks the configuration and returns an error naming the
+// first offending field. Zero-valued required fields are errors, not
+// defaults — start from DefaultConfig to get the paper's trace shape.
+// CLIs and workload generators must call Validate on any config built
+// from external input before handing it to Generate, which treats an
+// invalid config as a programmer error and panics.
+func (c Config) Validate() error {
+	if err := validateFields(c, "Config", len(c.Phases) > 0); err != nil {
+		return err
+	}
+	for i, p := range c.Phases {
+		pos := fmt.Sprintf("Config.Phases[%d]", i)
+		if err := validateFields(c.phaseConfig(p), pos, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateFields checks the scalar generation parameters of one
+// resolved configuration (the base config or one phase's effective
+// config). skipDuration suppresses the DurationSec check for a base
+// config whose duration is superseded by phases.
+func validateFields(c Config, pos string, skipDuration bool) error {
+	if !skipDuration && c.DurationSec < 1 {
+		return fmt.Errorf("netgen: %s.DurationSec = %d, need >= 1", pos, c.DurationSec)
+	}
+	if c.PacketsPerSec < 1 {
+		return fmt.Errorf("netgen: %s.PacketsPerSec = %d, need >= 1", pos, c.PacketsPerSec)
+	}
+	if c.SrcHosts < 1 {
+		return fmt.Errorf("netgen: %s.SrcHosts = %d, need >= 1", pos, c.SrcHosts)
+	}
+	if c.DstHosts < 1 {
+		return fmt.Errorf("netgen: %s.DstHosts = %d, need >= 1", pos, c.DstHosts)
+	}
+	// The negated comparisons also catch NaN: rand.NewZipf returns nil
+	// for s <= 1 (and misbehaves for non-finite s), which would panic
+	// at the first draw.
+	if !(c.ZipfS > 1) || math.IsInf(c.ZipfS, 0) {
+		return fmt.Errorf("netgen: %s.ZipfS = %v, need a finite skew > 1", pos, c.ZipfS)
+	}
+	if !(c.MeanFlowPackets >= 1) || math.IsInf(c.MeanFlowPackets, 0) {
+		return fmt.Errorf("netgen: %s.MeanFlowPackets = %v, need a finite mean >= 1", pos, c.MeanFlowPackets)
+	}
+	if !(c.AttackFraction >= 0 && c.AttackFraction <= 1) {
+		return fmt.Errorf("netgen: %s.AttackFraction = %v, need a fraction in [0, 1]", pos, c.AttackFraction)
+	}
+	if c.Ports < 1 {
+		return fmt.Errorf("netgen: %s.Ports = %d, need >= 1", pos, c.Ports)
+	}
+	return nil
 }
 
 // DefaultConfig mirrors the paper's trace shape at a laptop-friendly
@@ -120,56 +237,53 @@ type Trace struct {
 	AttackFlows, TotalFlows int
 }
 
-// Generate builds a deterministic trace for the configuration.
+// Generate builds a deterministic trace for the configuration. The
+// config must be valid: Generate panics with the Validate error
+// otherwise (callers holding external input validate first).
+//
+// Phases share one random stream in order, so a multi-phase trace is
+// deterministic as a whole, and a phase-free config generates exactly
+// the same packets as before phases existed (single-phase playback
+// degenerates to the original algorithm).
 func Generate(cfg Config) *Trace {
-	if cfg.DurationSec <= 0 {
-		cfg.DurationSec = 1
-	}
-	if cfg.PacketsPerSec <= 0 {
-		cfg.PacketsPerSec = 1000
-	}
-	// A single-address pool is legal (the Zipf degenerates to a point
-	// mass); only zero/negative pools fall back to the default.
-	if cfg.SrcHosts < 1 {
-		cfg.SrcHosts = 2
-	}
-	if cfg.DstHosts < 1 {
-		cfg.DstHosts = 2
-	}
-	// The negated comparisons also catch NaN: rand.NewZipf returns nil
-	// for s <= 1 (and misbehaves for non-finite s), which would panic
-	// at the first draw.
-	if !(cfg.ZipfS > 1) || math.IsInf(cfg.ZipfS, 0) {
-		cfg.ZipfS = 1.2
-	}
-	if !(cfg.MeanFlowPackets >= 1) {
-		cfg.MeanFlowPackets = 1
-	}
-	if !(cfg.AttackFraction >= 0) {
-		cfg.AttackFraction = 0
-	} else if cfg.AttackFraction > 1 {
-		cfg.AttackFraction = 1
-	}
-	if cfg.Ports <= 0 {
-		cfg.Ports = 4096
+	if err := cfg.Validate(); err != nil {
+		panic(err)
 	}
 	r := rand.New(rand.NewSource(cfg.Seed))
-	srcZipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.SrcHosts-1))
-	dstZipf := rand.NewZipf(r, cfg.ZipfS, 1, uint64(cfg.DstHosts-1))
-
-	budget := cfg.DurationSec * cfg.PacketsPerSec
 	tr := &Trace{Config: cfg}
-	packets := make([]Packet, 0, budget+16)
-	for len(packets) < budget {
-		flow := makeFlow(r, srcZipf, dstZipf, cfg)
-		tr.TotalFlows++
-		if flow.attack {
-			tr.AttackFlows++
-		}
-		packets = append(packets, flow.packets...)
+	phases := cfg.Phases
+	if len(phases) == 0 {
+		phases = []Phase{{DurationSec: cfg.DurationSec}}
 	}
-	packets = packets[:budget]
-	sort.SliceStable(packets, func(i, j int) bool { return packets[i].Time < packets[j].Time })
+	var packets []Packet
+	offset := uint64(0)
+	for _, p := range phases {
+		eff := cfg.phaseConfig(p)
+		// Zipf construction draws nothing from r, so per-phase
+		// reconstruction keeps the phase-free stream unchanged.
+		srcZipf := rand.NewZipf(r, eff.ZipfS, 1, uint64(eff.SrcHosts-1))
+		dstZipf := rand.NewZipf(r, eff.ZipfS, 1, uint64(eff.DstHosts-1))
+
+		budget := eff.DurationSec * eff.PacketsPerSec
+		ph := make([]Packet, 0, budget+16)
+		for len(ph) < budget {
+			flow := makeFlow(r, srcZipf, dstZipf, eff)
+			tr.TotalFlows++
+			if flow.attack {
+				tr.AttackFlows++
+			}
+			ph = append(ph, flow.packets...)
+		}
+		ph = ph[:budget]
+		sort.SliceStable(ph, func(i, j int) bool { return ph[i].Time < ph[j].Time })
+		if offset > 0 {
+			for i := range ph {
+				ph[i].Time += offset
+			}
+		}
+		packets = append(packets, ph...)
+		offset += uint64(eff.DurationSec)
+	}
 	tr.Packets = packets
 	return tr
 }

@@ -3,6 +3,7 @@ package netgen
 import (
 	"math"
 	"math/rand" //qap:allow walltime -- tests seed explicitly
+	"strings"
 	"testing"
 )
 
@@ -151,49 +152,74 @@ func TestSequenceNumbersConsecutivePerFlow(t *testing.T) {
 	}
 }
 
-func TestConfigDefaultsApplied(t *testing.T) {
-	tr := Generate(Config{Seed: 3, DurationSec: 2, PacketsPerSec: 100})
-	if len(tr.Packets) != 200 {
-		t.Errorf("defaults should still produce the requested volume, got %d", len(tr.Packets))
+// TestValidateRejectsBadConfigs covers every field check: invalid
+// configs must surface a positioned error from Validate rather than
+// being quietly rewritten inside Generate (the old behavior, which let
+// drift scenarios run with silently substituted parameters).
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	mut := func(f func(*Config)) Config {
+		cfg := DefaultConfig()
+		f(&cfg)
+		return cfg
 	}
-}
-
-// TestGenerateEdgeConfigs drives Generate with the extreme and
-// malformed parameters qgen's randomized workloads can produce: the
-// generator must clamp or default every field rather than hand a bad
-// skew to rand.NewZipf (nil Zipf → panic) or divide by a zero mean.
-func TestGenerateEdgeConfigs(t *testing.T) {
-	cases := map[string]Config{
-		"zero value":        {},
-		"negative duration": {Seed: 2, DurationSec: -5, PacketsPerSec: -3},
-		"single-host pools": {Seed: 3, DurationSec: 2, PacketsPerSec: 50, SrcHosts: 1, DstHosts: 1},
-		"nan zipf":          {Seed: 4, DurationSec: 2, PacketsPerSec: 50, ZipfS: math.NaN()},
-		"inf zipf":          {Seed: 5, DurationSec: 2, PacketsPerSec: 50, ZipfS: math.Inf(1)},
-		"nan mean flow":     {Seed: 6, DurationSec: 2, PacketsPerSec: 50, MeanFlowPackets: math.NaN()},
-		"negative mean":     {Seed: 7, DurationSec: 2, PacketsPerSec: 50, MeanFlowPackets: -4},
-		"nan attack":        {Seed: 8, DurationSec: 2, PacketsPerSec: 50, AttackFraction: math.NaN()},
-		"attack above one":  {Seed: 9, DurationSec: 2, PacketsPerSec: 50, AttackFraction: 7},
-		"negative ports":    {Seed: 10, DurationSec: 2, PacketsPerSec: 50, Ports: -1},
+	cases := map[string]struct {
+		cfg  Config
+		want string
+	}{
+		"zero value":        {Config{}, "Config.DurationSec"},
+		"negative duration": {mut(func(c *Config) { c.DurationSec = -5 }), "Config.DurationSec"},
+		"zero rate":         {mut(func(c *Config) { c.PacketsPerSec = 0 }), "Config.PacketsPerSec"},
+		"zero src pool":     {mut(func(c *Config) { c.SrcHosts = 0 }), "Config.SrcHosts"},
+		"zero dst pool":     {mut(func(c *Config) { c.DstHosts = 0 }), "Config.DstHosts"},
+		"zipf at one":       {mut(func(c *Config) { c.ZipfS = 1 }), "Config.ZipfS"},
+		"nan zipf":          {mut(func(c *Config) { c.ZipfS = math.NaN() }), "Config.ZipfS"},
+		"inf zipf":          {mut(func(c *Config) { c.ZipfS = math.Inf(1) }), "Config.ZipfS"},
+		"nan mean flow":     {mut(func(c *Config) { c.MeanFlowPackets = math.NaN() }), "Config.MeanFlowPackets"},
+		"negative mean":     {mut(func(c *Config) { c.MeanFlowPackets = -4 }), "Config.MeanFlowPackets"},
+		"nan attack":        {mut(func(c *Config) { c.AttackFraction = math.NaN() }), "Config.AttackFraction"},
+		"attack above one":  {mut(func(c *Config) { c.AttackFraction = 7 }), "Config.AttackFraction"},
+		"negative ports":    {mut(func(c *Config) { c.Ports = -1 }), "Config.Ports"},
+		"bad phase duration": {mut(func(c *Config) {
+			c.Phases = []Phase{{DurationSec: 0}}
+		}), "Config.Phases[0].DurationSec"},
+		"bad phase zipf": {mut(func(c *Config) {
+			c.Phases = []Phase{{DurationSec: 5}, {DurationSec: 5, ZipfS: 0.5}}
+		}), "Config.Phases[1].ZipfS"},
 	}
-	for name, cfg := range cases {
+	for name, tc := range cases {
 		t.Run(name, func(t *testing.T) {
-			tr := Generate(cfg)
-			if len(tr.Packets) == 0 {
-				t.Fatal("edge config generated an empty trace")
+			err := tc.cfg.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted an invalid config")
 			}
-			for i := 1; i < len(tr.Packets); i++ {
-				if tr.Packets[i].Time < tr.Packets[i-1].Time {
-					t.Fatalf("packets out of time order at %d", i)
-				}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not name %s", err, tc.want)
 			}
 		})
 	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("DefaultConfig must validate: %v", err)
+	}
+}
+
+// TestGeneratePanicsOnInvalidConfig pins Generate's contract: an
+// invalid config is a programmer error, not an input to be repaired.
+func TestGeneratePanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate must panic on an invalid config")
+		}
+	}()
+	Generate(Config{Seed: 1, DurationSec: 2, PacketsPerSec: 50})
 }
 
 // TestGenerateSingleHostPools pins the degenerate-Zipf behavior: a
 // one-address pool sends every packet from (to) that single address.
 func TestGenerateSingleHostPools(t *testing.T) {
-	tr := Generate(Config{Seed: 11, DurationSec: 2, PacketsPerSec: 80, SrcHosts: 1, DstHosts: 1})
+	cfg := DefaultConfig()
+	cfg.Seed, cfg.DurationSec, cfg.PacketsPerSec = 11, 2, 80
+	cfg.SrcHosts, cfg.DstHosts = 1, 1
+	tr := Generate(cfg)
 	for _, p := range tr.Packets {
 		if p.SrcIP != 0x0A000000 || p.DestIP != 0xC0A80000 {
 			t.Fatalf("single-host pools must pin the addresses, got %x -> %x", p.SrcIP, p.DestIP)
@@ -201,11 +227,87 @@ func TestGenerateSingleHostPools(t *testing.T) {
 	}
 }
 
-// TestGenerateAttackFractionOne checks the clamped all-attack extreme.
+// TestGenerateAttackFractionOne checks the all-attack extreme.
 func TestGenerateAttackFractionOne(t *testing.T) {
-	tr := Generate(Config{Seed: 12, DurationSec: 2, PacketsPerSec: 50, AttackFraction: 2})
+	cfg := DefaultConfig()
+	cfg.Seed, cfg.DurationSec, cfg.PacketsPerSec = 12, 2, 50
+	cfg.AttackFraction = 1
+	tr := Generate(cfg)
 	if tr.AttackFlows != tr.TotalFlows {
-		t.Errorf("AttackFraction clamped to 1 should mark every flow: %d/%d", tr.AttackFlows, tr.TotalFlows)
+		t.Errorf("AttackFraction 1 should mark every flow: %d/%d", tr.AttackFlows, tr.TotalFlows)
+	}
+}
+
+// TestPhaseFreeGenerationUnchanged pins the refactoring invariant the
+// golden-output tests rely on: a phase-free config and the equivalent
+// explicit single phase produce byte-identical packet sequences.
+func TestPhaseFreeGenerationUnchanged(t *testing.T) {
+	base := DefaultConfig()
+	base.DurationSec, base.PacketsPerSec = 8, 400
+	one := base
+	one.DurationSec = 0
+	one.Phases = []Phase{{DurationSec: 8}}
+	a, b := Generate(base), Generate(one)
+	if len(a.Packets) != len(b.Packets) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Packets), len(b.Packets))
+	}
+	for i := range a.Packets {
+		if a.Packets[i] != b.Packets[i] {
+			t.Fatalf("packet %d differs: %+v vs %+v", i, a.Packets[i], b.Packets[i])
+		}
+	}
+	if a.TotalFlows != b.TotalFlows || a.AttackFlows != b.AttackFlows {
+		t.Errorf("flow mix differs: %d/%d vs %d/%d",
+			a.AttackFlows, a.TotalFlows, b.AttackFlows, b.TotalFlows)
+	}
+}
+
+// TestPhasedDrift checks the drift knobs end to end: phases play back
+// to back, each phase's packets stay inside its window, the packet
+// volume follows the per-phase rate, and the skew/pool overrides
+// actually move the address distribution between phases.
+func TestPhasedDrift(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.DurationSec = 0
+	cfg.SrcHosts, cfg.DstHosts = 20, 2000
+	cfg.Phases = []Phase{
+		{DurationSec: 10},
+		{DurationSec: 10, PacketsPerSec: 3 * cfg.PacketsPerSec, SrcHosts: 2000, DstHosts: 20, AttackFraction: 0.5},
+	}
+	if cfg.TotalDurationSec() != 20 {
+		t.Fatalf("TotalDurationSec = %d, want 20", cfg.TotalDurationSec())
+	}
+	tr := Generate(cfg)
+	if got, want := len(tr.Packets), 10*cfg.PacketsPerSec+10*3*cfg.PacketsPerSec; got != want {
+		t.Fatalf("packet count = %d, want %d", got, want)
+	}
+	var phase1Srcs, phase2Srcs = map[uint64]bool{}, map[uint64]bool{}
+	n1 := 0
+	for i, p := range tr.Packets {
+		if i > 0 && p.Time < tr.Packets[i-1].Time {
+			t.Fatal("packets not time ordered across phases")
+		}
+		if p.Time >= 20 {
+			t.Fatalf("time %d beyond total duration", p.Time)
+		}
+		if p.Time < 10 {
+			n1++
+			phase1Srcs[p.SrcIP] = true
+		} else {
+			phase2Srcs[p.SrcIP] = true
+		}
+	}
+	if got, want := n1, 10*cfg.PacketsPerSec; got != want {
+		t.Errorf("phase 1 volume = %d, want %d (phases must not bleed)", got, want)
+	}
+	// Phase 1 draws from a 20-address pool, phase 2 from 2000: the
+	// distinct-source count must widen sharply after the shift.
+	if len(phase1Srcs) > 20 {
+		t.Errorf("phase 1 used %d sources from a pool of 20", len(phase1Srcs))
+	}
+	if len(phase2Srcs) < 3*len(phase1Srcs) {
+		t.Errorf("source pool did not widen: %d vs %d", len(phase2Srcs), len(phase1Srcs))
 	}
 }
 

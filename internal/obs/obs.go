@@ -106,6 +106,69 @@ type HostReport struct {
 	NetTuplesPerSec float64 `json:"net_tuples_per_sec"`
 }
 
+// HostWindow is one host's deterministic counter deltas over one load
+// window: what the host did during [window*W, (window+1)*W) of trace
+// time, as opposed to HostReport's whole-run totals.
+type HostWindow struct {
+	Host        int     `json:"host"`
+	CPUUnits    float64 `json:"cpu_units"`
+	NetTuplesIn int64   `json:"net_tuples_in"`
+	NetBytesIn  int64   `json:"net_bytes_in"`
+	IPCTuplesIn int64   `json:"ipc_tuples_in"`
+	Tuples      int64   `json:"tuples"`
+}
+
+// LoadWindow is one closed monitoring window of a run's load series:
+// per-host counter deltas over [StartSec, EndSec) of trace time. The
+// engines close windows at watermark boundaries in canonical event
+// order, so the series is bit-equal for any worker count or batch
+// size, like every other deterministic report section.
+type LoadWindow struct {
+	Window   int          `json:"window"`
+	StartSec uint64       `json:"start_sec"`
+	EndSec   uint64       `json:"end_sec"`
+	Hosts    []HostWindow `json:"hosts"`
+}
+
+// MaxHostNetBytesPerSec returns the window's peak per-host network
+// ingress rate in bytes per second — the measured quantity the
+// Section 4.2.1 load bound constrains. Zero for an empty window.
+func (w LoadWindow) MaxHostNetBytesPerSec() float64 {
+	sec := float64(w.EndSec - w.StartSec)
+	if sec <= 0 {
+		return 0
+	}
+	maxBytes := int64(0)
+	for i := range w.Hosts {
+		if b := w.Hosts[i].NetBytesIn; b > maxBytes {
+			maxBytes = b
+		}
+	}
+	return float64(maxBytes) / sec
+}
+
+// FirstLoadViolation scans a load series for the first window whose
+// measured max-host network rate exceeds factor times the predicted
+// bound (bytes per second), skipping the first warmup windows. It
+// returns the window index and the offending rate, or -1 when the
+// series stays within the inflated bound. This is the adaptive
+// repartitioning trigger: deterministic, because the series itself is.
+func FirstLoadViolation(series []LoadWindow, boundBytesPerSec, factor float64, warmup int) (int, float64) {
+	if factor <= 0 {
+		factor = 1
+	}
+	limit := boundBytesPerSec * factor
+	for i := range series {
+		if series[i].Window < warmup {
+			continue
+		}
+		if rate := series[i].MaxHostNetBytesPerSec(); rate > limit {
+			return series[i].Window, rate
+		}
+	}
+	return -1, 0
+}
+
 // PlanInfo summarizes the physical plan a run executed.
 type PlanInfo struct {
 	Hosts             int `json:"hosts"`

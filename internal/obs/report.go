@@ -18,14 +18,20 @@ import (
 // Canonical() — or deleting that key from the JSON — yields
 // byte-identical documents for any worker count.
 type RunReport struct {
-	SchemaVersion  int           `json:"schema_version"`
-	DurationSec    float64       `json:"duration_sec"`
-	CapacityPerSec float64       `json:"capacity_per_sec"`
-	Plan           *PlanInfo     `json:"plan,omitempty"`
-	Nodes          []NodeReport  `json:"nodes,omitempty"`
-	Hosts          []HostReport  `json:"hosts,omitempty"`
-	Search         *SearchReport `json:"search,omitempty"`
-	Timing         *Timing       `json:"timing,omitempty"`
+	SchemaVersion  int          `json:"schema_version"`
+	DurationSec    float64      `json:"duration_sec"`
+	CapacityPerSec float64      `json:"capacity_per_sec"`
+	Plan           *PlanInfo    `json:"plan,omitempty"`
+	Nodes          []NodeReport `json:"nodes,omitempty"`
+	Hosts          []HostReport `json:"hosts,omitempty"`
+	// LoadWindowSec and LoadSeries are the online monitoring section:
+	// per-host counter deltas per LoadWindowSec of trace time,
+	// present only when the run enabled load monitoring. The series
+	// is deterministic (bit-equal across engines and worker counts).
+	LoadWindowSec int           `json:"load_window_sec,omitempty"`
+	LoadSeries    []LoadWindow  `json:"load_series,omitempty"`
+	Search        *SearchReport `json:"search,omitempty"`
+	Timing        *Timing       `json:"timing,omitempty"`
 }
 
 // Canonical returns a shallow copy with the nondeterministic Timing
@@ -50,6 +56,38 @@ func (r *RunReport) JSON() ([]byte, error) {
 // fnum renders a float the way Prometheus text exposition expects,
 // with the shortest exact representation.
 func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelEscape escapes a label value per the Prometheus text exposition
+// format: backslash, double quote, and newline take backslash escapes;
+// everything else — including non-ASCII UTF-8 — passes through as-is.
+// Go's %q is not a substitute: it emits \xNN/\uNNNN escapes the
+// exposition format does not define, so a query name like "häufig"
+// would render as an unparseable label value.
+func labelEscape(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// label renders one name="value" pair with proper value escaping.
+func label(name, value string) string {
+	return name + `="` + labelEscape(value) + `"`
+}
 
 // Prometheus renders the report in the Prometheus text exposition
 // format (metric families sorted, nodes by ID, hosts by index), for
@@ -84,8 +122,11 @@ func (r *RunReport) Prometheus() string {
 			if !ok {
 				continue
 			}
-			lines = append(lines, fmt.Sprintf("%s{id=%q,kind=%q,query=%q,host=%q} %s",
-				name, strconv.Itoa(n.ID), n.Kind, n.Query, strconv.Itoa(n.Host), v))
+			lines = append(lines, name+"{"+
+				label("id", strconv.Itoa(n.ID))+","+
+				label("kind", n.Kind)+","+
+				label("query", n.Query)+","+
+				label("host", strconv.Itoa(n.Host))+"} "+v)
 		}
 		emit(name, "counter", help, lines)
 	}
@@ -110,7 +151,7 @@ func (r *RunReport) Prometheus() string {
 		var lines []string
 		for i := range hosts {
 			h := &hosts[i]
-			lines = append(lines, fmt.Sprintf("%s{host=%q} %s", name, strconv.Itoa(h.Host), f(h)))
+			lines = append(lines, name+"{"+label("host", strconv.Itoa(h.Host))+"} "+f(h))
 		}
 		emit(name, typ, help, lines)
 	}
@@ -127,6 +168,30 @@ func (r *RunReport) Prometheus() string {
 	hostMetric("qap_host_tuples", "counter", "Tuples delivered to operators on the host.",
 		func(h *HostReport) string { return strconv.FormatInt(h.Tuples, 10) })
 
+	if len(r.LoadSeries) > 0 {
+		windowMetric := func(name, help string, f func(h *HostWindow) string) {
+			var lines []string
+			for wi := range r.LoadSeries {
+				w := &r.LoadSeries[wi]
+				for hi := range w.Hosts {
+					h := &w.Hosts[hi]
+					lines = append(lines, name+"{"+
+						label("host", strconv.Itoa(h.Host))+","+
+						label("window", strconv.Itoa(w.Window))+"} "+f(h))
+				}
+			}
+			emit(name, "gauge", help, lines)
+		}
+		emit("qap_host_window_seconds", "gauge", "Load-monitoring window length in trace seconds.",
+			[]string{"qap_host_window_seconds " + strconv.Itoa(r.LoadWindowSec)})
+		windowMetric("qap_host_window_cpu_units", "Work units charged to the host within the window.",
+			func(h *HostWindow) string { return fnum(h.CPUUnits) })
+		windowMetric("qap_host_window_net_tuples_in", "Cross-host tuple arrivals within the window.",
+			func(h *HostWindow) string { return strconv.FormatInt(h.NetTuplesIn, 10) })
+		windowMetric("qap_host_window_net_bytes_in", "Cross-host byte arrivals within the window.",
+			func(h *HostWindow) string { return strconv.FormatInt(h.NetBytesIn, 10) })
+	}
+
 	if s := r.Search; s != nil {
 		emit("qap_search_candidates_enumerated", "counter", "Candidate subsets recorded by the search.",
 			[]string{"qap_search_candidates_enumerated " + strconv.FormatInt(s.Enumerated, 10)})
@@ -140,7 +205,8 @@ func (r *RunReport) Prometheus() string {
 			[]string{"qap_search_cost_cache_hits " + strconv.FormatInt(s.CacheHits, 10)})
 		var workers []string
 		for w, n := range s.PerWorkerEvals {
-			workers = append(workers, fmt.Sprintf("qap_search_worker_evals{worker=%q} %d", strconv.Itoa(w), n))
+			workers = append(workers, fmt.Sprintf("qap_search_worker_evals{%s} %d",
+				label("worker", strconv.Itoa(w)), n))
 		}
 		emit("qap_search_worker_evals", "counter", "Set evaluations per search worker.", workers)
 	}
@@ -209,6 +275,47 @@ type ExecBenchReport struct {
 	GateMinSpeedup    float64        `json:"gate_min_speedup"`
 	GateMaxAllocRatio float64        `json:"gate_max_alloc_ratio"`
 	GateMet           bool           `json:"gate_met"`
+}
+
+// DriftWindowRow is one monitoring window of a DriftBenchReport: the
+// measured max-host network rate with the static plan versus the
+// adaptive controller over the same drifting trace.
+type DriftWindowRow struct {
+	Window               int     `json:"window"`
+	StartSec             uint64  `json:"start_sec"`
+	StaticMaxHostBps     float64 `json:"static_max_host_bps"`
+	AdaptiveMaxHostBps   float64 `json:"adaptive_max_host_bps"`
+	AdaptiveUsesFinalSet bool    `json:"adaptive_uses_final_set"`
+}
+
+// DriftBenchReport is the machine-readable BENCH_drift.json emitted by
+// qap-bench -drift: the adaptive-repartitioning experiment over a
+// skew-shift trace. Everything here except nothing is deterministic —
+// the whole report is a pure function of the scenario config.
+type DriftBenchReport struct {
+	SchemaVersion int     `json:"schema_version"`
+	Name          string  `json:"name"`
+	LoadWindowSec int     `json:"load_window_sec"`
+	TriggerFactor float64 `json:"trigger_factor"`
+	// Bound and NewBound are the Section 4.2.1 predicted max-host
+	// network rates (bytes/sec) for the initial and post-switch sets
+	// under their respective statistics.
+	Bound    float64 `json:"bound_bps"`
+	NewBound float64 `json:"new_bound_bps"`
+	// TriggerWindow is the monitoring window whose measured load
+	// first exceeded TriggerFactor×Bound (-1: never fired).
+	TriggerWindow int     `json:"trigger_window"`
+	TriggerRate   float64 `json:"trigger_rate_bps"`
+	SwitchTimeSec uint64  `json:"switch_time_sec"`
+	InitialSet    string  `json:"initial_set"`
+	FinalSet      string  `json:"final_set"`
+	Repartitioned bool    `json:"repartitioned"`
+	// PostSwitchPeakBps is the adaptive run's peak max-host rate in
+	// the windows after the switch; WithinBoundAfterSwitch records
+	// whether it stays under TriggerFactor×NewBound.
+	PostSwitchPeakBps      float64          `json:"post_switch_peak_bps"`
+	WithinBoundAfterSwitch bool             `json:"within_bound_after_switch"`
+	Rows                   []DriftWindowRow `json:"rows"`
 }
 
 // BenchReport is the machine-readable BENCH_<name>.json emitted by

@@ -205,6 +205,12 @@ func (g *gen) genTrace(seed int64) netgen.Config {
 		cfg.DurationSec = 5 + g.r.Intn(3)
 		cfg.PacketsPerSec = 40 + g.r.Intn(60)
 	}
+	// The draw ranges above keep every field valid by construction;
+	// Validate guards that invariant against future range edits (an
+	// invalid config would otherwise panic deep inside Generate).
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("qgen: genTrace produced an invalid config: %v", err))
+	}
 	return cfg
 }
 

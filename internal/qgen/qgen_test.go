@@ -1,6 +1,7 @@
 package qgen
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestGenerateDeterministic(t *testing.T) {
 		if a.Queries != b.Queries {
 			t.Fatalf("seed %d: query text differs between runs:\n%s\n--- vs ---\n%s", seed, a.Queries, b.Queries)
 		}
-		if a.Trace != b.Trace {
+		if fmt.Sprintf("%+v", a.Trace) != fmt.Sprintf("%+v", b.Trace) {
 			t.Fatalf("seed %d: trace config differs: %+v vs %+v", seed, a.Trace, b.Trace)
 		}
 	}

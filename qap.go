@@ -76,6 +76,11 @@ type (
 	SearchStats = obs.SearchStats
 	// SearchReport is the search section of a RunReport.
 	SearchReport = obs.SearchReport
+	// LoadWindow is one closed window of a monitored run's load
+	// series (per-host counter deltas over a slice of trace time).
+	LoadWindow = obs.LoadWindow
+	// HostWindow is one host's counter deltas within a LoadWindow.
+	HostWindow = obs.HostWindow
 )
 
 // Partial-aggregation scopes (see optimizer.Scope).
@@ -186,6 +191,24 @@ func (s *System) PlanCost(ps Set, stats Stats) float64 {
 	return core.NewCostModel(s.Graph, stats).PlanCost(ps)
 }
 
+// PlanTotalCost evaluates the sum-of-nodes variant of the Section
+// 4.2.1 cost model: total bytes per second shipped under partitioning
+// ps. It upper-bounds the network ingress of any single host in a
+// deployment of ps without partial aggregation, which is what the
+// load-bound monitor compares measured rates against.
+func (s *System) PlanTotalCost(ps Set, stats Stats) float64 {
+	return core.NewCostModel(s.Graph, stats).TotalCost(ps)
+}
+
+// Reanalyze re-runs the partitioning decision under refreshed
+// statistics by re-costing a prior analysis's candidate list — the
+// Section 4.2.2 enumeration depends only on the query graph, so it is
+// skipped. The result is identical to a fresh Analyze under the same
+// stats; a nil prior falls back to one.
+func (s *System) Reanalyze(prior *Analysis, stats Stats) (*Analysis, error) {
+	return core.Reoptimize(s.Graph, prior, stats, DefaultSearchOptions())
+}
+
 // LintReport is the static analyzer's diagnostic report.
 type LintReport = lint.Report
 
@@ -246,6 +269,12 @@ type DeployConfig struct {
 	// bit-equal for any worker count; when false no instrumentation is
 	// installed and the run is as fast as before the layer existed.
 	CollectStats bool
+	// LoadWindowSec enables online load monitoring: per-host counter
+	// deltas are sampled every LoadWindowSec seconds of trace time
+	// into RunResult.LoadSeries (independent of CollectStats). The
+	// series is bit-equal for any Workers or BatchSize value; 0
+	// disables monitoring.
+	LoadWindowSec int
 }
 
 // Deployment is a compiled distributed plan ready to run traces.
@@ -304,6 +333,10 @@ type RunResult struct {
 	// OpStats maps physical operator IDs to their counters; nil unless
 	// DeployConfig.CollectStats was set.
 	OpStats map[int]*OpStats
+	// LoadSeries is the online monitoring output: per-host counter
+	// deltas per DeployConfig.LoadWindowSec of trace time. Nil unless
+	// monitoring was enabled.
+	LoadSeries []LoadWindow
 
 	report *RunReport
 }
@@ -342,11 +375,12 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		costs = def
 	}
 	r, err := cluster.NewRunner(d.plan, cluster.RunConfig{
-		Costs:        costs,
-		Params:       d.params,
-		Workers:      d.cfg.Workers,
-		BatchSize:    d.cfg.BatchSize,
-		CollectStats: d.cfg.CollectStats,
+		Costs:         costs,
+		Params:        d.params,
+		Workers:       d.cfg.Workers,
+		BatchSize:     d.cfg.BatchSize,
+		CollectStats:  d.cfg.CollectStats,
+		LoadWindowSec: d.cfg.LoadWindowSec,
 	})
 	if err != nil {
 		return nil, err
@@ -356,11 +390,12 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		return nil, err
 	}
 	return &RunResult{
-		Outputs:  res.Outputs,
-		NodeRows: res.NodeRows,
-		Metrics:  res.Metrics,
-		OpStats:  res.OpStats,
-		report:   res.Report,
+		Outputs:    res.Outputs,
+		NodeRows:   res.NodeRows,
+		Metrics:    res.Metrics,
+		OpStats:    res.OpStats,
+		LoadSeries: res.LoadSeries,
+		report:     res.Report,
 	}, nil
 }
 

@@ -2,6 +2,7 @@ package qap
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"qap/internal/netgen"
@@ -32,7 +33,15 @@ func (s *System) MeasureStats(streams map[string][]netgen.Packet) (*StaticStats,
 	stats := NewStats()
 	duration := res.Metrics.DurationSec
 	if duration <= 0 {
-		duration = 1
+		// An all-empty sample (zero duration) has no rates to measure;
+		// the old behavior clamped to 1s and silently reported every
+		// rate as zero-over-one, which downstream costing trusts.
+		names := make([]string, 0, len(streams))
+		for name := range streams { //qap:allow maprange -- names collected then sorted below
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("qap: MeasureStats: sample traces %v are empty (measured duration %.0fs); rates are undefined — supply a non-empty sample", names, duration)
 	}
 	streamRows := make(map[string]float64, len(streams))
 	for name, packets := range streams { //qap:allow maprange -- per-stream rates, order-insensitive
@@ -69,6 +78,12 @@ func (s *System) MeasureStats(streams map[string][]netgen.Packet) (*StaticStats,
 		out := rows[strings.ToLower(n.QueryName)]
 		if in > 0 {
 			stats.SetSelectivity(n.QueryName, out/in)
+		} else {
+			// A starved node measured zero input. Record the measured
+			// zero explicitly: skipping it (the old behavior) silently
+			// fell back to the static heuristic, so a node the sample
+			// proved dead kept a fabricated non-zero output rate.
+			stats.SetSelectivity(n.QueryName, 0)
 		}
 	}
 	return stats, nil

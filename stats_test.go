@@ -1,6 +1,7 @@
 package qap
 
 import (
+	"strings"
 	"testing"
 
 	"qap/internal/netgen"
@@ -61,6 +62,60 @@ func TestMeasureStatsMissingStream(t *testing.T) {
 	sys := MustLoad(TCPSchemaDDL, ComplexQuerySet)
 	if _, err := sys.MeasureStats(map[string][]netgen.Packet{}); err == nil {
 		t.Error("missing sample trace for TCP should fail")
+	}
+}
+
+// TestMeasureStatsEmptySample: an all-empty sample has no measurable
+// duration, so rates are undefined. The old behavior clamped the
+// duration to 1s and silently reported every rate as zero — poisoning
+// any costing done with the "measured" stats. It must now be a
+// positioned error naming the streams.
+func TestMeasureStatsEmptySample(t *testing.T) {
+	sys := MustLoad(TCPSchemaDDL, ComplexQuerySet)
+	_, err := sys.MeasureStats(map[string][]netgen.Packet{"TCP": nil})
+	if err == nil {
+		t.Fatal("empty sample should fail, not report zero rates")
+	}
+	if !strings.Contains(err.Error(), "TCP") || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("error does not identify the empty sample: %v", err)
+	}
+}
+
+// TestMeasureStatsStarvedNodeZeroSelectivity: a node whose inputs
+// produced no rows in the sample must record a measured selectivity of
+// exactly 0 — not silently fall back to the static heuristic, which
+// would fabricate a non-zero output rate for a node the sample proved
+// dead. With AttackFraction 0 the HAVING filter empties `suspicious`,
+// which starves the downstream aggregation completely.
+func TestMeasureStatsStarvedNodeZeroSelectivity(t *testing.T) {
+	queries := SuspiciousFlowsQuery + `
+
+query suspicious_per_src:
+SELECT tb, srcIP, SUM(cnt) as total
+FROM suspicious
+GROUP BY tb, srcIP`
+	sys := MustLoad(TCPSchemaDDL, queries)
+	cfg := DefaultTraceConfig()
+	cfg.DurationSec, cfg.PacketsPerSec = 30, 200
+	cfg.AttackFraction = 0 // no flow ever matches #PATTERN#
+	tr := GenerateTrace(cfg)
+	stats, err := sys.MeasureStats(map[string][]netgen.Packet{"TCP": tr.Packets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// suspicious saw input but emitted nothing: measured 0 via the
+	// normal out/in path.
+	if sel := stats.Selectivities["suspicious"]; sel != 0 {
+		t.Errorf("suspicious selectivity = %v, want 0", sel)
+	}
+	// suspicious_per_src saw no input at all: the starved branch must
+	// record the measured zero rather than skip the node.
+	sel, ok := stats.Selectivities["suspicious_per_src"]
+	if !ok {
+		t.Fatal("starved node's selectivity not recorded")
+	}
+	if sel != 0 {
+		t.Errorf("starved node selectivity = %v, want explicit 0", sel)
 	}
 }
 
