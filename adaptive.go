@@ -6,6 +6,7 @@ import (
 
 	"qap/internal/netgen"
 	"qap/internal/obs"
+	"qap/internal/obs/trace"
 )
 
 // AdaptiveConfig configures RunAdaptive, the drift controller that
@@ -88,6 +89,13 @@ type AdaptiveResult struct {
 	// TriggerFactor × NewBound is the acceptance check that
 	// repartitioning restored the bound.
 	PostSwitchPeak float64
+	// Trace is the composed causal trace: the initial run's records
+	// (phase "initial"), then the controller's decision chain (phase
+	// "controller": trigger_eval, trigger, stats_refresh, reanalyze,
+	// then switch+replay or confirm), then — when Repartitioned — the
+	// replayed final run's records (phase "final"). Nil unless
+	// Deploy.Trace was set; deterministic like every other field.
+	Trace *RunTrace
 }
 
 // WithinBoundAfterSwitch reports whether the post-switch load came
@@ -146,6 +154,29 @@ func (s *System) RunAdaptive(cfg AdaptiveConfig, streams map[string][]netgen.Pac
 		return nil, err
 	}
 
+	// Controller trace events accumulate in ctl; finish composes them
+	// with the phase-labelled run traces at every return point.
+	tracing := depCfg.Trace != nil
+	var ctl []trace.Event
+	emit := func(e trace.Event) {
+		if tracing {
+			e.Phase = "controller"
+			ctl = append(ctl, e)
+		}
+	}
+	finish := func(res *AdaptiveResult) *AdaptiveResult {
+		if !tracing {
+			return res
+		}
+		tr := res.Initial.Trace.WithPhase("initial")
+		tr.Append(ctl...)
+		if res.Repartitioned {
+			tr.Records = append(tr.Records, res.Final.Trace.WithPhase("final").Records...)
+		}
+		res.Trace = tr
+		return res
+	}
+
 	res := &AdaptiveResult{
 		Initial:       initial,
 		Final:         initial,
@@ -165,11 +196,16 @@ func (s *System) RunAdaptive(cfg AdaptiveConfig, streams map[string][]netgen.Pac
 		series = series[:len(series)-1]
 	}
 	win, rate := obs.FirstLoadViolation(series, res.Bound, cfg.TriggerFactor, cfg.WarmupWindows)
+	emit(trace.Event{Kind: trace.KindTriggerEval, Window: win, Rate: rate,
+		Bound: res.Bound, Factor: cfg.TriggerFactor, Set: res.InitialSet.String()})
 	if win < 0 {
-		return res, nil
+		return finish(res), nil
 	}
 	res.TriggerWindow, res.TriggerRate = win, rate
 	res.SwitchTimeSec = initial.LoadSeries[win].EndSec
+	emit(trace.Event{Kind: trace.KindTrigger, Window: win, Rate: rate,
+		WM: res.SwitchTimeSec, Bound: res.Bound, Factor: cfg.TriggerFactor,
+		Note: "drain at the trigger window's end boundary"})
 
 	// Refresh statistics from the traffic that violated the bound:
 	// the RefreshWindows windows ending at the drain boundary,
@@ -196,6 +232,8 @@ func (s *System) RunAdaptive(cfg AdaptiveConfig, streams map[string][]netgen.Pac
 			base, res.SwitchTimeSec, err)
 	}
 	res.RefreshedStats = refreshed
+	emit(trace.Event{Kind: trace.KindStatsRefresh, WM: res.SwitchTimeSec,
+		Note: fmt.Sprintf("measured [%d,%d)s re-based to zero", base, res.SwitchTimeSec)})
 
 	re, err := s.Reanalyze(cfg.Analysis, refreshed)
 	if err != nil {
@@ -203,16 +241,22 @@ func (s *System) RunAdaptive(cfg AdaptiveConfig, streams map[string][]netgen.Pac
 	}
 	res.FinalSet = re.Best
 	res.NewBound = s.PlanTotalCost(res.FinalSet, refreshed)
+	emit(trace.Event{Kind: trace.KindReanalyze, WM: res.SwitchTimeSec,
+		Set: res.FinalSet.String(), Bound: res.NewBound})
 	if res.FinalSet.Equal(res.InitialSet) {
 		// Re-optimization confirmed the deployed set; no switch. The
 		// post-trigger windows of the initial run are the "after".
 		res.PostSwitchPeak = peakAfterWindow(initial.LoadSeries, win)
-		return res, nil
+		emit(trace.Event{Kind: trace.KindConfirm, WM: res.SwitchTimeSec,
+			Set: res.InitialSet.String(), Rate: res.PostSwitchPeak})
+		return finish(res), nil
 	}
 
 	// Switch: deploy the refreshed decision and replay the buffered
 	// history from clean operator state.
 	res.Repartitioned = true
+	emit(trace.Event{Kind: trace.KindSwitch, WM: res.SwitchTimeSec,
+		Set: res.FinalSet.String(), Bound: res.NewBound})
 	newCfg := depCfg
 	newCfg.Partitioning = res.FinalSet
 	newDep, err := s.Deploy(newCfg)
@@ -225,7 +269,10 @@ func (s *System) RunAdaptive(cfg AdaptiveConfig, streams map[string][]netgen.Pac
 	}
 	res.Final = final
 	res.PostSwitchPeak = peakAfterWindow(final.LoadSeries, win)
-	return res, nil
+	emit(trace.Event{Kind: trace.KindReplay, WM: res.SwitchTimeSec,
+		Set: res.FinalSet.String(), Rate: res.PostSwitchPeak,
+		Note: "full history replayed from clean state; outputs byte-identical to a cold restart"})
+	return finish(res), nil
 }
 
 // peakAfterWindow returns the highest per-window max-host network

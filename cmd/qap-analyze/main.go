@@ -25,17 +25,41 @@ import (
 	"qap/internal/obs"
 )
 
+// appFlags holds the parsed command line. Definitions live in
+// defineFlags so the usage golden test renders the same FlagSet main
+// uses.
+type appFlags struct {
+	schemaFile string
+	queryFile  string
+	explain    string
+	dot        bool
+	perStream  bool
+	workers    int
+	metricsOut string
+	report     bool
+	lint       bool
+}
+
+func defineFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{}
+	fs.StringVar(&f.schemaFile, "schema", "", "stream DDL file (default: the built-in TCP schema)")
+	fs.StringVar(&f.queryFile, "queries", "", "GSQL query set file (default: the paper's Section 3.2 set)")
+	fs.StringVar(&f.explain, "explain", "", "also explain plan costs under this partitioning set, e.g. 'srcIP, destIP'")
+	fs.BoolVar(&f.dot, "dot", false, "print the logical query DAG as Graphviz DOT and exit")
+	fs.BoolVar(&f.perStream, "per-stream", false, "also run the per-stream analysis (one set per input stream)")
+	fs.IntVar(&f.workers, "workers", runtime.GOMAXPROCS(0), "candidate-costing worker goroutines (1 = sequential; results are identical for any value)")
+	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the machine-readable JSON analysis report to this file")
+	fs.BoolVar(&f.report, "report", false, "print the analysis report in Prometheus text format")
+	fs.BoolVar(&f.lint, "lint", false, "also run the static semantic analyzer and print its QAP0xx diagnostics")
+	return f
+}
+
 func main() {
-	schemaFile := flag.String("schema", "", "stream DDL file (default: the built-in TCP schema)")
-	queryFile := flag.String("queries", "", "GSQL query set file (default: the paper's Section 3.2 set)")
-	explain := flag.String("explain", "", "also explain plan costs under this partitioning set, e.g. 'srcIP, destIP'")
-	dot := flag.Bool("dot", false, "print the logical query DAG as Graphviz DOT and exit")
-	perStream := flag.Bool("per-stream", false, "also run the per-stream analysis (one set per input stream)")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "candidate-costing worker goroutines (1 = sequential; results are identical)")
-	metricsOut := flag.String("metrics-out", "", "write the machine-readable JSON analysis report to this file")
-	report := flag.Bool("report", false, "print the analysis report in Prometheus text format")
-	lintFlag := flag.Bool("lint", false, "also run the static semantic analyzer and print its QAP0xx diagnostics")
+	fl := defineFlags(flag.CommandLine)
 	flag.Parse()
+	schemaFile, queryFile := &fl.schemaFile, &fl.queryFile
+	explain, dot, perStream := &fl.explain, &fl.dot, &fl.perStream
+	workers, metricsOut, report, lintFlag := &fl.workers, &fl.metricsOut, &fl.report, &fl.lint
 
 	ddl := netgen.SchemaDDL
 	if *schemaFile != "" {

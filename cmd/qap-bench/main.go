@@ -7,6 +7,7 @@
 //	qap-bench [-fig 8|10|13|all] [-rate pps] [-duration sec]
 //	          [-hosts n] [-leaf]
 //	qap-bench -exec [-exec-runs n] [-rate pps] [-duration sec]
+//	qap-bench -check dir
 //
 // A figure number selects the experiment that produces it (CPU and
 // network figures come from the same sweep: 8 prints 8+9, 10 prints
@@ -26,6 +27,13 @@
 // per-window static/adaptive load comparison plus the trigger and
 // bound verdicts; see EXPERIMENTS.md).
 //
+// -check re-validates committed bench reports without re-running the
+// experiments: it decodes BENCH_exec.json and BENCH_drift.json from
+// the given directory (strictly — schema version asserted), recomputes
+// every derived gate field from the stored raw measurements, and exits
+// nonzero when a verdict disagrees with what is committed or a gate no
+// longer holds. CI runs it so stale bench files fail fast.
+//
 // Reported numbers are deterministic for any -workers value; the
 // determinism contract is machine-enforced by cmd/qap-vet, and the
 // wall-clock reads below are quarantined under the report's "timing"
@@ -35,6 +43,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -45,35 +54,66 @@ import (
 	"qap/internal/obs"
 )
 
+// appFlags holds the parsed command line. Definitions live in
+// defineFlags so the usage golden test renders the same FlagSet main
+// uses.
+type appFlags struct {
+	fig        string
+	rate       int
+	duration   int
+	hosts      int
+	seed       int64
+	leaf       bool
+	workers    int
+	batch      int
+	benchOut   string
+	execBench  bool
+	execRuns   int
+	driftBench bool
+	check      string
+}
+
+func defineFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{}
+	fs.StringVar(&f.fig, "fig", "all", "figure to regenerate: 8, 9, 10, 11, 13, 14, or all")
+	fs.IntVar(&f.rate, "rate", 1500, "trace packet rate (packets/sec)")
+	fs.IntVar(&f.duration, "duration", 300, "trace duration (sec)")
+	fs.IntVar(&f.hosts, "hosts", 4, "maximum cluster size")
+	fs.Int64Var(&f.seed, "seed", 1, "trace random seed")
+	fs.BoolVar(&f.leaf, "leaf", false, "also print the Section 6.1 leaf-load series")
+	fs.IntVar(&f.workers, "workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical for any value)")
+	fs.IntVar(&f.batch, "batch", 0, "operator batch size (0 = engine default, 1 = tuple-at-a-time; results are identical for any value)")
+	fs.StringVar(&f.benchOut, "bench-out", "", "also write each experiment's machine-readable BENCH_<name>.json into this directory")
+	fs.BoolVar(&f.execBench, "exec", false, "run the batched-vs-scalar execution microbenchmark instead of the figure experiments")
+	fs.IntVar(&f.execRuns, "exec-runs", 5, "measured trace replays per batch size for -exec")
+	fs.BoolVar(&f.driftBench, "drift", false, "run the adaptive-repartitioning drift experiment instead of the figure experiments")
+	fs.StringVar(&f.check, "check", "", "re-validate the committed BENCH_exec.json/BENCH_drift.json in this directory against their embedded gates and exit")
+	return f
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 8, 9, 10, 11, 13, 14, or all")
-	rate := flag.Int("rate", 1500, "trace packet rate (packets/sec)")
-	duration := flag.Int("duration", 300, "trace duration (sec)")
-	hosts := flag.Int("hosts", 4, "maximum cluster size")
-	seed := flag.Int64("seed", 1, "trace random seed")
-	leaf := flag.Bool("leaf", false, "also print the Section 6.1 leaf-load series")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
-	batch := flag.Int("batch", 0, "operator batch size (0 = engine default, 1 = tuple-at-a-time; results are identical)")
-	benchOut := flag.String("bench-out", "", "also write each experiment's machine-readable BENCH_<name>.json into this directory")
-	execBench := flag.Bool("exec", false, "run the batched-vs-scalar execution microbenchmark instead of the figure experiments")
-	execRuns := flag.Int("exec-runs", 5, "measured trace replays per batch size for -exec")
-	driftBench := flag.Bool("drift", false, "run the adaptive-repartitioning drift experiment instead of the figure experiments")
+	f := defineFlags(flag.CommandLine)
 	flag.Parse()
 
-	cfg := qap.DefaultExperimentConfig()
-	cfg.Trace.Seed = *seed
-	cfg.Trace.PacketsPerSec = *rate
-	cfg.Trace.DurationSec = *duration
-	cfg.MaxHosts = *hosts
-	cfg.Workers = *workers
-	cfg.BatchSize = *batch
-
-	if *execBench {
-		runExec(*seed, *rate, *duration, *execRuns, *benchOut)
+	if f.check != "" {
+		runCheck(f.check)
 		return
 	}
-	if *driftBench {
-		runDrift(*seed, *workers, *batch, *benchOut)
+
+	cfg := qap.DefaultExperimentConfig()
+	cfg.Trace.Seed = f.seed
+	cfg.Trace.PacketsPerSec = f.rate
+	cfg.Trace.DurationSec = f.duration
+	cfg.MaxHosts = f.hosts
+	cfg.Workers = f.workers
+	cfg.BatchSize = f.batch
+
+	if f.execBench {
+		runExec(f.seed, f.rate, f.duration, f.execRuns, f.benchOut)
+		return
+	}
+	if f.driftBench {
+		runDrift(f.seed, f.workers, f.batch, f.benchOut)
 		return
 	}
 
@@ -90,7 +130,7 @@ func main() {
 
 	ran := false
 	for _, ex := range experiments {
-		if *fig != "all" && *fig != ex.ids[0] && *fig != ex.ids[1] {
+		if f.fig != "all" && f.fig != ex.ids[0] && f.fig != ex.ids[1] {
 			continue
 		}
 		ran = true
@@ -102,15 +142,15 @@ func main() {
 		wall := time.Since(started) //qap:allow walltime -- wall time quarantined in obs.Timing
 		fmt.Println(cpu.Table())
 		fmt.Println(net.Table())
-		if *benchOut != "" {
-			writeBench(*benchOut, ex.name, cfg, wall, cpu, net)
+		if f.benchOut != "" {
+			writeBench(f.benchOut, ex.name, cfg, wall, cpu, net)
 		}
 	}
 	if !ran {
-		fatal(fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, 13, 14, or all)", *fig))
+		fatal(fmt.Errorf("unknown figure %q (use 8, 9, 10, 11, 13, 14, or all)", f.fig))
 	}
 
-	if *leaf {
+	if f.leaf {
 		started := time.Now() //qap:allow walltime -- wall time quarantined in obs.Timing
 		loads, err := qap.LeafLoads(cfg)
 		if err != nil {
@@ -124,15 +164,143 @@ func main() {
 			fmt.Printf("%8d  %10.1f\n", i+1, l)
 			hosts[i] = i + 1
 		}
-		if *benchOut != "" {
+		if f.benchOut != "" {
 			leafFig := &qap.Figure{
 				ID: "leaf", Title: "Leaf-node CPU load (Naive)", Metric: "CPU load (%)",
 				Hosts:  hosts,
 				Series: []qap.Series{{Name: "Naive", Values: loads}},
 			}
-			writeBench(*benchOut, "leaf", cfg, wall, leafFig)
+			writeBench(f.benchOut, "leaf", cfg, wall, leafFig)
 		}
 	}
+}
+
+// runCheck is the -check mode: decode the committed bench reports
+// strictly and recompute every derived gate verdict from the stored
+// raw measurements. Any disagreement — or a gate that no longer holds
+// — exits nonzero.
+func runCheck(dir string) {
+	problems := 0
+	problems += checkExec(filepath.Join(dir, "BENCH_exec.json"))
+	problems += checkDrift(filepath.Join(dir, "BENCH_drift.json"))
+	if problems > 0 {
+		fmt.Printf("check: %d problem(s)\n", problems)
+		os.Exit(1)
+	}
+	fmt.Println("check: all bench gates hold")
+}
+
+// approxEq compares stored and recomputed float ratios. The committed
+// values were computed by this same code path, so only decode drift or
+// a hand-edited file can move them.
+func approxEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Max(math.Abs(a), math.Abs(b)), 1)
+}
+
+// checkExec re-validates BENCH_exec.json; returns the problem count.
+func checkExec(path string) int {
+	bad := func(format string, args ...any) int {
+		fmt.Printf("check %s: FAIL: %s\n", path, fmt.Sprintf(format, args...))
+		return 1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bad("%v", err)
+	}
+	var rep obs.ExecBenchReport
+	if err := obs.DecodeStrict(data, &rep); err != nil {
+		return bad("%v", err)
+	}
+	var scalar *obs.ExecBenchRow
+	for i := range rep.Rows {
+		if rep.Rows[i].BatchSize == 1 {
+			scalar = &rep.Rows[i]
+		}
+	}
+	if scalar == nil {
+		return bad("no batch-size-1 scalar baseline row")
+	}
+	problems := 0
+	gateMet := false
+	for _, row := range rep.Rows {
+		speedup, allocRatio := 0.0, 0.0
+		if scalar.RowsPerSec > 0 {
+			speedup = row.RowsPerSec / scalar.RowsPerSec
+		}
+		if scalar.AllocsPerRun > 0 {
+			allocRatio = float64(row.AllocsPerRun) / float64(scalar.AllocsPerRun)
+		}
+		if !approxEq(speedup, row.SpeedupVsScalar) || !approxEq(allocRatio, row.AllocRatioVsScalar) {
+			problems += bad("batch %d: stored ratios (%.6f, %.6f) != recomputed (%.6f, %.6f)",
+				row.BatchSize, row.SpeedupVsScalar, row.AllocRatioVsScalar, speedup, allocRatio)
+		}
+		if row.BatchSize > 1 && speedup >= rep.GateMinSpeedup && allocRatio <= rep.GateMaxAllocRatio {
+			gateMet = true
+		}
+	}
+	if gateMet != rep.GateMet {
+		problems += bad("stored gate_met=%v but recomputed %v (thresholds >=%.1fx speedup, <=%.2fx allocs)",
+			rep.GateMet, gateMet, rep.GateMinSpeedup, rep.GateMaxAllocRatio)
+	}
+	if !gateMet {
+		problems += bad("batched-execution gate does not hold: no batched row reaches >=%.1fx speedup at <=%.2fx allocs",
+			rep.GateMinSpeedup, rep.GateMaxAllocRatio)
+	}
+	if problems == 0 {
+		fmt.Printf("check %s: ok (gate met, %d rows)\n", path, len(rep.Rows))
+	}
+	return problems
+}
+
+// checkDrift re-validates BENCH_drift.json; returns the problem count.
+func checkDrift(path string) int {
+	bad := func(format string, args ...any) int {
+		fmt.Printf("check %s: FAIL: %s\n", path, fmt.Sprintf(format, args...))
+		return 1
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return bad("%v", err)
+	}
+	var rep obs.DriftBenchReport
+	if err := obs.DecodeStrict(data, &rep); err != nil {
+		return bad("%v", err)
+	}
+	problems := 0
+	if rep.TriggerWindow < 0 {
+		problems += bad("trigger never fired; the drift scenario must violate the bound")
+	}
+	if !rep.Repartitioned {
+		problems += bad("controller did not repartition; the drift scenario must switch sets")
+	}
+	within := rep.PostSwitchPeakBps <= rep.TriggerFactor*rep.NewBound
+	if within != rep.WithinBoundAfterSwitch {
+		problems += bad("stored within_bound_after_switch=%v but recomputed %v (peak %.0f vs %.2f x bound %.0f)",
+			rep.WithinBoundAfterSwitch, within, rep.PostSwitchPeakBps, rep.TriggerFactor, rep.NewBound)
+	}
+	if !within {
+		problems += bad("post-switch peak %.0f B/s exceeds %.2f x refreshed bound %.0f B/s",
+			rep.PostSwitchPeakBps, rep.TriggerFactor, rep.NewBound)
+	}
+	// The per-window rows must cover the trigger window and mark the
+	// post-switch windows as running the final set.
+	seenTrigger := false
+	for _, row := range rep.Rows {
+		if row.Window == rep.TriggerWindow {
+			seenTrigger = true
+		}
+		if rep.Repartitioned && row.StartSec >= rep.SwitchTimeSec && !row.AdaptiveUsesFinalSet {
+			problems += bad("window %d starts at t=%ds (after the switch at t=%ds) but is not marked as using the final set",
+				row.Window, row.StartSec, rep.SwitchTimeSec)
+		}
+	}
+	if rep.TriggerWindow >= 0 && !seenTrigger {
+		problems += bad("trigger window %d missing from the per-window rows", rep.TriggerWindow)
+	}
+	if problems == 0 {
+		fmt.Printf("check %s: ok (trigger window %d, repartitioned, within bound)\n", path, rep.TriggerWindow)
+	}
+	return problems
 }
 
 // writeBench emits one experiment's BENCH_<name>.json: the figure

@@ -27,14 +27,34 @@ import (
 	"qap/internal/difftest"
 )
 
+// appFlags holds the parsed command line. Definitions live in
+// defineFlags so the usage golden test renders the same FlagSet main
+// uses.
+type appFlags struct {
+	seed    int64
+	n       int64
+	hosts   string
+	workers string
+	batches string
+	verbose bool
+}
+
+func defineFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{}
+	fs.Int64Var(&f.seed, "seed", -1, "check exactly this workload seed (repro mode)")
+	fs.Int64Var(&f.n, "n", 20, "number of seeds to check, starting at 0 (ignored with -seed)")
+	fs.StringVar(&f.hosts, "hosts", "1,2,4", "comma-separated host counts to sweep")
+	fs.StringVar(&f.workers, "workers", "1,4", "comma-separated engine worker counts to sweep (results are identical for any value)")
+	fs.StringVar(&f.batches, "batches", "1,7,64,1024", "comma-separated operator batch sizes for the batched-equivalence section (results are identical for any value)")
+	fs.BoolVar(&f.verbose, "v", false, "print the generated workload for passing seeds too")
+	return f
+}
+
 func main() {
-	seed := flag.Int64("seed", -1, "check exactly this workload seed (repro mode)")
-	n := flag.Int64("n", 20, "number of seeds to check, starting at 0 (ignored with -seed)")
-	hosts := flag.String("hosts", "1,2,4", "comma-separated host counts to sweep")
-	workers := flag.String("workers", "1,4", "comma-separated engine worker counts to sweep")
-	batches := flag.String("batches", "1,7,64,1024", "comma-separated operator batch sizes for the batched-equivalence section")
-	verbose := flag.Bool("v", false, "print the generated workload for passing seeds too")
+	fl := defineFlags(flag.CommandLine)
 	flag.Parse()
+	seed, n := &fl.seed, &fl.n
+	hosts, workers, batches, verbose := &fl.hosts, &fl.workers, &fl.batches, &fl.verbose
 
 	opts := difftest.Options{
 		Hosts:      parseInts(*hosts),

@@ -29,13 +29,32 @@ import (
 	"qap/internal/netgen"
 )
 
+// appFlags holds the parsed command line. Definitions live in
+// defineFlags so the usage golden test renders the same FlagSet main
+// uses.
+type appFlags struct {
+	schemaFile string
+	queryFile  string
+	sets       string
+	format     string
+	workers    int
+}
+
+func defineFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{}
+	fs.StringVar(&f.schemaFile, "schema", "", "stream DDL file (default: the built-in TCP schema)")
+	fs.StringVar(&f.queryFile, "queries", "", "GSQL query set file (default: the paper's Section 3.2 set)")
+	fs.StringVar(&f.sets, "sets", "", "semicolon-separated candidate partitioning sets to explain (default: derived from the analysis)")
+	fs.StringVar(&f.format, "format", "human", "output format: human or json")
+	fs.IntVar(&f.workers, "workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (1 = sequential; results are identical for any value)")
+	return f
+}
+
 func main() {
-	schemaFile := flag.String("schema", "", "stream DDL file (default: the built-in TCP schema)")
-	queryFile := flag.String("queries", "", "GSQL query set file (default: the paper's Section 3.2 set)")
-	setsFlag := flag.String("sets", "", "semicolon-separated candidate partitioning sets to explain (default: derived from the analysis)")
-	format := flag.String("format", "human", "output format: human or json")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis worker goroutines (results are identical for any value)")
+	fl := defineFlags(flag.CommandLine)
 	flag.Parse()
+	schemaFile, queryFile := &fl.schemaFile, &fl.queryFile
+	setsFlag, format, workers := &fl.sets, &fl.format, &fl.workers
 
 	if *format != "human" && *format != "json" {
 		fatal(fmt.Errorf("unknown -format %q (want human or json)", *format))

@@ -14,6 +14,8 @@
 //	qap-run -partition srcIP -metrics-out report.json   # JSON run report
 //	qap-run -partition srcIP -report                    # Prometheus text
 //	qap-run -drift -adaptive                            # drift + repartition
+//	qap-run -drift -adaptive -trace-out run.jsonl       # causal trace
+//	qap-run -partition srcIP -telemetry-addr :8080 -telemetry-hold 60s
 //
 // With -drift the generated trace gains a second phase with the
 // source/destination pools swapped and the rate trebled; with
@@ -22,6 +24,14 @@
 // network rate exceeds -trigger-factor times the cost model's bound
 // the statistics are refreshed, the optimizer re-runs, and the stream
 // is replayed on the new partitioning.
+//
+// With -trace-out the run records a deterministic causal trace —
+// events keyed by round, window, host, and operator, never wall clock
+// — written as JSONL (inspect it with cmd/qap-trace). -trace-chrome
+// writes the same trace as Chrome trace_event JSON for about:tracing.
+// With -telemetry-addr the process serves live telemetry over HTTP:
+// the run report's Prometheus rendering at /metrics, expvar counters
+// at /debug/vars, and net/http/pprof under /debug/pprof/.
 //
 // To check a query set statically before running it — partitioning
 // compatibility per node, window alignment, dead columns — see
@@ -34,39 +44,87 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"time"
 
 	"qap"
 	"qap/internal/netgen"
+	"qap/internal/obs/trace"
 )
 
+// appFlags holds the parsed command line. Definitions live in
+// defineFlags so the usage golden test renders the same FlagSet main
+// uses.
+type appFlags struct {
+	queryFile     string
+	partition     string
+	hosts         int
+	pph           int
+	rate          int
+	duration      int
+	seed          int64
+	show          int
+	showPlan      bool
+	dotPlan       bool
+	naiveScope    bool
+	noPartial     bool
+	traceFile     string
+	dumpFile      string
+	workers       int
+	batch         int
+	metricsOut    string
+	report        bool
+	promOut       string
+	drift         bool
+	adaptive      bool
+	triggerFactor float64
+	loadWindow    int
+	traceOut      string
+	traceChrome   string
+	traceRing     int
+	telemetryAddr string
+	telemetryHold time.Duration
+}
+
+func defineFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{}
+	fs.StringVar(&f.queryFile, "queries", "", "GSQL query set file (default: the paper's Section 3.2 set)")
+	fs.StringVar(&f.partition, "partition", "", "partitioning set, e.g. 'srcIP, destIP' (empty = round robin)")
+	fs.IntVar(&f.hosts, "hosts", 4, "cluster size")
+	fs.IntVar(&f.pph, "pph", 2, "stream partitions per host")
+	fs.IntVar(&f.rate, "rate", 2000, "trace packet rate (packets/sec)")
+	fs.IntVar(&f.duration, "duration", 120, "trace duration (sec)")
+	fs.Int64Var(&f.seed, "seed", 1, "trace random seed")
+	fs.IntVar(&f.show, "show", 5, "result rows to print per query")
+	fs.BoolVar(&f.showPlan, "plan", false, "print the distributed physical plan")
+	fs.BoolVar(&f.dotPlan, "dot", false, "print the physical plan as Graphviz DOT and exit")
+	fs.BoolVar(&f.naiveScope, "naive", false, "use per-partition (naive) partial aggregation")
+	fs.BoolVar(&f.noPartial, "nopartial", false, "disable partial aggregation (required for the Section 4.2.1 load bound to be tight)")
+	fs.StringVar(&f.traceFile, "trace", "", "CSV packet trace file to replay instead of generating one")
+	fs.StringVar(&f.dumpFile, "dump", "", "write the generated packet trace to this CSV file")
+	fs.IntVar(&f.workers, "workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical for any value)")
+	fs.IntVar(&f.batch, "batch", 0, "operator batch size (0 = engine default, 1 = tuple-at-a-time; results are identical for any value)")
+	fs.StringVar(&f.metricsOut, "metrics-out", "", "write the machine-readable JSON run report to this file")
+	fs.BoolVar(&f.report, "report", false, "print the run report in Prometheus text format")
+	fs.StringVar(&f.promOut, "prom-out", "", "write the run report in Prometheus text format to this file")
+	fs.BoolVar(&f.drift, "drift", false, "append a drifted phase to the generated trace: pools swapped, 3x rate, same duration")
+	fs.BoolVar(&f.adaptive, "adaptive", false, "monitor load and repartition online when the bound is violated")
+	fs.Float64Var(&f.triggerFactor, "trigger-factor", 1.5, "repartition when measured load exceeds this factor times the bound")
+	fs.IntVar(&f.loadWindow, "load-window", 0, "load-monitoring window in trace seconds (0 = off; -adaptive and tracing default to 10)")
+	fs.StringVar(&f.traceOut, "trace-out", "", "write the run's deterministic causal trace as JSONL to this file (inspect with qap-trace)")
+	fs.StringVar(&f.traceChrome, "trace-chrome", "", "write the run's causal trace as Chrome trace_event JSON to this file")
+	fs.IntVar(&f.traceRing, "trace-ring", 0, "bound the causal trace to the last n events per island (flight recorder; 0 = whole-run capture)")
+	fs.StringVar(&f.telemetryAddr, "telemetry-addr", "", "serve live telemetry over HTTP on this address: /metrics, /debug/vars, /debug/pprof/")
+	fs.DurationVar(&f.telemetryHold, "telemetry-hold", 0, "keep serving telemetry this long after the run before exiting (0 = exit immediately)")
+	return f
+}
+
 func main() {
-	queryFile := flag.String("queries", "", "GSQL query set file (default: the paper's Section 3.2 set)")
-	partition := flag.String("partition", "", "partitioning set, e.g. 'srcIP, destIP' (empty = round robin)")
-	hosts := flag.Int("hosts", 4, "cluster size")
-	pph := flag.Int("pph", 2, "stream partitions per host")
-	rate := flag.Int("rate", 2000, "trace packet rate (packets/sec)")
-	duration := flag.Int("duration", 120, "trace duration (sec)")
-	seed := flag.Int64("seed", 1, "trace random seed")
-	show := flag.Int("show", 5, "result rows to print per query")
-	showPlan := flag.Bool("plan", false, "print the distributed physical plan")
-	dotPlan := flag.Bool("dot", false, "print the physical plan as Graphviz DOT and exit")
-	naiveScope := flag.Bool("naive", false, "use per-partition (naive) partial aggregation")
-	noPartial := flag.Bool("nopartial", false, "disable partial aggregation (required for the Section 4.2.1 load bound to be tight)")
-	traceFile := flag.String("trace", "", "CSV trace file to replay instead of generating one")
-	dumpFile := flag.String("dump", "", "write the generated trace to this CSV file")
-	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "simulator worker goroutines (1 = sequential engine; results are identical)")
-	batch := flag.Int("batch", 0, "operator batch size (0 = engine default, 1 = tuple-at-a-time; results are identical)")
-	metricsOut := flag.String("metrics-out", "", "write the machine-readable JSON run report to this file")
-	report := flag.Bool("report", false, "print the run report in Prometheus text format")
-	drift := flag.Bool("drift", false, "append a drifted phase to the generated trace: pools swapped, 3x rate, same duration")
-	adaptive := flag.Bool("adaptive", false, "monitor load and repartition online when the bound is violated")
-	triggerFactor := flag.Float64("trigger-factor", 1.5, "repartition when measured load exceeds this factor times the bound")
-	loadWindow := flag.Int("load-window", 0, "load-monitoring window in trace seconds (0 = off; -adaptive defaults to 10)")
+	f := defineFlags(flag.CommandLine)
 	flag.Parse()
 
 	queries := qap.ComplexQuerySet
-	if *queryFile != "" {
-		b, err := os.ReadFile(*queryFile)
+	if f.queryFile != "" {
+		b, err := os.ReadFile(f.queryFile)
 		if err != nil {
 			fatal(err)
 		}
@@ -78,14 +136,14 @@ func main() {
 	}
 
 	var ps qap.Set
-	if *partition != "" {
-		ps, err = qap.ParseSet(*partition)
+	if f.partition != "" {
+		ps, err = qap.ParseSet(f.partition)
 		if err != nil {
 			fatal(err)
 		}
 	}
 	scope := qap.ScopeHost
-	if *naiveScope {
+	if f.naiveScope {
 		scope = qap.ScopePartition
 	}
 	params := map[string]qap.Value{"PATTERN": qap.Uint(netgen.AttackPattern)}
@@ -94,14 +152,14 @@ func main() {
 	// representative of the pre-drift regime (used by -adaptive to
 	// measure deploy-time statistics).
 	var packets []netgen.Packet
-	preDriftSec := uint64(*duration)
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	preDriftSec := uint64(f.duration)
+	if f.traceFile != "" {
+		file, err := os.Open(f.traceFile)
 		if err != nil {
 			fatal(err)
 		}
-		packets, err = netgen.ReadCSV(f)
-		f.Close()
+		packets, err = netgen.ReadCSV(file)
+		file.Close()
 		if err != nil {
 			fatal(err)
 		}
@@ -110,67 +168,78 @@ func main() {
 			// replayed trace as the pre-drift regime.
 			preDriftSec = (packets[n-1].Time + 1) / 2
 		}
-		fmt.Printf("trace: %d packets from %s\n", len(packets), *traceFile)
+		fmt.Printf("trace: %d packets from %s\n", len(packets), f.traceFile)
 	} else {
 		cfg := netgen.DefaultConfig()
-		cfg.Seed, cfg.DurationSec, cfg.PacketsPerSec = *seed, *duration, *rate
-		if *drift {
+		cfg.Seed, cfg.DurationSec, cfg.PacketsPerSec = f.seed, f.duration, f.rate
+		if f.drift {
 			cfg.Phases = []netgen.Phase{
-				{DurationSec: *duration},
-				{DurationSec: *duration, PacketsPerSec: 3 * *rate,
+				{DurationSec: f.duration},
+				{DurationSec: f.duration, PacketsPerSec: 3 * f.rate,
 					SrcHosts: cfg.DstHosts, DstHosts: cfg.SrcHosts},
 			}
 		}
 		if err := cfg.Validate(); err != nil {
 			fatal(err)
 		}
-		trace := netgen.Generate(cfg)
-		packets = trace.Packets
+		gen := netgen.Generate(cfg)
+		packets = gen.Packets
 		fmt.Printf("trace: %d packets over %ds (%d flows, %d suspicious)\n",
-			len(packets), cfg.TotalDurationSec(), trace.TotalFlows, trace.AttackFlows)
+			len(packets), cfg.TotalDurationSec(), gen.TotalFlows, gen.AttackFlows)
 	}
-	if *dumpFile != "" {
-		f, err := os.Create(*dumpFile)
+	if f.dumpFile != "" {
+		file, err := os.Create(f.dumpFile)
 		if err != nil {
 			fatal(err)
 		}
-		err = netgen.WriteCSV(f, packets)
-		if cerr := f.Close(); err == nil {
+		err = netgen.WriteCSV(file, packets)
+		if cerr := file.Close(); err == nil {
 			err = cerr
 		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("wrote trace to %s\n", *dumpFile)
+		fmt.Printf("wrote trace to %s\n", f.dumpFile)
+	}
+
+	// Live telemetry starts before the run so the pprof endpoints can
+	// profile it; /metrics serves the report once the run publishes it.
+	tel, err := f.startTelemetry()
+	if err != nil {
+		fatal(err)
 	}
 
 	baseCfg := qap.DeployConfig{
-		Hosts:             *hosts,
-		PartitionsPerHost: *pph,
+		Hosts:             f.hosts,
+		PartitionsPerHost: f.pph,
 		Partitioning:      ps,
 		PartialScope:      scope,
-		DisablePartialAgg: *noPartial,
-		Costs:             qap.CostConfig{CapacityPerSec: float64(*rate) * 3},
+		DisablePartialAgg: f.noPartial,
+		Costs:             qap.CostConfig{CapacityPerSec: float64(f.rate) * 3},
 		Params:            params,
-		Workers:           *workers,
-		BatchSize:         *batch,
-		CollectStats:      *metricsOut != "" || *report,
-		LoadWindowSec:     *loadWindow,
+		Workers:           f.workers,
+		BatchSize:         f.batch,
+		CollectStats:      f.metricsOut != "" || f.report || f.promOut != "" || f.telemetryAddr != "",
+		LoadWindowSec:     f.loadWindow,
+	}
+	if tc := f.traceConfig(); tc != nil {
+		baseCfg.Trace = tc
 	}
 
 	var res *qap.RunResult
-	if *adaptive {
-		res = runAdaptive(sys, baseCfg, packets, preDriftSec, *triggerFactor, *loadWindow, *show)
+	var runTrace *qap.RunTrace
+	if f.adaptive {
+		res, runTrace = runAdaptive(sys, baseCfg, packets, preDriftSec, f.triggerFactor, f.loadWindow)
 	} else {
 		dep, err := sys.Deploy(baseCfg)
 		if err != nil {
 			fatal(err)
 		}
-		if *dotPlan {
+		if f.dotPlan {
 			fmt.Print(dep.PlanDOT())
 			return
 		}
-		if *showPlan {
+		if f.showPlan {
 			fmt.Println("distributed plan:")
 			fmt.Print(dep.PlanString())
 			fmt.Println()
@@ -184,35 +253,109 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		runTrace = res.Trace
 	}
 
-	printOutputs(res, *show)
+	printOutputs(res, f.show)
 	fmt.Println("\nload:")
 	fmt.Print(res.Metrics.String())
 
+	f.writeTrace(runTrace)
+
 	if rep := res.Report(); rep != nil {
-		if *metricsOut != "" {
+		if f.metricsOut != "" {
 			b, err := rep.JSON()
 			if err != nil {
 				fatal(err)
 			}
-			if err := os.WriteFile(*metricsOut, b, 0o644); err != nil {
+			if err := os.WriteFile(f.metricsOut, b, 0o644); err != nil {
 				fatal(err)
 			}
-			fmt.Printf("\nwrote run report to %s\n", *metricsOut)
+			fmt.Printf("\nwrote run report to %s\n", f.metricsOut)
 		}
-		if *report {
+		if f.promOut != "" {
+			if err := os.WriteFile(f.promOut, []byte(rep.Prometheus()), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("\nwrote Prometheus report to %s\n", f.promOut)
+		}
+		if tel != nil {
+			tel.SetReport(rep)
+		}
+		if f.report {
 			fmt.Println("\nreport:")
 			fmt.Print(rep.Prometheus())
 		}
 	}
+
+	if tel != nil && f.telemetryHold > 0 {
+		fmt.Printf("\nholding telemetry for %s\n", f.telemetryHold)
+		time.Sleep(f.telemetryHold) //qap:allow walltime -- interactive serving window, not simulated results
+	}
+}
+
+// traceConfig maps the -trace-* flags onto a capture config, nil when
+// tracing is off (the default: tracing must cost nothing unless asked
+// for).
+func (f *appFlags) traceConfig() *qap.RunTraceConfig {
+	if f.traceOut == "" && f.traceChrome == "" {
+		return nil
+	}
+	cfg := &qap.RunTraceConfig{}
+	if f.traceRing > 0 {
+		cfg.Mode = trace.ModeRing
+		cfg.RingSize = f.traceRing
+	}
+	return cfg
+}
+
+// writeTrace exports the run's causal trace per the -trace-* flags.
+func (f *appFlags) writeTrace(tr *qap.RunTrace) {
+	if tr == nil {
+		return
+	}
+	if f.traceOut != "" {
+		b, err := tr.JSONL()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(f.traceOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote causal trace (%d records) to %s\n", len(tr.Records), f.traceOut)
+	}
+	if f.traceChrome != "" {
+		b, err := tr.ChromeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(f.traceChrome, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", f.traceChrome)
+	}
+}
+
+// startTelemetry brings up the -telemetry-addr HTTP listener, nil when
+// the flag is unset.
+func (f *appFlags) startTelemetry() (*qap.Telemetry, error) {
+	if f.telemetryAddr == "" {
+		return nil, nil
+	}
+	tel := qap.NewTelemetry()
+	ln, err := tel.Serve(f.telemetryAddr)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("telemetry: http://%s (/metrics, /debug/vars, /debug/pprof/)\n", ln.Addr())
+	return tel, nil
 }
 
 // runAdaptive drives the online repartitioning controller: measure
 // statistics on the pre-drift prefix, optimize, then run the full
 // trace under monitoring with the given trigger. Returns the final
-// (authoritative) run result.
-func runAdaptive(sys *qap.System, deploy qap.DeployConfig, packets []netgen.Packet, preDriftSec uint64, factor float64, loadWindow, show int) *qap.RunResult {
+// (authoritative) run result and the composed causal trace.
+func runAdaptive(sys *qap.System, deploy qap.DeployConfig, packets []netgen.Packet, preDriftSec uint64, factor float64, loadWindow int) (*qap.RunResult, *qap.RunTrace) {
 	cut := sort.Search(len(packets), func(i int) bool { return packets[i].Time >= preDriftSec })
 	stats, err := sys.MeasureStats(map[string][]netgen.Packet{"TCP": packets[:cut]})
 	if err != nil {
@@ -240,18 +383,18 @@ func runAdaptive(sys *qap.System, deploy qap.DeployConfig, packets []netgen.Pack
 
 	if ares.TriggerWindow < 0 {
 		fmt.Printf("trigger: never fired (bound %.0f B/s, factor %.2f)\n", ares.Bound, ares.TriggerFactor)
-		return ares.Final
+		return ares.Final, ares.Trace
 	}
 	fmt.Printf("trigger: window %d (t=%ds) measured %.0f B/s > %.2f x bound %.0f B/s\n",
 		ares.TriggerWindow, ares.SwitchTimeSec, ares.TriggerRate, ares.TriggerFactor, ares.Bound)
 	if !ares.Repartitioned {
 		fmt.Printf("re-optimization confirmed %s; no switch\n", ares.InitialSet)
-		return ares.Final
+		return ares.Final, ares.Trace
 	}
 	fmt.Printf("repartitioned: %s -> %s at t=%ds\n", ares.InitialSet, ares.FinalSet, ares.SwitchTimeSec)
 	fmt.Printf("post-switch peak %.0f B/s vs refreshed bound %.0f B/s (within bound: %v)\n",
 		ares.PostSwitchPeak, ares.NewBound, ares.WithinBoundAfterSwitch())
-	return ares.Final
+	return ares.Final, ares.Trace
 }
 
 func printOutputs(res *qap.RunResult, show int) {

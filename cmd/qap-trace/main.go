@@ -1,0 +1,356 @@
+// Command qap-trace inspects the deterministic causal traces written
+// by qap-run -trace-out: JSONL event streams keyed by epoch, round,
+// window, host, and operator (never wall clock), emitted by both
+// cluster engines and the adaptive controller.
+//
+// Usage:
+//
+//	qap-trace [-phase p] [-topk n] [-chrome file] trace.jsonl
+//	qap-trace -explain-violation [-bound bps] [-factor f] trace.jsonl
+//	qap-trace -explain-repartition trace.jsonl
+//
+// The default view prints each phase's header and per-host load
+// timeline rebuilt from the trace's host_window records. -topk ranks
+// the heaviest operators per monitoring window by network bytes.
+//
+// -explain-violation walks the causal chain behind a load-bound
+// violation: it uses the recorded controller decision when the trace
+// has one (an adaptive run), otherwise it scans the rebuilt load
+// series against -bound and -factor. It names the violating window and
+// host and the operators that contributed the bytes, and exits 0 when
+// a violation is found, 1 when the trace stays within the bound.
+//
+// -explain-repartition prints the controller's decision chain (trigger
+// evaluation, drain, statistics refresh, re-optimization, switch and
+// replay or confirmation) and exits 0 when the trace contains a
+// repartition switch, 1 otherwise.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"qap/internal/obs"
+	"qap/internal/obs/trace"
+)
+
+// appFlags holds the parsed command line. Definitions live in
+// defineFlags so the usage golden test renders the same FlagSet main
+// uses.
+type appFlags struct {
+	phase              string
+	topk               int
+	chrome             string
+	explainViolation   bool
+	explainRepartition bool
+	bound              float64
+	factor             float64
+	warmup             int
+}
+
+func defineFlags(fs *flag.FlagSet) *appFlags {
+	f := &appFlags{}
+	fs.StringVar(&f.phase, "phase", "", "restrict to one phase of a composed adaptive trace: initial, controller, or final (empty = first header's phase)")
+	fs.IntVar(&f.topk, "topk", 0, "also rank the top-K heaviest operators per window by network bytes (0 = off)")
+	fs.StringVar(&f.chrome, "chrome", "", "write the trace as Chrome trace_event JSON (about:tracing / Perfetto) to this file")
+	fs.BoolVar(&f.explainViolation, "explain-violation", false, "explain the first load-bound violation and exit 0 if one exists, 1 otherwise")
+	fs.BoolVar(&f.explainRepartition, "explain-repartition", false, "print the adaptive controller's decision chain and exit 0 if the trace repartitioned, 1 otherwise")
+	fs.Float64Var(&f.bound, "bound", 0, "predicted max-host network rate (bytes/sec) for -explain-violation when the trace has no recorded controller decision")
+	fs.Float64Var(&f.factor, "factor", 1.5, "bound inflation factor for -explain-violation (matches the controller's trigger-factor)")
+	fs.IntVar(&f.warmup, "warmup", 1, "ramp-up windows skipped by the -explain-violation scan")
+	return f
+}
+
+func main() {
+	f := defineFlags(flag.CommandLine)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qap-trace [flags] trace.jsonl (use - for stdin)")
+		os.Exit(2)
+	}
+
+	var r io.Reader
+	if name := flag.Arg(0); name == "-" {
+		r = os.Stdin
+	} else {
+		file, err := os.Open(name)
+		if err != nil {
+			fatal(err)
+		}
+		defer file.Close()
+		r = file
+	}
+	tr, err := trace.ReadJSONL(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(tr.Records) == 0 {
+		fatal(fmt.Errorf("trace is empty"))
+	}
+
+	if f.chrome != "" {
+		b, err := tr.ChromeJSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(f.chrome, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote Chrome trace to %s\n", f.chrome)
+	}
+
+	switch {
+	case f.explainViolation:
+		if !explainViolation(tr, f) {
+			os.Exit(1)
+		}
+	case f.explainRepartition:
+		if !explainRepartition(tr) {
+			os.Exit(1)
+		}
+	default:
+		summarize(tr, f)
+	}
+}
+
+// summarize prints each phase's header and load timeline (all phases
+// when -phase is empty).
+func summarize(tr *trace.Trace, f *appFlags) {
+	phases := tr.Phases()
+	if f.phase != "" {
+		phases = []string{f.phase}
+	}
+	counts := map[string]int{}
+	for _, e := range tr.Records {
+		counts[e.Kind]++
+	}
+	kinds := make([]string, 0, len(counts))
+	for k := range counts { //qap:allow maprange -- kinds collected then sorted below
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	fmt.Printf("%d records", len(tr.Records))
+	for _, k := range kinds {
+		fmt.Printf("  %s=%d", k, counts[k])
+	}
+	fmt.Println()
+
+	for _, phase := range phases {
+		hdr := tr.Header(phase)
+		if hdr == nil {
+			fatal(fmt.Errorf("no header for phase %q (phases: %v)", phase, tr.Phases()))
+		}
+		name := phase
+		if name == "" {
+			name = "(run)"
+		}
+		fmt.Printf("\nphase %s: %d hosts (aggregator %d), window %ds, duration %.0fs, partitioning %s\n",
+			name, hdr.Hosts, hdr.AggregatorHost, hdr.WindowSec, hdr.DurationSec, hdr.Partitioning)
+		series := tr.HostLoadSeries(phase)
+		if series == nil {
+			fmt.Println("  no host_window records (load monitoring off, or a ring capture dropped them)")
+			continue
+		}
+		fmt.Printf("%8s  %13s  %14s  %s\n", "window", "span", "max-host B/s", "per-host net bytes")
+		for _, w := range series {
+			fmt.Printf("%8d  [%5d,%5d)s  %14.0f  ", w.Window, w.StartSec, w.EndSec, w.MaxHostNetBytesPerSec())
+			for h, hw := range w.Hosts {
+				if h > 0 {
+					fmt.Print(" ")
+				}
+				fmt.Printf("%d:%d", h, hw.NetBytesIn)
+			}
+			fmt.Println()
+		}
+		if f.topk > 0 {
+			printTopOps(tr, phase, f.topk)
+		}
+	}
+}
+
+// printTopOps ranks each window's operators by network bytes received.
+func printTopOps(tr *trace.Trace, phase string, k int) {
+	byWin := map[int][]*trace.Event{}
+	maxWin := -1
+	for i := range tr.Records {
+		e := &tr.Records[i]
+		if e.Kind != trace.KindOpWindow || e.Phase != phase {
+			continue
+		}
+		byWin[e.Window] = append(byWin[e.Window], e)
+		if e.Window > maxWin {
+			maxWin = e.Window
+		}
+	}
+	fmt.Printf("  top %d operators per window by network bytes:\n", k)
+	for w := 0; w <= maxWin; w++ {
+		ops := byWin[w]
+		sort.SliceStable(ops, func(i, j int) bool {
+			if ops[i].NetBytesIn != ops[j].NetBytesIn {
+				return ops[i].NetBytesIn > ops[j].NetBytesIn
+			}
+			return ops[i].Op < ops[j].Op
+		})
+		if len(ops) > k {
+			ops = ops[:k]
+		}
+		for _, e := range ops {
+			fmt.Printf("    win %3d  %s  op %d %s %s: %d net B, %d rows in\n",
+				w, location(e), e.Op, e.OpKind, e.Query, e.NetBytesIn, e.RowsIn)
+		}
+	}
+}
+
+func location(e *trace.Event) string {
+	if e.Central {
+		return "central"
+	}
+	return fmt.Sprintf("host %d", e.Host)
+}
+
+// explainViolation names the first load-bound violation and the
+// operators behind it. It prefers the controller's recorded decision
+// (trigger_eval carries the bound, the factor, and the verdict);
+// without one it scans the rebuilt series against -bound. Returns
+// whether a violation was found.
+func explainViolation(tr *trace.Trace, f *appFlags) bool {
+	win, rate, bound, factor := -1, 0.0, f.bound, f.factor
+	loadPhase := f.phase
+	if ev := findKind(tr, trace.KindTriggerEval); ev != nil {
+		bound, factor = ev.Bound, ev.Factor
+		win, rate = ev.Window, ev.Rate
+		if loadPhase == "" {
+			loadPhase = "initial"
+		}
+		fmt.Printf("controller evaluated set %s against %.2f x bound %.0f B/s\n", ev.Set, factor, bound)
+		if win < 0 {
+			fmt.Println("verdict: no window violated the bound; the trigger never fired")
+			return false
+		}
+	} else {
+		if bound <= 0 {
+			fatal(fmt.Errorf("trace has no recorded controller decision; pass -bound (the predicted max-host B/s)"))
+		}
+		series := tr.HostLoadSeries(loadPhase)
+		if series == nil {
+			fatal(fmt.Errorf("trace has no host_window records to scan"))
+		}
+		win, rate = obs.FirstLoadViolation(series, bound, factor, f.warmup)
+		fmt.Printf("scanning against %.2f x bound %.0f B/s (warmup %d)\n", factor, bound, f.warmup)
+		if win < 0 {
+			fmt.Println("verdict: no window violated the bound")
+			return false
+		}
+	}
+
+	fmt.Printf("verdict: window %d violated the bound: measured %.0f B/s > %.0f B/s\n",
+		win, rate, bound*factor)
+	series := tr.HostLoadSeries(loadPhase)
+	hdr := tr.Header(loadPhase)
+	if series == nil || win >= len(series) || hdr == nil {
+		return true
+	}
+	w := series[win]
+	worst, worstBytes := -1, int64(-1)
+	for _, hw := range w.Hosts {
+		if hw.NetBytesIn > worstBytes {
+			worst, worstBytes = hw.Host, hw.NetBytesIn
+		}
+	}
+	fmt.Printf("violating window [%d,%d)s, heaviest host %d with %d net bytes\n",
+		w.StartSec, w.EndSec, worst, worstBytes)
+
+	// The causal chain: the operators on that host (central-island
+	// operators fold into the aggregator host) that received the bytes.
+	var ops []*trace.Event
+	for i := range tr.Records {
+		e := &tr.Records[i]
+		if e.Kind != trace.KindOpWindow || e.Phase != hdr.Phase || e.Window != win {
+			continue
+		}
+		h := e.Host
+		if e.Central {
+			h = hdr.AggregatorHost
+		}
+		if h == worst {
+			ops = append(ops, e)
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool {
+		if ops[i].NetBytesIn != ops[j].NetBytesIn {
+			return ops[i].NetBytesIn > ops[j].NetBytesIn
+		}
+		return ops[i].Op < ops[j].Op
+	})
+	if len(ops) > 5 {
+		ops = ops[:5]
+	}
+	fmt.Println("contributing operators:")
+	for _, e := range ops {
+		fmt.Printf("  %s  op %d %s %s: %d net B, %d tuples, %d rows in\n",
+			location(e), e.Op, e.OpKind, e.Query, e.NetBytesIn, e.NetTuplesIn, e.RowsIn)
+	}
+	return true
+}
+
+// explainRepartition prints the controller's decision chain. Returns
+// whether the trace contains a repartition switch.
+func explainRepartition(tr *trace.Trace) bool {
+	seen := false
+	switched := false
+	for i := range tr.Records {
+		e := &tr.Records[i]
+		switch e.Kind {
+		case trace.KindTriggerEval:
+			seen = true
+			if e.Window < 0 {
+				fmt.Printf("trigger_eval: set %s stayed within %.2f x bound %.0f B/s; never fired\n",
+					e.Set, e.Factor, e.Bound)
+			} else {
+				fmt.Printf("trigger_eval: set %s, window %d measured %.0f B/s against %.2f x bound %.0f B/s\n",
+					e.Set, e.Window, e.Rate, e.Factor, e.Bound)
+			}
+		case trace.KindTrigger:
+			fmt.Printf("trigger: window %d, drain at t=%ds (%s)\n", e.Window, e.WM, e.Note)
+		case trace.KindStatsRefresh:
+			fmt.Printf("stats_refresh: %s\n", e.Note)
+		case trace.KindReanalyze:
+			fmt.Printf("reanalyze: recommends %s (refreshed bound %.0f B/s)\n", e.Set, e.Bound)
+		case trace.KindConfirm:
+			fmt.Printf("confirm: re-optimization kept %s; no switch (post-trigger peak %.0f B/s)\n", e.Set, e.Rate)
+		case trace.KindSwitch:
+			switched = true
+			fmt.Printf("switch: deploy %s at t=%ds (refreshed bound %.0f B/s)\n", e.Set, e.WM, e.Bound)
+		case trace.KindReplay:
+			fmt.Printf("replay: set %s, post-switch peak %.0f B/s (%s)\n", e.Set, e.Rate, e.Note)
+		}
+	}
+	if !seen {
+		fmt.Println("trace has no controller records (not an adaptive run)")
+		return false
+	}
+	if !switched {
+		fmt.Println("verdict: no repartition switch")
+		return false
+	}
+	fmt.Println("verdict: repartitioned")
+	return true
+}
+
+// findKind returns the first record of the given kind.
+func findKind(tr *trace.Trace, kind string) *trace.Event {
+	for i := range tr.Records {
+		if tr.Records[i].Kind == kind {
+			return &tr.Records[i]
+		}
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "qap-trace:", err)
+	os.Exit(2)
+}

@@ -126,7 +126,7 @@ func RunDriftExperiment(sc DriftScenario) (*obs.DriftBenchReport, *AdaptiveResul
 	}
 
 	rep := &obs.DriftBenchReport{
-		SchemaVersion:          1,
+		SchemaVersion:          obs.SchemaVersion,
 		Name:                   "drift",
 		LoadWindowSec:          ares.LoadWindowSec,
 		TriggerFactor:          ares.TriggerFactor,

@@ -52,6 +52,7 @@ import (
 
 	"qap/internal/exec"
 	"qap/internal/netgen"
+	"qap/internal/obs/trace"
 	"qap/internal/sqlval"
 )
 
@@ -362,6 +363,12 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			}
 			if first || pk.Time > lastTime {
 				if !first {
+					// Close the round on the splitter's trace shard:
+					// the same (round, watermark, packets) triple the
+					// sequential drivers record.
+					if r.trDriver != nil {
+						r.trDriver.Emit(trace.Event{Kind: trace.KindRound, Round: round, WM: lastTime, Rows: int64(seq)})
+					}
 					pendingRounds++
 					if pendingRounds >= r.batchRounds {
 						ship(false)
@@ -403,6 +410,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			g.tuples = append(g.tuples, t)
 			seq++
 		}
+		r.emitDriverTail(round, int64(seq), lastTime)
 		// The flush round.
 		round++
 		r.engRounds++

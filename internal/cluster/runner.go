@@ -10,6 +10,7 @@ import (
 	"qap/internal/gsql"
 	"qap/internal/netgen"
 	"qap/internal/obs"
+	"qap/internal/obs/trace"
 	"qap/internal/optimizer"
 	"qap/internal/plan"
 	"qap/internal/sqlval"
@@ -52,6 +53,15 @@ type Runner struct {
 	// resulting load series is bit-equal across engines, worker
 	// counts, and batch sizes.
 	winSec uint64
+
+	// tracer collects the causal trace when RunConfig.Trace is set:
+	// one shard per event writer (trDriver for the splitter, one per
+	// island), registered in the canonical order driver, leaf islands
+	// 0..Hosts-1, central. Nil tracing (the default) installs no
+	// shards and no hooks: the only residual cost is nil checks at
+	// round and window boundaries, never on the per-tuple hot path.
+	tracer   *trace.Collector
+	trDriver *trace.Shard
 
 	// Wall-clock and transport telemetry for the run report. None of it
 	// feeds back into execution: started is read only by buildReport,
@@ -106,6 +116,16 @@ type RunConfig struct {
 	// run itself. When false (the default) no stat hooks are installed
 	// and the operator graph is identical to an uninstrumented run.
 	CollectStats bool
+	// Trace enables deterministic causal tracing into Result.Trace:
+	// structured events keyed by round, window, host, and operator —
+	// never wall clock — emitted at watermark boundaries from every
+	// island plus the splitter, and gathered in a fixed shard order so
+	// the canonical export is byte-identical for any Workers or
+	// BatchSize value. Tracing implies CollectStats and, when
+	// LoadWindowSec is 0, a default monitoring window of
+	// DefaultTraceWindowSec; like monitoring it never perturbs the
+	// run. Nil (the default) disables tracing entirely.
+	Trace *trace.Config
 }
 
 // island is the unit of parallel execution: the operators of one
@@ -134,6 +154,18 @@ type island struct {
 	lastSnap HostMetrics
 	wins     []HostMetrics
 
+	// Causal-trace state, written only by the island's executing
+	// goroutine (the same single writer as metrics): the trace shard
+	// (nil when tracing is off), whether this is the central island,
+	// and the per-operator snapshot/metadata used to emit op_window
+	// deltas at window closes. opIDs fixes the emission order.
+	tr      *trace.Shard
+	central bool
+	opIDs   []int
+	lastOps map[int]obs.OpStats
+	opKind  map[int]string
+	opQuery map[int]string
+
 	// Parallel-mode state, owned by the island's worker goroutine.
 	curRound int
 	curTag   uint64
@@ -150,9 +182,73 @@ type island struct {
 // callers; this method assumes monitoring is on.
 func (isl *island) closeWindowsTo(win int) {
 	for isl.curWin < win {
-		isl.wins = append(isl.wins, isl.metrics.sub(isl.lastSnap))
+		delta := isl.metrics.sub(isl.lastSnap)
+		isl.wins = append(isl.wins, delta)
 		isl.lastSnap = isl.metrics
+		if isl.tr != nil {
+			isl.emitWindowEvents(delta)
+		}
 		isl.curWin++
+	}
+}
+
+// emitWindowEvents records the closing window's host-level integer
+// delta and the per-operator integer deltas on the island's trace
+// shard. The host event is emitted even when all-zero — HostLoadSeries
+// rebuilds the full series geometry from these records. Neither event
+// carries CPU units: float cost sums are only tolerance-equal across
+// batch sizes, while canonical traces must be byte-identical.
+func (isl *island) emitWindowEvents(delta HostMetrics) {
+	ev := trace.Event{
+		Kind:        trace.KindHostWindow,
+		Window:      isl.curWin,
+		NetTuplesIn: delta.NetTuplesIn,
+		NetBytesIn:  delta.NetBytesIn,
+		IPCTuplesIn: delta.IPCTuplesIn,
+		Tuples:      delta.Tuples,
+	}
+	if isl.central {
+		ev.Central = true
+	} else {
+		ev.Host = isl.id
+	}
+	isl.tr.Emit(ev)
+	for _, id := range isl.opIDs {
+		st := *isl.ops[id]
+		prev := isl.lastOps[id]
+		isl.lastOps[id] = st
+		d := obs.OpStats{
+			RowsIn:      st.RowsIn - prev.RowsIn,
+			RowsOut:     st.RowsOut - prev.RowsOut,
+			Advances:    st.Advances - prev.Advances,
+			Flushes:     st.Flushes - prev.Flushes,
+			NetTuplesIn: st.NetTuplesIn - prev.NetTuplesIn,
+			NetBytesIn:  st.NetBytesIn - prev.NetBytesIn,
+			IPCTuplesIn: st.IPCTuplesIn - prev.IPCTuplesIn,
+		}
+		if d.RowsIn|d.RowsOut|d.Advances|d.Flushes|d.NetTuplesIn|d.NetBytesIn|d.IPCTuplesIn == 0 {
+			continue
+		}
+		oev := trace.Event{
+			Kind:        trace.KindOpWindow,
+			Window:      isl.curWin,
+			Op:          id,
+			OpKind:      isl.opKind[id],
+			Query:       isl.opQuery[id],
+			RowsIn:      d.RowsIn,
+			RowsOut:     d.RowsOut,
+			Advances:    d.Advances,
+			Flushes:     d.Flushes,
+			NetTuplesIn: d.NetTuplesIn,
+			NetBytesIn:  d.NetBytesIn,
+			IPCTuplesIn: d.IPCTuplesIn,
+		}
+		if isl.central {
+			oev.Central = true
+		} else {
+			oev.Host = isl.id
+		}
+		isl.tr.Emit(oev)
 	}
 }
 
@@ -176,6 +272,12 @@ type Result struct {
 	// deltas per RunConfig.LoadWindowSec of trace time. Nil unless
 	// monitoring was enabled; bit-equal for any Workers/BatchSize.
 	LoadSeries []obs.LoadWindow
+	// Trace is the gathered causal trace; nil unless RunConfig.Trace
+	// was set. Its canonical JSONL (timing trailer stripped) is
+	// byte-identical for any Workers/BatchSize, and its host_window
+	// events rebuild LoadSeries (trace.HostLoadSeries) exactly on
+	// every integer counter, with CPUUnits left zero.
+	Trace *trace.Trace
 }
 
 // New compiles the physical plan into operator instances for the
@@ -211,17 +313,59 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 	if cfg.LoadWindowSec > 0 {
 		r.winSec = uint64(cfg.LoadWindowSec)
 	}
+	if cfg.Trace != nil {
+		// Tracing needs the op-stat shards (op_window deltas) and a
+		// monitoring window to pace window events.
+		r.collect = true
+		if r.winSec == 0 {
+			r.winSec = DefaultTraceWindowSec
+		}
+		r.tracer = trace.NewCollector(*cfg.Trace)
+		r.trDriver = r.tracer.NewShard()
+	}
 	r.islands = make([]*island, p.Hosts+1)
 	for i := range r.islands {
 		r.islands[i] = &island{id: i, rows: make(map[string]*int64), ops: make(map[int]*obs.OpStats)}
+		if r.tracer != nil {
+			isl := r.islands[i]
+			isl.tr = r.tracer.NewShard()
+			isl.central = i == p.Hosts
+			isl.lastOps = make(map[int]obs.OpStats)
+			isl.opKind = make(map[int]string)
+			isl.opQuery = make(map[int]string)
+		}
 	}
 	r.parallel = cfg.Workers > 1 && r.parallelizable()
 	r.reuseTupleSlabs = scanTuplesSevered(p)
 	if err := r.compile(); err != nil {
 		return nil, err
 	}
+	if r.tracer != nil {
+		// compile populated each island's op-stat shard; fix the
+		// op_window emission order and label every operator.
+		for _, op := range p.Ops {
+			isl := r.islandOf(op)
+			isl.opKind[op.ID] = op.Kind.String()
+			switch {
+			case op.Kind == optimizer.OpScan:
+				isl.opQuery[op.ID] = op.Stream
+			case op.Logical != nil:
+				isl.opQuery[op.ID] = op.Logical.QueryName
+			}
+		}
+		for _, isl := range r.islands {
+			for id := range isl.ops { //qap:allow maprange -- ids sorted below
+				isl.opIDs = append(isl.opIDs, id)
+			}
+			sort.Ints(isl.opIDs)
+		}
+	}
 	return r, nil
 }
+
+// DefaultTraceWindowSec paces host_window/op_window trace events when
+// tracing is enabled without explicit load monitoring.
+const DefaultTraceWindowSec = 10
 
 // scanTuplesSevered reports whether no operator can retain a reference
 // to a scan-produced tuple past its delivery round, which lets the
@@ -299,6 +443,31 @@ func (r *Runner) opStatsOf(op *optimizer.Op) *obs.OpStats {
 		isl.ops[op.ID] = st
 	}
 	return st
+}
+
+// traceEmitter returns a flush-observation hook emitting kind events
+// on the operator's island shard, or nil when tracing is off. The
+// hook runs on whatever goroutine executes the island, which is the
+// shard's single writer by construction.
+func (r *Runner) traceEmitter(op *optimizer.Op, kind string) func(wm uint64, groups, rows int) {
+	if r.tracer == nil {
+		return nil
+	}
+	isl := r.islandOf(op)
+	proto := trace.Event{Kind: kind, Op: op.ID}
+	if isl.central {
+		proto.Central = true
+	} else {
+		proto.Host = isl.id
+	}
+	sh := isl.tr
+	return func(wm uint64, groups, rows int) {
+		ev := proto
+		ev.WM = wm
+		ev.Groups = int64(groups)
+		ev.Rows = int64(rows)
+		sh.Emit(ev)
+	}
 }
 
 // islandOf maps an operator to its execution island: per-partition and
@@ -421,6 +590,7 @@ func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
 	var lastTime, maxTime uint64
 	first := true
 	any := false
+	trRound, trPk := -1, int64(0)
 	for {
 		best := nextCursor(cursors)
 		if best == nil {
@@ -433,6 +603,12 @@ func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
 			maxTime = pk.Time
 		}
 		if first || pk.Time > lastTime {
+			// The splitter's trace shard closes the previous round: the
+			// same (round, watermark, packets) triple on every engine.
+			if r.trDriver != nil && trRound >= 0 {
+				r.trDriver.Emit(trace.Event{Kind: trace.KindRound, Round: trRound, WM: lastTime, Rows: trPk})
+			}
+			trRound, trPk = trRound+1, 0
 			// Close monitoring windows before the new round touches any
 			// counter: all work for rounds in earlier windows is done.
 			if r.winSec > 0 {
@@ -445,14 +621,28 @@ func (r *Runner) runSequential(cursors []*streamCursor) (*Result, error) {
 			lastTime, first = pk.Time, false
 			r.engRounds++
 		}
+		trPk++
 		best.rt.Push(pk.Tuple())
 	}
+	r.emitDriverTail(trRound, trPk, lastTime)
 	// Flush in canonical stream order: every router, sorted by name.
 	for _, name := range r.routerNames {
 		r.routers[name].Flush()
 	}
 	r.engRounds++ // the flush round
 	return r.finalize(any, maxTime), nil
+}
+
+// emitDriverTail closes the final data round on the splitter's trace
+// shard and records the end-of-stream flush round.
+func (r *Runner) emitDriverTail(trRound int, trPk int64, lastTime uint64) {
+	if r.trDriver == nil {
+		return
+	}
+	if trRound >= 0 {
+		r.trDriver.Emit(trace.Event{Kind: trace.KindRound, Round: trRound, WM: lastTime, Rows: trPk})
+	}
+	r.trDriver.Emit(trace.Event{Kind: trace.KindFlush, Round: trRound + 1, WM: lastTime})
 }
 
 // seqGroup is one destination partition's buffered tuples within the
@@ -521,6 +711,7 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 	first := true
 	any := false
 	round := 0
+	trRound, trPk := -1, int64(0)
 	for {
 		best := nextCursor(cursors)
 		if best == nil {
@@ -534,6 +725,10 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 		}
 		if first || pk.Time > lastTime {
 			flushRound()
+			if r.trDriver != nil && trRound >= 0 {
+				r.trDriver.Emit(trace.Event{Kind: trace.KindRound, Round: trRound, WM: lastTime, Rows: trPk})
+			}
+			trRound, trPk = trRound+1, 0
 			// Close monitoring windows after the previous round's
 			// buffered deliveries, so its work lands in its own window.
 			if r.winSec > 0 {
@@ -557,6 +752,7 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 				valSlab = make([]sqlval.Value, 0, tupleSlabVals)
 			}
 		}
+		trPk++
 		var t exec.Tuple
 		valSlab, t = pk.AppendTuple(valSlab)
 		idx := best.rt.route(t)
@@ -569,6 +765,7 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 		g.tuples = append(g.tuples, t)
 	}
 	flushRound()
+	r.emitDriverTail(trRound, trPk, lastTime)
 	for _, name := range r.routerNames {
 		r.routers[name].Flush()
 	}
@@ -636,7 +833,48 @@ func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 		}
 		res.Report = r.buildReport(res)
 	}
+	if r.tracer != nil {
+		res.Trace = r.buildTrace()
+	}
 	return res
+}
+
+// buildTrace gathers the run's causal trace: a header record, every
+// shard's events in canonical order (driver, leaf islands, central),
+// and the quarantined timing trailer. Called from finalize, after the
+// engine's goroutines have fully joined and mergeLoadSeries has closed
+// every remaining window, so every shard is complete and no writer
+// races the gather.
+func (r *Runner) buildTrace() *trace.Trace {
+	p := r.plan
+	partitioning := p.Set.String()
+	if p.StreamSets != nil {
+		partitioning = p.StreamSets.String()
+	}
+	header := trace.Event{
+		Kind:           trace.KindHeader,
+		SchemaVersion:  obs.SchemaVersion,
+		Hosts:          p.Hosts,
+		AggregatorHost: p.AggregatorHost,
+		WindowSec:      int(r.winSec),
+		DurationSec:    r.metrics.DurationSec,
+		Partitioning:   partitioning,
+	}
+	engine := "sequential"
+	if r.parallel {
+		engine = "parallel"
+	}
+	timing := trace.Event{
+		Kind:      trace.KindTiming,
+		Engine:    engine,
+		Workers:   r.workers,
+		BatchSize: r.batchSize,
+		WallNanos: time.Since(r.started).Nanoseconds(), //qap:allow walltime -- quarantined in the timing trailer
+		Rounds:    r.engRounds,
+		Batches:   r.engBatches,
+		LinkItems: r.engLinkItems,
+	}
+	return r.tracer.Gather(header, timing)
 }
 
 // mergeLoadSeries closes every island's remaining monitoring windows
@@ -1108,7 +1346,7 @@ func (r *Runner) instantiate(op *optimizer.Op, out exec.Consumer) ([]exec.Consum
 		}
 		return []exec.Consumer{agg}, nil
 	case optimizer.OpWindow:
-		w, err := r.buildWindow(op.Logical, out)
+		w, err := r.buildWindow(op, out)
 		if err != nil {
 			return nil, err
 		}
@@ -1278,7 +1516,8 @@ func rewriteSplitRefs(e gsql.Expr, split map[string]gsql.AggSpec) gsql.Expr {
 
 func (r *Runner) buildAggregate(op *optimizer.Op, out exec.Consumer) (*exec.Aggregate, error) {
 	n := op.Logical
-	cfg := exec.AggregateConfig{EpochIdx: n.EpochGroupCol(), Out: out}
+	cfg := exec.AggregateConfig{EpochIdx: n.EpochGroupCol(), Out: out,
+		OnEpochFlush: r.traceEmitter(op, trace.KindEpochFlush)}
 
 	if n.WindowPanes > 1 && op.Kind != optimizer.OpAggSub {
 		return nil, fmt.Errorf("windowed aggregation %s must lower to sub-aggregate + window", n.QueryName)
@@ -1455,12 +1694,14 @@ func (r *Runner) buildSuperAggregate(n *plan.Node, cfg exec.AggregateConfig) (*e
 // partials: mergers per partial column (SUM for moment parts, the
 // super-function otherwise), then the original HAVING and projection
 // with moment references reconstructed.
-func (r *Runner) buildWindow(n *plan.Node, out exec.Consumer) (*exec.SlidingWindow, error) {
+func (r *Runner) buildWindow(op *optimizer.Op, out exec.Consumer) (*exec.SlidingWindow, error) {
+	n := op.Logical
 	cfg := exec.SlidingWindowConfig{
-		GroupCols: len(n.GroupBy),
-		EpochIdx:  n.EpochGroupCol(),
-		Panes:     n.WindowPanes,
-		Out:       out,
+		GroupCols:   len(n.GroupBy),
+		EpochIdx:    n.EpochGroupCol(),
+		Panes:       n.WindowPanes,
+		Out:         out,
+		OnPaneFlush: r.traceEmitter(op, trace.KindPaneFlush),
 	}
 	if cfg.EpochIdx < 0 {
 		return nil, fmt.Errorf("window %s has no temporal pane column", n.QueryName)

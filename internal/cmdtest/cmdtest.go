@@ -1,0 +1,69 @@
+// Package cmdtest holds the shared harness for the per-command usage
+// golden tests: every cmd defines its flags in a defineFlags(fs)
+// function, and its test renders that FlagSet's defaults against a
+// committed testdata/usage.golden. The goldens pin the help surface —
+// flag names, help strings, defaults — so help-text drift between
+// commands (the -workers/-batch/-metrics-out families are shared
+// vocabulary) shows up as a test diff instead of accumulating
+// silently. cmd/qap-vet is the one flagless command: its usage surface
+// is a positional directory only, so it carries no golden.
+package cmdtest
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the usage golden files instead of comparing")
+
+// workerDefault matches the trailing default clause on help lines whose
+// default is runtime.GOMAXPROCS(0) — the only machine-dependent value
+// in any command's usage.
+var workerDefault = regexp.MustCompile(`\(default \d+\)$`)
+
+// CheckUsage renders the command's flag defaults and compares them to
+// testdata/usage.golden in the caller's package directory. Run the
+// test with -update to (re)write the golden.
+func CheckUsage(t *testing.T, name string, define func(fs *flag.FlagSet)) {
+	t.Helper()
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	define(fs)
+	var buf strings.Builder
+	fs.SetOutput(&buf)
+	fs.PrintDefaults()
+	got := normalize(buf.String())
+
+	golden := filepath.Join("testdata", "usage.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/... -update` to create the goldens)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s usage drifted from the golden (re-run with -update if intended):\n--- got ---\n%s--- want ---\n%s", name, got, want)
+	}
+}
+
+// normalize rewrites the single machine-dependent default (worker
+// goroutine counts default to GOMAXPROCS) to a stable token.
+func normalize(s string) string {
+	lines := strings.Split(s, "\n")
+	for i, ln := range lines {
+		if strings.Contains(ln, "worker goroutines") {
+			lines[i] = workerDefault.ReplaceAllString(ln, "(default GOMAXPROCS)")
+		}
+	}
+	return strings.Join(lines, "\n")
+}

@@ -25,6 +25,7 @@
 package difftest
 
 import (
+	"bytes"
 	"fmt"
 	"math"
 	"reflect"
@@ -35,6 +36,7 @@ import (
 	"qap/internal/core"
 	"qap/internal/lint"
 	"qap/internal/netgen"
+	obstrace "qap/internal/obs/trace"
 	"qap/internal/optimizer"
 	"qap/internal/plan"
 	"qap/internal/qgen"
@@ -206,7 +208,77 @@ func CheckQueries(ddl, queries string, trace netgen.Config, opts Options) (*Repo
 	rep.checkLoadBound(sys, measured, analysis.Best, run)
 	rep.checkLintAgreement(sys, analysis.Best)
 	rep.checkRepartition(sys, measured, analysis, trace, params)
+	rep.checkTrace(sys, analysis.Best, trace, streams, params)
 	return rep, nil
+}
+
+// checkTrace exercises the deterministic-tracing axis over the
+// workload: with causal tracing on, the canonical JSONL export (timing
+// trailer stripped) must be byte-identical in every workers×batch cell
+// — both engines, scalar and batched delivery — and the per-host load
+// series rebuilt from the trace's host_window events (after a round
+// trip through the JSONL codec) must equal the engine's own monitoring
+// output exactly. The comparison strips CPUUnits from the engine
+// series: float cost sums are deliberately quarantined from the
+// canonical trace, which carries only the integer counters the
+// Section 4.2.1 trigger reads.
+func (r *Report) checkTrace(sys *qap.System, best core.Set, traceCfg netgen.Config, streams map[string][]netgen.Packet, params map[string]qap.Value) {
+	winSec := traceCfg.DurationSec / 3
+	if winSec < 1 {
+		winSec = 1
+	}
+	var ref []byte
+	for _, cell := range []struct{ workers, batch int }{{1, 1}, {1, 256}, {4, 1}, {4, 256}} {
+		name := fmt.Sprintf("trace workers=%d batch=%d", cell.workers, cell.batch)
+		r.Configs++
+		dep, err := sys.Deploy(qap.DeployConfig{
+			Hosts: 4, Partitioning: best, Params: params,
+			Workers: cell.workers, BatchSize: cell.batch,
+			LoadWindowSec: winSec, Trace: &qap.RunTraceConfig{},
+		})
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: fmt.Sprintf("deploy failed: %v\n", err)})
+			continue
+		}
+		res, err := dep.RunStreams(streams)
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: fmt.Sprintf("run failed: %v\n", err)})
+			continue
+		}
+		if res.Trace == nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: "tracing was enabled but the run carries no trace\n"})
+			continue
+		}
+		canon, err := res.Trace.CanonicalJSONL()
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: fmt.Sprintf("canonical encode failed: %v\n", err)})
+			continue
+		}
+		if ref == nil {
+			ref = canon
+		} else if !bytes.Equal(canon, ref) {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: "canonical trace diverged across engines:\n" + firstDiff(string(ref), string(canon))})
+			continue
+		}
+		rt, err := obstrace.ReadJSONL(bytes.NewReader(canon))
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				Detail: fmt.Sprintf("JSONL round trip failed: %v\n", err)})
+			continue
+		}
+		got := rt.HostLoadSeries("")
+		want := obstrace.StripCPUUnits(res.LoadSeries)
+		if !reflect.DeepEqual(got, want) {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: fmt.Sprintf(
+				"trace-rebuilt load series differs from the engine's monitoring output:\n  rebuilt: %+v\n  engine:  %+v\n",
+				got, want)})
+		}
+	}
 }
 
 // checkRepartition exercises the adaptive-repartitioning protocol on a

@@ -221,6 +221,12 @@ type AggregateConfig struct {
 	// groups++aggs unchanged.
 	Post []EvalFunc
 	Out  Consumer
+	// OnEpochFlush, when set, observes every non-empty emission: wm is
+	// the watermark that closed the epochs (the last one seen; 0 at a
+	// data-free Flush), groups the closed (epoch, group) states, rows
+	// the result rows emitted after HAVING. Purely observational — it
+	// runs after the rows are pushed and must not touch them.
+	OnEpochFlush func(wm uint64, groups, rows int)
 }
 
 type groupState struct {
@@ -542,6 +548,9 @@ func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
 	}
 	o.emitBuf = out
 	PushAll(o.cfg.Out, out)
+	if o.cfg.OnEpochFlush != nil {
+		o.cfg.OnEpochFlush(o.lastWM, len(done), len(out))
+	}
 }
 
 // JoinSideConfig configures one input of a join.

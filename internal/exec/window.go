@@ -35,6 +35,11 @@ type SlidingWindowConfig struct {
 	// emits them unchanged.
 	Post []EvalFunc
 	Out  Consumer
+	// OnPaneFlush, when set, observes every closed pane: pane is the
+	// closing pane id, groups the distinct groups with data in the
+	// window, rows the result rows emitted after HAVING. Purely
+	// observational — it runs after the rows are pushed.
+	OnPaneFlush func(pane uint64, groups, rows int)
 }
 
 type paneGroup struct {
@@ -193,6 +198,7 @@ func (w *SlidingWindow) emitPane(p uint64) {
 		}
 	}
 	sort.Strings(order)
+	pushed := 0
 	for _, key := range order {
 		ws := groups[key]
 		if !ws.any {
@@ -208,6 +214,7 @@ func (w *SlidingWindow) emitPane(p uint64) {
 		}
 		if w.cfg.Post == nil {
 			w.cfg.Out.Push(row)
+			pushed++
 			continue
 		}
 		out := make(Tuple, len(w.cfg.Post))
@@ -215,6 +222,10 @@ func (w *SlidingWindow) emitPane(p uint64) {
 			out[i] = f(row)
 		}
 		w.cfg.Out.Push(out)
+		pushed++
+	}
+	if w.cfg.OnPaneFlush != nil && len(order) > 0 {
+		w.cfg.OnPaneFlush(p, len(order), pushed)
 	}
 }
 

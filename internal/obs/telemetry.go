@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Telemetry is the live observation surface of a run: an HTTP handler
+// serving the Prometheus rendering of the last published RunReport at
+// /metrics (byte-identical to what -metrics-out's report renders),
+// expvar counters at /debug/vars, and the net/http/pprof profiling
+// endpoints under /debug/pprof/. It is the scrape-and-profile surface
+// a long-lived qap-serve will later mount; qap-run exposes it behind
+// -telemetry-addr.
+type Telemetry struct {
+	mu   sync.RWMutex
+	prom []byte
+}
+
+var (
+	telemetryVars     *expvar.Map
+	telemetryVarsOnce sync.Once
+)
+
+// telemetryMap lazily publishes the process-wide "qap" expvar map.
+// expvar.NewMap panics on duplicate registration, hence the Once.
+func telemetryMap() *expvar.Map {
+	telemetryVarsOnce.Do(func() { telemetryVars = expvar.NewMap("qap") })
+	return telemetryVars
+}
+
+// NewTelemetry builds an empty telemetry surface; /metrics serves no
+// samples until SetReport publishes a run.
+func NewTelemetry() *Telemetry { return &Telemetry{} }
+
+// SetReport publishes a run report: /metrics serves exactly
+// rep.Prometheus() until the next call, and the "qap" expvar map
+// mirrors the headline gauges.
+func (t *Telemetry) SetReport(rep *RunReport) {
+	if rep == nil {
+		return
+	}
+	rendered := []byte(rep.Prometheus())
+	t.mu.Lock()
+	t.prom = rendered
+	t.mu.Unlock()
+
+	m := telemetryMap()
+	m.Add("reports_published_total", 1)
+	setFloat := func(name string, v float64) {
+		f := new(expvar.Float)
+		f.Set(v)
+		m.Set(name, f)
+	}
+	setInt := func(name string, v int64) {
+		i := new(expvar.Int)
+		i.Set(v)
+		m.Set(name, i)
+	}
+	setFloat("duration_sec", rep.DurationSec)
+	setFloat("capacity_per_sec", rep.CapacityPerSec)
+	setInt("hosts", int64(len(rep.Hosts)))
+	setInt("nodes", int64(len(rep.Nodes)))
+	setInt("load_windows", int64(len(rep.LoadSeries)))
+}
+
+// Handler returns the telemetry mux. The pprof handlers are mounted
+// explicitly rather than via http.DefaultServeMux so embedding hosts
+// control exactly what they expose.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		t.mu.RLock()
+		b := t.prom
+		t.mu.RUnlock()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(b)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr and serves Handler in a background goroutine.
+// Close the returned listener to stop; Serve never blocks.
+func (t *Telemetry) Serve(addr string) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: t.Handler()}
+	go srv.Serve(ln) // returns when the listener closes
+	return ln, nil
+}

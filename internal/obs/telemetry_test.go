@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches a path from the test server and returns status, body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, http.Header, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header, string(b)
+}
+
+// TestTelemetryMetricsServesReportBytes is the /metrics contract: the
+// endpoint serves exactly rep.Prometheus() — same bytes a -prom-out
+// file would hold — with the exposition content type, and re-publishing
+// swaps the whole document atomically.
+func TestTelemetryMetricsServesReportBytes(t *testing.T) {
+	tel := NewTelemetry()
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	// Before any report: empty body, still well-typed.
+	code, hdr, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Fatalf("pre-publish /metrics = %d %q, want 200 with empty body", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want the Prometheus exposition type", ct)
+	}
+
+	rep := sampleReport()
+	tel.SetReport(rep)
+	_, _, body = get(t, srv, "/metrics")
+	if want := rep.Prometheus(); body != want {
+		t.Errorf("/metrics body differs from rep.Prometheus():\n--- served ---\n%s--- rendered ---\n%s", body, want)
+	}
+
+	// Publishing a new report replaces the document wholesale.
+	rep2 := sampleReport()
+	rep2.DurationSec = 999
+	tel.SetReport(rep2)
+	_, _, body = get(t, srv, "/metrics")
+	if !strings.Contains(body, "qap_run_duration_seconds 999") {
+		t.Errorf("re-published report not served:\n%s", body)
+	}
+}
+
+// TestTelemetryDebugEndpoints: /debug/vars exposes the "qap" expvar
+// map mirroring the headline gauges, and the pprof index is mounted.
+func TestTelemetryDebugEndpoints(t *testing.T) {
+	tel := NewTelemetry()
+	tel.SetReport(sampleReport())
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	code, _, body := get(t, srv, "/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", code)
+	}
+	for _, want := range []string{`"qap"`, `"hosts": 1`, `"nodes": 2`, `"duration_sec": 120`} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/debug/vars missing %s:\n%s", want, body)
+		}
+	}
+
+	code, _, body = get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ = %d, want the pprof index page", code)
+	}
+	// The dedicated pprof handlers must be routed too. cmdline is the
+	// cheap one to hit (profile would block for its sampling window);
+	// the index page above already links /debug/pprof/profile.
+	code, _, body = get(t, srv, "/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d with %d bytes, want 200 with the process args", code, len(body))
+	}
+}

@@ -1,0 +1,49 @@
+package trace
+
+import "testing"
+
+// Committed allocation budgets for the tracing layer's presence on the
+// batched execution hot path, in allocations per operation as measured
+// by testing.AllocsPerRun — the same budget-table idiom as
+// internal/exec/alloc_test.go. The engines call Emit unconditionally on
+// possibly-nil shards, so these budgets are what "tracing off is free"
+// means at the allocation level.
+const (
+	// Emit on a nil shard is the tracing-off hot path: a nil check and
+	// return, no allocations ever.
+	allocBudgetEmitDisabled = 0
+	// Emit on a full ring overwrites in place: steady-state capture
+	// costs no allocations no matter how long the run is.
+	allocBudgetEmitRingSteady = 0
+)
+
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}
+
+func TestAllocsEmitDisabled(t *testing.T) {
+	skipIfRace(t)
+	var s *Shard
+	e := Event{Kind: KindHostWindow, Window: 3, Host: 1, NetTuplesIn: 5, NetBytesIn: 160}
+	got := testing.AllocsPerRun(1000, func() { s.Emit(e) })
+	if got > allocBudgetEmitDisabled {
+		t.Errorf("nil Shard.Emit: %.3f allocs/op, budget %d", got, allocBudgetEmitDisabled)
+	}
+}
+
+func TestAllocsEmitRingSteadyState(t *testing.T) {
+	skipIfRace(t)
+	c := NewCollector(Config{Mode: ModeRing, RingSize: 8})
+	s := c.NewShard()
+	e := Event{Kind: KindRound, Round: 1, WM: 10, Tuples: 4}
+	for i := 0; i < 8; i++ {
+		s.Emit(e) // fill the ring so every further Emit overwrites
+	}
+	got := testing.AllocsPerRun(1000, func() { s.Emit(e) })
+	if got > allocBudgetEmitRingSteady {
+		t.Errorf("full-ring Shard.Emit: %.3f allocs/op, budget %d", got, allocBudgetEmitRingSteady)
+	}
+}

@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"encoding/json"
+	"strconv"
+)
+
+// chromeEvent is one Chrome trace_event record (the about:tracing /
+// Perfetto JSON format). Timestamps are microseconds of *trace time*
+// (watermark seconds scaled by 1e6), never wall clock, so the export
+// is as deterministic as the canonical JSONL.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// eventArgs flattens a record into trace_event args. encoding/json
+// sorts map keys, so the output stays deterministic.
+func eventArgs(e *Event) map[string]any {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return nil
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil
+	}
+	delete(m, "kind")
+	return m
+}
+
+// ChromeJSON converts the trace to Chrome trace_event JSON. Process
+// ids map to hosts (pid h = leaf host h); the central island, the
+// splitter/driver, and the adaptive controller get the three pids
+// after the leaf hosts. Thread ids within a host are operator ids.
+func (t *Trace) ChromeJSON() ([]byte, error) {
+	hosts, winSec := 0, 0
+	var durSec float64
+	// pid lanes, refreshed at each header so composed traces keep a
+	// consistent mapping (phases share the cluster shape).
+	pidOf := func(e *Event) int {
+		if e.Central {
+			return hosts
+		}
+		return e.Host
+	}
+	f := chromeFile{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	meta := func(pid int, name string) {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	sec := func(s uint64) float64 { return float64(s) * 1e6 }
+	for i := range t.Records {
+		e := &t.Records[i]
+		switch e.Kind {
+		case KindHeader:
+			hosts, winSec, durSec = e.Hosts, e.WindowSec, e.DurationSec
+			for h := 0; h < hosts; h++ {
+				meta(h, nameWithPhase("host", e.Phase, h))
+			}
+			meta(hosts, nameWithPhase("central", e.Phase, -1))
+			meta(hosts+1, nameWithPhase("driver", e.Phase, -1))
+			meta(hosts+2, nameWithPhase("controller", e.Phase, -1))
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: KindHeader, Ph: "i", Ts: 0, Pid: hosts + 1, S: "g",
+				Args: eventArgs(e),
+			})
+		case KindRound:
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: KindRound, Ph: "X", Ts: sec(e.WM), Dur: 1e6,
+				Pid: hosts + 1, Args: eventArgs(e),
+			})
+		case KindFlush:
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: KindFlush, Ph: "i", Ts: durSec * 1e6, Pid: hosts + 1,
+				S: "g", Args: eventArgs(e),
+			})
+		case KindHostWindow:
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "window", Ph: "X",
+				Ts:  sec(uint64(e.Window) * uint64(winSec)),
+				Dur: float64(winSec) * 1e6,
+				Pid: pidOf(e), Args: eventArgs(e),
+			})
+		case KindOpWindow:
+			name := e.OpKind
+			if e.Query != "" {
+				name += " " + e.Query
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: name, Ph: "X",
+				Ts:  sec(uint64(e.Window) * uint64(winSec)),
+				Dur: float64(winSec) * 1e6,
+				Pid: pidOf(e), Tid: e.Op, Args: eventArgs(e),
+			})
+		case KindEpochFlush, KindPaneFlush:
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: e.Kind, Ph: "i", Ts: sec(e.WM),
+				Pid: pidOf(e), Tid: e.Op, S: "t", Args: eventArgs(e),
+			})
+		case KindTriggerEval, KindTrigger, KindStatsRefresh,
+			KindReanalyze, KindSwitch, KindConfirm, KindReplay:
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: e.Kind, Ph: "i", Ts: sec(e.WM), Pid: hosts + 2,
+				S: "g", Args: eventArgs(e),
+			})
+		case KindTiming:
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: KindTiming, Ph: "i", Ts: 0, Pid: hosts + 1, S: "g",
+				Args: eventArgs(e),
+			})
+		}
+	}
+	return json.MarshalIndent(&f, "", " ")
+}
+
+func nameWithPhase(base, phase string, idx int) string {
+	name := base
+	if idx >= 0 {
+		name = base + " " + strconv.Itoa(idx)
+	}
+	if phase != "" {
+		name += " (" + phase + ")"
+	}
+	return name
+}

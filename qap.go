@@ -27,6 +27,7 @@ import (
 	"qap/internal/lint"
 	"qap/internal/netgen"
 	"qap/internal/obs"
+	"qap/internal/obs/trace"
 	"qap/internal/optimizer"
 	"qap/internal/plan"
 	"qap/internal/schema"
@@ -81,7 +82,15 @@ type (
 	LoadWindow = obs.LoadWindow
 	// HostWindow is one host's counter deltas within a LoadWindow.
 	HostWindow = obs.HostWindow
+	// Telemetry is the live HTTP observation surface: the run report's
+	// Prometheus rendering at /metrics, expvar at /debug/vars, and
+	// net/http/pprof under /debug/pprof/.
+	Telemetry = obs.Telemetry
 )
+
+// NewTelemetry builds an empty telemetry surface; publish a run with
+// its SetReport and serve it with its Serve or Handler.
+func NewTelemetry() *Telemetry { return obs.NewTelemetry() }
 
 // Partial-aggregation scopes (see optimizer.Scope).
 const (
@@ -275,6 +284,14 @@ type DeployConfig struct {
 	// series is bit-equal for any Workers or BatchSize value; 0
 	// disables monitoring.
 	LoadWindowSec int
+	// Trace enables deterministic causal tracing into RunResult.Trace:
+	// structured events keyed by round, window, host, and operator
+	// (never wall clock), whose canonical JSONL export is
+	// byte-identical for any Workers or BatchSize value. Implies
+	// CollectStats; when LoadWindowSec is 0 window events default to
+	// cluster.DefaultTraceWindowSec pacing. Nil (the default) disables
+	// tracing; the run is never perturbed either way.
+	Trace *RunTraceConfig
 }
 
 // Deployment is a compiled distributed plan ready to run traces.
@@ -337,6 +354,12 @@ type RunResult struct {
 	// deltas per DeployConfig.LoadWindowSec of trace time. Nil unless
 	// monitoring was enabled.
 	LoadSeries []LoadWindow
+	// Trace is the run's causal trace; nil unless DeployConfig.Trace
+	// was set. Its CanonicalJSONL is byte-identical for any
+	// Workers/BatchSize, and HostLoadSeries rebuilds LoadSeries from
+	// its host_window events — exact on every integer counter, with
+	// the float CPUUnits quarantined (left zero).
+	Trace *RunTrace
 
 	report *RunReport
 }
@@ -381,6 +404,7 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		BatchSize:     d.cfg.BatchSize,
 		CollectStats:  d.cfg.CollectStats,
 		LoadWindowSec: d.cfg.LoadWindowSec,
+		Trace:         d.cfg.Trace,
 	})
 	if err != nil {
 		return nil, err
@@ -395,6 +419,7 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		Metrics:    res.Metrics,
 		OpStats:    res.OpStats,
 		LoadSeries: res.LoadSeries,
+		Trace:      res.Trace,
 		report:     res.Report,
 	}, nil
 }
@@ -414,6 +439,19 @@ type (
 	Trace = netgen.Trace
 	// Packet is one captured packet.
 	Packet = netgen.Packet
+)
+
+// Causal-trace re-exports ("Run" prefixed: TraceConfig already names
+// the packet-trace generator configuration above).
+type (
+	// RunTrace is a run's deterministic causal trace: the event
+	// sequence DeployConfig.Trace captures.
+	RunTrace = trace.Trace
+	// RunTraceConfig configures causal trace capture (full run or
+	// bounded flight-recorder ring).
+	RunTraceConfig = trace.Config
+	// TraceEvent is one causal trace record.
+	TraceEvent = trace.Event
 )
 
 // TCPSchemaDDL is the packet stream schema generated traces conform to.
