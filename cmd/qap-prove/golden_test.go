@@ -1,0 +1,81 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qap"
+	"qap/internal/netgen"
+	"qap/internal/prove"
+)
+
+var update = flag.Bool("update-certs", false, "rewrite the certificate golden files instead of comparing")
+
+// TestCertificateGoldens proves every example query set under the
+// analysis's recommended partitioning and pins the canonical
+// certificate bytes. The goldens are the CI qap-prove check: any
+// change to the derivation rules, the certificate format, or the
+// analysis's recommendations shows up as a diff here.
+func TestCertificateGoldens(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "queries", "*.gsql"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no example query sets found")
+	}
+	for _, file := range files {
+		name := strings.TrimSuffix(filepath.Base(file), ".gsql")
+		t.Run(name, func(t *testing.T) {
+			queries, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys, err := qap.Load(netgen.SchemaDDL, string(queries))
+			if err != nil {
+				t.Fatal(err)
+			}
+			analysis, err := sys.Analyze(nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cert := prove.Prove(sys.Graph, analysis.Best)
+			if err := prove.Verify(sys.Graph, cert); err != nil {
+				t.Fatalf("emitted certificate fails verification: %v", err)
+			}
+			got, err := cert.CanonicalJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", name+".cert.golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run `go test ./cmd/qap-prove -update-certs` to create the goldens)", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("%s certificate drifted from the golden (re-run with -update-certs if intended):\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+			// The golden itself must still verify against a fresh plan:
+			// the committed artifact is a checkable proof, not a blob.
+			parsed, err := prove.ParseCertificate(want)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := prove.Verify(sys.Graph, parsed); err != nil {
+				t.Errorf("golden certificate fails verification: %v", err)
+			}
+		})
+	}
+}

@@ -1,8 +1,16 @@
-// Command qap-vet runs the repo's determinism analyzers over the
-// module's own Go source: wall-clock reads (time.Now and friends) and
-// math/rand outside quarantined timing paths, range statements over
-// maps, and goroutines launched from map-range bodies — the three ways
-// nondeterminism has historically leaked into simulated results.
+// Command qap-vet runs the repo's static analyzers over the module's
+// own Go source. The determinism analyzers catch the three ways
+// nondeterminism has historically leaked into simulated results:
+// wall-clock reads (time.Now and friends) and math/rand outside
+// quarantined timing paths (walltime), range statements over maps
+// (maprange), and goroutines launched from map-range bodies (fanout).
+// The hot-path analyzers guard the batched execution path: poolleak
+// flags exec.GetBatch containers not released via PutBatch (or
+// ownership-transferred) on every control-flow path, and hotalloc
+// flags heap-allocating expressions inside functions annotated
+// //qap:hot. Finally, stalesuppress fails the run when a //qap:allow
+// comment no longer suppresses any diagnostic, so exemptions cannot
+// outlive the code they excused.
 //
 // Usage:
 //
@@ -10,9 +18,9 @@
 //
 // dir defaults to the current directory; qap-vet locates the enclosing
 // module root and checks every non-test package under it. Deliberately
-// exempt sites carry a "//qap:allow <analyzer>" comment on the same
-// line or the line above. Findings print one per line in file:line:col
-// form, sorted, and a non-empty report exits 1.
+// exempt sites carry a "//qap:allow <analyzer> -- reason" comment on
+// the same line or the line above. Findings print one per line in
+// file:line:col form, sorted, and a non-empty report exits 1.
 package main
 
 import (

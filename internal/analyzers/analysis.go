@@ -1,7 +1,13 @@
-// Package analyzers enforces the repo's determinism contract on its
-// own Go source: simulated results must be byte-identical across runs
-// and worker counts, so wall-clock reads, random sources, and
-// map-iteration order must never leak into output or accounting paths.
+// Package analyzers enforces the repo's source-level contracts on its
+// own Go code. The determinism analyzers (walltime, maprange, fanout)
+// guard the promise that simulated results are byte-identical across
+// runs and worker counts: wall-clock reads, random sources, and
+// map-iteration order must never leak into output or accounting
+// paths. The hot-path analyzers guard the batched execution path:
+// poolleak checks that every pooled batch acquired with exec.GetBatch
+// is released (or its ownership transferred) on every control-flow
+// path, and hotalloc flags heap-allocating expressions inside
+// functions annotated //qap:hot.
 //
 // The package is a small vet-style framework built only on the
 // standard library (go/ast, go/parser, go/types) because the build
@@ -10,11 +16,13 @@
 // wall-clock timing quarantined behind obs.Timing, a map range that
 // sorts before emitting — carries a
 //
-//	//qap:allow <analyzer>
+//	//qap:allow <analyzer> -- reason
 //
 // comment on the same line or the line above, which suppresses that
-// analyzer there. Findings are sorted by position, so qap-vet output
-// is itself deterministic.
+// analyzer there. Suppressions are themselves checked: stalesuppress
+// fails the run when an allow comment no longer suppresses anything,
+// so exemptions cannot outlive the code they excused. Findings are
+// sorted by position, so qap-vet output is itself deterministic.
 package analyzers
 
 import (
@@ -37,8 +45,24 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// All is the registry of determinism analyzers, in reporting order.
-var All = []*Analyzer{Walltime, MapRange, Fanout}
+// All is the registry of analyzers, in reporting order. Stalesuppress
+// must come last conceptually — it judges the //qap:allow comments
+// after every other analyzer has had the chance to consume them — and
+// RunAll enforces that regardless of its position here.
+var All = []*Analyzer{Walltime, MapRange, Fanout, Poolleak, Hotalloc, Stalesuppress}
+
+// Stalesuppress flags //qap:allow comments that no longer suppress
+// any diagnostic, and allow comments naming no registered analyzer. A
+// suppression is "used" when some analyzer in the run reported at a
+// position it covers; anything else is dead weight that would hide a
+// future real finding. Stale-suppression findings are themselves
+// unsuppressable. The check is driven by RunAll (after all other
+// analyzers have run), so Run here is a no-op.
+var Stalesuppress = &Analyzer{
+	Name: "stalesuppress",
+	Doc:  "flags //qap:allow comments that no longer suppress any finding",
+	Run:  func(*Pass) {},
+}
 
 // Finding is one analyzer report at a source position.
 type Finding struct {
@@ -78,24 +102,35 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// allowMap indexes //qap:allow comments: file name -> line -> names.
-type allowMap map[string]map[int][]string
+// allowEntry is one analyzer name from one //qap:allow comment. An
+// entry that never matches a finding is stale.
+type allowEntry struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
+// allowMap indexes //qap:allow comments: file name -> line -> entries.
+type allowMap map[string]map[int][]*allowEntry
 
 // allows reports whether the analyzer is suppressed at the position —
-// an allow comment on the same line or the line above matches.
+// an allow comment on the same line or the line above matches — and
+// marks every matching entry used for the stalesuppress post-pass.
 func (m allowMap) allows(pos token.Position, name string) bool {
 	lines := m[pos.Filename]
 	if lines == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, allowed := range lines[line] {
-			if allowed == name || allowed == "all" {
-				return true
+		for _, e := range lines[line] {
+			if e.name == name || e.name == "all" {
+				e.used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
 }
 
 // buildAllowMap scans a package's comments for //qap:allow directives.
@@ -122,22 +157,68 @@ func buildAllowMap(fset *token.FileSet, files []*ast.File) allowMap {
 				}
 				pos := fset.Position(c.Pos())
 				if m[pos.Filename] == nil {
-					m[pos.Filename] = map[int][]string{}
+					m[pos.Filename] = map[int][]*allowEntry{}
 				}
-				m[pos.Filename][pos.Line] = append(m[pos.Filename][pos.Line], names...)
+				for _, n := range names {
+					m[pos.Filename][pos.Line] = append(m[pos.Filename][pos.Line],
+						&allowEntry{name: n, pos: pos})
+				}
 			}
 		}
 	}
 	return m
 }
 
-// RunAll runs every registered analyzer over the packages and returns
-// the findings sorted by position, analyzer, and message.
+// staleFindings judges every allow entry after the analyzers have run:
+// an entry naming no analyzer in the run is a typo, and an entry that
+// suppressed nothing is stale. Both fail the build — unsuppressably,
+// so a suppression cannot excuse itself.
+func staleFindings(allow allowMap, known map[string]bool) []Finding {
+	var out []Finding
+	for _, lines := range allow { //qap:allow maprange -- RunAll sorts all findings afterwards
+		for _, entries := range lines { //qap:allow maprange -- RunAll sorts all findings afterwards
+			for _, e := range entries {
+				switch {
+				case e.name != "all" && !known[e.name]:
+					out = append(out, Finding{
+						Pos:      e.pos,
+						Analyzer: Stalesuppress.Name,
+						Message:  fmt.Sprintf("//qap:allow names unknown analyzer %q", e.name),
+					})
+				case !e.used:
+					out = append(out, Finding{
+						Pos:      e.pos,
+						Analyzer: Stalesuppress.Name,
+						Message:  fmt.Sprintf("//qap:allow %s suppresses nothing here — delete it", e.name),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RunAll runs every given analyzer over the packages and returns the
+// findings sorted by position, analyzer, and message. When the list
+// includes Stalesuppress it runs last over each package's allow map,
+// after every other analyzer has had the chance to consume the
+// suppressions.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
 	var findings []Finding
+	known := map[string]bool{}
+	stale := false
+	for _, a := range analyzers {
+		known[a.Name] = true
+		if a == Stalesuppress {
+			stale = true
+		}
+	}
 	for _, pkg := range pkgs {
 		allow := buildAllowMap(pkg.Fset, pkg.Files)
 		for _, a := range analyzers {
+			if a == Stalesuppress {
+				continue // driven below, after the others
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -148,6 +229,9 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				findings: &findings,
 			}
 			a.Run(pass)
+		}
+		if stale {
+			findings = append(findings, staleFindings(allow, known)...)
 		}
 	}
 	sort.Slice(findings, func(i, j int) bool {

@@ -211,6 +211,8 @@ type feedMsg struct {
 
 // runParallel executes the trace with the parallel engine. The caller
 // goroutine runs the central replay loop.
+//
+//qap:hot
 func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 	hosts := r.plan.Hosts
 	workers := r.workers
@@ -223,7 +225,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 	// Pre-resolve every island's advance and flush target lists in
 	// canonical (= tag) order. Advance walks the fed streams in cursor
 	// order; flush walks every router in sorted-name order.
-	advTargets := make([][]tagged, hosts)
+	advTargets := make([][]tagged, hosts) //qap:allow hotalloc -- driver setup, once per run
 	for sIdx, c := range cursors {
 		for p, out := range c.rt.outs {
 			id := c.rt.islands[p]
@@ -232,7 +234,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			})
 		}
 	}
-	flushTargets := make([][]tagged, hosts)
+	flushTargets := make([][]tagged, hosts) //qap:allow hotalloc -- driver setup, once per run
 	for fIdx, name := range r.routerNames {
 		rt := r.routers[name]
 		for p, out := range rt.outs {
@@ -243,16 +245,17 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		}
 	}
 
-	feeds := make([]chan feedMsg, workers)
+	feeds := make([]chan feedMsg, workers) //qap:allow hotalloc -- driver setup, once per run
 	for g := range feeds {
-		feeds[g] = make(chan feedMsg, feedChanCap)
+		feeds[g] = make(chan feedMsg, feedChanCap) //qap:allow hotalloc -- one channel per worker, once per run
 	}
-	inbox := make(chan linkBatch, 2*hosts)
+	inbox := make(chan linkBatch, 2*hosts) //qap:allow hotalloc -- driver setup, once per run
 
 	// Leaf workers: worker g executes islands g, g+W, 2W, ...
 	var workerWG sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		workerWG.Add(1)
+		//qap:allow hotalloc -- one worker goroutine closure per worker, once per run
 		go func(feed <-chan feedMsg) {
 			defer workerWG.Done()
 			for msg := range feed {
@@ -313,13 +316,14 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		dMax     uint64
 	)
 	driverWG.Add(1)
+	//qap:allow hotalloc -- the driver goroutine and its helpers close once per run
 	go func() {
 		defer driverWG.Done()
 		// rounds[i] accumulates island i's pending hostRounds.
-		rounds := make([][]hostRound, hosts)
+		rounds := make([][]hostRound, hosts) //qap:allow hotalloc -- driver setup, once per run
 		pendingRounds := 0
 		round := -1
-		ship := func(last bool) {
+		ship := func(last bool) { //qap:allow hotalloc -- closure built once per run
 			for i := 0; i < hosts; i++ {
 				msg := feedMsg{isl: r.islands[i], rounds: rounds[i], last: last}
 				rounds[i] = nil
@@ -330,7 +334,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			// finalize reads it only after driverWG.Wait() below.
 			r.engBatches += int64(hosts)
 		}
-		openRound := func(wm uint64) {
+		openRound := func(wm uint64) { //qap:allow hotalloc -- closure built once per run
 			round++
 			r.engRounds++
 			for i := 0; i < hosts; i++ {
@@ -339,8 +343,8 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		}
 		if batched {
 			for _, c := range cursors {
-				c.gidx = make([]int, len(c.rt.outs))
-				c.gstamp = make([]int, len(c.rt.outs))
+				c.gidx = make([]int, len(c.rt.outs))   //qap:allow hotalloc -- routing scratch, once per cursor per run
+				c.gstamp = make([]int, len(c.rt.outs)) //qap:allow hotalloc -- routing scratch, once per cursor per run
 				for p := range c.gstamp {
 					c.gstamp[p] = -1
 				}
@@ -392,7 +396,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			// Batched: buffer the tuple into its destination's group for
 			// this round, tagged with the group's first-tuple sequence.
 			if cap(valSlab)-len(valSlab) < netgen.TupleCols {
-				valSlab = make([]sqlval.Value, 0, tupleSlabVals)
+				valSlab = make([]sqlval.Value, 0, tupleSlabVals) //qap:allow hotalloc -- slab growth, amortized over tupleSlabVals values
 			}
 			var t exec.Tuple
 			valSlab, t = pk.AppendTuple(valSlab)
@@ -426,10 +430,10 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 	// Central replay: K-way merge of the islands' link items by
 	// (round, tag). An island with an empty pending queue bounds its
 	// next item at (through+1, 0) until its final batch arrives.
-	pending := make([][]linkItem, hosts)
-	heads := make([]int, hosts)
-	through := make([]int, hosts)
-	done := make([]bool, hosts)
+	pending := make([][]linkItem, hosts) //qap:allow hotalloc -- replay setup, once per run
+	heads := make([]int, hosts)          //qap:allow hotalloc -- replay setup, once per run
+	through := make([]int, hosts)        //qap:allow hotalloc -- replay setup, once per run
+	done := make([]bool, hosts)          //qap:allow hotalloc -- replay setup, once per run
 	for i := range through {
 		through[i] = -1
 	}

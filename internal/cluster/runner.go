@@ -665,11 +665,13 @@ const tupleSlabVals = 512 * netgen.TupleCols
 // from shared slabs instead of one allocation per packet. The parallel
 // engine's batched driver replays the identical grouping, so results
 // at a given BatchSize are byte-identical for any worker count.
+//
+//qap:hot
 func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) {
 	bs := r.batchSize
 	for _, c := range cursors {
-		c.gidx = make([]int, len(c.rt.outs))
-		c.gstamp = make([]int, len(c.rt.outs))
+		c.gidx = make([]int, len(c.rt.outs))   //qap:allow hotalloc -- routing scratch, once per cursor per run
+		c.gstamp = make([]int, len(c.rt.outs)) //qap:allow hotalloc -- routing scratch, once per cursor per run
 		for p := range c.gstamp {
 			c.gstamp[p] = -1
 		}
@@ -688,7 +690,7 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 		freeSlabs  [][]sqlval.Value
 	)
 	reuse := r.reuseTupleSlabs
-	flushRound := func() {
+	flushRound := func() { //qap:allow hotalloc -- closure built once per run
 		for i := range groups {
 			g := &groups[i]
 			for off := 0; off < len(g.tuples); off += bs {
@@ -749,7 +751,7 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 				valSlab = freeSlabs[n-1][:0]
 				freeSlabs = freeSlabs[:n-1]
 			} else {
-				valSlab = make([]sqlval.Value, 0, tupleSlabVals)
+				valSlab = make([]sqlval.Value, 0, tupleSlabVals) //qap:allow hotalloc -- slab growth, amortized over tupleSlabVals values
 			}
 		}
 		trPk++

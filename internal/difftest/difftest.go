@@ -15,6 +15,11 @@
 //     partitioned exactly when the compatibility theory says it may,
 //     and every centralize fallback in the physical plan is explained
 //     by an incompatibility diagnostic from the static analyzer.
+//   - Proof soundness (internal/prove): the explicit per-node
+//     derivations the prover emits verify against the plan, their
+//     canonical serialization round-trips byte-stably, and every
+//     verdict matches the optimizer's placement — so the sweep holds
+//     the certificate theory to the same evidence as the runtime.
 //
 // Workloads usually come from internal/qgen (CheckSeed), but the oracle
 // also accepts raw query text (CheckQueries) so the fuzz harness and
@@ -39,6 +44,7 @@ import (
 	obstrace "qap/internal/obs/trace"
 	"qap/internal/optimizer"
 	"qap/internal/plan"
+	"qap/internal/prove"
 	"qap/internal/qgen"
 )
 
@@ -207,6 +213,7 @@ func CheckQueries(ddl, queries string, trace netgen.Config, opts Options) (*Repo
 	rep.checkBatched(opts, want, run, analysis.Best, last)
 	rep.checkLoadBound(sys, measured, analysis.Best, run)
 	rep.checkLintAgreement(sys, analysis.Best)
+	rep.checkCertificate(sys, analysis.Best)
 	rep.checkRepartition(sys, measured, analysis, trace, params)
 	rep.checkTrace(sys, analysis.Best, trace, streams, params)
 	return rep, nil
@@ -535,21 +542,7 @@ func (r *Report) checkLintAgreement(sys *qap.System, best core.Set) {
 		}
 	}
 
-	// central[q]: the logical node has at least one operator in the
-	// central root process (Proc -1) — a centralize fallback or a
-	// partial-aggregation super stage.
-	central := map[string]bool{}
-	for _, op := range p.Ops {
-		// OpOutput always sits in the central root process, even when
-		// the query itself ran fully partitioned — it is the result
-		// sink, not a fallback.
-		if op.Kind == optimizer.OpOutput || op.Logical == nil || op.Logical.Kind == plan.KindSource {
-			continue
-		}
-		if op.Proc < 0 {
-			central[op.Logical.QueryName] = true
-		}
-	}
+	central := centralNodes(p)
 
 	var fail []string
 	for _, n := range sys.Graph.QueryNodes() {
@@ -571,6 +564,114 @@ func (r *Report) checkLintAgreement(sys *qap.System, best core.Set) {
 	if len(fail) > 0 {
 		r.Mismatches = append(r.Mismatches, Mismatch{Config: "lintagree",
 			Detail: strings.Join(fail, "\n") + "\n"})
+	}
+}
+
+// centralNodes maps each logical query node to whether the physical
+// plan placed at least one of its operators in the central root
+// process (Proc -1) — a centralize fallback or a partial-aggregation
+// super stage. OpOutput always sits in the central root process, even
+// when the query itself ran fully partitioned — it is the result
+// sink, not a fallback — so it is excluded, as are sources.
+func centralNodes(p *optimizer.Plan) map[string]bool {
+	central := map[string]bool{}
+	for _, op := range p.Ops {
+		if op.Kind == optimizer.OpOutput || op.Logical == nil || op.Logical.Kind == plan.KindSource {
+			continue
+		}
+		if op.Proc < 0 {
+			central[op.Logical.QueryName] = true
+		}
+	}
+	return central
+}
+
+// checkCertificate is the proof-theory axis: for the recommended set
+// and the query-agnostic empty set it builds the explicit
+// partition-correctness certificate, has the independent verifier
+// re-check every derivation step against the plan, round-trips the
+// canonical serialization, and demands the per-node verdicts agree
+// with the optimizer's actual placement — a node has operators in the
+// central root process iff its verdict is MUST-CENTRALIZE — and, for
+// non-empty sets, with the core.Distributable theory the optimizer
+// chose the set by. The runtime leg closes through the rest of the
+// report: the same configs must already be output-equivalent, so a
+// certificate verdict that disagreed with the runtime equivalence
+// oracle would surface either here (placement) or in the sweep
+// (outputs). Every disagreement is a Mismatch.
+func (r *Report) checkCertificate(sys *qap.System, best core.Set) {
+	sets := []struct {
+		name string
+		set  core.Set
+	}{{"roundrobin", nil}}
+	if !best.IsEmpty() {
+		sets = append(sets, struct {
+			name string
+			set  core.Set
+		}{"best", best})
+	}
+	for _, s := range sets {
+		r.Configs++
+		cfg := "certificate set=" + s.name
+		fail := func(format string, args ...any) {
+			r.Mismatches = append(r.Mismatches, Mismatch{Config: cfg,
+				Detail: fmt.Sprintf(format, args...) + "\n"})
+		}
+
+		cert := prove.Prove(sys.Graph, s.set)
+		if err := prove.Verify(sys.Graph, cert); err != nil {
+			fail("verifier rejects the prover's certificate: %v", err)
+			continue
+		}
+		b1, err := cert.CanonicalJSON()
+		if err != nil {
+			fail("canonical serialization failed: %v", err)
+			continue
+		}
+		back, err := prove.ParseCertificate(b1)
+		if err != nil {
+			fail("canonical bytes failed to reparse: %v", err)
+			continue
+		}
+		if err := prove.Verify(sys.Graph, back); err != nil {
+			fail("reparsed certificate rejected: %v", err)
+			continue
+		}
+		b2, err := back.CanonicalJSON()
+		if err != nil || !bytes.Equal(b1, b2) {
+			fail("canonical bytes unstable across a parse round trip")
+			continue
+		}
+
+		p, err := optimizer.Build(sys.Graph, s.set, optimizer.Options{
+			Hosts: 4, PartitionsPerHost: 2, PartialAgg: true, PartialScope: optimizer.ScopeHost,
+		})
+		if err != nil {
+			fail("optimizer.Build failed: %v", err)
+			continue
+		}
+		central := centralNodes(p)
+		verdict := map[string]string{}
+		for _, np := range cert.Nodes {
+			verdict[np.Node] = np.Verdict
+		}
+		for _, n := range sys.Graph.QueryNodes() {
+			q := n.QueryName
+			v, ok := verdict[q]
+			if !ok {
+				fail("%s: certificate has no proof for the node", q)
+				continue
+			}
+			partitioned := v == prove.VerdictPartitioned
+			if partitioned == central[q] {
+				fail("%s: certificate verdict %s but plan has central-process ops=%v", q, v, central[q])
+			}
+			if !s.set.IsEmpty() {
+				if dist := core.Distributable(s.set, n); dist != partitioned {
+					fail("%s: certificate verdict %s but Distributable(%s)=%v", q, v, s.set, dist)
+				}
+			}
+		}
 	}
 }
 

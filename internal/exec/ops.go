@@ -47,6 +47,8 @@ func (o *FilterProject) Push(t Tuple) {
 // whole batch into a reused scratch run, then the projection
 // materializes every surviving row out of a single backing allocation
 // instead of one per tuple.
+//
+//qap:hot
 func (o *FilterProject) PushBatch(b Batch) {
 	pass := b
 	if o.Filter != nil {
@@ -66,7 +68,7 @@ func (o *FilterProject) PushBatch(b Batch) {
 		return
 	}
 	np := len(o.Projs)
-	backing := make([]sqlval.Value, len(pass)*np)
+	backing := make([]sqlval.Value, len(pass)*np) //qap:allow hotalloc -- deliberate: one backing per batch, retained by downstream consumers
 	out := o.outBuf[:0]
 	for i, t := range pass {
 		row := backing[i*np : (i+1)*np : (i+1)*np]
@@ -326,12 +328,17 @@ func (o *Aggregate) Push(t Tuple) {
 // path: group values evaluate into a reused scratch slice, the key
 // encodes into a reused byte buffer, and the map is probed once per
 // tuple without materializing a key string unless the group is new.
+//
+//qap:hot
 func (o *Aggregate) PushBatch(b Batch) {
 	for _, t := range b {
 		o.pushFast(t)
 	}
 }
 
+// pushFast is the amortized per-tuple aggregate path behind PushBatch.
+//
+//qap:hot
 func (o *Aggregate) pushFast(t Tuple) {
 	if o.cfg.PreFilter != nil && !o.cfg.PreFilter(t).AsBool() {
 		return
@@ -642,6 +649,8 @@ func (p *joinPort) Advance(wm uint64) { p.j.advance(wm) }
 func (p *joinPort) Flush()            { p.j.portFlush() }
 
 // PushBatch implements BatchConsumer via the amortized build/probe.
+//
+//qap:hot
 func (p *joinPort) PushBatch(b Batch) {
 	for _, t := range b {
 		p.j.pushFast(t, p.left)
@@ -682,6 +691,8 @@ func (j *Join) push(t Tuple, left bool) {
 // with string(keyBuf) (no copy), the key string is materialized only
 // when no entry or match already interns it, the combined probe row is
 // scratch, and entries carve from a slab.
+//
+//qap:hot
 func (j *Join) pushFast(t Tuple, left bool) {
 	side := &j.cfg.Left
 	myTab, otherTab := j.leftTab, j.rightTab
@@ -708,7 +719,7 @@ func (j *Join) pushFast(t Tuple, left bool) {
 		key = string(kb)
 	}
 	if len(j.entrySlab) == 0 {
-		j.entrySlab = make([]joinEntry, slabChunk)
+		j.entrySlab = make([]joinEntry, slabChunk) //qap:allow hotalloc -- slab refill, amortized over slabChunk entries
 	}
 	e := &j.entrySlab[0]
 	j.entrySlab = j.entrySlab[1:]

@@ -66,6 +66,9 @@ type SlidingWindow struct {
 	lastWM  uint64
 	wmSeen  bool
 	flushed bool
+	// valsBuf is Push's reused group-column scratch; a persistent
+	// copy is made only when a new pane group is created.
+	valsBuf []sqlval.Value
 }
 
 // NewSlidingWindow builds the operator.
@@ -86,18 +89,27 @@ func (w *SlidingWindow) groupKeyNoPane(vals []sqlval.Value) string {
 }
 
 // Push implements Consumer.
+//
+//qap:hot
 func (w *SlidingWindow) Push(t Tuple) {
-	vals := make([]sqlval.Value, w.cfg.GroupCols)
-	copy(vals, t[:w.cfg.GroupCols])
-	pane, ok := vals[w.cfg.EpochIdx].AsUint()
+	scratch := w.valsBuf
+	if cap(scratch) < w.cfg.GroupCols {
+		scratch = make([]sqlval.Value, w.cfg.GroupCols) //qap:allow hotalloc -- scratch grown once per operator
+	}
+	scratch = scratch[:w.cfg.GroupCols]
+	copy(scratch, t[:w.cfg.GroupCols])
+	w.valsBuf = scratch
+	pane, ok := scratch[w.cfg.EpochIdx].AsUint()
 	if !ok {
 		return
 	}
-	key := w.groupKeyNoPane(vals)
+	key := w.groupKeyNoPane(scratch)
 	pk := key + "\x00" + string(appendU64(nil, pane))
 	pg, exists := w.panes[pk]
 	if !exists {
-		pg = &paneGroup{key: key, vals: vals, pane: pane}
+		vals := make([]sqlval.Value, w.cfg.GroupCols) //qap:allow hotalloc -- one persistent copy per new pane group
+		copy(vals, scratch)
+		pg = &paneGroup{key: key, vals: vals, pane: pane} //qap:allow hotalloc -- one per new pane group, not per tuple
 		w.panes[pk] = pg
 	}
 	pg.rows = append(pg.rows, t)

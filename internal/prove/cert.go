@@ -1,0 +1,195 @@
+// Package prove turns the partitioning analysis's semantic claim —
+// distributed execution under a candidate partitioning set is
+// equivalent to centralized execution — into a checkable artifact. For
+// every plan node the prover constructs an explicit derivation: a
+// chain of named scope-rule applications (with paper-section citations
+// and, where a rule surfaces as a lint diagnostic, its QAP code from
+// internal/lint) concluding either PARTITIONED≡CENTRAL or
+// MUST-CENTRALIZE. The serialized certificate is independently
+// re-checkable: Verify validates every step's side condition against
+// the plan's lineage and the element-coarsening lattice without
+// re-running the inference in internal/core, so a certificate is
+// evidence, not an assertion.
+package prove
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"qap/internal/core"
+	"qap/internal/plan"
+)
+
+// Version is the certificate format version. Parse rejects any other.
+const Version = 1
+
+// Node verdicts: the two possible conclusions of a node's derivation.
+const (
+	VerdictPartitioned = "PARTITIONED≡CENTRAL"
+	VerdictCentralize  = "MUST-CENTRALIZE"
+)
+
+// Step is one named rule application in a node's derivation. The
+// subject fields (Term, Elem, Of, Deps) identify what the rule was
+// applied to; Premises are indices of earlier steps in the same node
+// proof whose conclusions this step consumes; Concl is the canonical
+// conclusion string the verifier recomputes.
+type Step struct {
+	Rule     string   `json:"rule"`
+	Code     string   `json:"code,omitempty"` // QAP lint code, when the rule has one
+	Section  string   `json:"section"`        // paper-section citation
+	Term     string   `json:"term,omitempty"` // GROUP BY term name or "l = r" key pair
+	Elem     string   `json:"elem,omitempty"` // partitioning element text
+	Of       string   `json:"of,omitempty"`   // covering scope element text
+	Deps     []string `json:"deps,omitempty"` // input node names a verdict step relies on
+	Premises []int    `json:"premises,omitempty"`
+	Concl    string   `json:"concl"`
+}
+
+// NodeProof is one query node's derivation chain and verdict.
+type NodeProof struct {
+	Node    string `json:"node"` // query name
+	Kind    string `json:"kind"` // plan.Kind string
+	Steps   []Step `json:"steps"`
+	Verdict string `json:"verdict"`
+}
+
+// Certificate is a complete serialized proof for one plan graph and
+// one candidate partitioning set. Fingerprint binds it to the plan:
+// Verify refuses a certificate presented against a different graph.
+type Certificate struct {
+	Version     int         `json:"version"`
+	Set         string      `json:"set"` // canonical set text, e.g. "(srcIP & 0xFFF0)"
+	Fingerprint string      `json:"fingerprint"`
+	Nodes       []NodeProof `json:"nodes"` // query nodes in topological order
+}
+
+// CanonicalJSON serializes the certificate to its canonical byte
+// form: struct-ordered keys, no maps, a single trailing newline.
+// Byte-identical across runs, -shuffle orders, and worker counts.
+func (c *Certificate) CanonicalJSON() ([]byte, error) {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// ParseCertificate decodes a serialized certificate strictly: unknown
+// fields, trailing garbage, and unsupported versions are errors.
+func ParseCertificate(b []byte) (*Certificate, error) {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var c Certificate
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("prove: bad certificate: %w", err)
+	}
+	var trailing json.RawMessage
+	if err := dec.Decode(&trailing); err != io.EOF {
+		return nil, fmt.Errorf("prove: trailing data after certificate")
+	}
+	if c.Version != Version {
+		return nil, fmt.Errorf("prove: unsupported certificate version %d (want %d)", c.Version, Version)
+	}
+	return &c, nil
+}
+
+// Fingerprint hashes the plan graph's proof-relevant structure: node
+// names, kinds, wiring, GROUP BY expressions, window shape, and join
+// keys, in topological order. A certificate carries the fingerprint
+// of the graph it was proven against.
+func Fingerprint(g *plan.Graph) string {
+	var b strings.Builder
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "node %s kind %s", strings.ToLower(n.QueryName), n.Kind)
+		for _, in := range n.Inputs {
+			fmt.Fprintf(&b, " in %s", strings.ToLower(in.QueryName))
+		}
+		for _, gc := range n.GroupBy {
+			fmt.Fprintf(&b, " group %s=%s", strings.ToLower(gc.Name), gc.Expr.String())
+		}
+		if n.WindowPanes > 1 {
+			fmt.Fprintf(&b, " panes %d", n.WindowPanes)
+		}
+		for i := range n.LeftKeys {
+			fmt.Fprintf(&b, " key %s=%s", n.LeftKeys[i].String(), n.RightKeys[i].String())
+		}
+		b.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// setText renders a partitioning set in the canonical form stored in
+// Certificate.Set.
+func setText(ps core.Set) string { return ps.String() }
+
+// parseSetText parses the canonical "(a, b)" form back into a set and
+// rejects non-canonical spellings, so Certificate.Set admits exactly
+// one byte representation per set.
+func parseSetText(s string) (core.Set, error) {
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return nil, fmt.Errorf("prove: set %q is not in canonical parenthesized form", s)
+	}
+	inner := s[1 : len(s)-1]
+	if strings.TrimSpace(inner) == "" {
+		if s != "()" {
+			return nil, fmt.Errorf("prove: empty set must render as %q, got %q", "()", s)
+		}
+		return nil, nil
+	}
+	ps, err := core.ParseSet(inner)
+	if err != nil {
+		return nil, err
+	}
+	if ps.String() != s {
+		return nil, fmt.Errorf("prove: set %q is not canonical (want %q)", s, ps.String())
+	}
+	return ps, nil
+}
+
+// Human renders the certificate as an indented, numbered derivation
+// per node — the qap-prove default output.
+func (c *Certificate) Human() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "certificate v%d for partitioning set %s\n", c.Version, c.Set)
+	fmt.Fprintf(&b, "plan fingerprint %s\n", c.Fingerprint)
+	for i := range c.Nodes {
+		np := &c.Nodes[i]
+		fmt.Fprintf(&b, "\nnode %s (%s): %s\n", np.Node, np.Kind, np.Verdict)
+		for j, st := range np.Steps {
+			fmt.Fprintf(&b, "  %2d. [%s", j+1, st.Rule)
+			if st.Code != "" {
+				fmt.Fprintf(&b, " %s", st.Code)
+			}
+			fmt.Fprintf(&b, " §%s]", st.Section)
+			if st.Term != "" {
+				fmt.Fprintf(&b, " term %s:", st.Term)
+			}
+			if st.Elem != "" && (st.Rule == RuleUncovered || st.Rule == RuleGroupTemporalSliding) {
+				fmt.Fprintf(&b, " %s:", st.Elem)
+			}
+			if st.Rule == RuleCovers {
+				fmt.Fprintf(&b, " %s ⊑ %s:", st.Elem, st.Of)
+			}
+			fmt.Fprintf(&b, " %s", st.Concl)
+			if len(st.Premises) > 0 {
+				refs := make([]string, len(st.Premises))
+				for k, p := range st.Premises {
+					refs[k] = fmt.Sprintf("%d", p+1)
+				}
+				fmt.Fprintf(&b, "  [from %s]", strings.Join(refs, ","))
+			}
+			if len(st.Deps) > 0 {
+				fmt.Fprintf(&b, "  [inputs %s]", strings.Join(st.Deps, ", "))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

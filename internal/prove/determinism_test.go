@@ -1,0 +1,65 @@
+package prove_test
+
+import (
+	"bytes"
+	"testing"
+
+	"qap"
+	"qap/internal/prove"
+)
+
+// TestCertificateDeterminism re-proves the same workload from fresh
+// loads and checks the canonical bytes never move: the certificate is
+// a pure function of (plan, set), so bytes are identical across
+// processes, -shuffle=on orders, and repeated runs.
+func TestCertificateDeterminism(t *testing.T) {
+	var want []byte
+	for i := 0; i < 5; i++ {
+		sys := load(t, figure1)
+		cert := prove.Prove(sys.Graph, qap.MustParseSet("srcIP & 0xFFF0"))
+		b, err := cert.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+			continue
+		}
+		if !bytes.Equal(b, want) {
+			t.Fatalf("run %d produced different canonical bytes", i)
+		}
+	}
+}
+
+// TestCertificateDeterminismAcrossWorkers proves the analysis's
+// chosen set after running the search at different worker counts: the
+// search result is worker-invariant, so the certificate bytes must be
+// too. This is the certificate leg of the repo-wide "byte-identical
+// across workers/batch" contract (DESIGN.md §13).
+func TestCertificateDeterminismAcrossWorkers(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 2, 8} {
+		sys := load(t, figure1)
+		opts := qap.DefaultSearchOptions()
+		opts.Workers = workers
+		analysis, err := sys.AnalyzeWith(nil, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert := prove.Prove(sys.Graph, analysis.Best)
+		if err := prove.Verify(sys.Graph, cert); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		b, err := cert.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = b
+			continue
+		}
+		if !bytes.Equal(b, want) {
+			t.Fatalf("workers=%d produced different canonical bytes", workers)
+		}
+	}
+}

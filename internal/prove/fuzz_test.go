@@ -1,0 +1,53 @@
+package prove_test
+
+import (
+	"bytes"
+	"testing"
+
+	"qap"
+	"qap/internal/prove"
+)
+
+// FuzzCertificateRoundTrip feeds arbitrary bytes to the strict
+// certificate parser: it must never panic, and any input it accepts
+// must re-encode to canonical bytes that parse back to the same
+// certificate (a fixed point after one canonicalization).
+func FuzzCertificateRoundTrip(f *testing.F) {
+	sys, err := qap.Load(qap.TCPSchemaDDL, figure1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, set := range []string{"", "srcIP", "srcIP & 0xFFF0, destIP"} {
+		cert := prove.Prove(sys.Graph, qap.MustParseSet(set))
+		b, err := cert.CanonicalJSON()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{"version":1,"set":"()","fingerprint":"x","nodes":[]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := prove.ParseCertificate(data)
+		if err != nil {
+			return
+		}
+		b1, err := c.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("accepted certificate failed to re-encode: %v", err)
+		}
+		c2, err := prove.ParseCertificate(b1)
+		if err != nil {
+			t.Fatalf("canonical bytes failed to reparse: %v", err)
+		}
+		b2, err := c2.CanonicalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("canonicalization is not a fixed point:\n%s\nvs\n%s", b1, b2)
+		}
+	})
+}

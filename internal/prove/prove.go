@@ -1,0 +1,175 @@
+package prove
+
+import (
+	"strings"
+
+	"qap/internal/core"
+	"qap/internal/plan"
+)
+
+// Prove constructs a certificate for the graph under candidate
+// partitioning set ps: one derivation per query node, in topological
+// order, concluding PARTITIONED≡CENTRAL or MUST-CENTRALIZE.
+//
+// The derivations are built from the plan's column lineage and the
+// element-coarsening lattice directly — not by calling the inference
+// in internal/core — so the difftest agreement axis cross-checks two
+// independent readings of the paper's scope rules.
+//
+// One deliberate divergence from core.Compatible: universal (per-
+// tuple) nodes are proven compatible with *any* routing, including
+// the empty set's round robin, matching what the physical builder
+// actually does (it pushes selections per partition even when no
+// partitioning set is configured). core.Compatible reports false for
+// the empty set on every node because the analysis never recommends
+// it; the physical plans agree with the certificate, and the difftest
+// axis holds both to that.
+func Prove(g *plan.Graph, ps core.Set) *Certificate {
+	ps = ps.Normalize()
+	c := &Certificate{
+		Version:     Version,
+		Set:         setText(ps),
+		Fingerprint: Fingerprint(g),
+	}
+	verdicts := map[string]string{}
+	for _, n := range g.QueryNodes() {
+		np := proveNode(n, ps, verdicts)
+		verdicts[n.QueryName] = np.Verdict
+		c.Nodes = append(c.Nodes, np)
+	}
+	return c
+}
+
+// proveNode derives one node's verdict. verdicts holds the verdicts
+// of every node earlier in topological order (so all inputs).
+func proveNode(n *plan.Node, ps core.Set, verdicts map[string]string) NodeProof {
+	np := NodeProof{Node: n.QueryName, Kind: n.Kind.String()}
+	add := func(s Step) int {
+		info := rules[s.Rule]
+		s.Code, s.Section = info.Code, info.Section
+		np.Steps = append(np.Steps, s)
+		return len(np.Steps) - 1
+	}
+
+	// Phase 1: node-local compatibility.
+	compatIdx, badIdx := -1, -1
+	if n.Kind == plan.KindSelectProject {
+		compatIdx = add(Step{Rule: RuleUniversal, Concl: conclUniversal()})
+	} else {
+		// Lineage steps, one per GROUP BY term or key pair, each
+		// optionally contributing a scope element.
+		var scope core.Set
+		var linIdx []int
+		contribute := func(s Step, e *core.Elem) {
+			idx := add(s)
+			linIdx = append(linIdx, idx)
+			if e != nil {
+				scope = append(scope, *e)
+			}
+		}
+		switch n.Kind {
+		case plan.KindAggregate:
+			for _, gc := range n.GroupBy {
+				lin := n.LineageOf(gc.Expr)
+				switch {
+				case lin.Base == nil:
+					contribute(Step{Rule: RuleGroupOpaque, Term: gc.Name, Concl: conclGroupOpaque()}, nil)
+				case lin.Temporal && n.WindowPanes > 1:
+					e := core.Elem{Attr: lin.Base.Attr, Expr: lin.Base.Expr}
+					contribute(Step{Rule: RuleGroupTemporalSliding, Term: gc.Name, Elem: e.String(), Concl: conclTemporalSliding()}, nil)
+				case lin.Temporal:
+					e := core.Elem{Attr: lin.Base.Attr, Expr: lin.Base.Expr}
+					contribute(Step{Rule: RuleGroupTemporal, Term: gc.Name, Elem: e.String(), Concl: conclTemporal(e.String())}, &e)
+				default:
+					e := core.Elem{Attr: lin.Base.Attr, Expr: lin.Base.Expr}
+					contribute(Step{Rule: RuleGroupRequires, Term: gc.Name, Elem: e.String(), Concl: conclRequires(e.String())}, &e)
+				}
+			}
+		case plan.KindJoin:
+			for i := range n.LeftKeys {
+				term := n.LeftKeys[i].String() + " = " + n.RightKeys[i].String()
+				ll := n.SideLineage(0, n.LeftKeys[i])
+				rl := n.SideLineage(1, n.RightKeys[i])
+				switch {
+				case ll.Base == nil || rl.Base == nil:
+					contribute(Step{Rule: RuleJoinOpaque, Term: term, Concl: conclJoinOpaque()}, nil)
+				case !sameAttrName(ll.Base.Attr, rl.Base.Attr) || !equalNoQual(ll.Base.Expr, rl.Base.Expr):
+					le := core.Elem{Attr: ll.Base.Attr, Expr: ll.Base.Expr}
+					re := core.Elem{Attr: rl.Base.Attr, Expr: rl.Base.Expr}
+					contribute(Step{Rule: RuleJoinDivergent, Term: term, Concl: conclJoinDivergent(le.String(), re.String())}, nil)
+				default:
+					e := core.Elem{Attr: ll.Base.Attr, Expr: ll.Base.Expr}
+					contribute(Step{Rule: RuleJoinRequires, Term: term, Elem: e.String(), Concl: conclRequires(e.String())}, &e)
+				}
+			}
+		}
+		scope = scope.Normalize()
+		scopeIdx := add(Step{Rule: RuleScope, Premises: linIdx, Concl: conclScope(scope)})
+
+		switch {
+		case scope.IsEmpty():
+			badIdx = add(Step{Rule: RuleUnpartitionable, Premises: []int{scopeIdx}, Concl: conclUnpartitionable()})
+		case ps.IsEmpty():
+			badIdx = add(Step{Rule: RuleSetEmpty, Concl: conclSetEmpty()})
+		default:
+			var coverIdx, uncoverIdx []int
+			for _, e := range ps {
+				covered := false
+				for _, g := range scope {
+					if core.IsCoarseningOf(e, g) {
+						coverIdx = append(coverIdx, add(Step{
+							Rule: RuleCovers, Elem: e.String(), Of: g.String(),
+							Premises: []int{scopeIdx}, Concl: conclCovers(e.String(), g.String()),
+						}))
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					uncoverIdx = append(uncoverIdx, add(Step{
+						Rule: RuleUncovered, Elem: e.String(),
+						Premises: []int{scopeIdx}, Concl: conclUncovered(e.String()),
+					}))
+				}
+			}
+			if len(uncoverIdx) == 0 {
+				compatIdx = add(Step{Rule: RuleCompatible, Premises: coverIdx, Concl: conclCompatible()})
+			} else {
+				badIdx = add(Step{Rule: RuleIncompatible, Premises: uncoverIdx, Concl: conclIncompatible()})
+			}
+		}
+	}
+
+	// Phase 2: transitive verdict over the inputs (Section 5.2).
+	var centralInputs []string
+	for _, in := range n.Inputs {
+		if in.Kind == plan.KindSource {
+			continue // sources are partitioned by the splitter axiomatically
+		}
+		if verdicts[in.QueryName] != VerdictPartitioned {
+			centralInputs = append(centralInputs, in.QueryName)
+		}
+	}
+	switch {
+	case compatIdx >= 0 && len(centralInputs) == 0:
+		np.Verdict = VerdictPartitioned
+		add(Step{Rule: RuleDistributable, Premises: []int{compatIdx}, Deps: inputNames(n), Concl: VerdictPartitioned})
+	case badIdx >= 0:
+		np.Verdict = VerdictCentralize
+		add(Step{Rule: RuleCentralize, Premises: []int{badIdx}, Concl: VerdictCentralize})
+	default:
+		np.Verdict = VerdictCentralize
+		add(Step{Rule: RuleCentralize, Deps: centralInputs, Concl: VerdictCentralize})
+	}
+	return np
+}
+
+func inputNames(n *plan.Node) []string {
+	out := make([]string, len(n.Inputs))
+	for i, in := range n.Inputs {
+		out[i] = in.QueryName
+	}
+	return out
+}
+
+func sameAttrName(a, b string) bool { return strings.EqualFold(a, b) }

@@ -1,0 +1,253 @@
+package prove_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qap"
+	"qap/internal/core"
+	"qap/internal/lint"
+	"qap/internal/plan"
+	"qap/internal/prove"
+)
+
+// figure1 is the paper's Section 3.2 / Figure 1 DAG: two stacked
+// aggregations and a cross-epoch self-join.
+const figure1 = `
+query flows:
+SELECT tb, srcIP, destIP, COUNT(*) as cnt
+FROM TCP
+GROUP BY time/60 as tb, srcIP, destIP
+
+query heavy_flows:
+SELECT tb, srcIP, max(cnt) as max_cnt
+FROM flows
+GROUP BY tb, srcIP
+
+query flow_pairs:
+SELECT S1.tb, S1.srcIP, S1.max_cnt, S2.max_cnt
+FROM heavy_flows S1, heavy_flows S2
+WHERE S1.srcIP = S2.srcIP and S1.tb = S2.tb+1
+`
+
+// filtered adds a universal selection below an aggregation.
+const filtered = `
+query syns:
+SELECT time, srcIP, destIP, len
+FROM TCP
+WHERE flags & 0x2 > 0
+
+query syn_counts:
+SELECT tb, srcIP, COUNT(*) as cnt
+FROM syns
+GROUP BY time/60 as tb, srcIP
+`
+
+// opaqueGroup groups on an aggregate result only, so heavy is
+// unpartitionable by any stream partitioning.
+const opaqueGroup = `
+query flows:
+SELECT tb, srcIP, COUNT(*) as cnt
+FROM TCP
+GROUP BY time/60 as tb, srcIP
+
+query heavy:
+SELECT cnt, COUNT(*) as n
+FROM flows
+GROUP BY cnt
+`
+
+func load(t *testing.T, queries string) *qap.System {
+	t.Helper()
+	sys, err := qap.Load(qap.TCPSchemaDDL, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// provenVerdict extracts one node's verdict from a certificate.
+func provenVerdict(t *testing.T, c *prove.Certificate, node string) string {
+	t.Helper()
+	for _, np := range c.Nodes {
+		if strings.EqualFold(np.Node, node) {
+			return np.Verdict
+		}
+	}
+	t.Fatalf("certificate has no proof for node %s", node)
+	return ""
+}
+
+// TestProveVerify proves each workload under several candidate sets
+// and checks the verifier accepts and the verdicts agree with the
+// independent core inference.
+func TestProveVerify(t *testing.T) {
+	sets := []string{"", "srcIP", "srcIP & 0xFFF0", "destIP", "srcIP, destIP", "time/60"}
+	for _, queries := range []string{figure1, filtered, opaqueGroup} {
+		sys := load(t, queries)
+		for _, s := range sets {
+			ps := qap.MustParseSet(s)
+			cert := prove.Prove(sys.Graph, ps)
+			if err := prove.Verify(sys.Graph, cert); err != nil {
+				t.Errorf("set %q: verifier rejects the prover's own certificate: %v", s, err)
+				continue
+			}
+			for _, n := range sys.Graph.QueryNodes() {
+				want := prove.VerdictCentralize
+				if certEligible(ps, n) {
+					want = prove.VerdictPartitioned
+				}
+				if got := provenVerdict(t, cert, n.QueryName); got != want {
+					t.Errorf("set %q node %s: verdict %s, core says %s", s, n.QueryName, got, want)
+				}
+			}
+		}
+	}
+}
+
+// certEligible is the expected verdict predicate: core.Distributable,
+// except that universal nodes tolerate the empty set's round robin
+// (matching the physical builder; see the Prove doc comment).
+func certEligible(ps core.Set, n *plan.Node) bool {
+	if n.Kind == plan.KindSource {
+		return true
+	}
+	if !core.Compatible(ps, n) && !(ps.IsEmpty() && n.Kind == plan.KindSelectProject) {
+		return false
+	}
+	for _, in := range n.Inputs {
+		if !certEligible(ps, in) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestVerdicts pins the expected verdicts for the Figure 1 DAG under
+// the paper's discussion sets.
+func TestVerdicts(t *testing.T) {
+	sys := load(t, figure1)
+	cases := []struct {
+		set   string
+		flows string
+		pairs string
+	}{
+		{"srcIP", prove.VerdictPartitioned, prove.VerdictPartitioned},
+		{"srcIP & 0xFFF0", prove.VerdictPartitioned, prove.VerdictPartitioned},
+		{"destIP", prove.VerdictPartitioned, prove.VerdictCentralize},
+		{"srcIP, destIP", prove.VerdictPartitioned, prove.VerdictCentralize},
+		{"", prove.VerdictCentralize, prove.VerdictCentralize},
+	}
+	for _, tc := range cases {
+		cert := prove.Prove(sys.Graph, qap.MustParseSet(tc.set))
+		if err := prove.Verify(sys.Graph, cert); err != nil {
+			t.Fatalf("set %q: %v", tc.set, err)
+		}
+		if got := provenVerdict(t, cert, "flows"); got != tc.flows {
+			t.Errorf("set %q: flows verdict %s, want %s", tc.set, got, tc.flows)
+		}
+		if got := provenVerdict(t, cert, "flow_pairs"); got != tc.pairs {
+			t.Errorf("set %q: flow_pairs verdict %s, want %s", tc.set, got, tc.pairs)
+		}
+	}
+	// The unpartitionable workload must carry a QAP002 step.
+	sys = load(t, opaqueGroup)
+	cert := prove.Prove(sys.Graph, qap.MustParseSet("srcIP"))
+	if err := prove.Verify(sys.Graph, cert); err != nil {
+		t.Fatal(err)
+	}
+	if got := provenVerdict(t, cert, "heavy"); got != prove.VerdictCentralize {
+		t.Errorf("heavy verdict %s, want %s", got, prove.VerdictCentralize)
+	}
+	found := false
+	for _, np := range cert.Nodes {
+		for _, st := range np.Steps {
+			if st.Rule == prove.RuleUnpartitionable && st.Code != lint.CodeUnpartitionable {
+				t.Errorf("unpartitionable step carries code %q, want %s", st.Code, lint.CodeUnpartitionable)
+			}
+			if np.Node == "heavy" && st.Rule == prove.RuleUnpartitionable {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("heavy's derivation has no unpartitionable step")
+	}
+}
+
+// TestRoundTrip checks ParseCertificate(CanonicalJSON) reproduces the
+// certificate byte-for-byte and the reparse still verifies.
+func TestRoundTrip(t *testing.T) {
+	sys := load(t, figure1)
+	cert := prove.Prove(sys.Graph, qap.MustParseSet("srcIP & 0xFFF0"))
+	b, err := cert.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := prove.ParseCertificate(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prove.Verify(sys.Graph, back); err != nil {
+		t.Fatalf("reparsed certificate rejected: %v", err)
+	}
+	b2, err := back.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Error("canonical bytes changed across a parse round trip")
+	}
+}
+
+// TestHuman smoke-checks the human rendering.
+func TestHuman(t *testing.T) {
+	sys := load(t, figure1)
+	cert := prove.Prove(sys.Graph, qap.MustParseSet("srcIP"))
+	h := cert.Human()
+	for _, want := range []string{"node flows", prove.VerdictPartitioned, "§3.5.2", "QAP003", "requires srcIP"} {
+		if !strings.Contains(h, want) {
+			t.Errorf("human rendering missing %q:\n%s", want, h)
+		}
+	}
+}
+
+// TestRuleRegistry keeps the prover's rule registry tied to the lint
+// code registry: every code-bearing rule cites the code's registered
+// paper section.
+func TestRuleRegistry(t *testing.T) {
+	sys := load(t, figure1)
+	cert := prove.Prove(sys.Graph, qap.MustParseSet("srcIP"))
+	sections := map[string]string{}
+	for _, c := range lint.Codes {
+		sections[c.Code] = c.Section
+	}
+	for _, np := range cert.Nodes {
+		for _, st := range np.Steps {
+			if st.Section == "" {
+				t.Errorf("step rule %q has no paper section", st.Rule)
+			}
+			if st.Code == "" {
+				continue
+			}
+			want, ok := sections[st.Code]
+			if !ok {
+				t.Errorf("step rule %q cites unregistered code %q", st.Rule, st.Code)
+			} else if st.Section != want {
+				t.Errorf("rule %q cites section %q for %s; lint registry says %q", st.Rule, st.Section, st.Code, want)
+			}
+		}
+	}
+}
+
+// TestFingerprintBinds checks a certificate is rejected against a
+// different plan.
+func TestFingerprintBinds(t *testing.T) {
+	sys1 := load(t, figure1)
+	sys2 := load(t, filtered)
+	cert := prove.Prove(sys1.Graph, qap.MustParseSet("srcIP"))
+	if err := prove.Verify(sys2.Graph, cert); err == nil {
+		t.Error("certificate for one plan verified against another")
+	}
+}

@@ -1,0 +1,195 @@
+package prove
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/core"
+	"qap/internal/gsql"
+	"qap/internal/lint"
+)
+
+// Rule names. A certificate step cites exactly one rule; the verifier
+// checks the step's side condition under that rule against the plan.
+// Names are part of the certificate format and are append-only.
+const (
+	// RuleUniversal: the node is a per-tuple operator
+	// (selection/projection), compatible with any routing of its input
+	// — including the query-agnostic round-robin of the empty set
+	// (paper Section 3.4).
+	RuleUniversal = "universal"
+	// RuleGroupRequires: a GROUP BY term traces to a scalar expression
+	// over one base attribute; that expression joins the node's scope
+	// set (Section 3.5.2).
+	RuleGroupRequires = "group-requires"
+	// RuleGroupOpaque: a GROUP BY term has no single-attribute base
+	// lineage (aggregate result, multi-attribute expression) and
+	// contributes no scope element (Section 3.5.2).
+	RuleGroupOpaque = "group-opaque"
+	// RuleGroupTemporal: a tumbling window's temporal GROUP BY term is
+	// admitted to the scope set for the compatibility test only — a
+	// coarsening of the window expression still routes whole groups
+	// together (Section 3.5.1).
+	RuleGroupTemporal = "group-temporal"
+	// RuleGroupTemporalSliding: a sliding window's temporal term is
+	// excluded outright — group allocation must not change mid-window
+	// (Section 3.5.1).
+	RuleGroupTemporalSliding = "group-temporal-sliding"
+	// RuleJoinRequires: an equi-join key pair whose two sides trace to
+	// the same base expression; that expression joins the scope set
+	// (Section 3.5.3).
+	RuleJoinRequires = "join-requires"
+	// RuleJoinOpaque: a key side has no single-attribute base lineage;
+	// the pair contributes no scope element (Section 3.5.3).
+	RuleJoinOpaque = "join-opaque"
+	// RuleJoinDivergent: the two key sides trace to different base
+	// expressions, so no shared partitioning expression can co-locate
+	// matching tuples (Section 3.5.3).
+	RuleJoinDivergent = "join-divergent"
+	// RuleScope: assembles the node's scope (requirement) set as the
+	// normalized union of the elements contributed by the lineage
+	// steps (Section 3.5).
+	RuleScope = "scope"
+	// RuleUnpartitionable: the scope set is empty — no stream
+	// partitioning lets the node run partitioned (QAP002).
+	RuleUnpartitionable = "unpartitionable"
+	// RuleSetEmpty: the candidate set is empty, so routing is
+	// query-agnostic and satisfies no grouping constraint
+	// (Section 3.4).
+	RuleSetEmpty = "set-empty"
+	// RuleCovers: one candidate element is a function of a scope
+	// element, so partitioning by it never separates tuples the scope
+	// element groups together (Section 3.4).
+	RuleCovers = "covers"
+	// RuleUncovered: a candidate element is a function of no scope
+	// element (QAP004).
+	RuleUncovered = "uncovered"
+	// RuleCompatible: every candidate element is covered; the set is
+	// compatible with the node (QAP003).
+	RuleCompatible = "compatible"
+	// RuleIncompatible: some candidate element is uncovered; the set
+	// is excluded (QAP004).
+	RuleIncompatible = "incompatible"
+	// RuleDistributable: the node is compatible and every input is
+	// itself distributable (sources are partitioned by the splitter
+	// axiomatically), so one copy per partition computes the same
+	// answer as central execution (Section 5.2, Opt_Eligible).
+	RuleDistributable = "distributable"
+	// RuleCentralize: the node is incompatible, or some input must
+	// centralize, so the node runs centrally (Section 5.2).
+	RuleCentralize = "centralize"
+)
+
+// ruleInfo fixes each rule's QAP code (when the rule surfaces as a
+// lint diagnostic) and paper-section citation.
+type ruleInfo struct {
+	Code    string // "" when the rule has no lint surface
+	Section string
+}
+
+// rules is the rule registry. Sections for code-bearing rules are
+// taken from the lint code registry (internal/lint/codes.go) so the
+// two stay consistent; TestRuleRegistry enforces the tie.
+var rules = map[string]ruleInfo{
+	RuleUniversal:            {Code: lint.CodeUniversal, Section: lintSection(lint.CodeUniversal)},
+	RuleGroupRequires:        {Section: "3.5.2"},
+	RuleGroupOpaque:          {Section: "3.5.2"},
+	RuleGroupTemporal:        {Section: "3.5.1"},
+	RuleGroupTemporalSliding: {Section: "3.5.1"},
+	RuleJoinRequires:         {Section: "3.5.3"},
+	RuleJoinOpaque:           {Section: "3.5.3"},
+	RuleJoinDivergent:        {Section: "3.5.3"},
+	RuleScope:                {Section: "3.5"},
+	RuleUnpartitionable:      {Code: lint.CodeUnpartitionable, Section: lintSection(lint.CodeUnpartitionable)},
+	RuleSetEmpty:             {Section: "3.4"},
+	RuleCovers:               {Section: "3.4"},
+	RuleUncovered:            {Code: lint.CodeSetExcluded, Section: lintSection(lint.CodeSetExcluded)},
+	RuleCompatible:           {Code: lint.CodeSetCompatible, Section: lintSection(lint.CodeSetCompatible)},
+	RuleIncompatible:         {Code: lint.CodeSetExcluded, Section: lintSection(lint.CodeSetExcluded)},
+	RuleDistributable:        {Section: "5.2"},
+	RuleCentralize:           {Section: "5.2"},
+}
+
+// lintSection looks a code's paper section up in the lint registry.
+func lintSection(code string) string {
+	for _, c := range lint.Codes {
+		if c.Code == code {
+			return c.Section
+		}
+	}
+	return ""
+}
+
+// ---- conclusion formatting ----
+//
+// Conclusions are canonical strings: the prover emits them and the
+// verifier recomputes them from the (independently checked) step
+// subjects, so any edit to a conclusion is detected.
+
+func conclUniversal() string { return "compatible with any routing" }
+
+func conclRequires(elem string) string { return "requires " + elem }
+
+func conclTemporal(elem string) string {
+	return "requires " + elem + " (temporal: compatibility only)"
+}
+
+func conclTemporalSliding() string {
+	return "temporal term excluded: sliding-window group allocation must not change mid-window"
+}
+
+func conclGroupOpaque() string { return "no single-attribute base lineage; contributes no element" }
+
+func conclJoinOpaque() string { return "key side has no base lineage; contributes no element" }
+
+func conclJoinDivergent(l, r string) string {
+	return fmt.Sprintf("sides trace to %s vs %s; contributes no element", l, r)
+}
+
+func conclScope(s core.Set) string { return "scope " + s.String() }
+
+func conclUnpartitionable() string { return "no compatible partitioning exists; node runs centrally" }
+
+func conclSetEmpty() string { return "candidate set is empty: routing is query-agnostic" }
+
+func conclCovers(elem, of string) string {
+	return "covered: " + elem + " is a function of " + of
+}
+
+func conclUncovered(elem string) string {
+	return "no scope element has " + elem + " as a function"
+}
+
+func conclCompatible() string { return "compatible" }
+
+func conclIncompatible() string { return "incompatible" }
+
+// ---- shared expression helpers ----
+
+// stripQual rewrites an expression with every column reference
+// unqualified and lower-cased, the normal form under which element
+// expressions compare (TCP.SrcIP == srcip).
+func stripQual(e gsql.Expr) gsql.Expr {
+	switch t := e.(type) {
+	case *gsql.ColumnRef:
+		return &gsql.ColumnRef{Name: strings.ToLower(t.Name)}
+	case *gsql.Unary:
+		return &gsql.Unary{Op: t.Op, X: stripQual(t.X)}
+	case *gsql.Binary:
+		return &gsql.Binary{Op: t.Op, L: stripQual(t.L), R: stripQual(t.R)}
+	case *gsql.FuncCall:
+		args := make([]gsql.Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = stripQual(a)
+		}
+		return &gsql.FuncCall{Name: t.Name, Star: t.Star, Args: args}
+	default:
+		return gsql.CloneExpr(e)
+	}
+}
+
+// equalNoQual compares two expressions modulo reference qualifiers
+// and identifier case.
+func equalNoQual(a, b gsql.Expr) bool {
+	return gsql.EqualExpr(stripQual(a), stripQual(b))
+}

@@ -1,0 +1,408 @@
+package prove
+
+import (
+	"fmt"
+	"strings"
+
+	"qap/internal/core"
+	"qap/internal/plan"
+)
+
+// Verify checks a serialized certificate against the plan graph
+// without re-running the partitioning inference: every step's side
+// condition is validated locally — lineage claims against the plan's
+// column lineage, coverage claims against the element-coarsening
+// lattice, verdicts against the premises they cite — and the chain
+// structure (one lineage step per GROUP BY term and key pair, scope
+// assembled from exactly the contributed elements, one coverage step
+// per candidate element, premise indices, registered rule codes and
+// sections) is enforced, so a tampered derivation is rejected.
+func Verify(g *plan.Graph, c *Certificate) error {
+	if c == nil {
+		return fmt.Errorf("prove: nil certificate")
+	}
+	if c.Version != Version {
+		return fmt.Errorf("prove: unsupported certificate version %d (want %d)", c.Version, Version)
+	}
+	if fp := Fingerprint(g); c.Fingerprint != fp {
+		return fmt.Errorf("prove: certificate fingerprint %s does not match plan %s", c.Fingerprint, fp)
+	}
+	ps, err := parseSetText(c.Set)
+	if err != nil {
+		return err
+	}
+	qnodes := g.QueryNodes()
+	if len(c.Nodes) != len(qnodes) {
+		return fmt.Errorf("prove: certificate proves %d nodes, plan has %d query nodes", len(c.Nodes), len(qnodes))
+	}
+	verdicts := map[string]string{}
+	for i, n := range qnodes {
+		np := &c.Nodes[i]
+		if np.Node != n.QueryName {
+			return fmt.Errorf("prove: node %d is %q, plan expects %q", i, np.Node, n.QueryName)
+		}
+		if np.Kind != n.Kind.String() {
+			return fmt.Errorf("prove: node %s has kind %q, plan says %q", np.Node, np.Kind, n.Kind)
+		}
+		if err := verifyNode(n, np, ps, verdicts); err != nil {
+			return fmt.Errorf("prove: node %s: %w", np.Node, err)
+		}
+		verdicts[n.QueryName] = np.Verdict
+	}
+	return nil
+}
+
+// cursor walks a node proof's steps in order.
+type cursor struct {
+	steps []Step
+	pos   int
+}
+
+func (ck *cursor) take() (*Step, int, error) {
+	if ck.pos >= len(ck.steps) {
+		return nil, -1, fmt.Errorf("derivation ends early at step %d", ck.pos+1)
+	}
+	st := &ck.steps[ck.pos]
+	idx := ck.pos
+	ck.pos++
+	return st, idx, nil
+}
+
+func (ck *cursor) expect(rule string) (*Step, int, error) {
+	st, idx, err := ck.take()
+	if err != nil {
+		return nil, -1, err
+	}
+	if st.Rule != rule {
+		return nil, -1, fmt.Errorf("step %d applies %q where %q is required", idx+1, st.Rule, rule)
+	}
+	return st, idx, nil
+}
+
+// verifyNode checks one node's derivation chain. verdicts holds the
+// already-verified verdicts of every earlier node.
+func verifyNode(n *plan.Node, np *NodeProof, ps core.Set, verdicts map[string]string) error {
+	if np.Verdict != VerdictPartitioned && np.Verdict != VerdictCentralize {
+		return fmt.Errorf("unknown verdict %q", np.Verdict)
+	}
+	// Global step hygiene: registered rule, registered code and
+	// section, premises strictly earlier.
+	for i, st := range np.Steps {
+		info, ok := rules[st.Rule]
+		if !ok {
+			return fmt.Errorf("step %d cites unregistered rule %q", i+1, st.Rule)
+		}
+		if st.Code != info.Code {
+			return fmt.Errorf("step %d (%s) carries code %q, registry says %q", i+1, st.Rule, st.Code, info.Code)
+		}
+		if st.Section != info.Section {
+			return fmt.Errorf("step %d (%s) cites section %q, registry says %q", i+1, st.Rule, st.Section, info.Section)
+		}
+		for _, p := range st.Premises {
+			if p < 0 || p >= i {
+				return fmt.Errorf("step %d premise %d is not an earlier step", i+1, p+1)
+			}
+		}
+	}
+
+	ck := &cursor{steps: np.Steps}
+	compatIdx, badIdx := -1, -1
+	if n.Kind == plan.KindSelectProject {
+		st, idx, err := ck.expect(RuleUniversal)
+		if err != nil {
+			return err
+		}
+		if st.Concl != conclUniversal() || len(st.Premises) != 0 {
+			return fmt.Errorf("step %d: malformed universal step", idx+1)
+		}
+		compatIdx = idx
+	} else {
+		scope, linIdx, err := verifyLineage(n, ck)
+		if err != nil {
+			return err
+		}
+		st, scopeIdx, err := ck.expect(RuleScope)
+		if err != nil {
+			return err
+		}
+		if !intsEqual(st.Premises, linIdx) {
+			return fmt.Errorf("step %d: scope premises %v do not cover the lineage steps %v", scopeIdx+1, st.Premises, linIdx)
+		}
+		if st.Concl != conclScope(scope) {
+			return fmt.Errorf("step %d: scope conclusion %q, lineage derives %q", scopeIdx+1, st.Concl, conclScope(scope))
+		}
+		switch {
+		case scope.IsEmpty():
+			st, idx, err := ck.expect(RuleUnpartitionable)
+			if err != nil {
+				return err
+			}
+			if st.Concl != conclUnpartitionable() || !intsEqual(st.Premises, []int{scopeIdx}) {
+				return fmt.Errorf("step %d: malformed unpartitionable step", idx+1)
+			}
+			badIdx = idx
+		case ps.IsEmpty():
+			st, idx, err := ck.expect(RuleSetEmpty)
+			if err != nil {
+				return err
+			}
+			if st.Concl != conclSetEmpty() || len(st.Premises) != 0 {
+				return fmt.Errorf("step %d: malformed set-empty step", idx+1)
+			}
+			badIdx = idx
+		default:
+			coverIdx, uncoverIdx, err := verifyCoverage(ck, ps, scope, scopeIdx)
+			if err != nil {
+				return err
+			}
+			if len(uncoverIdx) == 0 {
+				st, idx, err := ck.expect(RuleCompatible)
+				if err != nil {
+					return err
+				}
+				if st.Concl != conclCompatible() || !intsEqual(st.Premises, coverIdx) {
+					return fmt.Errorf("step %d: malformed compatible step", idx+1)
+				}
+				compatIdx = idx
+			} else {
+				st, idx, err := ck.expect(RuleIncompatible)
+				if err != nil {
+					return err
+				}
+				if st.Concl != conclIncompatible() || !intsEqual(st.Premises, uncoverIdx) {
+					return fmt.Errorf("step %d: malformed incompatible step", idx+1)
+				}
+				badIdx = idx
+			}
+		}
+	}
+
+	if err := verifyVerdict(n, np, ck, compatIdx, badIdx, verdicts); err != nil {
+		return err
+	}
+	if ck.pos != len(np.Steps) {
+		return fmt.Errorf("derivation continues past its verdict (%d extra steps)", len(np.Steps)-ck.pos)
+	}
+	return nil
+}
+
+// verifyLineage checks the per-term (aggregate) or per-key-pair
+// (join) lineage steps against the plan's column lineage and returns
+// the scope set those steps derive.
+func verifyLineage(n *plan.Node, ck *cursor) (core.Set, []int, error) {
+	var scope core.Set
+	var linIdx []int
+	check := func(st *Step, idx int, wantRule, wantTerm, wantElem, wantConcl string, e *core.Elem) error {
+		if st.Rule != wantRule {
+			return fmt.Errorf("step %d applies %q to term %q; the plan's lineage supports %q", idx+1, st.Rule, wantTerm, wantRule)
+		}
+		if st.Term != wantTerm {
+			return fmt.Errorf("step %d names term %q, plan order expects %q", idx+1, st.Term, wantTerm)
+		}
+		if st.Elem != wantElem {
+			return fmt.Errorf("step %d claims element %q, lineage traces to %q", idx+1, st.Elem, wantElem)
+		}
+		if st.Concl != wantConcl {
+			return fmt.Errorf("step %d concludes %q, rule derives %q", idx+1, st.Concl, wantConcl)
+		}
+		if len(st.Premises) != 0 {
+			return fmt.Errorf("step %d: lineage steps are axiomatic and take no premises", idx+1)
+		}
+		linIdx = append(linIdx, idx)
+		if e != nil {
+			scope = append(scope, *e)
+		}
+		return nil
+	}
+	switch n.Kind {
+	case plan.KindAggregate:
+		for _, gc := range n.GroupBy {
+			st, idx, err := ck.take()
+			if err != nil {
+				return nil, nil, err
+			}
+			lin := n.LineageOf(gc.Expr)
+			switch {
+			case lin.Base == nil:
+				err = check(st, idx, RuleGroupOpaque, gc.Name, "", conclGroupOpaque(), nil)
+			case lin.Temporal && n.WindowPanes > 1:
+				e := core.Elem{Attr: lin.Base.Attr, Expr: lin.Base.Expr}
+				err = check(st, idx, RuleGroupTemporalSliding, gc.Name, e.String(), conclTemporalSliding(), nil)
+			case lin.Temporal:
+				e := core.Elem{Attr: lin.Base.Attr, Expr: lin.Base.Expr}
+				err = check(st, idx, RuleGroupTemporal, gc.Name, e.String(), conclTemporal(e.String()), &e)
+			default:
+				e := core.Elem{Attr: lin.Base.Attr, Expr: lin.Base.Expr}
+				err = check(st, idx, RuleGroupRequires, gc.Name, e.String(), conclRequires(e.String()), &e)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	case plan.KindJoin:
+		for i := range n.LeftKeys {
+			st, idx, err := ck.take()
+			if err != nil {
+				return nil, nil, err
+			}
+			term := n.LeftKeys[i].String() + " = " + n.RightKeys[i].String()
+			ll := n.SideLineage(0, n.LeftKeys[i])
+			rl := n.SideLineage(1, n.RightKeys[i])
+			switch {
+			case ll.Base == nil || rl.Base == nil:
+				err = check(st, idx, RuleJoinOpaque, term, "", conclJoinOpaque(), nil)
+			case !sameAttrName(ll.Base.Attr, rl.Base.Attr) || !equalNoQual(ll.Base.Expr, rl.Base.Expr):
+				le := core.Elem{Attr: ll.Base.Attr, Expr: ll.Base.Expr}
+				re := core.Elem{Attr: rl.Base.Attr, Expr: rl.Base.Expr}
+				err = check(st, idx, RuleJoinDivergent, term, "", conclJoinDivergent(le.String(), re.String()), nil)
+			default:
+				e := core.Elem{Attr: ll.Base.Attr, Expr: ll.Base.Expr}
+				err = check(st, idx, RuleJoinRequires, term, e.String(), conclRequires(e.String()), &e)
+			}
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("kind %s has no lineage rules", n.Kind)
+	}
+	return scope.Normalize(), linIdx, nil
+}
+
+// verifyCoverage checks one covers/uncovered step per candidate
+// element, in canonical set order, re-deriving each claim on the
+// element-coarsening lattice.
+func verifyCoverage(ck *cursor, ps, scope core.Set, scopeIdx int) (coverIdx, uncoverIdx []int, err error) {
+	for _, e := range ps {
+		st, idx, err := ck.take()
+		if err != nil {
+			return nil, nil, err
+		}
+		if st.Elem != e.String() {
+			return nil, nil, fmt.Errorf("step %d covers element %q, set order expects %q", idx+1, st.Elem, e.String())
+		}
+		if !intsEqual(st.Premises, []int{scopeIdx}) {
+			return nil, nil, fmt.Errorf("step %d must cite the scope step as its premise", idx+1)
+		}
+		switch st.Rule {
+		case RuleCovers:
+			var of *core.Elem
+			for i := range scope {
+				if scope[i].String() == st.Of {
+					of = &scope[i]
+					break
+				}
+			}
+			if of == nil {
+				return nil, nil, fmt.Errorf("step %d cites %q, which is not a scope element", idx+1, st.Of)
+			}
+			if !core.IsCoarseningOf(e, *of) {
+				return nil, nil, fmt.Errorf("step %d claims %s is a function of %s; the lattice disagrees", idx+1, st.Elem, st.Of)
+			}
+			if st.Concl != conclCovers(st.Elem, st.Of) {
+				return nil, nil, fmt.Errorf("step %d: malformed covers conclusion", idx+1)
+			}
+			coverIdx = append(coverIdx, idx)
+		case RuleUncovered:
+			for _, g := range scope {
+				if core.IsCoarseningOf(e, g) {
+					return nil, nil, fmt.Errorf("step %d claims %s uncovered, but scope element %s covers it", idx+1, st.Elem, g.String())
+				}
+			}
+			if st.Of != "" || st.Concl != conclUncovered(st.Elem) {
+				return nil, nil, fmt.Errorf("step %d: malformed uncovered step", idx+1)
+			}
+			uncoverIdx = append(uncoverIdx, idx)
+		default:
+			return nil, nil, fmt.Errorf("step %d applies %q where a coverage rule is required", idx+1, st.Rule)
+		}
+	}
+	return coverIdx, uncoverIdx, nil
+}
+
+// verifyVerdict checks the final step and that it matches the node
+// proof's declared verdict.
+func verifyVerdict(n *plan.Node, np *NodeProof, ck *cursor, compatIdx, badIdx int, verdicts map[string]string) error {
+	st, idx, err := ck.take()
+	if err != nil {
+		return err
+	}
+	switch st.Rule {
+	case RuleDistributable:
+		if np.Verdict != VerdictPartitioned || st.Concl != VerdictPartitioned {
+			return fmt.Errorf("step %d: distributable must conclude %s", idx+1, VerdictPartitioned)
+		}
+		if compatIdx < 0 || !intsEqual(st.Premises, []int{compatIdx}) {
+			return fmt.Errorf("step %d: distributable must cite the node's compatibility step", idx+1)
+		}
+		if !strsEqual(st.Deps, inputNames(n)) {
+			return fmt.Errorf("step %d: deps %v do not list the node's inputs %v", idx+1, st.Deps, inputNames(n))
+		}
+		for _, in := range n.Inputs {
+			if in.Kind == plan.KindSource {
+				continue // axiomatically partitioned by the splitter
+			}
+			if verdicts[in.QueryName] != VerdictPartitioned {
+				return fmt.Errorf("step %d: input %s is not proven %s", idx+1, in.QueryName, VerdictPartitioned)
+			}
+		}
+	case RuleCentralize:
+		if np.Verdict != VerdictCentralize || st.Concl != VerdictCentralize {
+			return fmt.Errorf("step %d: centralize must conclude %s", idx+1, VerdictCentralize)
+		}
+		switch {
+		case len(st.Premises) == 1 && len(st.Deps) == 0:
+			if badIdx < 0 || st.Premises[0] != badIdx {
+				return fmt.Errorf("step %d: centralize cites step %d, which does not disqualify the node", idx+1, st.Premises[0]+1)
+			}
+		case len(st.Premises) == 0 && len(st.Deps) > 0:
+			for _, dep := range st.Deps {
+				in := inputNamed(n, dep)
+				if in == nil || in.Kind == plan.KindSource {
+					return fmt.Errorf("step %d: dep %q is not a query input of the node", idx+1, dep)
+				}
+				if verdicts[in.QueryName] == VerdictPartitioned {
+					return fmt.Errorf("step %d: dep %q is proven %s and cannot force centralization", idx+1, dep, VerdictPartitioned)
+				}
+			}
+		default:
+			return fmt.Errorf("step %d: centralize needs either one disqualifying premise or centralizing inputs", idx+1)
+		}
+	default:
+		return fmt.Errorf("step %d applies %q where a verdict rule is required", idx+1, st.Rule)
+	}
+	return nil
+}
+
+func inputNamed(n *plan.Node, name string) *plan.Node {
+	for _, in := range n.Inputs {
+		if in.QueryName == name {
+			return in
+		}
+	}
+	return nil
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func strsEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !strings.EqualFold(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

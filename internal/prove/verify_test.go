@@ -1,0 +1,150 @@
+package prove_test
+
+import (
+	"bytes"
+	"testing"
+
+	"qap"
+	"qap/internal/prove"
+)
+
+// TestVerifyRejectsCorrupted tampers with a valid certificate in one
+// targeted way per case and checks the verifier (or the strict
+// parser) rejects every mutation.
+func TestVerifyRejectsCorrupted(t *testing.T) {
+	sys := load(t, figure1)
+	fresh := func() *prove.Certificate {
+		return prove.Prove(sys.Graph, qap.MustParseSet("srcIP & 0xFFF0"))
+	}
+	if err := prove.Verify(sys.Graph, fresh()); err != nil {
+		t.Fatalf("baseline certificate rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		set    string // baseline set; default "srcIP & 0xFFF0"
+		mutate func(c *prove.Certificate)
+	}{
+		{"verdict flipped to partitioned", "destIP", func(c *prove.Certificate) {
+			// flow_pairs centralizes under destIP (its join key is
+			// srcIP); forging the verdict must not survive.
+			c.Nodes[2].Verdict = prove.VerdictPartitioned
+		}},
+		{"verdict flipped to centralize", "", func(c *prove.Certificate) {
+			c.Nodes[0].Verdict = prove.VerdictCentralize
+		}},
+		{"rule renamed", "", func(c *prove.Certificate) {
+			c.Nodes[0].Steps[0].Rule = prove.RuleJoinRequires
+		}},
+		{"unregistered rule", "", func(c *prove.Certificate) {
+			c.Nodes[0].Steps[0].Rule = "group-requires-v2"
+		}},
+		{"step dropped", "", func(c *prove.Certificate) {
+			c.Nodes[0].Steps = c.Nodes[0].Steps[1:]
+		}},
+		{"step duplicated", "", func(c *prove.Certificate) {
+			st := c.Nodes[0].Steps[0]
+			c.Nodes[0].Steps = append([]prove.Step{st}, c.Nodes[0].Steps...)
+		}},
+		{"lineage element forged", "", func(c *prove.Certificate) {
+			// flows' first group term traces to time/60, not destIP.
+			c.Nodes[0].Steps[0].Elem = "destIP"
+		}},
+		{"covers target forged", "", func(c *prove.Certificate) {
+			for i := range c.Nodes[0].Steps {
+				st := &c.Nodes[0].Steps[i]
+				if st.Rule == prove.RuleCovers {
+					st.Of = "destIP"
+					return
+				}
+			}
+			panic("no covers step")
+		}},
+		{"conclusion edited", "", func(c *prove.Certificate) {
+			c.Nodes[0].Steps[0].Concl = "requires destIP"
+		}},
+		{"premise redirected", "", func(c *prove.Certificate) {
+			for i := range c.Nodes[0].Steps {
+				st := &c.Nodes[0].Steps[i]
+				if st.Rule == prove.RuleScope {
+					st.Premises = st.Premises[:1]
+					return
+				}
+			}
+			panic("no scope step")
+		}},
+		{"section edited", "", func(c *prove.Certificate) {
+			c.Nodes[0].Steps[0].Section = "9.9"
+		}},
+		{"code edited", "", func(c *prove.Certificate) {
+			c.Nodes[0].Steps[0].Code = "QAP003"
+		}},
+		{"set rewritten", "", func(c *prove.Certificate) {
+			c.Set = "(destIP)"
+		}},
+		{"set non-canonical", "", func(c *prove.Certificate) {
+			c.Set = "(srcIP&0xFFF0)"
+		}},
+		{"fingerprint rewritten", "", func(c *prove.Certificate) {
+			c.Fingerprint = "0000000000000000000000000000dead"
+		}},
+		{"nodes reordered", "", func(c *prove.Certificate) {
+			c.Nodes[0], c.Nodes[1] = c.Nodes[1], c.Nodes[0]
+		}},
+		{"node proof dropped", "", func(c *prove.Certificate) {
+			c.Nodes = c.Nodes[:len(c.Nodes)-1]
+		}},
+		{"deps forged on verdict", "", func(c *prove.Certificate) {
+			last := len(c.Nodes[0].Steps) - 1
+			c.Nodes[0].Steps[last].Deps = []string{"flows"}
+		}},
+	}
+	for _, tc := range cases {
+		c := fresh()
+		if tc.set != "" {
+			c = prove.Prove(sys.Graph, qap.MustParseSet(tc.set))
+		}
+		tc.mutate(c)
+		if err := prove.Verify(sys.Graph, c); err == nil {
+			t.Errorf("%s: verifier accepted the tampered certificate", tc.name)
+		}
+	}
+}
+
+// TestVerifyRejectsSplicedProof grafts a node proof proven under one
+// set into a certificate for another: the coverage side conditions
+// must catch it.
+func TestVerifyRejectsSplicedProof(t *testing.T) {
+	sys := load(t, figure1)
+	src := prove.Prove(sys.Graph, qap.MustParseSet("srcIP"))
+	dst := prove.Prove(sys.Graph, qap.MustParseSet("destIP"))
+	// heavy_flows is partitioned under srcIP but centralizes under
+	// destIP; splice the favorable proof in.
+	dst.Nodes[1] = src.Nodes[1]
+	if err := prove.Verify(sys.Graph, dst); err == nil {
+		t.Error("verifier accepted a node proof spliced from another set's certificate")
+	}
+}
+
+// TestParseRejectsMalformed covers the strict-decode surface.
+func TestParseRejectsMalformed(t *testing.T) {
+	sys := load(t, figure1)
+	cert := prove.Prove(sys.Graph, qap.MustParseSet("srcIP"))
+	b, err := cert.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := map[string][]byte{
+		"unknown field":    append(bytes.TrimRight(bytes.TrimRight(b, "\n"), "}"), []byte(`,"extra":1}`)...),
+		"trailing garbage": append(append([]byte{}, b...), []byte("junk")...),
+		"trailing json":    append(append([]byte{}, b...), []byte("{}")...),
+		"wrong version":    bytes.Replace(b, []byte(`"version":1`), []byte(`"version":2`), 1),
+		"not json":         []byte("certificate"),
+		"empty":            nil,
+	}
+	for name, input := range bad {
+		if _, err := prove.ParseCertificate(input); err == nil {
+			t.Errorf("%s: ParseCertificate accepted it", name)
+		}
+	}
+}
