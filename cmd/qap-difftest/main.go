@@ -8,13 +8,14 @@
 // Usage:
 //
 //	qap-difftest [-seed n] [-n count] [-hosts list] [-workers list]
-//	             [-batches list] [-v]
+//	             [-batches list] [-live] [-v]
 //
 // Examples:
 //
 //	qap-difftest -n 50                 # seeds 0..49
 //	qap-difftest -seed 1337            # reproduce one seed
 //	qap-difftest -seed 7 -v            # verbose: show the workload too
+//	qap-difftest -n 5 -live            # include the live TCP backend axis
 package main
 
 import (
@@ -36,6 +37,7 @@ type appFlags struct {
 	hosts   string
 	workers string
 	batches string
+	live    bool
 	verbose bool
 }
 
@@ -46,6 +48,7 @@ func defineFlags(fs *flag.FlagSet) *appFlags {
 	fs.StringVar(&f.hosts, "hosts", "1,2,4", "comma-separated host counts to sweep")
 	fs.StringVar(&f.workers, "workers", "1,4", "comma-separated engine worker counts to sweep (results are identical for any value)")
 	fs.StringVar(&f.batches, "batches", "1,7,64,1024", "comma-separated operator batch sizes for the batched-equivalence section (results are identical for any value)")
+	fs.BoolVar(&f.live, "live", false, "add the live-vs-sim axis: re-run every cell on the live TCP backend and inject transport faults")
 	fs.BoolVar(&f.verbose, "v", false, "print the generated workload for passing seeds too")
 	return f
 }
@@ -60,6 +63,7 @@ func main() {
 		Hosts:      parseInts(*hosts),
 		Workers:    parseInts(*workers),
 		BatchSizes: parseInts(*batches),
+		Live:       fl.live,
 	}
 	seeds := make([]int64, 0, *n)
 	if *seed >= 0 {

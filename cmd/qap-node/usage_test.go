@@ -1,0 +1,12 @@
+package main
+
+import (
+	"flag"
+	"testing"
+
+	"qap/internal/cmdtest"
+)
+
+func TestUsageGolden(t *testing.T) {
+	cmdtest.CheckUsage(t, "qap-node", func(fs *flag.FlagSet) { defineFlags(fs) })
+}

@@ -16,6 +16,14 @@
 //	qap-run -drift -adaptive                            # drift + repartition
 //	qap-run -drift -adaptive -trace-out run.jsonl       # causal trace
 //	qap-run -partition srcIP -telemetry-addr :8080 -telemetry-hold 60s
+//	qap-run -partition srcIP -engine live               # TCP cluster backend
+//	qap-run -engine live -nodes 'host1:9430,host2:9430' # separate-process nodes
+//
+// With -engine live each simulated host runs as a node behind a real
+// TCP listener (in-process by default; with -nodes, separate qap-node
+// processes) and the splitter ships serialized tuple batches over
+// persistent connections with credit-based backpressure. Outputs,
+// metrics, and traces are byte-identical to the simulator's.
 //
 // With -drift the generated trace gains a second phase with the
 // source/destination pools swapped and the rate trebled; with
@@ -44,6 +52,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"qap"
@@ -83,6 +92,10 @@ type appFlags struct {
 	traceRing     int
 	telemetryAddr string
 	telemetryHold time.Duration
+	engine        string
+	nodes         string
+	netTimeout    time.Duration
+	driveTimeout  time.Duration
 }
 
 func defineFlags(fs *flag.FlagSet) *appFlags {
@@ -115,6 +128,10 @@ func defineFlags(fs *flag.FlagSet) *appFlags {
 	fs.IntVar(&f.traceRing, "trace-ring", 0, "bound the causal trace to the last n events per island (flight recorder; 0 = whole-run capture)")
 	fs.StringVar(&f.telemetryAddr, "telemetry-addr", "", "serve live telemetry over HTTP on this address: /metrics, /debug/vars, /debug/pprof/")
 	fs.DurationVar(&f.telemetryHold, "telemetry-hold", 0, "keep serving telemetry this long after the run before exiting (0 = exit immediately)")
+	fs.StringVar(&f.engine, "engine", "sim", "cluster backend: sim (in-process simulator) or live (TCP nodes; results are identical)")
+	fs.StringVar(&f.nodes, "nodes", "", "comma-separated qap-node addresses, one per host (live engine; empty = in-process nodes)")
+	fs.DurationVar(&f.netTimeout, "net-timeout", 0, "live transport timeout: dial, read, and credit waits (0 = 30s default)")
+	fs.DurationVar(&f.driveTimeout, "drive-timeout", 0, "fail the run if the drive loop stalls this long (0 = live transport timeout; sim unguarded)")
 	return f
 }
 
@@ -221,6 +238,9 @@ func main() {
 		BatchSize:         f.batch,
 		CollectStats:      f.metricsOut != "" || f.report || f.promOut != "" || f.telemetryAddr != "",
 		LoadWindowSec:     f.loadWindow,
+		Engine:            f.engine,
+		Live:              qap.LiveOptions{Nodes: splitNodes(f.nodes), Timeout: f.netTimeout},
+		DriveTimeout:      f.driveTimeout,
 	}
 	if tc := f.traceConfig(); tc != nil {
 		baseCfg.Trace = tc
@@ -409,6 +429,18 @@ func printOutputs(res *qap.RunResult, show int) {
 			fmt.Printf("  %s\n", r)
 		}
 	}
+}
+
+// splitNodes parses the -nodes list; empty means in-process nodes.
+func splitNodes(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }
 
 func fatal(err error) {

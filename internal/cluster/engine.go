@@ -48,7 +48,10 @@ package cluster
 // and parallel results are byte-identical to sequential ones.
 
 import (
+	"fmt"
+	"strings"
 	"sync"
+	"time"
 
 	"qap/internal/exec"
 	"qap/internal/netgen"
@@ -70,6 +73,13 @@ const defaultBatchSize = 256
 // most this many messages ahead of a worker, which also bounds the
 // central replay loop's pending queues.
 const feedChanCap = 2
+
+// testStallWorkers, when non-nil, blocks every worker just before it
+// ships a link batch until the channel is closed — the test harness for
+// the DriveTimeout guard (a wedged worker must surface as a positioned
+// error, not a hang). Set and cleared only between runs; runParallel
+// reads it once at start.
+var testStallWorkers chan struct{}
 
 // Canonical tags. Within one round the sequential engine performs
 // watermark advances (cursor order x partition order), then tuple
@@ -222,28 +232,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 	bs := r.batchSize
 	batched := bs > 1
 
-	// Pre-resolve every island's advance and flush target lists in
-	// canonical (= tag) order. Advance walks the fed streams in cursor
-	// order; flush walks every router in sorted-name order.
-	advTargets := make([][]tagged, hosts) //qap:allow hotalloc -- driver setup, once per run
-	for sIdx, c := range cursors {
-		for p, out := range c.rt.outs {
-			id := c.rt.islands[p]
-			advTargets[id] = append(advTargets[id], tagged{
-				tag: phaseAdv | uint64(sIdx*r.plan.Partitions+p), c: out,
-			})
-		}
-	}
-	flushTargets := make([][]tagged, hosts) //qap:allow hotalloc -- driver setup, once per run
-	for fIdx, name := range r.routerNames {
-		rt := r.routers[name]
-		for p, out := range rt.outs {
-			id := rt.islands[p]
-			flushTargets[id] = append(flushTargets[id], tagged{
-				tag: phaseFlush | uint64(fIdx*r.plan.Partitions+p), c: out,
-			})
-		}
-	}
+	advTargets, flushTargets := r.buildTargets(cursors)
 
 	feeds := make([]chan feedMsg, workers) //qap:allow hotalloc -- driver setup, once per run
 	for g := range feeds {
@@ -252,6 +241,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 	inbox := make(chan linkBatch, 2*hosts) //qap:allow hotalloc -- driver setup, once per run
 
 	// Leaf workers: worker g executes islands g, g+W, 2W, ...
+	stall := testStallWorkers
 	var workerWG sync.WaitGroup
 	for g := 0; g < workers; g++ {
 		workerWG.Add(1)
@@ -303,6 +293,9 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 				}
 				items := isl.outbox
 				isl.outbox = nil
+				if stall != nil {
+					<-stall
+				}
 				inbox <- linkBatch{isl: isl.id, through: last, items: items, done: msg.last}
 			}
 		}(feeds[g])
@@ -427,9 +420,78 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		}
 	}()
 
-	// Central replay: K-way merge of the islands' link items by
-	// (round, tag). An island with an empty pending queue bounds its
-	// next item at (through+1, 0) until its final batch arrives.
+	// Central replay on the calling goroutine, with the optional drive
+	// timeout guarding each receive so a wedged worker surfaces as a
+	// positioned error instead of hanging the run.
+	var timer *time.Timer
+	recv := func(waiting string) (linkBatch, error) { //qap:allow hotalloc -- replay guard closure, built once per run
+		if r.driveTimeout <= 0 {
+			return <-inbox, nil
+		}
+		if timer == nil {
+			timer = time.NewTimer(r.driveTimeout) //qap:allow walltime -- stall guard only; a timeout poisons the run, never shapes its outputs
+		} else {
+			timer.Reset(r.driveTimeout)
+		}
+		select {
+		case b := <-inbox:
+			if !timer.Stop() {
+				<-timer.C
+			}
+			return b, nil
+		case <-timer.C:
+			return linkBatch{}, fmt.Errorf("cluster: parallel drive stalled: no link batch within %s (%s)",
+				r.driveTimeout, waiting)
+		}
+	}
+	if err := r.replayLinks(hosts, recv); err != nil {
+		// The driver and workers are abandoned mid-stream; the run is
+		// poisoned and only the error survives.
+		return nil, err
+	}
+
+	driverWG.Wait()
+	workerWG.Wait()
+	return r.finalize(dAny, dMax), nil
+}
+
+// buildTargets pre-resolves every island's advance and flush target
+// lists in canonical (= tag) order. Advance walks the fed streams in
+// cursor order; flush walks every router in sorted-name order.
+func (r *Runner) buildTargets(cursors []*streamCursor) (advTargets, flushTargets [][]tagged) {
+	hosts := r.plan.Hosts
+	advTargets = make([][]tagged, hosts)
+	for sIdx, c := range cursors {
+		for p, out := range c.rt.outs {
+			id := c.rt.islands[p]
+			advTargets[id] = append(advTargets[id], tagged{
+				tag: phaseAdv | uint64(sIdx*r.plan.Partitions+p), c: out,
+			})
+		}
+	}
+	flushTargets = make([][]tagged, hosts)
+	for fIdx, name := range r.routerNames {
+		rt := r.routers[name]
+		for p, out := range rt.outs {
+			id := rt.islands[p]
+			flushTargets[id] = append(flushTargets[id], tagged{
+				tag: phaseFlush | uint64(fIdx*r.plan.Partitions+p), c: out,
+			})
+		}
+	}
+	return advTargets, flushTargets
+}
+
+// replayLinks is the central replay loop shared by the parallel engine
+// and the live backend: a K-way merge of the islands' link items by
+// (round, tag), applied to the central island. An island with an empty
+// pending queue bounds its next item at (through+1, 0) until its final
+// batch arrives. recv supplies the next link batch from whichever
+// transport the engine uses (channel or TCP); its argument describes
+// which islands the merge is blocked on, for positioned stall errors.
+//
+//qap:hot
+func (r *Runner) replayLinks(hosts int, recv func(waiting string) (linkBatch, error)) error {
 	pending := make([][]linkItem, hosts) //qap:allow hotalloc -- replay setup, once per run
 	heads := make([]int, hosts)          //qap:allow hotalloc -- replay setup, once per run
 	through := make([]int, hosts)        //qap:allow hotalloc -- replay setup, once per run
@@ -437,7 +499,6 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 	for i := range through {
 		through[i] = -1
 	}
-	doneCount := 0
 	for {
 		best, bestIsItem := -1, false
 		var bestRound int
@@ -459,7 +520,7 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			}
 		}
 		if best == -1 {
-			break // every island done and drained
+			return nil // every island done and drained
 		}
 		if bestIsItem {
 			it := &pending[best][heads[best]]
@@ -488,9 +549,12 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 			}
 			continue
 		}
-		// The merge is blocked on an island that has not shipped far
+		// The merge is blocked on islands that have not shipped far
 		// enough; receive more batches.
-		b := <-inbox
+		b, err := recv(replayWaiting(through, done))
+		if err != nil {
+			return err
+		}
 		r.engLinkItems += int64(len(b.items))
 		if len(pending[b.isl]) == 0 {
 			pending[b.isl], heads[b.isl] = b.items, 0
@@ -500,14 +564,27 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		if b.through > through[b.isl] {
 			through[b.isl] = b.through
 		}
-		if b.done && !done[b.isl] {
+		if b.done {
 			done[b.isl] = true
-			doneCount++
 		}
 	}
-	_ = doneCount
+}
 
-	driverWG.Wait()
-	workerWG.Wait()
-	return r.finalize(dAny, dMax), nil
+// replayWaiting renders which islands the replay merge is waiting on —
+// the coordinates of a drive stall.
+func replayWaiting(through []int, done []bool) string {
+	var sb strings.Builder
+	for i := range through {
+		if done[i] {
+			continue
+		}
+		if sb.Len() > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "island %d shipped through round %d", i, through[i])
+	}
+	if sb.Len() == 0 {
+		return "all islands done"
+	}
+	return "waiting on " + sb.String()
 }

@@ -1,0 +1,680 @@
+package cluster
+
+// The live TCP backend (RunConfig.Engine == EngineLive).
+//
+// The live engine is the paper's Section 3.3 architecture made real:
+// each leaf island runs as a node behind a TCP listener (in-process
+// goroutines by default, separate qap-node processes via
+// LiveConfig.Nodes), the driver plays the splitter and ships every
+// island its hash-routed rounds as length-prefixed serialized tuple
+// batches over a persistent connection with credit-based backpressure,
+// and the nodes ship their captured island-crossing deliveries back as
+// link messages. The collector side feeds those into the exact same
+// central replay merge the simulator's parallel engine uses
+// (replayLinks), so canonical outputs, OpStats, monitoring series, and
+// trace bytes are byte-identical to the simulator:
+//
+//   - The driver reproduces the parallel engine's round structure
+//     verbatim — same rounds, same tags, same per-destination grouping
+//     (scalar rounds ship maximal same-destination runs whose tags the
+//     node re-expands per tuple; batched rounds ship the batched
+//     driver's per-partition groups) — so each node executes exactly
+//     the event sequence the simulator's worker would.
+//
+//   - Tuples travel in the exec batch wire codec, which round-trips
+//     every value bit-exactly (floats as IEEE bits), so operator state
+//     evolves identically on both sides of the wire.
+//
+//   - The transport (internal/live) delivers each direction's frames
+//     exactly once and in order across reconnects, so a dropped,
+//     duplicated, or stalled connection changes nothing but wall time.
+//
+// In-process nodes execute directly against this Runner's islands, so
+// finalize sees their shards as usual. Remote nodes (qap-node) execute
+// against their own compiled copy of the plan and ship their island
+// shards back in a final result frame, which installHostShard copies
+// into the local islands before finalize.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"qap/internal/exec"
+	"qap/internal/live"
+	"qap/internal/netgen"
+	"qap/internal/obs"
+	"qap/internal/obs/trace"
+	"qap/internal/sqlval"
+)
+
+// LiveConfig tunes the live backend.
+type LiveConfig struct {
+	// Nodes lists one remote qap-node address per leaf host. Empty (the
+	// default) runs every node in-process on its own goroutine.
+	Nodes []string
+	// Timeout bounds every blocking transport step (default 30s); a
+	// wedged node fails the run with a positioned error.
+	Timeout time.Duration
+	// Credits is the per-host feed credit window (unacknowledged feed
+	// messages the splitter may hold; default 4) — the backpressure
+	// bound on splitter memory.
+	Credits int
+	// LinkWindow bounds a node's unacknowledged link frames (default
+	// 256).
+	LinkWindow int
+	// MaxAttempts bounds consecutive failed connection attempts per
+	// host before the run fails (default 8).
+	MaxAttempts int
+	// AcceptGrace is how long a served host waits for its first
+	// connection (ServeLiveHost; default the transport timeout).
+	AcceptGrace time.Duration
+	// Faults injects deterministic transport misbehavior (dropped,
+	// duplicated, stalled, cut connections) for recovery testing.
+	Faults *live.FaultPlan
+}
+
+// transportTimeout is the effective live transport timeout.
+func (c LiveConfig) transportTimeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return 30 * time.Second
+}
+
+// liveTransportConfig maps LiveConfig onto the transport knobs.
+func (r *Runner) liveTransportConfig() live.Config {
+	return live.Config{
+		Timeout:     r.liveCfg.Timeout,
+		Credits:     r.liveCfg.Credits,
+		LinkWindow:  r.liveCfg.LinkWindow,
+		MaxAttempts: r.liveCfg.MaxAttempts,
+	}
+}
+
+// runLive executes the trace on the live TCP backend. The caller
+// goroutine runs the central replay loop, exactly like runParallel.
+func (r *Runner) runLive(cursors []*streamCursor) (*Result, error) {
+	hosts := r.plan.Hosts
+	bs := r.batchSize
+
+	advTargets, flushTargets := r.buildTargets(cursors)
+	outs := make([][]exec.Consumer, len(cursors))
+	streams := make([]string, len(cursors))
+	for i, c := range cursors {
+		outs[i] = c.rt.outs
+		streams[i] = c.name
+	}
+	fp := r.liveFingerprint()
+
+	lcfg := r.liveTransportConfig()
+	if r.liveCfg.Faults != nil {
+		lcfg.Dial = r.liveCfg.Faults.Dial(live.DefaultDial(r.liveCfg.transportTimeout()))
+	}
+	// The replay receive guard: an explicit DriveTimeout wins, else the
+	// transport timeout (the live backend never runs unguarded).
+	recvTimeout := r.driveTimeout
+	if recvTimeout <= 0 {
+		recvTimeout = r.liveCfg.transportTimeout()
+	}
+
+	remote := len(r.liveCfg.Nodes) > 0
+	if remote && len(r.liveCfg.Nodes) != hosts {
+		return nil, fmt.Errorf("cluster: live: %d node addresses for %d hosts", len(r.liveCfg.Nodes), hosts)
+	}
+	var nodes []*live.Node
+	var nodeWG sync.WaitGroup
+	nodeErr := make(chan error, hosts+1)
+	addrs := r.liveCfg.Nodes
+	if !remote {
+		for h := 0; h < hosts; h++ {
+			x := &islandExec{
+				r: r, isl: r.islands[h],
+				adv: advTargets[h], flush: flushTargets[h],
+				outs: outs, bs: bs,
+			}
+			ncfg := lcfg
+			if r.liveCfg.Faults != nil {
+				ncfg.WrapAccept = r.liveCfg.Faults.WrapAccept(h)
+			}
+			n, err := live.NewNode(ncfg, live.NodeOptions{
+				Host:        h,
+				Fingerprint: fp,
+				BatchSize:   bs,
+				NewExecutor: func(*live.Hello) (live.Executor, error) { return x, nil },
+			}, "")
+			if err != nil {
+				for _, prev := range nodes {
+					prev.Close()
+				}
+				return nil, err
+			}
+			nodes = append(nodes, n)
+			addrs = append(addrs, n.Addr())
+		}
+		for _, n := range nodes {
+			nodeWG.Add(1)
+			go func(n *live.Node) {
+				defer nodeWG.Done()
+				if err := n.Serve(); err != nil {
+					select {
+					case nodeErr <- err:
+					default:
+					}
+				}
+			}(n)
+		}
+	}
+
+	sp := live.NewSplitter(lcfg, live.Hello{BatchSize: bs, Streams: streams, Fingerprint: fp}, addrs)
+	sp.Start()
+	closeAll := func() {
+		sp.Close()
+		for _, n := range nodes {
+			n.Close()
+		}
+		nodeWG.Wait()
+	}
+
+	driveErr := make(chan error, 1)
+	var driverWG sync.WaitGroup
+	var dAny bool
+	var dMax uint64
+	driverWG.Add(1)
+	go func() {
+		defer driverWG.Done()
+		if err := r.driveLive(sp, cursors, &dAny, &dMax); err != nil {
+			driveErr <- err
+		}
+	}()
+
+	recv := func(waiting string) (linkBatch, error) {
+		timer := time.NewTimer(recvTimeout) //qap:allow walltime -- stall guard only; a timeout poisons the run, never shapes its outputs
+		defer timer.Stop()
+		select {
+		case m := <-sp.Links():
+			return r.linkBatchOf(m)
+		case err := <-sp.Errs():
+			return linkBatch{}, err
+		case err := <-nodeErr:
+			return linkBatch{}, err
+		case err := <-driveErr:
+			return linkBatch{}, err
+		case <-timer.C:
+			return linkBatch{}, fmt.Errorf("cluster: live drive stalled: no link message within %s (%s)",
+				recvTimeout, waiting)
+		}
+	}
+	if err := r.replayLinks(hosts, recv); err != nil {
+		closeAll()
+		return nil, err
+	}
+
+	// Every done link has been applied, so the driver has shipped its
+	// last feed; join it and surface any late error.
+	driverWG.Wait()
+	select {
+	case err := <-driveErr:
+		closeAll()
+		return nil, err
+	default:
+	}
+	// Wait for the peers to finish draining acks (and to collect the
+	// remote result frames).
+	if err := sp.Wait(recvTimeout); err != nil {
+		closeAll()
+		return nil, err
+	}
+	if remote {
+		for h := 0; h < hosts; h++ {
+			if err := r.installHostShard(h, sp.Result(h)); err != nil {
+				closeAll()
+				return nil, err
+			}
+		}
+	}
+	// In-process nodes exit on their own once fully acknowledged;
+	// closeAll is then a no-op join that also gives finalize a
+	// happens-before edge on every island shard.
+	closeAll()
+	return r.finalize(dAny, dMax), nil
+}
+
+// driveLive is the live splitter: the same canonical cursor merge,
+// routing, round structure, and tagging as the simulator's drivers,
+// shipped as serialized feed messages instead of channel sends.
+func (r *Runner) driveLive(sp *live.Splitter, cursors []*streamCursor, dAny *bool, dMax *uint64) error {
+	hosts := r.plan.Hosts
+	bs := r.batchSize
+	batched := bs > 1
+
+	cursorIdx := make(map[*streamCursor]int, len(cursors))
+	for i, c := range cursors {
+		cursorIdx[c] = i
+	}
+
+	pend := make([][]live.Round, hosts)
+	pendingRounds := 0
+	round := -1
+	ship := func(last bool) error {
+		for i := 0; i < hosts; i++ {
+			m := &live.FeedMsg{Last: last, Rounds: pend[i]}
+			if err := sp.SendFeed(i, m); err != nil {
+				return err
+			}
+			// SendFeed serialized the message; recycle the containers.
+			for ri := range pend[i] {
+				for gi := range pend[i][ri].Groups {
+					exec.PutBatch(pend[i][ri].Groups[gi].Tuples)
+				}
+			}
+			pend[i] = nil
+		}
+		pendingRounds = 0
+		r.engBatches += int64(hosts)
+		return nil
+	}
+	openRound := func(wm uint64) {
+		round++
+		r.engRounds++
+		for i := 0; i < hosts; i++ {
+			pend[i] = append(pend[i], live.Round{Round: round, WM: wm, Adv: true})
+		}
+	}
+	if batched {
+		for _, c := range cursors {
+			c.gidx = make([]int, len(c.rt.outs))
+			c.gstamp = make([]int, len(c.rt.outs))
+			for p := range c.gstamp {
+				c.gstamp[p] = -1
+			}
+		}
+	}
+	var valSlab []sqlval.Value
+	var lastTime uint64
+	first := true
+	seq := uint64(0) // round-local push sequence
+	for {
+		best := nextCursor(cursors)
+		if best == nil {
+			break
+		}
+		pk := &best.packets[best.pos]
+		best.pos++
+		*dAny = true
+		if pk.Time > *dMax {
+			*dMax = pk.Time
+		}
+		if first || pk.Time > lastTime {
+			if !first {
+				if r.trDriver != nil {
+					r.trDriver.Emit(trace.Event{Kind: trace.KindRound, Round: round, WM: lastTime, Rows: int64(seq)})
+				}
+				pendingRounds++
+				if pendingRounds >= r.batchRounds {
+					if err := ship(false); err != nil {
+						return err
+					}
+				}
+			}
+			openRound(pk.Time)
+			seq = 0
+			lastTime, first = pk.Time, false
+		}
+		if cap(valSlab)-len(valSlab) < netgen.TupleCols {
+			valSlab = make([]sqlval.Value, 0, tupleSlabVals)
+		}
+		var t exec.Tuple
+		valSlab, t = pk.AppendTuple(valSlab)
+		idx := best.rt.route(t)
+		id := best.rt.islands[idx]
+		sIdx := cursorIdx[best]
+		hr := &pend[id][len(pend[id])-1]
+		if batched {
+			// One group per destination partition per round, tagged with
+			// its first tuple's sequence — the batched drivers' grouping.
+			if best.gstamp[idx] != round {
+				best.gstamp[idx] = round
+				best.gidx[idx] = len(hr.Groups)
+				hr.Groups = append(hr.Groups, live.Group{
+					Tag: phasePush | seq, Stream: sIdx, Part: idx, Tuples: exec.GetBatch(),
+				})
+			}
+			g := &hr.Groups[best.gidx[idx]]
+			g.Tuples = append(g.Tuples, t)
+		} else {
+			// Scalar rounds ship maximal same-destination runs of
+			// consecutive sequences; the node re-expands them into
+			// per-tuple tagged pushes, reproducing the scalar engine's
+			// interleaved delivery order exactly.
+			extended := false
+			if n := len(hr.Groups); n > 0 {
+				g := &hr.Groups[n-1]
+				if g.Stream == sIdx && g.Part == idx && g.Tag+uint64(len(g.Tuples)) == phasePush|seq {
+					g.Tuples = append(g.Tuples, t)
+					extended = true
+				}
+			}
+			if !extended {
+				hr.Groups = append(hr.Groups, live.Group{
+					Tag: phasePush | seq, Stream: sIdx, Part: idx,
+					Tuples: append(exec.GetBatch(), t),
+				})
+			}
+		}
+		seq++
+	}
+	r.emitDriverTail(round, int64(seq), lastTime)
+	// The flush round.
+	round++
+	r.engRounds++
+	for i := 0; i < hosts; i++ {
+		pend[i] = append(pend[i], live.Round{Round: round, Flush: true})
+	}
+	return ship(true)
+}
+
+// linkBatchOf converts a received link message into the replay merge's
+// input, resolving wire edge ids back to the compiled edges.
+func (r *Runner) linkBatchOf(m *live.LinkMsg) (linkBatch, error) {
+	if m.Host < 0 || m.Host >= r.plan.Hosts {
+		return linkBatch{}, fmt.Errorf("cluster: live link from unknown host %d", m.Host)
+	}
+	b := linkBatch{isl: m.Host, through: m.Through, done: m.Done}
+	if len(m.Items) > 0 {
+		b.items = make([]linkItem, len(m.Items))
+	}
+	for i := range m.Items {
+		it := &m.Items[i]
+		if it.Edge < 0 || it.Edge >= len(r.edges) {
+			return linkBatch{}, fmt.Errorf("cluster: live link from host %d names unknown edge %d", m.Host, it.Edge)
+		}
+		li := linkItem{round: it.Round, tag: it.Tag, e: r.edges[it.Edge], wm: it.WM, mwm: it.MWM}
+		switch it.Kind {
+		case live.ItemPush:
+			li.kind, li.t = itemPush, it.Tuple
+		case live.ItemPushBatch:
+			li.kind, li.b = itemPushBatch, it.Batch
+		case live.ItemAdvance:
+			li.kind = itemAdvance
+		case live.ItemFlush:
+			li.kind = itemFlush
+		default:
+			return linkBatch{}, fmt.Errorf("cluster: live link from host %d has unknown item kind %d", m.Host, it.Kind)
+		}
+		b.items[i] = li
+	}
+	return b, nil
+}
+
+// islandExec executes one leaf island's feed messages — the node-side
+// half of the live backend. It reproduces the parallel engine's worker
+// loop exactly: advances, tagged pushes, flushes, window closes, and
+// island-crossing capture into the outbox.
+type islandExec struct {
+	r          *Runner
+	isl        *island
+	adv, flush []tagged
+	// outs[s][p] is stream s's partition-p scan entry, with s indexing
+	// the splitter's canonical stream order.
+	outs [][]exec.Consumer
+	bs   int
+	// shipResult marks a remotely served island (ServeLiveHost): the
+	// final island shards travel back in a result frame.
+	shipResult bool
+}
+
+// Execute implements live.Executor.
+func (x *islandExec) Execute(m *live.FeedMsg) (*live.LinkMsg, error) {
+	isl := x.isl
+	r := x.r
+	last := 0
+	for ri := range m.Rounds {
+		rd := &m.Rounds[ri]
+		isl.curRound = rd.Round
+		last = rd.Round
+		if rd.Adv {
+			isl.curWM = rd.WM
+			// Close the leaf island's monitoring windows at the same
+			// boundary every other engine does: before the new round
+			// touches any counter.
+			if r.winSec > 0 {
+				isl.closeWindowsTo(int(rd.WM / r.winSec))
+			}
+			for _, at := range x.adv {
+				isl.curTag = at.tag
+				at.c.Advance(rd.WM)
+			}
+		}
+		for gi := range rd.Groups {
+			g := &rd.Groups[gi]
+			if g.Stream < 0 || g.Stream >= len(x.outs) || g.Part < 0 || g.Part >= len(x.outs[g.Stream]) {
+				return nil, fmt.Errorf("group targets stream %d partition %d out of range", g.Stream, g.Part)
+			}
+			out := x.outs[g.Stream][g.Part]
+			if x.bs > 1 {
+				isl.curTag = g.Tag
+				for off := 0; off < len(g.Tuples); off += x.bs {
+					end := off + x.bs
+					if end > len(g.Tuples) {
+						end = len(g.Tuples)
+					}
+					exec.PushAll(out, g.Tuples[off:end])
+				}
+			} else {
+				for i := range g.Tuples {
+					isl.curTag = g.Tag + uint64(i)
+					out.Push(g.Tuples[i])
+				}
+			}
+		}
+		if rd.Flush {
+			for _, ft := range x.flush {
+				isl.curTag = ft.tag
+				ft.c.Flush()
+			}
+		}
+	}
+	items := isl.outbox
+	isl.outbox = nil
+	lm := &live.LinkMsg{Through: last, Done: m.Last}
+	if len(items) > 0 {
+		lm.Items = make([]live.Item, len(items))
+	}
+	for i := range items {
+		it := &items[i]
+		li := live.Item{Round: it.round, Tag: it.tag, Edge: it.e.id, WM: it.wm, MWM: it.mwm}
+		switch it.kind {
+		case itemPush:
+			li.Kind, li.Tuple = live.ItemPush, it.t
+		case itemPushBatch:
+			li.Kind, li.Batch = live.ItemPushBatch, it.b
+		case itemAdvance:
+			li.Kind = live.ItemAdvance
+		case itemFlush:
+			li.Kind = live.ItemFlush
+		}
+		lm.Items[i] = li
+	}
+	return lm, nil
+}
+
+// liveHostShard is the serialized island state a remote node ships
+// back in its result frame, in the shape finalize needs.
+type liveHostShard struct {
+	Metrics  HostMetrics         `json:"metrics"`
+	LastSnap HostMetrics         `json:"last_snap"`
+	CurWin   int                 `json:"cur_win"`
+	Wins     []HostMetrics       `json:"wins,omitempty"`
+	Rows     map[string]int64    `json:"rows,omitempty"`
+	Ops      map[int]obs.OpStats `json:"ops,omitempty"`
+	LastOps  map[int]obs.OpStats `json:"last_ops,omitempty"`
+	Trace    []trace.Event       `json:"trace,omitempty"`
+}
+
+// Result implements live.Executor.
+func (x *islandExec) Result() ([]byte, error) {
+	if !x.shipResult {
+		return nil, nil
+	}
+	isl := x.isl
+	sh := liveHostShard{
+		Metrics:  isl.metrics,
+		LastSnap: isl.lastSnap,
+		CurWin:   isl.curWin,
+		Wins:     isl.wins,
+		Trace:    isl.tr.Events(),
+	}
+	if len(isl.rows) > 0 {
+		sh.Rows = make(map[string]int64, len(isl.rows))
+		for name, n := range isl.rows { //qap:allow maprange -- map-to-map copy, order-insensitive
+			sh.Rows[name] = *n
+		}
+	}
+	if len(isl.ops) > 0 {
+		sh.Ops = make(map[int]obs.OpStats, len(isl.ops))
+		for id, st := range isl.ops { //qap:allow maprange -- map-to-map copy, order-insensitive
+			sh.Ops[id] = *st
+		}
+	}
+	if len(isl.lastOps) > 0 {
+		sh.LastOps = make(map[int]obs.OpStats, len(isl.lastOps))
+		for id, st := range isl.lastOps { //qap:allow maprange -- map-to-map copy, order-insensitive
+			sh.LastOps[id] = st
+		}
+	}
+	return json.Marshal(&sh)
+}
+
+// installHostShard copies a remote node's shipped island shards into
+// the local island, so finalize and mergeLoadSeries see exactly the
+// state an in-process run would have produced.
+func (r *Runner) installHostShard(host int, payload []byte) error {
+	if len(payload) == 0 {
+		return fmt.Errorf("cluster: live node %d shipped no result shard", host)
+	}
+	var sh liveHostShard
+	if err := json.Unmarshal(payload, &sh); err != nil {
+		return fmt.Errorf("cluster: live node %d result shard: %w", host, err)
+	}
+	isl := r.islands[host]
+	isl.metrics = sh.Metrics
+	isl.lastSnap = sh.LastSnap
+	isl.curWin = sh.CurWin
+	isl.wins = sh.Wins
+	for name, v := range sh.Rows { //qap:allow maprange -- map-to-map copy, order-insensitive
+		n, ok := isl.rows[name]
+		if !ok {
+			n = new(int64)
+			isl.rows[name] = n
+		}
+		*n = v
+	}
+	for id, st := range sh.Ops { //qap:allow maprange -- map-to-map copy, order-insensitive
+		p, ok := isl.ops[id]
+		if !ok {
+			return fmt.Errorf("cluster: live node %d shipped stats for unknown op %d", host, id)
+		}
+		*p = st
+	}
+	if len(sh.LastOps) > 0 {
+		if isl.lastOps == nil {
+			isl.lastOps = make(map[int]obs.OpStats, len(sh.LastOps))
+		}
+		for id, st := range sh.LastOps { //qap:allow maprange -- map-to-map copy, order-insensitive
+			isl.lastOps[id] = st
+		}
+	}
+	isl.tr.EmitAll(sh.Trace)
+	return nil
+}
+
+// liveFingerprint identifies the deployment a live session serves:
+// plan shape, operator graph, partitioning, costs, batch size, and the
+// observability configuration. A splitter and a node built from
+// different configurations refuse to pair, instead of diverging
+// silently.
+func (r *Runner) liveFingerprint() string {
+	h := sha256.New()
+	p := r.plan
+	partitioning := p.Set.String()
+	if p.StreamSets != nil {
+		partitioning = p.StreamSets.String()
+	}
+	fmt.Fprintf(h, "hosts=%d parts=%d pph=%d agg=%d bs=%d win=%d collect=%t trace=%t\n",
+		p.Hosts, p.Partitions, p.PartitionsPerHost, p.AggregatorHost,
+		r.batchSize, r.winSec, r.collect, r.tracer != nil)
+	fmt.Fprintf(h, "set=%s\ncosts=%+v\n", partitioning, r.cost)
+	for _, op := range p.Ops {
+		fmt.Fprintf(h, "op %d %s host=%d proc=%d part=%d in=", op.ID, op.Kind, op.Host, op.Proc, op.Partition)
+		for _, in := range op.Inputs {
+			fmt.Fprintf(h, "%d,", in.ID)
+		}
+		fmt.Fprintln(h)
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// ServeLiveHost serves one leaf host of this runner's deployment as a
+// live node on addr (e.g. ":9431"), for running hosts as separate OS
+// processes (cmd/qap-node). The runner must be compiled with Engine
+// EngineLive and the same plan and RunConfig the splitter uses — the
+// deployment fingerprint in the handshake enforces it. ready, when
+// non-nil, receives the bound listen address before serving. Blocks
+// until the host's work is complete and acknowledged; several hosts of
+// one runner may be served concurrently from one process.
+func (r *Runner) ServeLiveHost(host int, addr string, ready func(addr string)) error {
+	if r.engine != EngineLive {
+		return fmt.Errorf("cluster: ServeLiveHost requires Engine %q", EngineLive)
+	}
+	if !r.parallel {
+		return fmt.Errorf("cluster: plan is not parallelizable; the live backend cannot serve it")
+	}
+	if host < 0 || host >= r.plan.Hosts {
+		return fmt.Errorf("cluster: host %d out of range (plan has %d)", host, r.plan.Hosts)
+	}
+	x := &islandExec{r: r, isl: r.islands[host], bs: r.batchSize, shipResult: true}
+	lcfg := r.liveTransportConfig()
+	if r.liveCfg.Faults != nil {
+		lcfg.WrapAccept = r.liveCfg.Faults.WrapAccept(host)
+	}
+	opt := live.NodeOptions{
+		Host:        host,
+		Fingerprint: r.liveFingerprint(),
+		BatchSize:   r.batchSize,
+		SendResult:  true,
+		AcceptGrace: r.liveCfg.AcceptGrace,
+		NewExecutor: func(h *live.Hello) (live.Executor, error) {
+			// The Hello fixes the canonical stream (cursor) order the
+			// splitter merged; resolve it against our routers to build
+			// the same advance targets and scan entry table.
+			if len(h.Streams) != len(r.routers) {
+				return nil, fmt.Errorf("splitter feeds %d streams, plan has %d", len(h.Streams), len(r.routers))
+			}
+			outs := make([][]exec.Consumer, len(h.Streams))
+			cs := make([]*streamCursor, len(h.Streams))
+			for i, name := range h.Streams {
+				rt, ok := r.routers[name]
+				if !ok {
+					return nil, fmt.Errorf("plan has no source stream %q", name)
+				}
+				outs[i] = rt.outs
+				cs[i] = &streamCursor{name: name, rt: rt}
+			}
+			adv, flush := r.buildTargets(cs)
+			x.adv, x.flush, x.outs = adv[host], flush[host], outs
+			return x, nil
+		},
+	}
+	n, err := live.NewNode(lcfg, opt, addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready(n.Addr())
+	}
+	return n.Serve()
+}

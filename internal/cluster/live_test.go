@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"qap/internal/core"
+	"qap/internal/live"
+	"qap/internal/netgen"
+	"qap/internal/obs/trace"
+	"qap/internal/optimizer"
+)
+
+// liveRunConfig is the live backend's RunConfig for tests: stats on (so
+// the differential checks cover the observability layer) and tracing on
+// (so trace bytes are compared too).
+func liveRunConfig(workers, batch int, lc LiveConfig) RunConfig {
+	return RunConfig{
+		Costs: DefaultCosts(), Params: testParams,
+		Workers: workers, BatchSize: batch,
+		CollectStats: true, Trace: &trace.Config{},
+		Engine: EngineLive, Live: lc,
+		DriveTimeout: 30 * time.Second,
+	}
+}
+
+// runEngine builds and runs a plan under an explicit RunConfig.
+func runEngine(t testing.TB, queries string, ps core.Set, o optimizer.Options, streams map[string][]netgen.Packet, cfg RunConfig) *Result {
+	t.Helper()
+	g := buildGraph(t, queries)
+	p, err := optimizer.Build(g, ps, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunStreams(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// sameTrace asserts byte-identical canonical trace exports.
+func sameTrace(t *testing.T, want, got *Result) {
+	t.Helper()
+	if (want.Trace == nil) != (got.Trace == nil) {
+		t.Fatalf("trace presence differs: want %v, got %v", want.Trace != nil, got.Trace != nil)
+	}
+	if want.Trace == nil {
+		return
+	}
+	wb, err := want.Trace.CanonicalJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.Trace.CanonicalJSONL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb, gb) {
+		wl := strings.Split(string(wb), "\n")
+		gl := strings.Split(string(gb), "\n")
+		n := len(wl)
+		if len(gl) < n {
+			n = len(gl)
+		}
+		for i := 0; i < n; i++ {
+			if wl[i] != gl[i] {
+				t.Fatalf("canonical trace diverged at line %d:\n  sim:  %s\n  live: %s", i+1, wl[i], gl[i])
+			}
+		}
+		t.Fatalf("canonical trace lengths differ: sim %d lines, live %d lines", len(wl), len(gl))
+	}
+}
+
+// TestLiveMatchesSim is the live backend's equivalence oracle inside
+// the cluster package: for every workload, host count, worker count,
+// and batch size, the live TCP backend must reproduce the simulator
+// byte for byte — canonical outputs, metrics, OpStats, run report, and
+// canonical trace bytes.
+func TestLiveMatchesSim(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	querySets := []struct {
+		name    string
+		queries string
+		ps      core.Set
+	}{
+		{"flows", flowsQuery, core.MustParseSet("srcIP, destIP")},
+		{"complex", complexSet, core.MustParseSet("srcIP")},
+		{"suspicious", suspiciousQuery, core.MustParseSet("srcIP, destIP, srcPort, destPort")},
+	}
+	for _, qs := range querySets {
+		qs := qs
+		t.Run(qs.name, func(t *testing.T) {
+			t.Parallel()
+			for _, hosts := range []int{1, 2, 4} {
+				o := optimizer.Options{Hosts: hosts, PartitionsPerHost: 2, PartialAgg: true}
+				for _, batch := range []int{1, 256} {
+					simCfg := liveRunConfig(1, batch, LiveConfig{})
+					simCfg.Engine = EngineSim
+					want := runEngine(t, qs.queries, qs.ps, o, streams, simCfg)
+					for _, workers := range []int{1, 4} {
+						// The live backend always runs one goroutine per
+						// host; Workers is recorded config only, and the
+						// results must not depend on it.
+						got := runEngine(t, qs.queries, qs.ps, o, streams, liveRunConfig(workers, batch, LiveConfig{}))
+						sameResult(t, want, got)
+						sameTrace(t, want, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestLiveRoundRobin covers the round-robin splitter on the live
+// backend: route state lives in the driver and must not drift.
+func TestLiveRoundRobin(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 3, PartitionsPerHost: 2, PartialAgg: true}
+	simCfg := liveRunConfig(1, 1, LiveConfig{})
+	simCfg.Engine = EngineSim
+	want := runEngine(t, flowsQuery, nil, o, streams, simCfg)
+	got := runEngine(t, flowsQuery, nil, o, streams, liveRunConfig(1, 1, LiveConfig{}))
+	sameResult(t, want, got)
+	sameTrace(t, want, got)
+}
+
+// TestLiveTwoStream exercises the multi-cursor merge over the wire:
+// advance tags span streams and the Hello's canonical stream order is
+// load-bearing.
+func TestLiveTwoStream(t *testing.T) {
+	g := buildTwoStream(t)
+	a, b := twoTraces(t)
+	o := optimizer.Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true}
+	streams := map[string][]netgen.Packet{"PKT1": a.Packets, "PKT2": b.Packets}
+	build := func() *optimizer.Plan {
+		p, err := optimizer.Build(g, core.MustParseSet("srcIP, destIP"), o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, batch := range []int{1, 256} {
+		simCfg := liveRunConfig(1, batch, LiveConfig{})
+		simCfg.Engine = EngineSim
+		seq, err := NewRunner(build(), simCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := seq.RunStreams(streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want.Outputs["combined"]) == 0 {
+			t.Fatal("two-stream join found no matches")
+		}
+		lr, err := NewRunner(build(), liveRunConfig(1, batch, LiveConfig{}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lr.RunStreams(streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, want, got)
+		sameTrace(t, want, got)
+	}
+}
+
+// TestLiveRemoteNodes runs every leaf host as a separately compiled
+// runner served over ServeLiveHost — the same shape as qap-node
+// processes — and demands byte-identical results, including the result
+// shards shipped back over the wire.
+func TestLiveRemoteNodes(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	g := buildGraph(t, complexSet)
+	ps := core.MustParseSet("srcIP")
+	build := func() *optimizer.Plan {
+		p, err := optimizer.Build(g, ps, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	for _, batch := range []int{1, 256} {
+		simCfg := liveRunConfig(1, batch, LiveConfig{})
+		simCfg.Engine = EngineSim
+		seq, err := NewRunner(build(), simCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := seq.RunStreams(streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Serve both hosts from independently compiled runners, as
+		// qap-node does in its own process.
+		addrc := make(chan string, o.Hosts)
+		errc := make(chan error, o.Hosts)
+		var wg sync.WaitGroup
+		addrs := make([]string, o.Hosts)
+		for h := 0; h < o.Hosts; h++ {
+			node, err := NewRunner(build(), liveRunConfig(1, batch, LiveConfig{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func(h int, node *Runner) {
+				defer wg.Done()
+				if err := node.ServeLiveHost(h, "127.0.0.1:0", func(addr string) { addrc <- addr }); err != nil {
+					errc <- err
+				}
+			}(h, node)
+			addrs[h] = <-addrc
+		}
+		lr, err := NewRunner(build(), liveRunConfig(1, batch, LiveConfig{Nodes: addrs}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lr.RunStreams(streams)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Wait()
+		select {
+		case err := <-errc:
+			t.Fatal(err)
+		default:
+		}
+		sameResult(t, want, got)
+		sameTrace(t, want, got)
+	}
+}
+
+// TestLiveFingerprintMismatch: a node compiled from a different
+// configuration must be rejected at the handshake, not silently
+// diverge.
+func TestLiveFingerprintMismatch(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	g := buildGraph(t, complexSet)
+	ps := core.MustParseSet("srcIP")
+	build := func(batch int) *Runner {
+		p, err := optimizer.Build(g, ps, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lc := LiveConfig{MaxAttempts: 1, Timeout: 5 * time.Second}
+		r, err := NewRunner(p, liveRunConfig(1, batch, lc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	addrc := make(chan string, 2)
+	done := make(chan error, 2)
+	addrs := make([]string, 2)
+	for h := 0; h < 2; h++ {
+		// Nodes compiled with BatchSize 7; the splitter runs 256.
+		node := build(7)
+		go func(h int) {
+			done <- node.ServeLiveHost(h, "127.0.0.1:0", func(addr string) { addrc <- addr })
+		}(h)
+		addrs[h] = <-addrc
+	}
+	sp := build(256)
+	sp.liveCfg.Nodes = addrs
+	if _, err := sp.RunStreams(streams); err == nil {
+		t.Fatal("mismatched deployment fingerprints were accepted")
+	}
+	// The nodes reject the handshake as fatal and name the mismatch.
+	for i := 0; i < 2; i++ {
+		if err := <-done; err == nil || !strings.Contains(err.Error(), "fingerprint") {
+			t.Fatalf("want a node-side fingerprint error, got: %v", err)
+		}
+	}
+}
+
+// TestLiveFaultRecovery injects dropped, duplicated, stalled, and cut
+// connections into the live transport and demands the run still
+// converge to the simulator's exact bytes: the reconnect-and-replay
+// protocol may cost time, never correctness.
+func TestLiveFaultRecovery(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	ps := core.MustParseSet("srcIP")
+
+	simCfg := liveRunConfig(1, 256, LiveConfig{})
+	simCfg.Engine = EngineSim
+	want := runEngine(t, complexSet, ps, o, streams, simCfg)
+
+	plans := []struct {
+		name   string
+		faults []live.Fault
+	}{
+		{"drop-feed", []live.Fault{{Host: 0, Session: 0, Write: 3, Action: live.FaultDrop}}},
+		{"drop-link", []live.Fault{{Host: 1, Session: 0, Write: 2, Action: live.FaultDrop}}},
+		{"dup-feed", []live.Fault{{Host: 0, Session: -1, Write: 2, Action: live.FaultDup}}},
+		{"dup-link", []live.Fault{{Host: 0, Session: -1, Write: 1, Action: live.FaultDup}}},
+		{"cut-feed", []live.Fault{{Host: 1, Session: 0, Write: 4, Action: live.FaultCut}}},
+		{"cut-link", []live.Fault{{Host: 0, Session: 0, Write: 3, Action: live.FaultCut}}},
+		{"stall-feed", []live.Fault{{Host: 0, Session: 0, Write: 2, Action: live.FaultStall, Stall: 150 * time.Millisecond}}},
+		{"cut-both", []live.Fault{
+			{Host: 0, Session: 0, Write: 2, Action: live.FaultCut},
+			{Host: 1, Session: 0, Write: 3, Action: live.FaultCut},
+			{Host: 0, Session: 1, Write: 5, Action: live.FaultCut},
+		}},
+	}
+	for _, pl := range plans {
+		pl := pl
+		t.Run(pl.name, func(t *testing.T) {
+			t.Parallel()
+			fp := &live.FaultPlan{Faults: pl.faults}
+			lc := LiveConfig{Faults: fp, Timeout: 2 * time.Second}
+			got := runEngine(t, complexSet, ps, o, streams, liveRunConfig(1, 256, lc))
+			if fp.Hits() == 0 {
+				t.Fatal("fault plan never fired; the scenario tested nothing")
+			}
+			sameResult(t, want, got)
+			sameTrace(t, want, got)
+		})
+	}
+}

@@ -41,6 +41,19 @@ type Runner struct {
 	// is the central island (the root process on the aggregator host).
 	islands  []*island
 	parallel bool
+	// engine is the backend selector: EngineSim (in-process simulator)
+	// or EngineLive (TCP nodes, live.go).
+	engine string
+	// liveCfg tunes the live backend; driveTimeout guards both engines'
+	// replay receive loops (0 disables the guard for the simulator; the
+	// live backend always has an effective timeout).
+	liveCfg      LiveConfig
+	driveTimeout time.Duration
+	// edges indexes the island-crossing (captured) accounting edges in
+	// deterministic compile order, so the live backend can name an edge
+	// on the wire and resolve it on the collector side. Nil unless
+	// captures were installed.
+	edges []*edge
 	// reuseTupleSlabs marks plans whose operators provably drop all
 	// references to scan tuples within the delivery round (see
 	// scanTuplesSevered), enabling tuple-slab recycling in the
@@ -126,7 +139,27 @@ type RunConfig struct {
 	// DefaultTraceWindowSec; like monitoring it never perturbs the
 	// run. Nil (the default) disables tracing entirely.
 	Trace *trace.Config
+	// Engine selects the cluster backend: EngineSim ("" or "sim") runs
+	// the in-process simulator engines; EngineLive ("live") runs each
+	// host as a node behind a real TCP listener with the splitter
+	// shipping serialized tuple batches over persistent connections
+	// (live.go). Canonical results are byte-identical across engines.
+	Engine string
+	// Live tunes the live backend; ignored for the simulator.
+	Live LiveConfig
+	// DriveTimeout guards the engines' replay receive loops: a run that
+	// makes no progress for this long fails with a positioned error
+	// naming the stalled islands instead of hanging. 0 disables the
+	// guard for the simulator; the live backend falls back to its
+	// transport timeout (LiveConfig.Timeout, default 30s).
+	DriveTimeout time.Duration
 }
+
+// Engine selector values for RunConfig.Engine.
+const (
+	EngineSim  = "sim"
+	EngineLive = "live"
+)
 
 // island is the unit of parallel execution: the operators of one
 // simulated host's capture processes (a leaf island, one per host), or
@@ -335,7 +368,22 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 			isl.opQuery = make(map[int]string)
 		}
 	}
-	r.parallel = cfg.Workers > 1 && r.parallelizable()
+	switch cfg.Engine {
+	case "", EngineSim:
+		r.engine = EngineSim
+		r.parallel = cfg.Workers > 1 && r.parallelizable()
+	case EngineLive:
+		// The live backend always needs the island decomposition and
+		// the capture consumers, whatever the worker count; plans that
+		// are not parallelizable fall back to the sequential engine,
+		// exactly like the simulator does.
+		r.engine = EngineLive
+		r.parallel = r.parallelizable()
+	default:
+		return nil, fmt.Errorf("cluster: unknown engine %q (want %q or %q)", cfg.Engine, EngineSim, EngineLive)
+	}
+	r.liveCfg = cfg.Live
+	r.driveTimeout = cfg.DriveTimeout
 	r.reuseTupleSlabs = scanTuplesSevered(p)
 	if err := r.compile(); err != nil {
 		return nil, err
@@ -575,7 +623,10 @@ func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	if r.parallel {
+	if r.engine == EngineLive && r.parallel {
+		return r.runLive(cursors)
+	}
+	if r.parallel && r.engine != EngineLive {
 		return r.runParallel(cursors)
 	}
 	if r.batchSize > 1 {
@@ -862,10 +913,7 @@ func (r *Runner) buildTrace() *trace.Trace {
 		DurationSec:    r.metrics.DurationSec,
 		Partitioning:   partitioning,
 	}
-	engine := "sequential"
-	if r.parallel {
-		engine = "parallel"
-	}
+	engine := r.engineName()
 	timing := trace.Event{
 		Kind:      trace.KindTiming,
 		Engine:    engine,
@@ -979,10 +1027,7 @@ func (r *Runner) buildReport(res *Result) *obs.RunReport {
 		rep.LoadWindowSec = int(r.winSec)
 		rep.LoadSeries = res.LoadSeries
 	}
-	engine := "sequential"
-	if r.parallel {
-		engine = "parallel"
-	}
+	engine := r.engineName()
 	rep.Timing = &obs.Timing{
 		Workers:     r.workers,
 		Engine:      engine,
@@ -993,6 +1038,18 @@ func (r *Runner) buildReport(res *Result) *obs.RunReport {
 		LinkItems:   r.engLinkItems,
 	}
 	return rep
+}
+
+// engineName labels the backend for the report/trace timing records.
+func (r *Runner) engineName() string {
+	switch {
+	case r.engine == EngineLive && r.parallel:
+		return "live"
+	case r.parallel:
+		return "parallel"
+	default:
+		return "sequential"
+	}
 }
 
 // rowCounter counts a logical node's complete output rows.
@@ -1088,6 +1145,9 @@ type edge struct {
 	xfer   float64 // IPC or network surcharge
 	net    bool    // crosses hosts (counts as network)
 	ipc    bool    // crosses processes on the same host
+	// id indexes Runner.edges for island-crossing edges (the live
+	// backend's wire name for the edge); 0 and unregistered otherwise.
+	id int
 	// st is the receiving operator's stat shard, nil when stats are
 	// disabled. The edge always executes on the receiving operator's
 	// island (captured edges replay centrally), so the shard has a
@@ -1302,6 +1362,11 @@ func (r *Runner) fanout(op *optimizer.Op, cons []portRef, entries map[*optimizer
 		if r.parallel && fromIsl != toIsl {
 			// Island-crossing link: the producing worker records the
 			// delivery; the central replay loop applies it (engine.go).
+			// The edge id is its index in compile order — deterministic
+			// for a given plan, so two runners compiled from the same
+			// plan (a live splitter and a remote node) agree on every id.
+			e.id = len(r.edges)
+			r.edges = append(r.edges, e)
 			outs[i] = &capture{isl: fromIsl, e: e}
 		} else {
 			outs[i] = e

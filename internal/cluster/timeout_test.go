@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"qap/internal/core"
+	"qap/internal/live"
+	"qap/internal/netgen"
+	"qap/internal/optimizer"
+)
+
+// runEngineErr is runEngine without the success assertion: plan
+// building must work, but the run itself hands back whatever the engine
+// returns — the entry point for tests about the failure paths.
+func runEngineErr(t testing.TB, queries string, ps core.Set, o optimizer.Options, streams map[string][]netgen.Packet, cfg RunConfig) (*Result, error) {
+	t.Helper()
+	g := buildGraph(t, queries)
+	p, err := optimizer.Build(g, ps, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.RunStreams(streams)
+}
+
+// TestParallelDriveTimeout wedges every worker right before it ships
+// its link batch: the replay loop must fail with the positioned
+// drive-stalled error instead of hanging the run.
+func TestParallelDriveTimeout(t *testing.T) {
+	stall := make(chan struct{})
+	testStallWorkers = stall
+	defer func() { testStallWorkers = nil }()
+
+	tr := smallTrace(t)
+	cfg := RunConfig{
+		Costs: DefaultCosts(), Params: testParams,
+		Workers: 2, BatchSize: 256,
+		DriveTimeout: 100 * time.Millisecond,
+	}
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	_, err := runEngineErr(t, flowsQuery, core.MustParseSet("srcIP, destIP"), o,
+		map[string][]netgen.Packet{"TCP": tr.Packets}, cfg)
+	close(stall) // release the wedged workers so the run's goroutines drain
+	if err == nil {
+		t.Fatal("wedged workers did not fail the run")
+	}
+	for _, want := range []string{"parallel drive stalled", "100ms"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestParallelNoTimeoutByDefault: a zero DriveTimeout means no guard —
+// the same workload without the wedge completes with the guard armed,
+// proving the timer doesn't fire on a healthy run.
+func TestParallelNoTimeoutByDefault(t *testing.T) {
+	tr := smallTrace(t)
+	cfg := RunConfig{
+		Costs: DefaultCosts(), Params: testParams,
+		Workers: 2, BatchSize: 256,
+		DriveTimeout: 30 * time.Second,
+	}
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	if _, err := runEngineErr(t, flowsQuery, core.MustParseSet("srcIP, destIP"), o,
+		map[string][]netgen.Packet{"TCP": tr.Packets}, cfg); err != nil {
+		t.Fatalf("healthy run tripped the drive guard: %v", err)
+	}
+}
+
+// TestLiveDriveTimeout stalls every transport write long past the drive
+// guard: the live replay loop must fail with its positioned
+// drive-stalled error instead of hanging on the wedged nodes.
+func TestLiveDriveTimeout(t *testing.T) {
+	tr := smallTrace(t)
+	fp := &live.FaultPlan{Faults: []live.Fault{
+		{Host: -1, Session: -1, Write: -1, Action: live.FaultStall, Stall: time.Second},
+	}}
+	cfg := liveRunConfig(1, 256, LiveConfig{Faults: fp, Timeout: 5 * time.Second})
+	cfg.DriveTimeout = 150 * time.Millisecond
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	_, err := runEngineErr(t, flowsQuery, core.MustParseSet("srcIP, destIP"), o,
+		map[string][]netgen.Packet{"TCP": tr.Packets}, cfg)
+	if err == nil {
+		t.Fatal("stalled nodes did not fail the run")
+	}
+	if !strings.Contains(err.Error(), "live drive stalled") {
+		t.Fatalf("error %q is not the positioned drive-stalled error", err)
+	}
+	if fp.Hits() == 0 {
+		t.Fatal("stall fault never fired")
+	}
+}

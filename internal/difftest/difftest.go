@@ -36,10 +36,12 @@ import (
 	"reflect"
 	"sort"
 	"strings"
+	"time"
 
 	"qap"
 	"qap/internal/core"
 	"qap/internal/lint"
+	"qap/internal/live"
 	"qap/internal/netgen"
 	obstrace "qap/internal/obs/trace"
 	"qap/internal/optimizer"
@@ -59,6 +61,14 @@ type Options struct {
 	// 1024} (1 is the scalar path itself, 7 exercises ragged final
 	// chunks, 64 and 1024 straddle the engine default).
 	BatchSizes []int
+	// Live adds the live-vs-sim axis: every hosts × workers × batch
+	// {1, 256} cell re-runs on the live TCP backend and must match the
+	// simulator byte for byte (canonical output, OpStats, trace
+	// bytes), plus fault-injection runs (dropped, duplicated, and cut
+	// connections) that must converge to the same bytes. Off by
+	// default: the axis opens real sockets and costs a multiple of the
+	// base sweep.
+	Live bool
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +87,10 @@ func (o Options) withDefaults() Options {
 // Mismatch is one violated invariant: a configuration whose result
 // deviates from the baseline, or a metamorphic check that failed.
 type Mismatch struct {
+	// Axis names the oracle axis the deviation belongs to
+	// (equivalence, batched, loadbound, lintagree, certificate,
+	// repartition, trace, live) — the first thing to read in a repro.
+	Axis string
 	// Config names the deviating configuration or invariant.
 	Config string
 	// Detail localizes the deviation (first differing line, or the
@@ -109,13 +123,15 @@ func (r *Report) String() string {
 		return b.String()
 	}
 	fmt.Fprintf(&b, "seed %d: FAIL (%d of %d configurations mismatched)\n", r.Seed, len(r.Mismatches), r.Configs)
+	first := r.Mismatches[0]
+	fmt.Fprintf(&b, "first failure: axis %s, config %s\n", first.Axis, first.Config)
 	fmt.Fprintf(&b, "rerun: go run ./cmd/qap-difftest -seed %d\n", r.Seed)
 	fmt.Fprintf(&b, "trace: %+v\n", r.Trace)
 	fmt.Fprintf(&b, "best partitioning: %s\n", r.Best)
 	b.WriteString("queries:\n")
 	b.WriteString(indent(r.Queries))
 	for _, m := range r.Mismatches {
-		fmt.Fprintf(&b, "mismatch [%s]:\n%s", m.Config, indent(m.Detail))
+		fmt.Fprintf(&b, "mismatch [%s: %s]:\n%s", m.Axis, m.Config, indent(m.Detail))
 	}
 	return b.String()
 }
@@ -211,6 +227,7 @@ func CheckQueries(ddl, queries string, trace netgen.Config, opts Options) (*Repo
 	})
 
 	rep.checkBatched(opts, want, run, analysis.Best, last)
+	rep.checkLive(opts, sys, want, analysis.Best, streams, params)
 	rep.checkLoadBound(sys, measured, analysis.Best, run)
 	rep.checkLintAgreement(sys, analysis.Best)
 	rep.checkCertificate(sys, analysis.Best)
@@ -244,44 +261,44 @@ func (r *Report) checkTrace(sys *qap.System, best core.Set, traceCfg netgen.Conf
 			LoadWindowSec: winSec, Trace: &qap.RunTraceConfig{},
 		})
 		if err != nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "trace", Config: name,
 				Detail: fmt.Sprintf("deploy failed: %v\n", err)})
 			continue
 		}
 		res, err := dep.RunStreams(streams)
 		if err != nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "trace", Config: name,
 				Detail: fmt.Sprintf("run failed: %v\n", err)})
 			continue
 		}
 		if res.Trace == nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "trace", Config: name,
 				Detail: "tracing was enabled but the run carries no trace\n"})
 			continue
 		}
 		canon, err := res.Trace.CanonicalJSONL()
 		if err != nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "trace", Config: name,
 				Detail: fmt.Sprintf("canonical encode failed: %v\n", err)})
 			continue
 		}
 		if ref == nil {
 			ref = canon
 		} else if !bytes.Equal(canon, ref) {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "trace", Config: name,
 				Detail: "canonical trace diverged across engines:\n" + firstDiff(string(ref), string(canon))})
 			continue
 		}
 		rt, err := obstrace.ReadJSONL(bytes.NewReader(canon))
 		if err != nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "trace", Config: name,
 				Detail: fmt.Sprintf("JSONL round trip failed: %v\n", err)})
 			continue
 		}
 		got := rt.HostLoadSeries("")
 		want := obstrace.StripCPUUnits(res.LoadSeries)
 		if !reflect.DeepEqual(got, want) {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: fmt.Sprintf(
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "trace", Config: name, Detail: fmt.Sprintf(
 				"trace-rebuilt load series differs from the engine's monitoring output:\n  rebuilt: %+v\n  engine:  %+v\n",
 				got, want)})
 		}
@@ -334,7 +351,7 @@ func (r *Report) checkRepartition(sys *qap.System, measured *qap.StaticStats, an
 			LoadWindowSec: winSec,
 		}, streams)
 		if err != nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "repartition", Config: name,
 				Detail: fmt.Sprintf("adaptive run failed: %v\n", err)})
 			continue
 		}
@@ -343,7 +360,7 @@ func (r *Report) checkRepartition(sys *qap.System, measured *qap.StaticStats, an
 		} else if ares.TriggerWindow != ref.TriggerWindow || ares.TriggerRate != ref.TriggerRate ||
 			ares.SwitchTimeSec != ref.SwitchTimeSec || ares.Repartitioned != ref.Repartitioned ||
 			!ares.FinalSet.Equal(ref.FinalSet) {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: fmt.Sprintf(
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "repartition", Config: name, Detail: fmt.Sprintf(
 				"trigger decision diverged across engines:\n  reference: window=%d rate=%v switch=%d repartitioned=%v set=%s\n  this cell: window=%d rate=%v switch=%d repartitioned=%v set=%s\n",
 				ref.TriggerWindow, ref.TriggerRate, ref.SwitchTimeSec, ref.Repartitioned, ref.FinalSet,
 				ares.TriggerWindow, ares.TriggerRate, ares.SwitchTimeSec, ares.Repartitioned, ares.FinalSet)})
@@ -356,24 +373,24 @@ func (r *Report) checkRepartition(sys *qap.System, measured *qap.StaticStats, an
 			LoadWindowSec: winSec,
 		})
 		if err != nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "repartition", Config: name,
 				Detail: fmt.Sprintf("cold-restart deploy failed: %v\n", err)})
 			continue
 		}
 		cold, err := dep.RunStreams(streams)
 		if err != nil {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "repartition", Config: name,
 				Detail: fmt.Sprintf("cold-restart run failed: %v\n", err)})
 			continue
 		}
 		if want, got := Canonical(cold), Canonical(ares.Final); want != got {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: firstDiff(want, got)})
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "repartition", Config: name, Detail: firstDiff(want, got)})
 			continue
 		}
 		if !reflect.DeepEqual(cold.Outputs, ares.Final.Outputs) ||
 			!reflect.DeepEqual(*cold.Metrics, *ares.Final.Metrics) ||
 			!reflect.DeepEqual(cold.LoadSeries, ares.Final.LoadSeries) {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: fmt.Sprintf(
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "repartition", Config: name, Detail: fmt.Sprintf(
 				"adapted run is not byte-identical to a cold restart on set %s\n", ares.FinalSet)})
 		}
 	}
@@ -392,12 +409,12 @@ func (r *Report) checkBatched(opts Options, want string, run func(qap.DeployConf
 		Hosts: hosts, Partitioning: best, Workers: 1, BatchSize: 1, CollectStats: true,
 	})
 	if err != nil {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: "batched scalar-ref",
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "batched", Config: "batched scalar-ref",
 			Detail: fmt.Sprintf("run failed where baseline succeeded: %v\n", err)})
 		return
 	}
 	if got := Canonical(ref); got != want {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: "batched scalar-ref", Detail: firstDiff(want, got)})
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "batched", Config: "batched scalar-ref", Detail: firstDiff(want, got)})
 		return
 	}
 	for _, bs := range opts.BatchSizes {
@@ -411,16 +428,16 @@ func (r *Report) checkBatched(opts Options, want string, run func(qap.DeployConf
 				Hosts: hosts, Partitioning: best, Workers: workers, BatchSize: bs, CollectStats: true,
 			})
 			if err != nil {
-				r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+				r.Mismatches = append(r.Mismatches, Mismatch{Axis: "batched", Config: name,
 					Detail: fmt.Sprintf("run failed where baseline succeeded: %v\n", err)})
 				continue
 			}
 			if got := Canonical(res); got != want {
-				r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: firstDiff(want, got)})
+				r.Mismatches = append(r.Mismatches, Mismatch{Axis: "batched", Config: name, Detail: firstDiff(want, got)})
 				continue
 			}
 			if d := diffOpStats(ref.OpStats, res.OpStats); d != "" {
-				r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: d})
+				r.Mismatches = append(r.Mismatches, Mismatch{Axis: "batched", Config: name, Detail: d})
 			}
 		}
 	}
@@ -463,12 +480,141 @@ func (r *Report) compare(name, want string, run func(qap.DeployConfig) (*qap.Run
 	r.Configs++
 	res, err := run(cfg)
 	if err != nil {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: name,
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "equivalence", Config: name,
 			Detail: fmt.Sprintf("run failed where baseline succeeded: %v\n", err)})
 		return
 	}
 	if got := Canonical(res); got != want {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: name, Detail: firstDiff(want, got)})
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "equivalence", Config: name, Detail: firstDiff(want, got)})
+	}
+}
+
+// checkLive is the live-vs-sim axis: the live TCP backend — real
+// listeners, serialized tuple batches, credit-based backpressure —
+// must reproduce the simulator byte for byte in every hosts × workers
+// × batch cell: canonical output, per-operator counters (bit-equal,
+// CPUUnits included: the live engine replays the exact event sequence,
+// so even float summation order is preserved), and canonical trace
+// bytes. A second leg injects transport faults (dropped, duplicated,
+// and cut connections on both directions) and demands the
+// reconnect-and-replay recovery converge to the same bytes.
+func (r *Report) checkLive(opts Options, sys *qap.System, want string, best core.Set, streams map[string][]netgen.Packet, params map[string]qap.Value) {
+	if !opts.Live {
+		return
+	}
+	run := func(hosts, workers, batch int, lo qap.LiveOptions, engine string) (*qap.RunResult, error) {
+		dep, err := sys.Deploy(qap.DeployConfig{
+			Hosts: hosts, Partitioning: best, Params: params,
+			Workers: workers, BatchSize: batch,
+			CollectStats: true, Trace: &qap.RunTraceConfig{},
+			Engine: engine, Live: lo,
+			DriveTimeout: 30 * time.Second,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return dep.RunStreams(streams)
+	}
+	check := func(name string, ref *qap.RunResult, refTrace []byte, res *qap.RunResult, err error) {
+		r.Configs++
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: name,
+				Detail: fmt.Sprintf("live run failed where the simulator succeeded: %v\n", err)})
+			return
+		}
+		if got := Canonical(res); got != want {
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: name,
+				Detail: firstDiff(want, got)})
+			return
+		}
+		if !reflect.DeepEqual(ref.OpStats, res.OpStats) {
+			d := diffOpStats(ref.OpStats, res.OpStats)
+			if d == "" {
+				d = "OpStats differ (CPUUnits summation order; the live engine must preserve it exactly)\n"
+			}
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: name, Detail: d})
+			return
+		}
+		canon, err := res.Trace.CanonicalJSONL()
+		if err != nil {
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: name,
+				Detail: fmt.Sprintf("canonical trace encode failed: %v\n", err)})
+			return
+		}
+		if !bytes.Equal(canon, refTrace) {
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: name,
+				Detail: "canonical trace diverged from the simulator's:\n" + firstDiff(string(refTrace), string(canon))})
+		}
+	}
+	for _, hosts := range opts.Hosts {
+		for _, batch := range []int{1, 256} {
+			ref, err := run(hosts, 1, batch, qap.LiveOptions{}, qap.EngineSim)
+			if err != nil {
+				r.Configs++
+				r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live",
+					Config: fmt.Sprintf("live-ref hosts=%d batch=%d", hosts, batch),
+					Detail: fmt.Sprintf("simulator reference failed: %v\n", err)})
+				continue
+			}
+			refTrace, err := ref.Trace.CanonicalJSONL()
+			if err != nil {
+				r.Configs++
+				r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live",
+					Config: fmt.Sprintf("live-ref hosts=%d batch=%d", hosts, batch),
+					Detail: fmt.Sprintf("reference trace encode failed: %v\n", err)})
+				continue
+			}
+			if got := Canonical(ref); got != want {
+				r.Configs++
+				r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live",
+					Config: fmt.Sprintf("live-ref hosts=%d batch=%d", hosts, batch),
+					Detail: firstDiff(want, got)})
+				continue
+			}
+			for _, workers := range opts.Workers {
+				name := fmt.Sprintf("live hosts=%d workers=%d batch=%d", hosts, workers, batch)
+				res, err := run(hosts, workers, batch, qap.LiveOptions{}, qap.EngineLive)
+				check(name, ref, refTrace, res, err)
+			}
+		}
+	}
+
+	// Fault leg: on the largest cluster, scripted transport faults on
+	// both directions must cost time, never bytes.
+	hosts := opts.Hosts[len(opts.Hosts)-1]
+	ref, err := run(hosts, 1, 256, qap.LiveOptions{}, qap.EngineSim)
+	if err != nil {
+		r.Configs++
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: "live-fault-ref",
+			Detail: fmt.Sprintf("simulator reference failed: %v\n", err)})
+		return
+	}
+	refTrace, err := ref.Trace.CanonicalJSONL()
+	if err != nil {
+		r.Configs++
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: "live-fault-ref",
+			Detail: fmt.Sprintf("reference trace encode failed: %v\n", err)})
+		return
+	}
+	for _, fc := range []struct {
+		name   string
+		faults []live.Fault
+	}{
+		{"drop", []live.Fault{{Host: 0, Session: 0, Write: 2, Action: live.FaultDrop}}},
+		{"dup", []live.Fault{{Host: 0, Session: -1, Write: 1, Action: live.FaultDup}}},
+		{"cut", []live.Fault{
+			{Host: 0, Session: 0, Write: 2, Action: live.FaultCut},
+			{Host: hosts - 1, Session: 0, Write: 3, Action: live.FaultCut},
+		}},
+	} {
+		name := "live-fault " + fc.name
+		plan := &live.FaultPlan{Faults: fc.faults}
+		res, err := run(hosts, 1, 256, qap.LiveOptions{Faults: plan, Timeout: 2 * time.Second}, qap.EngineLive)
+		check(name, ref, refTrace, res, err)
+		if err == nil && plan.Hits() == 0 {
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "live", Config: name,
+				Detail: "fault plan never fired; the scenario tested nothing\n"})
+		}
 	}
 }
 
@@ -486,7 +632,7 @@ func (r *Report) checkLoadBound(sys *qap.System, measured *qap.StaticStats, best
 	r.Configs++
 	res, err := run(qap.DeployConfig{Hosts: 4, Partitioning: best, DisablePartialAgg: true, Workers: 1})
 	if err != nil {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: "loadbound",
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "loadbound", Config: "loadbound",
 			Detail: fmt.Sprintf("run failed: %v\n", err)})
 		return
 	}
@@ -502,7 +648,7 @@ func (r *Report) checkLoadBound(sys *qap.System, measured *qap.StaticStats, best
 	}
 	predicted := core.NewCostModel(sys.Graph, measured).TotalCost(best)
 	if achieved > predicted*(1+1e-6)+1e-3 {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: "loadbound", Detail: fmt.Sprintf(
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "loadbound", Config: "loadbound", Detail: fmt.Sprintf(
 			"achieved max per-host net rate %.3f B/s exceeds cost-model bound %.3f B/s for set %s\n",
 			achieved, predicted, best)})
 	}
@@ -526,7 +672,7 @@ func (r *Report) checkLintAgreement(sys *qap.System, best core.Set) {
 		Hosts: 4, PartitionsPerHost: 2, PartialAgg: true, PartialScope: optimizer.ScopeHost,
 	})
 	if err != nil {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: "lintagree",
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "lintagree", Config: "lintagree",
 			Detail: fmt.Sprintf("optimizer.Build failed: %v\n", err)})
 		return
 	}
@@ -562,7 +708,7 @@ func (r *Report) checkLintAgreement(sys *qap.System, best core.Set) {
 		}
 	}
 	if len(fail) > 0 {
-		r.Mismatches = append(r.Mismatches, Mismatch{Config: "lintagree",
+		r.Mismatches = append(r.Mismatches, Mismatch{Axis: "lintagree", Config: "lintagree",
 			Detail: strings.Join(fail, "\n") + "\n"})
 	}
 }
@@ -614,7 +760,7 @@ func (r *Report) checkCertificate(sys *qap.System, best core.Set) {
 		r.Configs++
 		cfg := "certificate set=" + s.name
 		fail := func(format string, args ...any) {
-			r.Mismatches = append(r.Mismatches, Mismatch{Config: cfg,
+			r.Mismatches = append(r.Mismatches, Mismatch{Axis: "certificate", Config: cfg,
 				Detail: fmt.Sprintf(format, args...) + "\n"})
 		}
 

@@ -42,3 +42,33 @@ func TestDifferentialSweep(t *testing.T) {
 		}
 	})
 }
+
+// liveSeeds is the seed range the live-vs-sim axis covers; each seed
+// runs the full hosts × workers × batch matrix on real sockets plus
+// the fault-injection leg, so the range is smaller than the base
+// sweep's.
+var liveSeeds = flag.Int64("difftest.liveseeds", 3, "number of workload seeds TestLiveVsSimSweep checks")
+
+// TestLiveVsSimSweep is the live backend's equivalence sweep: the TCP
+// cluster backend against the simulator oracle across every
+// hosts {1,2,4} × workers {1,4} × batch {1,256} cell, plus scripted
+// transport faults (drop, duplicate, cut) that must recover to the
+// same bytes.
+func TestLiveVsSimSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-vs-sim sweep is not a -short test")
+	}
+	for seed := int64(0); seed < *liveSeeds; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			t.Parallel()
+			rep, err := CheckSeed(seed, Options{Live: true})
+			if err != nil {
+				t.Fatalf("seed %d not runnable (generator must emit valid workloads): %v", seed, err)
+			}
+			if !rep.OK() {
+				t.Errorf("live-vs-sim mismatch:\n%s", rep)
+			}
+		})
+	}
+}

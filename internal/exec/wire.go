@@ -1,0 +1,254 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+
+	"qap/internal/sqlval"
+)
+
+// Batch wire codec (the live TCP backend's tuple serialization).
+//
+// The encoding is canonical: every batch has exactly one byte
+// sequence, and every byte sequence decodes to at most one batch —
+// DecodeBatch rejects truncated, oversized, and non-canonical input,
+// so encode(decode(data)) == data whenever decode succeeds. That
+// fixed point is what FuzzBatchCodec holds the codec to, and it is
+// also what makes the live backend's canonical outputs byte-identical
+// to the simulator's: a value round-trips to a bit-equal sqlval.Value
+// (floats travel as IEEE-754 bits, never as text).
+//
+// Layout, all integers big-endian:
+//
+//	batch := u32 tupleCount , tuple*
+//	tuple := u16 colCount , value*
+//	value := u8 kind , payload
+//	  null   -> (nothing)
+//	  uint   -> u64
+//	  int    -> u64 (two's complement)
+//	  float  -> u64 (IEEE-754 bits)
+//	  bool   -> u8 (0 or 1; anything else is rejected)
+//	  string -> u32 length , bytes
+//
+// The kind byte is the sqlval.Kind value itself, so the codec needs no
+// translation table and a schema bump in sqlval is a wire break by
+// construction (guarded by TestWireKindsPinned).
+
+// Wire limits. Frames larger than these are rejected before any
+// allocation is sized from attacker-controlled lengths.
+const (
+	// MaxWireCols bounds the columns of one tuple on the wire.
+	MaxWireCols = 1 << 10
+	// MaxWireTuples bounds the tuples of one batch on the wire.
+	MaxWireTuples = 1 << 20
+	// MaxWireString bounds one string value's bytes on the wire.
+	MaxWireString = 1 << 20
+)
+
+// WireError is a positioned batch-codec decode failure.
+type WireError struct {
+	// Offset is the byte offset in the input where decoding failed.
+	Offset int
+	// Msg describes the failure.
+	Msg string
+}
+
+func (e *WireError) Error() string {
+	return fmt.Sprintf("exec: batch wire: offset %d: %s", e.Offset, e.Msg)
+}
+
+func wireErr(off int, format string, args ...any) error {
+	return &WireError{Offset: off, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AppendBatchWire appends the canonical wire encoding of b to dst and
+// returns the extended slice.
+func AppendBatchWire(dst []byte, b Batch) []byte {
+	dst = appendWireU32(dst, uint32(len(b)))
+	for _, t := range b {
+		dst = AppendTupleWire(dst, t)
+	}
+	return dst
+}
+
+// AppendTupleWire appends the canonical wire encoding of one tuple.
+func AppendTupleWire(dst []byte, t Tuple) []byte {
+	dst = append(dst, byte(len(t)>>8), byte(len(t)))
+	for _, v := range t {
+		dst = appendValueWire(dst, v)
+	}
+	return dst
+}
+
+func appendValueWire(dst []byte, v sqlval.Value) []byte {
+	dst = append(dst, byte(v.Kind()))
+	switch v.Kind() {
+	case sqlval.KindNull:
+	case sqlval.KindUint:
+		u, _ := v.AsUint()
+		dst = appendWireU64(dst, u)
+	case sqlval.KindInt:
+		i, _ := v.AsInt()
+		dst = appendWireU64(dst, uint64(i))
+	case sqlval.KindFloat:
+		f, _ := v.AsFloat()
+		dst = appendWireU64(dst, math.Float64bits(f))
+	case sqlval.KindBool:
+		if v.AsBool() {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	case sqlval.KindString:
+		s, _ := v.AsString()
+		dst = appendWireU32(dst, uint32(len(s)))
+		dst = append(dst, s...)
+	}
+	return dst
+}
+
+// DecodeBatchWire decodes one batch from data, which must contain
+// exactly one encoded batch: trailing bytes are an error, as are
+// truncation, limit violations, and non-canonical values. The returned
+// tuples are carved from one fresh backing slab (capacity-clamped, so
+// they obey the immutable-tuple contract) and the container is a fresh
+// slice the caller owns.
+func DecodeBatchWire(data []byte) (Batch, error) {
+	d := wireDecoder{data: data}
+	n, err := d.u32("tuple count")
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxWireTuples {
+		return nil, wireErr(0, "batch of %d tuples exceeds the %d-tuple limit", n, MaxWireTuples)
+	}
+	b := make(Batch, 0, n)
+	var slab []sqlval.Value
+	for i := uint32(0); i < n; i++ {
+		var t Tuple
+		slab, t, err = d.tuple(slab)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, t)
+	}
+	if d.off != len(d.data) {
+		return nil, wireErr(d.off, "%d trailing bytes after the batch", len(d.data)-d.off)
+	}
+	return b, nil
+}
+
+// wireDecoder walks one encoded batch, tracking the offset for
+// positioned errors.
+type wireDecoder struct {
+	data []byte
+	off  int
+}
+
+func (d *wireDecoder) tuple(slab []sqlval.Value) ([]sqlval.Value, Tuple, error) {
+	start := d.off
+	if d.off+2 > len(d.data) {
+		return slab, nil, wireErr(d.off, "truncated tuple header")
+	}
+	cols := int(d.data[d.off])<<8 | int(d.data[d.off+1])
+	d.off += 2
+	if cols > MaxWireCols {
+		return slab, nil, wireErr(start, "tuple of %d columns exceeds the %d-column limit", cols, MaxWireCols)
+	}
+	if cap(slab)-len(slab) < cols {
+		// A fresh slab per shortfall: earlier tuples keep their old
+		// backing arrays, which stay valid (tuples are immutable).
+		size := 1024
+		if cols > size {
+			size = cols
+		}
+		slab = make([]sqlval.Value, 0, size)
+	}
+	base := len(slab)
+	for c := 0; c < cols; c++ {
+		v, err := d.value()
+		if err != nil {
+			return slab, nil, err
+		}
+		slab = append(slab, v)
+	}
+	return slab, Tuple(slab[base:len(slab):len(slab)]), nil
+}
+
+func (d *wireDecoder) value() (sqlval.Value, error) {
+	if d.off >= len(d.data) {
+		return sqlval.Null, wireErr(d.off, "truncated value kind")
+	}
+	kind := sqlval.Kind(d.data[d.off])
+	d.off++
+	switch kind {
+	case sqlval.KindNull:
+		return sqlval.Null, nil
+	case sqlval.KindUint:
+		u, err := d.u64("uint payload")
+		return sqlval.Uint(u), err
+	case sqlval.KindInt:
+		u, err := d.u64("int payload")
+		return sqlval.Int(int64(u)), err
+	case sqlval.KindFloat:
+		u, err := d.u64("float payload")
+		return sqlval.Float(math.Float64frombits(u)), err
+	case sqlval.KindBool:
+		if d.off >= len(d.data) {
+			return sqlval.Null, wireErr(d.off, "truncated bool payload")
+		}
+		b := d.data[d.off]
+		d.off++
+		if b > 1 {
+			return sqlval.Null, wireErr(d.off-1, "non-canonical bool byte %d", b)
+		}
+		return sqlval.Bool(b == 1), nil
+	case sqlval.KindString:
+		n, err := d.u32("string length")
+		if err != nil {
+			return sqlval.Null, err
+		}
+		if n > MaxWireString {
+			return sqlval.Null, wireErr(d.off-4, "string of %d bytes exceeds the %d-byte limit", n, MaxWireString)
+		}
+		if d.off+int(n) > len(d.data) {
+			return sqlval.Null, wireErr(d.off, "truncated string payload (%d of %d bytes)", len(d.data)-d.off, n)
+		}
+		s := string(d.data[d.off : d.off+int(n)])
+		d.off += int(n)
+		return sqlval.Str(s), nil
+	default:
+		return sqlval.Null, wireErr(d.off-1, "unknown value kind %d", kind)
+	}
+}
+
+func (d *wireDecoder) u32(what string) (uint32, error) {
+	if d.off+4 > len(d.data) {
+		return 0, wireErr(d.off, "truncated %s", what)
+	}
+	v := uint32(d.data[d.off])<<24 | uint32(d.data[d.off+1])<<16 |
+		uint32(d.data[d.off+2])<<8 | uint32(d.data[d.off+3])
+	d.off += 4
+	return v, nil
+}
+
+func (d *wireDecoder) u64(what string) (uint64, error) {
+	if d.off+8 > len(d.data) {
+		return 0, wireErr(d.off, "truncated %s", what)
+	}
+	p := d.data[d.off:]
+	v := uint64(p[0])<<56 | uint64(p[1])<<48 | uint64(p[2])<<40 | uint64(p[3])<<32 |
+		uint64(p[4])<<24 | uint64(p[5])<<16 | uint64(p[6])<<8 | uint64(p[7])
+	d.off += 8
+	return v, nil
+}
+
+func appendWireU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendWireU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}

@@ -1,0 +1,247 @@
+package exec
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"qap/internal/sqlval"
+)
+
+// wireSampleBatch is a batch covering every value kind, including the
+// float edge cases that text encodings mangle (NaN, ±Inf, -0, ULP
+// neighbors) and empty/non-ASCII strings.
+func wireSampleBatch() Batch {
+	return Batch{
+		{sqlval.Null, sqlval.Uint(0), sqlval.Uint(math.MaxUint64), sqlval.Int(-1)},
+		{sqlval.Int(math.MinInt64), sqlval.Int(math.MaxInt64)},
+		{sqlval.Float(0), sqlval.Float(math.Copysign(0, -1)), sqlval.Float(math.NaN()),
+			sqlval.Float(math.Inf(1)), sqlval.Float(math.Inf(-1)),
+			sqlval.Float(1.0000000000000002), sqlval.Float(-1.7976931348623157e308)},
+		{sqlval.Bool(true), sqlval.Bool(false)},
+		{sqlval.Str(""), sqlval.Str("srcIP"), sqlval.Str("αβγ\x00\xff")},
+		{}, // the empty tuple is legal on the wire
+	}
+}
+
+// sameWireValue compares decoded against original bit-exactly: floats
+// by their IEEE bits (NaN == NaN on the wire), everything else by kind
+// and payload.
+func sameWireValue(a, b sqlval.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	if a.Kind() == sqlval.KindFloat {
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return math.Float64bits(af) == math.Float64bits(bf)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func sameWireBatch(t *testing.T, want, got Batch) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("tuple count: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if len(want[i]) != len(got[i]) {
+			t.Fatalf("tuple %d: column count want %d, got %d", i, len(want[i]), len(got[i]))
+		}
+		for c := range want[i] {
+			if !sameWireValue(want[i][c], got[i][c]) {
+				t.Fatalf("tuple %d col %d: want %v, got %v", i, c, want[i][c], got[i][c])
+			}
+		}
+	}
+}
+
+// TestWireRoundTripSample: the codec is the identity on a batch
+// covering every kind and the float edge cases, and the re-encoding is
+// byte-identical (the canonical fixed point).
+func TestWireRoundTripSample(t *testing.T) {
+	b := wireSampleBatch()
+	enc := AppendBatchWire(nil, b)
+	dec, err := DecodeBatchWire(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameWireBatch(t, b, dec)
+	re := AppendBatchWire(nil, dec)
+	if !bytes.Equal(enc, re) {
+		t.Fatal("re-encoding a decoded batch changed the bytes")
+	}
+}
+
+// TestWireRoundTripGenerated is the property over realistic traffic:
+// tuples built exactly like the live splitter builds them (a
+// deterministic packet-shaped generator over the TCP schema's column
+// mix) must survive the wire bit-exactly at every batch size,
+// including ragged final chunks.
+//
+// The generator lives here rather than importing netgen: exec is
+// below netgen in the dependency order.
+func TestWireRoundTripGenerated(t *testing.T) {
+	rng := uint64(1)
+	next := func() uint64 { // xorshift64
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	mkTuple := func() Tuple {
+		return Tuple{
+			sqlval.Uint(next() % 1000),       // time
+			sqlval.Uint(next() & 0xFFFFFFFF), // srcIP
+			sqlval.Uint(next() & 0xFFFFFFFF), // destIP
+			sqlval.Uint(next() & 0xFFFF),     // srcPort
+			sqlval.Uint(next() & 0xFFFF),     // destPort
+			sqlval.Uint(next() % 1500),       // len
+			sqlval.Uint(next()),              // seq
+			sqlval.Uint(next() & 0xFF),       // flags
+		}
+	}
+	for _, n := range []int{0, 1, 7, 256, 1024} {
+		b := make(Batch, 0, n)
+		for i := 0; i < n; i++ {
+			b = append(b, mkTuple())
+		}
+		enc := AppendBatchWire(nil, b)
+		dec, err := DecodeBatchWire(enc)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		sameWireBatch(t, b, dec)
+		if re := AppendBatchWire(nil, dec); !bytes.Equal(enc, re) {
+			t.Fatalf("n=%d: re-encoding changed the bytes", n)
+		}
+	}
+}
+
+// TestWireRejectsTruncation: every strict prefix of a valid encoding
+// must be rejected (no partial decode), and so must trailing garbage.
+// Every rejection must be a positioned *WireError.
+func TestWireRejectsTruncation(t *testing.T) {
+	enc := AppendBatchWire(nil, wireSampleBatch())
+	for n := 0; n < len(enc); n++ {
+		_, err := DecodeBatchWire(enc[:n])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes decoded without error", n, len(enc))
+		}
+		we, ok := err.(*WireError)
+		if !ok {
+			t.Fatalf("prefix %d: error is %T, want *WireError", n, err)
+		}
+		if we.Offset < 0 || we.Offset > n {
+			t.Fatalf("prefix %d: error offset %d out of range", n, we.Offset)
+		}
+	}
+	trailing := append(append([]byte(nil), enc...), 0)
+	if _, err := DecodeBatchWire(trailing); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+}
+
+// TestWireRejectsOversized: the wire limits bound every
+// attacker-controlled length before it sizes an allocation.
+func TestWireRejectsOversized(t *testing.T) {
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"tuples", appendWireU32(nil, MaxWireTuples+1)},
+		{"cols", append(appendWireU32(nil, 1), 0xFF, 0xFF)},
+		{"string", append(append(append(appendWireU32(nil, 1),
+			0, 1), byte(sqlval.KindString)), appendWireU32(nil, MaxWireString+1)...)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeBatchWire(tc.data); err == nil {
+			t.Errorf("%s: oversized input decoded without error", tc.name)
+		}
+	}
+}
+
+// TestWireRejectsNonCanonical: inputs with no canonical preimage —
+// bool bytes other than 0/1, unknown kinds — must be rejected, or
+// encode(decode(x)) == x breaks.
+func TestWireRejectsNonCanonical(t *testing.T) {
+	// One single-column tuple with a bool value of 2.
+	bad := append(appendWireU32(nil, 1), 0, 1, byte(sqlval.KindBool), 2)
+	if _, err := DecodeBatchWire(bad); err == nil {
+		t.Error("non-canonical bool byte decoded without error")
+	}
+	// Unknown kind byte.
+	bad = append(appendWireU32(nil, 1), 0, 1, 0xEE)
+	if _, err := DecodeBatchWire(bad); err == nil {
+		t.Error("unknown value kind decoded without error")
+	}
+}
+
+// TestWireKindsPinned pins the sqlval.Kind numbering the codec puts on
+// the wire. Renumbering sqlval is a wire break: this test is the tripwire.
+func TestWireKindsPinned(t *testing.T) {
+	pins := []struct {
+		kind sqlval.Kind
+		want byte
+	}{
+		{sqlval.KindNull, 0},
+		{sqlval.KindUint, 1},
+		{sqlval.KindInt, 2},
+		{sqlval.KindFloat, 3},
+		{sqlval.KindBool, 4},
+		{sqlval.KindString, 5},
+	}
+	for _, p := range pins {
+		if byte(p.kind) != p.want {
+			t.Errorf("sqlval kind %v renumbered to %d (wire pins %d); bump the live ProtocolVersion", p.kind, byte(p.kind), p.want)
+		}
+	}
+}
+
+// TestWireDecodedTuplesAreClamped: decoded tuples must be
+// capacity-clamped so appending to one cannot clobber its slab
+// neighbor (the immutable-tuple contract).
+func TestWireDecodedTuplesAreClamped(t *testing.T) {
+	b := Batch{{sqlval.Uint(1)}, {sqlval.Uint(2)}}
+	dec, err := DecodeBatchWire(AppendBatchWire(nil, b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = append(dec[0], sqlval.Uint(99)) // must copy, not overwrite dec[1][0]
+	if u, _ := dec[1][0].AsUint(); u != 2 {
+		t.Fatal("append through a decoded tuple clobbered its neighbor")
+	}
+}
+
+// FuzzBatchCodec holds the codec to its canonical fixed point: any
+// input that decodes must re-encode to the identical bytes, and the
+// decoded batch must survive a second round trip.
+func FuzzBatchCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(appendWireU32(nil, 0))
+	f.Add(AppendBatchWire(nil, wireSampleBatch()))
+	f.Add(AppendBatchWire(nil, Batch{{sqlval.Uint(7), sqlval.Str("x")}}))
+	f.Add(append(appendWireU32(nil, 1), 0, 1, byte(sqlval.KindBool), 2))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatchWire(data)
+		if err != nil {
+			// Rejected input must carry a positioned error.
+			if _, ok := err.(*WireError); !ok {
+				t.Fatalf("decode error is %T, want *WireError: %v", err, err)
+			}
+			return
+		}
+		re := AppendBatchWire(nil, b)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode accepted non-canonical input:\n in:  %x\n out: %x", data, re)
+		}
+		b2, err := DecodeBatchWire(re)
+		if err != nil {
+			t.Fatalf("re-encoded bytes failed to decode: %v", err)
+		}
+		if len(b2) != len(b) {
+			t.Fatalf("round trip changed tuple count: %d vs %d", len(b), len(b2))
+		}
+	})
+}

@@ -1,0 +1,137 @@
+package live
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultAction is what a scripted fault does to one Write call.
+type FaultAction int
+
+// The fault actions. Frames are written one per Write call, so every
+// action operates on a whole frame and the surviving stream stays
+// frame-aligned.
+const (
+	// FaultDrop swallows the write: the peer sees a sequence gap (or
+	// silence until its read deadline) and forces a reconnect.
+	FaultDrop FaultAction = iota + 1
+	// FaultDup writes the frame twice: the peer must dedup by
+	// sequence.
+	FaultDup
+	// FaultStall sleeps before writing, long enough to trip the peer's
+	// read deadline when scripted that way.
+	FaultStall
+	// FaultCut closes the connection instead of writing: both
+	// directions die and the unacked tails must be retransmitted.
+	FaultCut
+)
+
+// ErrInjectedCut is returned by a Write that a FaultCut consumed.
+var ErrInjectedCut = errors.New("live: injected connection cut")
+
+// Fault scripts one deterministic transport misbehavior, keyed by the
+// coordinates the session machinery already exposes: which host, which
+// connection attempt (splitter side) or accepted session (node side),
+// and which Write call on that connection. -1 matches any value.
+type Fault struct {
+	Host    int
+	Session int
+	Write   int
+	Action  FaultAction
+	// Stall is the FaultStall sleep.
+	Stall time.Duration
+}
+
+// FaultPlan is a set of scripted faults plus a hit counter, so tests
+// can assert the script actually fired. Wire it in with Dial (splitter
+// side) and WrapAccept (node side).
+type FaultPlan struct {
+	Faults []Fault
+
+	mu   sync.Mutex
+	hits int
+}
+
+func (p *FaultPlan) match(host, session, write int) *Fault {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		if (f.Host == -1 || f.Host == host) &&
+			(f.Session == -1 || f.Session == session) &&
+			(f.Write == -1 || f.Write == write) {
+			p.mu.Lock()
+			p.hits++
+			p.mu.Unlock()
+			return f
+		}
+	}
+	return nil
+}
+
+// Hits is how many Write calls a fault was applied to.
+func (p *FaultPlan) Hits() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits
+}
+
+// Dial wraps a dial function so every splitter connection's writes run
+// through the plan.
+func (p *FaultPlan) Dial(base func(host, attempt int, addr string) (net.Conn, error)) func(host, attempt int, addr string) (net.Conn, error) {
+	return func(host, attempt int, addr string) (net.Conn, error) {
+		conn, err := base(host, attempt, addr)
+		if err != nil {
+			return nil, err
+		}
+		return &faultConn{Conn: conn, plan: p, host: host, session: attempt}, nil
+	}
+}
+
+// WrapAccept wraps a node's accepted connections the same way; host is
+// the node's host index (a node doesn't learn it from the listener).
+func (p *FaultPlan) WrapAccept(host int) func(conn net.Conn, session int) net.Conn {
+	return func(conn net.Conn, session int) net.Conn {
+		return &faultConn{Conn: conn, plan: p, host: host, session: session}
+	}
+}
+
+// faultConn applies the plan's scripted actions to Write calls.
+type faultConn struct {
+	net.Conn
+	plan    *FaultPlan
+	host    int
+	session int
+
+	mu     sync.Mutex
+	writes int
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	c.mu.Lock()
+	idx := c.writes
+	c.writes++
+	c.mu.Unlock()
+	f := c.plan.match(c.host, c.session, idx)
+	if f == nil {
+		return c.Conn.Write(b)
+	}
+	switch f.Action {
+	case FaultDrop:
+		// Pretend the write succeeded; the bytes are gone.
+		return len(b), nil
+	case FaultDup:
+		n, err := c.Conn.Write(b)
+		if err == nil {
+			_, err = c.Conn.Write(b)
+		}
+		return n, err
+	case FaultStall:
+		time.Sleep(f.Stall) //qap:allow walltime -- the scripted stall fault is wall-clock by design; recovery restores identical outputs
+		return c.Conn.Write(b)
+	case FaultCut:
+		c.Conn.Close()
+		return 0, ErrInjectedCut
+	}
+	return c.Conn.Write(b)
+}

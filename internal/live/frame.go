@@ -1,0 +1,93 @@
+// Package live is the wire layer of the live TCP cluster backend: a
+// length-prefixed frame format, the splitter/node protocol messages
+// (paper Section 3.3: a splitter ships hash-routed tuple rounds to
+// per-host nodes, which ship their island-crossing deliveries back),
+// reliable resumable sessions with credit-based backpressure, and a
+// deterministic fault-injection net.Conn wrapper for the recovery
+// tests.
+//
+// The package knows nothing about plans or operators: it moves framed
+// messages whose tuple payloads use the exec batch wire codec. The
+// cluster package's live engine supplies an Executor that turns feed
+// messages into link messages; cmd/qap-node serves the same Executor
+// from a separate OS process.
+//
+// Reliability model: each direction of a connection carries a
+// monotonically sequenced stream of frames with cumulative
+// acknowledgements. A lost or reordered frame surfaces as a sequence
+// gap or a decode error, either of which kills the connection; the
+// splitter redials, the handshake exchanges each side's
+// applied-through sequence, and both sides retransmit their unacked
+// tails. Duplicated frames (a retransmit racing an ack, or an injected
+// fault) are detected by sequence and skipped, so every feed is
+// executed exactly once and every link delivered exactly once — which
+// is what makes recovery byte-identical to an undisturbed run.
+package live
+
+import (
+	"fmt"
+	"io"
+)
+
+// Frame types.
+const (
+	frameHello   = byte(1) // splitter -> node: session open/resume
+	frameWelcome = byte(2) // node -> splitter: resume point reply
+	frameFeed    = byte(3) // splitter -> node: a batch of rounds
+	frameLink    = byte(4) // node -> splitter: captured island crossings
+	frameFeedAck = byte(5) // node -> splitter: feed executed (credit release)
+	frameLinkAck = byte(6) // splitter -> node: link applied
+	frameResult  = byte(7) // node -> splitter: final island shards (remote mode)
+)
+
+// DefaultMaxFrame bounds one frame's payload; larger frames are a
+// protocol error. Feeds are paced by rounds (a round is a handful of
+// packets at realistic trace rates), so real frames sit far below it.
+const DefaultMaxFrame = 16 << 20
+
+// frameHeaderLen is the 4-byte big-endian payload length plus the type
+// byte.
+const frameHeaderLen = 5
+
+// appendFrame appends a complete frame (header, type, payload) to dst.
+func appendFrame(dst []byte, typ byte, payload []byte) []byte {
+	n := len(payload) + 1
+	dst = append(dst, byte(n>>24), byte(n>>16), byte(n>>8), byte(n), typ)
+	return append(dst, payload...)
+}
+
+// writeFrame sends one frame in a single Write call, so the fault
+// wrapper's per-Write drop/duplicate faults operate on whole frames
+// and a surviving stream always re-synchronizes at a frame boundary.
+func writeFrame(w io.Writer, scratch []byte, typ byte, payload []byte) ([]byte, error) {
+	buf := appendFrame(scratch[:0], typ, payload)
+	_, err := w.Write(buf)
+	return buf, err
+}
+
+// readFrame reads one frame. The returned payload aliases buf (grown
+// as needed); it is valid until the next call.
+func readFrame(r io.Reader, maxFrame int, buf []byte) (typ byte, payload, newBuf []byte, err error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, buf, err
+	}
+	n := int(hdr[0])<<24 | int(hdr[1])<<16 | int(hdr[2])<<8 | int(hdr[3])
+	if n < 1 {
+		return 0, nil, buf, fmt.Errorf("live: frame with %d-byte body", n)
+	}
+	if n-1 > maxFrame {
+		return 0, nil, buf, fmt.Errorf("live: %d-byte frame exceeds the %d-byte limit", n-1, maxFrame)
+	}
+	if cap(buf) < n-1 {
+		buf = make([]byte, n-1)
+	}
+	buf = buf[:n-1]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, buf, fmt.Errorf("live: truncated frame body: %w", err)
+	}
+	return hdr[4], buf, buf, nil
+}

@@ -1,0 +1,496 @@
+package live
+
+import (
+	"fmt"
+
+	"qap/internal/exec"
+)
+
+// ProtocolVersion is bumped on any wire-incompatible change; the
+// handshake rejects a peer speaking a different version.
+const ProtocolVersion = 1
+
+// Hello opens (or resumes) a session, splitter -> node.
+type Hello struct {
+	Version int
+	// Host is the leaf island the splitter expects this node to serve.
+	Host int
+	// BatchSize is the engine's operator batch size; the node must
+	// execute with the same one for byte-identical results.
+	BatchSize int
+	// ResumeLink is the last link-stream sequence the collector has
+	// applied from this node; the node retransmits everything after it.
+	ResumeLink uint64
+	// Streams is the canonical cursor order of the run's source
+	// streams (lower-case names): group Stream indexes and advance
+	// tags are defined against it.
+	Streams []string
+	// Fingerprint identifies the plan + run configuration; a node
+	// serving a different deployment refuses the session.
+	Fingerprint string
+}
+
+// Welcome answers a Hello, node -> splitter.
+type Welcome struct {
+	Version int
+	// ResumeFeed is the last feed sequence the node has executed; the
+	// splitter retransmits everything after it.
+	ResumeFeed uint64
+	// HasResult announces that the node will ship a final Result frame
+	// (remote mode) after its last link.
+	HasResult bool
+}
+
+// Group is one destination partition's routed tuples within a round.
+type Group struct {
+	// Tag is the canonical delivery tag (the round-local sequence of
+	// the group's first tuple, in the splitter's push phase).
+	Tag uint64
+	// Stream indexes Hello.Streams; Part is the destination partition.
+	Stream int
+	Part   int
+	Tuples exec.Batch
+}
+
+// Round is one watermark round of a feed.
+type Round struct {
+	Round  int
+	WM     uint64
+	Adv    bool
+	Flush  bool
+	Groups []Group
+}
+
+// FeedMsg carries a batch of rounds for one host.
+type FeedMsg struct {
+	Seq    uint64
+	Last   bool
+	Rounds []Round
+}
+
+// ItemKind enumerates captured island-crossing deliveries; the values
+// are the wire encoding.
+type ItemKind uint8
+
+// The item kinds, mirroring the simulator's link items.
+const (
+	ItemPush ItemKind = iota
+	ItemPushBatch
+	ItemAdvance
+	ItemFlush
+)
+
+// Item is one captured delivery into the central island.
+type Item struct {
+	Round int
+	Tag   uint64
+	Kind  ItemKind
+	// Edge is the deterministic island-crossing edge id assigned at
+	// compile time.
+	Edge  int
+	WM    uint64
+	MWM   uint64
+	Tuple exec.Tuple
+	Batch exec.Batch
+}
+
+// LinkMsg ships a node's captured deliveries for a range of rounds.
+type LinkMsg struct {
+	Seq uint64
+	// Host is stamped by the receiving splitter session.
+	Host    int
+	Through int
+	Done    bool
+	Items   []Item
+}
+
+// ---- encoding ----
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v>>8), byte(v))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst,
+		byte(v>>56), byte(v>>48), byte(v>>40), byte(v>>32),
+		byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = appendU32(dst, uint32(len(s)))
+	return append(dst, s...)
+}
+
+// appendBatchBlob embeds a batch as a length-prefixed exec wire blob,
+// so the decoder can hand the exact span to exec.DecodeBatchWire.
+func appendBatchBlob(dst []byte, b exec.Batch) []byte {
+	at := len(dst)
+	dst = appendU32(dst, 0)
+	dst = exec.AppendBatchWire(dst, b)
+	n := uint32(len(dst) - at - 4)
+	dst[at], dst[at+1], dst[at+2], dst[at+3] = byte(n>>24), byte(n>>16), byte(n>>8), byte(n)
+	return dst
+}
+
+func (m *Hello) encode(dst []byte) []byte {
+	dst = append(dst, byte(m.Version))
+	dst = appendU32(dst, uint32(m.Host))
+	dst = appendU32(dst, uint32(m.BatchSize))
+	dst = appendU64(dst, m.ResumeLink)
+	dst = appendU16(dst, uint16(len(m.Streams)))
+	for _, s := range m.Streams {
+		dst = appendString(dst, s)
+	}
+	return appendString(dst, m.Fingerprint)
+}
+
+func (m *Welcome) encode(dst []byte) []byte {
+	dst = append(dst, byte(m.Version))
+	dst = appendU64(dst, m.ResumeFeed)
+	flags := byte(0)
+	if m.HasResult {
+		flags |= 1
+	}
+	return append(dst, flags)
+}
+
+func (m *FeedMsg) encode(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	flags := byte(0)
+	if m.Last {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = appendU32(dst, uint32(len(m.Rounds)))
+	for i := range m.Rounds {
+		r := &m.Rounds[i]
+		dst = appendU32(dst, uint32(r.Round))
+		dst = appendU64(dst, r.WM)
+		rf := byte(0)
+		if r.Adv {
+			rf |= 1
+		}
+		if r.Flush {
+			rf |= 2
+		}
+		dst = append(dst, rf)
+		dst = appendU32(dst, uint32(len(r.Groups)))
+		for gi := range r.Groups {
+			g := &r.Groups[gi]
+			dst = appendU64(dst, g.Tag)
+			dst = appendU16(dst, uint16(g.Stream))
+			dst = appendU32(dst, uint32(g.Part))
+			dst = appendBatchBlob(dst, g.Tuples)
+		}
+	}
+	return dst
+}
+
+func (m *LinkMsg) encode(dst []byte) []byte {
+	dst = appendU64(dst, m.Seq)
+	flags := byte(0)
+	if m.Done {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = appendU64(dst, uint64(int64(m.Through)))
+	dst = appendU32(dst, uint32(len(m.Items)))
+	for i := range m.Items {
+		it := &m.Items[i]
+		dst = appendU32(dst, uint32(it.Round))
+		dst = appendU64(dst, it.Tag)
+		dst = append(dst, byte(it.Kind))
+		dst = appendU32(dst, uint32(it.Edge))
+		dst = appendU64(dst, it.WM)
+		dst = appendU64(dst, it.MWM)
+		switch it.Kind {
+		case ItemPush:
+			dst = appendBatchBlob(dst, exec.Batch{it.Tuple})
+		case ItemPushBatch:
+			dst = appendBatchBlob(dst, it.Batch)
+		}
+	}
+	return dst
+}
+
+// ---- decoding ----
+
+type protoDecoder struct {
+	data []byte
+	off  int
+}
+
+func (d *protoDecoder) fail(what string) error {
+	return fmt.Errorf("live: truncated %s at offset %d", what, d.off)
+}
+
+func (d *protoDecoder) u8(what string) (byte, error) {
+	if d.off >= len(d.data) {
+		return 0, d.fail(what)
+	}
+	v := d.data[d.off]
+	d.off++
+	return v, nil
+}
+
+func (d *protoDecoder) u16(what string) (int, error) {
+	if d.off+2 > len(d.data) {
+		return 0, d.fail(what)
+	}
+	v := int(d.data[d.off])<<8 | int(d.data[d.off+1])
+	d.off += 2
+	return v, nil
+}
+
+func (d *protoDecoder) u32(what string) (uint32, error) {
+	if d.off+4 > len(d.data) {
+		return 0, d.fail(what)
+	}
+	p := d.data[d.off:]
+	d.off += 4
+	return uint32(p[0])<<24 | uint32(p[1])<<16 | uint32(p[2])<<8 | uint32(p[3]), nil
+}
+
+func (d *protoDecoder) u64(what string) (uint64, error) {
+	if d.off+8 > len(d.data) {
+		return 0, d.fail(what)
+	}
+	p := d.data[d.off:]
+	d.off += 8
+	return uint64(p[0])<<56 | uint64(p[1])<<48 | uint64(p[2])<<40 | uint64(p[3])<<32 |
+		uint64(p[4])<<24 | uint64(p[5])<<16 | uint64(p[6])<<8 | uint64(p[7]), nil
+}
+
+func (d *protoDecoder) str(what string) (string, error) {
+	n, err := d.u32(what)
+	if err != nil {
+		return "", err
+	}
+	if d.off+int(n) > len(d.data) {
+		return "", d.fail(what)
+	}
+	s := string(d.data[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *protoDecoder) batch(what string) (exec.Batch, error) {
+	n, err := d.u32(what)
+	if err != nil {
+		return nil, err
+	}
+	if d.off+int(n) > len(d.data) {
+		return nil, d.fail(what)
+	}
+	b, err := exec.DecodeBatchWire(d.data[d.off : d.off+int(n)])
+	if err != nil {
+		return nil, fmt.Errorf("live: %s: %w", what, err)
+	}
+	d.off += int(n)
+	return b, nil
+}
+
+func (d *protoDecoder) finish(what string) error {
+	if d.off != len(d.data) {
+		return fmt.Errorf("live: %d trailing bytes after %s", len(d.data)-d.off, what)
+	}
+	return nil
+}
+
+func decodeHello(data []byte) (*Hello, error) {
+	d := protoDecoder{data: data}
+	m := &Hello{}
+	v, err := d.u8("hello version")
+	if err != nil {
+		return nil, err
+	}
+	m.Version = int(v)
+	host, err := d.u32("hello host")
+	if err != nil {
+		return nil, err
+	}
+	m.Host = int(host)
+	bs, err := d.u32("hello batch size")
+	if err != nil {
+		return nil, err
+	}
+	m.BatchSize = int(bs)
+	if m.ResumeLink, err = d.u64("hello resume"); err != nil {
+		return nil, err
+	}
+	ns, err := d.u16("hello stream count")
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ns; i++ {
+		s, err := d.str("hello stream name")
+		if err != nil {
+			return nil, err
+		}
+		m.Streams = append(m.Streams, s)
+	}
+	if m.Fingerprint, err = d.str("hello fingerprint"); err != nil {
+		return nil, err
+	}
+	return m, d.finish("hello")
+}
+
+func decodeWelcome(data []byte) (*Welcome, error) {
+	d := protoDecoder{data: data}
+	m := &Welcome{}
+	v, err := d.u8("welcome version")
+	if err != nil {
+		return nil, err
+	}
+	m.Version = int(v)
+	if m.ResumeFeed, err = d.u64("welcome resume"); err != nil {
+		return nil, err
+	}
+	flags, err := d.u8("welcome flags")
+	if err != nil {
+		return nil, err
+	}
+	m.HasResult = flags&1 != 0
+	return m, d.finish("welcome")
+}
+
+func decodeFeed(data []byte) (*FeedMsg, error) {
+	d := protoDecoder{data: data}
+	m := &FeedMsg{}
+	var err error
+	if m.Seq, err = d.u64("feed seq"); err != nil {
+		return nil, err
+	}
+	flags, err := d.u8("feed flags")
+	if err != nil {
+		return nil, err
+	}
+	m.Last = flags&1 != 0
+	nr, err := d.u32("feed round count")
+	if err != nil {
+		return nil, err
+	}
+	m.Rounds = make([]Round, 0, nr)
+	for i := uint32(0); i < nr; i++ {
+		var r Round
+		rd, err := d.u32("round index")
+		if err != nil {
+			return nil, err
+		}
+		r.Round = int(rd)
+		if r.WM, err = d.u64("round watermark"); err != nil {
+			return nil, err
+		}
+		rf, err := d.u8("round flags")
+		if err != nil {
+			return nil, err
+		}
+		r.Adv, r.Flush = rf&1 != 0, rf&2 != 0
+		ng, err := d.u32("round group count")
+		if err != nil {
+			return nil, err
+		}
+		for g := uint32(0); g < ng; g++ {
+			var gr Group
+			if gr.Tag, err = d.u64("group tag"); err != nil {
+				return nil, err
+			}
+			if gr.Stream, err = d.u16("group stream"); err != nil {
+				return nil, err
+			}
+			part, err := d.u32("group partition")
+			if err != nil {
+				return nil, err
+			}
+			gr.Part = int(part)
+			if gr.Tuples, err = d.batch("group tuples"); err != nil {
+				return nil, err
+			}
+			r.Groups = append(r.Groups, gr)
+		}
+		m.Rounds = append(m.Rounds, r)
+	}
+	return m, d.finish("feed")
+}
+
+func decodeLink(data []byte) (*LinkMsg, error) {
+	d := protoDecoder{data: data}
+	m := &LinkMsg{}
+	var err error
+	if m.Seq, err = d.u64("link seq"); err != nil {
+		return nil, err
+	}
+	flags, err := d.u8("link flags")
+	if err != nil {
+		return nil, err
+	}
+	m.Done = flags&1 != 0
+	through, err := d.u64("link through")
+	if err != nil {
+		return nil, err
+	}
+	m.Through = int(int64(through))
+	ni, err := d.u32("link item count")
+	if err != nil {
+		return nil, err
+	}
+	m.Items = make([]Item, 0, ni)
+	for i := uint32(0); i < ni; i++ {
+		var it Item
+		rd, err := d.u32("item round")
+		if err != nil {
+			return nil, err
+		}
+		it.Round = int(rd)
+		if it.Tag, err = d.u64("item tag"); err != nil {
+			return nil, err
+		}
+		k, err := d.u8("item kind")
+		if err != nil {
+			return nil, err
+		}
+		it.Kind = ItemKind(k)
+		edge, err := d.u32("item edge")
+		if err != nil {
+			return nil, err
+		}
+		it.Edge = int(edge)
+		if it.WM, err = d.u64("item wm"); err != nil {
+			return nil, err
+		}
+		if it.MWM, err = d.u64("item mwm"); err != nil {
+			return nil, err
+		}
+		switch it.Kind {
+		case ItemPush:
+			b, err := d.batch("item tuple")
+			if err != nil {
+				return nil, err
+			}
+			if len(b) != 1 {
+				return nil, fmt.Errorf("live: push item carries %d tuples", len(b))
+			}
+			it.Tuple = b[0]
+		case ItemPushBatch:
+			if it.Batch, err = d.batch("item batch"); err != nil {
+				return nil, err
+			}
+		case ItemAdvance, ItemFlush:
+		default:
+			return nil, fmt.Errorf("live: unknown item kind %d", k)
+		}
+		m.Items = append(m.Items, it)
+	}
+	return m, d.finish("link")
+}
+
+// decodeSeq peeks the leading sequence number shared by feed, link,
+// and result frames.
+func decodeSeq(data []byte) (uint64, error) {
+	d := protoDecoder{data: data}
+	return d.u64("frame seq")
+}

@@ -1,0 +1,281 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Splitter is the ingress side of the live backend: one reliable
+// session per host, a credit-bounded feed outbox each, and a shared
+// inbox of link messages for the collector's replay merge.
+type Splitter struct {
+	cfg   Config
+	hello Hello
+	peers []*peer
+	links chan *LinkMsg
+	errc  chan error
+	stop  chan struct{}
+	once  sync.Once
+	wg    sync.WaitGroup
+}
+
+// NewSplitter builds a splitter for one host address per leaf island.
+// hello is the session template (BatchSize, Streams, Fingerprint);
+// Host and ResumeLink are stamped per peer.
+func NewSplitter(cfg Config, hello Hello, addrs []string) *Splitter {
+	s := &Splitter{
+		cfg:   cfg,
+		hello: hello,
+		links: make(chan *LinkMsg, 2*len(addrs)+2),
+		errc:  make(chan error, len(addrs)+1),
+		stop:  make(chan struct{}),
+	}
+	for h, addr := range addrs {
+		s.peers = append(s.peers, &peer{
+			sp:   s,
+			host: h,
+			addr: addr,
+			out:  newOutbox(cfg.credits()),
+		})
+	}
+	return s
+}
+
+// Start launches the per-host connection loops.
+func (s *Splitter) Start() {
+	for _, p := range s.peers {
+		s.wg.Add(1)
+		go p.run()
+	}
+}
+
+// SendFeed queues one feed message for host, blocking while the
+// host's credit window is exhausted — the backpressure that bounds
+// splitter memory under a slow consumer. m.Seq is assigned here.
+func (s *Splitter) SendFeed(host int, m *FeedMsg) error {
+	p := s.peers[host]
+	deadline := time.Now().Add(s.cfg.timeout()) //qap:allow walltime -- credit-stall deadline; transport pacing never shapes outputs
+	_, err := p.out.append(frameFeed, deadline, func(seq uint64, dst []byte) []byte {
+		m.Seq = seq
+		return m.encode(dst)
+	})
+	if err != nil {
+		return fmt.Errorf("live: host %d: feed: %w", host, err)
+	}
+	return nil
+}
+
+// Links is the shared stream of decoded link messages, each stamped
+// with its host, delivered in per-host sequence order.
+func (s *Splitter) Links() <-chan *LinkMsg { return s.links }
+
+// Errs delivers fatal per-host errors (retries exhausted, protocol
+// violations).
+func (s *Splitter) Errs() <-chan error { return s.errc }
+
+// Result returns host's final result payload (remote mode), valid
+// after Wait.
+func (s *Splitter) Result(host int) []byte { return s.peers[host].result }
+
+// Wait blocks until every peer loop has exited — each host finished
+// (done link seen, result received if promised) or failed.
+func (s *Splitter) Wait(d time.Duration) error {
+	ch := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(ch)
+	}()
+	select {
+	case <-ch:
+		return nil
+	case <-time.After(d): //qap:allow walltime -- drain guard; a timeout fails the wait, never shapes outputs
+		return fmt.Errorf("live: splitter: peers still draining after %s", d)
+	}
+}
+
+// Close aborts every peer and waits for them to exit.
+func (s *Splitter) Close() {
+	s.once.Do(func() { close(s.stop) })
+	for _, p := range s.peers {
+		p.out.close()
+		p.mu.Lock()
+		if p.conn != nil {
+			p.conn.Close()
+		}
+		p.mu.Unlock()
+	}
+	s.wg.Wait()
+}
+
+func (s *Splitter) fatal(err error) {
+	select {
+	case s.errc <- err:
+	default:
+	}
+}
+
+// peer is one host's connection loop.
+type peer struct {
+	sp   *Splitter
+	host int
+	addr string
+	out  *outbox
+
+	// linkSeen is the last link sequence applied (delivered to the
+	// shared inbox); it is the resume point sent in each Hello.
+	linkSeen   uint64
+	done       bool
+	wantResult bool
+	result     []byte
+	attempts   int
+	fails      int
+
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (p *peer) finished() bool {
+	return p.done && (!p.wantResult || p.result != nil)
+}
+
+func (p *peer) stopping() bool {
+	select {
+	case <-p.sp.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *peer) run() {
+	defer p.sp.wg.Done()
+	dial := p.sp.cfg.dialFn()
+	for {
+		if p.stopping() {
+			return
+		}
+		attempt := p.attempts
+		p.attempts++
+		conn, err := dial(p.host, attempt, p.addr)
+		if err == nil {
+			p.mu.Lock()
+			p.conn = conn
+			p.mu.Unlock()
+			err = p.session(conn)
+			p.mu.Lock()
+			p.conn = nil
+			p.mu.Unlock()
+			conn.Close()
+		}
+		if p.finished() || p.stopping() {
+			return
+		}
+		p.fails++
+		if p.fails >= p.sp.cfg.maxAttempts() {
+			p.sp.fatal(fmt.Errorf("live: host %d: giving up after %d consecutive failed attempts (link seq %d): %w",
+				p.host, p.fails, p.linkSeen, err))
+			return
+		}
+		backoff := time.Duration(p.fails) * 5 * time.Millisecond
+		if backoff > 100*time.Millisecond {
+			backoff = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(backoff): //qap:allow walltime -- reconnect backoff; recovery restores identical outputs
+		case <-p.sp.stop:
+			return
+		}
+	}
+}
+
+// session runs the handshake and the link loop on one connection. A
+// nil return means the host finished cleanly.
+func (p *peer) session(conn net.Conn) error {
+	to := p.sp.cfg.timeout()
+	hello := p.sp.hello
+	hello.Version = ProtocolVersion
+	hello.Host = p.host
+	hello.ResumeLink = p.linkSeen
+	conn.SetWriteDeadline(time.Now().Add(to)) //qap:allow walltime -- I/O deadline; transport pacing never shapes outputs
+	if _, err := writeFrame(conn, nil, frameHello, hello.encode(nil)); err != nil {
+		return err
+	}
+	conn.SetReadDeadline(time.Now().Add(to)) //qap:allow walltime -- I/O deadline; transport pacing never shapes outputs
+	typ, payload, buf, err := readFrame(conn, p.sp.cfg.maxFrame(), nil)
+	if err != nil {
+		return err
+	}
+	if typ != frameWelcome {
+		return fmt.Errorf("live: host %d: expected welcome, got frame type %d", p.host, typ)
+	}
+	w, err := decodeWelcome(payload)
+	if err != nil {
+		return err
+	}
+	if w.Version != ProtocolVersion {
+		return fmt.Errorf("live: host %d: protocol version %d, want %d", p.host, w.Version, ProtocolVersion)
+	}
+	p.wantResult = w.HasResult
+	p.out.rewind(w.ResumeFeed)
+	p.fails = 0
+
+	s := newSession(conn, p.sp.cfg, p.out, frameLinkAck)
+	s.start()
+	defer s.shutdown()
+	for {
+		typ, payload, buf, err = s.read(buf)
+		if err != nil {
+			if p.finished() {
+				return nil
+			}
+			if werr := s.writeErr(); werr != nil {
+				return werr
+			}
+			return err
+		}
+		switch typ {
+		case frameFeedAck:
+			seq, err := decodeAck(payload)
+			if err != nil {
+				return err
+			}
+			p.out.ack(seq)
+		case frameLink, frameResult:
+			seq, err := decodeSeq(payload)
+			if err != nil {
+				return err
+			}
+			if seq <= p.linkSeen {
+				// A retransmit raced our ack: already applied, re-ack.
+				s.setAck(p.linkSeen)
+				continue
+			}
+			if seq != p.linkSeen+1 {
+				return fmt.Errorf("live: host %d: link gap: got seq %d, want %d", p.host, seq, p.linkSeen+1)
+			}
+			if typ == frameLink {
+				m, err := decodeLink(payload)
+				if err != nil {
+					return err
+				}
+				m.Host = p.host
+				select {
+				case p.sp.links <- m:
+				case <-p.sp.stop:
+					return errStopped
+				}
+				if m.Done {
+					p.done = true
+				}
+			} else {
+				p.result = append([]byte(nil), payload[8:]...)
+			}
+			p.linkSeen = seq
+			s.setAck(seq)
+		default:
+			return fmt.Errorf("live: host %d: unexpected frame type %d", p.host, typ)
+		}
+	}
+}

@@ -209,6 +209,27 @@ func (s *Shard) Emit(e Event) {
 	s.events = append(s.events, e)
 }
 
+// EmitAll appends events in order. The live backend uses it to install
+// a remote island's shipped shard into the local collector's shard.
+func (s *Shard) EmitAll(events []Event) {
+	if s == nil {
+		return
+	}
+	for _, e := range events {
+		s.Emit(e)
+	}
+}
+
+// Events returns a copy of the shard's buffered events in emission
+// order. The live backend uses it to serialize a remote island's shard;
+// unlike drain it leaves the shard intact.
+func (s *Shard) Events() []Event {
+	if s == nil {
+		return nil
+	}
+	return append([]Event(nil), s.drain()...)
+}
+
 // Dropped reports how many events the ring overwrote.
 func (s *Shard) Dropped() int64 {
 	if s == nil {

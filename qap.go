@@ -19,6 +19,7 @@ package qap
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"qap/internal/cluster"
 	"qap/internal/core"
@@ -292,7 +293,34 @@ type DeployConfig struct {
 	// cluster.DefaultTraceWindowSec pacing. Nil (the default) disables
 	// tracing; the run is never perturbed either way.
 	Trace *RunTraceConfig
+	// Engine selects the cluster backend: EngineSim ("" or "sim") runs
+	// the in-process simulator; EngineLive ("live") runs each leaf host
+	// as a node behind a real TCP listener — in-process goroutine nodes
+	// by default, separate qap-node processes via Live.Nodes — with the
+	// splitter shipping serialized tuple batches over persistent
+	// connections. Canonical results, OpStats, monitoring series, and
+	// trace bytes are byte-identical across backends.
+	Engine string
+	// Live tunes the live backend (addresses, timeouts, credit
+	// windows, fault injection); ignored by the simulator.
+	Live LiveOptions
+	// DriveTimeout bounds every blocking receive in the drive loops of
+	// both backends, so a wedged worker or node fails the run with a
+	// positioned error instead of hanging. 0 leaves the simulator
+	// unguarded and the live backend on its transport timeout.
+	DriveTimeout time.Duration
 }
+
+// The DeployConfig.Engine values.
+const (
+	// EngineSim is the in-process simulator (the default).
+	EngineSim = cluster.EngineSim
+	// EngineLive is the live TCP backend.
+	EngineLive = cluster.EngineLive
+)
+
+// LiveOptions tunes the live TCP backend; see cluster.LiveConfig.
+type LiveOptions = cluster.LiveConfig
 
 // Deployment is a compiled distributed plan ready to run traces.
 type Deployment struct {
@@ -391,21 +419,7 @@ func (d *Deployment) Run(stream string, packets []netgen.Packet) (*RunResult, er
 // RunStreams feeds one trace per source stream, interleaved in global
 // time order, for query sets that join several input streams.
 func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult, error) {
-	costs := d.cfg.Costs
-	if costs.ScanCost == 0 && costs.RemoteCost == 0 {
-		def := cluster.DefaultCosts()
-		def.CapacityPerSec = costs.CapacityPerSec
-		costs = def
-	}
-	r, err := cluster.NewRunner(d.plan, cluster.RunConfig{
-		Costs:         costs,
-		Params:        d.params,
-		Workers:       d.cfg.Workers,
-		BatchSize:     d.cfg.BatchSize,
-		CollectStats:  d.cfg.CollectStats,
-		LoadWindowSec: d.cfg.LoadWindowSec,
-		Trace:         d.cfg.Trace,
-	})
+	r, err := d.newRunner()
 	if err != nil {
 		return nil, err
 	}
@@ -422,6 +436,44 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 		Trace:      res.Trace,
 		report:     res.Report,
 	}, nil
+}
+
+// newRunner instantiates the deployment's cluster runner with fresh
+// operator state.
+func (d *Deployment) newRunner() (*cluster.Runner, error) {
+	costs := d.cfg.Costs
+	if costs.ScanCost == 0 && costs.RemoteCost == 0 {
+		def := cluster.DefaultCosts()
+		def.CapacityPerSec = costs.CapacityPerSec
+		costs = def
+	}
+	return cluster.NewRunner(d.plan, cluster.RunConfig{
+		Costs:         costs,
+		Params:        d.params,
+		Workers:       d.cfg.Workers,
+		BatchSize:     d.cfg.BatchSize,
+		CollectStats:  d.cfg.CollectStats,
+		LoadWindowSec: d.cfg.LoadWindowSec,
+		Trace:         d.cfg.Trace,
+		Engine:        d.cfg.Engine,
+		Live:          d.cfg.Live,
+		DriveTimeout:  d.cfg.DriveTimeout,
+	})
+}
+
+// ServeLiveHost serves one leaf host of this deployment as a live TCP
+// node on addr, for running hosts as separate OS processes
+// (cmd/qap-node). The deployment must be built with Engine EngineLive
+// and the exact configuration the splitter process uses — the
+// handshake's deployment fingerprint rejects anything else. ready,
+// when non-nil, receives the bound listen address before serving.
+// Blocks until the host's work is complete and acknowledged.
+func (d *Deployment) ServeLiveHost(host int, addr string, ready func(addr string)) error {
+	r, err := d.newRunner()
+	if err != nil {
+		return err
+	}
+	return r.ServeLiveHost(host, addr, ready)
 }
 
 // Uint wraps a uint64 as a parameter value.
