@@ -213,7 +213,7 @@ func checkExec(path string) int {
 	}
 	var scalar *obs.ExecBenchRow
 	for i := range rep.Rows {
-		if rep.Rows[i].BatchSize == 1 {
+		if rep.Rows[i].BatchSize == 1 && !rep.Rows[i].Columnar {
 			scalar = &rep.Rows[i]
 		}
 	}
@@ -221,7 +221,7 @@ func checkExec(path string) int {
 		return bad("no batch-size-1 scalar baseline row")
 	}
 	problems := 0
-	gateMet := false
+	gateMet, columnarGateMet := false, false
 	for _, row := range rep.Rows {
 		speedup, allocRatio := 0.0, 0.0
 		if scalar.RowsPerSec > 0 {
@@ -231,10 +231,13 @@ func checkExec(path string) int {
 			allocRatio = float64(row.AllocsPerRun) / float64(scalar.AllocsPerRun)
 		}
 		if !approxEq(speedup, row.SpeedupVsScalar) || !approxEq(allocRatio, row.AllocRatioVsScalar) {
-			problems += bad("batch %d: stored ratios (%.6f, %.6f) != recomputed (%.6f, %.6f)",
-				row.BatchSize, row.SpeedupVsScalar, row.AllocRatioVsScalar, speedup, allocRatio)
+			problems += bad("batch %d (columnar=%v): stored ratios (%.6f, %.6f) != recomputed (%.6f, %.6f)",
+				row.BatchSize, row.Columnar, row.SpeedupVsScalar, row.AllocRatioVsScalar, speedup, allocRatio)
 		}
-		if row.BatchSize > 1 && speedup >= rep.GateMinSpeedup && allocRatio <= rep.GateMaxAllocRatio {
+		switch {
+		case row.Columnar && speedup >= rep.GateMinColumnarSpeedup && allocRatio <= rep.GateMaxColumnarAllocRatio:
+			columnarGateMet = true
+		case !row.Columnar && row.BatchSize > 1 && speedup >= rep.GateMinSpeedup && allocRatio <= rep.GateMaxAllocRatio:
 			gateMet = true
 		}
 	}
@@ -245,6 +248,19 @@ func checkExec(path string) int {
 	if !gateMet {
 		problems += bad("batched-execution gate does not hold: no batched row reaches >=%.1fx speedup at <=%.2fx allocs",
 			rep.GateMinSpeedup, rep.GateMaxAllocRatio)
+	}
+	// Columnar thresholds are additive: reports written before the
+	// columnar path existed carry neither thresholds nor columnar rows
+	// and are checked only against the batched gate above.
+	if rep.GateMinColumnarSpeedup > 0 {
+		if columnarGateMet != rep.ColumnarGateMet {
+			problems += bad("stored columnar_gate_met=%v but recomputed %v (thresholds >=%.1fx speedup, <=%.2fx allocs)",
+				rep.ColumnarGateMet, columnarGateMet, rep.GateMinColumnarSpeedup, rep.GateMaxColumnarAllocRatio)
+		}
+		if !columnarGateMet {
+			problems += bad("columnar-execution gate does not hold: no columnar row reaches >=%.1fx speedup at <=%.2fx allocs",
+				rep.GateMinColumnarSpeedup, rep.GateMaxColumnarAllocRatio)
+		}
 	}
 	if problems == 0 {
 		fmt.Printf("check %s: ok (gate met, %d rows)\n", path, len(rep.Rows))
@@ -344,14 +360,22 @@ func writeBench(dir, name string, cfg qap.ExperimentConfig, wall time.Duration, 
 
 // execBatchSizes is the batch-size sweep of the hot-path benchmark;
 // batch 1 is the tuple-at-a-time scalar baseline the gate ratios are
-// computed against.
-var execBatchSizes = []int{1, 64, 256, 1024}
+// computed against. execColumnarBatchSizes is the columnar sweep
+// (columnar requires batching, so there is no columnar batch-1 row).
+var (
+	execBatchSizes         = []int{1, 64, 256, 1024}
+	execColumnarBatchSizes = []int{64, 256, 1024}
+)
 
 // Gate thresholds for the batched path (ISSUE 5 acceptance): at least
-// one batched row must clear both versus batch size 1.
+// one batched row must clear both versus batch size 1. The columnar
+// path (ISSUE 10) is held to a stricter bar against the same scalar
+// baseline.
 const (
-	execGateMinSpeedup    = 2.0
-	execGateMaxAllocRatio = 0.25
+	execGateMinSpeedup            = 2.0
+	execGateMaxAllocRatio         = 0.25
+	execGateMinColumnarSpeedup    = 5.0
+	execGateMaxColumnarAllocRatio = 0.05
 )
 
 // runExec measures the batched-vs-scalar hot path on the Figure 8
@@ -369,6 +393,11 @@ func runExec(seed int64, rate, duration, runs int, benchOut string) {
 	if err != nil {
 		fatal(err)
 	}
+	colResults, err := qap.ColumnarThroughput(trace, execColumnarBatchSizes, runs)
+	if err != nil {
+		fatal(err)
+	}
+	results = append(results, colResults...)
 
 	rep := &obs.ExecBenchReport{
 		SchemaVersion: obs.SchemaVersion,
@@ -380,22 +409,25 @@ func runExec(seed int64, rate, duration, runs int, benchOut string) {
 			Seed:        seed,
 			Workers:     1,
 		},
-		RunsPerBatchSize:  runs,
-		GateMinSpeedup:    execGateMinSpeedup,
-		GateMaxAllocRatio: execGateMaxAllocRatio,
+		RunsPerBatchSize:          runs,
+		GateMinSpeedup:            execGateMinSpeedup,
+		GateMaxAllocRatio:         execGateMaxAllocRatio,
+		GateMinColumnarSpeedup:    execGateMinColumnarSpeedup,
+		GateMaxColumnarAllocRatio: execGateMaxColumnarAllocRatio,
 	}
 	var scalar qap.BatchedThroughputResult
 	for _, r := range results {
-		if r.BatchSize == 1 {
+		if r.BatchSize == 1 && !r.Columnar {
 			scalar = r
 		}
 	}
 	fmt.Printf("Batched vs scalar execution (suspicious flows, %d rows, %d runs/batch):\n", scalar.Rows, runs)
-	fmt.Printf("%8s  %12s  %12s  %14s  %12s  %9s  %9s\n",
-		"batch", "ns/run", "rows/s", "B/run", "allocs/run", "speedup", "allocs x")
+	fmt.Printf("%8s  %9s  %12s  %12s  %14s  %12s  %9s  %9s\n",
+		"batch", "path", "ns/run", "rows/s", "B/run", "allocs/run", "speedup", "allocs x")
 	for _, r := range results {
 		row := obs.ExecBenchRow{
 			BatchSize:    r.BatchSize,
+			Columnar:     r.Columnar,
 			NanosPerRun:  r.NanosPerRun,
 			RowsPerSec:   r.RowsPerSec,
 			BytesPerRun:  r.BytesPerRun,
@@ -407,19 +439,32 @@ func runExec(seed int64, rate, duration, runs int, benchOut string) {
 		if scalar.AllocsPerRun > 0 {
 			row.AllocRatioVsScalar = float64(r.AllocsPerRun) / float64(scalar.AllocsPerRun)
 		}
-		if r.BatchSize > 1 &&
+		switch {
+		case r.Columnar &&
+			row.SpeedupVsScalar >= execGateMinColumnarSpeedup &&
+			row.AllocRatioVsScalar <= execGateMaxColumnarAllocRatio:
+			rep.ColumnarGateMet = true
+		case !r.Columnar && r.BatchSize > 1 &&
 			row.SpeedupVsScalar >= execGateMinSpeedup &&
-			row.AllocRatioVsScalar <= execGateMaxAllocRatio {
+			row.AllocRatioVsScalar <= execGateMaxAllocRatio:
 			rep.GateMet = true
 		}
 		rep.Rows = append(rep.Rows, row)
 		rep.RowsPerRun = r.Rows
-		fmt.Printf("%8d  %12d  %12.0f  %14d  %12d  %8.2fx  %8.3fx\n",
-			r.BatchSize, r.NanosPerRun, r.RowsPerSec, r.BytesPerRun, r.AllocsPerRun,
+		path := "batched"
+		if r.Columnar {
+			path = "columnar"
+		} else if r.BatchSize == 1 {
+			path = "scalar"
+		}
+		fmt.Printf("%8d  %9s  %12d  %12.0f  %14d  %12d  %8.2fx  %8.3fx\n",
+			r.BatchSize, path, r.NanosPerRun, r.RowsPerSec, r.BytesPerRun, r.AllocsPerRun,
 			row.SpeedupVsScalar, row.AllocRatioVsScalar)
 	}
 	fmt.Printf("gate (>=%.1fx rows/s, <=%.2fx allocs vs batch=1): met=%v\n",
 		execGateMinSpeedup, execGateMaxAllocRatio, rep.GateMet)
+	fmt.Printf("columnar gate (>=%.1fx rows/s, <=%.2fx allocs vs batch=1): met=%v\n",
+		execGateMinColumnarSpeedup, execGateMaxColumnarAllocRatio, rep.ColumnarGateMet)
 
 	if benchOut != "" {
 		path := filepath.Join(benchOut, "BENCH_exec.json")

@@ -1,0 +1,16 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got := parseInts(" 1, 2 ,4,,")
+	if want := []int{1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("parseInts = %v, want %v", got, want)
+	}
+	if out := parseInts(""); out != nil {
+		t.Errorf("parseInts(\"\") = %v, want nil", out)
+	}
+}

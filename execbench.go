@@ -16,6 +16,9 @@ type BatchedThroughputResult struct {
 	// BatchSize is the DeployConfig.BatchSize the runs used
 	// (1 = tuple-at-a-time scalar path).
 	BatchSize int
+	// Columnar marks a measurement of the columnar batch execution
+	// path (DeployConfig.Columnar) rather than the row batched path.
+	Columnar bool
 	// Runs is the number of measured end-to-end trace replays.
 	Runs int
 	// Rows is the number of input packets per replay.
@@ -39,6 +42,21 @@ type BatchedThroughputResult struct {
 // enforces this); what varies, and what this reports, is the cost of
 // producing it.
 func BatchedThroughput(trace netgen.Config, batchSizes []int, runs int) ([]BatchedThroughputResult, error) {
+	return measureThroughput(trace, batchSizes, runs, false)
+}
+
+// ColumnarThroughput measures the same workload over the columnar
+// batch execution path (DeployConfig.Columnar): compiled column
+// kernels over typed vectors instead of per-tuple closure evaluation.
+// Batch size 1 is a meaningless request here (columnar requires
+// batching and would silently measure the scalar path), so callers
+// pass only sizes > 1 and compare against BatchedThroughput's scalar
+// baseline.
+func ColumnarThroughput(trace netgen.Config, batchSizes []int, runs int) ([]BatchedThroughputResult, error) {
+	return measureThroughput(trace, batchSizes, runs, true)
+}
+
+func measureThroughput(trace netgen.Config, batchSizes []int, runs int, columnar bool) ([]BatchedThroughputResult, error) {
 	if runs <= 0 {
 		runs = 1
 	}
@@ -50,7 +68,7 @@ func BatchedThroughput(trace netgen.Config, batchSizes []int, runs int) ([]Batch
 	results := make([]BatchedThroughputResult, 0, len(batchSizes))
 	for _, batch := range batchSizes {
 		dep, err := sys.Deploy(DeployConfig{
-			Hosts: 1, PartitionsPerHost: 1, Workers: 1, BatchSize: batch,
+			Hosts: 1, PartitionsPerHost: 1, Workers: 1, BatchSize: batch, Columnar: columnar,
 			Params: map[string]Value{"PATTERN": Uint(netgen.AttackPattern)},
 		})
 		if err != nil {
@@ -72,6 +90,7 @@ func BatchedThroughput(trace netgen.Config, batchSizes []int, runs int) ([]Batch
 		runtime.ReadMemStats(&after)
 		res := BatchedThroughputResult{
 			BatchSize:    batch,
+			Columnar:     columnar,
 			Runs:         runs,
 			Rows:         len(tr.Packets),
 			NanosPerRun:  wall.Nanoseconds() / int64(runs),

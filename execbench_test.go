@@ -1,0 +1,53 @@
+package qap
+
+import (
+	"testing"
+
+	"qap/internal/netgen"
+)
+
+// TestThroughputMeasurers exercises the public measurement API end to
+// end on a tiny trace: both the row-batched and columnar measurers
+// must produce sane, internally consistent reports. The numbers
+// themselves are wall-clock facts and are not asserted beyond
+// positivity — the committed gate lives in BENCH_exec.json.
+func TestThroughputMeasurers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput measurement replays full traces")
+	}
+	trace := netgen.DefaultConfig()
+	trace.DurationSec = 2
+	trace.PacketsPerSec = 300
+
+	batched, err := BatchedThroughput(trace, []int{1, 64}, 0) // runs <= 0 clamps to 1
+	if err != nil {
+		t.Fatalf("BatchedThroughput: %v", err)
+	}
+	columnar, err := ColumnarThroughput(trace, []int{64}, 1)
+	if err != nil {
+		t.Fatalf("ColumnarThroughput: %v", err)
+	}
+	if len(batched) != 2 || len(columnar) != 1 {
+		t.Fatalf("got %d batched and %d columnar results, want 2 and 1", len(batched), len(columnar))
+	}
+	for _, r := range append(batched, columnar...) {
+		if r.Runs != 1 {
+			t.Errorf("batch %d: Runs = %d, want 1", r.BatchSize, r.Runs)
+		}
+		if r.Rows <= 0 || r.NanosPerRun <= 0 || r.RowsPerSec <= 0 {
+			t.Errorf("batch %d: non-positive measurement %+v", r.BatchSize, r)
+		}
+	}
+	if batched[0].BatchSize != 1 || batched[1].BatchSize != 64 {
+		t.Errorf("batched sizes %d,%d, want 1,64", batched[0].BatchSize, batched[1].BatchSize)
+	}
+	if batched[0].Columnar || batched[1].Columnar {
+		t.Error("BatchedThroughput results marked columnar")
+	}
+	if !columnar[0].Columnar {
+		t.Error("ColumnarThroughput result not marked columnar")
+	}
+	if batched[0].Rows != columnar[0].Rows {
+		t.Errorf("row counts differ: %d vs %d (same trace)", batched[0].Rows, columnar[0].Rows)
+	}
+}

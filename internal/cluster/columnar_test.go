@@ -1,0 +1,127 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"qap/internal/core"
+	"qap/internal/netgen"
+	"qap/internal/obs/trace"
+	"qap/internal/optimizer"
+)
+
+// runColumnar builds and runs a plan with the columnar path enabled,
+// stats collection on.
+func runColumnar(t testing.TB, queries string, ps core.Set, o optimizer.Options, streams map[string][]netgen.Packet, workers, batch int) *Result {
+	t.Helper()
+	g := buildGraph(t, queries)
+	p, err := optimizer.Build(g, ps, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(p, RunConfig{
+		Costs: DefaultCosts(), Params: testParams,
+		Workers: workers, BatchSize: batch, Columnar: true, CollectStats: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.RunStreams(streams)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestColumnarMatchesScalar is the cluster-level equivalence gate for
+// the columnar path: every workload and topology must reproduce the
+// scalar path's canonical outputs and deterministic counters at every
+// batch size and worker count.
+func TestColumnarMatchesScalar(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	querySets := []struct {
+		name    string
+		queries string
+		ps      core.Set
+	}{
+		{"flows", flowsQuery, core.MustParseSet("srcIP, destIP")},
+		{"complex", complexSet, core.MustParseSet("srcIP")},
+		{"suspicious", suspiciousQuery, core.MustParseSet("srcIP, destIP, srcPort, destPort")},
+	}
+	for _, qs := range querySets {
+		for _, hosts := range []int{1, 4} {
+			o := optimizer.Options{Hosts: hosts, PartitionsPerHost: 2, PartialAgg: true}
+			t.Run(fmt.Sprintf("%s/hosts=%d", qs.name, hosts), func(t *testing.T) {
+				want := runBatch(t, qs.queries, qs.ps, o, streams, 1, 1)
+				for _, bs := range []int{7, 64, 1024} {
+					for _, workers := range []int{1, 4} {
+						got := runColumnar(t, qs.queries, qs.ps, o, streams, workers, bs)
+						sameResultCanonical(t, fmt.Sprintf("bs=%d workers=%d", bs, workers), want, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestColumnarSameBatchBitIdentical: at a fixed batch size, the
+// columnar path must not move a byte relative to the row batched path —
+// every PushCols is observably identical to PushBatch of the pivoted
+// rows, so outputs, metrics (bit-equal floats included), and OpStats
+// coincide exactly, for any worker count.
+func TestColumnarSameBatchBitIdentical(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 4, PartitionsPerHost: 2, PartialAgg: true}
+	ps := core.MustParseSet("srcIP")
+	for _, bs := range []int{7, 256} {
+		want := runBatch(t, complexSet, ps, o, streams, 1, bs)
+		for _, workers := range []int{1, 4} {
+			got := runColumnar(t, complexSet, ps, o, streams, workers, bs)
+			sameResult(t, want, got)
+		}
+	}
+}
+
+// TestColumnarBatchSizeOneFallsBack: Columnar requires batching; at
+// BatchSize 1 the scalar path must run unchanged.
+func TestColumnarBatchSizeOneFallsBack(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	ps := core.MustParseSet("srcIP, destIP")
+	want := runBatch(t, flowsQuery, ps, o, streams, 1, 1)
+	got := runColumnar(t, flowsQuery, ps, o, streams, 1, 1)
+	sameResult(t, want, got)
+}
+
+// TestColumnarLiveMatchesSim: the live TCP backend with the columnar
+// path must reproduce the columnar simulator byte for byte — including
+// canonical trace bytes — and both must match the row batched engine.
+func TestColumnarLiveMatchesSim(t *testing.T) {
+	tr := smallTrace(t)
+	streams := map[string][]netgen.Packet{"TCP": tr.Packets}
+	o := optimizer.Options{Hosts: 2, PartitionsPerHost: 2, PartialAgg: true}
+	ps := core.MustParseSet("srcIP, destIP, srcPort, destPort")
+
+	rowCfg := RunConfig{
+		Costs: DefaultCosts(), Params: testParams,
+		Workers: 1, BatchSize: 256,
+		CollectStats: true, Trace: &trace.Config{},
+	}
+	colCfg := rowCfg
+	colCfg.Columnar = true
+	liveCfg := colCfg
+	liveCfg.Engine = EngineLive
+	liveCfg.DriveTimeout = 30 * time.Second
+
+	want := runEngine(t, suspiciousQuery, ps, o, streams, rowCfg)
+	simCol := runEngine(t, suspiciousQuery, ps, o, streams, colCfg)
+	sameResult(t, want, simCol)
+	sameTrace(t, want, simCol)
+	liveCol := runEngine(t, suspiciousQuery, ps, o, streams, liveCfg)
+	sameResult(t, want, liveCol)
+	sameTrace(t, want, liveCol)
+}

@@ -162,6 +162,23 @@ func (c *capture) PushBatch(b exec.Batch) {
 	})
 }
 
+// PushCols records a columnar delivery as a row link item: the batch
+// pivots to durable rows here on the producing island (the columns are
+// only valid during the call), so the link format, the wire codec, and
+// the central replay stay row-oriented and untouched. The central
+// replay then applies the item through edge.PushBatch — observably
+// identical to the columnar delivery by the ColConsumer contract.
+func (c *capture) PushCols(cb *exec.ColBatch) {
+	if cb.Len == 0 {
+		return
+	}
+	b := cb.AppendRows(exec.GetBatch())
+	c.isl.outbox = append(c.isl.outbox, linkItem{
+		round: c.isl.curRound, tag: c.isl.curTag, kind: itemPushBatch, e: c.e, b: b,
+		mwm: c.isl.curWM,
+	})
+}
+
 func (c *capture) Advance(wm uint64) {
 	c.isl.outbox = append(c.isl.outbox, linkItem{
 		round: c.isl.curRound, tag: c.isl.curTag, kind: itemAdvance, e: c.e, wm: wm,
@@ -248,6 +265,10 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 		//qap:allow hotalloc -- one worker goroutine closure per worker, once per run
 		go func(feed <-chan feedMsg) {
 			defer workerWG.Done()
+			// Columnar mode pivots each delivered chunk into this
+			// worker-owned scratch batch at the island boundary, so the
+			// feed channels and the driver's row grouping are untouched.
+			var colScratch exec.ColBatch
 			for msg := range feed {
 				isl := msg.isl
 				last := 0
@@ -279,7 +300,12 @@ func (r *Runner) runParallel(cursors []*streamCursor) (*Result, error) {
 							if end > len(g.tuples) {
 								end = len(g.tuples)
 							}
-							exec.PushAll(g.out, g.tuples[off:end])
+							chunk := g.tuples[off:end]
+							if r.columnar && colScratch.SetFromRows(chunk) {
+								exec.PushColsAll(g.out, &colScratch)
+							} else {
+								exec.PushAll(g.out, chunk)
+							}
 						}
 						exec.PutBatch(g.tuples)
 						g.out, g.tuples = nil, nil

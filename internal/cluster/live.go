@@ -422,6 +422,10 @@ type islandExec struct {
 	// the splitter's canonical stream order.
 	outs [][]exec.Consumer
 	bs   int
+	// colScratch pivots delivered chunks into columns when the runner
+	// is columnar; Execute runs on one goroutine per node, so the
+	// scratch has a single writer.
+	colScratch exec.ColBatch
 	// shipResult marks a remotely served island (ServeLiveHost): the
 	// final island shards travel back in a result frame.
 	shipResult bool
@@ -462,7 +466,12 @@ func (x *islandExec) Execute(m *live.FeedMsg) (*live.LinkMsg, error) {
 					if end > len(g.Tuples) {
 						end = len(g.Tuples)
 					}
-					exec.PushAll(out, g.Tuples[off:end])
+					chunk := g.Tuples[off:end]
+					if r.columnar && x.colScratch.SetFromRows(chunk) {
+						exec.PushColsAll(out, &x.colScratch)
+					} else {
+						exec.PushAll(out, chunk)
+					}
 				}
 			} else {
 				for i := range g.Tuples {
@@ -604,9 +613,9 @@ func (r *Runner) liveFingerprint() string {
 	if p.StreamSets != nil {
 		partitioning = p.StreamSets.String()
 	}
-	fmt.Fprintf(h, "hosts=%d parts=%d pph=%d agg=%d bs=%d win=%d collect=%t trace=%t\n",
+	fmt.Fprintf(h, "hosts=%d parts=%d pph=%d agg=%d bs=%d columnar=%t win=%d collect=%t trace=%t\n",
 		p.Hosts, p.Partitions, p.PartitionsPerHost, p.AggregatorHost,
-		r.batchSize, r.winSec, r.collect, r.tracer != nil)
+		r.batchSize, r.columnar, r.winSec, r.collect, r.tracer != nil)
 	fmt.Fprintf(h, "set=%s\ncosts=%+v\n", partitioning, r.cost)
 	for _, op := range p.Ops {
 		fmt.Fprintf(h, "op %d %s host=%d proc=%d part=%d in=", op.ID, op.Kind, op.Host, op.Proc, op.Partition)

@@ -60,6 +60,20 @@ type Runner struct {
 	// sequential batched driver.
 	reuseTupleSlabs bool
 
+	// sizeHints pre-sizes aggregate hash state by physical op ID
+	// (RunConfig.SizeHints); aggs tracks the built aggregate instances
+	// so finalize can harvest the next run's hints. Purely a warm-start
+	// performance knob — no canonical output depends on either.
+	sizeHints map[int]int
+	aggs      []aggInstance
+
+	// columnar enables the columnar batch execution path (effective
+	// only when batchSize > 1): the drivers deliver each round's
+	// tuples as typed column vectors and operators run compiled column
+	// kernels where the plan supports them, pivoting back to rows at
+	// every boundary a row consumer needs.
+	columnar bool
+
 	// winSec is the load-monitoring window length in trace seconds;
 	// 0 disables monitoring. Windows are closed at watermark
 	// boundaries in canonical event order on every island, so the
@@ -112,6 +126,23 @@ type RunConfig struct {
 	// while runs at the same BatchSize are byte-identical for any
 	// Workers value.
 	BatchSize int
+	// Columnar selects the columnar batch execution path: the batched
+	// drivers deliver each round's tuples as typed column vectors
+	// (exec.ColBatch) carved from reusable slabs, and operators run
+	// compiled column kernels (exec/colcompile.go) where the plan
+	// supports them, pivoting back to rows at every boundary a row
+	// consumer needs. Columnar requires batching: at BatchSize 1 the
+	// scalar path runs unchanged. Every canonical output — results,
+	// OpStats, load series, trace bytes — is byte-identical to the
+	// row-at-a-time paths at every Hosts x Workers x BatchSize
+	// combination, on both engines.
+	Columnar bool
+	// SizeHints pre-sizes aggregate hash state by physical operator ID,
+	// typically a previous Result.SizeHints from the same plan
+	// (Deployment.Run threads them across runs automatically). Purely a
+	// warm-start performance knob: no canonical output, stat, or trace
+	// byte depends on it.
+	SizeHints map[int]int
 	// LoadWindowSec enables online load monitoring: per-host counter
 	// deltas are sampled every LoadWindowSec seconds of trace time
 	// into Result.LoadSeries. 0 (the default) disables monitoring.
@@ -162,6 +193,14 @@ const (
 )
 
 // island is the unit of parallel execution: the operators of one
+// aggInstance pairs a built aggregate with its physical operator ID so
+// finalize can harvest per-op group high-water marks into
+// Result.SizeHints.
+type aggInstance struct {
+	id  int
+	agg *exec.Aggregate
+}
+
 // simulated host's capture processes (a leaf island, one per host), or
 // the central root process on the aggregator host. Each island owns a
 // metrics shard and a NodeRows shard so no accounting state is shared
@@ -311,6 +350,12 @@ type Result struct {
 	// events rebuild LoadSeries (trace.HostLoadSeries) exactly on
 	// every integer counter, with CPUUnits left zero.
 	Trace *trace.Trace
+	// SizeHints reports each aggregate operator's peak live group count
+	// by physical op ID, suitable for RunConfig.SizeHints on a later run
+	// of the same plan. Covers the operators this process executed (the
+	// live backend's remote hosts report nothing). Wall-clock-free but
+	// data-dependent; not part of the determinism contract's outputs.
+	SizeHints map[int]int
 }
 
 // New compiles the physical plan into operator instances for the
@@ -332,6 +377,7 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 		metrics:     &Metrics{Hosts: make([]HostMetrics, p.Hosts), Capacity: cfg.Costs.CapacityPerSec},
 		routers:     make(map[string]*router),
 		collectors:  make(map[string]*exec.Collector),
+		sizeHints:   cfg.SizeHints,
 	}
 	if r.batchRounds <= 0 {
 		r.batchRounds = defaultBatchRounds
@@ -343,6 +389,7 @@ func NewRunner(p *optimizer.Plan, cfg RunConfig) (*Runner, error) {
 	if r.batchSize < 1 {
 		r.batchSize = 1
 	}
+	r.columnar = cfg.Columnar && r.batchSize > 1
 	if cfg.LoadWindowSec > 0 {
 		r.winSec = uint64(cfg.LoadWindowSec)
 	}
@@ -630,6 +677,9 @@ func (r *Runner) RunStreams(streams map[string][]netgen.Packet) (*Result, error)
 		return r.runParallel(cursors)
 	}
 	if r.batchSize > 1 {
+		if r.columnar {
+			return r.runSequentialColumnar(cursors)
+		}
 		return r.runSequentialBatched(cursors)
 	}
 	return r.runSequential(cursors)
@@ -826,6 +876,123 @@ func (r *Runner) runSequentialBatched(cursors []*streamCursor) (*Result, error) 
 	return r.finalize(any, maxTime), nil
 }
 
+// colSeqGroup is one destination partition's buffered columns within
+// the current round of the columnar sequential driver.
+type colSeqGroup struct {
+	out  exec.Consumer
+	cols *exec.ColBatch
+}
+
+// runSequentialColumnar is the columnar sequential driver: the exact
+// round structure and per-destination grouping of runSequentialBatched,
+// but each group buffers the round's packets as eight uint64 column
+// vectors instead of carved tuples, and delivers them at the round
+// boundary as ColBatch chunks of up to batchSize through the operators'
+// columnar fast paths (exec/colops.go). The ColBatch ownership contract
+// (valid only during the call) lets the driver recycle every column
+// slab unconditionally — no scanTuplesSevered gating. Every observable
+// output is byte-identical to the scalar batched driver at the same
+// BatchSize.
+//
+//qap:hot
+func (r *Runner) runSequentialColumnar(cursors []*streamCursor) (*Result, error) {
+	bs := r.batchSize
+	for _, c := range cursors {
+		c.gidx = make([]int, len(c.rt.outs))   //qap:allow hotalloc -- routing scratch, once per cursor per run
+		c.gstamp = make([]int, len(c.rt.outs)) //qap:allow hotalloc -- routing scratch, once per cursor per run
+		for p := range c.gstamp {
+			c.gstamp[p] = -1
+		}
+	}
+	var (
+		groups   []colSeqGroup    // the round's groups, in first-tuple order
+		free     []*exec.ColBatch // recycled column batches
+		view     exec.ColBatch    // zero-copy chunk window over a group
+		routeBuf []sqlval.Value   // hash-routing tuple scratch, reused per packet
+	)
+	flushRound := func() { //qap:allow hotalloc -- closure built once per run
+		for i := range groups {
+			g := &groups[i]
+			cb := g.cols
+			for off := 0; off < cb.Len; off += bs {
+				end := off + bs
+				if end > cb.Len {
+					end = cb.Len
+				}
+				cb.Slice(off, end, &view)
+				exec.PushColsAll(g.out, &view)
+			}
+			cb.Reset()
+			free = append(free, cb)
+			g.out, g.cols = nil, nil
+		}
+		groups = groups[:0]
+	}
+	var lastTime, maxTime uint64
+	first := true
+	any := false
+	round := 0
+	trRound, trPk := -1, int64(0)
+	for {
+		best := nextCursor(cursors)
+		if best == nil {
+			break
+		}
+		pk := &best.packets[best.pos]
+		best.pos++
+		any = true
+		if pk.Time > maxTime {
+			maxTime = pk.Time
+		}
+		if first || pk.Time > lastTime {
+			flushRound()
+			if r.trDriver != nil && trRound >= 0 {
+				r.trDriver.Emit(trace.Event{Kind: trace.KindRound, Round: trRound, WM: lastTime, Rows: trPk})
+			}
+			trRound, trPk = trRound+1, 0
+			if r.winSec > 0 {
+				r.closeAllWindowsTo(int(pk.Time / r.winSec))
+			}
+			round++
+			for _, c := range cursors {
+				c.rt.Advance(pk.Time)
+			}
+			lastTime, first = pk.Time, false
+			r.engRounds++
+		}
+		trPk++
+		var idx int
+		if best.rt.hashFns == nil {
+			// Round-robin routing never reads the tuple.
+			idx = best.rt.route(nil)
+		} else {
+			var t exec.Tuple
+			routeBuf, t = pk.AppendTuple(routeBuf[:0])
+			idx = best.rt.route(t)
+		}
+		if best.gstamp[idx] != round {
+			best.gstamp[idx] = round
+			best.gidx[idx] = len(groups)
+			var cb *exec.ColBatch
+			if n := len(free); n > 0 {
+				cb = free[n-1]
+				free = free[:n-1]
+			} else {
+				cb = new(exec.ColBatch) //qap:allow hotalloc -- one batch per live destination, recycled across rounds
+			}
+			groups = append(groups, colSeqGroup{out: best.rt.outs[idx], cols: cb})
+		}
+		pk.AppendCols(groups[best.gidx[idx]].cols)
+	}
+	flushRound()
+	r.emitDriverTail(trRound, trPk, lastTime)
+	for _, name := range r.routerNames {
+		r.routers[name].Flush()
+	}
+	r.engRounds++ // the flush round
+	return r.finalize(any, maxTime), nil
+}
+
 // closeAllWindowsTo closes monitoring windows up to win on every
 // island. Only the sequential drivers use it — the parallel engine
 // closes leaf windows on the worker goroutines and central windows on
@@ -885,6 +1052,14 @@ func (r *Runner) finalize(any bool, maxTime uint64) *Result {
 			}
 		}
 		res.Report = r.buildReport(res)
+	}
+	if len(r.aggs) > 0 {
+		res.SizeHints = make(map[int]int, len(r.aggs))
+		for _, a := range r.aggs {
+			if n := a.agg.GroupHighWater(); n > res.SizeHints[a.id] {
+				res.SizeHints[a.id] = n
+			}
+		}
 	}
 	if r.tracer != nil {
 		res.Trace = r.buildTrace()
@@ -1068,6 +1243,12 @@ func (c *rowCounter) PushBatch(b exec.Batch) {
 	exec.PushAll(c.next, b)
 }
 
+// PushCols implements exec.ColConsumer.
+func (c *rowCounter) PushCols(cb *exec.ColBatch) {
+	*c.n += int64(cb.Len)
+	exec.PushColsAll(c.next, cb)
+}
+
 // countedOutput wraps an operator's fanout with a row counter when the
 // operator produces a logical node's complete output (full aggregates,
 // super-aggregates, select/project, join instances — not scans,
@@ -1213,6 +1394,40 @@ func (e *edge) PushBatch(b exec.Batch) {
 	exec.PushAll(e.next, b)
 }
 
+// PushCols implements exec.ColConsumer: the per-row accounting loop is
+// identical to PushBatch over the pivoted rows (same integer counters,
+// same floating-point accumulation order, wire sizes computed straight
+// from the columns), then the columnar batch moves downstream — pivoting
+// only if the receiving operator has no columnar fast path.
+//
+//qap:hot
+func (e *edge) PushCols(cb *exec.ColBatch) {
+	n := cb.Len
+	for i := 0; i < n; i++ {
+		e.m.Tuples++
+		e.m.CPUUnits += e.opCost + e.xfer
+		switch {
+		case e.net:
+			e.m.NetTuplesIn++
+			e.m.NetBytesIn += int64(cb.RowWireSize(i))
+		case e.ipc:
+			e.m.IPCTuplesIn++
+		}
+		if e.st != nil {
+			e.st.RowsIn++
+			e.st.CPUUnits += e.opCost + e.xfer
+			switch {
+			case e.net:
+				e.st.NetTuplesIn++
+				e.st.NetBytesIn += int64(cb.RowWireSize(i))
+			case e.ipc:
+				e.st.IPCTuplesIn++
+			}
+		}
+	}
+	exec.PushColsAll(e.next, cb)
+}
+
 func (e *edge) Advance(wm uint64) {
 	if e.st != nil {
 		e.st.Advances++
@@ -1244,6 +1459,12 @@ func (o *opOut) Flush()            { o.next.Flush() }
 func (o *opOut) PushBatch(b exec.Batch) {
 	o.st.RowsOut += int64(len(b))
 	exec.PushAll(o.next, b)
+}
+
+// PushCols implements exec.ColConsumer.
+func (o *opOut) PushCols(cb *exec.ColBatch) {
+	o.st.RowsOut += int64(cb.Len)
+	exec.PushColsAll(o.next, cb)
 }
 
 // opCostOf returns the per-tuple work of an operator kind.
@@ -1411,6 +1632,7 @@ func (r *Runner) instantiate(op *optimizer.Op, out exec.Consumer) ([]exec.Consum
 		if err != nil {
 			return nil, err
 		}
+		r.aggs = append(r.aggs, aggInstance{id: op.ID, agg: agg})
 		return []exec.Consumer{agg}, nil
 	case optimizer.OpWindow:
 		w, err := r.buildWindow(op, out)
@@ -1456,6 +1678,20 @@ func (r *Runner) buildSelProj(n *plan.Node) (*exec.FilterProject, error) {
 		return nil, err
 	}
 	fp.Projs = projs
+	if r.columnar {
+		if n.Filter != nil {
+			cf, err := exec.CompileCol(n.Filter, res, r.params)
+			if err != nil {
+				return nil, err
+			}
+			fp.ColFilter = &cf
+		}
+		colProjs, err := exec.CompileColAll(exprs, res, r.params)
+		if err != nil {
+			return nil, err
+		}
+		fp.ColProjs = colProjs
+	}
 	return fp, nil
 }
 
@@ -1584,6 +1820,8 @@ func rewriteSplitRefs(e gsql.Expr, split map[string]gsql.AggSpec) gsql.Expr {
 func (r *Runner) buildAggregate(op *optimizer.Op, out exec.Consumer) (*exec.Aggregate, error) {
 	n := op.Logical
 	cfg := exec.AggregateConfig{EpochIdx: n.EpochGroupCol(), Out: out,
+		ColEmit:      r.columnar,
+		SizeHint:     r.sizeHints[op.ID],
 		OnEpochFlush: r.traceEmitter(op, trace.KindEpochFlush)}
 
 	if n.WindowPanes > 1 && op.Kind != optimizer.OpAggSub {
@@ -1600,6 +1838,13 @@ func (r *Runner) buildAggregate(op *optimizer.Op, out exec.Consumer) (*exec.Aggr
 			return nil, err
 		}
 		cfg.PreFilter = f
+		if r.columnar {
+			cf, err := exec.CompileCol(n.PreFilter, inRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			cfg.ColPreFilter = &cf
+		}
 	}
 	for _, g := range n.GroupBy {
 		f, err := exec.Compile(g.Expr, inRes, r.params)
@@ -1607,6 +1852,13 @@ func (r *Runner) buildAggregate(op *optimizer.Op, out exec.Consumer) (*exec.Aggr
 			return nil, err
 		}
 		cfg.GroupBy = append(cfg.GroupBy, f)
+		if r.columnar {
+			ce, err := exec.CompileCol(g.Expr, inRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			cfg.ColGroupBy = append(cfg.ColGroupBy, ce)
+		}
 	}
 	if cfg.EpochIdx >= 0 {
 		ewm, err := r.epochOfWM(n.LineageOf(n.GroupBy[cfg.EpochIdx].Expr))
@@ -1619,12 +1871,27 @@ func (r *Runner) buildAggregate(op *optimizer.Op, out exec.Consumer) (*exec.Aggr
 	sub := op.Kind == optimizer.OpAggSub
 	for _, a := range n.Aggs {
 		var arg exec.EvalFunc
+		var colArg *exec.ColExpr
 		if a.Arg != nil {
 			f, err := exec.Compile(a.Arg, inRes, r.params)
 			if err != nil {
 				return nil, err
 			}
 			arg = f
+			if r.columnar {
+				ce, err := exec.CompileCol(a.Arg, inRes, r.params)
+				if err != nil {
+					return nil, err
+				}
+				colArg = &ce
+			}
+		}
+		// cfg.ColArgs stays index-aligned with cfg.Aggs (nil = COUNT(*)).
+		addAgg := func(fac exec.AccumFactory) {
+			cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: arg})
+			if r.columnar {
+				cfg.ColArgs = append(cfg.ColArgs, colArg)
+			}
 		}
 		switch {
 		case sub && momentParts(a.Spec) != nil:
@@ -1633,20 +1900,20 @@ func (r *Runner) buildAggregate(op *optimizer.Op, out exec.Consumer) (*exec.Aggr
 				if err != nil {
 					return nil, err
 				}
-				cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: arg})
+				addAgg(fac)
 			}
 		case sub:
 			fac, err := exec.NewAccumFactory(a.Spec.SubName)
 			if err != nil {
 				return nil, err
 			}
-			cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: arg})
+			addAgg(fac)
 		default:
 			fac, err := exec.NewAccumFactory(a.Spec.Name)
 			if err != nil {
 				return nil, err
 			}
-			cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: arg})
+			addAgg(fac)
 		}
 	}
 	if sub {
@@ -1700,6 +1967,13 @@ func (r *Runner) buildSuperAggregate(n *plan.Node, cfg exec.AggregateConfig) (*e
 			return nil, err
 		}
 		cfg.GroupBy = append(cfg.GroupBy, f)
+		if r.columnar {
+			ce, err := exec.CompileCol(&gsql.ColumnRef{Name: name}, inRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			cfg.ColGroupBy = append(cfg.ColGroupBy, ce)
+		}
 	}
 	if cfg.EpochIdx >= 0 {
 		ewm, err := r.epochOfWM(n.LineageOf(n.GroupBy[cfg.EpochIdx].Expr))
@@ -1712,30 +1986,43 @@ func (r *Runner) buildSuperAggregate(n *plan.Node, cfg exec.AggregateConfig) (*e
 	split := make(map[string]gsql.AggSpec)
 	var rowNames []string
 	rowNames = append(rowNames, groupNames...)
+	// Keeps cfg.ColArgs index-aligned with cfg.Aggs; every super-side
+	// argument is a plain column reference over the partial row.
+	addAgg := func(fac exec.AccumFactory, name string) error {
+		f, err := exec.Compile(&gsql.ColumnRef{Name: name}, inRes, r.params)
+		if err != nil {
+			return err
+		}
+		cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: f})
+		if r.columnar {
+			ce, err := exec.CompileCol(&gsql.ColumnRef{Name: name}, inRes, r.params)
+			if err != nil {
+				return err
+			}
+			cfg.ColArgs = append(cfg.ColArgs, &ce)
+		}
+		return nil
+	}
 	for _, a := range n.Aggs {
 		if parts := momentParts(a.Spec); parts != nil {
 			split[strings.ToLower(a.Name)] = a.Spec
 			for _, suffix := range parts {
 				pn := a.Name + suffix
-				f, err := exec.Compile(&gsql.ColumnRef{Name: pn}, inRes, r.params)
-				if err != nil {
+				fac, _ := exec.NewAccumFactory("SUM")
+				if err := addAgg(fac, pn); err != nil {
 					return nil, err
 				}
-				fac, _ := exec.NewAccumFactory("SUM")
-				cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: f})
 				rowNames = append(rowNames, pn)
 			}
 			continue
-		}
-		f, err := exec.Compile(&gsql.ColumnRef{Name: a.Name}, inRes, r.params)
-		if err != nil {
-			return nil, err
 		}
 		fac, err := exec.NewAccumFactory(a.Spec.SuperName)
 		if err != nil {
 			return nil, err
 		}
-		cfg.Aggs = append(cfg.Aggs, exec.AggColumn{Factory: fac, Arg: f})
+		if err := addAgg(fac, a.Name); err != nil {
+			return nil, err
+		}
 		rowNames = append(rowNames, a.Name)
 	}
 
@@ -1885,6 +2172,18 @@ func (r *Runner) buildJoin(n *plan.Node, out exec.Consumer) ([]exec.Consumer, er
 		}
 		cfg.Left.Keys = append(cfg.Left.Keys, lf)
 		cfg.Right.Keys = append(cfg.Right.Keys, rf)
+		if r.columnar {
+			lc, err := exec.CompileCol(n.LeftKeys[i], leftRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			rc, err := exec.CompileCol(n.RightKeys[i], rightRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Left.ColKeys = append(cfg.Left.ColKeys, lc)
+			cfg.Right.ColKeys = append(cfg.Right.ColKeys, rc)
+		}
 	}
 	lwm, err := r.epochOfWM(n.SideLineage(0, n.LeftKeys[n.TemporalKey]))
 	if err != nil {
@@ -1920,14 +2219,30 @@ func (r *Runner) buildJoin(n *plan.Node, out exec.Consumer) ([]exec.Consumer, er
 		if err != nil {
 			return nil, err
 		}
-		left = &exec.FilterProject{Filter: f, Out: left}
+		fp := &exec.FilterProject{Filter: f, Out: left}
+		if r.columnar {
+			cf, err := exec.CompileCol(n.LeftFilter, leftRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			fp.ColFilter = &cf
+		}
+		left = fp
 	}
 	if n.RightFilter != nil {
 		f, err := exec.Compile(n.RightFilter, rightRes, r.params)
 		if err != nil {
 			return nil, err
 		}
-		right = &exec.FilterProject{Filter: f, Out: right}
+		fp := &exec.FilterProject{Filter: f, Out: right}
+		if r.columnar {
+			cf, err := exec.CompileCol(n.RightFilter, rightRes, r.params)
+			if err != nil {
+				return nil, err
+			}
+			fp.ColFilter = &cf
+		}
+		right = fp
 	}
 	return []exec.Consumer{left, right}, nil
 }

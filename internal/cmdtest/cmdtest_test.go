@@ -1,0 +1,63 @@
+package cmdtest
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+func demoFlags(fs *flag.FlagSet) {
+	fs.Int("hosts", 4, "leaf island count")
+	fs.Int("workers", 16, "worker goroutines per stage")
+	fs.String("out", "", "metrics output path")
+}
+
+// TestCheckUsage drives the harness through both of its branches from
+// a temp directory: -update writes the golden, a second run compares
+// clean against it.
+func TestCheckUsage(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	old := *update
+	defer func() { *update = old }()
+
+	*update = true
+	CheckUsage(t, "demo", demoFlags)
+	data, err := os.ReadFile("testdata/usage.golden")
+	if err != nil {
+		t.Fatalf("-update did not write the golden: %v", err)
+	}
+	for _, want := range []string{"-hosts int", "leaf island count", "(default GOMAXPROCS)"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("golden missing %q:\n%s", want, data)
+		}
+	}
+
+	*update = false
+	CheckUsage(t, "demo", demoFlags)
+}
+
+// TestNormalize pins the one machine-dependent rewrite: worker counts
+// default to GOMAXPROCS, and only those lines are touched.
+func TestNormalize(t *testing.T) {
+	in := "  -workers int\n    \tworker goroutines per stage (default 16)\n  -hosts int\n    \tleaf island count (default 4)\n"
+	out := normalize(in)
+	if !strings.Contains(out, "worker goroutines per stage (default GOMAXPROCS)") {
+		t.Errorf("worker default not normalized:\n%s", out)
+	}
+	if !strings.Contains(out, "leaf island count (default 4)") {
+		t.Errorf("non-worker default rewritten:\n%s", out)
+	}
+}

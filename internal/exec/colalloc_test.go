@@ -1,0 +1,168 @@
+package exec
+
+import (
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/sqlval"
+)
+
+// Committed allocation budgets for the columnar path, in allocations
+// per operation as measured by testing.AllocsPerRun. The columnar
+// contract is stricter than the row path's: compiled kernels own
+// their scratch vectors and the dense aggregate store its arrays, so
+// the steady state is exactly zero, not merely small.
+const (
+	// A compiled kernel over a warmed ColBatch refills private
+	// scratch; nothing escapes.
+	allocBudgetColKernelSteady = 0
+	// SetFromRows into a warmed ColBatch reuses every column slice
+	// and validity bitmap.
+	allocBudgetColPivotSteady = 0
+	// FilterProject.PushCols per input tuple: the selection vector,
+	// projection scratch, and output ColBatch are all reused.
+	allocBudgetFilterProjectColsPerTuple = 0.02
+	// Aggregate.PushCols per input tuple in the dense steady state
+	// (every group resident in the word store): key words hash into
+	// the generation-tagged slot table and accumulators update in
+	// place, so per-tuple allocations round to zero.
+	allocBudgetAggregateColsPerTupleSteady = 0.02
+)
+
+// colAllocBatch builds a warmed all-uint ColBatch over the 5-column
+// schema with n rows in 16 groups.
+func colAllocBatch(t *testing.T, n int) (*ColBatch, Batch) {
+	t.Helper()
+	rows := make(Batch, n)
+	for i := range rows {
+		rows[i] = Tuple{
+			u(uint64(i % 50)),        // time
+			u(uint64(i % 16)),        // srcIP
+			u(2),                     // destIP
+			u(uint64(i) & 0x3f),      // flags
+			u(uint64(41 + (i % 11))), // len
+		}
+	}
+	cb := &ColBatch{}
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	return cb, rows
+}
+
+func TestAllocsColKernelSteadyState(t *testing.T) {
+	skipIfRace(t)
+	cb, _ := colAllocBatch(t, 64)
+	for _, src := range []string{
+		"srcIP + len * 2",
+		"flags & 0x26",
+		"time / 60",
+		"srcIP << len",
+	} {
+		ce := mustCompileCol(t, src, colTestResolver, nil)
+		if ce.U == nil {
+			t.Fatalf("%q: no uint kernel", src)
+		}
+		ce.U(cb) // warm the scratch vector
+		got := testing.AllocsPerRun(100, func() { ce.U(cb) })
+		if got > allocBudgetColKernelSteady {
+			t.Errorf("uint kernel %q: %.2f allocs/op, budget %d", src, got, allocBudgetColKernelSteady)
+		}
+	}
+	for _, src := range []string{
+		"len > 45",
+		"srcIP = 1 AND (destIP = 2 OR len < 43)",
+		"NOT flags",
+	} {
+		ce := mustCompileCol(t, src, colTestResolver, nil)
+		if ce.Truth == nil {
+			t.Fatalf("%q: no truth kernel", src)
+		}
+		ce.Truth(cb)
+		got := testing.AllocsPerRun(100, func() { ce.Truth(cb) })
+		if got > allocBudgetColKernelSteady {
+			t.Errorf("truth kernel %q: %.2f allocs/op, budget %d", src, got, allocBudgetColKernelSteady)
+		}
+	}
+}
+
+func TestAllocsColBatchPivotSteadyState(t *testing.T) {
+	skipIfRace(t)
+	cb, rows := colAllocBatch(t, 64)
+	got := testing.AllocsPerRun(100, func() {
+		if !cb.SetFromRows(rows) {
+			t.Fatal("SetFromRows failed")
+		}
+	})
+	if got > allocBudgetColPivotSteady {
+		t.Errorf("SetFromRows into warm batch: %.2f allocs/op, budget %d", got, allocBudgetColPivotSteady)
+	}
+}
+
+func TestAllocsFilterProjectPushCols(t *testing.T) {
+	skipIfRace(t)
+	r := colTestResolver
+	op := &FilterProject{
+		Filter:    MustCompile(gsql.MustParseExpr("len > 42"), r, nil),
+		ColFilter: colPtr(mustCompileCol(t, "len > 42", r, nil)),
+		Projs: []EvalFunc{
+			MustCompile(gsql.MustParseExpr("time"), r, nil),
+			MustCompile(gsql.MustParseExpr("srcIP & 0xFF00"), r, nil),
+		},
+		ColProjs: []ColExpr{
+			mustCompileCol(t, "time", r, nil),
+			mustCompileCol(t, "srcIP & 0xFF00", r, nil),
+		},
+		Out: Discard{},
+	}
+	const n = 64
+	cb, _ := colAllocBatch(t, n)
+	op.PushCols(cb) // warm selection vector and output columns
+	perBatch := testing.AllocsPerRun(100, func() { op.PushCols(cb) })
+	if perTuple := perBatch / n; perTuple > allocBudgetFilterProjectColsPerTuple {
+		t.Errorf("FilterProject.PushCols: %.3f allocs/tuple (%.1f per %d-tuple batch), budget %.3f",
+			perTuple, perBatch, n, allocBudgetFilterProjectColsPerTuple)
+	}
+}
+
+func TestAllocsAggregatePushColsSteadyState(t *testing.T) {
+	skipIfRace(t)
+	r := colTestResolver
+	agg := NewAggregate(AggregateConfig{
+		PreFilter:    MustCompile(gsql.MustParseExpr("len > 40"), r, nil),
+		ColPreFilter: colPtr(mustCompileCol(t, "len > 40", r, nil)),
+		GroupBy: []EvalFunc{
+			MustCompile(gsql.MustParseExpr("time"), r, nil),
+			MustCompile(gsql.MustParseExpr("srcIP"), r, nil),
+		},
+		ColGroupBy: []ColExpr{
+			mustCompileCol(t, "time", r, nil),
+			mustCompileCol(t, "srcIP", r, nil),
+		},
+		EpochIdx:  0,
+		EpochOfWM: func(wm uint64) sqlval.Value { return sqlval.Uint(wm / 16) },
+		Aggs: []AggColumn{
+			{Factory: mustFactory(t, "COUNT")},
+			{Factory: mustFactory(t, "SUM"), Arg: MustCompile(gsql.MustParseExpr("len"), r, nil)},
+		},
+		ColArgs: []*ColExpr{
+			nil,
+			colPtr(mustCompileCol(t, "len", r, nil)),
+		},
+		Out: Discard{},
+	})
+	const n = 64
+	cb, _ := colAllocBatch(t, n)
+	agg.PushCols(cb) // create every dense group up front
+	if agg.denseN == 0 {
+		t.Fatal("dense columnar store did not engage; this test must measure the dense path")
+	}
+	perBatch := testing.AllocsPerRun(100, func() { agg.PushCols(cb) })
+	if perTuple := perBatch / n; perTuple > allocBudgetAggregateColsPerTupleSteady {
+		t.Errorf("Aggregate.PushCols dense steady state: %.4f allocs/tuple (%.1f per %d-tuple batch), budget %.4f",
+			perTuple, perBatch, n, allocBudgetAggregateColsPerTupleSteady)
+	}
+	if agg.GroupCount() == 0 {
+		t.Fatal("no groups formed")
+	}
+}

@@ -1,0 +1,390 @@
+package exec
+
+// Column-compiled expressions. CompileCol lowers a gsql expression to
+// a ColExpr: the ordinary row closure (always present, the oracle)
+// plus optional vectorized kernels that evaluate the whole column in
+// one call when the input batch is all-uint (ColBatch.AllUint).
+//
+// Kernels are built by composing column getters: a column reference
+// returns the column's payload slice directly (zero copy), constants
+// fold at compile time, and each operator node owns a private scratch
+// vector it refills per call — so a compiled kernel allocates nothing
+// in steady state. Kernels exist only for operators whose result kind
+// is provably KindUint (or provably Bool, for predicates) on every
+// all-uint input, so their output matches the row evaluator value for
+// value, kind for kind:
+//
+//   - uint vectors (ColExpr.U): column refs, uint literals and
+//     parameters, ABS, bitwise not, +, *, &, |, ^, <<, >> (shifts
+//     mask to 6 bits exactly like evalUintOp), and / and % with a
+//     non-zero constant divisor. Subtraction is excluded (uint
+//     underflow yields KindInt), as is division by a non-constant
+//     expression (a zero divisor yields NULL).
+//   - truth vectors (ColExpr.Truth): comparisons over two uint
+//     kernels, AND/OR/NOT composition, and the truthiness (!= 0) of
+//     any uint kernel. evalBinary evaluates both operands of AND/OR
+//     before testing them, so elementwise &/| is exact, not an
+//     approximation of short-circuit evaluation.
+//
+// Anything outside the whitelist simply compiles with nil kernels and
+// the operators fall back to the pivoted row path.
+
+import (
+	"strings"
+
+	"qap/internal/gsql"
+	"qap/internal/sqlval"
+)
+
+// ColExpr is a column-compiled expression. Row is always set and is
+// the semantic oracle; U and Truth, when non-nil, are only valid on
+// batches for which AllUint() holds.
+type ColExpr struct {
+	// Row evaluates one tuple, identically to Compile's closure.
+	Row EvalFunc
+	// U returns a read-only vector v with len == cb.Len where
+	// sqlval.Uint(v[i]) == Row(row i) exactly. The vector may alias a
+	// column of cb or scratch owned by this ColExpr: it is valid only
+	// until the next U/Truth call on this ColExpr or until cb is
+	// recycled, and must not be mutated.
+	U func(cb *ColBatch) []uint64
+	// Truth returns a read-only 0/1 vector where v[i] != 0 iff
+	// Row(row i).AsBool(). Same lifetime rules as U.
+	Truth func(cb *ColBatch) []uint64
+	// Const is set when the expression folds to a single uint value
+	// (U then returns a constant-filled vector).
+	Const *uint64
+}
+
+// CompileCol compiles e into a ColExpr. The error cases are exactly
+// Compile's; kernel derivation never fails, it just yields nil
+// kernels for unsupported shapes.
+func CompileCol(e gsql.Expr, resolve Resolver, params Params) (ColExpr, error) {
+	row, err := Compile(e, resolve, params)
+	if err != nil {
+		return ColExpr{}, err
+	}
+	ce := ColExpr{Row: row}
+	k := colKernel(e, resolve, params)
+	ce.U = k.u
+	ce.Const = k.cnst
+	if k.b != nil {
+		ce.Truth = k.b
+	} else if k.u != nil {
+		ce.Truth = truthOfUint(k.u)
+	}
+	return ce, nil
+}
+
+// CompileColAll compiles a list of expressions.
+func CompileColAll(exprs []gsql.Expr, resolve Resolver, params Params) ([]ColExpr, error) {
+	out := make([]ColExpr, len(exprs))
+	for i, e := range exprs {
+		ce, err := CompileCol(e, resolve, params)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ce
+	}
+	return out, nil
+}
+
+// colKer is the internal kernel form: a uint-value vector producer, a
+// 0/1 truth vector producer, or both; cnst marks compile-time
+// constants for folding.
+type colKer struct {
+	u    func(cb *ColBatch) []uint64
+	b    func(cb *ColBatch) []uint64
+	cnst *uint64
+}
+
+// constKernel fills a private scratch vector with c.
+func constKernel(c uint64) colKer {
+	var buf []uint64
+	u := c
+	return colKer{
+		u: func(cb *ColBatch) []uint64 {
+			buf = growUints(buf, cb.Len)
+			for i := range buf {
+				buf[i] = u
+			}
+			return buf
+		},
+		cnst: &u,
+	}
+}
+
+// truthOfUint maps a uint kernel to its truthiness vector
+// (AsBool on KindUint is value != 0).
+func truthOfUint(u func(cb *ColBatch) []uint64) func(cb *ColBatch) []uint64 {
+	var buf []uint64
+	return func(cb *ColBatch) []uint64 {
+		v := u(cb)
+		buf = growUints(buf, len(v))
+		for i, x := range v {
+			if x != 0 {
+				buf[i] = 1
+			} else {
+				buf[i] = 0
+			}
+		}
+		return buf
+	}
+}
+
+// truthOf returns the best truth kernel for a subexpression: its own
+// boolean kernel, or the truthiness of its uint kernel.
+func truthOf(k colKer) func(cb *ColBatch) []uint64 {
+	if k.b != nil {
+		return k.b
+	}
+	if k.u != nil {
+		return truthOfUint(k.u)
+	}
+	return nil
+}
+
+// colKernel derives vector kernels for e, returning zero-valued
+// colKer for unsupported expressions. It mirrors Compile's structure;
+// resolve errors yield no kernel here and surface through Compile.
+func colKernel(e gsql.Expr, resolve Resolver, params Params) colKer {
+	switch t := e.(type) {
+	case *gsql.ColumnRef:
+		idx, err := resolve(t)
+		if err != nil {
+			return colKer{}
+		}
+		return colKer{u: func(cb *ColBatch) []uint64 { return cb.Cols[idx].U64[:cb.Len] }}
+	case *gsql.NumberLit:
+		if t.IsFloat {
+			return colKer{}
+		}
+		return constKernel(t.U)
+	case *gsql.ParamRef:
+		v, ok := params.Get(t.Name)
+		if !ok || v.Kind() != sqlval.KindUint {
+			return colKer{}
+		}
+		u, _ := v.AsUint()
+		return constKernel(u)
+	case *gsql.Unary:
+		return colUnaryKernel(t, resolve, params)
+	case *gsql.Binary:
+		return colBinaryKernel(t, resolve, params)
+	case *gsql.FuncCall:
+		// ABS is the identity on uint values (evalAbs returns the
+		// operand unchanged), so it inherits the argument's kernel.
+		if strings.EqualFold(t.Name, "ABS") && len(t.Args) == 1 {
+			k := colKernel(t.Args[0], resolve, params)
+			return colKer{u: k.u, cnst: k.cnst}
+		}
+		return colKer{}
+	default:
+		return colKer{}
+	}
+}
+
+func colUnaryKernel(t *gsql.Unary, resolve Resolver, params Params) colKer {
+	k := colKernel(t.X, resolve, params)
+	switch t.Op {
+	case gsql.OpBitNot:
+		if k.u == nil {
+			return colKer{}
+		}
+		if k.cnst != nil {
+			return constKernel(^*k.cnst)
+		}
+		x := k.u
+		var buf []uint64
+		return colKer{u: func(cb *ColBatch) []uint64 {
+			v := x(cb)
+			buf = growUints(buf, len(v))
+			for i, w := range v {
+				buf[i] = ^w
+			}
+			return buf
+		}}
+	case gsql.OpNot:
+		tr := truthOf(k)
+		if tr == nil {
+			return colKer{}
+		}
+		var buf []uint64
+		return colKer{b: func(cb *ColBatch) []uint64 {
+			v := tr(cb)
+			buf = growUints(buf, len(v))
+			for i, w := range v {
+				buf[i] = 1 - w
+			}
+			return buf
+		}}
+	default: // OpNeg yields KindInt; no kernel.
+		return colKer{}
+	}
+}
+
+func colBinaryKernel(t *gsql.Binary, resolve Resolver, params Params) colKer {
+	lk := colKernel(t.L, resolve, params)
+	rk := colKernel(t.R, resolve, params)
+	switch t.Op {
+	case gsql.OpAnd, gsql.OpOr:
+		lt, rt := truthOf(lk), truthOf(rk)
+		if lt == nil || rt == nil {
+			return colKer{}
+		}
+		and := t.Op == gsql.OpAnd
+		var buf []uint64
+		return colKer{b: func(cb *ColBatch) []uint64 {
+			lv := lt(cb)
+			rv := rt(cb)
+			buf = growUints(buf, len(lv))
+			if and {
+				for i := range lv {
+					buf[i] = lv[i] & rv[i]
+				}
+			} else {
+				for i := range lv {
+					buf[i] = lv[i] | rv[i]
+				}
+			}
+			return buf
+		}}
+	case gsql.OpEq, gsql.OpNeq, gsql.OpLt, gsql.OpLe, gsql.OpGt, gsql.OpGe:
+		if lk.u == nil || rk.u == nil {
+			return colKer{}
+		}
+		return cmpKernel(t.Op, lk.u, rk.u)
+	case gsql.OpAdd, gsql.OpMul, gsql.OpBitAnd, gsql.OpBitOr, gsql.OpBitXor, gsql.OpShl, gsql.OpShr:
+		if lk.u == nil || rk.u == nil {
+			return colKer{}
+		}
+		if lk.cnst != nil && rk.cnst != nil {
+			v := evalUintOp(t.Op, *lk.cnst, *rk.cnst)
+			if u, ok := v.AsUint(); ok && v.Kind() == sqlval.KindUint {
+				return constKernel(u)
+			}
+			return colKer{}
+		}
+		return arithKernel(t.Op, lk.u, rk.u)
+	case gsql.OpDiv, gsql.OpMod:
+		// Only a non-zero constant divisor is kernelable: a zero
+		// divisor yields NULL, which a uint vector cannot carry.
+		if lk.u == nil || rk.cnst == nil || *rk.cnst == 0 {
+			return colKer{}
+		}
+		if lk.cnst != nil {
+			v := evalUintOp(t.Op, *lk.cnst, *rk.cnst)
+			if u, ok := v.AsUint(); ok && v.Kind() == sqlval.KindUint {
+				return constKernel(u)
+			}
+			return colKer{}
+		}
+		x, d, mod := lk.u, *rk.cnst, t.Op == gsql.OpMod
+		var buf []uint64
+		return colKer{u: func(cb *ColBatch) []uint64 {
+			v := x(cb)
+			buf = growUints(buf, len(v))
+			if mod {
+				for i, w := range v {
+					buf[i] = w % d
+				}
+			} else {
+				for i, w := range v {
+					buf[i] = w / d
+				}
+			}
+			return buf
+		}}
+	default: // OpSub may underflow to KindInt; no kernel.
+		return colKer{}
+	}
+}
+
+// arithKernel builds an elementwise uint kernel matching evalUintOp
+// for the closed-on-uint operators.
+func arithKernel(op gsql.BinOp, l, r func(cb *ColBatch) []uint64) colKer {
+	var buf []uint64
+	f := func(cb *ColBatch) []uint64 {
+		lv := l(cb)
+		rv := r(cb)
+		buf = growUints(buf, len(lv))
+		switch op {
+		case gsql.OpAdd:
+			for i := range lv {
+				buf[i] = lv[i] + rv[i]
+			}
+		case gsql.OpMul:
+			for i := range lv {
+				buf[i] = lv[i] * rv[i]
+			}
+		case gsql.OpBitAnd:
+			for i := range lv {
+				buf[i] = lv[i] & rv[i]
+			}
+		case gsql.OpBitOr:
+			for i := range lv {
+				buf[i] = lv[i] | rv[i]
+			}
+		case gsql.OpBitXor:
+			for i := range lv {
+				buf[i] = lv[i] ^ rv[i]
+			}
+		case gsql.OpShl:
+			for i := range lv {
+				buf[i] = lv[i] << (rv[i] & 63)
+			}
+		case gsql.OpShr:
+			for i := range lv {
+				buf[i] = lv[i] >> (rv[i] & 63)
+			}
+		}
+		return buf
+	}
+	return colKer{u: f}
+}
+
+// cmpKernel builds a 0/1 kernel for a comparison of two uint vectors,
+// matching evalBinary's Equal/Compare on two KindUint values.
+func cmpKernel(op gsql.BinOp, l, r func(cb *ColBatch) []uint64) colKer {
+	var buf []uint64
+	f := func(cb *ColBatch) []uint64 {
+		lv := l(cb)
+		rv := r(cb)
+		buf = growUints(buf, len(lv))
+		switch op {
+		case gsql.OpEq:
+			for i := range lv {
+				buf[i] = b2u(lv[i] == rv[i])
+			}
+		case gsql.OpNeq:
+			for i := range lv {
+				buf[i] = b2u(lv[i] != rv[i])
+			}
+		case gsql.OpLt:
+			for i := range lv {
+				buf[i] = b2u(lv[i] < rv[i])
+			}
+		case gsql.OpLe:
+			for i := range lv {
+				buf[i] = b2u(lv[i] <= rv[i])
+			}
+		case gsql.OpGt:
+			for i := range lv {
+				buf[i] = b2u(lv[i] > rv[i])
+			}
+		case gsql.OpGe:
+			for i := range lv {
+				buf[i] = b2u(lv[i] >= rv[i])
+			}
+		}
+		return buf
+	}
+	return colKer{b: f}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,243 @@
+package exec
+
+import (
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/sqlval"
+)
+
+// colAggRows builds n rows whose (time, srcIP) pairs are all distinct,
+// to drive group-table growth.
+func colAggRows(n int) Batch {
+	b := make(Batch, 0, n)
+	for i := 0; i < n; i++ {
+		b = append(b, Tuple{
+			u(0),                // time: one epoch
+			u(uint64(i)),        // srcIP: unique per row
+			u(uint64(i % 3)),    // destIP
+			u(uint64(i) & 0x3f), // flags
+			u(uint64(41 + i%7)), // len
+		})
+	}
+	return b
+}
+
+// buildColAgg builds a columnar-configured aggregate grouping by
+// (time, srcIP) with the given aggregate columns, mirroring what the
+// cluster runner compiles for the columnar engine.
+func buildColAgg(t *testing.T, out Consumer, aggs []AggColumn, colArgs []*ColExpr, mutate func(*AggregateConfig)) *Aggregate {
+	t.Helper()
+	r := colTestResolver
+	cfg := AggregateConfig{
+		GroupBy: []EvalFunc{
+			MustCompile(gsql.MustParseExpr("time"), r, nil),
+			MustCompile(gsql.MustParseExpr("srcIP"), r, nil),
+		},
+		ColGroupBy: []ColExpr{
+			mustCompileCol(t, "time", r, nil),
+			mustCompileCol(t, "srcIP", r, nil),
+		},
+		EpochIdx:  0,
+		EpochOfWM: func(wm uint64) sqlval.Value { return sqlval.Uint(wm / 16) },
+		Aggs:      aggs,
+		ColArgs:   colArgs,
+		Out:       out,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return NewAggregate(cfg)
+}
+
+// TestColGroupTableGrows pushes enough distinct groups through the
+// map-backed columnar path (MIN is not word-vectorizable, so the dense
+// store refuses and colGroup/colInsert carry every row) to force
+// colGrow past colTableMin, then checks the emitted groups against the
+// row path.
+func TestColGroupTableGrows(t *testing.T) {
+	r := colTestResolver
+	aggs := []AggColumn{
+		{Factory: mustFactory(t, "MIN"), Arg: MustCompile(gsql.MustParseExpr("len"), r, nil)},
+	}
+	colArgs := []*ColExpr{colPtr(mustCompileCol(t, "len", r, nil))}
+	var outS, outC Collector
+	aggS := buildColAgg(t, &outS, aggs, colArgs, nil)
+	aggC := buildColAgg(t, &outC, aggs, colArgs, nil)
+
+	// 3/4 of colTableMin triggers the first doubling; go well past it.
+	rows := colAggRows(colTableMin * 2)
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	aggC.PushCols(&cb)
+	aggS.PushBatch(rows)
+	if aggC.denseN != 0 {
+		t.Fatal("MIN must not be dense-eligible")
+	}
+	if got := aggC.GroupCount(); got != len(rows) {
+		t.Fatalf("GroupCount = %d, want %d", got, len(rows))
+	}
+	aggS.Flush()
+	aggC.Flush()
+	diffBatches(t, "grown table", outS.Rows, outC.Rows)
+}
+
+// TestDenseDeliverHaving drives the dense store's emit through the
+// Having fallback: direct column emission is off the table, rows
+// materialize, and the predicate filters them exactly like the row
+// path.
+func TestDenseDeliverHaving(t *testing.T) {
+	havingRes := ColsResolver("", []string{"tb", "s", "cnt"})
+	aggs := []AggColumn{{Factory: mustFactory(t, "COUNT")}}
+	colArgs := []*ColExpr{nil}
+	having := MustCompile(gsql.MustParseExpr("cnt > 2"), havingRes, nil)
+	var outS, outC Collector
+	aggS := buildColAgg(t, &outS, aggs, colArgs, func(cfg *AggregateConfig) { cfg.Having = having })
+	aggC := buildColAgg(t, &outC, aggs, colArgs, func(cfg *AggregateConfig) { cfg.Having = having; cfg.ColEmit = true })
+
+	rows := colTestRows(200)
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	aggC.PushCols(&cb)
+	aggS.PushBatch(rows)
+	if aggC.denseN == 0 {
+		t.Fatal("dense store did not engage")
+	}
+	aggS.Flush()
+	aggC.Flush()
+	if len(outC.Rows) == 0 {
+		t.Fatal("Having filtered everything; pick a weaker predicate")
+	}
+	diffBatches(t, "dense Having", outS.Rows, outC.Rows)
+}
+
+// TestDenseDeliverPost drives the dense emit through the Post
+// projection fallback.
+func TestDenseDeliverPost(t *testing.T) {
+	postRes := ColsResolver("", []string{"tb", "s", "cnt"})
+	post := []EvalFunc{
+		MustCompile(gsql.MustParseExpr("s"), postRes, nil),
+		MustCompile(gsql.MustParseExpr("cnt * 2"), postRes, nil),
+	}
+	aggs := []AggColumn{{Factory: mustFactory(t, "COUNT")}}
+	colArgs := []*ColExpr{nil}
+	var outS, outC Collector
+	aggS := buildColAgg(t, &outS, aggs, colArgs, func(cfg *AggregateConfig) { cfg.Post = post })
+	aggC := buildColAgg(t, &outC, aggs, colArgs, func(cfg *AggregateConfig) { cfg.Post = post; cfg.ColEmit = true })
+
+	rows := colTestRows(200)
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	aggC.PushCols(&cb)
+	aggS.PushBatch(rows)
+	if aggC.denseN == 0 {
+		t.Fatal("dense store did not engage")
+	}
+	aggS.Flush()
+	aggC.Flush()
+	diffBatches(t, "dense Post", outS.Rows, outC.Rows)
+}
+
+// TestDenseDeliverNegativeSum overflows an integer SUM negative: the
+// direct column emission must bail (a uint vector cannot carry a
+// negative total) and the materialized rows must match the row path's
+// Int result exactly.
+func TestDenseDeliverNegativeSum(t *testing.T) {
+	r := colTestResolver
+	aggs := []AggColumn{
+		{Factory: mustFactory(t, "SUM"), Arg: MustCompile(gsql.MustParseExpr("len"), r, nil)},
+	}
+	colArgs := []*ColExpr{colPtr(mustCompileCol(t, "len", r, nil))}
+	var outS, outC Collector
+	aggS := buildColAgg(t, &outS, aggs, colArgs, nil)
+	aggC := buildColAgg(t, &outC, aggs, colArgs, func(cfg *AggregateConfig) { cfg.ColEmit = true })
+
+	// One row whose len is 2^63: int64(sum) < 0.
+	rows := Batch{Tuple{u(0), u(1), u(2), u(3), u(1 << 63)}}
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	aggC.PushCols(&cb)
+	aggS.PushBatch(rows)
+	if aggC.denseN == 0 {
+		t.Fatal("dense store did not engage")
+	}
+	aggS.Flush()
+	aggC.Flush()
+	if len(outC.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(outC.Rows))
+	}
+	if k := outC.Rows[0][2].Kind(); k != sqlval.KindInt {
+		t.Fatalf("overflowed SUM emitted as %v, want int", k)
+	}
+	diffBatches(t, "negative sum", outS.Rows, outC.Rows)
+}
+
+// TestUnionPortPushCols checks the union port's columnar forward: a
+// batch pushed into any port must reach Out exactly once, pivoted or
+// not.
+func TestUnionPortPushCols(t *testing.T) {
+	var out Collector
+	un := NewUnion(2, &out)
+	rows := colTestRows(8)
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	p0, ok := un.Port(0).(ColConsumer)
+	if !ok {
+		t.Fatal("union port does not implement ColConsumer")
+	}
+	p0.PushCols(&cb)
+	if len(out.Rows) != len(rows) {
+		t.Fatalf("union forwarded %d rows, want %d", len(out.Rows), len(rows))
+	}
+	diffBatches(t, "union forward", rows, out.Rows)
+}
+
+// TestTrivialColConsumers covers the leaf ColConsumer implementations
+// and the list compiler.
+func TestTrivialColConsumers(t *testing.T) {
+	rows := colTestRows(4)
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	Discard{}.PushCols(&cb)
+
+	var c Collector
+	c.PushCols(&cb)
+	diffBatches(t, "collector", rows, c.Rows)
+
+	var a, b Collector
+	te := &Tee{Outs: []Consumer{&a, &b}}
+	te.PushCols(&cb)
+	diffBatches(t, "tee a", rows, a.Rows)
+	diffBatches(t, "tee b", rows, b.Rows)
+
+	ces, err := CompileColAll([]gsql.Expr{
+		gsql.MustParseExpr("srcIP"),
+		gsql.MustParseExpr("len + 1"),
+	}, colTestResolver, nil)
+	if err != nil {
+		t.Fatalf("CompileColAll: %v", err)
+	}
+	if len(ces) != 2 {
+		t.Fatalf("CompileColAll returned %d exprs", len(ces))
+	}
+	for i, ce := range ces {
+		if ce.U == nil {
+			t.Errorf("expr %d: no kernel", i)
+		}
+	}
+	if _, err := CompileColAll([]gsql.Expr{gsql.MustParseExpr("nosuch")}, colTestResolver, nil); err == nil {
+		t.Error("CompileColAll accepted an unresolvable column")
+	}
+}

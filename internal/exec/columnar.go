@@ -1,0 +1,333 @@
+package exec
+
+// Columnar batch representation. A ColBatch holds one window of tuples
+// as per-column typed vectors (uint64 payload words plus a string
+// spine and an optional validity bitmap), so batched operators can run
+// compiled kernels over dense column slices instead of per-tuple
+// interface dispatch. Pivots at the engine boundary (AppendRows /
+// SetFromRows) keep the wire codec, the replay merge, and every
+// row-oriented operator untouched: a consumer that does not implement
+// ColConsumer transparently receives the pivoted rows via PushColsAll.
+//
+// Ownership contract (stricter than Batch): a ColBatch passed to
+// PushCols, and every slice it references, is valid ONLY for the
+// duration of the call. Consumers must not retain or mutate it; a
+// consumer that needs the data afterwards must pivot (AppendRows) or
+// copy. This is what lets producers recycle column slabs
+// unconditionally, with no plan-shape gating like scanTuplesSevered.
+
+import (
+	"math"
+
+	"qap/internal/sqlval"
+)
+
+// ColVec is a single column of a ColBatch: a uniform value kind, a
+// payload word per row, and an optional validity bitmap.
+//
+// Payload encoding by Kind (one uint64 word per row in U64):
+//
+//	KindUint   raw value               (Value == sqlval.Uint(w))
+//	KindInt    two's complement bits   (Value == sqlval.Int(int64(w)))
+//	KindFloat  IEEE-754 bits           (Value == sqlval.Float(math.Float64frombits(w)))
+//	KindBool   0 or 1                  (Value == sqlval.Bool(w != 0))
+//	KindString Str[i] holds the value; U64 is unused
+//	KindNull   every row is NULL; U64/Str unused
+//
+// Valid is a little-endian bitmap (bit i of word i/64 set = row i is
+// non-NULL). len(Valid) == 0 means every row is valid. NULL rows keep
+// a zero payload word so vectors stay densely indexed.
+type ColVec struct {
+	Kind  sqlval.Kind
+	U64   []uint64
+	Str   []string
+	Valid []uint64
+}
+
+// IsValid reports whether row i is non-NULL.
+func (v *ColVec) IsValid(i int) bool {
+	return len(v.Valid) == 0 || v.Valid[i>>6]&(1<<uint(i&63)) != 0
+}
+
+// Value reconstructs row i as a sqlval.Value. The reconstruction is
+// exact: pivoting a column in and out preserves kind and payload bits
+// (including float NaN payloads).
+func (v *ColVec) Value(i int) sqlval.Value {
+	if !v.IsValid(i) {
+		return sqlval.Null
+	}
+	switch v.Kind {
+	case sqlval.KindUint:
+		return sqlval.Uint(v.U64[i])
+	case sqlval.KindInt:
+		return sqlval.Int(int64(v.U64[i]))
+	case sqlval.KindFloat:
+		return sqlval.Float(math.Float64frombits(v.U64[i]))
+	case sqlval.KindBool:
+		return sqlval.Bool(v.U64[i] != 0)
+	case sqlval.KindString:
+		return sqlval.Str(v.Str[i])
+	default:
+		return sqlval.Null
+	}
+}
+
+// ColBatch is a dense column-oriented batch: Len rows across
+// len(Cols) columns. There is no selection vector at operator
+// boundaries — filters compact before forwarding — so every consumer
+// sees rows 0..Len-1 of every column.
+type ColBatch struct {
+	Cols []ColVec
+	Len  int
+}
+
+// AllUint reports whether every column is KindUint with no NULLs.
+// This is the precondition for the compiled uint kernels (ColExpr.U /
+// ColExpr.Truth): network traces pivot to all-uint batches, which is
+// the engine hot path.
+func (cb *ColBatch) AllUint() bool {
+	for i := range cb.Cols {
+		c := &cb.Cols[i]
+		if c.Kind != sqlval.KindUint || len(c.Valid) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset truncates the batch to zero rows, keeping column capacity so
+// producers can refill without allocating.
+func (cb *ColBatch) Reset() {
+	for i := range cb.Cols {
+		c := &cb.Cols[i]
+		c.U64 = c.U64[:0]
+		c.Str = c.Str[:0]
+		c.Valid = c.Valid[:0]
+	}
+	cb.Len = 0
+}
+
+// Slice points dst at rows [lo, hi) of cb without copying payloads.
+// dst shares cb's backing arrays, so it follows the same
+// only-during-the-call lifetime. Only all-valid columns can be sliced
+// (the bitmap is not word-aligned at arbitrary offsets); producers
+// that chunk batches only ever build all-valid columns.
+func (cb *ColBatch) Slice(lo, hi int, dst *ColBatch) {
+	if cap(dst.Cols) < len(cb.Cols) {
+		dst.Cols = make([]ColVec, len(cb.Cols))
+	}
+	dst.Cols = dst.Cols[:len(cb.Cols)]
+	for i := range cb.Cols {
+		c := &cb.Cols[i]
+		if len(c.Valid) != 0 {
+			panic("exec: ColBatch.Slice on column with validity bitmap")
+		}
+		d := &dst.Cols[i]
+		d.Kind = c.Kind
+		d.Valid = nil
+		d.U64 = nil
+		d.Str = nil
+		if c.U64 != nil {
+			d.U64 = c.U64[lo:hi]
+		}
+		if c.Str != nil {
+			d.Str = c.Str[lo:hi]
+		}
+	}
+	dst.Len = hi - lo
+}
+
+// RowWireSize mirrors Tuple.WireSize for row i without materializing
+// the tuple: 8 bytes of framing plus each value's wire size.
+func (cb *ColBatch) RowWireSize(i int) int {
+	n := 8
+	for c := range cb.Cols {
+		v := &cb.Cols[c]
+		switch {
+		case !v.IsValid(i) || v.Kind == sqlval.KindNull:
+			n++
+		case v.Kind == sqlval.KindBool:
+			n += 2
+		case v.Kind == sqlval.KindString:
+			n += 3 + len(v.Str[i])
+		default:
+			n += 9
+		}
+	}
+	return n
+}
+
+// AppendRows pivots the batch into durable row tuples appended to
+// dst. All tuples share one backing array (a single allocation), and
+// unlike the source ColBatch they follow the ordinary tuple contract:
+// immutable and retainable forever.
+//
+//qap:hot
+func (cb *ColBatch) AppendRows(dst Batch) Batch {
+	n, w := cb.Len, len(cb.Cols)
+	if n == 0 {
+		return dst
+	}
+	//qap:allow hotalloc -- one backing array per pivoted batch, amortized over its rows
+	backing := make([]sqlval.Value, n*w)
+	for c := 0; c < w; c++ {
+		v := &cb.Cols[c]
+		for r := 0; r < n; r++ {
+			backing[r*w+c] = v.Value(r)
+		}
+	}
+	for r := 0; r < n; r++ {
+		dst = append(dst, Tuple(backing[r*w:(r+1)*w:(r+1)*w]))
+	}
+	return dst
+}
+
+// SetFromRows rebuilds cb from a row batch, reusing column capacity.
+// It returns false — leaving cb unspecified — when the rows cannot be
+// represented columnar: ragged widths or a column mixing value kinds.
+// NULLs are fine (they set the validity bitmap); an all-NULL column
+// becomes KindNull.
+func (cb *ColBatch) SetFromRows(b Batch) bool {
+	n := len(b)
+	if n == 0 {
+		cb.Reset()
+		cb.Len = 0
+		return true
+	}
+	w := len(b[0])
+	for _, t := range b {
+		if len(t) != w {
+			return false
+		}
+	}
+	if cap(cb.Cols) < w {
+		cb.Cols = make([]ColVec, w)
+	}
+	cb.Cols = cb.Cols[:w]
+	for c := 0; c < w; c++ {
+		v := &cb.Cols[c]
+		kind := sqlval.KindNull
+		nulls := false
+		for r := 0; r < n; r++ {
+			val := b[r][c]
+			if val.IsNull() {
+				nulls = true
+				continue
+			}
+			k := val.Kind()
+			if kind == sqlval.KindNull {
+				kind = k
+				continue
+			}
+			if k != kind {
+				return false
+			}
+		}
+		v.Kind = kind
+		v.U64 = v.U64[:0]
+		v.Str = v.Str[:0]
+		v.Valid = v.Valid[:0]
+		switch kind {
+		case sqlval.KindNull:
+		case sqlval.KindString:
+			for r := 0; r < n; r++ {
+				s, _ := b[r][c].AsString()
+				v.Str = append(v.Str, s)
+			}
+		case sqlval.KindFloat:
+			for r := 0; r < n; r++ {
+				f, ok := b[r][c].AsFloat()
+				if !ok {
+					f = 0
+				}
+				v.U64 = append(v.U64, math.Float64bits(f))
+			}
+		default:
+			// Uint, Int, and Bool all round-trip bit-exactly
+			// through AsUint (NULL rows contribute a zero word).
+			for r := 0; r < n; r++ {
+				u, _ := b[r][c].AsUint()
+				v.U64 = append(v.U64, u)
+			}
+		}
+		if nulls || kind == sqlval.KindNull {
+			words := (n + 63) >> 6
+			if cap(v.Valid) < words {
+				v.Valid = make([]uint64, words)
+			}
+			v.Valid = v.Valid[:words]
+			for i := range v.Valid {
+				v.Valid[i] = 0
+			}
+			for r := 0; r < n; r++ {
+				if !b[r][c].IsNull() {
+					v.Valid[r>>6] |= 1 << uint(r&63)
+				}
+			}
+		}
+	}
+	cb.Len = n
+	return true
+}
+
+// ColConsumer is implemented by consumers that accept columnar
+// batches natively. PushCols(cb) must be observably identical to
+// PushBatch of the pivoted rows: same downstream effects, same
+// counters, same output bytes. The batch and everything it references
+// are owned by the producer and valid only during the call.
+type ColConsumer interface {
+	Consumer
+	PushCols(cb *ColBatch)
+}
+
+// PushColsAll delivers a columnar batch to any consumer: natively
+// when it implements ColConsumer, otherwise by pivoting to durable
+// rows and falling back to PushAll. Empty batches are dropped, like
+// PushAll.
+//
+//qap:hot
+func PushColsAll(c Consumer, cb *ColBatch) {
+	if cb.Len == 0 {
+		return
+	}
+	if cc, ok := c.(ColConsumer); ok {
+		cc.PushCols(cb)
+		return
+	}
+	b := cb.AppendRows(GetBatch())
+	PushAll(c, b)
+	PutBatch(b)
+}
+
+// growUints returns buf with length n, reusing capacity when it can.
+//
+//qap:hot
+func growUints(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		//qap:allow hotalloc -- scratch growth, amortized across batches
+		return make([]uint64, n)
+	}
+	return buf[:n]
+}
+
+// Discard drops columnar batches outright.
+func (Discard) PushCols(*ColBatch) {}
+
+// PushCols pivots and retains the rows (a Collector outlives the
+// batch, so it must own durable tuples).
+func (c *Collector) PushCols(cb *ColBatch) {
+	c.Rows = cb.AppendRows(c.Rows)
+}
+
+// PushCols pivots once and fans the shared durable rows out to every
+// consumer, mirroring the scalar PushBatch sharing.
+func (t *Tee) PushCols(cb *ColBatch) {
+	if cb.Len == 0 {
+		return
+	}
+	b := cb.AppendRows(GetBatch())
+	for _, o := range t.Outs {
+		PushAll(o, b)
+	}
+	PutBatch(b)
+}

@@ -1,0 +1,511 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/sqlval"
+)
+
+// sameValue compares two values exactly — kind and payload bits —
+// which is stricter than Equal (NaN payloads, kind distinctions).
+func sameValue(a, b sqlval.Value) bool {
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch a.Kind() {
+	case sqlval.KindNull:
+		return true
+	case sqlval.KindString:
+		as, _ := a.AsString()
+		bs, _ := b.AsString()
+		return as == bs
+	case sqlval.KindFloat:
+		af, _ := a.AsFloat()
+		bf, _ := b.AsFloat()
+		return math.Float64bits(af) == math.Float64bits(bf)
+	default:
+		au, _ := a.AsUint()
+		bu, _ := b.AsUint()
+		return au == bu
+	}
+}
+
+func TestColBatchPivotRoundTrip(t *testing.T) {
+	rows := Batch{
+		{sqlval.Uint(1), sqlval.Int(-7), sqlval.Float(2.5), sqlval.Bool(true), sqlval.Str("a"), sqlval.Null},
+		{sqlval.Uint(math.MaxUint64), sqlval.Int(9), sqlval.Float(math.NaN()), sqlval.Bool(false), sqlval.Str(""), sqlval.Null},
+		{sqlval.Uint(0), sqlval.Null, sqlval.Null, sqlval.Null, sqlval.Null, sqlval.Null},
+	}
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows rejected representable rows")
+	}
+	if cb.Len != len(rows) {
+		t.Fatalf("Len = %d, want %d", cb.Len, len(rows))
+	}
+	back := cb.AppendRows(nil)
+	if len(back) != len(rows) {
+		t.Fatalf("pivoted %d rows, want %d", len(back), len(rows))
+	}
+	for r := range rows {
+		for c := range rows[r] {
+			if !sameValue(rows[r][c], back[r][c]) {
+				t.Errorf("row %d col %d: %v != %v", r, c, rows[r][c], back[r][c])
+			}
+		}
+		if got, want := cb.RowWireSize(r), rows[r].WireSize(); got != want {
+			t.Errorf("row %d wire size %d, want %d", r, got, want)
+		}
+	}
+}
+
+func TestColBatchRejectsMixedKinds(t *testing.T) {
+	var cb ColBatch
+	if cb.SetFromRows(Batch{{sqlval.Uint(1)}, {sqlval.Str("x")}}) {
+		t.Error("mixed uint/string column accepted")
+	}
+	if cb.SetFromRows(Batch{{sqlval.Uint(1)}, {sqlval.Uint(2), sqlval.Uint(3)}}) {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestColBatchAllUint(t *testing.T) {
+	var cb ColBatch
+	if !cb.SetFromRows(Batch{{sqlval.Uint(1)}, {sqlval.Uint(2)}}) || !cb.AllUint() {
+		t.Error("all-uint batch not detected")
+	}
+	if !cb.SetFromRows(Batch{{sqlval.Uint(1)}, {sqlval.Null}}) {
+		t.Fatal("nullable uint column rejected")
+	}
+	if cb.AllUint() {
+		t.Error("column with NULLs reported AllUint")
+	}
+}
+
+func TestColBatchSlice(t *testing.T) {
+	var cb ColBatch
+	rows := Batch{}
+	for i := 0; i < 10; i++ {
+		rows = append(rows, Tuple{sqlval.Uint(uint64(i)), sqlval.Uint(uint64(i * i))})
+	}
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	var view ColBatch
+	cb.Slice(3, 7, &view)
+	if view.Len != 4 {
+		t.Fatalf("view.Len = %d", view.Len)
+	}
+	for i := 0; i < 4; i++ {
+		if !sameValue(view.Cols[0].Value(i), sqlval.Uint(uint64(3+i))) {
+			t.Errorf("view row %d = %v", i, view.Cols[0].Value(i))
+		}
+	}
+}
+
+// colTestRows builds an all-uint batch over (time, srcIP, destIP,
+// flags, len) with enough key collisions to exercise grouping.
+func colTestRows(n int) Batch {
+	b := make(Batch, 0, n)
+	for i := 0; i < n; i++ {
+		b = append(b, Tuple{
+			sqlval.Uint(uint64(i / 16)),        // time
+			sqlval.Uint(uint64(i % 7)),         // srcIP
+			sqlval.Uint(uint64(i % 3)),         // destIP
+			sqlval.Uint(uint64(i) & 0x3f),      // flags
+			sqlval.Uint(uint64(40 + (i % 11))), // len
+		})
+	}
+	return b
+}
+
+var colTestResolver = ColsResolver("", []string{"time", "srcIP", "destIP", "flags", "len"})
+
+func mustCompileCol(t *testing.T, src string, r Resolver, params Params) ColExpr {
+	t.Helper()
+	ce, err := CompileCol(gsql.MustParseExpr(src), r, params)
+	if err != nil {
+		t.Fatalf("CompileCol(%q): %v", src, err)
+	}
+	return ce
+}
+
+// TestCompileColKernelMatchesRow drives every whitelisted kernel shape
+// over an all-uint batch and checks the vector result against the row
+// closure, value for value and kind for kind.
+func TestCompileColKernelMatchesRow(t *testing.T) {
+	rows := colTestRows(97)
+	var cb ColBatch
+	if !cb.SetFromRows(rows) {
+		t.Fatal("SetFromRows failed")
+	}
+	params := Params{"P": sqlval.Uint(0x26)}
+	uintExprs := []string{
+		"srcIP",
+		"time / 60",
+		"time % 7",
+		"len * 3 + 1",
+		"flags & 0x26",
+		"flags | 16",
+		"flags ^ srcIP",
+		"srcIP << 2",
+		"len >> 1",
+		"srcIP << len",
+		"~flags",
+		"ABS(len)",
+		"#P#",
+		"2 + 3 * 4",
+		"100 / 10 % 7",
+	}
+	for _, src := range uintExprs {
+		ce := mustCompileCol(t, src, colTestResolver, params)
+		if ce.U == nil {
+			t.Errorf("%q: no uint kernel", src)
+			continue
+		}
+		v := ce.U(&cb)
+		for i, row := range rows {
+			want := ce.Row(row)
+			if !sameValue(want, sqlval.Uint(v[i])) {
+				t.Fatalf("%q row %d: kernel %d, row eval %v", src, i, v[i], want)
+			}
+		}
+	}
+	truthExprs := []string{
+		"srcIP = destIP",
+		"srcIP != destIP",
+		"srcIP < destIP",
+		"srcIP <= destIP",
+		"len > 45",
+		"len >= 45",
+		"flags & 0x26 = 0x26",
+		"srcIP = 1 AND len > 44",
+		"srcIP = 1 OR destIP = 2",
+		"NOT (srcIP = 1)",
+		"NOT flags",
+		"flags", // truthiness of a uint expression
+		"srcIP = 1 AND (destIP = 2 OR len < 43)",
+	}
+	for _, src := range truthExprs {
+		ce := mustCompileCol(t, src, colTestResolver, params)
+		if ce.Truth == nil {
+			t.Errorf("%q: no truth kernel", src)
+			continue
+		}
+		v := ce.Truth(&cb)
+		for i, row := range rows {
+			want := ce.Row(row).AsBool()
+			if (v[i] != 0) != want {
+				t.Fatalf("%q row %d: kernel %d, row eval %v", src, i, v[i], want)
+			}
+		}
+	}
+}
+
+// TestCompileColUnsupportedFallsBack pins the shapes that must NOT get
+// kernels: their value kind can leave uint (or NULL) at runtime.
+func TestCompileColUnsupportedFallsBack(t *testing.T) {
+	for _, src := range []string{
+		"srcIP - destIP", // underflow yields Int
+		"-srcIP",         // Neg yields Int
+		"len / srcIP",    // runtime zero divisor yields NULL
+		"len % srcIP",
+		"len / 0", // constant zero divisor
+		"1.5 * len",
+		"SQRT(len)",
+		"'x'",
+	} {
+		ce := mustCompileCol(t, src, colTestResolver, nil)
+		if ce.U != nil {
+			t.Errorf("%q: unexpectedly has a uint kernel", src)
+		}
+	}
+	// Param of non-uint kind must not fold as a uint constant.
+	ce := mustCompileCol(t, "#F#", colTestResolver, Params{"F": sqlval.Float(1.5)})
+	if ce.U != nil {
+		t.Error("float param folded into uint kernel")
+	}
+}
+
+// runAggBoth drives the same input through a row-path and a
+// columnar-path aggregate, interleaving watermarks, and returns the
+// two collected outputs.
+func runAggBoth(t *testing.T, rows Batch, batch int) (scalar, columnar Batch, lateS, lateC int64) {
+	t.Helper()
+	build := func(out Consumer, columnar bool) *Aggregate {
+		cfg := AggregateConfig{
+			PreFilter: MustCompile(gsql.MustParseExpr("len > 40"), colTestResolver, nil),
+			GroupBy: []EvalFunc{
+				MustCompile(gsql.MustParseExpr("time"), colTestResolver, nil),
+				MustCompile(gsql.MustParseExpr("srcIP"), colTestResolver, nil),
+				MustCompile(gsql.MustParseExpr("destIP"), colTestResolver, nil),
+			},
+			EpochIdx:  0,
+			EpochOfWM: func(wm uint64) sqlval.Value { return sqlval.Uint(wm / 16) },
+			Aggs: []AggColumn{
+				{Factory: mustFactory(t, "COUNT")},
+				{Factory: mustFactory(t, "OR_AGGR"), Arg: MustCompile(gsql.MustParseExpr("flags"), colTestResolver, nil)},
+				{Factory: mustFactory(t, "SUM"), Arg: MustCompile(gsql.MustParseExpr("len"), colTestResolver, nil)},
+			},
+			Having: MustCompile(gsql.MustParseExpr("cnt >= 1"), ColsResolver("", []string{"tb", "s", "d", "cnt", "orf", "bytes"}), nil),
+			Out:    out,
+		}
+		if columnar {
+			cfg.ColPreFilter = colPtr(mustCompileCol(t, "len > 40", colTestResolver, nil))
+			cfg.ColGroupBy = []ColExpr{
+				mustCompileCol(t, "time", colTestResolver, nil),
+				mustCompileCol(t, "srcIP", colTestResolver, nil),
+				mustCompileCol(t, "destIP", colTestResolver, nil),
+			}
+			cfg.ColArgs = []*ColExpr{
+				nil,
+				colPtr(mustCompileCol(t, "flags", colTestResolver, nil)),
+				colPtr(mustCompileCol(t, "len", colTestResolver, nil)),
+			}
+		}
+		return NewAggregate(cfg)
+	}
+	var outS, outC Collector
+	aggS := build(&outS, false)
+	aggC := build(&outC, true)
+	var cb ColBatch
+	for off := 0; off < len(rows); off += batch {
+		end := off + batch
+		if end > len(rows) {
+			end = len(rows)
+		}
+		chunk := rows[off:end]
+		aggS.PushBatch(chunk)
+		if !cb.SetFromRows(chunk) {
+			t.Fatal("SetFromRows failed")
+		}
+		aggC.PushCols(&cb)
+		wm := uint64(off)
+		aggS.Advance(wm)
+		aggC.Advance(wm)
+	}
+	aggS.Flush()
+	aggC.Flush()
+	return outS.Rows, outC.Rows, aggS.Late, aggC.Late
+}
+
+func colPtr(ce ColExpr) *ColExpr { return &ce }
+
+func mustFactory(t *testing.T, name string) AccumFactory {
+	t.Helper()
+	f, err := NewAccumFactory(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestAggregatePushColsMatchesPushBatch(t *testing.T) {
+	rows := colTestRows(500)
+	// Shuffle some rows backwards in time so the late path fires.
+	rows[490], rows[10] = rows[10], rows[490]
+	rows[491], rows[11] = rows[11], rows[491]
+	for _, batch := range []int{1, 7, 64, 500} {
+		scalar, columnar, lateS, lateC := runAggBoth(t, rows, batch)
+		if lateS != lateC {
+			t.Fatalf("batch %d: Late %d (scalar) != %d (columnar)", batch, lateS, lateC)
+		}
+		diffBatches(t, fmt.Sprintf("agg batch %d", batch), scalar, columnar)
+	}
+}
+
+func diffBatches(t *testing.T, label string, a, b Batch) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d rows vs %d rows", label, len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			t.Fatalf("%s row %d: width %d vs %d", label, i, len(a[i]), len(b[i]))
+		}
+		for c := range a[i] {
+			if !sameValue(a[i][c], b[i][c]) {
+				t.Fatalf("%s row %d col %d: %v vs %v", label, i, c, a[i][c], b[i][c])
+			}
+		}
+	}
+}
+
+// TestAggregateColumnarScalarInterleave drives the SAME aggregate with
+// alternating PushBatch and PushCols and checks it against a pure
+// row-path oracle: the slot cache must stay coherent with groups the
+// row path creates and with epoch drains in between.
+func TestAggregateColumnarScalarInterleave(t *testing.T) {
+	rows := colTestRows(512)
+	build := func(out Consumer) *Aggregate {
+		return NewAggregate(AggregateConfig{
+			GroupBy: []EvalFunc{
+				MustCompile(gsql.MustParseExpr("time"), colTestResolver, nil),
+				MustCompile(gsql.MustParseExpr("srcIP"), colTestResolver, nil),
+			},
+			ColGroupBy: []ColExpr{
+				mustCompileCol(t, "time", colTestResolver, nil),
+				mustCompileCol(t, "srcIP", colTestResolver, nil),
+			},
+			EpochIdx:  0,
+			EpochOfWM: func(wm uint64) sqlval.Value { return sqlval.Uint(wm / 16) },
+			Aggs:      []AggColumn{{Factory: mustFactory(t, "COUNT")}},
+			Out:       out,
+		})
+	}
+	var outMix, outRow Collector
+	mix := build(&outMix)
+	oracle := build(&outRow)
+	var cb ColBatch
+	for off := 0; off < len(rows); off += 32 {
+		chunk := rows[off : off+32]
+		if (off/32)%2 == 0 {
+			if !cb.SetFromRows(chunk) {
+				t.Fatal("SetFromRows failed")
+			}
+			mix.PushCols(&cb)
+		} else {
+			mix.PushBatch(chunk)
+		}
+		oracle.PushBatch(chunk)
+		mix.Advance(uint64(off))
+		oracle.Advance(uint64(off))
+	}
+	mix.Flush()
+	oracle.Flush()
+	diffBatches(t, "interleave", outRow.Rows, outMix.Rows)
+}
+
+func TestFilterProjectPushColsMatchesPushBatch(t *testing.T) {
+	rows := colTestRows(300)
+	cases := []struct {
+		name   string
+		filter string
+		projs  []string
+	}{
+		{"passthrough", "", nil},
+		{"filter-only", "flags & 0x20 = 0x20 AND len > 42", nil},
+		{"filter-none-pass", "srcIP > 100", nil},
+		{"filter-all-pass", "len > 0", nil},
+		{"projs-only", "", []string{"time / 60", "srcIP", "len * 2"}},
+		{"filter-and-projs", "destIP = 1", []string{"srcIP", "flags | 1"}},
+		{"unkernelable-filter", "srcIP - destIP", nil}, // falls back to pivot
+	}
+	for _, tc := range cases {
+		var outS, outC Collector
+		mk := func(out Consumer, columnar bool) *FilterProject {
+			fp := &FilterProject{Out: out}
+			if tc.filter != "" {
+				fp.Filter = MustCompile(gsql.MustParseExpr(tc.filter), colTestResolver, nil)
+				if columnar {
+					fp.ColFilter = colPtr(mustCompileCol(t, tc.filter, colTestResolver, nil))
+				}
+			}
+			for _, p := range tc.projs {
+				fp.Projs = append(fp.Projs, MustCompile(gsql.MustParseExpr(p), colTestResolver, nil))
+				if columnar {
+					fp.ColProjs = append(fp.ColProjs, mustCompileCol(t, p, colTestResolver, nil))
+				}
+			}
+			return fp
+		}
+		fpS := mk(&outS, false)
+		fpC := mk(&outC, true)
+		var cb ColBatch
+		for off := 0; off < len(rows); off += 64 {
+			end := off + 64
+			if end > len(rows) {
+				end = len(rows)
+			}
+			fpS.PushBatch(rows[off:end])
+			if !cb.SetFromRows(rows[off:end]) {
+				t.Fatal("SetFromRows failed")
+			}
+			fpC.PushCols(&cb)
+		}
+		diffBatches(t, tc.name, outS.Rows, outC.Rows)
+	}
+}
+
+func TestJoinPushColsMatchesPushBatch(t *testing.T) {
+	r := ColsResolver("", []string{"time", "srcIP", "destIP", "flags", "len"})
+	jr := ColsResolver("", []string{"lt", "ls", "ld", "lf", "ll", "rt", "rs", "rd", "rf", "rl"})
+	left := colTestRows(200)
+	right := colTestRows(200)
+	mk := func(out Consumer, columnar bool) *Join {
+		keys := func() []EvalFunc {
+			return []EvalFunc{
+				MustCompile(gsql.MustParseExpr("time"), r, nil),
+				MustCompile(gsql.MustParseExpr("srcIP"), r, nil),
+			}
+		}
+		colKeys := func() []ColExpr {
+			return []ColExpr{
+				mustCompileCol(t, "time", r, nil),
+				mustCompileCol(t, "srcIP", r, nil),
+			}
+		}
+		cfg := JoinConfig{
+			Left:     JoinSideConfig{Keys: keys(), Width: 5, TemporalIdx: 0},
+			Right:    JoinSideConfig{Keys: keys(), Width: 5, TemporalIdx: 0},
+			Residual: MustCompile(gsql.MustParseExpr("ll <= rl"), jr, nil),
+			Projs: []EvalFunc{
+				MustCompile(gsql.MustParseExpr("lt"), jr, nil),
+				MustCompile(gsql.MustParseExpr("ls"), jr, nil),
+				MustCompile(gsql.MustParseExpr("ll + rl"), jr, nil),
+			},
+			Out: out,
+		}
+		if columnar {
+			cfg.Left.ColKeys = colKeys()
+			cfg.Right.ColKeys = colKeys()
+		}
+		return NewJoin(cfg)
+	}
+	var outS, outC Collector
+	jS := mk(&outS, false)
+	jC := mk(&outC, true)
+	var cbL, cbR ColBatch
+	for off := 0; off < len(left); off += 50 {
+		jS.LeftIn().(*joinPort).PushBatch(left[off : off+50])
+		jS.RightIn().(*joinPort).PushBatch(right[off : off+50])
+		if !cbL.SetFromRows(left[off:off+50]) || !cbR.SetFromRows(right[off:off+50]) {
+			t.Fatal("SetFromRows failed")
+		}
+		jC.LeftIn().(*joinPort).PushCols(&cbL)
+		jC.RightIn().(*joinPort).PushCols(&cbR)
+	}
+	jS.LeftIn().Flush()
+	jS.RightIn().Flush()
+	jC.LeftIn().Flush()
+	jC.RightIn().Flush()
+	diffBatches(t, "join", outS.Rows, outC.Rows)
+}
+
+// rowOnlyConsumer deliberately implements only Consumer, to exercise
+// the PushColsAll pivot fallback.
+type rowOnlyConsumer struct{ rows Batch }
+
+func (c *rowOnlyConsumer) Push(t Tuple)   { c.rows = append(c.rows, t) }
+func (c *rowOnlyConsumer) Advance(uint64) {}
+func (c *rowOnlyConsumer) Flush()         {}
+
+// TestPushColsAllPivots checks the generic fallback delivers pivoted
+// rows to a plain consumer and drops empty batches.
+func TestPushColsAllPivots(t *testing.T) {
+	var out rowOnlyConsumer
+	var cb ColBatch
+	if !cb.SetFromRows(colTestRows(10)) {
+		t.Fatal("SetFromRows failed")
+	}
+	PushColsAll(&out, &cb)
+	diffBatches(t, "pivot fallback", colTestRows(10), out.rows)
+	cb.Reset()
+	PushColsAll(&out, &cb)
+	if len(out.rows) != 10 {
+		t.Error("empty batch was not dropped")
+	}
+}

@@ -1,0 +1,223 @@
+package exec
+
+import (
+	"math"
+	"testing"
+
+	"qap/internal/gsql"
+	"qap/internal/sqlval"
+)
+
+// FuzzExprCompile cross-checks the column-compiled kernels against the
+// row evaluator oracle. The fuzzer supplies an arbitrary GSQL
+// expression source plus a data seed; the test parses it, compiles it
+// with CompileCol over the canonical 5-column network schema, and then
+// asserts the whitelist's soundness claim on a generated all-uint
+// batch: wherever a kernel exists, its vector output must match the
+// row closure value for value (and the row result must actually be
+// KindUint — a kernel on an expression that can leave uint at runtime
+// is exactly the bug class this fuzzer hunts). The generated data is
+// biased toward overflow edges (0, 1, MaxUint64, 1<<63, shift counts
+// near 64) so wraparound in +, *, <<, >> is exercised on every run.
+//
+// A second batch mixes NULLs and every value kind to fuzz the
+// row↔column pivot itself: SetFromRows must round-trip each value
+// through the validity bitmaps exactly, and AllUint must reject the
+// batch so no kernel could legally touch it.
+func FuzzExprCompile(f *testing.F) {
+	for _, src := range []string{
+		"srcIP + len * 2",
+		"time / 60",
+		"flags & 0x26 = 0x26",
+		"srcIP = 1 AND (destIP = 2 OR len < 43)",
+		"NOT flags",
+		"~flags ^ srcIP",
+		"srcIP << len",
+		"len >> 1",
+		"ABS(len) % 7",
+		"#P# + time",
+		"srcIP - destIP",
+		"len / srcIP",
+		"-srcIP",
+		"1.5 * len",
+	} {
+		f.Add(src, uint64(0x9e3779b97f4a7c15), uint8(97))
+	}
+	f.Fuzz(func(t *testing.T, src string, seed uint64, nrows uint8) {
+		e, err := gsql.ParseExpr(src)
+		if err != nil {
+			t.Skip()
+		}
+		params := Params{
+			"P": sqlval.Uint(seed | 1),
+			"F": sqlval.Float(1.5),
+		}
+		ce, err := CompileCol(e, colTestResolver, params)
+		if err != nil {
+			// CompileCol's error cases are exactly Compile's; an
+			// unresolvable column or unknown function is not a bug.
+			t.Skip()
+		}
+		n := int(nrows)%256 + 1
+		rows := fuzzUintRows(seed, n)
+
+		var cb ColBatch
+		if !cb.SetFromRows(rows) {
+			t.Fatalf("SetFromRows failed on an all-uint batch (n=%d)", n)
+		}
+		if !cb.AllUint() {
+			t.Fatal("AllUint is false for a batch of pure uints")
+		}
+		if back := cb.AppendRows(nil); len(back) != n {
+			t.Fatalf("pivot round-trip length %d, want %d", len(back), n)
+		} else {
+			for i, row := range back {
+				for c, v := range row {
+					if !sameValue(v, rows[i][c]) {
+						t.Fatalf("pivot round-trip row %d col %d: %v != %v", i, c, v, rows[i][c])
+					}
+				}
+			}
+		}
+
+		if ce.U != nil {
+			v := ce.U(&cb)
+			if len(v) != n {
+				t.Fatalf("%q: uint kernel length %d, want %d", src, len(v), n)
+			}
+			for i, row := range rows {
+				want := ce.Row(row)
+				if want.Kind() != sqlval.KindUint {
+					t.Fatalf("%q row %d: kernel exists but row eval is %v (%v), not uint — unsound whitelist",
+						src, i, want, want.Kind())
+				}
+				if !sameValue(want, sqlval.Uint(v[i])) {
+					t.Fatalf("%q row %d: kernel %d, row eval %v", src, i, v[i], want)
+				}
+				if ce.Const != nil && v[i] != *ce.Const {
+					t.Fatalf("%q row %d: Const=%d but kernel yields %d", src, i, *ce.Const, v[i])
+				}
+			}
+			// Scratch reuse must be deterministic: a second call over
+			// the same batch yields the same vector.
+			v2 := ce.U(&cb)
+			for i := range v2 {
+				if want := ce.Row(rows[i]); !sameValue(want, sqlval.Uint(v2[i])) {
+					t.Fatalf("%q row %d: second kernel call drifted to %d (row eval %v)", src, i, v2[i], want)
+				}
+			}
+		}
+		if ce.Truth != nil {
+			v := ce.Truth(&cb)
+			if len(v) != n {
+				t.Fatalf("%q: truth kernel length %d, want %d", src, len(v), n)
+			}
+			for i, row := range rows {
+				want := ce.Row(row).AsBool()
+				if (v[i] != 0) != want {
+					t.Fatalf("%q row %d: truth kernel %d, row eval %v", src, i, v[i], want)
+				}
+			}
+		}
+
+		// Pivot fuzz: a batch mixing NULLs and every kind must
+		// round-trip exactly and must never claim AllUint.
+		mixed, hasNonUint := fuzzMixedRows(seed^0xabcd, n)
+		var mb ColBatch
+		if !mb.SetFromRows(mixed) {
+			t.Fatalf("SetFromRows failed on mixed batch (n=%d)", n)
+		}
+		if hasNonUint && mb.AllUint() {
+			t.Fatal("AllUint is true for a batch holding non-uint values")
+		}
+		for i, row := range mixed {
+			for c, want := range row {
+				if got := mb.Cols[c].Value(i); !sameValue(got, want) {
+					t.Fatalf("mixed pivot row %d col %d: %v != %v", i, c, got, want)
+				}
+			}
+		}
+	})
+}
+
+// fuzzEdges is the value pool uint columns draw from: overflow and
+// shift boundaries first, so arithmetic wraparound is the common case
+// rather than a lottery win.
+var fuzzEdges = [...]uint64{
+	0, 1, 2, 62, 63, 64, 65, 0x3f, 0x26,
+	1 << 31, 1 << 32, 1 << 63,
+	math.MaxUint64, math.MaxUint64 - 1, math.MaxInt64,
+}
+
+// fuzzNext is splitmix64: a tiny deterministic PRNG so every fuzz
+// input maps to one reproducible batch.
+func fuzzNext(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4b9b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// fuzzUintRows builds n rows over the 5-column schema, half edge
+// values, half raw PRNG output.
+func fuzzUintRows(seed uint64, n int) Batch {
+	s := seed
+	b := make(Batch, 0, n)
+	for i := 0; i < n; i++ {
+		row := make(Tuple, 5)
+		for c := range row {
+			r := fuzzNext(&s)
+			if r&1 == 0 {
+				row[c] = sqlval.Uint(fuzzEdges[(r>>1)%uint64(len(fuzzEdges))])
+			} else {
+				row[c] = sqlval.Uint(r >> 1)
+			}
+		}
+		b = append(b, row)
+	}
+	return b
+}
+
+// fuzzMixedRows builds n rows where each column commits to one value
+// kind (SetFromRows rejects kind-mixing columns by contract) and
+// sprinkles NULLs per cell, and reports whether any value is non-uint
+// or NULL (forcing AllUint to reject the batch).
+func fuzzMixedRows(seed uint64, n int) (Batch, bool) {
+	s := seed
+	kinds := make([]uint64, 5)
+	for c := range kinds {
+		kinds[c] = fuzzNext(&s) % 5
+	}
+	b := make(Batch, 0, n)
+	nonUint := false
+	for i := 0; i < n; i++ {
+		row := make(Tuple, 5)
+		for c := range row {
+			r := fuzzNext(&s)
+			if r%5 == 0 {
+				row[c] = sqlval.Null
+				nonUint = true
+				continue
+			}
+			switch kinds[c] {
+			case 0:
+				row[c] = sqlval.Uint(r >> 3)
+			case 1:
+				row[c] = sqlval.Int(-int64(r >> 33))
+				nonUint = true
+			case 2:
+				row[c] = sqlval.Float(float64(r>>40) / 8)
+				nonUint = true
+			case 3:
+				row[c] = sqlval.Bool(r&8 != 0)
+				nonUint = true
+			default:
+				row[c] = sqlval.Str(string(rune('a' + r%26)))
+				nonUint = true
+			}
+		}
+		b = append(b, row)
+	}
+	return b, nonUint
+}

@@ -1,0 +1,77 @@
+package exec
+
+import (
+	"testing"
+
+	"qap/internal/gsql"
+)
+
+// TestGroupHighWater: the high water is the peak live group count —
+// sampled just before emission — not the post-emit residue, since the
+// peak is what a warm-started run must presize for.
+func TestGroupHighWater(t *testing.T) {
+	aggs := []AggColumn{{Factory: mustFactory(t, "COUNT")}}
+	agg := buildColAgg(t, Discard{}, aggs, []*ColExpr{nil}, nil)
+
+	// Epoch 0 (time 0, wm < 16): 8 distinct srcIP groups.
+	var rows Batch
+	for i := 0; i < 8; i++ {
+		rows = append(rows, Tuple{u(0), u(uint64(i)), u(0), u(0), u(1)})
+	}
+	agg.PushBatch(rows)
+	if hw := agg.GroupHighWater(); hw != 8 {
+		t.Fatalf("high water = %d, want 8", hw)
+	}
+	// Advance past epoch 0: all 8 emit; live count drops to 0 but the
+	// high water must hold.
+	agg.Advance(16)
+	if n := agg.GroupCount(); n != 0 {
+		t.Fatalf("live groups after advance = %d, want 0", n)
+	}
+	if hw := agg.GroupHighWater(); hw != 8 {
+		t.Fatalf("high water after emit = %d, want 8", hw)
+	}
+	// Epoch 1 with fewer groups must not lower it; more must raise it.
+	rows = rows[:0]
+	for i := 0; i < 12; i++ {
+		rows = append(rows, Tuple{u(16), u(uint64(i)), u(0), u(0), u(1)})
+	}
+	agg.PushBatch(rows)
+	agg.Flush()
+	if hw := agg.GroupHighWater(); hw != 12 {
+		t.Fatalf("high water after flush = %d, want 12", hw)
+	}
+}
+
+// TestColRowInterleave: pushing rows after a columnar batch forces
+// colSyncPending — the pending columnar groups must register in the
+// map before the row path updates them, and the merged result must
+// match a pure row-path run byte for byte.
+func TestColRowInterleave(t *testing.T) {
+	r := colTestResolver
+	aggs := []AggColumn{
+		{Factory: mustFactory(t, "MIN"), Arg: MustCompile(gsql.MustParseExpr("len"), r, nil)},
+	}
+	colArgs := []*ColExpr{colPtr(mustCompileCol(t, "len", r, nil))}
+	var outRef, outMix Collector
+	ref := buildColAgg(t, &outRef, aggs, colArgs, nil)
+	mix := buildColAgg(t, &outMix, aggs, colArgs, nil)
+
+	first, second := colTestRows(64), colTestRows(64)
+	var cb ColBatch
+	if !cb.SetFromRows(first) {
+		t.Fatal("SetFromRows failed")
+	}
+	mix.PushCols(&cb) // MIN is map-backed: groups land in colPending
+	if len(mix.colPending) == 0 {
+		t.Fatal("columnar push left no pending groups; interleave not exercised")
+	}
+	mix.PushBatch(second) // row path must sync pending groups first
+
+	ref.PushBatch(first)
+	ref.PushBatch(second)
+
+	ref.Flush()
+	mix.Flush()
+	diffBatches(t, "interleaved push", outRef.Rows, outMix.Rows)
+}

@@ -1,9 +1,9 @@
 package exec
 
 import (
+	"bytes"
 	"slices"
 	"sort"
-	"strings"
 
 	"qap/internal/gsql"
 	"qap/internal/sqlval"
@@ -16,6 +16,13 @@ type FilterProject struct {
 	Projs  []EvalFunc // nil forwards tuples unchanged
 	Out    Consumer
 
+	// ColFilter/ColProjs are the column-compiled forms of Filter and
+	// Projs (CompileCol); when set and their kernels apply, PushCols
+	// runs vectorized (colops.go). Optional: the row closures above
+	// remain the semantic oracle and the fallback.
+	ColFilter *ColExpr
+	ColProjs  []ColExpr
+
 	lastWM  uint64
 	wmSeen  bool
 	flushed bool
@@ -25,6 +32,12 @@ type FilterProject struct {
 	// downstream operators may retain the tuples.
 	filtBuf Batch
 	outBuf  Batch
+
+	// Columnar-path scratch (colops.go): the filter-compacted input
+	// columns and the projected output batch, reused across PushCols
+	// calls. Downstream consumers see them only during the call.
+	colPass ColBatch
+	colOut  ColBatch
 }
 
 // Push implements Consumer.
@@ -216,6 +229,20 @@ type AggregateConfig struct {
 	EpochOfWM func(uint64) sqlval.Value
 	// Aggs are the aggregate columns, appended after the group values.
 	Aggs []AggColumn
+	// ColPreFilter/ColGroupBy/ColArgs are the column-compiled forms of
+	// PreFilter, GroupBy, and each AggColumn.Arg (ColArgs is
+	// index-aligned with Aggs; nil entries mean COUNT(*)). When set and
+	// their kernels apply, PushCols aggregates vectorized (colops.go);
+	// otherwise the row path runs. Optional.
+	ColPreFilter *ColExpr
+	ColGroupBy   []ColExpr
+	ColArgs      []*ColExpr
+	// ColEmit, when set, delivers each emitted epoch batch through
+	// PushColsAll (pivoting the rows into a column batch) instead of
+	// PushAll, so a columnar downstream aggregate consumes it on its
+	// vectorized path. Observably identical by the ColConsumer
+	// contract; rows with mixed-kind columns fall back to PushAll.
+	ColEmit bool
 	// Having filters finished groups; it sees groups++aggs. Nil passes
 	// all groups.
 	Having EvalFunc
@@ -229,10 +256,19 @@ type AggregateConfig struct {
 	// the result rows emitted after HAVING. Purely observational — it
 	// runs after the rows are pushed and must not touch them.
 	OnEpochFlush func(wm uint64, groups, rows int)
+	// SizeHint pre-sizes the group hash state to an expected live group
+	// count, typically a previous run's GroupHighWater (the cluster
+	// runner threads these across Deployment.Run calls). Purely a
+	// warm-start performance knob: no output depends on it.
+	SizeHint int
 }
 
 type groupState struct {
-	key   string
+	// key is the group's encoded AppendKey bytes, carved from keySlab.
+	// The groups map owns its own string copy of it; a pending group
+	// (created by the columnar path, see colPending) has no map entry
+	// yet and key is its only identity.
+	key   []byte
 	vals  []sqlval.Value
 	accs  []Accum
 	epoch sqlval.Value
@@ -267,17 +303,70 @@ type Aggregate struct {
 	stateSlab []groupState
 	valSlab   []sqlval.Value
 	accSlab   []Accum
+	keySlab   []byte
 	// emitBuf and rowBuf are flush-path scratch: the batch container
 	// reused across epochs, and (with Post set) the groups++aggs input
-	// row Having/Post read but downstream never sees.
+	// row Having/Post read but downstream never sees. doneBuf collects
+	// the epoch's retired groups and sortBuf is the radix-sort
+	// distribution scratch; both are reused across epochs (they hold
+	// stale *groupState pointers between flushes, bounding retention to
+	// one epoch's cardinality).
 	emitBuf Batch
 	rowBuf  Tuple
+	doneBuf []*groupState
+	sortBuf []*groupState
 	// minEpoch tracks the smallest non-NULL epoch among live groups, so
 	// an Advance whose boundary has not passed it skips the full group
 	// scan — most watermarks close no epoch but would otherwise pay
 	// O(groups) compares each.
 	minEpoch sqlval.Value
 	minSet   bool
+
+	// Columnar fast-path state (colops.go): an open-addressing cache
+	// over the groups map keyed by raw uint64 key words, plus per-batch
+	// kernel vector scratch. colDirty invalidates the cache whenever
+	// emitBefore retires groups; colReady memoizes kernel support.
+	colTable   []colSlot
+	colCount   int
+	colGen     uint32
+	colWords   []uint64
+	colDirty   bool
+	colReady   int8 // 0 unknown, 1 supported, -1 row path only
+	colKeyVecs [][]uint64
+	colArgVecs [][]uint64
+	// colPending are groups the columnar path created that have no
+	// groups-map entry yet: their only index is their colTable slot,
+	// which skips the per-group map insert and key-string allocation on
+	// the hot path. They sync into the map lazily — before any row-path
+	// lookup (colSyncPending) and at emitBefore, which drains or syncs
+	// every pending group, restoring the everything-in-the-map
+	// invariant whenever the slot table is about to be invalidated.
+	colPending []*groupState
+	// emitCols is the ColEmit pivot scratch (see AggregateConfig).
+	emitCols ColBatch
+
+	// Dense columnar group store (colops.go): while every input batch
+	// is all-uint and every aggregate is word-vectorizable, groups live
+	// as struct-of-arrays — key words in colWords (indexed by
+	// denseKeys), one state word per (agg, group) in denseAccW — with
+	// no groupState, no map entry and no Accum objects. The first
+	// row-path push or non-conforming batch migrates every dense group
+	// into the ordinary representation (denseMigrate); dense mode only
+	// (re-)activates while the map and pending list are empty, so at
+	// any instant either the dense arrays or the map own the groups,
+	// never both.
+	denseReady int8 // 0 unknown, 1 vectorizable aggs, -1 row/col-generic only
+	denseAcc   []denseAccKind
+	denseN     int
+	denseKeys  [][]uint64 // per group: key-word view into colWords
+	denseAccW  [][]uint64 // per agg: one state word per group
+	denseDone  []int32
+	denseRows  []int32
+	denseSlots []int32
+	densePos   []uint16
+	hiGroups   int
+	survWords  []uint64
+	survAccW   [][]uint64
 }
 
 // slabChunk is how many groups' worth of state one slab chunk holds.
@@ -285,7 +374,7 @@ const slabChunk = 256
 
 // NewAggregate builds the operator.
 func NewAggregate(cfg AggregateConfig) *Aggregate {
-	return &Aggregate{cfg: cfg, groups: make(map[string]*groupState)}
+	return &Aggregate{cfg: cfg, groups: make(map[string]*groupState, cfg.SizeHint)}
 }
 
 // Push implements Consumer.
@@ -303,16 +392,15 @@ func (o *Aggregate) Push(t Tuple) {
 		return
 	}
 	key := Key(vals)
+	if o.denseN > 0 {
+		o.denseMigrate()
+	}
+	if len(o.colPending) > 0 {
+		o.colSyncPending()
+	}
 	gs, ok := o.groups[key]
 	if !ok {
-		gs = &groupState{key: key, vals: vals, accs: make([]Accum, len(o.cfg.Aggs))}
-		for i, a := range o.cfg.Aggs {
-			gs.accs[i] = a.Factory()
-		}
-		if o.cfg.EpochIdx >= 0 {
-			gs.epoch = vals[o.cfg.EpochIdx]
-			o.noteEpoch(gs.epoch)
-		}
+		gs = o.newGroup([]byte(key), vals)
 		o.groups[key] = gs
 	}
 	for i, a := range o.cfg.Aggs {
@@ -355,9 +443,16 @@ func (o *Aggregate) pushFast(t Tuple) {
 	}
 	key := AppendKey(o.keyBuf[:0], vals)
 	o.keyBuf = key
+	if o.denseN > 0 {
+		o.denseMigrate()
+	}
+	if len(o.colPending) > 0 {
+		o.colSyncPending()
+	}
 	gs, ok := o.groups[string(key)]
 	if !ok {
-		gs = o.newGroup(string(key), vals)
+		gs = o.newGroup(key, vals)
+		o.groups[string(key)] = gs
 	}
 	for i, a := range o.cfg.Aggs {
 		if a.Arg == nil {
@@ -368,9 +463,10 @@ func (o *Aggregate) pushFast(t Tuple) {
 	}
 }
 
-// newGroup registers a fresh group, carving its state from the slabs.
-// vals is scratch owned by the caller and is copied.
-func (o *Aggregate) newGroup(key string, vals []sqlval.Value) *groupState {
+// newGroup carves a fresh group's state from the slabs; registering it
+// (in the groups map, or in colPending) is the caller's job. key and
+// vals are caller-owned scratch and are copied.
+func (o *Aggregate) newGroup(key []byte, vals []sqlval.Value) *groupState {
 	if len(o.stateSlab) == 0 {
 		o.stateSlab = make([]groupState, slabChunk)
 	}
@@ -397,13 +493,31 @@ func (o *Aggregate) newGroup(key string, vals []sqlval.Value) *groupState {
 		accs[i] = a.Factory()
 	}
 
-	gs.key, gs.vals, gs.accs = key, stored, accs
+	if len(o.keySlab)+len(key) > cap(o.keySlab) {
+		o.keySlab = make([]byte, 0, maxInt(slabChunk*32, len(key)))
+	}
+	kstart := len(o.keySlab)
+	o.keySlab = append(o.keySlab, key...)
+	stored2 := o.keySlab[kstart:len(o.keySlab):len(o.keySlab)]
+
+	gs.key, gs.vals, gs.accs = stored2, stored, accs
 	if o.cfg.EpochIdx >= 0 {
 		gs.epoch = stored[o.cfg.EpochIdx]
 		o.noteEpoch(gs.epoch)
 	}
-	o.groups[key] = gs
 	return gs
+}
+
+// colSyncPending registers every pending columnar-created group in the
+// groups map, restoring the invariant the row path relies on. Runs
+// only when row- and column-path pushes interleave between emits, or
+// when an emit leaves survivors whose slot-table entries are about to
+// be invalidated.
+func (o *Aggregate) colSyncPending() {
+	for _, gs := range o.colPending {
+		o.groups[string(gs.key)] = gs
+	}
+	o.colPending = o.colPending[:0]
 }
 
 // noteEpoch folds a new group's epoch into the live minimum.
@@ -450,19 +564,41 @@ func (o *Aggregate) Out() Consumer { return o.cfg.Out }
 
 // GroupCount reports the live (unflushed) group count, used by memory
 // accounting and tests.
-func (o *Aggregate) GroupCount() int { return len(o.groups) }
+func (o *Aggregate) GroupCount() int { return len(o.groups) + len(o.colPending) + o.denseN }
+
+// GroupHighWater reports the peak live group count the operator has
+// held, the natural AggregateConfig.SizeHint for a later run of the
+// same plan. Peaks occur just before emission, so emitBefore samples
+// the count on entry.
+func (o *Aggregate) GroupHighWater() int {
+	if n := o.GroupCount(); n > o.hiGroups {
+		o.hiGroups = n
+	}
+	return o.hiGroups
+}
 
 // emitBefore flushes groups with epoch < boundary (all groups when
 // boundary is nil), in deterministic (epoch, key) order.
 func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
+	if n := o.GroupCount(); n > o.hiGroups {
+		o.hiGroups = n
+	}
 	if boundary != nil && (!o.minSet || o.minEpoch.Compare(*boundary) >= 0) {
 		// No live group's epoch precedes the boundary (NULL-epoch groups
 		// only drain at Flush): nothing to emit, skip the group scan.
 		return
 	}
-	var done []*groupState
+	if o.denseN > 0 {
+		// Dense mode owns every live group (the map and pending list
+		// are empty by invariant); it drains, sorts and emits from the
+		// flat arrays directly.
+		o.denseEmit(boundary)
+		return
+	}
+	done := o.doneBuf[:0]
 	var survMin sqlval.Value
 	survSet := false
+	mapTotal := len(o.groups)
 	for _, gs := range o.groups { //qap:allow maprange -- groups collected then sorted below
 		if boundary != nil && (gs.epoch.IsNull() || gs.epoch.Compare(*boundary) >= 0) {
 			if !gs.epoch.IsNull() && (!survSet || gs.epoch.Compare(survMin) < 0) {
@@ -472,22 +608,55 @@ func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
 		}
 		done = append(done, gs)
 	}
+	mapDone := len(done)
+	pendingSurvivors := false
+	if len(o.colPending) > 0 {
+		// Pending groups drain like map groups; survivors sync into the
+		// map now, because retiring anything below invalidates the slot
+		// table that was their only index.
+		for _, gs := range o.colPending {
+			if boundary != nil && (gs.epoch.IsNull() || gs.epoch.Compare(*boundary) >= 0) {
+				if !gs.epoch.IsNull() && (!survSet || gs.epoch.Compare(survMin) < 0) {
+					survMin, survSet = gs.epoch, true
+				}
+				o.groups[string(gs.key)] = gs
+				pendingSurvivors = true
+				continue
+			}
+			done = append(done, gs)
+		}
+		if len(done) > mapDone || pendingSurvivors {
+			o.colPending = o.colPending[:0]
+		}
+	}
+	o.doneBuf = done
 	o.minEpoch, o.minSet = survMin, survSet
 	if len(done) == 0 {
 		return
 	}
-	if len(done) == len(o.groups) {
+	// Retired groups may be cached in the columnar slot table; make the
+	// next PushCols rebuild it (colops.go).
+	o.colDirty = true
+	if mapDone == mapTotal && !pendingSurvivors {
 		// Every group drained (always true at Flush; the common case at
 		// an epoch boundary of a tumbling window). Rebuilding the map
 		// pre-sized from this epoch's cardinality beats per-key deletes:
 		// insertions up to that count never rehash, and a cardinality
 		// spike's bucket memory is returned instead of lingering for the
 		// rest of the run. Emission order cannot change — groups are
-		// sorted before emitting — so this is a pure cost change.
-		o.groups = make(map[string]*groupState, len(done))
+		// sorted before emitting — so this is a pure cost change. The
+		// terminal Flush sees no more input, so pre-sizing there would
+		// allocate one epoch's bucket array just to throw it away.
+		if boundary == nil {
+			o.groups = make(map[string]*groupState)
+		} else {
+			o.groups = make(map[string]*groupState, len(done))
+		}
 	} else {
-		for _, gs := range done {
-			delete(o.groups, gs.key)
+		// done[:mapDone] came from the map; pending retirees past that
+		// were never inserted.
+		for _, gs := range done[:mapDone] {
+			delete(o.groups, string(gs.key))
 		}
 	}
 	sameEpoch := true
@@ -499,17 +668,19 @@ func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
 	}
 	if sameEpoch {
 		// The usual tumbling-window drain closes a single epoch; the
-		// (epoch, key) order degenerates to key order, sparing a
-		// Value.Compare per sort comparison.
-		slices.SortFunc(done, func(a, b *groupState) int {
-			return strings.Compare(a.key, b.key)
-		})
+		// (epoch, key) order degenerates to key order, so the radix
+		// sort applies (identical order to strings.Compare at a
+		// fraction of the cost — see sortGroupsByKey).
+		if cap(o.sortBuf) < len(done) {
+			o.sortBuf = make([]*groupState, len(done))
+		}
+		sortGroupsByKey(done, o.sortBuf[:len(done)], 0)
 	} else {
 		slices.SortFunc(done, func(a, b *groupState) int {
 			if c := a.epoch.Compare(b.epoch); c != 0 {
 				return c
 			}
-			return strings.Compare(a.key, b.key)
+			return bytes.Compare(a.key, b.key)
 		})
 	}
 	// Emit the epoch as one batch: output rows carve from a single
@@ -554,9 +725,193 @@ func (o *Aggregate) emitBefore(boundary *sqlval.Value) {
 		}
 	}
 	o.emitBuf = out
-	PushAll(o.cfg.Out, out)
+	if o.cfg.ColEmit && len(out) > 0 && o.emitCols.SetFromRows(out) {
+		PushColsAll(o.cfg.Out, &o.emitCols)
+	} else {
+		PushAll(o.cfg.Out, out)
+	}
 	if o.cfg.OnEpochFlush != nil {
 		o.cfg.OnEpochFlush(o.lastWM, len(done), len(out))
+	}
+}
+
+// radixCutoff is the segment size below which sortGroupsByKey falls
+// back to insertion sort: a counting pass over 257 buckets costs more
+// than a handful of string compares.
+const radixCutoff = 24
+
+// keyBucket maps byte `depth` of key k to a radix bucket. Bucket 0 is
+// "key ended", which sorts before every byte value — exactly where
+// strings.Compare puts a strict prefix.
+func keyBucket(k []byte, depth int) int {
+	if depth >= len(k) {
+		return 0
+	}
+	return int(k[depth]) + 1
+}
+
+// insertGroupsByKey insertion-sorts a small segment by full-key
+// compare.
+func insertGroupsByKey(gs []*groupState) {
+	for i := 1; i < len(gs); i++ {
+		g := gs[i]
+		j := i - 1
+		for j >= 0 && bytes.Compare(gs[j].key, g.key) > 0 {
+			gs[j+1] = gs[j]
+			j--
+		}
+		gs[j+1] = g
+	}
+}
+
+// sortGroupsByKey orders gs by ascending key bytes — the same total
+// order strings.Compare induces (keys are unique, so no tie exists and
+// stability is moot) — with an MSD byte radix sort. A comparison sort
+// of n groups pays n·log n full-key compares; one radix pass pays n
+// byte reads. Encoded keys waste most positions (tag bytes and the
+// high bytes of big-endian words are near-constant), so the
+// fixed-width fast path pre-scans OR/AND masks per byte position and
+// radixes only the positions that actually vary; variable-width key
+// sets take the general pass-per-byte path, which still descends
+// constant bytes without moving anything. scratch must be the same
+// length as gs; both are clobbered.
+func sortGroupsByKey(gs, scratch []*groupState, depth int) {
+	if n := len(gs); n > radixCutoff && depth == 0 {
+		if w := len(gs[0].key); w > 0 && w <= 64 {
+			fixed := true
+			for _, g := range gs {
+				if len(g.key) != w {
+					fixed = false
+					break
+				}
+			}
+			if fixed {
+				var orb, andb [64]byte
+				for p := 0; p < w; p++ {
+					andb[p] = 0xff
+				}
+				for _, g := range gs {
+					for p, b := range g.key {
+						orb[p] |= b
+						andb[p] &= b
+					}
+				}
+				var pos [64]uint8
+				np := 0
+				for p := 0; p < w; p++ {
+					if orb[p] != andb[p] {
+						pos[np] = uint8(p)
+						np++
+					}
+				}
+				if np > 0 {
+					sortGroupsPos(gs, scratch, pos[:np], 0)
+				}
+				return
+			}
+		}
+	}
+	for {
+		n := len(gs)
+		if n <= radixCutoff {
+			// Insertion sort on full keys: Go's string compare starts at
+			// byte 0, re-scanning the shared prefix, but segments this
+			// small don't earn a counting pass.
+			insertGroupsByKey(gs)
+			return
+		}
+		var counts [257]int
+		for _, g := range gs {
+			counts[keyBucket(g.key, depth)]++
+		}
+		first := 0
+		for counts[first] == 0 {
+			first++
+		}
+		if counts[first] == n {
+			if first == 0 {
+				return // every key ends at depth: all equal
+			}
+			depth++ // whole segment shares this byte: descend in place
+			continue
+		}
+		offs := counts
+		sum := 0
+		for b, c := range counts {
+			offs[b] = sum
+			sum += c
+		}
+		for _, g := range gs {
+			b := keyBucket(g.key, depth)
+			scratch[offs[b]] = g
+			offs[b]++
+		}
+		copy(gs, scratch)
+		start := 0
+		for b, c := range counts {
+			// Bucket 0 holds keys that end at depth — equal, hence unique,
+			// hence at most one; no recursion needed.
+			if b > 0 && c > 1 {
+				sortGroupsByKey(gs[start:start+c], scratch[start:start+c], depth+1)
+			}
+			start += c
+		}
+		return
+	}
+}
+
+// sortGroupsPos is sortGroupsByKey's fixed-width engine: an MSD radix
+// over just the varying byte positions pos (ascending). A position a
+// sub-segment happens to share still descends without moving anything.
+func sortGroupsPos(gs, scratch []*groupState, pos []uint8, depth int) {
+	for {
+		n := len(gs)
+		if n <= radixCutoff || depth >= len(pos) {
+			insertGroupsByKey(gs)
+			return
+		}
+		p := int(pos[depth])
+		var counts [256]int
+		for _, g := range gs {
+			counts[g.key[p]]++
+		}
+		first := -1
+		single := true
+		for b, c := range counts {
+			if c != 0 {
+				if first < 0 {
+					first = b
+				} else {
+					single = false
+					break
+				}
+			}
+		}
+		if single {
+			depth++
+			continue
+		}
+		offs := counts
+		sum := 0
+		for b, c := range counts {
+			offs[b] = sum
+			sum += c
+		}
+		for _, g := range gs {
+			b := g.key[p]
+			scratch[offs[b]] = g
+			offs[b]++
+		}
+		copy(gs, scratch)
+		start := 0
+		for b := 0; b < 256; b++ {
+			c := counts[b]
+			if c > 1 {
+				sortGroupsPos(gs[start:start+c], scratch[start:start+c], pos, depth+1)
+			}
+			start += c
+		}
+		return
 	}
 }
 
@@ -565,6 +920,10 @@ type JoinSideConfig struct {
 	// Keys compute the composite equi-join key from a side tuple; the
 	// two sides' key lists are index-aligned.
 	Keys []EvalFunc
+	// ColKeys are the column-compiled forms of Keys; when set and
+	// their kernels apply, PushCols evaluates the side's keys
+	// vectorized before probing (colops.go). Optional.
+	ColKeys []ColExpr
 	// Width is the side's column count, needed for outer-join NULL
 	// padding.
 	Width int
@@ -619,6 +978,8 @@ type Join struct {
 	keyBuf    []byte
 	combBuf   Tuple
 	entrySlab []joinEntry
+	// Columnar-path scratch (colops.go): per-batch key vectors.
+	colKeyVecs [][]uint64
 }
 
 // NewJoin builds the operator.
@@ -705,6 +1066,16 @@ func (j *Join) pushFast(t Tuple, left bool) {
 		vals = append(vals, k(t))
 	}
 	j.valsBuf = vals
+	j.probeInsert(t, left, side, myTab, otherTab, vals)
+}
+
+// probeInsert is the build/probe body of pushFast, taking the
+// already-evaluated key values (caller-owned scratch; read only
+// during the call). The columnar join path (colops.go) enters here
+// with kernel-evaluated keys.
+//
+//qap:hot
+func (j *Join) probeInsert(t Tuple, left bool, side *JoinSideConfig, myTab, otherTab map[string][]*joinEntry, vals []sqlval.Value) {
 	kb := AppendKey(j.keyBuf[:0], vals)
 	j.keyBuf = kb
 	matches := otherTab[string(kb)]

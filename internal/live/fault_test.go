@@ -1,0 +1,131 @@
+package live
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// pipePair returns a connected pipe with a sink goroutine draining one
+// end, so faultConn writes never block, plus a counter of delivered
+// frames (one byte each in these tests).
+func pipePair(t *testing.T) (net.Conn, func() int) {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	got := make(chan int, 1)
+	got <- 0
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			n, err := b.Read(buf)
+			if n > 0 {
+				c := <-got
+				got <- c + n
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return a, func() int { c := <-got; got <- c; return c }
+}
+
+// TestFaultPlanActions scripts each action against a specific write
+// index and checks both the stream effect and the hit counter.
+func TestFaultPlanActions(t *testing.T) {
+	t.Run("drop", func(t *testing.T) {
+		conn, delivered := pipePair(t)
+		plan := &FaultPlan{Faults: []Fault{{Host: 0, Session: -1, Write: 1, Action: FaultDrop}}}
+		fc := plan.WrapAccept(0)(conn, 0)
+		for i := 0; i < 3; i++ {
+			if _, err := fc.Write([]byte{byte(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitFor(t, "writes drained", func() bool { return delivered() == 2 })
+		if plan.Hits() != 1 {
+			t.Fatalf("plan hits = %d, want 1", plan.Hits())
+		}
+	})
+	t.Run("dup", func(t *testing.T) {
+		conn, delivered := pipePair(t)
+		plan := &FaultPlan{Faults: []Fault{{Host: -1, Session: -1, Write: 0, Action: FaultDup}}}
+		fc := plan.WrapAccept(2)(conn, 5)
+		if _, err := fc.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "duplicated write drained", func() bool { return delivered() == 2 })
+	})
+	t.Run("stall", func(t *testing.T) {
+		conn, delivered := pipePair(t)
+		plan := &FaultPlan{Faults: []Fault{{Host: -1, Session: -1, Write: -1, Action: FaultStall, Stall: 10 * time.Millisecond}}}
+		fc := plan.WrapAccept(0)(conn, 0)
+		start := time.Now()
+		if _, err := fc.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		if time.Since(start) < 10*time.Millisecond {
+			t.Fatal("stall fault did not sleep")
+		}
+		waitFor(t, "stalled write drained", func() bool { return delivered() == 1 })
+	})
+	t.Run("cut", func(t *testing.T) {
+		conn, _ := pipePair(t)
+		plan := &FaultPlan{Faults: []Fault{{Host: 1, Session: 0, Write: 0, Action: FaultCut}}}
+		fc := plan.WrapAccept(1)(conn, 0)
+		if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrInjectedCut) {
+			t.Fatalf("cut write err = %v, want ErrInjectedCut", err)
+		}
+		// The underlying conn is closed: further writes fail for real.
+		if _, err := conn.Write([]byte{2}); err == nil {
+			t.Fatal("connection survived a scripted cut")
+		}
+	})
+	t.Run("no-match", func(t *testing.T) {
+		conn, delivered := pipePair(t)
+		plan := &FaultPlan{Faults: []Fault{{Host: 7, Session: 7, Write: 7, Action: FaultDrop}}}
+		fc := plan.WrapAccept(0)(conn, 0)
+		if _, err := fc.Write([]byte{1}); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "unmatched write drained", func() bool { return delivered() == 1 })
+		if plan.Hits() != 0 {
+			t.Fatalf("plan hits = %d, want 0", plan.Hits())
+		}
+	})
+}
+
+// TestFaultPlanDial: the splitter-side wrapper threads (host, attempt)
+// into the fault coordinates and passes dial errors through untouched.
+func TestFaultPlanDial(t *testing.T) {
+	conn, delivered := pipePair(t)
+	plan := &FaultPlan{Faults: []Fault{{Host: 4, Session: 1, Write: 0, Action: FaultDrop}}}
+	dial := plan.Dial(func(host, attempt int, addr string) (net.Conn, error) {
+		if addr != "x:1" {
+			t.Fatalf("dial addr = %q", addr)
+		}
+		return conn, nil
+	})
+	fc, err := dial(4, 1, "x:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write([]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fc.Write([]byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "second write drained", func() bool { return delivered() == 1 })
+	if plan.Hits() != 1 {
+		t.Fatalf("plan hits = %d, want 1", plan.Hits())
+	}
+
+	wantErr := errors.New("refused")
+	failing := plan.Dial(func(host, attempt int, addr string) (net.Conn, error) { return nil, wantErr })
+	if _, err := failing(0, 0, "y:2"); !errors.Is(err, wantErr) {
+		t.Fatalf("dial error = %v, want passthrough", err)
+	}
+}

@@ -1,0 +1,192 @@
+package live
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// echoExec is a deterministic executor: each feed yields one link with
+// one advance item per round, and a fixed result payload.
+type echoExec struct{ res []byte }
+
+func (e *echoExec) Execute(m *FeedMsg) (*LinkMsg, error) {
+	link := &LinkMsg{Through: -1, Done: m.Last}
+	for _, r := range m.Rounds {
+		link.Items = append(link.Items, Item{
+			Round: r.Round, Kind: ItemAdvance, WM: r.WM, MWM: r.WM,
+		})
+		link.Through = r.Round
+	}
+	return link, nil
+}
+
+func (e *echoExec) Result() ([]byte, error) { return e.res, nil }
+
+// TestNodeSplitterEndToEnd runs the full protocol over a real socket:
+// handshake, three feeds, per-feed links, the final result frame, and
+// a clean finish on both sides once everything is acknowledged.
+func TestNodeSplitterEndToEnd(t *testing.T) {
+	cfg := Config{Timeout: 5 * time.Second}
+	node, err := NewNode(cfg, NodeOptions{
+		Host:        0,
+		Fingerprint: "fp",
+		BatchSize:   8,
+		SendResult:  true,
+		NewExecutor: func(h *Hello) (Executor, error) {
+			if h.Fingerprint != "fp" || h.BatchSize != 8 {
+				t.Errorf("executor built from hello %+v", h)
+			}
+			return &echoExec{res: []byte("final shards")}, nil
+		},
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- node.Serve() }()
+	defer node.Close()
+
+	sp := NewSplitter(cfg, Hello{
+		BatchSize:   8,
+		Streams:     []string{"tcp"},
+		Fingerprint: "fp",
+	}, []string{node.Addr()})
+	sp.Start()
+	defer sp.Close()
+
+	for i := 0; i < 3; i++ {
+		m := &FeedMsg{Last: i == 2, Rounds: []Round{{
+			Round: i, WM: uint64(16 * (i + 1)), Adv: true,
+			Groups: []Group{{Tag: uint64(i), Tuples: protoBatch()}},
+		}}}
+		if err := sp.SendFeed(0, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case link := <-sp.Links():
+			if link.Host != 0 || link.Through != i {
+				t.Fatalf("link %d: host=%d through=%d", i, link.Host, link.Through)
+			}
+			if want := i == 2; link.Done != want {
+				t.Fatalf("link %d: done=%v, want %v", i, link.Done, want)
+			}
+			if len(link.Items) != 1 || link.Items[0].Kind != ItemAdvance {
+				t.Fatalf("link %d items: %+v", i, link.Items)
+			}
+		case err := <-sp.Errs():
+			t.Fatal(err)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("link %d never arrived", i)
+		}
+	}
+	if err := sp.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(sp.Result(0)); got != "final shards" {
+		t.Fatalf("result = %q", got)
+	}
+	select {
+	case err := <-sp.Errs():
+		t.Fatalf("unexpected splitter error: %v", err)
+	default:
+	}
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			t.Fatalf("node.Serve: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node.Serve did not return after full acknowledgement")
+	}
+}
+
+// TestNodeFingerprintMismatchIsFatal: a splitter announcing a different
+// deployment must be refused permanently — the node fails its Serve
+// with the fingerprint error instead of rejecting the same peer
+// forever, and the splitter exhausts its attempts.
+func TestNodeFingerprintMismatchIsFatal(t *testing.T) {
+	cfg := Config{Timeout: time.Second, MaxAttempts: 2, LinkWindow: 4}
+	node, err := NewNode(cfg, NodeOptions{
+		Host:        0,
+		Fingerprint: "deployment-a",
+		NewExecutor: func(h *Hello) (Executor, error) { return &echoExec{}, nil },
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- node.Serve() }()
+	defer node.Close()
+
+	sp := NewSplitter(cfg, Hello{Fingerprint: "deployment-b"}, []string{node.Addr()})
+	sp.Start()
+	defer sp.Close()
+
+	select {
+	case err := <-serveErr:
+		if err == nil || !strings.Contains(err.Error(), "deployment fingerprint") {
+			t.Fatalf("node.Serve = %v, want fingerprint error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("node.Serve did not fail on the fingerprint mismatch")
+	}
+	select {
+	case err := <-sp.Errs():
+		if !strings.Contains(err.Error(), "giving up after") {
+			t.Fatalf("splitter error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("splitter never gave up on the refused deployment")
+	}
+}
+
+// TestFeedRetransmitReAcked: a duplicated feed frame (the FaultDup
+// script on the splitter's first post-handshake write) must be
+// executed once and re-acked, not treated as a gap — the dedup half of
+// exactly-once delivery.
+func TestFeedRetransmitReAcked(t *testing.T) {
+	cfg := Config{Timeout: 5 * time.Second}
+	node, err := NewNode(cfg, NodeOptions{
+		Host:        0,
+		NewExecutor: func(h *Hello) (Executor, error) { return &echoExec{}, nil },
+	}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- node.Serve() }()
+	defer node.Close()
+
+	plan := &FaultPlan{Faults: []Fault{{Host: -1, Session: -1, Write: 1, Action: FaultDup}}}
+	spCfg := cfg
+	spCfg.Dial = plan.Dial(DefaultDial(cfg.timeout()))
+	sp := NewSplitter(spCfg, Hello{}, []string{node.Addr()})
+	sp.Start()
+	defer sp.Close()
+
+	if err := sp.SendFeed(0, &FeedMsg{Last: true, Rounds: []Round{{Round: 0, WM: 16}}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case link := <-sp.Links():
+		if !link.Done {
+			t.Fatalf("link not done: %+v", link)
+		}
+	case err := <-sp.Errs():
+		t.Fatal(err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("link never arrived")
+	}
+	if err := sp.Wait(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if plan.Hits() != 1 {
+		t.Fatalf("fault plan hits = %d, want 1", plan.Hits())
+	}
+	if err := <-serveErr; err != nil {
+		t.Fatalf("node.Serve: %v", err)
+	}
+}

@@ -78,6 +78,34 @@ func (p Packet) AppendTuple(buf []sqlval.Value) ([]sqlval.Value, exec.Tuple) {
 	return buf, exec.Tuple(buf[n:len(buf):len(buf)])
 }
 
+// AppendCols appends the packet's values to cb's eight all-uint
+// columns, in exactly the SchemaDDL order Tuple and AppendTuple
+// produce. An empty (or Reset) batch is shaped on first use; column
+// capacity is reused across rounds, so the columnar drivers refill
+// recycled batches without allocating.
+//
+//qap:hot
+func (p Packet) AppendCols(cb *exec.ColBatch) {
+	if len(cb.Cols) != TupleCols {
+		if cap(cb.Cols) < TupleCols {
+			cb.Cols = make([]exec.ColVec, TupleCols) //qap:allow hotalloc -- batch shaped once, then recycled
+		}
+		cb.Cols = cb.Cols[:TupleCols]
+		for i := range cb.Cols {
+			cb.Cols[i] = exec.ColVec{Kind: sqlval.KindUint, U64: cb.Cols[i].U64[:0]}
+		}
+	}
+	cb.Cols[0].U64 = append(cb.Cols[0].U64, p.Time)
+	cb.Cols[1].U64 = append(cb.Cols[1].U64, p.SrcIP)
+	cb.Cols[2].U64 = append(cb.Cols[2].U64, p.DestIP)
+	cb.Cols[3].U64 = append(cb.Cols[3].U64, p.SrcPort)
+	cb.Cols[4].U64 = append(cb.Cols[4].U64, p.DestPort)
+	cb.Cols[5].U64 = append(cb.Cols[5].U64, p.Len)
+	cb.Cols[6].U64 = append(cb.Cols[6].U64, p.Flags)
+	cb.Cols[7].U64 = append(cb.Cols[7].U64, p.Seq)
+	cb.Len++
+}
+
 // Config controls trace generation. Every field is required to be
 // valid (see Validate); defaults live only in DefaultConfig, so a
 // config built from user input is never quietly rewritten.

@@ -249,7 +249,10 @@ type BenchConfig struct {
 // the measuring host; the canonical query output is identical across
 // rows by the engine's determinism contract.
 type ExecBenchRow struct {
-	BatchSize    int     `json:"batch_size"`
+	BatchSize int `json:"batch_size"`
+	// Columnar marks a measurement of the columnar batch execution
+	// path; absent/false rows measured the row paths.
+	Columnar     bool    `json:"columnar,omitempty"`
 	NanosPerRun  int64   `json:"nanos_per_run"`
 	RowsPerSec   float64 `json:"rows_per_sec"`
 	BytesPerRun  uint64  `json:"bytes_per_run"`
@@ -275,6 +278,14 @@ type ExecBenchReport struct {
 	GateMinSpeedup    float64        `json:"gate_min_speedup"`
 	GateMaxAllocRatio float64        `json:"gate_max_alloc_ratio"`
 	GateMet           bool           `json:"gate_met"`
+	// The columnar gate holds the columnar rows (Columnar == true) to
+	// a stricter bar versus the same scalar baseline. The fields are
+	// zero in reports generated before the columnar path existed;
+	// qap-bench -check enforces the gate only when the thresholds are
+	// present.
+	GateMinColumnarSpeedup    float64 `json:"gate_min_columnar_speedup,omitempty"`
+	GateMaxColumnarAllocRatio float64 `json:"gate_max_columnar_alloc_ratio,omitempty"`
+	ColumnarGateMet           bool    `json:"columnar_gate_met,omitempty"`
 }
 
 // DriftWindowRow is one monitoring window of a DriftBenchReport: the

@@ -19,6 +19,7 @@ package qap
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"qap/internal/cluster"
@@ -273,6 +274,13 @@ type DeployConfig struct {
 	// up to that many tuples per operator call. Canonical results are
 	// identical at every batch size; see cluster.RunConfig.BatchSize.
 	BatchSize int
+	// Columnar selects the columnar batch execution path: batched
+	// drivers deliver each round's tuples as typed column vectors and
+	// operators run compiled column kernels where the plan supports
+	// them. Requires batching (ignored at BatchSize 1); canonical
+	// results, stats, and traces are byte-identical to the row paths.
+	// See cluster.RunConfig.Columnar.
+	Columnar bool
 	// CollectStats enables the per-operator observability layer:
 	// RunResult.OpStats and RunResult.Report() are populated. The
 	// counters are sharded like the host metrics, so they too are
@@ -328,6 +336,14 @@ type Deployment struct {
 	plan   *optimizer.Plan
 	cfg    DeployConfig
 	params exec.Params
+
+	// hintMu guards sizeHints: per-operator group high-water marks
+	// harvested from completed runs and fed to the next run's engine as
+	// a warm-start (pre-sized hash state skips the growth chains a
+	// fresh instantiation otherwise re-pays). Purely a performance
+	// carry-over — canonical outputs never depend on it.
+	hintMu    sync.Mutex
+	sizeHints map[int]int
 }
 
 // Deploy builds the partition-aware distributed plan (Section 5) for
@@ -427,6 +443,7 @@ func (d *Deployment) RunStreams(streams map[string][]netgen.Packet) (*RunResult,
 	if err != nil {
 		return nil, err
 	}
+	d.mergeSizeHints(res.SizeHints)
 	return &RunResult{
 		Outputs:    res.Outputs,
 		NodeRows:   res.NodeRows,
@@ -452,6 +469,8 @@ func (d *Deployment) newRunner() (*cluster.Runner, error) {
 		Params:        d.params,
 		Workers:       d.cfg.Workers,
 		BatchSize:     d.cfg.BatchSize,
+		Columnar:      d.cfg.Columnar,
+		SizeHints:     d.copySizeHints(),
 		CollectStats:  d.cfg.CollectStats,
 		LoadWindowSec: d.cfg.LoadWindowSec,
 		Trace:         d.cfg.Trace,
@@ -459,6 +478,39 @@ func (d *Deployment) newRunner() (*cluster.Runner, error) {
 		Live:          d.cfg.Live,
 		DriveTimeout:  d.cfg.DriveTimeout,
 	})
+}
+
+// copySizeHints snapshots the warm-start hints for a new runner (the
+// runner must not share a map a concurrent Run could be merging into).
+func (d *Deployment) copySizeHints() map[int]int {
+	d.hintMu.Lock()
+	defer d.hintMu.Unlock()
+	if len(d.sizeHints) == 0 {
+		return nil
+	}
+	cp := make(map[int]int, len(d.sizeHints))
+	for id, n := range d.sizeHints { //qap:allow maprange -- map-to-map copy, order-insensitive
+		cp[id] = n
+	}
+	return cp
+}
+
+// mergeSizeHints folds a finished run's group high-water marks into
+// the deployment's warm-start hints (max per operator).
+func (d *Deployment) mergeSizeHints(hints map[int]int) {
+	if len(hints) == 0 {
+		return
+	}
+	d.hintMu.Lock()
+	defer d.hintMu.Unlock()
+	if d.sizeHints == nil {
+		d.sizeHints = make(map[int]int, len(hints))
+	}
+	for id, n := range hints { //qap:allow maprange -- max-merge, order-insensitive
+		if n > d.sizeHints[id] {
+			d.sizeHints[id] = n
+		}
+	}
 }
 
 // ServeLiveHost serves one leaf host of this deployment as a live TCP
